@@ -1,0 +1,143 @@
+// §VI + Table I + §VIII-D: the Binary Object Matching ablation.
+//
+// Two parts:
+//  1. google-benchmark microbenchmarks of call-stack matching: BOM
+//     (integer frame comparison) vs human-readable (symbolization +
+//     string comparison), across call-stack depths — the §VI overhead
+//     claim, measured on this machine.
+//  2. The §VIII-D end-to-end experiment: OpenFOAM with the
+//     bandwidth-aware algorithm, BOM report vs human-readable report.
+//     Expected shape: the HR run loses most of the bandwidth-aware win
+//     (paper: 1.061 -> 0.66), dominated by the per-rank debug info
+//     shrinking the DRAM budget.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ecohmem/flexmalloc/matcher.hpp"
+
+using namespace ecohmem;
+
+namespace {
+
+struct MatchFixture {
+  bom::ModuleTable modules;
+  bom::SymbolTable symbols{&modules};
+  flexmalloc::ParsedReport bom_report;
+  flexmalloc::ParsedReport hr_report;
+  std::vector<bom::CallStack> probes;
+
+  explicit MatchFixture(int depth, int sites = 256) {
+    modules.add_module("app.x", 64 << 20, 512 << 20);
+    bom_report.is_bom = true;
+    bom_report.fallback_tier = "pmem";
+    hr_report.is_bom = false;
+    hr_report.fallback_tier = "pmem";
+    for (int s = 0; s < sites; ++s) {
+      bom::CallStack cs;
+      bom::HumanStack hs;
+      for (int d = 0; d < depth; ++d) {
+        const std::uint64_t offset = 0x1000 + static_cast<std::uint64_t>(s) * 0x1000 +
+                                     static_cast<std::uint64_t>(d) * 0x40;
+        cs.frames.push_back(bom::Frame{0, offset});
+        symbols.add_entry(0, {offset, "src/some/deep/path/translation_unit_" +
+                                          std::to_string(s) + ".cpp",
+                              static_cast<std::uint32_t>(10 + d)});
+        hs.push_back(bom::SourceLocation{
+            "src/some/deep/path/translation_unit_" + std::to_string(s) + ".cpp",
+            static_cast<std::uint32_t>(10 + d)});
+      }
+      bom_report.entries.push_back(
+          flexmalloc::ReportEntry{cs, s % 2 == 0 ? "dram" : "pmem", 0});
+      hr_report.entries.push_back(
+          flexmalloc::ReportEntry{hs, s % 2 == 0 ? "dram" : "pmem", 0});
+      probes.push_back(cs);
+    }
+  }
+};
+
+void BM_BomMatching(benchmark::State& state) {
+  MatchFixture fx(static_cast<int>(state.range(0)));
+  auto matcher = flexmalloc::CallStackMatcher::create(fx.bom_report, nullptr);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher->match(fx.probes[i++ % fx.probes.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BomMatching)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_HumanReadableMatching(benchmark::State& state) {
+  MatchFixture fx(static_cast<int>(state.range(0)));
+  auto matcher = flexmalloc::CallStackMatcher::create(fx.hr_report, &fx.symbols);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher->match(fx.probes[i++ % fx.probes.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HumanReadableMatching)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ReportParsingBom(benchmark::State& state) {
+  MatchFixture fx(8);
+  advisor::Placement placement;
+  placement.fallback_tier = "pmem";
+  for (const auto& e : fx.bom_report.entries) {
+    advisor::PlacementDecision d;
+    d.callstack = std::get<bom::CallStack>(e.stack);
+    d.tier = e.tier;
+    placement.decisions.push_back(d);
+  }
+  const auto text =
+      advisor::report_to_string(placement, advisor::ReportFormat::kBom, fx.modules);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flexmalloc::parse_report(*text, fx.modules));
+  }
+}
+BENCHMARK(BM_ReportParsingBom);
+
+void print_table1() {
+  bench::print_header("bench_bom_matching (part 1.5)",
+                      "Table I (the two supported call-stack formats, same site)");
+  const runtime::Workload w = apps::make_lulesh();
+  const auto& site = w.sites.front();
+  const auto hr = w.symbols->translate(site.stack);
+  std::printf("site: %s\n", site.label.c_str());
+  std::printf("  BOM format:            %s @ dram\n",
+              bom::format_bom(site.stack, *w.modules).c_str());
+  if (hr) {
+    std::printf("  human-readable format: %s @ dram\n", bom::format_human(*hr).c_str());
+  }
+  std::printf("(BOM needs no debug info and survives ASLR; matching is integer "
+              "comparison instead of symbolization + string comparison)\n");
+}
+
+void print_viii_d() {
+  bench::print_header("bench_bom_matching (part 2)",
+                      "§VIII-D (OpenFOAM: BOM vs human-readable call stacks)");
+  const auto sys = *memsim::paper_system(6);
+  const runtime::Workload w = apps::make_openfoam();
+
+  const auto bom_run = bench::run_config(w, sys, "bom", 11 * bench::kGiB, 0.0,
+                                         /*bw_aware=*/true, advisor::ReportFormat::kBom);
+  const auto hr_run =
+      bench::run_config(w, sys, "hr", 11 * bench::kGiB, 0.0,
+                        /*bw_aware=*/true, advisor::ReportFormat::kHumanReadable);
+  std::printf("%-34s %8s   %s\n", "configuration", "speedup", "paper");
+  std::printf("%-34s %8.2f   1.061\n", "bandwidth-aware, BOM stacks", bom_run.speedup);
+  std::printf("%-34s %8.2f   0.66\n", "bandwidth-aware, human-readable", hr_run.speedup);
+  std::printf("(the HR loss is dominated by per-rank debug info shrinking the DRAM budget; "
+              "symbolization overhead adds the rest)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  print_table1();
+  print_viii_d();
+  return 0;
+}

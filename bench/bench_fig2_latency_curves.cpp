@@ -1,0 +1,41 @@
+// Fig. 2: "Bandwidth vs. latency with read-only (R) and read-write (1R1W)
+// memory traffic for DDR4 DRAM and Intel PMem using MLC."
+//
+// The MLC role is played by sweeping an offered load through the tier
+// latency models. Expected shape: flat-ish latencies at low bandwidth, a
+// widening DRAM/PMem gap as bandwidth grows, PMem diverging first
+// (~2x at 22 GB/s read-only), and 1R1W hitting PMem's write ceiling far
+// earlier than DRAM's.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ecohmem/memsim/tier.hpp"
+
+using namespace ecohmem;
+
+int main() {
+  bench::print_header("bench_fig2_latency_curves", "Fig. 2 (MLC latency-vs-bandwidth curves)");
+
+  const memsim::MemoryTier dram(memsim::ddr4_dram_spec());
+  const memsim::MemoryTier pmem6(memsim::optane_pmem_spec(6));
+
+  std::printf("%8s %12s %12s %14s %14s\n", "GB/s", "DRAM R(ns)", "PMem R(ns)", "DRAM 1R1W(ns)",
+              "PMem 1R1W(ns)");
+  for (double gbs = 2.0; gbs <= 26.0; gbs += 2.0) {
+    // 1R1W: half the offered bytes are writes.
+    const double r = dram.read_latency_at(gbs, 0.0);
+    const double p = pmem6.read_latency_at(gbs, 0.0);
+    const double r_rw = dram.read_latency_at(gbs / 2.0, gbs / 2.0);
+    const double p_rw = pmem6.read_latency_at(gbs / 2.0, gbs / 2.0);
+    std::printf("%8.1f %12.1f %12.1f %14.1f %14.1f\n", gbs, r, p, r_rw, p_rw);
+  }
+
+  std::printf("\ncalibration anchors (paper: DRAM 90/117 ns, PMem 185/239 ns at 22 GB/s):\n");
+  std::printf("  DRAM idle %.1f ns, at 22 GB/s %.1f ns\n", dram.read_latency_ns(0.0),
+              dram.read_latency_at(22.0, 0.0));
+  std::printf("  PMem idle %.1f ns, at 22 GB/s %.1f ns (%.2fx DRAM)\n",
+              pmem6.read_latency_ns(0.0), pmem6.read_latency_at(22.0, 0.0),
+              pmem6.read_latency_at(22.0, 0.0) / dram.read_latency_at(22.0, 0.0));
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figs. 4 & 5 + Tables II & III: lifetime and bandwidth of the objects in
+// the high-bandwidth region (PMem temporaries) and the low-bandwidth
+// region (DRAM persistent arrays) of LULESH, plus the bandwidth-region
+// membership (B_low/B_mid/B_high at allocation vs execution) and the
+// allocation-count/lifetime correlation that motivates Table IV's
+// classification criteria.
+//
+// Expected shape: the PMem temporaries live for a small fraction of a
+// phase, are allocated hundreds of times in total, and each consumes
+// orders of magnitude more bandwidth than the DRAM residents, which live
+// for essentially the whole run with ~1 allocation (paper: PMem objects
+// ~18 s / ~93 MB/s; DRAM objects ~23 min / ~1 MB/s).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ecohmem/analyzer/object_record.hpp"
+
+using namespace ecohmem;
+
+namespace {
+
+const char* tf(bool b) { return b ? "T" : "F"; }
+
+void region_flags(double bw, double peak, bool out[3]) {
+  const auto region = analyzer::classify_region(bw, peak);
+  out[0] = region == analyzer::BandwidthRegion::kLow;
+  out[1] = region == analyzer::BandwidthRegion::kMid;
+  out[2] = region == analyzer::BandwidthRegion::kHigh;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "bench_fig45_object_lifetimes",
+      "Figs. 4/5 + Tables II/III (LULESH object lifetimes, bandwidth, regions)");
+
+  const auto sys = *memsim::paper_system(6);
+  const runtime::Workload w = apps::make_lulesh();
+  core::WorkflowOptions opt;
+  opt.dram_limit = 12 * bench::kGiB;
+  const auto result = core::run_workflow(w, sys, opt);
+  if (!result) {
+    std::printf("workflow failed: %s\n", result.error().c_str());
+    return 1;
+  }
+  const double peak = result->analysis.observed_peak_bw_gbs;
+  const double run_s = static_cast<double>(result->analysis.trace_end) * 1e-9;
+  std::printf("run length %.1f s, observed peak bandwidth %.2f GB/s\n", run_s, peak);
+
+  auto label_of = [&w](const analyzer::SiteRecord& s) {
+    for (const auto& site : w.sites) {
+      if (site.stack == s.callstack) return site.label;
+    }
+    return std::string("?");
+  };
+
+  for (const bool pmem_panel : {true, false}) {
+    std::printf("\n--- Fig. %d: objects in %s ---\n", pmem_panel ? 4 : 5,
+                pmem_panel ? "PMem (high-bandwidth region)" : "DRAM (low-bandwidth region)");
+    std::printf("%-34s %12s %14s %10s\n", "site", "lifetime(s)", "object-BW(MB/s)", "allocs");
+    for (const auto& s : result->analysis.sites) {
+      const bool in_pmem = result->placement.tier_of(s.stack) == "pmem";
+      if (in_pmem != pmem_panel) continue;
+      if (s.load_misses + s.store_misses < 1.0) continue;
+      std::printf("%-34s %12.2f %14.2f %10llu\n", label_of(s).c_str(),
+                  s.mean_lifetime_ns * 1e-9, s.exec_bw_gbs * 1000.0,
+                  static_cast<unsigned long long>(s.alloc_count));
+    }
+  }
+
+  std::printf("\n--- Table II: bandwidth-region membership (alloc vs execution) ---\n");
+  std::printf("%-34s | alloc: %5s %5s %5s | exec: %5s %5s %5s\n", "site", "B_low", "B_mid",
+              "B_hi", "B_low", "B_mid", "B_hi");
+  for (const auto& s : result->analysis.sites) {
+    if (s.load_misses + s.store_misses < 1.0) continue;
+    bool a[3];
+    bool e[3];
+    region_flags(s.alloc_time_system_bw_gbs, peak, a);
+    region_flags(s.exec_time_system_bw_gbs, peak, e);
+    std::printf("%-34s |        %5s %5s %5s |       %5s %5s %5s\n", label_of(s).c_str(),
+                tf(a[0]), tf(a[1]), tf(a[2]), tf(e[0]), tf(e[1]), tf(e[2]));
+  }
+
+  std::printf("\n--- Table III: allocations per object and lifetime ---\n");
+  std::printf("%-34s %10s %14s\n", "site group", "allocs", "mean life(s)");
+  for (const auto& s : result->analysis.sites) {
+    if (s.load_misses + s.store_misses < 1.0) continue;
+    std::printf("%-34s %10llu %14.2f\n", label_of(s).c_str(),
+                static_cast<unsigned long long>(s.alloc_count), s.mean_lifetime_ns * 1e-9);
+  }
+  std::printf("\n(expected: single-allocation objects live ~the whole run and cross regions; "
+              "many-allocation objects live briefly inside their allocation region)\n");
+  return 0;
+}

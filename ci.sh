@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full verification pipeline: configure, build, test, run every
+# reproduction benchmark and all examples. Exits non-zero on any failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build -j"$(nproc)" --output-on-failure
+
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] && "$b"
+done
+
+build/examples/quickstart
+build/examples/custom_tiers
+build/examples/trace_inspector minife /tmp/ecohmem_ci.trc
+build/examples/placement_explorer lulesh 12
+build/examples/host_interposition
+
+build/tools/ecohmem-profile --app hpcg --out /tmp/ecohmem_ci2.trc --compact
+build/tools/ecohmem-advisor --trace /tmp/ecohmem_ci2.trc --out /tmp/ecohmem_ci_report.txt \
+  --bandwidth-aware --dump-sites --csv /tmp/ecohmem_ci_sites.csv
+build/tools/ecohmem-run --app hpcg --report /tmp/ecohmem_ci_report.txt
+echo "CI OK"

@@ -1,0 +1,112 @@
+#include "ecohmem/advisor/advisor_config.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace ecohmem::advisor {
+
+Expected<AdvisorConfig> AdvisorConfig::from_config(const Config& config) {
+  AdvisorConfig out;
+
+  if (const ConfigSection* adv = config.first_section("advisor")) {
+    auto mode = adv->get_string("footprint", "peak_live");
+    if (!mode) return unexpected(mode.error());
+    if (*mode == "peak_live") {
+      out.footprint_mode = FootprintMode::kPeakLive;
+    } else if (*mode == "max_size") {
+      out.footprint_mode = FootprintMode::kMaxSize;
+    } else {
+      return unexpected("[advisor] footprint must be peak_live or max_size, got '" + *mode + "'");
+    }
+  }
+
+  std::set<std::string> names;
+  std::size_t fallback_count = 0;
+  for (const ConfigSection* mem : config.sections_named("memory")) {
+    TierPolicy t;
+    auto name = mem->get_string("name");
+    if (!name || name->empty()) return unexpected("[memory] section without name");
+    t.name = *name;
+    if (!names.insert(t.name).second) return unexpected("duplicate [memory] name: " + t.name);
+
+    auto limit = mem->get_bytes("limit", 0);
+    if (!limit) return unexpected(limit.error());
+    if (*limit == 0) return unexpected("[memory] '" + t.name + "' needs a positive limit");
+    t.limit = *limit;
+
+    auto lc = mem->get_double("load_coef", 1.0);
+    auto sc = mem->get_double("store_coef", 0.0);
+    auto order = mem->get_double("order", 0.0);
+    auto fb = mem->get_bool("fallback", false);
+    if (!lc) return unexpected(lc.error());
+    if (!sc) return unexpected(sc.error());
+    if (!order) return unexpected(order.error());
+    if (!fb) return unexpected(fb.error());
+    t.load_coef = *lc;
+    t.store_coef = *sc;
+    t.order = static_cast<int>(*order);
+    t.fallback = *fb;
+    if (t.fallback) ++fallback_count;
+    out.tiers.push_back(std::move(t));
+  }
+
+  if (out.tiers.empty()) return unexpected("advisor config needs at least one [memory] section");
+  if (fallback_count != 1) return unexpected("advisor config needs exactly one fallback tier");
+
+  std::stable_sort(out.tiers.begin(), out.tiers.end(),
+                   [](const TierPolicy& a, const TierPolicy& b) { return a.order < b.order; });
+  return out;
+}
+
+AdvisorConfig AdvisorConfig::dram_pmem(Bytes dram_limit, double store_coef, Bytes pmem_limit) {
+  AdvisorConfig cfg;
+  TierPolicy dram;
+  dram.name = "dram";
+  dram.limit = dram_limit;
+  dram.load_coef = 1.0;
+  dram.store_coef = store_coef;
+  dram.order = 0;
+  TierPolicy pmem;
+  pmem.name = "pmem";
+  pmem.limit = pmem_limit;
+  pmem.load_coef = 1.0;
+  pmem.store_coef = store_coef;
+  pmem.order = 1;
+  pmem.fallback = true;
+  cfg.tiers = {std::move(dram), std::move(pmem)};
+  return cfg;
+}
+
+const TierPolicy* AdvisorConfig::find(std::string_view name) const {
+  for (const auto& t : tiers) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+const TierPolicy& AdvisorConfig::fallback_tier() const {
+  for (const auto& t : tiers) {
+    if (t.fallback) return t;
+  }
+  return tiers.back();
+}
+
+std::string AdvisorConfig::to_config_text() const {
+  std::ostringstream out;
+  out << "[advisor]\n"
+      << "footprint = "
+      << (footprint_mode == FootprintMode::kPeakLive ? "peak_live" : "max_size") << "\n";
+  for (const auto& t : tiers) {
+    out << "\n[memory]\n"
+        << "name = " << t.name << "\n"
+        << "limit = " << t.limit << "\n"
+        << "load_coef = " << t.load_coef << "\n"
+        << "store_coef = " << t.store_coef << "\n"
+        << "order = " << t.order << "\n";
+    if (t.fallback) out << "fallback = true\n";
+  }
+  return out.str();
+}
+
+}  // namespace ecohmem::advisor

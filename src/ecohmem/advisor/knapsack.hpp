@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file knapsack.hpp
+/// The base HMem Advisor algorithm (§IV-B):
+///
+/// "a greedy relaxation of the 0/1 multiple knapsack problem, where the
+///  memory objects have to be distributed among the available memory
+///  subsystems (the knapsacks) by solving a knapsack problem for each of
+///  them, in descending order of their provided performance. The memory
+///  objects' value is the ratio of cache misses divided by object size."
+///
+/// With the §V extension, the value is
+///   (C_load * llc_load_misses + C_store * store_misses) / size
+/// with per-tier coefficients C_load/C_store from the Advisor config.
+///
+/// Objects the greedy pass does not fit anywhere end up unlisted and fall
+/// back at runtime; the fallback tier's knapsack accepts everything that
+/// reaches it (its limit still bounds capacity accounting).
+
+#include <vector>
+
+#include "ecohmem/advisor/advisor_config.hpp"
+#include "ecohmem/advisor/placement.hpp"
+#include "ecohmem/analyzer/object_record.hpp"
+#include "ecohmem/common/expected.hpp"
+
+namespace ecohmem::advisor {
+
+/// Capacity charged for a site under the configured footprint mode.
+[[nodiscard]] Bytes site_footprint(const analyzer::SiteRecord& site, FootprintMode mode);
+
+/// Runs the greedy multiple-knapsack placement over the analyzed sites.
+/// Sites with zero misses are assigned to the fallback tier explicitly.
+[[nodiscard]] Expected<Placement> place_by_density(
+    const std::vector<analyzer::SiteRecord>& sites, const AdvisorConfig& config);
+
+/// Exact-DP variant of the same multiple-knapsack relaxation: each tier's
+/// knapsack is solved optimally (0/1 DP over a discretized capacity of at
+/// most `max_bins` bins; value = coefficient-weighted misses, weight =
+/// footprint) instead of greedily by density. Quantifies what the
+/// paper's greedy relaxation leaves on the table (bench_ablations).
+[[nodiscard]] Expected<Placement> place_exact_dp(
+    const std::vector<analyzer::SiteRecord>& sites, const AdvisorConfig& config,
+    std::size_t max_bins = 4096);
+
+}  // namespace ecohmem::advisor

@@ -1,0 +1,32 @@
+#include "ecohmem/advisor/placement.hpp"
+
+#include <unordered_map>
+
+namespace ecohmem::advisor {
+
+std::vector<PlacementMove> diff_placements(const Placement& before, const Placement& after) {
+  std::unordered_map<trace::StackId, const PlacementDecision*> old_of;
+  for (const auto& d : before.decisions) old_of.emplace(d.stack, &d);
+
+  std::vector<PlacementMove> moves;
+  std::unordered_map<trace::StackId, bool> seen;
+  for (const auto& d : after.decisions) {
+    seen.emplace(d.stack, true);
+    const auto it = old_of.find(d.stack);
+    const std::string& from = it != old_of.end() ? it->second->tier : before.fallback_tier;
+    if (from != d.tier) {
+      moves.push_back(PlacementMove{d.stack, d.callstack, from, d.tier, d.footprint});
+    }
+  }
+  // Sites that vanished from `after`: they now fall back.
+  for (const auto& d : before.decisions) {
+    if (seen.contains(d.stack)) continue;
+    if (d.tier != after.fallback_tier) {
+      moves.push_back(
+          PlacementMove{d.stack, d.callstack, d.tier, after.fallback_tier, d.footprint});
+    }
+  }
+  return moves;
+}
+
+}  // namespace ecohmem::advisor

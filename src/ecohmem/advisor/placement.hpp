@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file placement.hpp
+/// The Advisor's output: an object→tier map keyed by call stack.
+
+#include <string>
+#include <vector>
+
+#include "ecohmem/bom/frame.hpp"
+#include "ecohmem/common/units.hpp"
+#include "ecohmem/trace/events.hpp"
+
+namespace ecohmem::advisor {
+
+/// One placement decision for an allocation site.
+struct PlacementDecision {
+  trace::StackId stack = trace::kInvalidStack;  ///< id within the profiling trace
+  bom::CallStack callstack;                     ///< the matchable identity
+  std::string tier;                             ///< assigned memory subsystem
+  Bytes footprint = 0;                          ///< capacity charged by the Advisor
+  double density = 0.0;                         ///< value at decision time (diagnostics)
+};
+
+/// A full placement: decisions plus the fallback subsystem for unlisted
+/// objects (§IV-C).
+struct Placement {
+  std::vector<PlacementDecision> decisions;
+  std::string fallback_tier;
+
+  /// Tier assigned to `stack`, or the fallback if unlisted.
+  [[nodiscard]] const std::string& tier_of(trace::StackId stack) const {
+    for (const auto& d : decisions) {
+      if (d.stack == stack) return d.tier;
+    }
+    return fallback_tier;
+  }
+
+  /// Total footprint charged against `tier`.
+  [[nodiscard]] Bytes footprint_in(std::string_view tier) const {
+    Bytes total = 0;
+    for (const auto& d : decisions) {
+      if (d.tier == tier) total += d.footprint;
+    }
+    return total;
+  }
+};
+
+/// One site whose tier changed between two placements.
+struct PlacementMove {
+  trace::StackId stack = trace::kInvalidStack;
+  bom::CallStack callstack;
+  std::string from;
+  std::string to;
+  Bytes footprint = 0;
+};
+
+/// Differences `after` introduces relative to `before` (keyed by stack
+/// id; sites present in only one placement are reported against the
+/// other's fallback tier). Useful when comparing Advisor configurations
+/// or the base vs bandwidth-aware outputs.
+[[nodiscard]] std::vector<PlacementMove> diff_placements(const Placement& before,
+                                                         const Placement& after);
+
+}  // namespace ecohmem::advisor

@@ -1,0 +1,54 @@
+#include "ecohmem/advisor/report.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace ecohmem::advisor {
+
+std::string to_string(ReportFormat fmt) {
+  return fmt == ReportFormat::kBom ? "bom" : "human-readable";
+}
+
+Status write_report(std::ostream& out, const Placement& placement, ReportFormat format,
+                    const bom::ModuleTable& modules, const bom::SymbolTable* symbols) {
+  out << "# ecoHMEM placement report\n";
+  out << "# format = " << to_string(format) << "\n";
+  out << "# fallback = " << placement.fallback_tier << "\n";
+
+  for (const auto& d : placement.decisions) {
+    std::string stack_text;
+    if (format == ReportFormat::kBom) {
+      stack_text = bom::format_bom(d.callstack, modules);
+    } else {
+      if (symbols == nullptr) {
+        return unexpected("human-readable report requires a symbol table");
+      }
+      auto hr = symbols->translate(d.callstack);
+      if (!hr) return unexpected("cannot symbolize call stack: " + hr.error());
+      stack_text = bom::format_human(*hr);
+    }
+    out << stack_text << " @ " << d.tier << " # size=" << d.footprint << "\n";
+  }
+  if (!out.good()) return unexpected("report write failed (I/O error)");
+  return {};
+}
+
+Expected<std::string> report_to_string(const Placement& placement, ReportFormat format,
+                                       const bom::ModuleTable& modules,
+                                       const bom::SymbolTable* symbols) {
+  std::ostringstream out;
+  if (Status s = write_report(out, placement, format, modules, symbols); !s) {
+    return unexpected(s.error());
+  }
+  return out.str();
+}
+
+Status save_report(const std::string& path, const Placement& placement, ReportFormat format,
+                   const bom::ModuleTable& modules, const bom::SymbolTable* symbols) {
+  std::ofstream out(path);
+  if (!out) return unexpected("cannot open report for writing: " + path);
+  return write_report(out, placement, format, modules, symbols);
+}
+
+}  // namespace ecohmem::advisor

@@ -1,0 +1,223 @@
+#include "ecohmem/analyzer/aggregator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace ecohmem::analyzer {
+
+namespace {
+
+/// A live allocation during replay.
+struct LiveObject {
+  std::uint64_t address = 0;
+  Bytes size = 0;
+  trace::StackId stack = trace::kInvalidStack;
+  Ns alloc_time = 0;
+};
+
+/// Accumulator per allocation site during replay.
+struct SiteAccum {
+  SiteRecord record;
+  Bytes live_bytes = 0;
+  double latency_weight = 0.0;  ///< weights of latency-carrying samples
+  double latency_sum = 0.0;     ///< weight * latency
+  double alloc_bw_sum = 0.0;    ///< per-allocation system bw, summed
+};
+
+struct FunctionAccum {
+  double samples = 0.0;
+  double latency_sum = 0.0;
+};
+
+}  // namespace
+
+BandwidthRegion classify_region(double bw_gbs, double peak_gbs) {
+  const double frac = peak_gbs > 0.0 ? bw_gbs / peak_gbs : 0.0;
+  if (frac < 0.20) return BandwidthRegion::kLow;
+  if (frac <= 0.40) return BandwidthRegion::kMid;
+  return BandwidthRegion::kHigh;
+}
+
+std::string to_string(BandwidthRegion region) {
+  switch (region) {
+    case BandwidthRegion::kLow: return "B_low";
+    case BandwidthRegion::kMid: return "B_mid";
+    case BandwidthRegion::kHigh: return "B_high";
+  }
+  return "?";
+}
+
+Expected<AnalysisResult> analyze(const trace::Trace& trace, const AnalyzerOptions& options) {
+  AnalysisResult result;
+
+  // --- Pass 1: replay allocations, build the bandwidth timeline, and
+  // attribute samples to live objects via an ordered address map.
+  std::map<std::uint64_t, LiveObject> live;  // keyed by start address
+  std::unordered_map<std::uint64_t, std::uint64_t> object_address;  // id -> addr
+  std::unordered_map<trace::StackId, SiteAccum> sites;
+  std::unordered_map<std::uint32_t, FunctionAccum> functions;
+
+  memsim::BandwidthMeter bw_meter(1, options.bw_bin_ns);
+  Ns last_time = 0;
+
+  auto find_live = [&live](std::uint64_t addr) -> LiveObject* {
+    auto it = live.upper_bound(addr);
+    if (it == live.begin()) return nullptr;
+    --it;
+    LiveObject& obj = it->second;
+    if (addr >= obj.address && addr < obj.address + obj.size) return &obj;
+    return nullptr;
+  };
+
+  // Pre-scan the bandwidth timeline so the allocation-time bandwidth
+  // signal is available in trace order. Uncore readings (which see
+  // prefetch fills) are authoritative; traces without them fall back to
+  // reconstructing traffic from the PEBS samples.
+  bool has_uncore = false;
+  for (const auto& event : trace.events) {
+    if (std::holds_alternative<trace::UncoreBwEvent>(event)) {
+      has_uncore = true;
+      break;
+    }
+  }
+  for (const auto& event : trace.events) {
+    if (const auto* u = std::get_if<trace::UncoreBwEvent>(&event)) {
+      const Ns t0 = u->time > u->period_ns ? u->time - u->period_ns : 0;
+      bw_meter.add(0, t0, u->time,
+                   (u->read_gbs + u->write_gbs) * static_cast<double>(u->period_ns));
+    } else if (const auto* s = std::get_if<trace::SampleEvent>(&event)) {
+      if (!has_uncore) {
+        bw_meter.add(0, s->time, s->time + 1, s->weight * static_cast<double>(kCacheLine));
+      }
+    }
+    last_time = std::max(last_time, trace::event_time(event));
+  }
+  result.trace_end = last_time;
+
+  for (const auto& event : trace.events) {
+    if (const auto* a = std::get_if<trace::AllocEvent>(&event)) {
+      if (a->stack == trace::kInvalidStack || a->stack >= trace.stacks.size()) {
+        return unexpected("alloc event with invalid stack id");
+      }
+      live[a->address] = LiveObject{a->address, a->size, a->stack, a->time};
+      object_address[a->object_id] = a->address;
+
+      auto& acc = sites[a->stack];
+      if (acc.record.alloc_count == 0) {
+        acc.record.stack = a->stack;
+        acc.record.callstack = trace.stacks.stack(a->stack);
+        acc.record.first_alloc = a->time;
+      }
+      ++acc.record.alloc_count;
+      acc.record.max_size = std::max(acc.record.max_size, a->size);
+      acc.live_bytes += a->size;
+      acc.record.peak_live_bytes = std::max(acc.record.peak_live_bytes, acc.live_bytes);
+
+      const Ns w0 = a->time > options.alloc_window_ns ? a->time - options.alloc_window_ns / 2 : 0;
+      acc.alloc_bw_sum += bw_meter.average_gbs(0, w0, w0 + options.alloc_window_ns);
+    } else if (const auto* f = std::get_if<trace::FreeEvent>(&event)) {
+      const auto addr_it = object_address.find(f->object_id);
+      if (addr_it == object_address.end()) {
+        return unexpected("free event for unknown object id " + std::to_string(f->object_id));
+      }
+      const auto live_it = live.find(addr_it->second);
+      if (live_it == live.end()) {
+        return unexpected("double free of object id " + std::to_string(f->object_id));
+      }
+      const LiveObject& obj = live_it->second;
+      auto& acc = sites[obj.stack];
+      acc.live_bytes = acc.live_bytes >= obj.size ? acc.live_bytes - obj.size : 0;
+      acc.record.windows.push_back(LiveWindow{obj.alloc_time, f->time});
+      acc.record.last_free = std::max(acc.record.last_free, f->time);
+      acc.record.total_lifetime_ns +=
+          static_cast<double>(f->time > obj.alloc_time ? f->time - obj.alloc_time : 0);
+      live.erase(live_it);
+      object_address.erase(addr_it);
+    } else if (const auto* s = std::get_if<trace::SampleEvent>(&event)) {
+      LiveObject* obj = find_live(s->address);
+      auto& fn = functions[s->function_id];
+      if (!s->is_store) {
+        fn.samples += s->weight;
+        fn.latency_sum += s->weight * s->latency_ns;
+      }
+      if (obj == nullptr) {
+        result.unattributed_samples += s->weight;
+        continue;
+      }
+      auto& acc = sites[obj->stack];
+      if (s->is_store) {
+        acc.record.store_misses += s->weight;
+        acc.record.has_writes = true;
+      } else {
+        acc.record.load_misses += s->weight;
+        acc.latency_weight += s->weight;
+        acc.latency_sum += s->weight * s->latency_ns;
+      }
+    }
+    // Marker events only delimit functions; sample events carry their own
+    // function attribution, so no state is needed here.
+  }
+
+  // Objects still live at trace end: close their windows at last_time.
+  for (const auto& [addr, obj] : live) {
+    (void)addr;
+    auto& acc = sites[obj.stack];
+    acc.record.windows.push_back(LiveWindow{obj.alloc_time, last_time});
+    acc.record.last_free = std::max(acc.record.last_free, last_time);
+    acc.record.total_lifetime_ns +=
+        static_cast<double>(last_time > obj.alloc_time ? last_time - obj.alloc_time : 0);
+  }
+
+  // --- Pass 2: finalize per-site derived metrics.
+  result.system_bw = bw_meter.series(0);
+  result.observed_peak_bw_gbs = bw_meter.peak_gbs(0);
+
+  for (auto& [stack_id, acc] : sites) {
+    (void)stack_id;
+    SiteRecord& r = acc.record;
+    if (r.alloc_count > 0) {
+      r.mean_lifetime_ns = r.total_lifetime_ns / static_cast<double>(r.alloc_count);
+      r.alloc_time_system_bw_gbs = acc.alloc_bw_sum / static_cast<double>(r.alloc_count);
+    }
+    if (acc.latency_weight > 0.0) {
+      r.avg_load_latency_ns = acc.latency_sum / acc.latency_weight;
+    }
+    if (r.total_lifetime_ns > 0.0) {
+      r.exec_bw_gbs = (r.load_misses + r.store_misses) * static_cast<double>(kCacheLine) /
+                      r.total_lifetime_ns;
+    }
+    // Execution-time system bandwidth: average over the live windows.
+    double weighted = 0.0;
+    double total_dur = 0.0;
+    for (const auto& w : r.windows) {
+      const double dur = static_cast<double>(w.duration());
+      weighted += bw_meter.average_gbs(0, w.start, std::max(w.end, w.start + 1)) * dur;
+      total_dur += dur;
+    }
+    r.exec_time_system_bw_gbs = total_dur > 0.0 ? weighted / total_dur : 0.0;
+
+    std::sort(r.windows.begin(), r.windows.end(),
+              [](const LiveWindow& a, const LiveWindow& b) { return a.start < b.start; });
+    result.sites.push_back(std::move(r));
+  }
+
+  // Deterministic output order: by first allocation, then stack id.
+  std::sort(result.sites.begin(), result.sites.end(), [](const SiteRecord& a, const SiteRecord& b) {
+    return a.first_alloc != b.first_alloc ? a.first_alloc < b.first_alloc : a.stack < b.stack;
+  });
+
+  for (const auto& [fn_id, acc] : functions) {
+    FunctionProfile fp;
+    fp.name = fn_id < trace.functions.size() ? trace.functions.name(fn_id) : "?";
+    fp.load_samples = acc.samples;
+    fp.avg_load_latency_ns = acc.samples > 0.0 ? acc.latency_sum / acc.samples : 0.0;
+    result.functions.push_back(std::move(fp));
+  }
+  std::sort(result.functions.begin(), result.functions.end(),
+            [](const FunctionProfile& a, const FunctionProfile& b) { return a.name < b.name; });
+
+  return result;
+}
+
+}  // namespace ecohmem::analyzer

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file aggregator.hpp
+/// The Paramedir role: turn a raw trace into per-site records.
+///
+/// Steps:
+///  1. Replay allocation/free events to build live address intervals and
+///     per-site counts/footprints/lifetime windows.
+///  2. Attribute each PEBS sample to the object live at its data linear
+///     address (and to the enclosing function for Table VII).
+///  3. Reconstruct the system bandwidth timeline from sample weights and
+///     derive each site's allocation-time and execution-time bandwidth
+///     regions (Table II inputs for the bandwidth-aware algorithm).
+
+#include <vector>
+
+#include "ecohmem/analyzer/object_record.hpp"
+#include "ecohmem/common/expected.hpp"
+#include "ecohmem/memsim/bandwidth_meter.hpp"
+#include "ecohmem/trace/events.hpp"
+
+namespace ecohmem::analyzer {
+
+struct AnalyzerOptions {
+  /// Peak bandwidth of the PMem-eligible traffic, for region thresholds.
+  double peak_pmem_bw_gbs = 26.0;
+
+  /// Bin width of the reconstructed bandwidth timeline.
+  Ns bw_bin_ns = 10'000'000;  // 10 ms
+
+  /// Window around each allocation used for the allocation-time
+  /// bandwidth signal.
+  Ns alloc_window_ns = 50'000'000;  // 50 ms
+};
+
+struct AnalysisResult {
+  std::vector<SiteRecord> sites;
+  std::vector<memsim::BandwidthPoint> system_bw;  ///< reconstructed timeline
+  double observed_peak_bw_gbs = 0.0;
+  std::vector<FunctionProfile> functions;
+  Ns trace_end = 0;
+
+  /// Total weighted samples that hit no live object (stack/static data or
+  /// attribution error); reported for diagnostics.
+  double unattributed_samples = 0.0;
+};
+
+/// Aggregates `trace` into per-site records. Fails on malformed traces
+/// (free of unknown object, unordered events beyond tolerance).
+[[nodiscard]] Expected<AnalysisResult> analyze(const trace::Trace& trace,
+                                               const AnalyzerOptions& options = {});
+
+}  // namespace ecohmem::analyzer

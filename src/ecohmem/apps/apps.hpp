@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file apps.hpp
+/// Synthetic workload models of the seven applications of Table V.
+///
+/// Each builder returns a `runtime::Workload` whose allocation structure
+/// and phase-level access behaviour are calibrated to the published
+/// characteristics (Table V footprints/ranks, Table VI memory-boundedness
+/// and memory-mode hit ratios) and to the qualitative descriptions in
+/// §VII-A and §VIII. They are *models*, not ports: what must be faithful
+/// is everything the placement methodology observes — allocation sites,
+/// call stacks, sizes, lifetimes, allocation counts, miss densities and
+/// bandwidth structure over time (see DESIGN.md §2).
+///
+/// Conventions: all byte/miss/cycle quantities are node-level aggregates
+/// across MPI ranks; `iterations` scales run length (and hence profile
+/// sample counts) without changing steady-state behaviour.
+
+#include "ecohmem/runtime/workload.hpp"
+
+namespace ecohmem::apps {
+
+struct AppOptions {
+  /// Main-loop iterations; 0 = the app's default.
+  int iterations = 0;
+
+  /// Linear scale on object sizes and traffic (1 = Table V config).
+  double scale = 1.0;
+};
+
+/// MiniFE 2.2.0, (400,400,400), 12 ranks x 2 threads, 23.9 GB.
+/// Unstructured implicit FE: CG solve over a huge streamed CSR matrix with
+/// latency-critical gather vectors. Memory mode suffers (39.9% hit).
+[[nodiscard]] runtime::Workload make_minife(const AppOptions& options = {});
+
+/// MiniMD 2.0, Lennard-Jones, 12 ranks x 2 threads, 26.4 GB.
+/// Compute-dominated MD; moderate memory-boundedness (41.5%).
+[[nodiscard]] runtime::Workload make_minimd(const AppOptions& options = {});
+
+/// LULESH 2.0.3, -p -i 10 -s 224, 8 ranks x 3 threads, 85 GB.
+/// Recurring phases with long-lived element arrays and short-lived
+/// high-bandwidth temporaries — the §VII-A case study (Figs. 3-5,
+/// Tables II/III).
+[[nodiscard]] runtime::Workload make_lulesh(const AppOptions& options = {});
+
+/// HPCG 3.1, (192,192,192), 6 ranks x 4 threads, 38.5 GB.
+/// Multigrid preconditioned CG; strongly memory bound (80.5%).
+[[nodiscard]] runtime::Workload make_hpcg(const AppOptions& options = {});
+
+/// CloverLeaf3D 1.2b, (512,512,512), 24 ranks x 1 thread, 35.2 GB.
+/// Store-heavy structured hydrodynamics; the app where the Loads+stores
+/// heuristic matters most (§VIII-A).
+[[nodiscard]] runtime::Workload make_cloverleaf3d(const AppOptions& options = {});
+
+/// LAMMPS stable_Oct20, rhodo.scaled, 12 ranks x 2 threads, 50.9 GB.
+/// Cache-resident compute with latency-sensitive MPI communication
+/// buffers; the least memory-bound case (§VIII-C).
+[[nodiscard]] runtime::Workload make_lammps(const AppOptions& options = {});
+
+/// OpenFOAM v1906, 3D depth charge (240,480,240), 16 ranks, 53.8 GB.
+/// Complex production CFD with bandwidth demand varying across the run —
+/// the case where the base algorithm fails (2x slowdown) and the
+/// bandwidth-aware algorithm wins (§VIII-C, Table VIII, Fig. 7).
+[[nodiscard]] runtime::Workload make_openfoam(const AppOptions& options = {});
+
+/// All seven, keyed by the names used in the benchmark tables.
+[[nodiscard]] runtime::Workload make_app(const std::string& name,
+                                         const AppOptions& options = {});
+
+/// Names accepted by `make_app`.
+[[nodiscard]] std::vector<std::string> app_names();
+
+}  // namespace ecohmem::apps

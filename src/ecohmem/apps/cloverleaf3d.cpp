@@ -1,0 +1,162 @@
+#include "ecohmem/apps/apps.hpp"
+
+namespace ecohmem::apps {
+
+using runtime::AccessPattern;
+using runtime::KernelAccess;
+using runtime::WorkloadBuilder;
+
+namespace {
+
+/// Per-iteration sweep intensities of one kernel over one field group.
+struct GroupSweeps {
+  double reads = 0.0;        ///< full-array read sweeps
+  double writes = 0.0;       ///< full-array write sweeps (memory traffic)
+  double store_instr = 0.0;  ///< full-array store-instruction sweeps
+};
+
+}  // namespace
+
+/// CloverLeaf3D model: structured Lagrangian-Eulerian hydrodynamics,
+/// 93.5% memory bound (Table VI), and the showcase for the Loads+stores
+/// heuristic (§V / §VIII-A).
+///
+/// Field taxonomy:
+///   - 6 read-mostly *state* fields (density, energy, pressure, ...):
+///     stencil reads with moderate prefetch coverage -> the demand-miss
+///     density leader; the Loads-only Advisor fills DRAM with these.
+///   - 3 velocity fields: read-heavy, some writes.
+///   - 7 *work arrays*: written with 2 full sweeps per iteration but read
+///     sparsely — nearly invisible to a loads-only heuristic, yet they
+///     dominate PMem write-bandwidth pain. The ALL_STORES channel makes
+///     them rank first, and with Loads+stores the Advisor fits
+///     work + state + comm into 12 GB — the extra ~19% of §VIII-A.
+///   - 2 flux fields + comm buffers.
+runtime::Workload make_cloverleaf3d(const AppOptions& options) {
+  const int iters = options.iterations > 0 ? options.iterations : 30;
+  const double s = options.scale;
+  const auto bytes = [s](double gib) { return static_cast<Bytes>(gib * s * 1024 * 1024 * 1024); };
+  const double gib = s * 1024.0 * 1024.0 * 1024.0;
+
+  WorkloadBuilder b("cloverleaf3d");
+  b.ranks(24).threads(1).mlp(12.0).static_footprint(bytes(0.6));
+
+  const auto exe = b.add_module("clover_leaf", 5ull * 1024 * 1024, 64ull * 1024 * 1024);
+
+  const char* state_names[6] = {"density", "energy", "pressure", "soundspeed", "viscosity",
+                                "volume"};
+  std::vector<std::size_t> state;
+  for (int i = 0; i < 6; ++i) {
+    const auto site = b.add_site(exe, std::string("build_field::") + state_names[i],
+                                 "src/build_field.f90", static_cast<std::uint32_t>(34 + i));
+    state.push_back(b.add_object(site, bytes(1.0), AccessPattern::kStrided, 0.1, 0.5, 0.35));
+  }
+  std::vector<std::size_t> vel;
+  for (int i = 0; i < 3; ++i) {
+    const auto site = b.add_site(exe, "build_field::vel" + std::to_string(i),
+                                 "src/build_field.f90", static_cast<std::uint32_t>(58 + i));
+    vel.push_back(b.add_object(site, bytes(2.4), AccessPattern::kStrided, 0.08, 0.62, 0.75));
+  }
+  std::vector<std::size_t> flux;
+  for (int i = 0; i < 2; ++i) {
+    const auto site = b.add_site(exe, "build_field::flux" + std::to_string(i),
+                                 "src/build_field.f90", static_cast<std::uint32_t>(77 + i));
+    flux.push_back(b.add_object(site, bytes(2.1), AccessPattern::kSequential, 0.03, 0.58, 0.85));
+  }
+  std::vector<std::size_t> work;
+  for (int i = 0; i < 7; ++i) {
+    const auto site = b.add_site(exe, "build_field::work_array" + std::to_string(i + 1),
+                                 "src/build_field.f90", static_cast<std::uint32_t>(96 + i));
+    work.push_back(b.add_object(site, bytes(0.75), AccessPattern::kSequential, 0.02, 0.58, 0.9));
+  }
+  const auto site_comm = b.add_site(exe, "clover_allocate_buffers", "src/clover.f90", 220);
+  const auto comm = b.add_object(site_comm, bytes(0.6), AccessPattern::kRandom, 0.3, 0.6, 0.15);
+  const auto site_misc = b.add_site(exe, "initialise_chunk::vertex", "src/initialise_chunk.f90",
+                                    41);
+  const auto misc = b.add_object(site_misc, bytes(3.0), AccessPattern::kSequential, 0.0, 0.6,
+                                 0.85);
+
+  // Helper: expand group sweeps into per-object accesses.
+  auto expand = [&b](const std::vector<std::size_t>& objs, double obj_gib, double scale_gib,
+                     GroupSweeps sw, std::vector<KernelAccess>& out) {
+    const double obj_bytes = obj_gib * scale_gib;
+    const double obj_lines = obj_bytes / 64.0;
+    for (const auto o : objs) {
+      KernelAccess a;
+      a.object = o;
+      a.llc_loads = sw.reads * obj_lines;
+      a.llc_stores = sw.writes * obj_lines;
+      a.store_instructions = sw.store_instr * obj_bytes / 8.0;
+      a.footprint = obj_bytes;
+      out.push_back(a);
+    }
+  };
+
+  struct KernelDef {
+    const char* name;
+    double instructions;
+    double compute_cycles;
+    GroupSweeps st, ve, fl, wo;
+    double comm_loads;  ///< demand-ish random loads on comm buffers
+    double comm_stores;
+  };
+  // Per-iteration totals: state R4.1/W0.2/SI0.5, vel R3.0/W0.5/SI0.5,
+  // flux R1.0/W0.4/SI0.4, work R0.8/W2.0/SI2.0.
+  const std::vector<KernelDef> defs = {
+      {"ideal_gas_kernel", 1.2e9, 7.0e7, {1.0, 0.05, 0.1}, {}, {}, {}, 0, 0},
+      {"viscosity_kernel", 1.5e9, 9.0e7, {0.75, 0, 0}, {0.5, 0, 0}, {}, {}, 0, 0},
+      {"calc_dt_kernel", 1.0e9, 6.0e7, {0.75, 0, 0}, {0.25, 0, 0}, {}, {}, 0, 0},
+      {"pdv_kernel", 1.6e9, 8.0e7, {0.75, 0.05, 0.1}, {0.25, 0, 0}, {}, {0.1, 0.3, 0.3}, 0, 0},
+      {"accelerate_kernel", 1.2e9, 6.0e7, {0.25, 0, 0}, {0.5, 0.15, 0.15}, {}, {}, 0, 0},
+      {"flux_calc_kernel", 1.0e9, 5.0e7, {}, {0.5, 0, 0}, {0.3, 0.25, 0.25}, {}, 0, 0},
+      {"advec_cell_kernel", 2.2e9, 1.1e8, {0.25, 0.05, 0.15}, {}, {0.4, 0.1, 0.1},
+       {0.3, 1.3, 1.3}, 0, 0},
+      {"advec_mom_kernel", 2.0e9, 1.0e8, {}, {0.75, 0.2, 0.2}, {0.3, 0.05, 0.05},
+       {0.3, 0.9, 0.9}, 0, 0},
+      {"reset_field_kernel", 8.0e8, 4.0e7, {0.25, 0.05, 0.15}, {0.25, 0.15, 0.15}, {},
+       {0.1, 0.1, 0.1}, 0, 0},
+      {"update_halo_kernel", 4.0e8, 3.0e7, {0.1, 0, 0}, {}, {}, {}, 6.0e6, 3.0e6},
+      {"clover_pack_message_top", 2.0e8, 2.0e7, {0.05, 0, 0}, {}, {}, {}, 5.0e6, 2.5e6},
+      {"clover_pack_message_front", 2.0e8, 2.0e7, {}, {0.05, 0, 0}, {}, {}, 5.0e6, 2.5e6},
+      {"clover_pack_message_right", 2.0e8, 2.0e7, {}, {}, {}, {0.05, 0, 0}, 5.0e6, 2.5e6},
+  };
+
+  std::vector<std::size_t> kernel_ids;
+  for (const auto& d : defs) {
+    std::vector<KernelAccess> acc;
+    if (d.st.reads + d.st.writes + d.st.store_instr > 0) expand(state, 1.0, gib, d.st, acc);
+    if (d.ve.reads + d.ve.writes + d.ve.store_instr > 0) expand(vel, 2.4, gib, d.ve, acc);
+    if (d.fl.reads + d.fl.writes + d.fl.store_instr > 0) expand(flux, 2.1, gib, d.fl, acc);
+    if (d.wo.reads + d.wo.writes + d.wo.store_instr > 0) expand(work, 0.75, gib, d.wo, acc);
+    if (d.comm_loads > 0) {
+      acc.push_back(KernelAccess{comm, d.comm_loads * s, d.comm_stores * s, 0.6 * gib,
+                                 d.comm_stores * s * 8.0});
+    }
+    kernel_ids.push_back(b.add_kernel(d.name, d.instructions, d.compute_cycles, std::move(acc)));
+  }
+
+  // Setup sweep over the (otherwise idle) vertex buffer.
+  const auto k_setup = b.add_kernel(
+      "initialise_chunk", 4.0e9, 2.0e9,
+      {KernelAccess{misc, 3.0 * gib / 64.0, 3.0 * gib / 64.0, 3.0 * gib, 3.0 * gib / 8.0}});
+
+  b.alloc(misc);
+  for (const auto o : state) b.alloc(o);
+  for (const auto o : vel) b.alloc(o);
+  for (const auto o : flux) b.alloc(o);
+  for (const auto o : work) b.alloc(o);
+  b.alloc(comm);
+  b.run_kernel(k_setup);
+  for (int i = 0; i < iters; ++i) {
+    for (const std::size_t k : kernel_ids) b.run_kernel(k);
+  }
+  b.free(comm);
+  for (const auto o : work) b.free(o);
+  for (const auto o : flux) b.free(o);
+  for (const auto o : vel) b.free(o);
+  for (const auto o : state) b.free(o);
+  b.free(misc);
+  return b.build();
+}
+
+}  // namespace ecohmem::apps

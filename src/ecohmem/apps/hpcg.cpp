@@ -1,0 +1,104 @@
+#include "ecohmem/apps/apps.hpp"
+
+namespace ecohmem::apps {
+
+using runtime::AccessPattern;
+using runtime::KernelAccess;
+using runtime::WorkloadBuilder;
+
+/// HPCG model: multigrid-preconditioned CG.
+///
+/// Four grid levels; each level owns a streamed matrix and gather-heavy
+/// SYMGS sweeps (symmetric Gauss-Seidel has loop-carried dependencies, so
+/// its misses are prefetch-hostile and latency-critical). The coarse-level
+/// matrices and the solver vectors are small enough that even a 4 GB DRAM
+/// budget covers most demand misses — reproducing the paper's "significant
+/// performance improvement even when reducing our DRAM limit to 4 GB"
+/// alongside MiniFE. Strongly memory bound (80.5%), mediocre memory-mode
+/// hit ratio (54.4%).
+runtime::Workload make_hpcg(const AppOptions& options) {
+  const int iters = options.iterations > 0 ? options.iterations : 50;
+  const double s = options.scale;
+  const auto bytes = [s](double gib) { return static_cast<Bytes>(gib * s * 1024 * 1024 * 1024); };
+  const double gib = s * 1024.0 * 1024.0 * 1024.0;
+  const double lines = gib / 64.0;
+
+  WorkloadBuilder b("hpcg");
+  b.ranks(6).threads(4).mlp(8.0).static_footprint(bytes(0.7));
+
+  const auto exe = b.add_module("xhpcg", 4ull * 1024 * 1024, 48ull * 1024 * 1024);
+
+  const auto site_a0 = b.add_site(exe, "GenerateProblem::A", "src/GenerateProblem.cpp", 153);
+  const auto site_a1 = b.add_site(exe, "GenerateCoarseProblem::Ac1", "src/GenerateCoarseProblem.cpp", 70);
+  const auto site_a2 = b.add_site(exe, "GenerateCoarseProblem::Ac2", "src/GenerateCoarseProblem.cpp", 70, 4);
+  const auto site_a3 = b.add_site(exe, "GenerateCoarseProblem::Ac3", "src/GenerateCoarseProblem.cpp", 70, 5);
+  std::vector<std::size_t> site_vec;
+  for (int i = 0; i < 3; ++i) {
+    site_vec.push_back(b.add_site(exe, "InitializeVector::values#" + std::to_string(i),
+                                  "src/Vector.hpp", static_cast<std::uint32_t>(55 + i)));
+  }
+  const auto site_aux = b.add_site(exe, "SetupHalo::buffers", "src/SetupHalo.cpp", 92);
+
+  // Matrices: ~30 GB total; vectors ~5.6 GB; halo buffers small.
+  const auto a0 = b.add_object(site_a0, bytes(26.0), AccessPattern::kSequential, 0.0, 0.62, 0.93);
+  const auto a1 = b.add_object(site_a1, bytes(3.2), AccessPattern::kSequential, 0.05, 0.5, 0.85);
+  const auto a2 = b.add_object(site_a2, bytes(0.5), AccessPattern::kSequential, 0.1, 0.4, 0.8);
+  const auto a3 = b.add_object(site_a3, bytes(0.1), AccessPattern::kSequential, 0.2, 0.5, 0.8);
+  std::vector<std::size_t> vecs;
+  for (std::size_t i = 0; i < 3; ++i) {
+    vecs.push_back(
+        b.add_object(site_vec[i], bytes(1.9), AccessPattern::kRandom, 0.25, 0.6, 0.08));
+  }
+  const auto halo = b.add_object(site_aux, bytes(0.4), AccessPattern::kStrided, 0.3, 0.5, 0.3);
+
+  const std::size_t k_setup = b.add_kernel(
+      "GenerateProblem", 5.0e9, 2.0e9,
+      {KernelAccess{a0, 13.0 * lines, 26.0 * lines, 26.0 * gib},
+       KernelAccess{a1, 1.6 * lines, 3.2 * lines, 3.2 * gib},
+       KernelAccess{a2, 0.25 * lines, 0.5 * lines, 0.5 * gib},
+       KernelAccess{a3, 0.05 * lines, 0.1 * lines, 0.1 * gib}});
+
+  const std::size_t k_spmv = b.add_kernel(
+      "ComputeSPMV", 3.5e9, 5.0e7,
+      {KernelAccess{a0, 26.0 * lines, 0.0, 26.0 * gib},
+       KernelAccess{vecs[0], 1.5e7 * s, 0.2 * lines, 1.9 * gib},
+       KernelAccess{vecs[1], 1.5e7 * s, 0.2 * lines, 1.9 * gib},
+       KernelAccess{vecs[2], 0.5e7 * s, 0.1 * lines, 1.9 * gib}});
+
+  // SYMGS: forward+backward sweeps over all levels; latency bound.
+  const std::size_t k_symgs = b.add_kernel(
+      "ComputeSYMGS", 5.0e9, 8.0e7,
+      {KernelAccess{a0, 2.0 * 26.0 * lines, 0.0, 26.0 * gib},
+       KernelAccess{a1, 2.0 * 3.2 * lines, 0.0, 3.2 * gib},
+       KernelAccess{a2, 2.0 * 0.5 * lines, 0.0, 0.5 * gib},
+       KernelAccess{a3, 2.0 * 0.1 * lines, 0.0, 0.1 * gib},
+       KernelAccess{vecs[0], 5.5e7 * s, 0.5 * lines, 1.9 * gib},
+       KernelAccess{vecs[1], 5.0e7 * s, 0.5 * lines, 1.9 * gib},
+       KernelAccess{vecs[2], 2.0e7 * s, 0.5 * lines, 1.9 * gib}});
+
+  const std::size_t k_dot_axpy = b.add_kernel(
+      "ComputeDotProduct_WAXPBY", 8.0e8, 2.0e7,
+      {KernelAccess{vecs[0], 1.4 * lines, 0.7 * lines, 1.9 * gib},
+       KernelAccess{vecs[1], 1.4 * lines, 0.7 * lines, 1.9 * gib},
+       KernelAccess{vecs[2], 1.2 * lines, 0.6 * lines, 1.9 * gib}});
+
+  const std::size_t k_halo = b.add_kernel(
+      "ExchangeHalo", 1.0e8, 1.0e7,
+      {KernelAccess{halo, 0.8 * lines, 0.4 * lines, 0.4 * gib}});
+
+  b.alloc(a0).alloc(a1).alloc(a2).alloc(a3);
+  b.run_kernel(k_setup);
+  for (const auto v : vecs) b.alloc(v);
+  b.alloc(halo);
+  for (int i = 0; i < iters; ++i) {
+    b.run_kernel(k_halo);
+    b.run_kernel(k_spmv);
+    b.run_kernel(k_symgs);
+    b.run_kernel(k_dot_axpy);
+  }
+  for (const auto v : vecs) b.free(v);
+  b.free(halo).free(a0).free(a1).free(a2).free(a3);
+  return b.build();
+}
+
+}  // namespace ecohmem::apps

@@ -1,0 +1,112 @@
+#include "ecohmem/apps/apps.hpp"
+
+namespace ecohmem::apps {
+
+using runtime::AccessPattern;
+using runtime::KernelAccess;
+using runtime::WorkloadBuilder;
+
+/// LAMMPS model (rhodo.scaled): the least memory-bound case (§VIII-C).
+///
+/// The bulk of each iteration is arithmetic on per-atom tiles that stay
+/// cache resident ("most of the working set fits into L2"): kernels touch
+/// only small hot footprints, so demand misses are few (Table VI: 29.2%
+/// memory bound, 63.5% memory-mode hit ratio).
+///
+/// The pain point the paper identifies is the MPI communication phase:
+/// its buffers are reallocated every exchange *through varying call
+/// paths* inside the MPI stack, so each allocation shows up as a distinct
+/// low-sample site that the Advisor cannot rank (and whose stack does not
+/// match at production time). They fall back to PMem, delaying the
+/// latency-critical communication — the <4% slowdown of Table VIII,
+/// for the base and bandwidth-aware algorithms alike.
+runtime::Workload make_lammps(const AppOptions& options) {
+  const int iters = options.iterations > 0 ? options.iterations : 25;
+  const double s = options.scale;
+  const auto bytes = [s](double gib) { return static_cast<Bytes>(gib * s * 1024 * 1024 * 1024); };
+  const double gib = s * 1024.0 * 1024.0 * 1024.0;
+  const double lines = gib / 64.0;
+
+  WorkloadBuilder b("lammps");
+  b.ranks(12).threads(2).mlp(8.0).static_footprint(bytes(1.0));
+
+  const auto exe = b.add_module("lmp_intel", 48ull * 1024 * 1024, 400ull * 1024 * 1024);
+  const auto mpi = b.add_module("libmpi.so.12", 3ull * 1024 * 1024, 24ull * 1024 * 1024);
+
+  const auto site_atoms = b.add_site(exe, "Atom::grow", "src/atom.cpp", 512);
+  const auto site_neigh = b.add_site(exe, "Neighbor::build", "src/neighbor.cpp", 1188);
+  const auto site_bonded = b.add_site(exe, "Force::bonded_tables", "src/force.cpp", 333);
+  const auto site_kspace = b.add_site(exe, "PPPM::grids", "src/pppm.cpp", 702);
+
+  const auto atoms = b.add_object(site_atoms, bytes(9.0), AccessPattern::kStrided, 0.8, 0.75,
+                                  0.55);
+  const auto neigh = b.add_object(site_neigh, bytes(30.0), AccessPattern::kSequential, 0.1, 0.68,
+                                  0.9);
+  const auto bonded = b.add_object(site_bonded, bytes(4.0), AccessPattern::kRandom, 0.8, 0.75,
+                                   0.2);
+  const auto kspace = b.add_object(site_kspace, bytes(6.0), AccessPattern::kStrided, 0.6, 0.7,
+                                   0.5);
+
+  // One comm buffer per iteration, each allocated through a different
+  // call path (varying depth inside libmpi), so no two allocations share
+  // a call stack.
+  std::vector<std::size_t> comm;
+  comm.reserve(static_cast<std::size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    const auto site = b.add_site(mpi, "Comm::borders_buffer@" + std::to_string(i),
+                                 "src/comm.cpp", static_cast<std::uint32_t>(941 + i),
+                                 3 + static_cast<std::size_t>(i % 4));
+    comm.push_back(
+        b.add_object(site, bytes(0.9), AccessPattern::kRandom, 0.15, 0.7, 0.05));
+  }
+
+  // Compute kernels: large instruction counts, small hot footprints that
+  // stay LLC resident.
+  const std::size_t k_pair = b.add_kernel(
+      "PairLJCharmmCoulLong::compute", 6.0e10, 2.0e10,
+      {KernelAccess{atoms, 2.0 * lines, 1.0 * lines, 1.5 * gib},
+       KernelAccess{neigh, 15.0 * lines, 0.0, 30.0 * gib},
+       KernelAccess{bonded, 5.0e6 * s, 0.0, 0.2 * gib}});
+
+  const std::size_t k_bond = b.add_kernel(
+      "Bond_Angle_Dihedral::compute", 1.5e10, 5.0e9,
+      {KernelAccess{atoms, 1.0 * lines, 0.5 * lines, 1.0 * gib},
+       KernelAccess{bonded, 4.0e6 * s, 0.0, 0.2 * gib}});
+
+  const std::size_t k_kspace = b.add_kernel(
+      "PPPM::compute", 1.8e10, 6.0e9,
+      {KernelAccess{kspace, 4.0 * lines, 2.0 * lines, 1.2 * gib},
+       KernelAccess{atoms, 1.0 * lines, 0.0, 1.0 * gib}});
+
+  const std::size_t k_rebuild = b.add_kernel(
+      "Neighbor::rebuild", 8.0e9, 2.5e9,
+      {KernelAccess{neigh, 7.5 * lines, 15.0 * lines, 30.0 * gib},
+       KernelAccess{atoms, 8.0e6 * s, 0.0, 1.5 * gib}});
+
+  // Communication phases: latency-critical random access to the
+  // per-iteration buffer.
+  std::vector<std::size_t> k_comm;
+  k_comm.reserve(comm.size());
+  for (int i = 0; i < iters; ++i) {
+    k_comm.push_back(b.add_kernel(
+        "Comm::forward_comm", 2.0e9, 5.0e8,
+        {KernelAccess{comm[static_cast<std::size_t>(i)], 1.2e8 * s, 1.0e7 * s, 0.9 * gib},
+         KernelAccess{atoms, 0.2 * lines, 0.2 * lines, 0.5 * gib}}));
+  }
+
+  b.alloc(atoms).alloc(neigh).alloc(bonded).alloc(kspace);
+  for (int i = 0; i < iters; ++i) {
+    const auto ci = static_cast<std::size_t>(i);
+    b.alloc(comm[ci]);
+    b.run_kernel(k_comm[ci]);
+    if (i % 5 == 0) b.run_kernel(k_rebuild);
+    b.run_kernel(k_pair);
+    b.run_kernel(k_bond);
+    b.run_kernel(k_kspace);
+    b.free(comm[ci]);
+  }
+  b.free(atoms).free(neigh).free(bonded).free(kspace);
+  return b.build();
+}
+
+}  // namespace ecohmem::apps

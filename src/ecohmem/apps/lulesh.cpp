@@ -1,0 +1,139 @@
+#include "ecohmem/apps/apps.hpp"
+
+namespace ecohmem::apps {
+
+using runtime::AccessPattern;
+using runtime::KernelAccess;
+using runtime::WorkloadBuilder;
+
+/// LULESH model: Lagrangian shock hydrodynamics with the recurring-phase
+/// structure analyzed in §VII-A (Figs. 3-5, Tables II/III).
+///
+/// Per phase (one per main-loop iteration here):
+///   1. a long low-bandwidth stretch where nodal arrays are accessed with
+///      latency-critical gathers,
+///   2. a high-bandwidth region at whose start a set of short-lived
+///      streaming temporaries is allocated (Fig. 3: "most of the large
+///      allocations occur at the start of the phase"); the temporaries
+///      are freed when the region ends.
+///
+/// Object taxonomy against Table IV:
+///   - persistent nodal/element arrays: 1 allocation during the
+///     (quiet) initialization -> *Fitting* when in DRAM;
+///   - a read-only gather scratch reallocated every phase in the
+///     low-bandwidth stretch -> *Streaming-D* when in DRAM;
+///   - the high-bandwidth temporaries: one allocation per phase
+///     (> T_ALLOC), allocated while bandwidth is high, prefetch-friendly
+///     streams whose demand-miss *density* is unremarkable -> the base
+///     algorithm leaves them in PMem, where they pay loaded PMem latency
+///     and bandwidth; they are the *Thrashing* set Algorithm 1 rescues.
+runtime::Workload make_lulesh(const AppOptions& options) {
+  const int phases = options.iterations > 0 ? options.iterations : 20;
+  const double s = options.scale;
+  const auto bytes = [s](double gib) { return static_cast<Bytes>(gib * s * 1024 * 1024 * 1024); };
+  const double gib = s * 1024.0 * 1024.0 * 1024.0;
+  const double lines = gib / 64.0;
+
+  WorkloadBuilder b("lulesh");
+  b.ranks(8).threads(3).mlp(9.0).static_footprint(bytes(0.9));
+
+  const auto exe = b.add_module("lulesh2.0", 7ull * 1024 * 1024, 90ull * 1024 * 1024);
+
+  // Persistent arrays: 4 hot nodal sites (random gathers) + 4 warm
+  // element sites (strided) + 10 cold element streams (the bulk of the
+  // 85 GB footprint).
+  std::vector<std::size_t> nodal;
+  for (int i = 0; i < 4; ++i) {
+    const auto site = b.add_site(exe, "AllocateNodalPersistent#" + std::to_string(i),
+                                 "lulesh.cc", static_cast<std::uint32_t>(190 + i));
+    nodal.push_back(
+        b.add_object(site, bytes(1.2), AccessPattern::kRandom, 0.35, 0.7, 0.05));
+  }
+  std::vector<std::size_t> warm;
+  for (int i = 0; i < 4; ++i) {
+    const auto site = b.add_site(exe, "AllocateElemPersistent#" + std::to_string(i),
+                                 "lulesh.cc", static_cast<std::uint32_t>(230 + i));
+    warm.push_back(
+        b.add_object(site, bytes(1.5), AccessPattern::kStrided, 0.25, 0.7, 0.3));
+  }
+  std::vector<std::size_t> cold;
+  for (int i = 0; i < 10; ++i) {
+    const auto site = b.add_site(exe, "AllocateElemStream#" + std::to_string(i),
+                                 "lulesh.cc", static_cast<std::uint32_t>(280 + i));
+    cold.push_back(
+        b.add_object(site, bytes(6.3), AccessPattern::kSequential, 0.0, 0.75, 0.9));
+  }
+
+  // Streaming-D candidate: read-only scratch, reallocated every phase in
+  // the low-bandwidth stretch; dense enough for the base algorithm to
+  // put it in DRAM.
+  const auto site_idx = b.add_site(exe, "CalcElemShape::scratch", "lulesh.cc", 612);
+  const auto idx_scratch =
+      b.add_object(site_idx, bytes(0.75), AccessPattern::kStrided, 0.3, 0.6, 0.3);
+
+  // The Thrashing set: 12 short-lived streaming temporaries.
+  std::vector<std::size_t> temps;
+  for (int i = 0; i < 12; ++i) {
+    const auto site = b.add_site(exe, "AllocateGradients#" + std::to_string(i),
+                                 "lulesh.cc", static_cast<std::uint32_t>(1480 + i));
+    temps.push_back(
+        b.add_object(site, bytes(0.9), AccessPattern::kSequential, 0.05, 0.8, 0.97));
+  }
+
+  // ---- Kernels.
+  // Initialization: compute/IO only, so persistent allocations sit in a
+  // quiet bandwidth region (their Fitting signature).
+  const auto k_init = b.add_kernel("InitMeshDecomp", 8.0e9, 4.0e9, {});
+
+  // Low-bandwidth stretch: nodal gathers + warm element access.
+  std::vector<KernelAccess> low_acc;
+  for (const auto o : nodal) low_acc.push_back(KernelAccess{o, 1.4e7 * s, 0.2 * lines, 1.2 * gib, 1.0e8 * s});
+  for (const auto o : warm) low_acc.push_back(KernelAccess{o, 0.8 * lines, 0.2 * lines, 1.5 * gib, 1.5 * gib / 8.0});
+  low_acc.push_back(KernelAccess{idx_scratch, 0.7 * lines, 0.0, 0.75 * gib});
+  const auto k_low = b.add_kernel("LagrangeNodal", 1.6e10, 5.0e9, low_acc);
+
+  // High-bandwidth region part 1: element streams only (bandwidth ramps
+  // up before the temporaries exist, as in Fig. 3).
+  std::vector<KernelAccess> hi1_acc;
+  for (const auto o : cold) hi1_acc.push_back(KernelAccess{o, 1.8 * lines, 0.2 * lines, 6.3 * gib});
+  const auto k_hi1 = b.add_kernel("CalcKinematicsForElems", 6.0e9, 1.2e9, hi1_acc);
+
+  // High-bandwidth region part 2: temporaries dominate.
+  std::vector<KernelAccess> hi2_acc;
+  for (const auto o : temps) hi2_acc.push_back(KernelAccess{o, 3.5 * lines, 0.8 * lines, 0.9 * gib});
+  for (const auto o : cold) hi2_acc.push_back(KernelAccess{o, 0.2 * lines, 0.05 * lines, 6.3 * gib});
+  const auto k_hi2 = b.add_kernel("CalcQForElems", 8.0e9, 1.5e9, hi2_acc);
+
+  std::vector<KernelAccess> hi3_acc;
+  for (const auto o : temps) hi3_acc.push_back(KernelAccess{o, 4.5 * lines, 0.0, 0.9 * gib});
+  for (const auto o : nodal) hi3_acc.push_back(KernelAccess{o, 0.2e7 * s, 0.3 * lines, 1.2 * gib});
+  const auto k_hi3 = b.add_kernel("CalcHourglassControlForElems", 7.0e9, 1.4e9, hi3_acc);
+
+  // Tail of the phase: small working set, bandwidth dies down.
+  std::vector<KernelAccess> tail_acc;
+  for (const auto o : warm) tail_acc.push_back(KernelAccess{o, 0.3 * lines, 0.2 * lines, 1.5 * gib});
+  const auto k_tail = b.add_kernel("UpdateVolumesForElems", 3.0e9, 1.0e9, tail_acc);
+
+  // ---- Steps.
+  for (const auto o : nodal) b.alloc(o);
+  for (const auto o : warm) b.alloc(o);
+  for (const auto o : cold) b.alloc(o);
+  b.run_kernel(k_init);
+  for (int p = 0; p < phases; ++p) {
+    b.alloc(idx_scratch);
+    b.run_kernel(k_low);
+    b.free(idx_scratch);
+    b.run_kernel(k_hi1);
+    for (const auto o : temps) b.alloc(o);  // allocated as bandwidth peaks
+    b.run_kernel(k_hi2);
+    b.run_kernel(k_hi3);
+    for (const auto o : temps) b.free(o);
+    b.run_kernel(k_tail);
+  }
+  for (const auto o : nodal) b.free(o);
+  for (const auto o : warm) b.free(o);
+  for (const auto o : cold) b.free(o);
+  return b.build();
+}
+
+}  // namespace ecohmem::apps

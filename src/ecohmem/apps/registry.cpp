@@ -1,0 +1,22 @@
+#include "ecohmem/apps/apps.hpp"
+
+#include <stdexcept>
+
+namespace ecohmem::apps {
+
+runtime::Workload make_app(const std::string& name, const AppOptions& options) {
+  if (name == "minife") return make_minife(options);
+  if (name == "minimd") return make_minimd(options);
+  if (name == "lulesh") return make_lulesh(options);
+  if (name == "hpcg") return make_hpcg(options);
+  if (name == "cloverleaf3d") return make_cloverleaf3d(options);
+  if (name == "lammps") return make_lammps(options);
+  if (name == "openfoam") return make_openfoam(options);
+  throw std::invalid_argument("unknown application model: " + name);
+}
+
+std::vector<std::string> app_names() {
+  return {"minife", "minimd", "lulesh", "hpcg", "cloverleaf3d", "lammps", "openfoam"};
+}
+
+}  // namespace ecohmem::apps

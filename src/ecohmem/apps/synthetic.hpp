@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file synthetic.hpp
+/// Randomized-but-valid workload generation for property testing and
+/// stress benchmarks: arbitrary (seeded) site populations, object sizes,
+/// lifetime structures and kernel access mixes, always satisfying the
+/// step-list invariants the builder enforces.
+///
+/// The workflow must behave sensibly on *any* such workload: never crash,
+/// never overcommit the Advisor's budgets, never lose an allocation —
+/// the properties tests/apps/test_synthetic.cpp pins down.
+
+#include "ecohmem/runtime/workload.hpp"
+
+namespace ecohmem::apps {
+
+struct SyntheticSpec {
+  std::uint64_t seed = 1;
+  int persistent_objects = 8;    ///< allocated once, live the whole run
+  int transient_sites = 6;       ///< reallocated every phase
+  int phases = 10;
+  int kernels_per_phase = 3;
+  Bytes min_object = 64ull << 20;
+  Bytes max_object = 4ull << 30;
+  double max_sweeps_per_kernel = 2.0;  ///< per-object read intensity cap
+  double store_probability = 0.4;
+};
+
+/// Builds a valid random workload; deterministic per spec/seed.
+[[nodiscard]] runtime::Workload make_synthetic(const SyntheticSpec& spec = {});
+
+}  // namespace ecohmem::apps

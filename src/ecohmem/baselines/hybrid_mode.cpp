@@ -1,0 +1,124 @@
+#include "ecohmem/baselines/hybrid_mode.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecohmem::baselines {
+
+HybridMode::HybridMode(const memsim::MemorySystem* system, flexmalloc::FlexMalloc* fm,
+                       std::size_t dram_tier, std::size_t pmem_tier, HybridOptions options)
+    : ExecutionMode(system),
+      fm_(fm),
+      dram_tier_(dram_tier),
+      pmem_tier_(pmem_tier),
+      options_(options) {
+  managed_budget_ = static_cast<Bytes>(options_.managed_fraction *
+                                       static_cast<double>(system->tier(dram_tier_).capacity()));
+}
+
+Expected<std::uint64_t> HybridMode::on_alloc(std::size_t object,
+                                             const runtime::ObjectSpec& spec,
+                                             const runtime::SiteSpec& site, Bytes size) {
+  (void)spec;
+  auto allocation = fm_->malloc(site.stack, size);
+  if (!allocation) return unexpected(allocation.error());
+
+  if (objects_.size() <= object) objects_.resize(object + 1);
+  auto& state = objects_[object];
+  state.live = true;
+  state.size = size;
+  state.hotness = 0.0;
+  state.proactive_dram = fm_->tier_name(allocation->tier_index) ==
+                         system_->tier(dram_tier_).name();
+  state.dram_fraction = state.proactive_dram ? 1.0 : 0.0;
+  return allocation->address;
+}
+
+Status HybridMode::on_free(std::size_t object, std::uint64_t address) {
+  if (object >= objects_.size() || !objects_[object].live) {
+    return unexpected("hybrid: free of unknown object");
+  }
+  auto& state = objects_[object];
+  if (!state.proactive_dram) {
+    const auto promoted =
+        static_cast<Bytes>(state.dram_fraction * static_cast<double>(state.size));
+    managed_used_ = managed_used_ >= promoted ? managed_used_ - promoted : 0;
+  }
+  state.live = false;
+  state.dram_fraction = 0.0;
+  return fm_->free(address);
+}
+
+void HybridMode::resolve(const std::vector<runtime::LiveObjectRef>& objects,
+                         const std::vector<memsim::KernelObjectMisses>& misses,
+                         std::vector<runtime::ObjectTraffic>& out) {
+  const double line = static_cast<double>(kCacheLine);
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const auto& state = objects_.at(objects[i].object);
+    const double f = state.dram_fraction;
+    out[i].read_bytes[dram_tier_] += misses[i].read_lines() * f * line;
+    out[i].read_bytes[pmem_tier_] += misses[i].read_lines() * (1.0 - f) * line;
+    out[i].write_bytes[dram_tier_] += misses[i].store_misses * f * line;
+    out[i].write_bytes[pmem_tier_] += misses[i].store_misses * (1.0 - f) * line;
+    out[i].latency_share[dram_tier_] = f;
+    out[i].latency_share[pmem_tier_] = 1.0 - f;
+  }
+
+  if (pending_migration_bytes_ > 0.0) {
+    runtime::ObjectTraffic migration;
+    const std::size_t tiers = system_->tier_count();
+    migration.read_bytes.assign(tiers, 0.0);
+    migration.write_bytes.assign(tiers, 0.0);
+    migration.latency_share.assign(tiers, 0.0);
+    migration.read_bytes[pmem_tier_] += pending_migration_bytes_;
+    migration.write_bytes[dram_tier_] += pending_migration_bytes_;
+    out.push_back(std::move(migration));
+    migrated_bytes_ += pending_migration_bytes_;
+    pending_migration_bytes_ = 0.0;
+  }
+}
+
+void HybridMode::after_kernel(Ns start, Ns end,
+                              const std::vector<runtime::LiveObjectRef>& objects,
+                              const std::vector<memsim::KernelObjectMisses>& misses) {
+  for (auto& state : objects_) state.hotness *= options_.hotness_decay;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    auto& state = objects_.at(objects[i].object);
+    const double density = misses[i].load_misses + misses[i].store_misses;
+    state.hotness += state.size > 0 ? density / static_cast<double>(state.size) : 0.0;
+  }
+
+  // Promote the hottest PMem-placed objects into the managed DRAM window.
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    const auto& s = objects_[i];
+    if (s.live && !s.proactive_dram && s.hotness > 0.0) candidates.push_back(i);
+  }
+  std::sort(candidates.begin(), candidates.end(), [this](std::size_t a, std::size_t b) {
+    return objects_[a].hotness > objects_[b].hotness;
+  });
+
+  double budget_bytes =
+      options_.migration_gbs * static_cast<double>(end > start ? end - start : 0);
+  for (const std::size_t idx : candidates) {
+    if (managed_used_ >= managed_budget_ || budget_bytes <= 0.0) break;
+    auto& state = objects_[idx];
+    const double room = static_cast<double>(managed_budget_ - managed_used_);
+    const double wanted = (1.0 - state.dram_fraction) * static_cast<double>(state.size);
+    const double moved = std::min({wanted, budget_bytes, room});
+    if (moved <= 0.0) continue;
+    state.dram_fraction += moved / static_cast<double>(state.size);
+    managed_used_ += static_cast<Bytes>(moved);
+    budget_bytes -= moved;
+    pending_migration_bytes_ += moved;
+  }
+}
+
+double HybridMode::take_alloc_overhead_ns() {
+  const double total = fm_->matching_cost_ns();
+  const double delta = total - overhead_taken_ns_;
+  overhead_taken_ns_ = total;
+  return delta;
+}
+
+}  // namespace ecohmem::baselines

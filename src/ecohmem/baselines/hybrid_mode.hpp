@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file hybrid_mode.hpp
+/// Proactive + reactive hybrid placement — the paper's stated future work
+/// (§III: kernel-level page migration "may be combined to leverage an
+/// initial proactive object placement provided by the latter along with
+/// reactive runtime page migration capabilities provided by the former").
+///
+/// Objects are *initially* placed by FlexMalloc according to the Advisor
+/// report (proactive), and the kernel's reactive migrator is then free to
+/// promote/demote pages as observed hotness diverges from the profile.
+/// Unlike the pure tiering baseline there is no full-size metadata tax
+/// here: the implementation assumes a devdax-backed allocation for the
+/// report-placed objects plus a small migration-managed window
+/// (`managed_fraction` of DRAM).
+
+#include "ecohmem/baselines/kernel_tiering.hpp"
+#include "ecohmem/flexmalloc/flexmalloc.hpp"
+#include "ecohmem/runtime/mode.hpp"
+
+namespace ecohmem::baselines {
+
+struct HybridOptions {
+  /// Migration budget, bytes per second of simulated time.
+  double migration_gbs = 2.0;
+  /// Hotness decay between kernels.
+  double hotness_decay = 0.5;
+  /// Fraction of DRAM the reactive migrator may repurpose on top of the
+  /// proactive placement (kept small so the Advisor's plan dominates).
+  double managed_fraction = 0.15;
+};
+
+class HybridMode final : public runtime::ExecutionMode {
+ public:
+  HybridMode(const memsim::MemorySystem* system, flexmalloc::FlexMalloc* fm,
+             std::size_t dram_tier, std::size_t pmem_tier, HybridOptions options = {});
+
+  [[nodiscard]] std::string name() const override { return "hybrid-proactive-reactive"; }
+  [[nodiscard]] Expected<std::uint64_t> on_alloc(std::size_t object,
+                                                 const runtime::ObjectSpec& spec,
+                                                 const runtime::SiteSpec& site,
+                                                 Bytes size) override;
+  [[nodiscard]] Status on_free(std::size_t object, std::uint64_t address) override;
+  void resolve(const std::vector<runtime::LiveObjectRef>& objects,
+               const std::vector<memsim::KernelObjectMisses>& misses,
+               std::vector<runtime::ObjectTraffic>& out) override;
+  void after_kernel(Ns start, Ns end, const std::vector<runtime::LiveObjectRef>& objects,
+                    const std::vector<memsim::KernelObjectMisses>& misses) override;
+  [[nodiscard]] double take_alloc_overhead_ns() override;
+  [[nodiscard]] std::uint64_t oom_redirects() const override { return fm_->oom_redirects(); }
+
+  [[nodiscard]] double migrated_bytes() const { return migrated_bytes_; }
+
+ private:
+  struct ObjectState {
+    bool live = false;
+    Bytes size = 0;
+    double dram_fraction = 0.0;  ///< includes the proactive base placement
+    double hotness = 0.0;
+    bool proactive_dram = false;
+  };
+
+  flexmalloc::FlexMalloc* fm_;
+  std::size_t dram_tier_;
+  std::size_t pmem_tier_;
+  HybridOptions options_;
+  Bytes managed_budget_ = 0;    ///< DRAM the migrator may fill with promotions
+  Bytes managed_used_ = 0;
+  std::vector<ObjectState> objects_;
+  double overhead_taken_ns_ = 0.0;
+  double pending_migration_bytes_ = 0.0;
+  double migrated_bytes_ = 0.0;
+};
+
+}  // namespace ecohmem::baselines

@@ -1,0 +1,158 @@
+#include "ecohmem/baselines/kernel_tiering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ecohmem::baselines {
+
+KernelTieringMode::KernelTieringMode(const memsim::MemorySystem* system, std::size_t dram_tier,
+                                     std::size_t pmem_tier, TieringOptions options)
+    : ExecutionMode(system), dram_tier_(dram_tier), pmem_tier_(pmem_tier), options_(options) {
+  const Bytes dram = system->tier(dram_tier_).capacity();
+  const auto tax = static_cast<Bytes>(options_.metadata_fraction *
+                                      static_cast<double>(system->tier(pmem_tier_).capacity()));
+  usable_dram_ = dram > tax ? dram - tax : 0;
+}
+
+Expected<std::uint64_t> KernelTieringMode::on_alloc(std::size_t object,
+                                                    const runtime::ObjectSpec& spec,
+                                                    const runtime::SiteSpec& site, Bytes size) {
+  (void)spec;
+  (void)site;
+  if (objects_.size() <= object) objects_.resize(object + 1);
+  auto& state = objects_[object];
+  state.live = true;
+  state.size = size;
+  state.hotness = 0.0;
+
+  // First-touch: pages land in DRAM while it has room, else PMem.
+  if (dram_used_ + size <= usable_dram_) {
+    state.dram_fraction = 1.0;
+    dram_used_ += size;
+  } else if (dram_used_ < usable_dram_) {
+    const Bytes room = usable_dram_ - dram_used_;
+    state.dram_fraction = static_cast<double>(room) / static_cast<double>(size);
+    dram_used_ = usable_dram_;
+  } else {
+    state.dram_fraction = 0.0;
+  }
+
+  const std::uint64_t address = next_address_;
+  next_address_ += (size + kCacheLine - 1) / kCacheLine * kCacheLine;
+  return address;
+}
+
+Status KernelTieringMode::on_free(std::size_t object, std::uint64_t address) {
+  (void)address;
+  if (object >= objects_.size() || !objects_[object].live) {
+    return unexpected("tiering: free of unknown object");
+  }
+  auto& state = objects_[object];
+  const auto dram_bytes =
+      static_cast<Bytes>(state.dram_fraction * static_cast<double>(state.size));
+  dram_used_ = dram_used_ >= dram_bytes ? dram_used_ - dram_bytes : 0;
+  state.live = false;
+  state.dram_fraction = 0.0;
+  return {};
+}
+
+void KernelTieringMode::resolve(const std::vector<runtime::LiveObjectRef>& objects,
+                                const std::vector<memsim::KernelObjectMisses>& misses,
+                                std::vector<runtime::ObjectTraffic>& out) {
+  const double line = static_cast<double>(kCacheLine);
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const auto& state = objects_.at(objects[i].object);
+    const double f = state.dram_fraction;
+    out[i].read_bytes[dram_tier_] += misses[i].read_lines() * f * line;
+    out[i].read_bytes[pmem_tier_] += misses[i].read_lines() * (1.0 - f) * line;
+    out[i].write_bytes[dram_tier_] += misses[i].store_misses * f * line;
+    out[i].write_bytes[pmem_tier_] += misses[i].store_misses * (1.0 - f) * line;
+    out[i].latency_share[dram_tier_] = f;
+    out[i].latency_share[pmem_tier_] = 1.0 - f;
+  }
+
+  // Pending migration from the previous after_kernel: background traffic
+  // reading from the source tier and writing to the destination. Promotion
+  // and demotion are symmetric at this granularity, so charge half each
+  // way.
+  if (pending_migration_bytes_ > 0.0) {
+    runtime::ObjectTraffic migration;
+    const std::size_t tiers = system_->tier_count();
+    migration.read_bytes.assign(tiers, 0.0);
+    migration.write_bytes.assign(tiers, 0.0);
+    migration.latency_share.assign(tiers, 0.0);
+    migration.read_bytes[pmem_tier_] += pending_migration_bytes_ * 0.5;
+    migration.write_bytes[dram_tier_] += pending_migration_bytes_ * 0.5;
+    migration.read_bytes[dram_tier_] += pending_migration_bytes_ * 0.5;
+    migration.write_bytes[pmem_tier_] += pending_migration_bytes_ * 0.5;
+    out.push_back(std::move(migration));
+    migrated_bytes_ += pending_migration_bytes_;
+    pending_migration_bytes_ = 0.0;
+  }
+}
+
+void KernelTieringMode::after_kernel(Ns start, Ns end,
+                                     const std::vector<runtime::LiveObjectRef>& objects,
+                                     const std::vector<memsim::KernelObjectMisses>& misses) {
+  // Update hotness = decayed miss density (misses per byte).
+  for (auto& state : objects_) state.hotness *= options_.hotness_decay;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    auto& state = objects_.at(objects[i].object);
+    const double density = misses[i].load_misses + misses[i].store_misses;
+    state.hotness += state.size > 0 ? density / static_cast<double>(state.size) : 0.0;
+  }
+
+  // Target allocation: hottest live objects own DRAM, in hotness order.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    if (objects_[i].live) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return objects_[a].hotness > objects_[b].hotness;
+  });
+
+  std::vector<double> target(objects_.size(), 0.0);
+  Bytes budget = usable_dram_;
+  for (const std::size_t idx : order) {
+    const Bytes size = objects_[idx].size;
+    if (size == 0) continue;
+    if (size <= budget) {
+      target[idx] = 1.0;
+      budget -= size;
+    } else if (budget > 0) {
+      target[idx] = static_cast<double>(budget) / static_cast<double>(size);
+      budget = 0;
+    }
+  }
+
+  // Move fractions toward targets, bounded by the migration budget over
+  // the elapsed kernel time. kswapd-style demotion frees space first.
+  const double window_ns = static_cast<double>(end - start);
+  double budget_bytes = options_.migration_gbs * window_ns;  // GB/s * ns = bytes
+
+  auto step_fraction = [&](std::size_t idx, bool promote) {
+    auto& state = objects_[idx];
+    const double delta = target[idx] - state.dram_fraction;
+    if ((promote && delta <= 0.0) || (!promote && delta >= 0.0)) return;
+    const double wanted = std::abs(delta) * static_cast<double>(state.size);
+    const double moved = std::min(wanted, budget_bytes);
+    if (moved <= 0.0) return;
+    budget_bytes -= moved;
+    pending_migration_bytes_ += moved;
+    const double frac_moved = moved / static_cast<double>(state.size);
+    if (promote) {
+      state.dram_fraction += frac_moved;
+      dram_used_ += static_cast<Bytes>(moved);
+    } else {
+      state.dram_fraction -= frac_moved;
+      const auto freed = static_cast<Bytes>(moved);
+      dram_used_ = dram_used_ >= freed ? dram_used_ - freed : 0;
+    }
+  };
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) step_fraction(*it, /*promote=*/false);
+  for (const std::size_t idx : order) step_fraction(idx, /*promote=*/true);
+}
+
+}  // namespace ecohmem::baselines

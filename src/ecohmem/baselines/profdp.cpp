@@ -1,0 +1,169 @@
+#include "ecohmem/baselines/profdp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "ecohmem/analyzer/aggregator.hpp"
+#include "ecohmem/common/rng.hpp"
+#include "ecohmem/profiler/profiler.hpp"
+
+namespace ecohmem::baselines {
+
+namespace {
+
+struct SiteProfile {
+  bom::CallStack stack;
+  Bytes footprint = 0;
+  double loads = 0.0;
+  double lat_dram = 0.0;
+  double lat_pmem = 0.0;
+  double lat_pmem_half = 0.0;
+  std::uint64_t site_hash = 0;
+};
+
+/// Profiles the workload with everything pinned to `tier` of `system`.
+Expected<analyzer::AnalysisResult> profile_fixed(const runtime::Workload& workload,
+                                                 const memsim::MemorySystem& system,
+                                                 std::size_t tier,
+                                                 const runtime::EngineOptions& base_options,
+                                                 double sample_rate_hz, std::uint64_t seed) {
+  profiler::ProfilerOptions popt;
+  popt.sample_rate_hz = sample_rate_hz;
+  popt.seed = seed;
+  profiler::Profiler prof(popt);
+
+  runtime::EngineOptions eopt = base_options;
+  eopt.observer = &prof;
+  runtime::ExecutionEngine engine(&system, eopt);
+  runtime::FixedTierMode mode(&system, tier);
+  auto metrics = engine.run(workload, mode);
+  if (!metrics) return unexpected("ProfDP profiling run failed: " + metrics.error());
+
+  const trace::Trace trace = prof.take_trace();
+  return analyzer::analyze(trace);
+}
+
+}  // namespace
+
+Expected<std::vector<ProfDPVariant>> profdp_placements(
+    const runtime::Workload& workload, const memsim::MemorySystem& system,
+    const runtime::EngineOptions& engine_options, const ProfDPOptions& options) {
+  // Locate the dram/pmem tiers (by convention: fastest = index 0, the
+  // fallback is the PMem-like tier).
+  const std::size_t dram_tier = 0;
+  const std::size_t pmem_tier = system.fallback_index();
+  if (dram_tier == pmem_tier || system.tier_count() < 2) {
+    return unexpected("ProfDP needs a two-tier system");
+  }
+
+  // Third-system variant: PMem bandwidth halved.
+  std::vector<memsim::TierSpec> half_specs;
+  for (const auto& t : system.tiers()) half_specs.push_back(t.spec());
+  for (auto& spec : half_specs) {
+    if (spec.is_fallback) {
+      spec.peak_read_gbs *= 0.5;
+      spec.peak_write_gbs *= 0.5;
+    }
+  }
+  auto half_system = memsim::MemorySystem::create(std::move(half_specs));
+  if (!half_system) return unexpected(half_system.error());
+
+  auto run_dram = profile_fixed(workload, system, dram_tier, engine_options,
+                                options.sample_rate_hz, options.seed);
+  if (!run_dram) return unexpected(run_dram.error());
+  auto run_pmem = profile_fixed(workload, system, pmem_tier, engine_options,
+                                options.sample_rate_hz, options.seed + 1);
+  if (!run_pmem) return unexpected(run_pmem.error());
+  auto run_half = profile_fixed(workload, *half_system, pmem_tier, engine_options,
+                                options.sample_rate_hz, options.seed + 2);
+  if (!run_half) return unexpected(run_half.error());
+
+  // Join the three profiles by call stack.
+  const bom::CallStackHash hasher;
+  std::unordered_map<std::size_t, SiteProfile> joined;
+  for (const auto& s : run_dram->sites) {
+    SiteProfile p;
+    p.stack = s.callstack;
+    p.footprint = std::max(s.peak_live_bytes, s.max_size);
+    p.loads = s.load_misses;
+    p.lat_dram = s.avg_load_latency_ns;
+    p.site_hash = hasher(s.callstack);
+    joined.emplace(p.site_hash, std::move(p));
+  }
+  for (const auto& s : run_pmem->sites) {
+    if (auto it = joined.find(hasher(s.callstack)); it != joined.end()) {
+      it->second.lat_pmem = s.avg_load_latency_ns;
+    }
+  }
+  for (const auto& s : run_half->sites) {
+    if (auto it = joined.find(hasher(s.callstack)); it != joined.end()) {
+      it->second.lat_pmem_half = s.avg_load_latency_ns;
+    }
+  }
+
+  // Synthesize per-rank decomposition: a site is active in n ranks
+  // (deterministic per site) and each rank's measurement is jittered.
+  const int ranks = std::max(workload.ranks, 1);
+  Rng rng(options.seed * 7919 + 13);
+
+  struct Scored {
+    const SiteProfile* site;
+    double score[4];  // lat-sum, lat-avg, bw-sum, bw-avg
+  };
+  std::vector<Scored> scored;
+  for (const auto& [hash, p] : joined) {
+    (void)hash;
+    const double lat_sens = p.loads * std::max(p.lat_pmem - p.lat_dram, 0.0);
+    const double bw_sens = p.loads * std::max(p.lat_pmem_half - p.lat_pmem, 0.0);
+
+    const int active_ranks = 1 + static_cast<int>(p.site_hash % static_cast<std::uint64_t>(ranks));
+    double lat_sum = 0.0;
+    double bw_sum = 0.0;
+    for (int r = 0; r < active_ranks; ++r) {
+      const double jitter = 1.0 + options.rank_jitter * (2.0 * rng.next_double() - 1.0);
+      lat_sum += lat_sens / active_ranks * jitter;
+      bw_sum += bw_sens / active_ranks * jitter;
+    }
+    Scored s{};
+    s.site = &p;
+    s.score[0] = lat_sum;
+    s.score[1] = lat_sum / active_ranks;
+    s.score[2] = bw_sum;
+    s.score[3] = bw_sum / active_ranks;
+    scored.push_back(s);
+  }
+
+  const char* names[4] = {"latency-sum", "latency-avg", "bandwidth-sum", "bandwidth-avg"};
+  const std::string dram_name = system.tier(dram_tier).name();
+  const std::string pmem_name = system.tier(pmem_tier).name();
+
+  std::vector<ProfDPVariant> variants;
+  for (int v = 0; v < 4; ++v) {
+    std::vector<Scored> order = scored;
+    std::stable_sort(order.begin(), order.end(),
+                     [v](const Scored& a, const Scored& b) { return a.score[v] > b.score[v]; });
+
+    ProfDPVariant variant;
+    variant.name = names[v];
+    variant.placement.fallback_tier = pmem_name;
+    Bytes used = 0;
+    for (const auto& s : order) {
+      advisor::PlacementDecision d;
+      d.callstack = s.site->stack;
+      d.footprint = s.site->footprint;
+      d.density = s.score[v];
+      if (s.score[v] > 0.0 && used + s.site->footprint <= options.dram_limit) {
+        used += s.site->footprint;
+        d.tier = dram_name;
+      } else {
+        d.tier = pmem_name;
+      }
+      variant.placement.decisions.push_back(std::move(d));
+    }
+    variants.push_back(std::move(variant));
+  }
+  return variants;
+}
+
+}  // namespace ecohmem::baselines

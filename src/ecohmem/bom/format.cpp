@@ -1,0 +1,62 @@
+#include "ecohmem/bom/format.hpp"
+
+#include <sstream>
+
+#include "ecohmem/common/strings.hpp"
+
+namespace ecohmem::bom {
+
+std::string format_bom(const CallStack& stack, const ModuleTable& modules) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < stack.frames.size(); ++i) {
+    if (i > 0) out << kFrameSeparator;
+    const Frame& f = stack.frames[i];
+    out << modules.module(f.module).name << '!' << strings::to_hex(f.offset);
+  }
+  return out.str();
+}
+
+Expected<CallStack> parse_bom(std::string_view text, const ModuleTable& modules) {
+  CallStack cs;
+  for (const auto& part : strings::split(text, kFrameSeparator)) {
+    const std::size_t bang = part.find('!');
+    if (bang == std::string::npos) {
+      return unexpected("BOM frame without '!': '" + part + "'");
+    }
+    const auto id = modules.find(std::string_view(part).substr(0, bang));
+    if (!id) return unexpected(id.error());
+    const auto offset = strings::parse_hex(std::string_view(part).substr(bang + 1));
+    if (!offset) return unexpected("BOM frame offset: " + offset.error());
+    cs.frames.push_back(Frame{*id, *offset});
+  }
+  if (cs.empty()) return unexpected("empty call stack");
+  return cs;
+}
+
+std::string format_human(const HumanStack& stack) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < stack.size(); ++i) {
+    if (i > 0) out << kFrameSeparator;
+    out << stack[i].file << ':' << stack[i].line;
+  }
+  return out.str();
+}
+
+Expected<HumanStack> parse_human(std::string_view text) {
+  HumanStack stack;
+  for (const auto& part : strings::split(text, kFrameSeparator)) {
+    const std::size_t colon = part.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= part.size()) {
+      return unexpected("human-readable frame without ':line': '" + part + "'");
+    }
+    const auto line = strings::parse_u64(std::string_view(part).substr(colon + 1));
+    if (!line) return unexpected("frame line number: " + line.error());
+    stack.push_back(SourceLocation{part.substr(0, colon), static_cast<std::uint32_t>(*line)});
+  }
+  if (stack.empty()) return unexpected("empty call stack");
+  return stack;
+}
+
+bool looks_like_bom(std::string_view text) { return text.find("!0x") != std::string_view::npos; }
+
+}  // namespace ecohmem::bom

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file frame.hpp
+/// Call-stack frames in BOM (Binary Object Matching) form.
+///
+/// §VI of the paper: instead of translating call-stack frames into
+/// human-readable `file:line` pairs (which requires debug information and
+/// binutils at runtime), ecoHMEM identifies a frame by the *binary object*
+/// (executable or shared library) containing the address plus the offset
+/// from that object's load base. Such frames survive ASLR — the offset is
+/// invariant even though absolute addresses change between runs — and can
+/// be compared with integer comparisons.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ecohmem::bom {
+
+/// Identifier of a binary object within a ModuleTable.
+using ModuleId = std::uint32_t;
+
+inline constexpr ModuleId kInvalidModule = 0xffffffffu;
+
+/// One call-stack frame: (binary object, offset from its base).
+struct Frame {
+  ModuleId module = kInvalidModule;
+  std::uint64_t offset = 0;
+
+  friend bool operator==(const Frame&, const Frame&) = default;
+  friend auto operator<=>(const Frame&, const Frame&) = default;
+};
+
+/// A call stack, outermost callee first (frame 0 = the allocation routine's
+/// immediate caller).
+struct CallStack {
+  std::vector<Frame> frames;
+
+  [[nodiscard]] bool empty() const { return frames.empty(); }
+  [[nodiscard]] std::size_t depth() const { return frames.size(); }
+
+  friend bool operator==(const CallStack&, const CallStack&) = default;
+};
+
+/// FNV-1a over the frame words; used by the matcher's hash tables.
+struct CallStackHash {
+  std::size_t operator()(const CallStack& cs) const {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xffu;
+        h *= 1099511628211ull;
+      }
+    };
+    for (const auto& f : cs.frames) {
+      mix(f.module);
+      mix(f.offset);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace ecohmem::bom

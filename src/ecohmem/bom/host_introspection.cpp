@@ -1,0 +1,111 @@
+#include "ecohmem/bom/host_introspection.hpp"
+
+#include <execinfo.h>
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "ecohmem/common/strings.hpp"
+
+namespace ecohmem::bom {
+
+namespace {
+
+struct Mapping {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  std::string path;
+};
+
+/// Parses one maps line: "start-end perms offset dev inode   path".
+/// Returns an executable file-backed mapping, or nullopt.
+std::optional<Mapping> parse_line(std::string_view line) {
+  const std::size_t dash = line.find('-');
+  const std::size_t space = line.find(' ');
+  if (dash == std::string_view::npos || space == std::string_view::npos || dash > space) {
+    return std::nullopt;
+  }
+  // maps addresses are unprefixed hexadecimal.
+  const auto start = strings::parse_hex("0x" + std::string(line.substr(0, dash)));
+  const auto end =
+      strings::parse_hex("0x" + std::string(line.substr(dash + 1, space - dash - 1)));
+  if (!start || !end) return std::nullopt;
+
+  // perms field: "r-xp" etc.
+  std::string_view rest = strings::trim(line.substr(space + 1));
+  if (rest.size() < 4 || rest[2] != 'x') return std::nullopt;
+
+  // Skip perms, offset, dev, inode; the remainder (if any) is the path.
+  for (int field = 0; field < 4; ++field) {
+    const std::size_t next = rest.find(' ');
+    if (next == std::string_view::npos) return std::nullopt;
+    rest = strings::trim(rest.substr(next + 1));
+  }
+  if (rest.empty() || rest.front() == '[') return std::nullopt;  // [vdso] etc.
+
+  Mapping m;
+  m.start = *start;
+  m.end = *end;
+  m.path = std::string(rest);
+  return m;
+}
+
+}  // namespace
+
+Expected<ModuleTable> modules_from_maps_text(std::string_view text) {
+  // Group executable mappings by backing file.
+  std::map<std::string, Mapping> by_path;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    const std::string_view line =
+        text.substr(start, end == std::string_view::npos ? std::string_view::npos : end - start);
+    start = end == std::string_view::npos ? text.size() + 1 : end + 1;
+
+    const auto mapping = parse_line(line);
+    if (!mapping) continue;
+    auto [it, inserted] = by_path.emplace(mapping->path, *mapping);
+    if (!inserted) {
+      it->second.start = std::min(it->second.start, mapping->start);
+      it->second.end = std::max(it->second.end, mapping->end);
+    }
+  }
+  if (by_path.empty()) return unexpected("no executable file-backed mappings found");
+
+  ModuleTable table;
+  // ModuleTable assigns bases itself in simulation; for host use we need
+  // the real bases, so add modules and then overwrite via a dedicated
+  // pass using resolve() invariants: add in address order and rely on
+  // set_host_base.
+  for (const auto& [path, m] : by_path) {
+    const std::string name = path.substr(path.find_last_of('/') + 1);
+    const ModuleId id = table.add_module(name, m.end - m.start, 0);
+    table.set_host_base(id, m.start);
+  }
+  return table;
+}
+
+Expected<ModuleTable> modules_from_self() {
+  std::ifstream in("/proc/self/maps");
+  if (!in) return unexpected("cannot open /proc/self/maps");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return modules_from_maps_text(ss.str());
+}
+
+CallStack capture_callstack(const ModuleTable& modules, int skip, int max_depth) {
+  void* raw[64];
+  const int captured = ::backtrace(raw, 64);
+
+  CallStack stack;
+  for (int i = skip + 1; i < captured && static_cast<int>(stack.frames.size()) < max_depth;
+       ++i) {
+    const auto frame = modules.resolve(reinterpret_cast<std::uint64_t>(raw[i]));
+    if (frame) stack.frames.push_back(*frame);
+  }
+  return stack;
+}
+
+}  // namespace ecohmem::bom

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file host_introspection.hpp
+/// Real-process BOM support: module discovery from /proc/self/maps and
+/// call-stack capture via backtrace(3).
+///
+/// This is the non-simulated half of FlexMalloc: on a live Linux process
+/// the interposer discovers where every binary object is loaded (the
+/// paper: "during the process initialization the library obtains the
+/// base address where each shared-library is loaded in memory") and
+/// captures real return addresses at each allocation, normalizing them
+/// to ASLR-stable (module, offset) frames. The simulation path and this
+/// path share the same Frame/CallStack/matcher machinery, so a report
+/// produced against either matches against either.
+
+#include <string>
+
+#include "ecohmem/bom/frame.hpp"
+#include "ecohmem/bom/module_table.hpp"
+#include "ecohmem/common/expected.hpp"
+
+namespace ecohmem::bom {
+
+/// Builds a ModuleTable from the current process's executable mappings.
+/// Each distinct backing file becomes one module whose base is its lowest
+/// executable mapping. Anonymous/special mappings are skipped.
+[[nodiscard]] Expected<ModuleTable> modules_from_self();
+
+/// Parses /proc/<pid>/maps-format text (exposed for testing).
+[[nodiscard]] Expected<ModuleTable> modules_from_maps_text(std::string_view text);
+
+/// Captures the current call stack as BOM frames against `modules`,
+/// skipping `skip` innermost frames (the capture machinery itself) and
+/// keeping at most `max_depth` resolvable frames. Frames outside every
+/// known module (JITted or vdso addresses) are dropped.
+[[nodiscard]] CallStack capture_callstack(const ModuleTable& modules, int skip = 1,
+                                          int max_depth = 16);
+
+}  // namespace ecohmem::bom

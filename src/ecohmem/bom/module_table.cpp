@@ -1,0 +1,59 @@
+#include "ecohmem/bom/module_table.hpp"
+
+namespace ecohmem::bom {
+
+ModuleId ModuleTable::add_module(std::string name, Bytes text_size, Bytes debug_info_size) {
+  Module m;
+  m.name = std::move(name);
+  m.text_size = text_size;
+  m.debug_info_size = debug_info_size;
+  m.base = 0;
+  modules_.push_back(std::move(m));
+  return static_cast<ModuleId>(modules_.size() - 1);
+}
+
+void ModuleTable::assign_bases(bool aslr, Rng& rng) {
+  // Lay modules out without overlap; ASLR shuffles the gaps like the
+  // kernel's mmap randomization would.
+  std::uint64_t cursor = 0x400000;  // traditional ET_EXEC base
+  constexpr std::uint64_t kAlign = 2ull * 1024 * 1024;
+  for (auto& m : modules_) {
+    std::uint64_t gap = kAlign;
+    if (aslr) {
+      gap += (rng.next_below(1ull << 28)) & ~(kAlign - 1);
+    }
+    cursor += gap;
+    m.base = cursor;
+    cursor += (m.text_size + kAlign - 1) & ~(kAlign - 1);
+  }
+}
+
+Expected<ModuleId> ModuleTable::find(std::string_view name) const {
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    if (modules_[i].name == name) return static_cast<ModuleId>(i);
+  }
+  return unexpected("unknown module: '" + std::string(name) + "'");
+}
+
+std::uint64_t ModuleTable::absolute_address(const Frame& frame) const {
+  const Module& m = modules_.at(frame.module);
+  return m.base + frame.offset;
+}
+
+std::optional<Frame> ModuleTable::resolve(std::uint64_t absolute) const {
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    const Module& m = modules_[i];
+    if (absolute >= m.base && absolute < m.base + m.text_size) {
+      return Frame{static_cast<ModuleId>(i), absolute - m.base};
+    }
+  }
+  return std::nullopt;
+}
+
+Bytes ModuleTable::total_debug_info() const {
+  Bytes total = 0;
+  for (const auto& m : modules_) total += m.debug_info_size;
+  return total;
+}
+
+}  // namespace ecohmem::bom

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file module_table.hpp
+/// Binary objects (executable + shared libraries) and their load bases.
+///
+/// On a real system this information comes from /proc/self/maps during
+/// process initialization (the paper: "during the process initialization
+/// the library obtains the base address where each shared-library is
+/// loaded"). Here modules are registered by the workload models; load
+/// bases can be randomized per run to emulate ASLR, which is exactly the
+/// mechanism that breaks absolute-address matching and motivates BOM.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ecohmem/bom/frame.hpp"
+#include "ecohmem/common/expected.hpp"
+#include "ecohmem/common/rng.hpp"
+#include "ecohmem/common/units.hpp"
+
+namespace ecohmem::bom {
+
+/// One loaded binary object.
+struct Module {
+  std::string name;          ///< e.g. "lulesh2.0" or "libfoam.so"
+  Bytes text_size = 0;       ///< size of the mapped text segment
+  std::uint64_t base = 0;    ///< load base for the current run
+  Bytes debug_info_size = 0; ///< size of the DWARF info (HR format loads it)
+};
+
+class ModuleTable {
+ public:
+  /// Registers a module; bases are assigned later by `assign_bases`.
+  ModuleId add_module(std::string name, Bytes text_size, Bytes debug_info_size = 0);
+
+  /// Assigns load bases. With `aslr`, bases are randomized (2 MiB aligned)
+  /// using `rng`; otherwise deterministic fixed bases are used.
+  void assign_bases(bool aslr, Rng& rng);
+
+  /// Sets one module's base to a real (host-observed) load address; used
+  /// by the /proc/self/maps path where the kernel, not the simulator,
+  /// chose the layout.
+  void set_host_base(ModuleId id, std::uint64_t base) { modules_.at(id).base = base; }
+
+  [[nodiscard]] std::size_t size() const { return modules_.size(); }
+  [[nodiscard]] const Module& module(ModuleId id) const { return modules_.at(id); }
+  [[nodiscard]] Expected<ModuleId> find(std::string_view name) const;
+
+  /// Absolute runtime address of a frame in the current run.
+  [[nodiscard]] std::uint64_t absolute_address(const Frame& frame) const;
+
+  /// Maps an absolute address back to (module, offset); nullopt if the
+  /// address is not inside any module's text segment.
+  [[nodiscard]] std::optional<Frame> resolve(std::uint64_t absolute) const;
+
+  /// Total DWARF bytes that HR-format matching must keep resident
+  /// (per-process; §VIII-D charges this against the DRAM budget).
+  [[nodiscard]] Bytes total_debug_info() const;
+
+  [[nodiscard]] const std::vector<Module>& modules() const { return modules_; }
+
+ private:
+  std::vector<Module> modules_;
+};
+
+}  // namespace ecohmem::bom

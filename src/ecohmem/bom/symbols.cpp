@@ -1,0 +1,63 @@
+#include "ecohmem/bom/symbols.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace ecohmem::bom {
+
+SymbolTable::SymbolTable(const ModuleTable* modules) : modules_(modules) {}
+
+void SymbolTable::add_entry(ModuleId module, LineEntry entry) {
+  if (entries_.size() <= module) entries_.resize(module + 1);
+  entries_[module].push_back(std::move(entry));
+  sorted_ = false;
+}
+
+void SymbolTable::ensure_sorted() const {
+  if (sorted_) return;
+  for (auto& mod : entries_) {
+    std::sort(mod.begin(), mod.end(),
+              [](const LineEntry& a, const LineEntry& b) { return a.offset < b.offset; });
+  }
+  sorted_ = true;
+}
+
+Expected<SourceLocation> SymbolTable::translate(const Frame& frame) const {
+  ensure_sorted();
+  if (frame.module >= entries_.size() || entries_[frame.module].empty()) {
+    return unexpected("no debug info for module " +
+                      (modules_ != nullptr && frame.module < modules_->size()
+                           ? modules_->module(frame.module).name
+                           : std::to_string(frame.module)));
+  }
+  const auto& table = entries_[frame.module];
+
+  // upper_bound - 1: greatest entry offset <= frame offset.
+  const auto it = std::upper_bound(
+      table.begin(), table.end(), frame.offset,
+      [](std::uint64_t off, const LineEntry& e) { return off < e.offset; });
+  cost_.table_lookups += static_cast<std::uint64_t>(
+      1 + static_cast<std::uint64_t>(std::bit_width(table.size())));
+  if (it == table.begin()) {
+    return unexpected("offset below first line entry in module");
+  }
+  const LineEntry& entry = *(it - 1);
+
+  SourceLocation loc{entry.file, entry.line};
+  ++cost_.frames_translated;
+  cost_.string_bytes_built += loc.file.size() + 12;  // ":NNNN" digits + separators
+  return loc;
+}
+
+Expected<std::vector<SourceLocation>> SymbolTable::translate(const CallStack& stack) const {
+  std::vector<SourceLocation> out;
+  out.reserve(stack.frames.size());
+  for (const auto& f : stack.frames) {
+    auto loc = translate(f);
+    if (!loc) return unexpected(loc.error());
+    out.push_back(std::move(*loc));
+  }
+  return out;
+}
+
+}  // namespace ecohmem::bom

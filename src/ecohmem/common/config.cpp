@@ -1,0 +1,139 @@
+#include "ecohmem/common/config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "ecohmem/common/strings.hpp"
+
+namespace ecohmem {
+
+void ConfigSection::set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool ConfigSection::has(std::string_view key) const { return entries_.find(key) != entries_.end(); }
+
+std::optional<std::string> ConfigSection::get(std::string_view key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+Expected<std::string> ConfigSection::get_string(std::string_view key, std::string def) const {
+  const auto v = get(key);
+  return v ? *v : std::move(def);
+}
+
+Expected<double> ConfigSection::get_double(std::string_view key, double def) const {
+  const auto v = get(key);
+  if (!v) return def;
+  auto parsed = strings::parse_double(*v);
+  if (!parsed) return unexpected("key '" + std::string(key) + "': " + parsed.error());
+  return *parsed;
+}
+
+Expected<std::uint64_t> ConfigSection::get_u64(std::string_view key, std::uint64_t def) const {
+  const auto v = get(key);
+  if (!v) return def;
+  auto parsed = strings::parse_u64(*v);
+  if (!parsed) return unexpected("key '" + std::string(key) + "': " + parsed.error());
+  return *parsed;
+}
+
+Expected<Bytes> ConfigSection::get_bytes(std::string_view key, Bytes def) const {
+  const auto v = get(key);
+  if (!v) return def;
+  auto parsed = strings::parse_bytes(*v);
+  if (!parsed) return unexpected("key '" + std::string(key) + "': " + parsed.error());
+  return *parsed;
+}
+
+Expected<bool> ConfigSection::get_bool(std::string_view key, bool def) const {
+  const auto v = get(key);
+  if (!v) return def;
+  const std::string_view s = strings::trim(*v);
+  if (s == "true" || s == "1" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "0" || s == "no" || s == "off") return false;
+  return unexpected("key '" + std::string(key) + "': invalid boolean '" + std::string(s) + "'");
+}
+
+Expected<Config> Config::parse(std::string_view text) {
+  Config cfg;
+  ConfigSection* current = &cfg.global_;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    const std::string_view raw =
+        text.substr(start, end == std::string_view::npos ? std::string_view::npos : end - start);
+    start = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    ++line_no;
+
+    const std::string_view line = strings::trim(raw);
+    if (line.empty() || line.front() == '#' || line.front() == ';') continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        return unexpected("line " + std::to_string(line_no) + ": unterminated section header");
+      }
+      const std::string_view name = strings::trim(line.substr(1, line.size() - 2));
+      if (name.empty()) {
+        return unexpected("line " + std::to_string(line_no) + ": empty section name");
+      }
+      current = &cfg.add_section(std::string(name));
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return unexpected("line " + std::to_string(line_no) + ": expected 'key = value'");
+    }
+    const std::string_view key = strings::trim(line.substr(0, eq));
+    const std::string_view value = strings::trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return unexpected("line " + std::to_string(line_no) + ": empty key");
+    }
+    current->set(std::string(key), std::string(value));
+  }
+  return cfg;
+}
+
+Expected<Config> Config::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return unexpected("cannot open config file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+std::vector<const ConfigSection*> Config::sections_named(std::string_view name) const {
+  std::vector<const ConfigSection*> out;
+  for (const auto& s : sections_) {
+    if (s.name() == name) out.push_back(&s);
+  }
+  return out;
+}
+
+const ConfigSection* Config::first_section(std::string_view name) const {
+  for (const auto& s : sections_) {
+    if (s.name() == name) return &s;
+  }
+  return nullptr;
+}
+
+ConfigSection& Config::add_section(std::string name) {
+  sections_.emplace_back(std::move(name));
+  return sections_.back();
+}
+
+std::string Config::to_string() const {
+  std::ostringstream out;
+  for (const auto& [k, v] : global_.entries()) out << k << " = " << v << '\n';
+  for (const auto& s : sections_) {
+    out << '[' << s.name() << "]\n";
+    for (const auto& [k, v] : s.entries()) out << k << " = " << v << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ecohmem

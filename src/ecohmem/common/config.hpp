@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file config.hpp
+/// INI-style configuration files, the format used by the HMem Advisor and
+/// FlexMalloc configuration in the ecoHMEM workflow.
+///
+/// Grammar:
+///   - `# comment` and `; comment` lines are ignored
+///   - `[section]` opens a section; repeated sections with the same name
+///     are kept as separate instances (the Advisor config has one
+///     `[memory]` section per tier)
+///   - `key = value` pairs belong to the most recent section; pairs before
+///     any section header belong to the unnamed global section ""
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ecohmem/common/expected.hpp"
+#include "ecohmem/common/units.hpp"
+
+namespace ecohmem {
+
+/// One `[section]` instance with its key/value pairs.
+class ConfigSection {
+ public:
+  ConfigSection() = default;
+  explicit ConfigSection(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  void set(std::string key, std::string value);
+
+  [[nodiscard]] bool has(std::string_view key) const;
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+
+  /// Typed getters returning a parse error when the key is present but
+  /// malformed, and the provided default when absent.
+  [[nodiscard]] Expected<std::string> get_string(std::string_view key, std::string def = {}) const;
+  [[nodiscard]] Expected<double> get_double(std::string_view key, double def) const;
+  [[nodiscard]] Expected<std::uint64_t> get_u64(std::string_view key, std::uint64_t def) const;
+  [[nodiscard]] Expected<Bytes> get_bytes(std::string_view key, Bytes def) const;
+  [[nodiscard]] Expected<bool> get_bool(std::string_view key, bool def) const;
+
+  [[nodiscard]] const std::map<std::string, std::string, std::less<>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+/// A parsed configuration file: an ordered list of section instances.
+class Config {
+ public:
+  /// Parses config text; returns a message with a line number on error.
+  [[nodiscard]] static Expected<Config> parse(std::string_view text);
+
+  /// Reads and parses a file.
+  [[nodiscard]] static Expected<Config> load(const std::string& path);
+
+  /// The unnamed global section (always present, possibly empty).
+  [[nodiscard]] const ConfigSection& global() const { return global_; }
+  [[nodiscard]] ConfigSection& global() { return global_; }
+
+  /// All section instances, in file order.
+  [[nodiscard]] const std::vector<ConfigSection>& sections() const { return sections_; }
+
+  /// All instances of sections named `name`, in file order.
+  [[nodiscard]] std::vector<const ConfigSection*> sections_named(std::string_view name) const;
+
+  /// First instance of `name`, or nullptr.
+  [[nodiscard]] const ConfigSection* first_section(std::string_view name) const;
+
+  ConfigSection& add_section(std::string name);
+
+  /// Serializes back to config-file text.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ConfigSection global_;
+  std::vector<ConfigSection> sections_;
+};
+
+}  // namespace ecohmem

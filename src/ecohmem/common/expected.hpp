@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file expected.hpp
+/// A minimal `Expected<T>` for recoverable errors at module boundaries.
+///
+/// ecoHMEM modules report expected failures (parse errors, capacity
+/// exhaustion, missing files) by value rather than by exception, following
+/// the project convention in DESIGN.md §6. This is a small subset of
+/// C++23 `std::expected` with `std::string` as the fixed error type.
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ecohmem {
+
+/// Tag type carrying an error message.
+struct Unexpected {
+  std::string message;
+};
+
+inline Unexpected unexpected(std::string message) { return Unexpected{std::move(message)}; }
+
+/// Either a value of type `T` or an error message.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : state_(std::in_place_index<0>, std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Unexpected err) : state_(std::in_place_index<1>, std::move(err.message)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool has_value() const { return state_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(has_value());
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(has_value());
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(has_value());
+    return std::get<0>(std::move(state_));
+  }
+
+  [[nodiscard]] const std::string& error() const {
+    assert(!has_value());
+    return std::get<1>(state_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return has_value() ? std::get<0>(state_) : std::move(fallback);
+  }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  std::variant<T, std::string> state_;
+};
+
+/// Expected<void> analogue: success or an error message.
+class Status {
+ public:
+  Status() = default;
+  Status(Unexpected err) : error_(std::move(err.message)), failed_(true) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const std::string& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+ private:
+  std::string error_;
+  bool failed_ = false;
+};
+
+}  // namespace ecohmem

@@ -1,0 +1,51 @@
+#include "ecohmem/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ecohmem/common/rng.hpp"
+
+namespace ecohmem {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::rsd() const { return mean_ != 0.0 ? stddev() / std::abs(mean_) : 0.0; }
+
+double PercentileSampler::percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  std::sort(values_.begin(), values_.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  // Box–Muller; discard the second variate for statelessness.
+  const double u1 = std::max(next_double(), 1e-300);
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace ecohmem

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming statistics accumulators used by run metrics and benchmarks.
+
+#include <cstddef>
+#include <vector>
+
+namespace ecohmem {
+
+class Rng;
+
+/// Welford-style streaming mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Relative standard deviation (stddev / mean), 0 when mean is 0.
+  [[nodiscard]] double rsd() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile over a retained sample set (intended for small N).
+class PercentileSampler {
+ public:
+  void add(double x) { values_.push_back(x); }
+  /// p in [0, 100]; linear interpolation between ranks; 0 for empty.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+
+ private:
+  mutable std::vector<double> values_;
+};
+
+namespace ecohmem_detail {}
+
+}  // namespace ecohmem

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file units.hpp
+/// Fundamental unit types and conversion helpers used across ecoHMEM.
+///
+/// Conventions (see DESIGN.md §6):
+///  - sizes are bytes (`Bytes`, unsigned 64-bit)
+///  - timestamps are nanoseconds of *simulated* time (`Ns`, unsigned 64-bit)
+///  - latencies and durations used in arithmetic are `double` nanoseconds
+///  - bandwidths are GB/s where 1 GB = 1e9 bytes
+
+#include <cstdint>
+
+namespace ecohmem {
+
+using Bytes = std::uint64_t;
+using Ns = std::uint64_t;
+using Cycles = std::uint64_t;
+
+/// Nominal core frequency of the reference platform (Xeon Platinum 8260L).
+inline constexpr double kCoreGhz = 2.3;
+
+inline constexpr Bytes operator""_KiB(unsigned long long v) { return v * 1024ull; }
+inline constexpr Bytes operator""_MiB(unsigned long long v) { return v * 1024ull * 1024ull; }
+inline constexpr Bytes operator""_GiB(unsigned long long v) { return v * 1024ull * 1024ull * 1024ull; }
+
+/// Converts a byte count moved over a duration into GB/s (1 GB = 1e9 B).
+constexpr double bytes_per_ns_to_gbs(double bytes_per_ns) { return bytes_per_ns; }
+
+/// Bandwidth in GB/s for `bytes` moved in `duration_ns` nanoseconds.
+constexpr double bandwidth_gbs(double bytes, double duration_ns) {
+  return duration_ns > 0.0 ? bytes / duration_ns : 0.0;
+}
+
+/// Converts simulated cycles at the nominal frequency into nanoseconds.
+constexpr double cycles_to_ns(double cycles) { return cycles / kCoreGhz; }
+
+/// Converts nanoseconds into simulated cycles at the nominal frequency.
+constexpr double ns_to_cycles(double ns) { return ns * kCoreGhz; }
+
+inline constexpr Ns operator""_us(unsigned long long v) { return v * 1000ull; }
+inline constexpr Ns operator""_ms(unsigned long long v) { return v * 1000'000ull; }
+inline constexpr Ns operator""_s(unsigned long long v) { return v * 1000'000'000ull; }
+
+/// Cache-line size assumed by every cache model in memsim.
+inline constexpr Bytes kCacheLine = 64;
+
+/// Page size assumed by the DRAM-cache (memory mode) and tiering models.
+inline constexpr Bytes kPageSize = 4096;
+
+}  // namespace ecohmem

@@ -1,0 +1,75 @@
+#include "ecohmem/core/autotune.hpp"
+
+#include <algorithm>
+#include <future>
+#include <thread>
+
+namespace ecohmem::core {
+
+Expected<AutotuneResult> autotune(const runtime::Workload& workload,
+                                  const memsim::MemorySystem& system,
+                                  const AutotuneSpace& space, unsigned max_parallelism) {
+  if (space.dram_limits.empty() || space.store_coefs.empty() ||
+      space.bandwidth_aware.empty()) {
+    return unexpected("autotune space is empty");
+  }
+
+  std::vector<WorkflowOptions> candidates;
+  for (const Bytes dram : space.dram_limits) {
+    for (const double coef : space.store_coefs) {
+      for (const bool bw : space.bandwidth_aware) {
+        WorkflowOptions opt;
+        opt.dram_limit = dram;
+        opt.store_coef = coef;
+        opt.bandwidth_aware = bw;
+        opt.format = advisor::ReportFormat::kBom;  // thread-safe path only
+        candidates.push_back(opt);
+      }
+    }
+  }
+
+  unsigned parallelism = max_parallelism != 0 ? max_parallelism
+                                              : std::max(1u, std::thread::hardware_concurrency());
+  parallelism = std::min<unsigned>(parallelism, static_cast<unsigned>(candidates.size()));
+
+  AutotuneResult result;
+  result.all.resize(candidates.size());
+
+  // Bounded fan-out: launch in waves of `parallelism` async evaluations.
+  for (std::size_t wave = 0; wave < candidates.size(); wave += parallelism) {
+    const std::size_t end = std::min(wave + parallelism, candidates.size());
+    std::vector<std::future<AutotuneCandidate>> futures;
+    futures.reserve(end - wave);
+    for (std::size_t i = wave; i < end; ++i) {
+      futures.push_back(std::async(std::launch::async, [&, i] {
+        AutotuneCandidate c;
+        c.options = candidates[i];
+        const auto run = run_workflow(workload, system, candidates[i]);
+        if (run) {
+          c.ok = true;
+          c.speedup = run->speedup();
+        } else {
+          c.error = run.error();
+        }
+        return c;
+      }));
+    }
+    for (std::size_t i = wave; i < end; ++i) {
+      result.all[i] = futures[i - wave].get();
+    }
+  }
+
+  const auto best = std::max_element(
+      result.all.begin(), result.all.end(), [](const auto& a, const auto& b) {
+        if (a.ok != b.ok) return !a.ok;
+        return a.speedup < b.speedup;
+      });
+  if (best == result.all.end() || !best->ok) {
+    return unexpected("every autotune candidate failed" +
+                      (result.all.empty() ? "" : ": " + result.all.front().error));
+  }
+  result.best = *best;
+  return result;
+}
+
+}  // namespace ecohmem::core

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file autotune.hpp
+/// Parallel Advisor-configuration search.
+///
+/// The paper picks DRAM limits and metric configurations by hand (4/8/12
+/// GB, Loads vs Loads+stores, base vs bandwidth-aware). Since a workflow
+/// evaluation is cheap on the simulator, we can simply search the space:
+/// every candidate configuration runs the full profile→advise→produce
+/// pipeline concurrently (std::async fan-out) and the fastest production
+/// run wins. Deterministic: results are independent of scheduling.
+///
+/// Restricted to BOM-format reports: the human-readable path shares a
+/// lazily-sorted symbol table across runs and is not thread-safe.
+
+#include <vector>
+
+#include "ecohmem/core/ecohmem.hpp"
+
+namespace ecohmem::core {
+
+/// The cross-product search space.
+struct AutotuneSpace {
+  std::vector<Bytes> dram_limits = {4ull << 30, 8ull << 30, 12ull << 30};
+  std::vector<double> store_coefs = {0.0, 0.125};
+  std::vector<bool> bandwidth_aware = {false, true};
+};
+
+/// One evaluated candidate.
+struct AutotuneCandidate {
+  WorkflowOptions options;
+  double speedup = 0.0;  ///< over the memory-mode baseline
+  bool ok = false;
+  std::string error;
+};
+
+struct AutotuneResult {
+  AutotuneCandidate best;
+  std::vector<AutotuneCandidate> all;  ///< every candidate, search order
+};
+
+/// Evaluates the whole space; `max_parallelism` bounds concurrent runs
+/// (0 = hardware concurrency). Fails only if every candidate fails.
+[[nodiscard]] Expected<AutotuneResult> autotune(const runtime::Workload& workload,
+                                                const memsim::MemorySystem& system,
+                                                const AutotuneSpace& space = {},
+                                                unsigned max_parallelism = 0);
+
+}  // namespace ecohmem::core

@@ -1,0 +1,120 @@
+#include "ecohmem/flexmalloc/flexmalloc.hpp"
+
+namespace ecohmem::flexmalloc {
+
+namespace {
+/// Non-overlapping VA ranges per tier: tier i owns [ (i+1)<<44, (i+2)<<44 ).
+std::uint64_t heap_base(std::size_t tier_index) {
+  return (static_cast<std::uint64_t>(tier_index) + 1) << 44;
+}
+}  // namespace
+
+Expected<FlexMalloc> FlexMalloc::create(std::vector<HeapSpec> heaps, const ParsedReport& report,
+                                        const bom::SymbolTable* symbols,
+                                        MatcherOptions matcher_options) {
+  if (heaps.empty()) return unexpected("FlexMalloc needs at least one heap");
+
+  FlexMalloc fm;
+  bool fallback_found = false;
+  for (std::size_t i = 0; i < heaps.size(); ++i) {
+    const HeapSpec& spec = heaps[i];
+    if (spec.capacity == 0) return unexpected("heap '" + spec.tier + "' has zero capacity");
+    fm.heaps_.push_back(
+        std::make_unique<ArenaHeap>(spec.tier, heap_base(i), spec.capacity));
+    fm.tier_stats_.push_back(TierStats{spec.tier, 0, 0, 0});
+    if (spec.tier == report.fallback_tier) {
+      fm.fallback_ = i;
+      fallback_found = true;
+    }
+  }
+  if (!report.fallback_tier.empty() && !fallback_found) {
+    return unexpected("report fallback tier '" + report.fallback_tier + "' has no heap");
+  }
+  if (report.fallback_tier.empty()) {
+    // No fallback named in the report: use the largest heap, which is the
+    // sensible default the paper describes ("usually the largest").
+    std::size_t largest = 0;
+    for (std::size_t i = 1; i < fm.heaps_.size(); ++i) {
+      if (fm.heaps_[i]->capacity() > fm.heaps_[largest]->capacity()) largest = i;
+    }
+    fm.fallback_ = largest;
+  }
+
+  // Validate that every report tier has a heap before building the index.
+  for (const auto& entry : report.entries) {
+    bool known = false;
+    for (const auto& h : fm.heaps_) {
+      if (h->name() == entry.tier) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) return unexpected("report names unknown tier '" + entry.tier + "'");
+  }
+
+  auto matcher = CallStackMatcher::create(report, symbols, matcher_options);
+  if (!matcher) return unexpected(matcher.error());
+  fm.matcher_ = std::move(*matcher);
+  return fm;
+}
+
+Expected<std::size_t> FlexMalloc::tier_index(std::string_view name) const {
+  for (std::size_t i = 0; i < heaps_.size(); ++i) {
+    if (heaps_[i]->name() == name) return i;
+  }
+  return unexpected("unknown tier: '" + std::string(name) + "'");
+}
+
+Expected<Allocation> FlexMalloc::malloc(const bom::CallStack& stack, Bytes size) {
+  const MatchResult match = matcher_.match(stack);
+
+  std::size_t target = fallback_;
+  if (match.matched()) {
+    if (auto idx = tier_index(*match.tier)) target = *idx;
+  }
+
+  Allocation out;
+  out.matched = match.matched();
+  out.tier_index = target;
+
+  auto addr = heaps_[target]->allocate(size);
+  if (!addr && target != fallback_) {
+    // Designated tier is full: redirect to the fallback subsystem (§IV-C).
+    target = fallback_;
+    out.redirected = true;
+    ++oom_redirects_;
+    addr = heaps_[target]->allocate(size);
+  }
+  if (!addr) return unexpected(addr.error());
+
+  out.address = *addr;
+  out.tier_index = target;
+  auto& stats = tier_stats_[target];
+  ++stats.allocations;
+  stats.bytes += size;
+  stats.high_water = std::max(stats.high_water, heaps_[target]->used());
+  return out;
+}
+
+Status FlexMalloc::free(std::uint64_t address) {
+  for (auto& heap : heaps_) {
+    if (heap->owns(address)) {
+      auto freed = heap->deallocate(address);
+      if (!freed) return unexpected(freed.error());
+      return {};
+    }
+  }
+  return unexpected("free of address not owned by any heap");
+}
+
+Expected<Allocation> FlexMalloc::realloc(const bom::CallStack& stack, std::uint64_t address,
+                                         Bytes new_size) {
+  if (address != 0) {
+    if (Status s = free(address); !s) return unexpected(s.error());
+  }
+  return malloc(stack, new_size);
+}
+
+std::vector<TierStats> FlexMalloc::stats() const { return tier_stats_; }
+
+}  // namespace ecohmem::flexmalloc

@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file flexmalloc.hpp
+/// The FlexMalloc interposer: routes each intercepted allocation to the
+/// heap manager of the tier named by the Advisor report (§IV-C).
+///
+/// Behaviors reproduced from the real library:
+///   - call-stack capture + matching on every allocation (matcher.hpp),
+///   - fallback tier for objects not listed in the report,
+///   - fallback redirection when the designated tier runs out of space,
+///   - per-tier accounting and matching-cost metering.
+///
+/// The "interposition" boundary here is the explicit `malloc(stack, size)`
+/// call the execution engine makes for every workload allocation; on a
+/// real system the same entry point is reached via LD_PRELOAD.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ecohmem/bom/frame.hpp"
+#include "ecohmem/bom/symbols.hpp"
+#include "ecohmem/common/expected.hpp"
+#include "ecohmem/flexmalloc/heap_manager.hpp"
+#include "ecohmem/flexmalloc/matcher.hpp"
+#include "ecohmem/flexmalloc/report_parser.hpp"
+
+namespace ecohmem::flexmalloc {
+
+/// Description of one tier-backed heap FlexMalloc sits on.
+struct HeapSpec {
+  std::string tier;     ///< tier name, must match report tier names
+  Bytes capacity = 0;   ///< capacity available for dynamic allocations
+};
+
+/// A completed allocation.
+struct Allocation {
+  std::uint64_t address = 0;
+  std::size_t tier_index = 0;
+  bool matched = false;     ///< report hit (vs fallback by default)
+  bool redirected = false;  ///< designated tier was full, fell back
+};
+
+/// Per-tier counters.
+struct TierStats {
+  std::string tier;
+  std::uint64_t allocations = 0;
+  Bytes bytes = 0;
+  Bytes high_water = 0;
+};
+
+class FlexMalloc {
+ public:
+  /// `heaps`: one per tier, in the order used by `Allocation::tier_index`.
+  /// `fallback_tier` must name one of them. `symbols` is required only
+  /// for human-readable reports. `matcher_options` configures the
+  /// stack-depth fallback matching.
+  [[nodiscard]] static Expected<FlexMalloc> create(std::vector<HeapSpec> heaps,
+                                                   const ParsedReport& report,
+                                                   const bom::SymbolTable* symbols = nullptr,
+                                                   MatcherOptions matcher_options = {});
+
+  /// Interposed malloc: captures nothing itself — the caller passes the
+  /// call stack it captured (the engine plays the unwinder's role).
+  [[nodiscard]] Expected<Allocation> malloc(const bom::CallStack& stack, Bytes size);
+
+  /// Interposed free.
+  [[nodiscard]] Status free(std::uint64_t address);
+
+  /// Interposed realloc: returns a new allocation in the same tier the
+  /// stack maps to (contents-copy cost is the engine's concern).
+  [[nodiscard]] Expected<Allocation> realloc(const bom::CallStack& stack,
+                                             std::uint64_t address, Bytes new_size);
+
+  [[nodiscard]] std::size_t tier_count() const { return heaps_.size(); }
+  [[nodiscard]] const std::string& tier_name(std::size_t index) const {
+    return heaps_.at(index)->name();
+  }
+  [[nodiscard]] Expected<std::size_t> tier_index(std::string_view name) const;
+  [[nodiscard]] std::size_t fallback_index() const { return fallback_; }
+
+  [[nodiscard]] const HeapManager& heap(std::size_t index) const { return *heaps_.at(index); }
+  [[nodiscard]] std::vector<TierStats> stats() const;
+
+  /// Simulated cost of all matching work so far (see matcher.hpp).
+  [[nodiscard]] double matching_cost_ns() const { return matcher_.matching_cost_ns(); }
+  [[nodiscard]] const CallStackMatcher& matcher() const { return matcher_; }
+
+  /// Allocations that had to be redirected because their tier was full.
+  [[nodiscard]] std::uint64_t oom_redirects() const { return oom_redirects_; }
+
+ private:
+  FlexMalloc() = default;
+
+  std::vector<std::unique_ptr<ArenaHeap>> heaps_;
+  std::vector<TierStats> tier_stats_;
+  CallStackMatcher matcher_;
+  std::size_t fallback_ = 0;
+  std::uint64_t oom_redirects_ = 0;
+};
+
+}  // namespace ecohmem::flexmalloc

@@ -1,0 +1,77 @@
+#include "ecohmem/flexmalloc/heap_manager.hpp"
+
+#include <algorithm>
+
+namespace ecohmem::flexmalloc {
+
+ArenaHeap::ArenaHeap(std::string name, std::uint64_t base, Bytes capacity, Bytes alignment)
+    : name_(std::move(name)),
+      base_(base),
+      capacity_(capacity),
+      alignment_(alignment > 0 ? alignment : 64),
+      cursor_(base) {}
+
+Expected<std::uint64_t> ArenaHeap::allocate(Bytes size) {
+  if (size == 0) size = alignment_;
+  const Bytes padded = (size + alignment_ - 1) / alignment_ * alignment_;
+  if (used_ + padded > capacity_) {
+    return unexpected("heap '" + name_ + "' out of capacity (used " + std::to_string(used_) +
+                      ", request " + std::to_string(padded) + ", capacity " +
+                      std::to_string(capacity_) + ")");
+  }
+
+  // First-fit over the free list, else bump the cursor.
+  std::uint64_t address = 0;
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second >= padded) {
+      address = it->first;
+      const Bytes remainder = it->second - padded;
+      free_.erase(it);
+      if (remainder > 0) free_.emplace(address + padded, remainder);
+      break;
+    }
+  }
+  if (address == 0) {
+    address = cursor_;
+    cursor_ += padded;
+  }
+
+  live_.emplace(address, padded);
+  used_ += padded;
+  high_water_ = std::max(high_water_, used_);
+  return address;
+}
+
+Expected<Bytes> ArenaHeap::deallocate(std::uint64_t address) {
+  const auto it = live_.find(address);
+  if (it == live_.end()) {
+    return unexpected("heap '" + name_ + "': free of unknown address");
+  }
+  const Bytes size = it->second;
+  live_.erase(it);
+  used_ -= size;
+
+  // Insert into the free list, coalescing with neighbors.
+  auto [pos, inserted] = free_.emplace(address, size);
+  (void)inserted;
+  if (pos != free_.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->first + prev->second == pos->first) {
+      prev->second += pos->second;
+      free_.erase(pos);
+      pos = prev;
+    }
+  }
+  if (auto next = std::next(pos); next != free_.end() && pos->first + pos->second == next->first) {
+    pos->second += next->second;
+    free_.erase(next);
+  }
+  return size;
+}
+
+bool ArenaHeap::owns(std::uint64_t address) const {
+  return live_.contains(address) ||
+         (address >= base_ && address < cursor_);
+}
+
+}  // namespace ecohmem::flexmalloc

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file heap_manager.hpp
+/// Per-tier heap managers behind FlexMalloc (§IV-C).
+///
+/// On the real system these are memkind (PMem), POSIX malloc (DRAM) or
+/// libnuma. Here each tier gets an `ArenaHeap`: a virtual-address-space
+/// manager with first-fit free-list reuse and capacity accounting. The
+/// addresses it hands out are simulated VAs — distinct non-overlapping
+/// ranges per tier, so the profiler's sample attribution and the
+/// analyzer's interval lookup behave exactly as with real pointers.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ecohmem/common/expected.hpp"
+#include "ecohmem/common/units.hpp"
+
+namespace ecohmem::flexmalloc {
+
+/// Interface of a tier-backed heap.
+class HeapManager {
+ public:
+  virtual ~HeapManager() = default;
+
+  /// Allocates `size` bytes; fails when the tier is out of capacity.
+  [[nodiscard]] virtual Expected<std::uint64_t> allocate(Bytes size) = 0;
+
+  /// Frees the block starting at `address`; returns its size.
+  [[nodiscard]] virtual Expected<Bytes> deallocate(std::uint64_t address) = 0;
+
+  /// True if `address` belongs to this heap.
+  [[nodiscard]] virtual bool owns(std::uint64_t address) const = 0;
+
+  [[nodiscard]] virtual Bytes used() const = 0;
+  [[nodiscard]] virtual Bytes capacity() const = 0;
+  [[nodiscard]] virtual const std::string& name() const = 0;
+};
+
+/// Simulated-address-space heap with first-fit reuse of freed blocks.
+class ArenaHeap final : public HeapManager {
+ public:
+  /// `base`: start of this heap's VA range (ranges must not overlap
+  /// across heaps). Blocks are aligned to `alignment`.
+  ArenaHeap(std::string name, std::uint64_t base, Bytes capacity, Bytes alignment = 64);
+
+  [[nodiscard]] Expected<std::uint64_t> allocate(Bytes size) override;
+  [[nodiscard]] Expected<Bytes> deallocate(std::uint64_t address) override;
+  [[nodiscard]] bool owns(std::uint64_t address) const override;
+  [[nodiscard]] Bytes used() const override { return used_; }
+  [[nodiscard]] Bytes capacity() const override { return capacity_; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  [[nodiscard]] std::uint64_t base() const { return base_; }
+  [[nodiscard]] std::uint64_t live_blocks() const { return live_.size(); }
+  [[nodiscard]] Bytes high_water() const { return high_water_; }
+
+ private:
+  std::string name_;
+  std::uint64_t base_;
+  Bytes capacity_;
+  Bytes alignment_;
+  std::uint64_t cursor_;
+  Bytes used_ = 0;
+  Bytes high_water_ = 0;
+  std::map<std::uint64_t, Bytes> live_;  // address -> size
+  std::map<std::uint64_t, Bytes> free_;  // address -> size (coalesced)
+};
+
+}  // namespace ecohmem::flexmalloc

@@ -1,0 +1,92 @@
+#include "ecohmem/flexmalloc/report_parser.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "ecohmem/common/strings.hpp"
+
+namespace ecohmem::flexmalloc {
+
+Expected<ParsedReport> parse_report(std::string_view text, const bom::ModuleTable& modules) {
+  ParsedReport report;
+  bool format_known = false;
+
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    std::string_view raw =
+        text.substr(start, end == std::string_view::npos ? std::string_view::npos : end - start);
+    start = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    ++line_no;
+
+    std::string_view line = strings::trim(raw);
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      // Header comments: "# format = bom", "# fallback = pmem".
+      const std::string_view body = strings::trim(line.substr(1));
+      const std::size_t eq = body.find('=');
+      if (eq != std::string_view::npos) {
+        const std::string_view key = strings::trim(body.substr(0, eq));
+        const std::string_view value = strings::trim(body.substr(eq + 1));
+        if (key == "format") {
+          report.is_bom = value == "bom";
+          format_known = true;
+        } else if (key == "fallback") {
+          report.fallback_tier = std::string(value);
+        }
+      }
+      continue;
+    }
+
+    // Strip trailing "# size=N" annotation.
+    Bytes size = 0;
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      const std::string_view note = strings::trim(line.substr(hash + 1));
+      if (strings::starts_with(note, "size=")) {
+        if (auto parsed = strings::parse_u64(note.substr(5))) size = *parsed;
+      }
+      line = strings::trim(line.substr(0, hash));
+    }
+
+    const std::size_t at = line.rfind(" @ ");
+    if (at == std::string_view::npos) {
+      return unexpected("report line " + std::to_string(line_no) + ": missing ' @ tier'");
+    }
+    const std::string_view stack_text = strings::trim(line.substr(0, at));
+    const std::string_view tier = strings::trim(line.substr(at + 3));
+    if (tier.empty()) {
+      return unexpected("report line " + std::to_string(line_no) + ": empty tier");
+    }
+
+    if (!format_known) {
+      report.is_bom = bom::looks_like_bom(stack_text);
+      format_known = true;
+    }
+
+    ReportEntry entry;
+    entry.tier = std::string(tier);
+    entry.size = size;
+    if (report.is_bom) {
+      auto cs = bom::parse_bom(stack_text, modules);
+      if (!cs) return unexpected("report line " + std::to_string(line_no) + ": " + cs.error());
+      entry.stack = std::move(*cs);
+    } else {
+      auto hs = bom::parse_human(stack_text);
+      if (!hs) return unexpected("report line " + std::to_string(line_no) + ": " + hs.error());
+      entry.stack = std::move(*hs);
+    }
+    report.entries.push_back(std::move(entry));
+  }
+  return report;
+}
+
+Expected<ParsedReport> load_report(const std::string& path, const bom::ModuleTable& modules) {
+  std::ifstream in(path);
+  if (!in) return unexpected("cannot open report: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_report(ss.str(), modules);
+}
+
+}  // namespace ecohmem::flexmalloc

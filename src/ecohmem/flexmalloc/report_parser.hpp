@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file report_parser.hpp
+/// Parses Advisor reports on the FlexMalloc side.
+///
+/// FlexMalloc reads the report at startup and builds its matching
+/// structures. Both Table I formats are supported; the format is
+/// auto-detected per file (header comment or frame syntax).
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ecohmem/bom/format.hpp"
+#include "ecohmem/bom/module_table.hpp"
+#include "ecohmem/common/expected.hpp"
+
+namespace ecohmem::flexmalloc {
+
+/// One parsed report line.
+struct ReportEntry {
+  /// BOM stacks are resolved against the module table; human-readable
+  /// stacks stay as file:line frames and are matched by string.
+  std::variant<bom::CallStack, bom::HumanStack> stack;
+  std::string tier;
+  Bytes size = 0;  ///< informational (the Advisor's footprint charge)
+};
+
+struct ParsedReport {
+  std::vector<ReportEntry> entries;
+  std::string fallback_tier;
+  bool is_bom = true;
+};
+
+/// Parses report text. BOM frames are resolved against `modules`; an
+/// unknown module name is an error (the binary changed since profiling).
+[[nodiscard]] Expected<ParsedReport> parse_report(std::string_view text,
+                                                  const bom::ModuleTable& modules);
+
+[[nodiscard]] Expected<ParsedReport> load_report(const std::string& path,
+                                                 const bom::ModuleTable& modules);
+
+}  // namespace ecohmem::flexmalloc

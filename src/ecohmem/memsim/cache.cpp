@@ -1,0 +1,107 @@
+#include "ecohmem/memsim/cache.hpp"
+
+#include <algorithm>
+
+namespace ecohmem::memsim {
+
+SetAssocCache::SetAssocCache(CacheGeometry geometry)
+    : geom_(geometry), num_sets_(std::max<std::uint64_t>(geometry.num_sets(), 1)) {
+  ways_.resize(num_sets_ * geom_.ways);
+}
+
+CacheAccessResult SetAssocCache::access(std::uint64_t addr, bool is_write) {
+  const std::uint64_t line_addr = addr / geom_.line;
+  const std::uint64_t set = set_of(line_addr);
+  Way* base = &ways_[set * geom_.ways];
+  ++clock_;
+
+  CacheAccessResult result;
+  for (unsigned w = 0; w < geom_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == line_addr) {
+      way.lru = clock_;
+      way.dirty = way.dirty || is_write;
+      ++hits_;
+      result.hit = true;
+      return result;
+    }
+  }
+
+  // Miss: pick invalid way or LRU victim.
+  Way* victim = base;
+  for (unsigned w = 0; w < geom_.ways; ++w) {
+    Way& way = base[w];
+    if (!way.valid) {
+      victim = &way;
+      break;
+    }
+    if (way.lru < victim->lru) victim = &way;
+  }
+  if (victim->valid) {
+    result.evicted_valid = true;
+    result.evicted_line = victim->tag * geom_.line;
+    if (victim->dirty) {
+      result.writeback = true;
+      ++writebacks_;
+    }
+  }
+  victim->tag = line_addr;
+  victim->valid = true;
+  victim->dirty = is_write;
+  victim->lru = clock_;
+  ++misses_;
+  return result;
+}
+
+bool SetAssocCache::probe(std::uint64_t addr) const {
+  const std::uint64_t line_addr = addr / geom_.line;
+  const std::uint64_t set = set_of(line_addr);
+  const Way* base = &ways_[set * geom_.ways];
+  for (unsigned w = 0; w < geom_.ways; ++w) {
+    if (base[w].valid && base[w].tag == line_addr) return true;
+  }
+  return false;
+}
+
+void SetAssocCache::flush() {
+  std::fill(ways_.begin(), ways_.end(), Way{});
+  clock_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(CacheGeometry l1, CacheGeometry l2, CacheGeometry llc)
+    : l1_(l1), l2_(l2), llc_(llc) {}
+
+CacheHierarchy CacheHierarchy::xeon_8260l() {
+  return CacheHierarchy({32 * 1024, 8, kCacheLine},
+                        {1024 * 1024, 16, kCacheLine},
+                        {35842624 / 64 * 64, 11, kCacheLine});  // 35.75 MiB rounded to lines
+}
+
+HitLevel CacheHierarchy::access(std::uint64_t addr, bool is_write) {
+  const auto r1 = l1_.access(addr, is_write);
+  if (is_write && !r1.hit) ++l1_store_misses_;
+  if (r1.hit) return HitLevel::kL1;
+  if (r1.writeback) {
+    const auto wb = l2_.access(r1.evicted_line, true);
+    if (!wb.hit && wb.writeback) llc_.access(wb.evicted_line, true);
+  }
+
+  const auto r2 = l2_.access(addr, is_write);
+  if (r2.hit) return HitLevel::kL2;
+  if (r2.writeback) llc_.access(r2.evicted_line, true);
+
+  const auto r3 = llc_.access(addr, is_write);
+  if (r3.hit) return HitLevel::kLlc;
+  if (!is_write) ++llc_load_misses_;
+  return HitLevel::kMemory;
+}
+
+void CacheHierarchy::flush() {
+  l1_.flush();
+  l2_.flush();
+  llc_.flush();
+  llc_load_misses_ = 0;
+  l1_store_misses_ = 0;
+}
+
+}  // namespace ecohmem::memsim

@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file cache.hpp
+/// Per-access set-associative cache simulation.
+///
+/// This is the fine-grained companion to the analytic model in
+/// analytic_cache.hpp: unit tests, the quickstart example and the
+/// microbenchmarks drive real address streams through a three-level
+/// hierarchy modeled after the evaluation node (Xeon Platinum 8260L:
+/// 32 KiB/8-way L1D, 1 MiB/16-way L2, ~35.75 MiB/11-way LLC). Write-back,
+/// write-allocate, LRU replacement.
+
+#include <cstdint>
+#include <vector>
+
+#include "ecohmem/common/expected.hpp"
+#include "ecohmem/common/units.hpp"
+
+namespace ecohmem::memsim {
+
+/// Geometry of one cache level.
+struct CacheGeometry {
+  Bytes size = 0;
+  unsigned ways = 1;
+  Bytes line = kCacheLine;
+
+  [[nodiscard]] std::uint64_t num_sets() const {
+    const std::uint64_t lines = size / line;
+    return ways > 0 ? lines / ways : 0;
+  }
+};
+
+/// Result of a single cache access.
+struct CacheAccessResult {
+  bool hit = false;
+  bool writeback = false;           ///< a dirty line was evicted
+  std::uint64_t evicted_line = 0;   ///< line address of the eviction (valid if !hit)
+  bool evicted_valid = false;
+};
+
+/// One set-associative, write-back, write-allocate, true-LRU cache level.
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(CacheGeometry geometry);
+
+  /// Accesses the line containing `addr`; allocates on miss.
+  CacheAccessResult access(std::uint64_t addr, bool is_write);
+
+  /// True if the line containing `addr` is resident (no state change).
+  [[nodiscard]] bool probe(std::uint64_t addr) const;
+
+  /// Invalidates everything (dirty contents are dropped).
+  void flush();
+
+  [[nodiscard]] const CacheGeometry& geometry() const { return geom_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t writebacks() const { return writebacks_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  [[nodiscard]] std::uint64_t set_of(std::uint64_t line_addr) const {
+    return line_addr % num_sets_;
+  }
+
+  CacheGeometry geom_;
+  std::uint64_t num_sets_;
+  std::vector<Way> ways_;  // num_sets_ x geom_.ways, row-major
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+/// Level at which an access was satisfied.
+enum class HitLevel { kL1, kL2, kLlc, kMemory };
+
+/// Three-level inclusive-enough hierarchy (no back-invalidation modeling;
+/// misses propagate downward, writebacks go to the next level).
+class CacheHierarchy {
+ public:
+  CacheHierarchy(CacheGeometry l1, CacheGeometry l2, CacheGeometry llc);
+
+  /// Default geometry of the evaluation node.
+  [[nodiscard]] static CacheHierarchy xeon_8260l();
+
+  /// Runs one load/store; returns where it hit. Memory-level results are
+  /// LLC misses (the events ecoHMEM's profiler samples).
+  HitLevel access(std::uint64_t addr, bool is_write);
+
+  [[nodiscard]] const SetAssocCache& l1() const { return l1_; }
+  [[nodiscard]] const SetAssocCache& l2() const { return l2_; }
+  [[nodiscard]] const SetAssocCache& llc() const { return llc_; }
+
+  [[nodiscard]] std::uint64_t llc_load_misses() const { return llc_load_misses_; }
+  [[nodiscard]] std::uint64_t l1_store_misses() const { return l1_store_misses_; }
+
+  void flush();
+
+ private:
+  SetAssocCache l1_;
+  SetAssocCache l2_;
+  SetAssocCache llc_;
+  std::uint64_t llc_load_misses_ = 0;
+  std::uint64_t l1_store_misses_ = 0;
+};
+
+}  // namespace ecohmem::memsim

@@ -1,0 +1,57 @@
+#include "ecohmem/memsim/dram_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecohmem::memsim {
+
+DramCacheModel::DramCacheModel(Bytes dram_bytes, double conflict_alpha, Bytes line)
+    : dram_bytes_(dram_bytes), conflict_alpha_(conflict_alpha), line_(std::max<Bytes>(line, 1)) {}
+
+DramCacheOutcome DramCacheModel::evaluate(const std::vector<DramCacheTraffic>& traffic) const {
+  DramCacheOutcome out;
+  out.per_object.resize(traffic.size());
+
+  double hot_footprint = 0.0;
+  for (const auto& t : traffic) hot_footprint += t.footprint;
+
+  const double dram = static_cast<double>(dram_bytes_);
+  const double ratio = hot_footprint > 0.0 ? dram / hot_footprint : 1.0;
+  const double capacity_factor = std::min(1.0, std::pow(std::max(ratio, 1e-9), conflict_alpha_));
+
+  const double line = static_cast<double>(line_);
+  double weighted_hits = 0.0;
+  double total_requests = 0.0;
+
+  for (std::size_t i = 0; i < traffic.size(); ++i) {
+    const auto& t = traffic[i];
+    auto& o = out.per_object[i];
+    const double h = std::clamp(t.locality, 0.0, 1.0) * capacity_factor;
+    o.hit_ratio = h;
+
+    const double requests = t.load_misses + t.store_misses;
+    weighted_hits += h * requests;
+    total_requests += requests;
+
+    // Loads: hits read DRAM; misses read PMem and fill DRAM (write).
+    o.dram_read_bytes = t.load_misses * h * line;
+    o.pmem_read_bytes = t.load_misses * (1.0 - h) * line;
+    o.dram_write_bytes = t.load_misses * (1.0 - h) * line;  // fills
+
+    // Stores (LLC dirty evictions): all land in the DRAM cache; misses
+    // additionally fetch the line (write-allocate) and the dirty line is
+    // eventually written back to PMem.
+    o.dram_write_bytes += t.store_misses * line;
+    o.pmem_read_bytes += t.store_misses * (1.0 - h) * line;   // write-allocate fill
+    o.pmem_write_bytes += t.store_misses * (1.0 - h) * line;  // eventual writeback
+
+    out.dram_read_bytes += o.dram_read_bytes;
+    out.dram_write_bytes += o.dram_write_bytes;
+    out.pmem_read_bytes += o.pmem_read_bytes;
+    out.pmem_write_bytes += o.pmem_write_bytes;
+  }
+  out.hit_ratio = total_requests > 0.0 ? weighted_hits / total_requests : 1.0;
+  return out;
+}
+
+}  // namespace ecohmem::memsim

@@ -1,0 +1,70 @@
+#include "ecohmem/memsim/stream_generator.hpp"
+
+#include <algorithm>
+
+namespace ecohmem::memsim {
+
+std::vector<MemoryRef> generate_stream(const StreamSpec& spec, Rng& rng) {
+  std::vector<MemoryRef> out;
+  out.reserve(spec.accesses);
+  const std::uint64_t lines = std::max<std::uint64_t>(spec.size / kCacheLine, 1);
+
+  std::uint64_t cursor = 0;
+  for (std::size_t i = 0; i < spec.accesses; ++i) {
+    std::uint64_t line = 0;
+    switch (spec.pattern) {
+      case StreamPattern::kSequential:
+        line = cursor++ % lines;
+        break;
+      case StreamPattern::kStrided: {
+        const std::uint64_t stride_lines = std::max<std::uint64_t>(spec.stride / kCacheLine, 1);
+        line = (cursor * stride_lines) % lines;
+        ++cursor;
+        break;
+      }
+      case StreamPattern::kRandom:
+        line = rng.next_below(lines);
+        break;
+      case StreamPattern::kHotCold: {
+        const std::uint64_t hot_lines = std::max<std::uint64_t>(lines / 10, 1);
+        if (rng.next_double() < 0.9) {
+          line = rng.next_below(hot_lines);
+        } else {
+          line = hot_lines + rng.next_below(std::max<std::uint64_t>(lines - hot_lines, 1));
+        }
+        break;
+      }
+    }
+    MemoryRef ref;
+    ref.address = spec.base + line * kCacheLine;
+    ref.is_write = rng.next_double() < spec.write_fraction;
+    out.push_back(ref);
+  }
+  return out;
+}
+
+std::vector<MemoryRef> interleave_streams(const std::vector<StreamSpec>& specs, Rng& rng) {
+  std::vector<std::vector<MemoryRef>> streams;
+  std::size_t total = 0;
+  for (const auto& spec : specs) {
+    streams.push_back(generate_stream(spec, rng));
+    total += streams.back().size();
+  }
+
+  std::vector<MemoryRef> out;
+  out.reserve(total);
+  std::vector<std::size_t> next(streams.size(), 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      if (next[s] < streams[s].size()) {
+        out.push_back(streams[s][next[s]++]);
+        progressed = true;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ecohmem::memsim

@@ -1,0 +1,153 @@
+#include "ecohmem/memsim/tier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace ecohmem::memsim {
+
+namespace {
+
+/// Queueing-shaped growth factor: g(0) = 0, strictly increasing, finite at
+/// kMaxUtilization. Normalized so g(kReferenceUtilization) == 1.
+double queue_growth(double utilization) {
+  const double u = std::clamp(utilization, 0.0, kMaxUtilization);
+  const double g = u / (1.0 - u);
+  const double g_ref = kReferenceUtilization / (1.0 - kReferenceUtilization);
+  return g / g_ref;
+}
+
+}  // namespace
+
+MemoryTier::MemoryTier(TierSpec spec) : spec_(std::move(spec)) {}
+
+double MemoryTier::utilization(double read_gbs, double write_gbs) const {
+  double u = 0.0;
+  if (spec_.peak_read_gbs > 0.0) u += std::max(read_gbs, 0.0) / spec_.peak_read_gbs;
+  if (spec_.peak_write_gbs > 0.0) u += std::max(write_gbs, 0.0) / spec_.peak_write_gbs;
+  return std::min(u, kMaxUtilization);
+}
+
+double MemoryTier::read_latency_ns(double u) const {
+  return spec_.idle_read_ns + (spec_.loaded_read_ns - spec_.idle_read_ns) * queue_growth(u);
+}
+
+double MemoryTier::write_latency_ns(double u) const {
+  return spec_.idle_write_ns + (spec_.loaded_write_ns - spec_.idle_write_ns) * queue_growth(u);
+}
+
+double MemoryTier::deliverable_read_gbs(double write_gbs) const {
+  const double write_share =
+      spec_.peak_write_gbs > 0.0 ? std::max(write_gbs, 0.0) / spec_.peak_write_gbs : 0.0;
+  const double read_share = std::max(0.0, kMaxUtilization - write_share);
+  return read_share * spec_.peak_read_gbs;
+}
+
+Expected<MemorySystem> MemorySystem::create(std::vector<TierSpec> tiers) {
+  if (tiers.empty()) return unexpected("memory system needs at least one tier");
+
+  std::set<std::string> names;
+  std::size_t fallback_count = 0;
+  for (const auto& t : tiers) {
+    if (t.name.empty()) return unexpected("tier with empty name");
+    if (!names.insert(t.name).second) return unexpected("duplicate tier name: " + t.name);
+    if (t.capacity == 0) return unexpected("tier '" + t.name + "' has zero capacity");
+    if (t.peak_read_gbs <= 0.0 || t.peak_write_gbs <= 0.0) {
+      return unexpected("tier '" + t.name + "' has non-positive peak bandwidth");
+    }
+    if (t.loaded_read_ns < t.idle_read_ns || t.loaded_write_ns < t.idle_write_ns) {
+      return unexpected("tier '" + t.name + "' loaded latency below idle latency");
+    }
+    if (t.is_fallback) ++fallback_count;
+  }
+  if (fallback_count != 1) return unexpected("memory system needs exactly one fallback tier");
+
+  std::stable_sort(tiers.begin(), tiers.end(),
+                   [](const TierSpec& a, const TierSpec& b) {
+                     return a.performance_rank < b.performance_rank;
+                   });
+
+  MemorySystem sys;
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    if (tiers[i].is_fallback) sys.fallback_ = i;
+    sys.tiers_.emplace_back(std::move(tiers[i]));
+  }
+  return sys;
+}
+
+Expected<std::size_t> MemorySystem::tier_index(std::string_view name) const {
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    if (tiers_[i].name() == name) return i;
+  }
+  return unexpected("unknown tier: '" + std::string(name) + "'");
+}
+
+TierSpec ddr4_dram_spec(Bytes capacity) {
+  TierSpec t;
+  t.name = "dram";
+  t.capacity = capacity;
+  // Fig. 2 calibration: ~90 ns idle; 117 ns at 22 GB/s with a ~38 GB/s
+  // read ceiling (2 DDR4-2666 channels populated on the pinned socket).
+  t.idle_read_ns = 90.0;
+  t.loaded_read_ns = 268.0;  // anchored at u = 0.9; yields ~117 ns at 22 GB/s
+  t.idle_write_ns = 95.0;
+  t.loaded_write_ns = 290.0;
+  t.peak_read_gbs = 38.0;
+  t.peak_write_gbs = 30.0;
+  t.performance_rank = 0;
+  t.is_fallback = false;
+  return t;
+}
+
+TierSpec optane_pmem_spec(int dimms) {
+  TierSpec t;
+  t.name = "pmem";
+  const int n = std::max(dimms, 1);
+  t.capacity = static_cast<Bytes>(n) * Bytes{512} * 1024 * 1024 * 1024;
+  // Per-DIMM Optane 100: ~4.3 GB/s read, ~1.5 GB/s write (sequential).
+  // 6 DIMMs => ~26 GB/s read / ~9 GB/s write, matching the §II statement
+  // that PMem read bandwidth is ~25% of DRAM and write ~10%.
+  t.peak_read_gbs = 4.33 * n;
+  t.peak_write_gbs = 1.5 * n;
+  // Fig. 2 calibration: ~185 ns idle; 239 ns at 22 GB/s on 6 DIMMs
+  // (u = 0.847, growth 0.614) anchors loaded_read at ~273 ns for u = 0.9.
+  t.idle_read_ns = 185.0;
+  t.loaded_read_ns = 273.0;
+  t.idle_write_ns = 260.0;  // §II: write latency 6x-30x DRAM depending on pattern
+  t.loaded_write_ns = 900.0;
+  t.performance_rank = 1;
+  t.is_fallback = true;
+  return t;
+}
+
+TierSpec optane_pmem200_spec(int dimms) {
+  TierSpec t = optane_pmem_spec(dimms);
+  t.peak_read_gbs *= 1.4;
+  t.peak_write_gbs *= 1.4;
+  t.idle_read_ns = 170.0;
+  t.loaded_read_ns = 250.0;
+  t.idle_write_ns = 230.0;
+  t.loaded_write_ns = 780.0;
+  return t;
+}
+
+TierSpec hbm2_spec(Bytes capacity) {
+  TierSpec t;
+  t.name = "hbm";
+  t.capacity = capacity;
+  t.idle_read_ns = 110.0;  // HBM trades latency for bandwidth
+  t.loaded_read_ns = 180.0;
+  t.idle_write_ns = 110.0;
+  t.loaded_write_ns = 180.0;
+  t.peak_read_gbs = 300.0;
+  t.peak_write_gbs = 300.0;
+  t.performance_rank = 0;
+  t.is_fallback = false;
+  return t;
+}
+
+Expected<MemorySystem> paper_system(int pmem_dimms) {
+  return MemorySystem::create({ddr4_dram_spec(), optane_pmem_spec(pmem_dimms)});
+}
+
+}  // namespace ecohmem::memsim

@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file tier.hpp
+/// Memory tier performance models.
+///
+/// This is the hardware substitute for the paper's DDR4 + Intel Optane
+/// PMem 100 testbed (DESIGN.md §2). Each tier has a bandwidth-dependent
+/// access latency curve calibrated against the paper's Fig. 2 and §II:
+/// at idle, DRAM reads cost ~90 ns and PMem reads ~185 ns; at 22 GB/s the
+/// paper reports 117 ns and 239 ns respectively. The curve shape is an
+/// M/M/1-inspired `idle + k * u/(1-u)` where `u` is utilization, so
+/// latency diverges as demand approaches the tier's peak bandwidth —
+/// the effect that motivates the bandwidth-aware placement of §VII.
+
+#include <string>
+#include <vector>
+
+#include "ecohmem/common/expected.hpp"
+#include "ecohmem/common/units.hpp"
+
+namespace ecohmem::memsim {
+
+/// Static description of one memory subsystem.
+struct TierSpec {
+  std::string name;
+  Bytes capacity = 0;
+
+  double idle_read_ns = 0.0;    ///< unloaded read latency
+  double loaded_read_ns = 0.0;  ///< read latency at reference utilization (0.9)
+  double idle_write_ns = 0.0;
+  double loaded_write_ns = 0.0;
+
+  double peak_read_gbs = 0.0;   ///< sequential read bandwidth ceiling
+  double peak_write_gbs = 0.0;  ///< sequential write bandwidth ceiling
+
+  /// Knapsack order: tiers are filled by the Advisor in ascending rank
+  /// (rank 0 = fastest tier).
+  int performance_rank = 0;
+
+  /// True for the tier used when the Advisor report does not list an
+  /// object or another tier runs out of space (the paper uses PMem).
+  bool is_fallback = false;
+};
+
+/// Utilization at which `loaded_*_ns` is anchored.
+inline constexpr double kReferenceUtilization = 0.9;
+
+/// Utilization ceiling: demand beyond this throttles throughput instead of
+/// growing latency without bound.
+inline constexpr double kMaxUtilization = 0.98;
+
+/// Runtime latency/bandwidth model for one tier.
+class MemoryTier {
+ public:
+  explicit MemoryTier(TierSpec spec);
+
+  [[nodiscard]] const TierSpec& spec() const { return spec_; }
+  [[nodiscard]] const std::string& name() const { return spec_.name; }
+  [[nodiscard]] Bytes capacity() const { return spec_.capacity; }
+
+  /// Combined utilization in [0, kMaxUtilization] for simultaneous read
+  /// and write streams (roofline-style: each stream consumes its own
+  /// ceiling; the sum is the device occupancy).
+  [[nodiscard]] double utilization(double read_gbs, double write_gbs) const;
+
+  /// Read latency at the given device utilization.
+  [[nodiscard]] double read_latency_ns(double utilization) const;
+
+  /// Write latency at the given device utilization.
+  [[nodiscard]] double write_latency_ns(double utilization) const;
+
+  /// Convenience: read latency under a given read/write demand.
+  [[nodiscard]] double read_latency_at(double read_gbs, double write_gbs) const {
+    return read_latency_ns(utilization(read_gbs, write_gbs));
+  }
+
+  /// Maximum deliverable read bandwidth given concurrent write demand.
+  [[nodiscard]] double deliverable_read_gbs(double write_gbs) const;
+
+ private:
+  TierSpec spec_;
+};
+
+/// A node's memory system: an ordered set of tiers (by performance rank).
+class MemorySystem {
+ public:
+  /// Validates tier specs (unique names, exactly one fallback, positive
+  /// bandwidths) and sorts by performance rank.
+  [[nodiscard]] static Expected<MemorySystem> create(std::vector<TierSpec> tiers);
+
+  [[nodiscard]] const std::vector<MemoryTier>& tiers() const { return tiers_; }
+  [[nodiscard]] std::size_t tier_count() const { return tiers_.size(); }
+
+  /// Index of the tier named `name`, or an error.
+  [[nodiscard]] Expected<std::size_t> tier_index(std::string_view name) const;
+  [[nodiscard]] const MemoryTier& tier(std::size_t index) const { return tiers_.at(index); }
+  [[nodiscard]] std::size_t fallback_index() const { return fallback_; }
+
+ private:
+  std::vector<MemoryTier> tiers_;
+  std::size_t fallback_ = 0;
+};
+
+/// Calibrated spec for the paper's DDR4 configuration (4x8 GB DIMMs,
+/// single NUMA node = 16 GB visible).
+[[nodiscard]] TierSpec ddr4_dram_spec(Bytes capacity = 16ull * 1024 * 1024 * 1024);
+
+/// Calibrated spec for Optane PMem 100 series. `dimms` scales capacity
+/// and bandwidth: the paper's PMem-6 uses 6 DIMMs per socket, PMem-2 uses
+/// 2 (1/3 of the bandwidth, "by physically removing DIMMs").
+[[nodiscard]] TierSpec optane_pmem_spec(int dimms = 6);
+
+/// Second-generation Optane (PMem 200 series): §II notes it "provides
+/// around 40% additional performance" — modeled as +40% bandwidth per
+/// DIMM with modestly lower latencies. Used by the projection study in
+/// bench_ext_pmem200.
+[[nodiscard]] TierSpec optane_pmem200_spec(int dimms = 6);
+
+/// An HBM2-like spec used by the generality example (the paper's §IX notes
+/// applicability to HBM+DRAM systems).
+[[nodiscard]] TierSpec hbm2_spec(Bytes capacity = 16ull * 1024 * 1024 * 1024);
+
+/// The paper's evaluation node: DDR4 (16 GB) + PMem with `pmem_dimms`
+/// DIMMs, PMem as fallback tier.
+[[nodiscard]] Expected<MemorySystem> paper_system(int pmem_dimms = 6);
+
+}  // namespace ecohmem::memsim

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file profiler.hpp
+/// The Extrae role: data-oriented profiling of a (simulated) run.
+///
+/// Attached to the execution engine as an observer, the profiler:
+///   - records every allocation/reallocation/deallocation with size,
+///     call stack (interned in BOM form, §VI) and returned address —
+///     the instrumentation of §IV-A,
+///   - subsamples the LLC load-miss stream and the store stream at a
+///     fixed rate (default 100 Hz, the paper's PEBS configuration),
+///     attaching a data linear address within the touched object and a
+///     per-sample weight equal to the inverse sampling ratio,
+///   - emits enter/leave markers per kernel so samples are attributable
+///     to functions (Table VII).
+///
+/// Sampling is deterministic given the seed; the sampling-noise property
+/// tests (DESIGN.md D5) sweep the seed.
+
+#include "ecohmem/common/rng.hpp"
+#include "ecohmem/runtime/observer.hpp"
+#include "ecohmem/trace/events.hpp"
+
+namespace ecohmem::profiler {
+
+struct ProfilerOptions {
+  double sample_rate_hz = 100.0;  ///< per counter (loads and stores)
+  bool sample_loads = true;       ///< MEM_LOAD_RETIRED.L3_MISS analogue
+  bool sample_stores = true;      ///< MEM_INST_RETIRED.ALL_STORES analogue (§V)
+  bool sample_uncore = true;      ///< periodic IMC bandwidth readings
+  std::uint64_t seed = 0x5eed;
+  double latency_jitter = 0.2;    ///< +/- fraction applied to sampled latency
+};
+
+class Profiler final : public runtime::ExecutionObserver {
+ public:
+  explicit Profiler(ProfilerOptions options = {});
+
+  void on_alloc(Ns time, std::uint64_t object_uid, std::uint64_t address, Bytes size,
+                const bom::CallStack& stack) override;
+  void on_free(Ns time, std::uint64_t object_uid) override;
+  void on_kernel(const runtime::KernelObservation& observation) override;
+
+  /// Finishes the trace and hands it over (the profiler can be reused
+  /// afterwards for another run).
+  [[nodiscard]] trace::Trace take_trace();
+
+  [[nodiscard]] const trace::Trace& trace() const { return trace_; }
+
+ private:
+  void emit_samples(const runtime::KernelObservation& obs, bool stores,
+                    std::uint32_t function_id);
+  void emit_uncore(const runtime::KernelObservation& obs);
+
+  ProfilerOptions options_;
+  trace::Trace trace_;
+  Rng rng_;
+  double load_sample_carry_ = 0.0;
+  double store_sample_carry_ = 0.0;
+};
+
+}  // namespace ecohmem::profiler

@@ -1,0 +1,292 @@
+#include "ecohmem/runtime/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace ecohmem::runtime {
+
+ExecutionEngine::ExecutionEngine(const memsim::MemorySystem* system, EngineOptions options)
+    : system_(system), options_(options) {}
+
+KernelSolution solve_kernel_fixed_point(const memsim::MemorySystem& system,
+                                        const std::vector<ObjectTraffic>& traffic,
+                                        const std::vector<memsim::KernelObjectMisses>& misses,
+                                        double compute_ns, double mlp,
+                                        const EngineOptions& options) {
+  const std::size_t tiers = system.tier_count();
+  KernelSolution sol;
+  sol.tier_read_latency_ns.assign(tiers, 0.0);
+  sol.tier_write_latency_ns.assign(tiers, 0.0);
+  sol.object_load_latency_ns.assign(traffic.size(), 0.0);
+
+  // Aggregate per-tier byte totals once.
+  std::vector<double> read_bytes(tiers, 0.0);
+  std::vector<double> write_bytes(tiers, 0.0);
+  for (const auto& t : traffic) {
+    for (std::size_t k = 0; k < tiers; ++k) {
+      read_bytes[k] += t.read_bytes[k];
+      write_bytes[k] += t.write_bytes[k];
+    }
+  }
+
+  // Bandwidth floor: no tier can move its bytes faster than its ceilings.
+  double bw_floor = 0.0;
+  for (std::size_t k = 0; k < tiers; ++k) {
+    const auto& spec = system.tier(k).spec();
+    const double t_tier = (read_bytes[k] / spec.peak_read_gbs +
+                           write_bytes[k] / spec.peak_write_gbs) /
+                          memsim::kMaxUtilization;
+    bw_floor = std::max(bw_floor, t_tier);
+  }
+  sol.bw_floor_ns = bw_floor;
+
+  const double safe_mlp = std::max(mlp, 1.0);
+
+  // Initial guess: idle latencies.
+  double duration = std::max(compute_ns, 1.0);
+  for (std::size_t k = 0; k < tiers; ++k) {
+    const auto& tier = system.tier(k);
+    duration += read_bytes[k] / static_cast<double>(kCacheLine) *
+                tier.spec().idle_read_ns / safe_mlp;
+  }
+  duration = std::max(duration, bw_floor);
+
+  for (int iter = 0; iter < options.max_fixed_point_iters; ++iter) {
+    sol.iterations = iter + 1;
+
+    // Utilization and latency per tier at the current duration guess.
+    std::vector<double> lat_read(tiers, 0.0);
+    std::vector<double> lat_write(tiers, 0.0);
+    for (std::size_t k = 0; k < tiers; ++k) {
+      const auto& tier = system.tier(k);
+      const double u = tier.utilization(read_bytes[k] / duration, write_bytes[k] / duration);
+      lat_read[k] = tier.read_latency_ns(u);
+      lat_write[k] = tier.write_latency_ns(u);
+    }
+
+    // Per-object load latency and stall accumulation.
+    double load_stall = 0.0;
+    double store_stall = 0.0;
+    for (std::size_t i = 0; i < traffic.size(); ++i) {
+      double lat = traffic[i].fixed_latency_ns;
+      for (std::size_t k = 0; k < tiers; ++k) {
+        lat += traffic[i].latency_share[k] * lat_read[k];
+      }
+      sol.object_load_latency_ns[i] = lat;
+      load_stall += misses[i].load_misses * lat / safe_mlp;
+      for (std::size_t k = 0; k < tiers; ++k) {
+        store_stall += traffic[i].write_bytes[k] / static_cast<double>(kCacheLine) *
+                       lat_write[k] * options.store_stall_weight / safe_mlp;
+      }
+    }
+
+    const double next = std::max(compute_ns + load_stall + store_stall, bw_floor);
+    const double damped = 0.5 * duration + 0.5 * next;
+    const bool converged = std::abs(damped - duration) <= options.convergence * duration;
+    duration = damped;
+    sol.load_stall_ns = load_stall;
+    sol.store_stall_ns = store_stall;
+    sol.tier_read_latency_ns = lat_read;
+    sol.tier_write_latency_ns = lat_write;
+    if (converged) break;
+  }
+
+  sol.duration_ns = duration;
+  return sol;
+}
+
+Expected<RunMetrics> ExecutionEngine::run(const Workload& workload, ExecutionMode& mode) {
+  const std::size_t tiers = system_->tier_count();
+
+  RunMetrics metrics;
+  metrics.workload = workload.name;
+  metrics.mode = mode.name();
+  metrics.tier_traffic.resize(tiers);
+  for (std::size_t k = 0; k < tiers; ++k) {
+    metrics.tier_traffic[k].tier = system_->tier(k).name();
+  }
+
+  memsim::AnalyticCacheModel cache(options_.llc_bytes);
+  memsim::BandwidthMeter bw_meter(tiers, options_.bw_bin_ns);
+
+  struct LiveState {
+    bool live = false;
+    std::uint64_t address = 0;
+    std::uint64_t uid = 0;
+  };
+  std::vector<LiveState> live(workload.objects.size());
+  std::uint64_t next_uid = 1;
+
+  std::unordered_map<std::string, std::size_t> function_index;
+  auto function_metrics = [&](const std::string& fn) -> FunctionMetrics& {
+    const auto it = function_index.find(fn);
+    if (it != function_index.end()) return metrics.functions[it->second];
+    function_index.emplace(fn, metrics.functions.size());
+    metrics.functions.push_back(FunctionMetrics{fn, 0.0, 0.0, 0.0, 0.0});
+    return metrics.functions.back();
+  };
+
+  Ns now = 0;
+
+  for (const auto& step : workload.steps) {
+    if (const auto* a = std::get_if<AllocOp>(&step)) {
+      const ObjectSpec& spec = workload.objects[a->object];
+      const SiteSpec& site = workload.sites[spec.site];
+
+      auto address = mode.on_alloc(a->object, spec, site, spec.size);
+      if (!address) {
+        return unexpected("allocation failed in " + mode.name() + " for site '" + site.label +
+                          "': " + address.error());
+      }
+      auto& state = live[a->object];
+      state.live = true;
+      state.address = *address;
+      state.uid = next_uid++;
+      ++metrics.allocations;
+
+      const double overhead = mode.take_alloc_overhead_ns();
+      metrics.alloc_overhead_ns += overhead;
+      now += static_cast<Ns>(overhead);
+
+      if (options_.observer != nullptr) {
+        options_.observer->on_alloc(now, state.uid, state.address, spec.size, site.stack);
+      }
+    } else if (const auto* f = std::get_if<FreeOp>(&step)) {
+      auto& state = live[f->object];
+      if (!state.live) return unexpected("free of non-live object in step replay");
+      if (Status s = mode.on_free(f->object, state.address); !s) {
+        return unexpected("free failed: " + s.error());
+      }
+      if (options_.observer != nullptr) options_.observer->on_free(now, state.uid);
+      state.live = false;
+    } else if (const auto* r = std::get_if<ReallocOp>(&step)) {
+      // Interposed realloc: free + alloc through the mode (FlexMalloc
+      // keeps the tier of the call stack), fresh uid like a fresh pointer.
+      auto& state = live[r->object];
+      if (!state.live) return unexpected("realloc of non-live object in step replay");
+      const ObjectSpec& spec = workload.objects[r->object];
+      const SiteSpec& site = workload.sites[spec.site];
+      if (Status s = mode.on_free(r->object, state.address); !s) {
+        return unexpected("realloc (free half) failed: " + s.error());
+      }
+      if (options_.observer != nullptr) options_.observer->on_free(now, state.uid);
+      auto address = mode.on_alloc(r->object, spec, site, r->new_size);
+      if (!address) return unexpected("realloc failed: " + address.error());
+      state.address = *address;
+      state.uid = next_uid++;
+      ++metrics.allocations;
+      const double overhead = mode.take_alloc_overhead_ns();
+      metrics.alloc_overhead_ns += overhead;
+      now += static_cast<Ns>(overhead);
+      if (options_.observer != nullptr) {
+        options_.observer->on_alloc(now, state.uid, state.address, r->new_size, site.stack);
+      }
+    } else if (const auto* kop = std::get_if<KernelOp>(&step)) {
+      const KernelSpec& kernel = workload.kernels[kop->kernel];
+
+      // Gather live objects this kernel touches.
+      std::vector<LiveObjectRef> objects;
+      std::vector<memsim::KernelObjectAccess> accesses;
+      objects.reserve(kernel.accesses.size());
+      accesses.reserve(kernel.accesses.size());
+      for (const auto& acc : kernel.accesses) {
+        const auto& state = live[acc.object];
+        if (!state.live) return unexpected("kernel touches non-live object");
+        const ObjectSpec& spec = workload.objects[acc.object];
+        objects.push_back(LiveObjectRef{acc.object, &spec, state.address, acc.footprint});
+        accesses.push_back(memsim::KernelObjectAccess{acc.llc_loads, acc.llc_stores,
+                                                      acc.footprint, spec.llc_friendliness,
+                                                      spec.prefetch_efficiency});
+      }
+
+      const memsim::KernelCacheOutcome cache_outcome = cache.evaluate(accesses);
+
+      std::vector<ObjectTraffic> traffic(objects.size());
+      for (auto& t : traffic) {
+        t.read_bytes.assign(tiers, 0.0);
+        t.write_bytes.assign(tiers, 0.0);
+        t.latency_share.assign(tiers, 0.0);
+      }
+      mode.resolve(objects, cache_outcome.per_object, traffic);
+
+      // Modes may have appended background-traffic entries (migration);
+      // pad the miss vector with zeroes so the solver sees no extra stalls.
+      std::vector<memsim::KernelObjectMisses> padded_misses = cache_outcome.per_object;
+      padded_misses.resize(traffic.size());
+
+      const double compute_ns = cycles_to_ns(kernel.compute_cycles);
+      const KernelSolution sol = solve_kernel_fixed_point(
+          *system_, traffic, padded_misses, compute_ns, workload.mlp, options_);
+
+      const Ns start = now;
+      const Ns end = now + static_cast<Ns>(std::llround(sol.duration_ns));
+
+      // Accounting.
+      metrics.compute_ns += compute_ns;
+      metrics.load_stall_ns += sol.load_stall_ns;
+      metrics.store_stall_ns += sol.store_stall_ns;
+      metrics.bw_limited_extra_ns +=
+          std::max(0.0, sol.duration_ns - (compute_ns + sol.load_stall_ns + sol.store_stall_ns));
+      metrics.total_load_misses += cache_outcome.total_load_misses;
+      metrics.total_store_misses += cache_outcome.total_store_misses;
+
+      FunctionMetrics& fn = function_metrics(kernel.function);
+      fn.instructions += kernel.instructions;
+      fn.cycles += ns_to_cycles(sol.duration_ns);
+      for (std::size_t i = 0; i < objects.size(); ++i) {
+        fn.load_misses += cache_outcome.per_object[i].load_misses;
+        fn.latency_weight_sum +=
+            cache_outcome.per_object[i].load_misses * sol.object_load_latency_ns[i];
+      }
+
+      for (std::size_t i = 0; i < traffic.size(); ++i) {
+        for (std::size_t k = 0; k < tiers; ++k) {
+          metrics.tier_traffic[k].read_bytes += traffic[i].read_bytes[k];
+          metrics.tier_traffic[k].write_bytes += traffic[i].write_bytes[k];
+          bw_meter.add(k, start, end, traffic[i].read_bytes[k] + traffic[i].write_bytes[k]);
+        }
+      }
+
+      if (options_.observer != nullptr) {
+        KernelObservation obs;
+        obs.start = start;
+        obs.end = end;
+        obs.kernel = &kernel;
+        for (const auto& t : traffic) {
+          for (std::size_t k = 0; k < tiers; ++k) {
+            obs.total_read_bytes += t.read_bytes[k];
+            obs.total_write_bytes += t.write_bytes[k];
+          }
+        }
+        obs.objects.reserve(objects.size());
+        for (std::size_t i = 0; i < objects.size(); ++i) {
+          ObjectKernelSample s;
+          s.object = objects[i].object;
+          s.address = objects[i].address;
+          s.size = objects[i].spec->size;
+          s.load_misses = cache_outcome.per_object[i].load_misses;
+          s.store_misses = cache_outcome.per_object[i].store_misses;
+          s.store_instructions = kernel.accesses[i].store_instructions > 0.0
+                                     ? kernel.accesses[i].store_instructions
+                                     : cache_outcome.per_object[i].store_misses;
+          s.avg_load_latency_ns = sol.object_load_latency_ns[i];
+          obs.objects.push_back(s);
+        }
+        options_.observer->on_kernel(obs);
+      }
+
+      mode.after_kernel(start, end, objects, cache_outcome.per_object);
+      now = end;
+    }
+  }
+
+  metrics.total_ns = now;
+  metrics.dram_cache_hit_ratio = mode.dram_cache_hit_ratio();
+  metrics.oom_redirects = mode.oom_redirects();
+  metrics.tier_bw.resize(tiers);
+  for (std::size_t k = 0; k < tiers; ++k) metrics.tier_bw[k] = bw_meter.series(k);
+  return metrics;
+}
+
+}  // namespace ecohmem::runtime

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Results of one simulated run.
+
+#include <string>
+#include <vector>
+
+#include "ecohmem/common/units.hpp"
+#include "ecohmem/memsim/bandwidth_meter.hpp"
+
+namespace ecohmem::runtime {
+
+/// Per-function aggregates (Table VII rows).
+struct FunctionMetrics {
+  std::string function;
+  double instructions = 0.0;
+  double cycles = 0.0;
+  double load_misses = 0.0;
+  double latency_weight_sum = 0.0;  ///< sum of misses * per-miss latency
+
+  [[nodiscard]] double ipc() const { return cycles > 0.0 ? instructions / cycles : 0.0; }
+  [[nodiscard]] double avg_load_latency_ns() const {
+    return load_misses > 0.0 ? latency_weight_sum / load_misses : 0.0;
+  }
+  /// Latency in core cycles, the unit Table VII uses.
+  [[nodiscard]] double avg_load_latency_cycles() const {
+    return ns_to_cycles(avg_load_latency_ns());
+  }
+};
+
+/// Per-tier traffic totals.
+struct TierTraffic {
+  std::string tier;
+  double read_bytes = 0.0;
+  double write_bytes = 0.0;
+};
+
+struct RunMetrics {
+  std::string workload;
+  std::string mode;
+
+  Ns total_ns = 0;
+  double compute_ns = 0.0;
+  double load_stall_ns = 0.0;
+  double store_stall_ns = 0.0;
+  double bw_limited_extra_ns = 0.0;  ///< time added by bandwidth ceilings
+  double alloc_overhead_ns = 0.0;    ///< interposition/matching cost
+
+  double total_load_misses = 0.0;
+  double total_store_misses = 0.0;
+
+  /// Fraction of time stalled on memory — the "memory bound pipeline
+  /// slots" proxy of Table VI.
+  [[nodiscard]] double memory_bound_fraction() const {
+    const double t = static_cast<double>(total_ns);
+    return t > 0.0 ? (load_stall_ns + store_stall_ns + bw_limited_extra_ns) / t : 0.0;
+  }
+
+  /// Aggregate DRAM-cache hit ratio; meaningful in memory mode only.
+  double dram_cache_hit_ratio = 0.0;
+
+  std::vector<FunctionMetrics> functions;
+  std::vector<TierTraffic> tier_traffic;
+  std::vector<std::vector<memsim::BandwidthPoint>> tier_bw;  ///< per tier timeline
+
+  std::uint64_t allocations = 0;
+  std::uint64_t oom_redirects = 0;
+
+  /// Speedup of this run relative to `baseline` (>1 = this run faster).
+  [[nodiscard]] double speedup_over(const RunMetrics& baseline) const {
+    return total_ns > 0 ? static_cast<double>(baseline.total_ns) / static_cast<double>(total_ns)
+                        : 0.0;
+  }
+
+  [[nodiscard]] const FunctionMetrics* find_function(std::string_view name) const {
+    for (const auto& f : functions) {
+      if (f.function == name) return &f;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace ecohmem::runtime

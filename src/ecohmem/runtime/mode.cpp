@@ -1,0 +1,148 @@
+#include "ecohmem/runtime/mode.hpp"
+
+namespace ecohmem::runtime {
+
+// ---------------------------------------------------------------- AppDirect
+
+AppDirectMode::AppDirectMode(const memsim::MemorySystem* system, flexmalloc::FlexMalloc* fm)
+    : ExecutionMode(system), fm_(fm) {
+  // FlexMalloc tier order may differ from the engine's; build the map once.
+  fm_to_engine_.resize(fm_->tier_count(), 0);
+  for (std::size_t i = 0; i < fm_->tier_count(); ++i) {
+    if (auto idx = system_->tier_index(fm_->tier_name(i))) fm_to_engine_[i] = *idx;
+  }
+}
+
+Expected<std::uint64_t> AppDirectMode::on_alloc(std::size_t object, const ObjectSpec& spec,
+                                                const SiteSpec& site, Bytes size) {
+  (void)spec;
+  auto allocation = fm_->malloc(site.stack, size);
+  if (!allocation) return unexpected(allocation.error());
+
+  if (object_tier_.size() <= object) object_tier_.resize(object + 1, 0);
+  object_tier_[object] = fm_to_engine_.at(allocation->tier_index);
+  return allocation->address;
+}
+
+Status AppDirectMode::on_free(std::size_t object, std::uint64_t address) {
+  (void)object;
+  return fm_->free(address);
+}
+
+void AppDirectMode::resolve(const std::vector<LiveObjectRef>& objects,
+                            const std::vector<memsim::KernelObjectMisses>& misses,
+                            std::vector<ObjectTraffic>& out) {
+  const double line = static_cast<double>(kCacheLine);
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const std::size_t tier = object_tier_.at(objects[i].object);
+    out[i].read_bytes[tier] += misses[i].read_lines() * line;
+    out[i].write_bytes[tier] += misses[i].store_misses * line;
+    out[i].latency_share[tier] = 1.0;
+  }
+}
+
+double AppDirectMode::take_alloc_overhead_ns() {
+  const double total = fm_->matching_cost_ns();
+  const double delta = total - overhead_taken_ns_;
+  overhead_taken_ns_ = total;
+  return delta;
+}
+
+std::uint64_t AppDirectMode::oom_redirects() const { return fm_->oom_redirects(); }
+
+Expected<std::size_t> AppDirectMode::tier_of(std::size_t object) const {
+  if (object >= object_tier_.size()) return unexpected("object never allocated");
+  return object_tier_[object];
+}
+
+// --------------------------------------------------------------- MemoryMode
+
+MemoryModeExec::MemoryModeExec(const memsim::MemorySystem* system, std::size_t dram_tier,
+                               std::size_t pmem_tier, memsim::DramCacheModel model)
+    : ExecutionMode(system), dram_tier_(dram_tier), pmem_tier_(pmem_tier), model_(model) {}
+
+Expected<std::uint64_t> MemoryModeExec::on_alloc(std::size_t object, const ObjectSpec& spec,
+                                                 const SiteSpec& site, Bytes size) {
+  (void)object;
+  (void)spec;
+  (void)site;
+  const std::uint64_t address = next_address_;
+  next_address_ += (size + kCacheLine - 1) / kCacheLine * kCacheLine;
+  return address;
+}
+
+Status MemoryModeExec::on_free(std::size_t object, std::uint64_t address) {
+  (void)object;
+  (void)address;
+  return {};
+}
+
+void MemoryModeExec::resolve(const std::vector<LiveObjectRef>& objects,
+                             const std::vector<memsim::KernelObjectMisses>& misses,
+                             std::vector<ObjectTraffic>& out) {
+  std::vector<memsim::DramCacheTraffic> traffic(objects.size());
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    traffic[i].load_misses = misses[i].read_lines();
+    traffic[i].store_misses = misses[i].store_misses;
+    traffic[i].footprint = objects[i].kernel_footprint;
+    traffic[i].locality = objects[i].spec->dram_cache_locality;
+  }
+  const memsim::DramCacheOutcome outcome = model_.evaluate(traffic);
+
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const auto& o = outcome.per_object[i];
+    out[i].read_bytes[dram_tier_] += o.dram_read_bytes;
+    out[i].write_bytes[dram_tier_] += o.dram_write_bytes;
+    out[i].read_bytes[pmem_tier_] += o.pmem_read_bytes;
+    out[i].write_bytes[pmem_tier_] += o.pmem_write_bytes;
+    out[i].latency_share[dram_tier_] = o.hit_ratio;
+    out[i].latency_share[pmem_tier_] = 1.0 - o.hit_ratio;
+    out[i].fixed_latency_ns = (1.0 - o.hit_ratio) * model_.miss_overhead_ns();
+
+    const double requests = misses[i].load_misses + misses[i].store_misses;
+    hits_weighted_ += o.hit_ratio * requests;
+    requests_weighted_ += requests;
+  }
+}
+
+double MemoryModeExec::dram_cache_hit_ratio() const {
+  return requests_weighted_ > 0.0 ? hits_weighted_ / requests_weighted_ : 0.0;
+}
+
+// ---------------------------------------------------------------- FixedTier
+
+FixedTierMode::FixedTierMode(const memsim::MemorySystem* system, std::size_t tier)
+    : ExecutionMode(system), tier_(tier) {}
+
+std::string FixedTierMode::name() const {
+  return "all-" + system_->tier(tier_).name();
+}
+
+Expected<std::uint64_t> FixedTierMode::on_alloc(std::size_t object, const ObjectSpec& spec,
+                                                const SiteSpec& site, Bytes size) {
+  (void)object;
+  (void)spec;
+  (void)site;
+  const std::uint64_t address = next_address_;
+  next_address_ += (size + kCacheLine - 1) / kCacheLine * kCacheLine;
+  return address;
+}
+
+Status FixedTierMode::on_free(std::size_t object, std::uint64_t address) {
+  (void)object;
+  (void)address;
+  return {};
+}
+
+void FixedTierMode::resolve(const std::vector<LiveObjectRef>& objects,
+                            const std::vector<memsim::KernelObjectMisses>& misses,
+                            std::vector<ObjectTraffic>& out) {
+  const double line = static_cast<double>(kCacheLine);
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    out[i].read_bytes[tier_] += misses[i].read_lines() * line;
+    out[i].write_bytes[tier_] += misses[i].store_misses * line;
+    out[i].latency_share[tier_] = 1.0;
+  }
+}
+
+}  // namespace ecohmem::runtime

@@ -1,0 +1,165 @@
+#pragma once
+
+/// \file mode.hpp
+/// Execution modes: how allocations map to tiers and how LLC misses turn
+/// into tier traffic and latency.
+///
+/// Modes provided here:
+///   - AppDirectMode: app-direct placement through FlexMalloc (the
+///     ecoHMEM production path; also used for manual/ProfDP placements),
+///   - MemoryModeExec: the memory-mode baseline (DRAM as cache of PMem),
+///   - FixedTierMode: everything in one tier (ProfDP differential runs).
+/// The kernel-tiering baseline lives in baselines/ as another subclass.
+
+#include <string>
+#include <vector>
+
+#include "ecohmem/common/expected.hpp"
+#include "ecohmem/flexmalloc/flexmalloc.hpp"
+#include "ecohmem/memsim/analytic_cache.hpp"
+#include "ecohmem/memsim/dram_cache.hpp"
+#include "ecohmem/memsim/tier.hpp"
+#include "ecohmem/runtime/workload.hpp"
+
+namespace ecohmem::runtime {
+
+/// A live object as seen by a mode during traffic resolution.
+struct LiveObjectRef {
+  std::size_t object = 0;
+  const ObjectSpec* spec = nullptr;
+  std::uint64_t address = 0;
+  double kernel_footprint = 0.0;  ///< bytes this kernel touches
+};
+
+/// How one object's misses turn into tier traffic and load latency:
+///   load_latency = fixed_latency_ns + sum_t latency_share[t] * read_lat(t)
+struct ObjectTraffic {
+  std::vector<double> read_bytes;     ///< per tier
+  std::vector<double> write_bytes;    ///< per tier
+  std::vector<double> latency_share;  ///< per tier, weights of read latency
+  double fixed_latency_ns = 0.0;
+};
+
+class ExecutionMode {
+ public:
+  explicit ExecutionMode(const memsim::MemorySystem* system) : system_(system) {}
+  virtual ~ExecutionMode() = default;
+
+  ExecutionMode(const ExecutionMode&) = delete;
+  ExecutionMode& operator=(const ExecutionMode&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Places a new object; returns its address.
+  [[nodiscard]] virtual Expected<std::uint64_t> on_alloc(std::size_t object,
+                                                         const ObjectSpec& spec,
+                                                         const SiteSpec& site, Bytes size) = 0;
+
+  [[nodiscard]] virtual Status on_free(std::size_t object, std::uint64_t address) = 0;
+
+  /// Converts per-object misses into per-tier traffic + latency recipe.
+  /// `out` is sized by the caller to `objects.size()`, with per-tier
+  /// vectors sized to the tier count and zeroed. Modes may append extra
+  /// entries beyond `objects.size()` for background traffic (e.g. page
+  /// migration); such entries contribute bandwidth but no load stalls.
+  virtual void resolve(const std::vector<LiveObjectRef>& objects,
+                       const std::vector<memsim::KernelObjectMisses>& misses,
+                       std::vector<ObjectTraffic>& out) = 0;
+
+  /// Incremental interposition overhead since the last call (ns).
+  [[nodiscard]] virtual double take_alloc_overhead_ns() { return 0.0; }
+
+  /// Aggregate DRAM-cache hit ratio so far (memory mode only).
+  [[nodiscard]] virtual double dram_cache_hit_ratio() const { return 0.0; }
+
+  /// Called after each kernel with its resolved duration; migration-based
+  /// modes react here.
+  virtual void after_kernel(Ns start, Ns end,
+                            const std::vector<LiveObjectRef>& objects,
+                            const std::vector<memsim::KernelObjectMisses>& misses) {
+    (void)start;
+    (void)end;
+    (void)objects;
+    (void)misses;
+  }
+
+  /// OOM fallback redirections (AppDirect reports FlexMalloc's counter).
+  [[nodiscard]] virtual std::uint64_t oom_redirects() const { return 0; }
+
+  [[nodiscard]] const memsim::MemorySystem& system() const { return *system_; }
+
+ protected:
+  const memsim::MemorySystem* system_;
+};
+
+/// App-direct placement through a FlexMalloc instance (which owns the
+/// matching against an Advisor report).
+class AppDirectMode final : public ExecutionMode {
+ public:
+  AppDirectMode(const memsim::MemorySystem* system, flexmalloc::FlexMalloc* fm);
+
+  [[nodiscard]] std::string name() const override { return "app-direct"; }
+  [[nodiscard]] Expected<std::uint64_t> on_alloc(std::size_t object, const ObjectSpec& spec,
+                                                 const SiteSpec& site, Bytes size) override;
+  [[nodiscard]] Status on_free(std::size_t object, std::uint64_t address) override;
+  void resolve(const std::vector<LiveObjectRef>& objects,
+               const std::vector<memsim::KernelObjectMisses>& misses,
+               std::vector<ObjectTraffic>& out) override;
+  [[nodiscard]] double take_alloc_overhead_ns() override;
+  [[nodiscard]] std::uint64_t oom_redirects() const override;
+
+  /// Tier the given workload object currently lives in.
+  [[nodiscard]] Expected<std::size_t> tier_of(std::size_t object) const;
+
+ private:
+  flexmalloc::FlexMalloc* fm_;
+  std::vector<std::size_t> object_tier_;   // engine tier index per object
+  std::vector<std::size_t> fm_to_engine_;  // FlexMalloc tier idx -> engine tier idx
+  double overhead_taken_ns_ = 0.0;
+};
+
+/// Memory mode: DRAM caches the PMem address space (§II).
+class MemoryModeExec final : public ExecutionMode {
+ public:
+  /// `dram_tier`/`pmem_tier`: engine tier indices of the cache and the
+  /// backing store.
+  MemoryModeExec(const memsim::MemorySystem* system, std::size_t dram_tier,
+                 std::size_t pmem_tier, memsim::DramCacheModel model);
+
+  [[nodiscard]] std::string name() const override { return "memory-mode"; }
+  [[nodiscard]] Expected<std::uint64_t> on_alloc(std::size_t object, const ObjectSpec& spec,
+                                                 const SiteSpec& site, Bytes size) override;
+  [[nodiscard]] Status on_free(std::size_t object, std::uint64_t address) override;
+  void resolve(const std::vector<LiveObjectRef>& objects,
+               const std::vector<memsim::KernelObjectMisses>& misses,
+               std::vector<ObjectTraffic>& out) override;
+  [[nodiscard]] double dram_cache_hit_ratio() const override;
+
+ private:
+  std::size_t dram_tier_;
+  std::size_t pmem_tier_;
+  memsim::DramCacheModel model_;
+  std::uint64_t next_address_ = 1ull << 40;
+  double hits_weighted_ = 0.0;
+  double requests_weighted_ = 0.0;
+};
+
+/// Everything in one tier (ProfDP differential profiling runs).
+class FixedTierMode final : public ExecutionMode {
+ public:
+  FixedTierMode(const memsim::MemorySystem* system, std::size_t tier);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Expected<std::uint64_t> on_alloc(std::size_t object, const ObjectSpec& spec,
+                                                 const SiteSpec& site, Bytes size) override;
+  [[nodiscard]] Status on_free(std::size_t object, std::uint64_t address) override;
+  void resolve(const std::vector<LiveObjectRef>& objects,
+               const std::vector<memsim::KernelObjectMisses>& misses,
+               std::vector<ObjectTraffic>& out) override;
+
+ private:
+  std::size_t tier_;
+  std::uint64_t next_address_ = 1ull << 40;
+};
+
+}  // namespace ecohmem::runtime

@@ -1,0 +1,155 @@
+#include "ecohmem/runtime/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ecohmem::runtime {
+
+WorkloadBuilder::WorkloadBuilder(std::string name) {
+  w_.name = std::move(name);
+  w_.modules = std::make_shared<bom::ModuleTable>();
+  w_.symbols = std::make_shared<bom::SymbolTable>(w_.modules.get());
+}
+
+WorkloadBuilder& WorkloadBuilder::ranks(int r) {
+  w_.ranks = r;
+  return *this;
+}
+WorkloadBuilder& WorkloadBuilder::threads(int t) {
+  w_.threads = t;
+  return *this;
+}
+WorkloadBuilder& WorkloadBuilder::mlp(double m) {
+  w_.mlp = m;
+  return *this;
+}
+WorkloadBuilder& WorkloadBuilder::static_footprint(Bytes b) {
+  w_.static_footprint = b;
+  return *this;
+}
+
+bom::ModuleId WorkloadBuilder::add_module(const std::string& module_name, Bytes text_size,
+                                          Bytes debug_info_size) {
+  return w_.modules->add_module(module_name, text_size, debug_info_size);
+}
+
+std::size_t WorkloadBuilder::add_site(bom::ModuleId module, const std::string& label,
+                                      const std::string& file, std::uint32_t line,
+                                      std::size_t depth) {
+  SiteSpec site;
+  site.label = label;
+
+  // Deterministic distinct frame offsets per site; the outermost frame is
+  // the allocation wrapper, deeper frames walk "up" the call chain.
+  for (std::size_t d = 0; d < depth; ++d) {
+    const std::uint64_t offset = next_offset_;
+    next_offset_ += 0x40;
+    site.stack.frames.push_back(bom::Frame{module, offset});
+    w_.symbols->add_entry(module,
+                          bom::LineEntry{offset, file, line + static_cast<std::uint32_t>(d)});
+  }
+  w_.sites.push_back(std::move(site));
+  return w_.sites.size() - 1;
+}
+
+std::size_t WorkloadBuilder::add_object(std::size_t site, Bytes size, AccessPattern pattern,
+                                        double llc_friendliness, double dram_cache_locality,
+                                        double prefetch_efficiency) {
+  assert(site < w_.sites.size());
+  ObjectSpec o;
+  o.site = site;
+  o.size = size;
+  o.pattern = pattern;
+  o.llc_friendliness = llc_friendliness;
+  o.dram_cache_locality = dram_cache_locality;
+  o.prefetch_efficiency = prefetch_efficiency >= 0.0 ? prefetch_efficiency
+                                                     : default_prefetch_efficiency(pattern);
+  w_.objects.push_back(o);
+  return w_.objects.size() - 1;
+}
+
+std::size_t WorkloadBuilder::add_kernel(std::string function, double instructions,
+                                        double compute_cycles,
+                                        std::vector<KernelAccess> accesses) {
+  KernelSpec k;
+  k.function = std::move(function);
+  k.instructions = instructions;
+  k.compute_cycles = compute_cycles;
+  k.accesses = std::move(accesses);
+  w_.kernels.push_back(std::move(k));
+  return w_.kernels.size() - 1;
+}
+
+WorkloadBuilder& WorkloadBuilder::alloc(std::size_t object) {
+  assert(object < w_.objects.size());
+  w_.steps.emplace_back(AllocOp{object});
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::free(std::size_t object) {
+  assert(object < w_.objects.size());
+  w_.steps.emplace_back(FreeOp{object});
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::realloc(std::size_t object, Bytes new_size) {
+  assert(object < w_.objects.size());
+  w_.steps.emplace_back(ReallocOp{object, new_size});
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::run_kernel(std::size_t kernel) {
+  assert(kernel < w_.kernels.size());
+  w_.steps.emplace_back(KernelOp{kernel});
+  return *this;
+}
+
+Workload WorkloadBuilder::build() {
+  Rng rng(42);
+  w_.modules->assign_bases(/*aslr=*/false, rng);
+
+  // Validate the step list and compute the heap high-water mark.
+  std::unordered_set<std::size_t> live;
+  std::unordered_map<std::size_t, Bytes> live_size;
+  Bytes live_bytes = 0;
+  for (const auto& step : w_.steps) {
+    if (const auto* r = std::get_if<ReallocOp>(&step)) {
+      if (!live.contains(r->object)) {
+        throw std::logic_error("workload '" + w_.name + "': realloc of non-live object " +
+                               std::to_string(r->object));
+      }
+      live_bytes -= live_size[r->object];
+      live_bytes += r->new_size;
+      live_size[r->object] = r->new_size;
+      w_.heap_high_water = std::max(w_.heap_high_water, live_bytes);
+    } else if (const auto* a = std::get_if<AllocOp>(&step)) {
+      if (!live.insert(a->object).second) {
+        throw std::logic_error("workload '" + w_.name + "': double alloc of object " +
+                               std::to_string(a->object));
+      }
+      live_bytes += w_.objects[a->object].size;
+      live_size[a->object] = w_.objects[a->object].size;
+      w_.heap_high_water = std::max(w_.heap_high_water, live_bytes);
+    } else if (const auto* f = std::get_if<FreeOp>(&step)) {
+      if (live.erase(f->object) == 0) {
+        throw std::logic_error("workload '" + w_.name + "': free of non-live object " +
+                               std::to_string(f->object));
+      }
+      live_bytes -= live_size[f->object];
+    } else if (const auto* k = std::get_if<KernelOp>(&step)) {
+      for (const auto& acc : w_.kernels[k->kernel].accesses) {
+        if (!live.contains(acc.object)) {
+          throw std::logic_error("workload '" + w_.name + "': kernel '" +
+                                 w_.kernels[k->kernel].function +
+                                 "' touches non-live object " + std::to_string(acc.object));
+        }
+      }
+    }
+  }
+  return std::move(w_);
+}
+
+}  // namespace ecohmem::runtime

@@ -1,0 +1,180 @@
+#pragma once
+
+/// \file workload.hpp
+/// Phase-based workload models — the stand-in for the paper's application
+/// binaries (DESIGN.md §2).
+///
+/// A workload is a synthetic but structurally faithful description of an
+/// application run:
+///   - a module table + symbol table (its "binary" and debug info),
+///   - allocation sites with realistic call stacks,
+///   - objects (logical buffers) created at those sites,
+///   - kernels (named functions) describing per-object access intensity,
+///   - a step list: the unrolled sequence of allocs, frees and kernel
+///     executions (iterations are unrolled by the builders in apps/).
+///
+/// The execution engine replays the steps under a placement mode; the
+/// profiler observes the replay exactly as Extrae observes a real run.
+/// All quantities are node-level aggregates across MPI ranks.
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ecohmem/bom/frame.hpp"
+#include "ecohmem/bom/module_table.hpp"
+#include "ecohmem/bom/symbols.hpp"
+#include "ecohmem/common/units.hpp"
+
+namespace ecohmem::runtime {
+
+/// Coarse access pattern of an object (drives model knob defaults).
+enum class AccessPattern { kSequential, kStrided, kRandom, kPointerChase };
+
+/// An allocation site in the workload's binary.
+struct SiteSpec {
+  std::string label;      ///< human label, e.g. "AllocateElemPersistent"
+  bom::CallStack stack;   ///< BOM call stack within the workload's modules
+};
+
+/// A logical buffer. At most one instance of an object is live at a time;
+/// sites with several simultaneous buffers use several objects.
+struct ObjectSpec {
+  std::size_t site = 0;
+  Bytes size = 0;
+  AccessPattern pattern = AccessPattern::kSequential;
+
+  /// [0,1] LLC temporal locality (memsim::KernelObjectAccess::friendliness).
+  double llc_friendliness = 0.0;
+
+  /// [0,1] DRAM-cache (memory mode) friendliness of this object's pages.
+  double dram_cache_locality = 0.7;
+
+  /// [0,1] fraction of demand misses hidden by hardware prefetch
+  /// (memsim::KernelObjectAccess::prefetch_efficiency). Defaults follow
+  /// the access pattern via `default_prefetch_efficiency`.
+  double prefetch_efficiency = 0.0;
+};
+
+/// Typical prefetcher coverage per pattern on PMem-class latencies.
+[[nodiscard]] constexpr double default_prefetch_efficiency(AccessPattern pattern) {
+  switch (pattern) {
+    case AccessPattern::kSequential: return 0.65;
+    case AccessPattern::kStrided: return 0.45;
+    case AccessPattern::kRandom: return 0.05;
+    case AccessPattern::kPointerChase: return 0.0;
+  }
+  return 0.0;
+}
+
+/// Per-kernel access intensity against one object.
+struct KernelAccess {
+  std::size_t object = 0;
+  double llc_loads = 0.0;   ///< load requests reaching the LLC per execution
+  double llc_stores = 0.0;  ///< store/writeback requests reaching the LLC
+  double footprint = 0.0;   ///< bytes touched per execution (<= object size)
+
+  /// Store *instructions* issued to the object, the stream
+  /// MEM_INST_RETIRED.ALL_STORES samples (§V). Unlike `llc_stores` this
+  /// includes stores absorbed by the core caches — the reason the paper
+  /// calls its store heuristic imprecise. 0 = derive from `llc_stores`.
+  double store_instructions = 0.0;
+};
+
+/// A named compute kernel (the functions of Table VII).
+struct KernelSpec {
+  std::string function;
+  double instructions = 0.0;     ///< retired instructions per execution
+  double compute_cycles = 0.0;   ///< cycles not stalled on memory
+  std::vector<KernelAccess> accesses;
+};
+
+struct AllocOp {
+  std::size_t object = 0;
+};
+struct FreeOp {
+  std::size_t object = 0;
+};
+/// Resize a live object in place (the realloc the paper's interposer
+/// intercepts): the instance keeps its identity but moves to a fresh
+/// address of `new_size` bytes in the tier its call stack maps to.
+struct ReallocOp {
+  std::size_t object = 0;
+  Bytes new_size = 0;
+};
+struct KernelOp {
+  std::size_t kernel = 0;
+};
+using Step = std::variant<AllocOp, FreeOp, ReallocOp, KernelOp>;
+
+struct Workload {
+  std::string name;
+  int ranks = 1;
+  int threads = 1;
+
+  /// The binary: shared so that call stacks and symbol pointers stay
+  /// valid when the workload is moved around.
+  std::shared_ptr<bom::ModuleTable> modules;
+  std::shared_ptr<bom::SymbolTable> symbols;
+
+  std::vector<SiteSpec> sites;
+  std::vector<ObjectSpec> objects;
+  std::vector<KernelSpec> kernels;
+  std::vector<Step> steps;
+
+  /// Non-heap memory (stacks, statics, OS) that competes for DRAM; the
+  /// reason the paper caps the Advisor's DRAM limit at 12 of 16 GB.
+  Bytes static_footprint = 0;
+
+  /// Effective memory-level parallelism: outstanding-miss overlap divisor
+  /// applied to miss latency when computing stall time.
+  double mlp = 8.0;
+
+  /// Peak simultaneous heap bytes (filled by builders; engine validates).
+  Bytes heap_high_water = 0;
+};
+
+/// Helper used by the app builders to assemble workloads.
+class WorkloadBuilder {
+ public:
+  explicit WorkloadBuilder(std::string name);
+
+  WorkloadBuilder& ranks(int r);
+  WorkloadBuilder& threads(int t);
+  WorkloadBuilder& mlp(double m);
+  WorkloadBuilder& static_footprint(Bytes b);
+
+  /// Registers a module in the workload's binary.
+  bom::ModuleId add_module(const std::string& module_name, Bytes text_size,
+                           Bytes debug_info_size);
+
+  /// Adds an allocation site with a call stack through `module`; frames
+  /// are derived deterministically from the label, and a matching
+  /// file:line entry is added to the symbol table.
+  std::size_t add_site(bom::ModuleId module, const std::string& label,
+                       const std::string& file, std::uint32_t line, std::size_t depth = 3);
+
+  /// `prefetch_efficiency` < 0 selects the pattern default.
+  std::size_t add_object(std::size_t site, Bytes size, AccessPattern pattern,
+                         double llc_friendliness, double dram_cache_locality,
+                         double prefetch_efficiency = -1.0);
+
+  std::size_t add_kernel(std::string function, double instructions, double compute_cycles,
+                         std::vector<KernelAccess> accesses);
+
+  WorkloadBuilder& alloc(std::size_t object);
+  WorkloadBuilder& free(std::size_t object);
+  WorkloadBuilder& realloc(std::size_t object, Bytes new_size);
+  WorkloadBuilder& run_kernel(std::size_t kernel);
+
+  /// Finalizes: assigns module bases (no ASLR by default), computes the
+  /// heap high-water mark, validates step consistency.
+  [[nodiscard]] Workload build();
+
+ private:
+  Workload w_;
+  std::uint64_t next_offset_ = 0x1000;
+};
+
+}  // namespace ecohmem::runtime

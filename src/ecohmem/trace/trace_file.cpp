@@ -1,0 +1,384 @@
+#include "ecohmem/trace/trace_file.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace ecohmem::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'C', 'O', 'H', 'M', 'T', 'R', 'C'};
+constexpr std::uint32_t kVersionPlain = 1;
+constexpr std::uint32_t kVersionCompact = 2;
+
+// Event tags.
+enum : std::uint8_t {
+  kTagAlloc = 1,
+  kTagFree = 2,
+  kTagSample = 3,
+  kTagMarker = 4,
+  kTagUncore = 5,
+};
+
+template <typename T>
+void put(std::ostream& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  put(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+/// LEB128 unsigned varint.
+void put_varint(std::ostream& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    const auto byte = static_cast<unsigned char>((v & 0x7f) | 0x80);
+    out.put(static_cast<char>(byte));
+    v >>= 7;
+  }
+  out.put(static_cast<char>(v));
+}
+
+bool get_varint(std::istream& in, std::uint64_t& v) {
+  v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const int c = in.get();
+    if (c == std::char_traits<char>::eof()) return false;
+    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) return true;
+  }
+  return false;  // over-long encoding
+}
+
+template <typename T>
+bool get(std::istream& in, T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return in.good();
+}
+
+bool get_string(std::istream& in, std::string& s) {
+  std::uint32_t n = 0;
+  if (!get(in, n)) return false;
+  if (n > (1u << 20)) return false;  // sanity cap on string length
+  s.resize(n);
+  in.read(s.data(), n);
+  return in.good() || (n == 0 && !in.bad());
+}
+
+}  // namespace
+
+Status write_trace(std::ostream& out, const Trace& trace, const bom::ModuleTable& modules,
+                   const TraceWriteOptions& options) {
+  out.write(kMagic, sizeof(kMagic));
+  put(out, options.compact ? kVersionCompact : kVersionPlain);
+  put(out, trace.sample_rate_hz);
+
+  put(out, static_cast<std::uint32_t>(modules.size()));
+  for (const auto& m : modules.modules()) {
+    put_string(out, m.name);
+    put(out, static_cast<std::uint64_t>(m.text_size));
+    put(out, static_cast<std::uint64_t>(m.debug_info_size));
+  }
+
+  put(out, static_cast<std::uint32_t>(trace.stacks.size()));
+  for (std::uint32_t i = 0; i < trace.stacks.size(); ++i) {
+    const auto& cs = trace.stacks.stack(i);
+    put(out, static_cast<std::uint32_t>(cs.frames.size()));
+    for (const auto& f : cs.frames) {
+      put(out, f.module);
+      put(out, f.offset);
+    }
+  }
+
+  put(out, static_cast<std::uint32_t>(trace.functions.size()));
+  for (std::uint32_t i = 0; i < trace.functions.size(); ++i) {
+    put_string(out, trace.functions.name(i));
+  }
+
+  put(out, static_cast<std::uint64_t>(trace.events.size()));
+  if (options.compact) {
+    Ns last_time = 0;
+    for (const auto& e : trace.events) {
+      const Ns now = event_time(e);
+      const std::uint64_t delta = now >= last_time ? now - last_time : 0;
+      last_time = now;
+      if (const auto* a = std::get_if<AllocEvent>(&e)) {
+        put(out, static_cast<std::uint8_t>(kTagAlloc));
+        put_varint(out, delta);
+        put_varint(out, a->object_id);
+        put_varint(out, a->address);
+        put_varint(out, a->size);
+        put_varint(out, a->stack);
+        put(out, static_cast<std::uint8_t>(a->kind));
+      } else if (const auto* f = std::get_if<FreeEvent>(&e)) {
+        put(out, static_cast<std::uint8_t>(kTagFree));
+        put_varint(out, delta);
+        put_varint(out, f->object_id);
+      } else if (const auto* smp = std::get_if<SampleEvent>(&e)) {
+        put(out, static_cast<std::uint8_t>(kTagSample));
+        put_varint(out, delta);
+        put_varint(out, smp->address);
+        put(out, smp->weight);
+        put(out, smp->latency_ns);
+        put(out, static_cast<std::uint8_t>(smp->is_store ? 1 : 0));
+        put_varint(out, smp->function_id);
+      } else if (const auto* m = std::get_if<MarkerEvent>(&e)) {
+        put(out, static_cast<std::uint8_t>(kTagMarker));
+        put_varint(out, delta);
+        put_varint(out, m->function_id);
+        put(out, static_cast<std::uint8_t>(m->is_enter ? 1 : 0));
+      } else if (const auto* u = std::get_if<UncoreBwEvent>(&e)) {
+        put(out, static_cast<std::uint8_t>(kTagUncore));
+        put_varint(out, delta);
+        put_varint(out, u->period_ns);
+        put(out, u->read_gbs);
+        put(out, u->write_gbs);
+      }
+    }
+    if (!out.good()) return unexpected("trace write failed (I/O error)");
+    return {};
+  }
+  for (const auto& e : trace.events) {
+    if (const auto* a = std::get_if<AllocEvent>(&e)) {
+      put(out, static_cast<std::uint8_t>(kTagAlloc));
+      put(out, a->time);
+      put(out, a->object_id);
+      put(out, a->address);
+      put(out, a->size);
+      put(out, a->stack);
+      put(out, static_cast<std::uint8_t>(a->kind));
+    } else if (const auto* f = std::get_if<FreeEvent>(&e)) {
+      put(out, static_cast<std::uint8_t>(kTagFree));
+      put(out, f->time);
+      put(out, f->object_id);
+    } else if (const auto* s = std::get_if<SampleEvent>(&e)) {
+      put(out, static_cast<std::uint8_t>(kTagSample));
+      put(out, s->time);
+      put(out, s->address);
+      put(out, s->weight);
+      put(out, s->latency_ns);
+      put(out, static_cast<std::uint8_t>(s->is_store ? 1 : 0));
+      put(out, s->function_id);
+    } else if (const auto* m = std::get_if<MarkerEvent>(&e)) {
+      put(out, static_cast<std::uint8_t>(kTagMarker));
+      put(out, m->time);
+      put(out, m->function_id);
+      put(out, static_cast<std::uint8_t>(m->is_enter ? 1 : 0));
+    } else if (const auto* u = std::get_if<UncoreBwEvent>(&e)) {
+      put(out, static_cast<std::uint8_t>(kTagUncore));
+      put(out, u->time);
+      put(out, u->period_ns);
+      put(out, u->read_gbs);
+      put(out, u->write_gbs);
+    }
+  }
+  if (!out.good()) return unexpected("trace write failed (I/O error)");
+  return {};
+}
+
+Expected<TraceBundle> read_trace(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return unexpected("not an ecoHMEM trace (bad magic)");
+  }
+  std::uint32_t version = 0;
+  if (!get(in, version) || (version != kVersionPlain && version != kVersionCompact)) {
+    return unexpected("unsupported trace version");
+  }
+  const bool compact = version == kVersionCompact;
+
+  TraceBundle bundle;
+  if (!get(in, bundle.trace.sample_rate_hz)) return unexpected("truncated trace header");
+
+  std::uint32_t module_count = 0;
+  if (!get(in, module_count)) return unexpected("truncated module table");
+  for (std::uint32_t i = 0; i < module_count; ++i) {
+    std::string name;
+    std::uint64_t text_size = 0;
+    std::uint64_t debug_size = 0;
+    if (!get_string(in, name) || !get(in, text_size) || !get(in, debug_size)) {
+      return unexpected("truncated module table");
+    }
+    bundle.modules.add_module(std::move(name), text_size, debug_size);
+  }
+
+  std::uint32_t stack_count = 0;
+  if (!get(in, stack_count)) return unexpected("truncated stack table");
+  for (std::uint32_t i = 0; i < stack_count; ++i) {
+    std::uint32_t depth = 0;
+    if (!get(in, depth) || depth > 1024) return unexpected("corrupt stack table");
+    bom::CallStack cs;
+    cs.frames.reserve(depth);
+    for (std::uint32_t d = 0; d < depth; ++d) {
+      bom::Frame f;
+      if (!get(in, f.module) || !get(in, f.offset)) return unexpected("truncated stack table");
+      if (f.module >= module_count) return unexpected("stack frame references unknown module");
+      cs.frames.push_back(f);
+    }
+    bundle.trace.stacks.intern(cs);
+  }
+
+  std::uint32_t fn_count = 0;
+  if (!get(in, fn_count)) return unexpected("truncated function table");
+  for (std::uint32_t i = 0; i < fn_count; ++i) {
+    std::string name;
+    if (!get_string(in, name)) return unexpected("truncated function table");
+    bundle.trace.functions.intern(name);
+  }
+
+  std::uint64_t event_count = 0;
+  if (!get(in, event_count)) return unexpected("truncated event stream");
+  bundle.trace.events.reserve(event_count);
+
+  if (compact) {
+    Ns last_time = 0;
+    for (std::uint64_t i = 0; i < event_count; ++i) {
+      std::uint8_t tag = 0;
+      std::uint64_t delta = 0;
+      if (!get(in, tag) || !get_varint(in, delta)) return unexpected("truncated event stream");
+      last_time += delta;
+      switch (tag) {
+        case kTagAlloc: {
+          AllocEvent a;
+          a.time = last_time;
+          std::uint64_t stack = 0;
+          std::uint8_t kind = 0;
+          if (!get_varint(in, a.object_id) || !get_varint(in, a.address) ||
+              !get_varint(in, a.size) || !get_varint(in, stack) || !get(in, kind)) {
+            return unexpected("truncated alloc event");
+          }
+          if (stack >= stack_count) return unexpected("alloc event references unknown stack");
+          a.stack = static_cast<StackId>(stack);
+          a.kind = static_cast<AllocKind>(kind);
+          bundle.trace.events.emplace_back(a);
+          break;
+        }
+        case kTagFree: {
+          FreeEvent f;
+          f.time = last_time;
+          if (!get_varint(in, f.object_id)) return unexpected("truncated free event");
+          bundle.trace.events.emplace_back(f);
+          break;
+        }
+        case kTagSample: {
+          SampleEvent smp;
+          smp.time = last_time;
+          std::uint8_t is_store = 0;
+          std::uint64_t fn = 0;
+          if (!get_varint(in, smp.address) || !get(in, smp.weight) ||
+              !get(in, smp.latency_ns) || !get(in, is_store) || !get_varint(in, fn)) {
+            return unexpected("truncated sample event");
+          }
+          smp.is_store = is_store != 0;
+          smp.function_id = static_cast<std::uint32_t>(fn);
+          bundle.trace.events.emplace_back(smp);
+          break;
+        }
+        case kTagMarker: {
+          MarkerEvent m;
+          m.time = last_time;
+          std::uint64_t fn = 0;
+          std::uint8_t is_enter = 0;
+          if (!get_varint(in, fn) || !get(in, is_enter)) {
+            return unexpected("truncated marker event");
+          }
+          m.function_id = static_cast<std::uint32_t>(fn);
+          m.is_enter = is_enter != 0;
+          bundle.trace.events.emplace_back(m);
+          break;
+        }
+        case kTagUncore: {
+          UncoreBwEvent u;
+          u.time = last_time;
+          if (!get_varint(in, u.period_ns) || !get(in, u.read_gbs) || !get(in, u.write_gbs)) {
+            return unexpected("truncated uncore event");
+          }
+          bundle.trace.events.emplace_back(u);
+          break;
+        }
+        default:
+          return unexpected("unknown event tag " + std::to_string(tag));
+      }
+    }
+    return bundle;
+  }
+
+  for (std::uint64_t i = 0; i < event_count; ++i) {
+    std::uint8_t tag = 0;
+    if (!get(in, tag)) return unexpected("truncated event stream");
+    switch (tag) {
+      case kTagAlloc: {
+        AllocEvent a;
+        std::uint8_t kind = 0;
+        if (!get(in, a.time) || !get(in, a.object_id) || !get(in, a.address) ||
+            !get(in, a.size) || !get(in, a.stack) || !get(in, kind)) {
+          return unexpected("truncated alloc event");
+        }
+        if (a.stack >= stack_count) return unexpected("alloc event references unknown stack");
+        a.kind = static_cast<AllocKind>(kind);
+        bundle.trace.events.emplace_back(a);
+        break;
+      }
+      case kTagFree: {
+        FreeEvent f;
+        if (!get(in, f.time) || !get(in, f.object_id)) return unexpected("truncated free event");
+        bundle.trace.events.emplace_back(f);
+        break;
+      }
+      case kTagSample: {
+        SampleEvent s;
+        std::uint8_t is_store = 0;
+        if (!get(in, s.time) || !get(in, s.address) || !get(in, s.weight) ||
+            !get(in, s.latency_ns) || !get(in, is_store) || !get(in, s.function_id)) {
+          return unexpected("truncated sample event");
+        }
+        s.is_store = is_store != 0;
+        bundle.trace.events.emplace_back(s);
+        break;
+      }
+      case kTagMarker: {
+        MarkerEvent m;
+        std::uint8_t is_enter = 0;
+        if (!get(in, m.time) || !get(in, m.function_id) || !get(in, is_enter)) {
+          return unexpected("truncated marker event");
+        }
+        m.is_enter = is_enter != 0;
+        bundle.trace.events.emplace_back(m);
+        break;
+      }
+      case kTagUncore: {
+        UncoreBwEvent u;
+        if (!get(in, u.time) || !get(in, u.period_ns) || !get(in, u.read_gbs) ||
+            !get(in, u.write_gbs)) {
+          return unexpected("truncated uncore event");
+        }
+        bundle.trace.events.emplace_back(u);
+        break;
+      }
+      default:
+        return unexpected("unknown event tag " + std::to_string(tag));
+    }
+  }
+  return bundle;
+}
+
+Status save_trace(const std::string& path, const Trace& trace, const bom::ModuleTable& modules,
+                  const TraceWriteOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return unexpected("cannot open for writing: " + path);
+  return write_trace(out, trace, modules, options);
+}
+
+Expected<TraceBundle> load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return unexpected("cannot open trace: " + path);
+  return read_trace(in);
+}
+
+}  // namespace ecohmem::trace

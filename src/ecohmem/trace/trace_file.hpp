@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file trace_file.hpp
+/// Binary serialization of traces (the .prv-equivalent on-disk format).
+///
+/// Layout (little-endian, no alignment padding):
+///   magic "ECOHMTRC" | version u32 | sample_rate f64
+///   module table: count u32, then {name, text_size u64, debug_size u64}
+///   stack table:  count u32, then {depth u32, {module u32, offset u64}*}
+///   function table: count u32, then {name}*
+///   events: count u64, then tagged records
+/// Strings are u32 length + bytes.
+///
+/// The module table travels with the trace so that BOM call stacks remain
+/// resolvable in a different process (with different ASLR bases) — the
+/// property §VI relies on.
+
+#include <iosfwd>
+#include <string>
+
+#include "ecohmem/bom/module_table.hpp"
+#include "ecohmem/common/expected.hpp"
+#include "ecohmem/trace/events.hpp"
+
+namespace ecohmem::trace {
+
+/// A trace together with the module table it was captured against.
+struct TraceBundle {
+  Trace trace;
+  bom::ModuleTable modules;
+};
+
+struct TraceWriteOptions {
+  /// Version-2 compact encoding: event timestamps are delta-encoded and
+  /// all integer fields use LEB128 varints (lossless; ~25-50% smaller on
+  /// sample-heavy traces, more on allocation-heavy ones). Readers
+  /// auto-detect the version.
+  bool compact = false;
+};
+
+/// Serializes `trace` captured against `modules` to a stream.
+[[nodiscard]] Status write_trace(std::ostream& out, const Trace& trace,
+                                 const bom::ModuleTable& modules,
+                                 const TraceWriteOptions& options = {});
+
+/// Deserializes a trace; validates magic/version and stack/module indices.
+[[nodiscard]] Expected<TraceBundle> read_trace(std::istream& in);
+
+/// File-path conveniences.
+[[nodiscard]] Status save_trace(const std::string& path, const Trace& trace,
+                                const bom::ModuleTable& modules,
+                                const TraceWriteOptions& options = {});
+[[nodiscard]] Expected<TraceBundle> load_trace(const std::string& path);
+
+}  // namespace ecohmem::trace

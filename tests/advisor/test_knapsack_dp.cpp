@@ -1,0 +1,108 @@
+// The exact-DP knapsack variant: optimality on hand-checkable instances,
+// agreement and divergence vs the paper's greedy density relaxation.
+
+#include <gtest/gtest.h>
+
+#include "ecohmem/advisor/knapsack.hpp"
+
+namespace ecohmem::advisor {
+namespace {
+
+analyzer::SiteRecord make_site(trace::StackId id, Bytes size, double loads) {
+  analyzer::SiteRecord s;
+  s.stack = id;
+  s.callstack = bom::CallStack{{{0, 0x100 + id * 0x40}}};
+  s.max_size = size;
+  s.peak_live_bytes = size;
+  s.alloc_count = 1;
+  s.load_misses = loads;
+  return s;
+}
+
+TEST(ExactDp, ClassicGreedyTrap) {
+  // Greedy-by-density picks the dense small item and wastes capacity;
+  // the optimum is the two larger items.
+  //   capacity 10; items (w,v): a=(6,60) d=10, b=(5,45) d=9, c=(5,45) d=9.
+  // Greedy: a only (60). Optimal: b+c (90).
+  const std::vector<analyzer::SiteRecord> sites = {
+      make_site(0, 6000, 60.0), make_site(1, 5000, 45.0), make_site(2, 5000, 45.0)};
+  AdvisorConfig cfg = AdvisorConfig::dram_pmem(10000, 0.0, 1ull << 40);
+
+  const auto greedy = place_by_density(sites, cfg);
+  ASSERT_TRUE(greedy.has_value());
+  EXPECT_EQ(greedy->tier_of(0), "dram");
+  EXPECT_EQ(greedy->tier_of(1), "pmem");
+
+  const auto exact = place_exact_dp(sites, cfg, 1000);
+  ASSERT_TRUE(exact.has_value()) << exact.error();
+  EXPECT_EQ(exact->tier_of(0), "pmem");
+  EXPECT_EQ(exact->tier_of(1), "dram");
+  EXPECT_EQ(exact->tier_of(2), "dram");
+}
+
+TEST(ExactDp, NeverExceedsCapacity) {
+  std::vector<analyzer::SiteRecord> sites;
+  for (trace::StackId i = 0; i < 30; ++i) {
+    sites.push_back(make_site(i, 300 + i * 97, 10.0 + i * 3.0));
+  }
+  AdvisorConfig cfg = AdvisorConfig::dram_pmem(4000, 0.0, 1ull << 40);
+  const auto exact = place_exact_dp(sites, cfg, 512);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_LE(exact->footprint_in("dram"), 4000u);
+  EXPECT_EQ(exact->decisions.size(), sites.size());
+}
+
+TEST(ExactDp, ValueNeverBelowGreedy) {
+  // On any instance, the DP's captured value (sum of misses in DRAM)
+  // must be >= the greedy relaxation's.
+  std::vector<analyzer::SiteRecord> sites;
+  for (trace::StackId i = 0; i < 24; ++i) {
+    sites.push_back(make_site(i, 128 + (i * 977) % 4096,
+                              5.0 + static_cast<double>((i * 313) % 200)));
+  }
+  AdvisorConfig cfg = AdvisorConfig::dram_pmem(16384, 0.0, 1ull << 40);
+  const auto greedy = place_by_density(sites, cfg);
+  const auto exact = place_exact_dp(sites, cfg, 2048);
+  ASSERT_TRUE(greedy && exact);
+
+  auto captured = [&sites](const Placement& p) {
+    double v = 0.0;
+    for (const auto& s : sites) {
+      if (p.tier_of(s.stack) == "dram") v += s.load_misses;
+    }
+    return v;
+  };
+  EXPECT_GE(captured(*exact), captured(*greedy) * 0.999);
+}
+
+TEST(ExactDp, ZeroValueItemsStayOut) {
+  const std::vector<analyzer::SiteRecord> sites = {make_site(0, 100, 0.0),
+                                                   make_site(1, 100, 5.0)};
+  AdvisorConfig cfg = AdvisorConfig::dram_pmem(1000, 0.0, 1ull << 40);
+  const auto exact = place_exact_dp(sites, cfg, 256);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->tier_of(0), "pmem");
+  EXPECT_EQ(exact->tier_of(1), "dram");
+}
+
+TEST(ExactDp, RejectsDegenerateBinCount) {
+  AdvisorConfig cfg = AdvisorConfig::dram_pmem(1000, 0.0);
+  EXPECT_FALSE(place_exact_dp({}, cfg, 1).has_value());
+}
+
+TEST(ExactDp, QuantizationNeverOvercommits) {
+  // Weights round up: items of 1001 bytes at bin=1000/8=125 cost 9 bins,
+  // so only floor(8/9)=0 fit... sweep a few bin resolutions and check the
+  // real capacity constraint each time.
+  std::vector<analyzer::SiteRecord> sites;
+  for (trace::StackId i = 0; i < 9; ++i) sites.push_back(make_site(i, 1001, 10.0));
+  AdvisorConfig cfg = AdvisorConfig::dram_pmem(8000, 0.0, 1ull << 40);
+  for (const std::size_t bins : {8u, 16u, 64u, 1024u}) {
+    const auto exact = place_exact_dp(sites, cfg, bins);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_LE(exact->footprint_in("dram"), 8000u) << bins << " bins";
+  }
+}
+
+}  // namespace
+}  // namespace ecohmem::advisor

@@ -1,0 +1,75 @@
+#include "ecohmem/advisor/placement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecohmem::advisor {
+namespace {
+
+PlacementDecision decide(trace::StackId id, std::string tier, Bytes footprint = 100) {
+  PlacementDecision d;
+  d.stack = id;
+  d.callstack = bom::CallStack{{{0, 0x100 + id * 0x40}}};
+  d.tier = std::move(tier);
+  d.footprint = footprint;
+  return d;
+}
+
+TEST(PlacementDiff, IdenticalPlacementsHaveNoMoves) {
+  Placement p;
+  p.fallback_tier = "pmem";
+  p.decisions = {decide(0, "dram"), decide(1, "pmem")};
+  EXPECT_TRUE(diff_placements(p, p).empty());
+}
+
+TEST(PlacementDiff, ReportsTierChanges) {
+  Placement before;
+  before.fallback_tier = "pmem";
+  before.decisions = {decide(0, "dram"), decide(1, "pmem"), decide(2, "dram")};
+  Placement after = before;
+  after.decisions[1].tier = "dram";
+  after.decisions[2].tier = "pmem";
+
+  const auto moves = diff_placements(before, after);
+  ASSERT_EQ(moves.size(), 2u);
+  EXPECT_EQ(moves[0].stack, 1u);
+  EXPECT_EQ(moves[0].from, "pmem");
+  EXPECT_EQ(moves[0].to, "dram");
+  EXPECT_EQ(moves[1].stack, 2u);
+  EXPECT_EQ(moves[1].to, "pmem");
+}
+
+TEST(PlacementDiff, NewSiteComparedAgainstOldFallback) {
+  Placement before;
+  before.fallback_tier = "pmem";
+  Placement after;
+  after.fallback_tier = "pmem";
+  after.decisions = {decide(5, "dram")};
+  const auto moves = diff_placements(before, after);
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].from, "pmem");
+  EXPECT_EQ(moves[0].to, "dram");
+}
+
+TEST(PlacementDiff, VanishedSiteFallsBack) {
+  Placement before;
+  before.fallback_tier = "pmem";
+  before.decisions = {decide(3, "dram")};
+  Placement after;
+  after.fallback_tier = "pmem";
+  const auto moves = diff_placements(before, after);
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].from, "dram");
+  EXPECT_EQ(moves[0].to, "pmem");
+}
+
+TEST(PlacementDiff, VanishedFallbackSiteIsNotAMove) {
+  Placement before;
+  before.fallback_tier = "pmem";
+  before.decisions = {decide(3, "pmem")};
+  Placement after;
+  after.fallback_tier = "pmem";
+  EXPECT_TRUE(diff_placements(before, after).empty());
+}
+
+}  // namespace
+}  // namespace ecohmem::advisor

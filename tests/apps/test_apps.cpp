@@ -1,0 +1,146 @@
+#include "ecohmem/apps/apps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ecohmem/core/ecohmem.hpp"
+
+namespace ecohmem::apps {
+namespace {
+
+/// Parameterized sanity sweep over all seven application models.
+class AppModelTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AppModelTest, BuildsWithoutErrors) {
+  const runtime::Workload w = make_app(GetParam());
+  EXPECT_EQ(w.name, GetParam());
+  EXPECT_GT(w.sites.size(), 0u);
+  EXPECT_GT(w.objects.size(), 0u);
+  EXPECT_GT(w.kernels.size(), 0u);
+  EXPECT_GT(w.steps.size(), 0u);
+  EXPECT_GE(w.ranks, 1);
+}
+
+TEST_P(AppModelTest, FootprintInTableVBallpark) {
+  // Heap high-water marks should match Table V (MB/rank x ranks) within
+  // a factor; exactness is not the point, order of magnitude is.
+  const runtime::Workload w = make_app(GetParam());
+  const double gib = static_cast<double>(w.heap_high_water) / (1024.0 * 1024 * 1024);
+  EXPECT_GT(gib, 10.0) << GetParam();
+  EXPECT_LT(gib, 120.0) << GetParam();
+}
+
+TEST_P(AppModelTest, EveryObjectHasValidSiteAndKnobs) {
+  const runtime::Workload w = make_app(GetParam());
+  for (const auto& o : w.objects) {
+    EXPECT_LT(o.site, w.sites.size());
+    EXPECT_GT(o.size, 0u);
+    EXPECT_GE(o.llc_friendliness, 0.0);
+    EXPECT_LE(o.llc_friendliness, 1.0);
+    EXPECT_GE(o.dram_cache_locality, 0.0);
+    EXPECT_LE(o.dram_cache_locality, 1.0);
+    EXPECT_GE(o.prefetch_efficiency, 0.0);
+    EXPECT_LE(o.prefetch_efficiency, 1.0);
+  }
+}
+
+TEST_P(AppModelTest, SiteStacksAreUnique) {
+  const runtime::Workload w = make_app(GetParam());
+  bom::CallStackHash hash;
+  std::set<std::size_t> hashes;
+  for (const auto& s : w.sites) {
+    EXPECT_TRUE(hashes.insert(hash(s.stack)).second) << s.label;
+  }
+}
+
+TEST_P(AppModelTest, KernelFootprintsWithinObjectSizes) {
+  const runtime::Workload w = make_app(GetParam());
+  for (const auto& k : w.kernels) {
+    for (const auto& a : k.accesses) {
+      EXPECT_LE(a.footprint, static_cast<double>(w.objects[a.object].size) * 1.01)
+          << w.name << "/" << k.function;
+      EXPECT_GE(a.llc_loads, 0.0);
+      EXPECT_GE(a.llc_stores, 0.0);
+    }
+  }
+}
+
+TEST_P(AppModelTest, MemoryModeRunSucceeds) {
+  AppOptions opt;
+  opt.iterations = 3;  // keep the test fast
+  const runtime::Workload w = make_app(GetParam(), opt);
+  const auto sys = *memsim::paper_system(6);
+  const auto metrics = core::run_memory_mode(w, sys);
+  ASSERT_TRUE(metrics.has_value()) << metrics.error();
+  EXPECT_GT(metrics->total_ns, 0u);
+  EXPECT_GT(metrics->dram_cache_hit_ratio, 0.1);
+  EXPECT_LT(metrics->dram_cache_hit_ratio, 0.95);
+}
+
+TEST_P(AppModelTest, IterationsScaleRunLength) {
+  AppOptions few;
+  few.iterations = 2;
+  AppOptions many;
+  many.iterations = 6;
+  const auto sys = *memsim::paper_system(6);
+  const auto short_run = core::run_memory_mode(make_app(GetParam(), few), sys);
+  const auto long_run = core::run_memory_mode(make_app(GetParam(), many), sys);
+  ASSERT_TRUE(short_run && long_run);
+  EXPECT_GT(long_run->total_ns, short_run->total_ns);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppModelTest, ::testing::ValuesIn(app_names()),
+                         [](const auto& param_info) { return param_info.param; });
+
+TEST(AppRegistry, UnknownNameThrows) {
+  EXPECT_THROW(make_app("spec2017"), std::invalid_argument);
+}
+
+TEST(AppRegistry, NamesMatchBuilders) {
+  EXPECT_EQ(app_names().size(), 7u);
+  for (const auto& name : app_names()) {
+    EXPECT_EQ(make_app(name).name, name);
+  }
+}
+
+TEST(AppModels, TableVIOrderingOfMemoryBoundedness) {
+  // LAMMPS must be the least memory bound, CloverLeaf3D among the most
+  // (Table VI / §VIII-C).
+  const auto sys = *memsim::paper_system(6);
+  AppOptions opt;
+  opt.iterations = 5;
+  const auto lammps = core::run_memory_mode(apps::make_lammps(opt), sys);
+  const auto clover = core::run_memory_mode(apps::make_cloverleaf3d(opt), sys);
+  const auto minife = core::run_memory_mode(apps::make_minife(opt), sys);
+  ASSERT_TRUE(lammps && clover && minife);
+  EXPECT_LT(lammps->memory_bound_fraction(), 0.45);
+  EXPECT_GT(clover->memory_bound_fraction(), 0.8);
+  EXPECT_GT(minife->memory_bound_fraction(), 0.8);
+}
+
+TEST(AppModels, LuleshHasPhaseStructure) {
+  // Fig. 3 prerequisite: temporaries are allocated and freed many times.
+  const runtime::Workload w = make_lulesh();
+  std::size_t allocs = 0;
+  for (const auto& step : w.steps) {
+    if (std::holds_alternative<runtime::AllocOp>(step)) ++allocs;
+  }
+  // Far more allocation events than objects => recurring phases.
+  EXPECT_GT(allocs, w.objects.size() * 5);
+}
+
+TEST(AppModels, CloverleafKernelsMatchTableVII) {
+  const runtime::Workload w = make_cloverleaf3d();
+  const std::vector<std::string> expected = {
+      "advec_cell_kernel", "calc_dt_kernel",      "flux_calc_kernel",
+      "pdv_kernel",        "viscosity_kernel",    "advec_mom_kernel",
+      "ideal_gas_kernel",  "reset_field_kernel",  "update_halo_kernel",
+      "accelerate_kernel", "clover_pack_message_top"};
+  for (const auto& name : expected) {
+    bool found = false;
+    for (const auto& k : w.kernels) found = found || k.function == name;
+    EXPECT_TRUE(found) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ecohmem::apps

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "ecohmem/baselines/kernel_tiering.hpp"
+#include "ecohmem/baselines/profdp.hpp"
+#include "ecohmem/core/ecohmem.hpp"
+#include "ecohmem/runtime/engine.hpp"
+
+namespace ecohmem::baselines {
+namespace {
+
+memsim::MemorySystem paper() { return *memsim::paper_system(6); }
+
+/// Hot small object + cold big object; DRAM can hold only the hot one.
+runtime::Workload skewed_workload(int iters) {
+  runtime::WorkloadBuilder b("skewed");
+  const auto mod = b.add_module("s.x", 1 << 20, 0);
+  const auto hot_site = b.add_site(mod, "hot", "s.cc", 1);
+  const auto cold_site = b.add_site(mod, "cold", "s.cc", 2);
+  const auto hot =
+      b.add_object(hot_site, 1ull << 30, runtime::AccessPattern::kRandom, 0.2, 0.5, 0.0);
+  const auto cold =
+      b.add_object(cold_site, 60ull << 30, runtime::AccessPattern::kSequential, 0.0, 0.5, 0.8);
+  const auto k = b.add_kernel("k", 1e9, 1e8,
+                              {runtime::KernelAccess{hot, 2e7, 1e6, 1ull << 30},
+                               runtime::KernelAccess{cold, 1e8, 1e7, 8.0 * (1ull << 30)}});
+  b.alloc(hot).alloc(cold);
+  for (int i = 0; i < iters; ++i) b.run_kernel(k);
+  b.free(hot).free(cold);
+  return b.build();
+}
+
+TEST(KernelTiering, MetadataTaxShrinksUsableDram) {
+  const auto sys = paper();
+  KernelTieringMode mode(&sys, 0, 1);
+  // 0.5% of 3 TB PMem ~ 15 GB; of the 16 GB DRAM, ~1 GB remains.
+  EXPECT_LT(mode.usable_dram(), 2ull << 30);
+  EXPECT_GT(mode.usable_dram(), 0u);
+}
+
+TEST(KernelTiering, TaxConfigurable) {
+  const auto sys = paper();
+  TieringOptions opt;
+  opt.metadata_fraction = 0.0;
+  KernelTieringMode mode(&sys, 0, 1, opt);
+  EXPECT_EQ(mode.usable_dram(), sys.tier(0).capacity());
+}
+
+TEST(KernelTiering, PromotesHotObjectOverTime) {
+  // Allocate the cold object first so first-touch leaves the hot one in
+  // PMem; reactive migration must then promote the hot object's pages.
+  runtime::WorkloadBuilder b("reactive");
+  const auto mod = b.add_module("r.x", 1 << 20, 0);
+  const auto cold_site = b.add_site(mod, "cold", "r.cc", 1);
+  const auto hot_site = b.add_site(mod, "hot", "r.cc", 2);
+  const auto cold =
+      b.add_object(cold_site, 60ull << 30, runtime::AccessPattern::kSequential, 0.0, 0.5, 0.8);
+  const auto hot =
+      b.add_object(hot_site, 1ull << 30, runtime::AccessPattern::kRandom, 0.2, 0.5, 0.0);
+  const auto k = b.add_kernel("k", 1e9, 1e8,
+                              {runtime::KernelAccess{hot, 2e7, 1e6, 1ull << 30},
+                               runtime::KernelAccess{cold, 1e7, 1e6, 8.0 * (1ull << 30)}});
+  b.alloc(cold).alloc(hot);
+  for (int i = 0; i < 10; ++i) b.run_kernel(k);
+  b.free(cold).free(hot);
+  const runtime::Workload w = b.build();
+
+  const auto sys = paper();
+  KernelTieringMode mode(&sys, 0, 1);
+  runtime::ExecutionEngine engine(&sys, {});
+  const auto metrics = engine.run(w, mode);
+  ASSERT_TRUE(metrics.has_value()) << metrics.error();
+  EXPECT_GT(mode.migrated_bytes(), 0.0);
+  // Steady state: some traffic lands on DRAM.
+  EXPECT_GT(metrics->tier_traffic[0].read_bytes, 0.0);
+}
+
+TEST(KernelTiering, BetweenPmemOnlyAndProactivePlacement) {
+  const auto sys = paper();
+  const runtime::Workload w = skewed_workload(10);
+  runtime::ExecutionEngine engine(&sys, {});
+
+  runtime::FixedTierMode all_pmem(&sys, 1);
+  const auto pmem_run = engine.run(w, all_pmem);
+  KernelTieringMode tiering(&sys, 0, 1);
+  const auto tier_run = engine.run(w, tiering);
+  ASSERT_TRUE(pmem_run && tier_run);
+  // Reactive migration must beat everything-in-PMem on this workload.
+  EXPECT_LT(tier_run->total_ns, pmem_run->total_ns);
+}
+
+TEST(KernelTiering, FreeReleasesDram) {
+  const auto sys = paper();
+  TieringOptions opt;
+  opt.metadata_fraction = 0.0;
+  KernelTieringMode mode(&sys, 0, 1, opt);
+  const runtime::ObjectSpec spec;
+  const runtime::SiteSpec site;
+  const auto addr = mode.on_alloc(0, spec, site, 4ull << 30);
+  ASSERT_TRUE(addr.has_value());
+  ASSERT_TRUE(mode.on_free(0, *addr).ok());
+  // All DRAM free again: a full-size allocation fits entirely.
+  const auto addr2 = mode.on_alloc(1, spec, site, sys.tier(0).capacity());
+  ASSERT_TRUE(addr2.has_value());
+}
+
+TEST(KernelTiering, RejectsUnknownFree) {
+  const auto sys = paper();
+  KernelTieringMode mode(&sys, 0, 1);
+  EXPECT_FALSE(mode.on_free(7, 0x1234).ok());
+}
+
+// ------------------------------------------------------------- ProfDP
+
+TEST(ProfDP, ProducesFourVariants) {
+  const auto sys = paper();
+  const runtime::Workload w = skewed_workload(5);
+  ProfDPOptions opt;
+  opt.dram_limit = 12ull << 30;
+  const auto variants = profdp_placements(w, sys, {}, opt);
+  ASSERT_TRUE(variants.has_value()) << variants.error();
+  ASSERT_EQ(variants->size(), 4u);
+  EXPECT_EQ((*variants)[0].name, "latency-sum");
+  EXPECT_EQ((*variants)[3].name, "bandwidth-avg");
+}
+
+TEST(ProfDP, LatencyRankingPutsHotObjectInDram) {
+  const auto sys = paper();
+  const runtime::Workload w = skewed_workload(5);
+  ProfDPOptions opt;
+  opt.dram_limit = 12ull << 30;
+  const auto variants = profdp_placements(w, sys, {}, opt);
+  ASSERT_TRUE(variants.has_value());
+  // The 1 GiB random-access object is the clear latency-sensitivity
+  // winner and fits the budget; the 60 GiB stream does not.
+  for (const auto& v : *variants) {
+    Bytes dram_bytes = 0;
+    for (const auto& d : v.placement.decisions) {
+      if (d.tier == "dram") dram_bytes += d.footprint;
+    }
+    EXPECT_LE(dram_bytes, opt.dram_limit) << v.name;
+  }
+  const auto& lat_sum = (*variants)[0];
+  bool hot_in_dram = false;
+  for (const auto& d : lat_sum.placement.decisions) {
+    if (d.footprint <= (2ull << 30) && d.tier == "dram") hot_in_dram = true;
+  }
+  EXPECT_TRUE(hot_in_dram);
+}
+
+TEST(ProfDP, PlacementsExecutableViaFlexMalloc) {
+  const auto sys = paper();
+  const runtime::Workload w = skewed_workload(5);
+  ProfDPOptions opt;
+  opt.dram_limit = 12ull << 30;
+  const auto variants = profdp_placements(w, sys, {}, opt);
+  ASSERT_TRUE(variants.has_value());
+  const auto baseline = core::run_memory_mode(w, sys);
+  ASSERT_TRUE(baseline.has_value());
+  for (const auto& v : *variants) {
+    const auto run = core::run_with_placement(w, sys, v.placement, opt.dram_limit);
+    ASSERT_TRUE(run.has_value()) << v.name << ": " << run.error();
+    EXPECT_GT(run->total_ns, 0u);
+  }
+}
+
+TEST(ProfDP, RequiresTwoTierSystem) {
+  auto spec = memsim::ddr4_dram_spec();
+  spec.is_fallback = true;
+  const auto single = memsim::MemorySystem::create({spec});
+  ASSERT_TRUE(single.has_value());
+  const runtime::Workload w = skewed_workload(2);
+  EXPECT_FALSE(profdp_placements(w, *single, {}, {}).has_value());
+}
+
+}  // namespace
+}  // namespace ecohmem::baselines

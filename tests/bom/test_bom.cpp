@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "ecohmem/bom/format.hpp"
+#include "ecohmem/bom/frame.hpp"
+#include "ecohmem/bom/module_table.hpp"
+#include "ecohmem/bom/symbols.hpp"
+
+namespace ecohmem::bom {
+namespace {
+
+ModuleTable two_modules() {
+  ModuleTable mt;
+  mt.add_module("app.x", 1 << 20, 4 << 20);
+  mt.add_module("libfoo.so", 2 << 20, 8 << 20);
+  return mt;
+}
+
+TEST(Frame, EqualityAndOrdering) {
+  const Frame a{0, 0x10};
+  const Frame b{0, 0x10};
+  const Frame c{1, 0x10};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(CallStackHash, EqualStacksHashEqual) {
+  const CallStack s1{{{0, 0x10}, {1, 0x20}}};
+  const CallStack s2{{{0, 0x10}, {1, 0x20}}};
+  const CallStack s3{{{0, 0x10}, {1, 0x21}}};
+  CallStackHash h;
+  EXPECT_EQ(h(s1), h(s2));
+  EXPECT_NE(h(s1), h(s3));  // not guaranteed, but catastrophic if equal here
+}
+
+TEST(ModuleTable, AbsoluteAddressesFollowBases) {
+  ModuleTable mt = two_modules();
+  Rng rng(1);
+  mt.assign_bases(false, rng);
+  const Frame f{1, 0x400};
+  EXPECT_EQ(mt.absolute_address(f), mt.module(1).base + 0x400);
+}
+
+TEST(ModuleTable, AslrChangesBasesButNotOffsets) {
+  // The core BOM property (§VI): absolute addresses change between runs,
+  // (module, offset) frames do not.
+  ModuleTable run1 = two_modules();
+  ModuleTable run2 = two_modules();
+  Rng rng1(11);
+  Rng rng2(22);
+  run1.assign_bases(true, rng1);
+  run2.assign_bases(true, rng2);
+
+  const Frame f{1, 0x400};
+  EXPECT_NE(run1.absolute_address(f), run2.absolute_address(f));
+  // Resolving each run's absolute address recovers the same frame.
+  EXPECT_EQ(run1.resolve(run1.absolute_address(f)).value(), f);
+  EXPECT_EQ(run2.resolve(run2.absolute_address(f)).value(), f);
+}
+
+TEST(ModuleTable, ModulesDoNotOverlap) {
+  ModuleTable mt = two_modules();
+  Rng rng(3);
+  mt.assign_bases(true, rng);
+  const auto& a = mt.module(0);
+  const auto& b = mt.module(1);
+  EXPECT_TRUE(a.base + a.text_size <= b.base || b.base + b.text_size <= a.base);
+}
+
+TEST(ModuleTable, ResolveOutsideAnyModule) {
+  ModuleTable mt = two_modules();
+  Rng rng(5);
+  mt.assign_bases(false, rng);
+  EXPECT_FALSE(mt.resolve(1).has_value());
+}
+
+TEST(ModuleTable, FindByName) {
+  ModuleTable mt = two_modules();
+  EXPECT_EQ(mt.find("libfoo.so").value(), 1u);
+  EXPECT_FALSE(mt.find("missing.so").has_value());
+}
+
+TEST(ModuleTable, DebugInfoTotals) {
+  ModuleTable mt = two_modules();
+  EXPECT_EQ(mt.total_debug_info(), Bytes{(4u << 20) + (8u << 20)});
+}
+
+TEST(SymbolTable, TranslatesToNearestPrecedingEntry) {
+  ModuleTable mt = two_modules();
+  SymbolTable st(&mt);
+  st.add_entry(0, {0x100, "main.cc", 10});
+  st.add_entry(0, {0x200, "main.cc", 50});
+  EXPECT_EQ(st.translate(Frame{0, 0x150}).value(), (SourceLocation{"main.cc", 10}));
+  EXPECT_EQ(st.translate(Frame{0, 0x200}).value(), (SourceLocation{"main.cc", 50}));
+  EXPECT_EQ(st.translate(Frame{0, 0x9999}).value(), (SourceLocation{"main.cc", 50}));
+}
+
+TEST(SymbolTable, FailsBelowFirstEntryAndOnUnknownModule) {
+  ModuleTable mt = two_modules();
+  SymbolTable st(&mt);
+  st.add_entry(0, {0x100, "main.cc", 10});
+  EXPECT_FALSE(st.translate(Frame{0, 0x50}).has_value());
+  EXPECT_FALSE(st.translate(Frame{1, 0x100}).has_value());  // no debug info
+}
+
+TEST(SymbolTable, CostMeterAccumulates) {
+  ModuleTable mt = two_modules();
+  SymbolTable st(&mt);
+  st.add_entry(0, {0x100, "a_rather_long_source_file_name.cc", 10});
+  ASSERT_TRUE(st.translate(Frame{0, 0x150}).has_value());
+  EXPECT_EQ(st.cost().frames_translated, 1u);
+  EXPECT_GT(st.cost().string_bytes_built, 0u);
+  EXPECT_GT(st.cost().estimated_ns(), 0.0);
+  st.reset_cost();
+  EXPECT_EQ(st.cost().frames_translated, 0u);
+}
+
+TEST(Format, BomRoundTrip) {
+  ModuleTable mt = two_modules();
+  const CallStack cs{{{0, 0x1a2b}, {1, 0x44c8}}};
+  const std::string text = format_bom(cs, mt);
+  EXPECT_EQ(text, "app.x!0x1a2b > libfoo.so!0x44c8");
+  EXPECT_EQ(parse_bom(text, mt).value(), cs);
+}
+
+TEST(Format, BomParseErrors) {
+  ModuleTable mt = two_modules();
+  EXPECT_FALSE(parse_bom("", mt).has_value());
+  EXPECT_FALSE(parse_bom("app.x@0x10", mt).has_value());
+  EXPECT_FALSE(parse_bom("ghost.so!0x10", mt).has_value());
+  EXPECT_FALSE(parse_bom("app.x!zz", mt).has_value());
+}
+
+TEST(Format, HumanRoundTrip) {
+  const HumanStack hs{{"src/Vector.hpp", 88}, {"src/driver.cpp", 120}};
+  const std::string text = format_human(hs);
+  EXPECT_EQ(text, "src/Vector.hpp:88 > src/driver.cpp:120");
+  EXPECT_EQ(parse_human(text).value(), hs);
+}
+
+TEST(Format, HumanHandlesWindowsStylePathsWithColons) {
+  // rfind(':') must pick the line separator, not a path colon.
+  const auto hs = parse_human("C:/src/a.cc:12");
+  ASSERT_TRUE(hs.has_value());
+  EXPECT_EQ((*hs)[0].file, "C:/src/a.cc");
+  EXPECT_EQ((*hs)[0].line, 12u);
+}
+
+TEST(Format, HumanParseErrors) {
+  EXPECT_FALSE(parse_human("").has_value());
+  EXPECT_FALSE(parse_human("no_line_number").has_value());
+  EXPECT_FALSE(parse_human("file.cc:").has_value());
+  EXPECT_FALSE(parse_human("file.cc:notanumber").has_value());
+}
+
+TEST(Format, DetectsBomSyntax) {
+  EXPECT_TRUE(looks_like_bom("app.x!0x1a2b"));
+  EXPECT_FALSE(looks_like_bom("src/file.cc:12"));
+}
+
+}  // namespace
+}  // namespace ecohmem::bom

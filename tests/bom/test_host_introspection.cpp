@@ -1,0 +1,114 @@
+#include "ecohmem/bom/host_introspection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecohmem::bom {
+namespace {
+
+constexpr const char* kMapsSample =
+    "00400000-00452000 r-xp 00000000 08:02 173521 /usr/bin/dbus-daemon\n"
+    "00651000-00652000 r--p 00051000 08:02 173521 /usr/bin/dbus-daemon\n"
+    "7f3c00000000-7f3c00021000 rw-p 00000000 00:00 0\n"
+    "7f3c04000000-7f3c041c0000 r-xp 00000000 08:02 13 /usr/lib/libc-2.31.so\n"
+    "7f3c041c0000-7f3c041c2000 r-xp 001c0000 08:02 13 /usr/lib/libc-2.31.so\n"
+    "7fff0a000000-7fff0a021000 r-xp 00000000 00:00 0 [vdso]\n";
+
+TEST(HostMaps, ParsesExecutableFileMappings) {
+  const auto table = modules_from_maps_text(kMapsSample);
+  ASSERT_TRUE(table.has_value()) << table.error();
+  EXPECT_EQ(table->size(), 2u);  // dbus-daemon + libc; rw/anon/[vdso] skipped
+  EXPECT_TRUE(table->find("dbus-daemon").has_value());
+  EXPECT_TRUE(table->find("libc-2.31.so").has_value());
+}
+
+TEST(HostMaps, MergesSplitTextSegments) {
+  const auto table = modules_from_maps_text(kMapsSample);
+  ASSERT_TRUE(table.has_value());
+  const auto libc = table->find("libc-2.31.so");
+  ASSERT_TRUE(libc.has_value());
+  const auto& m = table->module(*libc);
+  EXPECT_EQ(m.base, 0x7f3c04000000u);
+  EXPECT_EQ(m.text_size, 0x1c2000u);  // both executable segments covered
+}
+
+TEST(HostMaps, ResolveRealAddressRange) {
+  const auto table = modules_from_maps_text(kMapsSample);
+  ASSERT_TRUE(table.has_value());
+  const auto frame = table->resolve(0x00400000u + 0x1234);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(table->module(frame->module).name, "dbus-daemon");
+  EXPECT_EQ(frame->offset, 0x1234u);
+  EXPECT_FALSE(table->resolve(0x7fff0a000010u).has_value());  // vdso skipped
+}
+
+TEST(HostMaps, RejectsEmptyAndGarbage) {
+  EXPECT_FALSE(modules_from_maps_text("").has_value());
+  EXPECT_FALSE(modules_from_maps_text("not a maps file\n").has_value());
+}
+
+TEST(HostMaps, SelfDiscoverySeesThisBinary) {
+  const auto table = modules_from_self();
+  ASSERT_TRUE(table.has_value()) << table.error();
+  EXPECT_GT(table->size(), 0u);
+  // An address inside this test's own code must resolve to some module.
+  const auto self_addr =
+      reinterpret_cast<std::uint64_t>(&modules_from_self);
+  EXPECT_TRUE(table->resolve(self_addr).has_value());
+}
+
+// Separate noinline call paths give distinct, repeatable stacks. The
+// volatile markers defeat identical-code-folding, which would otherwise
+// merge the two functions (and their stacks).
+volatile int g_path_a_marker = 1;
+volatile int g_path_b_marker = 2;
+
+[[gnu::noinline]] CallStack capture_via_path_a(const ModuleTable& table) {
+  g_path_a_marker = g_path_a_marker + 1;
+  return capture_callstack(table, /*skip=*/0);
+}
+[[gnu::noinline]] CallStack capture_via_path_b(const ModuleTable& table) {
+  g_path_b_marker = g_path_b_marker + 2;
+  return capture_callstack(table, /*skip=*/0);
+}
+
+TEST(HostCapture, CapturesNonEmptyResolvableStack) {
+  const auto table = modules_from_self();
+  ASSERT_TRUE(table.has_value());
+  const CallStack stack = capture_via_path_a(*table);
+  ASSERT_FALSE(stack.empty());
+  for (const auto& f : stack.frames) {
+    EXPECT_LT(f.module, table->size());
+    EXPECT_LT(f.offset, table->module(f.module).text_size);
+  }
+}
+
+TEST(HostCapture, DifferentCallPathsGiveDifferentStacks) {
+  const auto table = modules_from_self();
+  ASSERT_TRUE(table.has_value());
+  const CallStack a = capture_via_path_a(*table);
+  const CallStack b = capture_via_path_b(*table);
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_NE(a.frames.front(), b.frames.front());  // innermost frame differs
+}
+
+TEST(HostCapture, SameCallSiteIsStable) {
+  const auto table = modules_from_self();
+  ASSERT_TRUE(table.has_value());
+  CallStackHash hash;
+  // Capture twice from the *same* source location (a loop body): the
+  // full stacks, including the caller frame, must be identical.
+  std::size_t hashes[2] = {0, 1};
+  for (int i = 0; i < 2; ++i) hashes[i] = hash(capture_via_path_a(*table));
+  EXPECT_EQ(hashes[0], hashes[1]);
+}
+
+TEST(HostCapture, DepthLimitRespected) {
+  const auto table = modules_from_self();
+  ASSERT_TRUE(table.has_value());
+  const CallStack stack = capture_callstack(*table, 0, 2);
+  EXPECT_LE(stack.depth(), 2u);
+}
+
+}  // namespace
+}  // namespace ecohmem::bom

@@ -1,0 +1,98 @@
+#include "ecohmem/common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecohmem {
+namespace {
+
+constexpr const char* kSample = R"(
+# advisor configuration
+top_key = global
+
+[advisor]
+footprint = peak_live
+
+[memory]
+name = dram
+limit = 12GB
+load_coef = 1.0
+order = 0
+
+[memory]
+name = pmem
+limit = 3TB
+order = 1
+fallback = true
+)";
+
+TEST(Config, ParsesGlobalSection) {
+  const auto cfg = Config::parse(kSample);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->global().get("top_key").value_or(""), "global");
+}
+
+TEST(Config, RepeatedSectionsKeptAsInstances) {
+  const auto cfg = Config::parse(kSample);
+  ASSERT_TRUE(cfg.has_value());
+  const auto memories = cfg->sections_named("memory");
+  ASSERT_EQ(memories.size(), 2u);
+  EXPECT_EQ(memories[0]->get("name").value_or(""), "dram");
+  EXPECT_EQ(memories[1]->get("name").value_or(""), "pmem");
+}
+
+TEST(Config, TypedGetters) {
+  const auto cfg = Config::parse(kSample);
+  ASSERT_TRUE(cfg.has_value());
+  const auto* dram = cfg->sections_named("memory")[0];
+  EXPECT_EQ(dram->get_bytes("limit", 0).value(), 12ull * 1024 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(dram->get_double("load_coef", 0.0).value(), 1.0);
+  EXPECT_FALSE(dram->get_bool("fallback", false).value());
+  const auto* pmem = cfg->sections_named("memory")[1];
+  EXPECT_TRUE(pmem->get_bool("fallback", false).value());
+}
+
+TEST(Config, DefaultsWhenAbsent) {
+  const auto cfg = Config::parse("[s]\nk = 1\n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_DOUBLE_EQ(cfg->first_section("s")->get_double("missing", 7.5).value(), 7.5);
+}
+
+TEST(Config, ErrorsCarryLineNumbers) {
+  const auto bad = Config::parse("a = 1\nnot a pair\n");
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_NE(bad.error().find("line 2"), std::string::npos);
+}
+
+TEST(Config, RejectsUnterminatedSection) {
+  EXPECT_FALSE(Config::parse("[oops\n").has_value());
+  EXPECT_FALSE(Config::parse("[]\n").has_value());
+  EXPECT_FALSE(Config::parse(" = value\n").has_value());
+}
+
+TEST(Config, CommentsAndBlanksIgnored) {
+  const auto cfg = Config::parse("# c\n; c2\n\nk = v\n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->global().get("k").value_or(""), "v");
+}
+
+TEST(Config, MalformedTypedValueIsError) {
+  const auto cfg = Config::parse("[s]\nnum = abc\n");
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_FALSE(cfg->first_section("s")->get_double("num", 0.0).has_value());
+}
+
+TEST(Config, RoundTripThroughToString) {
+  const auto cfg = Config::parse(kSample);
+  ASSERT_TRUE(cfg.has_value());
+  const auto reparsed = Config::parse(cfg->to_string());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->sections_named("memory").size(), 2u);
+  EXPECT_EQ(reparsed->sections_named("memory")[1]->get("name").value_or(""), "pmem");
+}
+
+TEST(Config, LoadMissingFileFails) {
+  EXPECT_FALSE(Config::load("/nonexistent/path/cfg.ini").has_value());
+}
+
+}  // namespace
+}  // namespace ecohmem

@@ -1,0 +1,50 @@
+#include "ecohmem/common/expected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace ecohmem {
+namespace {
+
+TEST(Expected, HoldsValue) {
+  Expected<int> v = 42;
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(0), 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> v = unexpected("boom");
+  ASSERT_FALSE(v.has_value());
+  EXPECT_EQ(v.error(), "boom");
+  EXPECT_EQ(v.value_or(7), 7);
+}
+
+TEST(Expected, MoveOnlyTypes) {
+  Expected<std::unique_ptr<int>> v = std::make_unique<int>(5);
+  ASSERT_TRUE(v.has_value());
+  std::unique_ptr<int> taken = std::move(v).value();
+  EXPECT_EQ(*taken, 5);
+}
+
+TEST(Expected, ArrowOperator) {
+  Expected<std::string> v = std::string("abc");
+  EXPECT_EQ(v->size(), 3u);
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+}
+
+TEST(Status, ErrorState) {
+  Status s = unexpected("bad");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error(), "bad");
+}
+
+}  // namespace
+}  // namespace ecohmem

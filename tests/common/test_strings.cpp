@@ -1,0 +1,95 @@
+#include "ecohmem/common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecohmem::strings {
+namespace {
+
+TEST(Strings, TrimRemovesWhitespaceBothSides) {
+  EXPECT_EQ(trim("  hello \t"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, SplitOnChar) {
+  const auto parts = split("a, b ,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyPieces) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, SplitOnStringSeparator) {
+  const auto parts = split("f.c:1 > f.c:2 > g.c:9", " > ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "g.c:9");
+}
+
+TEST(Strings, SplitOnStringWithNoSeparator) {
+  const auto parts = split("single", " > ");
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "single");
+}
+
+TEST(Strings, ParseU64Valid) {
+  const auto v = parse_u64("12345");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 12345u);
+}
+
+TEST(Strings, ParseU64RejectsTrailingGarbage) {
+  EXPECT_FALSE(parse_u64("123x").has_value());
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64("-5").has_value());
+}
+
+TEST(Strings, ParseDouble) {
+  const auto v = parse_double("2.5");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(*v, 2.5);
+  EXPECT_FALSE(parse_double("abc").has_value());
+}
+
+TEST(Strings, ParseBytesUnits) {
+  EXPECT_EQ(parse_bytes("128").value(), 128u);
+  EXPECT_EQ(parse_bytes("128B").value(), 128u);
+  EXPECT_EQ(parse_bytes("2KB").value(), 2048u);
+  EXPECT_EQ(parse_bytes("3MB").value(), 3u * 1024 * 1024);
+  EXPECT_EQ(parse_bytes("12GB").value(), 12ull * 1024 * 1024 * 1024);
+  EXPECT_EQ(parse_bytes("1TB").value(), 1ull << 40);
+  EXPECT_EQ(parse_bytes("1.5GB").value(), 1610612736u);
+}
+
+TEST(Strings, ParseBytesRejectsInvalid) {
+  EXPECT_FALSE(parse_bytes("12XB").has_value());
+  EXPECT_FALSE(parse_bytes("GB").has_value());
+  EXPECT_FALSE(parse_bytes("-1GB").has_value());
+}
+
+TEST(Strings, FormatBytesPicksSuffix) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(format_bytes(12ull * 1024 * 1024 * 1024), "12.0 GiB");
+}
+
+TEST(Strings, HexRoundTrip) {
+  EXPECT_EQ(to_hex(0x1a2b), "0x1a2b");
+  EXPECT_EQ(parse_hex("0x1a2b").value(), 0x1a2bu);
+  EXPECT_EQ(parse_hex("255").value(), 255u);
+  EXPECT_FALSE(parse_hex("0xZZ").has_value());
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("size=42", "size="));
+  EXPECT_FALSE(starts_with("siz", "size="));
+}
+
+}  // namespace
+}  // namespace ecohmem::strings

@@ -1,0 +1,207 @@
+#include "ecohmem/flexmalloc/flexmalloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ecohmem/flexmalloc/heap_manager.hpp"
+#include "ecohmem/flexmalloc/report_parser.hpp"
+
+namespace ecohmem::flexmalloc {
+namespace {
+
+const bom::CallStack kHotStack{{{0, 0x100}}};
+const bom::CallStack kColdStack{{{0, 0x200}}};
+const bom::CallStack kUnknownStack{{{0, 0x999}}};
+
+ParsedReport test_report() {
+  ParsedReport r;
+  r.fallback_tier = "pmem";
+  r.is_bom = true;
+  r.entries.push_back(ReportEntry{kHotStack, "dram", 4096});
+  r.entries.push_back(ReportEntry{kColdStack, "pmem", 8192});
+  return r;
+}
+
+// ----------------------------------------------------------- ArenaHeap
+
+TEST(ArenaHeap, AllocateAndFree) {
+  ArenaHeap heap("dram", 1 << 20, 4096);
+  const auto a = heap.allocate(100);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(heap.owns(*a));
+  EXPECT_EQ(heap.used(), 128u);  // padded to 64B
+  const auto freed = heap.deallocate(*a);
+  ASSERT_TRUE(freed.has_value());
+  EXPECT_EQ(*freed, 128u);
+  EXPECT_EQ(heap.used(), 0u);
+}
+
+TEST(ArenaHeap, CapacityEnforced) {
+  ArenaHeap heap("dram", 1 << 20, 256);
+  ASSERT_TRUE(heap.allocate(128).has_value());
+  ASSERT_TRUE(heap.allocate(128).has_value());
+  EXPECT_FALSE(heap.allocate(64).has_value());
+}
+
+TEST(ArenaHeap, FreeListReuse) {
+  ArenaHeap heap("dram", 1 << 20, 1024);
+  const auto a = heap.allocate(256);
+  const auto b = heap.allocate(256);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  ASSERT_TRUE(heap.deallocate(*a).has_value());
+  const auto c = heap.allocate(128);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, *a);  // first-fit reuses the hole
+}
+
+TEST(ArenaHeap, CoalescesAdjacentFreeBlocks) {
+  ArenaHeap heap("dram", 1 << 20, 1024);
+  const auto a = heap.allocate(256);
+  const auto b = heap.allocate(256);
+  const auto c = heap.allocate(256);
+  ASSERT_TRUE(a && b && c);
+  ASSERT_TRUE(heap.deallocate(*a).has_value());
+  ASSERT_TRUE(heap.deallocate(*b).has_value());
+  // a+b coalesced: a 512-byte request fits in the hole at a's address.
+  const auto big = heap.allocate(512);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(*big, *a);
+}
+
+TEST(ArenaHeap, DoubleFreeRejected) {
+  ArenaHeap heap("dram", 1 << 20, 1024);
+  const auto a = heap.allocate(64);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(heap.deallocate(*a).has_value());
+  EXPECT_FALSE(heap.deallocate(*a).has_value());
+  EXPECT_FALSE(heap.deallocate(0xdead).has_value());
+}
+
+TEST(ArenaHeap, HighWaterTracksPeak) {
+  ArenaHeap heap("dram", 1 << 20, 4096);
+  const auto a = heap.allocate(1024);
+  const auto b = heap.allocate(1024);
+  ASSERT_TRUE(a && b);
+  ASSERT_TRUE(heap.deallocate(*a).has_value());
+  EXPECT_EQ(heap.high_water(), 2048u);
+}
+
+TEST(ArenaHeap, ZeroByteAllocationGetsDistinctAddress) {
+  ArenaHeap heap("dram", 1 << 20, 4096);
+  const auto a = heap.allocate(0);
+  const auto b = heap.allocate(0);
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(*a, *b);
+}
+
+// ----------------------------------------------------------- FlexMalloc
+
+FlexMalloc make_fm(Bytes dram_cap = 1 << 20) {
+  auto fm = FlexMalloc::create(
+      {{"dram", dram_cap}, {"pmem", 1ull << 30}}, test_report(), nullptr);
+  EXPECT_TRUE(fm.has_value()) << (fm ? "" : fm.error());
+  return std::move(*fm);
+}
+
+TEST(FlexMalloc, RoutesMatchedStacksToTheirTier) {
+  FlexMalloc fm = make_fm();
+  const auto hot = fm.malloc(kHotStack, 128);
+  ASSERT_TRUE(hot.has_value());
+  EXPECT_TRUE(hot->matched);
+  EXPECT_EQ(fm.tier_name(hot->tier_index), "dram");
+
+  const auto cold = fm.malloc(kColdStack, 128);
+  ASSERT_TRUE(cold.has_value());
+  EXPECT_EQ(fm.tier_name(cold->tier_index), "pmem");
+}
+
+TEST(FlexMalloc, UnlistedStacksUseFallback) {
+  FlexMalloc fm = make_fm();
+  const auto a = fm.malloc(kUnknownStack, 128);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(a->matched);
+  EXPECT_EQ(fm.tier_name(a->tier_index), "pmem");
+}
+
+TEST(FlexMalloc, OomRedirectsToFallback) {
+  FlexMalloc fm = make_fm(/*dram_cap=*/256);
+  ASSERT_TRUE(fm.malloc(kHotStack, 256).has_value());
+  const auto spill = fm.malloc(kHotStack, 256);
+  ASSERT_TRUE(spill.has_value());
+  EXPECT_TRUE(spill->redirected);
+  EXPECT_EQ(fm.tier_name(spill->tier_index), "pmem");
+  EXPECT_EQ(fm.oom_redirects(), 1u);
+}
+
+TEST(FlexMalloc, FallbackExhaustionIsAnError) {
+  auto fm = FlexMalloc::create({{"dram", 256}, {"pmem", 256}}, test_report(), nullptr);
+  ASSERT_TRUE(fm.has_value());
+  ASSERT_TRUE(fm->malloc(kHotStack, 256).has_value());
+  ASSERT_TRUE(fm->malloc(kColdStack, 256).has_value());
+  EXPECT_FALSE(fm->malloc(kHotStack, 64).has_value());
+}
+
+TEST(FlexMalloc, FreeFindsOwningHeap) {
+  FlexMalloc fm = make_fm();
+  const auto hot = fm.malloc(kHotStack, 128);
+  const auto cold = fm.malloc(kColdStack, 128);
+  ASSERT_TRUE(hot && cold);
+  EXPECT_TRUE(fm.free(hot->address).ok());
+  EXPECT_TRUE(fm.free(cold->address).ok());
+  EXPECT_FALSE(fm.free(0xdeadbeef).ok());
+}
+
+TEST(FlexMalloc, ReallocKeepsTier) {
+  FlexMalloc fm = make_fm();
+  const auto a = fm.malloc(kHotStack, 128);
+  ASSERT_TRUE(a.has_value());
+  const auto b = fm.realloc(kHotStack, a->address, 4096);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(fm.tier_name(b->tier_index), "dram");
+}
+
+TEST(FlexMalloc, StatsPerTier) {
+  FlexMalloc fm = make_fm();
+  ASSERT_TRUE(fm.malloc(kHotStack, 100).has_value());
+  ASSERT_TRUE(fm.malloc(kHotStack, 100).has_value());
+  ASSERT_TRUE(fm.malloc(kColdStack, 100).has_value());
+  const auto stats = fm.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].tier, "dram");
+  EXPECT_EQ(stats[0].allocations, 2u);
+  EXPECT_EQ(stats[1].allocations, 1u);
+}
+
+TEST(FlexMalloc, RejectsReportWithUnknownTier) {
+  ParsedReport bad = test_report();
+  bad.entries.push_back(ReportEntry{kUnknownStack, "hbm", 0});
+  EXPECT_FALSE(
+      FlexMalloc::create({{"dram", 1 << 20}, {"pmem", 1 << 20}}, bad, nullptr).has_value());
+}
+
+TEST(FlexMalloc, RejectsFallbackWithoutHeap) {
+  ParsedReport r = test_report();
+  r.fallback_tier = "ghost";
+  EXPECT_FALSE(
+      FlexMalloc::create({{"dram", 1 << 20}, {"pmem", 1 << 20}}, r, nullptr).has_value());
+}
+
+TEST(FlexMalloc, DefaultFallbackIsLargestHeap) {
+  ParsedReport r = test_report();
+  r.fallback_tier.clear();
+  auto fm = FlexMalloc::create({{"dram", 1 << 20}, {"pmem", 1ull << 30}}, r, nullptr);
+  ASSERT_TRUE(fm.has_value());
+  EXPECT_EQ(fm->tier_name(fm->fallback_index()), "pmem");
+}
+
+TEST(FlexMalloc, AddressesAreTierDisjoint) {
+  FlexMalloc fm = make_fm();
+  const auto hot = fm.malloc(kHotStack, 64);
+  const auto cold = fm.malloc(kColdStack, 64);
+  ASSERT_TRUE(hot && cold);
+  EXPECT_FALSE(fm.heap(hot->tier_index).owns(cold->address));
+  EXPECT_FALSE(fm.heap(cold->tier_index).owns(hot->address));
+}
+
+}  // namespace
+}  // namespace ecohmem::flexmalloc

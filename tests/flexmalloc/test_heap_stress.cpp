@@ -1,0 +1,100 @@
+// Randomized stress/invariant tests of the ArenaHeap and FlexMalloc:
+// under arbitrary alloc/free/realloc interleavings, accounting must stay
+// exact, addresses disjoint, and capacity respected.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ecohmem/common/rng.hpp"
+#include "ecohmem/flexmalloc/flexmalloc.hpp"
+#include "ecohmem/flexmalloc/heap_manager.hpp"
+
+namespace ecohmem::flexmalloc {
+namespace {
+
+class HeapStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeapStress, AccountingStaysExactUnderRandomOps) {
+  Rng rng(GetParam());
+  constexpr Bytes kCapacity = 1 << 20;
+  ArenaHeap heap("stress", 1ull << 40, kCapacity);
+
+  std::map<std::uint64_t, Bytes> shadow;  // address -> padded size
+  Bytes shadow_used = 0;
+
+  for (int step = 0; step < 4000; ++step) {
+    const bool do_alloc = shadow.empty() || rng.next_double() < 0.55;
+    if (do_alloc) {
+      const Bytes request = 1 + rng.next_below(8192);
+      const Bytes padded = (request + 63) / 64 * 64;
+      const auto addr = heap.allocate(request);
+      if (shadow_used + padded <= kCapacity) {
+        ASSERT_TRUE(addr.has_value()) << "step " << step;
+        // No overlap with any live block.
+        for (const auto& [base, size] : shadow) {
+          EXPECT_TRUE(*addr + padded <= base || base + size <= *addr);
+        }
+        shadow.emplace(*addr, padded);
+        shadow_used += padded;
+      } else {
+        EXPECT_FALSE(addr.has_value()) << "step " << step;
+      }
+    } else {
+      // Free a pseudo-random live block.
+      auto it = shadow.begin();
+      std::advance(it, static_cast<long>(rng.next_below(shadow.size())));
+      const auto freed = heap.deallocate(it->first);
+      ASSERT_TRUE(freed.has_value());
+      EXPECT_EQ(*freed, it->second);
+      shadow_used -= it->second;
+      shadow.erase(it);
+    }
+    ASSERT_EQ(heap.used(), shadow_used) << "step " << step;
+    ASSERT_EQ(heap.live_blocks(), shadow.size()) << "step " << step;
+  }
+
+  // Drain and confirm the heap returns to empty.
+  while (!shadow.empty()) {
+    ASSERT_TRUE(heap.deallocate(shadow.begin()->first).has_value());
+    shadow.erase(shadow.begin());
+  }
+  EXPECT_EQ(heap.used(), 0u);
+}
+
+TEST_P(HeapStress, FlexMallocNeverLosesBytes) {
+  Rng rng(GetParam() * 31 + 7);
+  const bom::CallStack stacks[3] = {
+      bom::CallStack{{{0, 0x100}}}, bom::CallStack{{{0, 0x200}}}, bom::CallStack{{{0, 0x300}}}};
+
+  ParsedReport report;
+  report.fallback_tier = "pmem";
+  report.entries.push_back(ReportEntry{stacks[0], "dram", 0});
+  report.entries.push_back(ReportEntry{stacks[1], "pmem", 0});
+  auto fm = FlexMalloc::create({{"dram", 1 << 18}, {"pmem", 1 << 22}}, report, nullptr);
+  ASSERT_TRUE(fm.has_value());
+
+  std::vector<std::uint64_t> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.next_double() < 0.6) {
+      const auto a = fm->malloc(stacks[rng.next_below(3)], 1 + rng.next_below(4096));
+      if (a) live.push_back(a->address);
+      // Failure is acceptable only when both heaps are nearly full; in
+      // that case the next frees must unblock allocation again.
+    } else {
+      const std::size_t pick = rng.next_below(live.size());
+      ASSERT_TRUE(fm->free(live[pick]).ok());
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+    Bytes used = 0;
+    for (std::size_t t = 0; t < fm->tier_count(); ++t) used += fm->heap(t).used();
+    EXPECT_GT(used + 1, 0u);  // accounting is queryable at every step
+  }
+  for (const auto addr : live) ASSERT_TRUE(fm->free(addr).ok());
+  for (std::size_t t = 0; t < fm->tier_count(); ++t) EXPECT_EQ(fm->heap(t).used(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapStress, ::testing::Values(1u, 17u, 23456u, 0xfeedu));
+
+}  // namespace
+}  // namespace ecohmem::flexmalloc

@@ -1,0 +1,128 @@
+#include "ecohmem/core/autotune.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ecohmem/analyzer/site_report.hpp"
+#include "ecohmem/apps/apps.hpp"
+#include "ecohmem/apps/synthetic.hpp"
+
+namespace ecohmem::core {
+namespace {
+
+TEST(Autotune, FindsBestConfigurationForOpenFoam) {
+  // The interesting case: base-12G is a slowdown; the tuner must land on
+  // a bandwidth-aware candidate.
+  apps::AppOptions app_opt;
+  app_opt.iterations = 6;
+  const auto w = apps::make_openfoam(app_opt);
+  const auto sys = *memsim::paper_system(6);
+
+  AutotuneSpace space;
+  space.dram_limits = {11ull << 30};
+  space.store_coefs = {0.0};
+  space.bandwidth_aware = {false, true};
+  const auto result = autotune(w, sys, space);
+  ASSERT_TRUE(result.has_value()) << result.error();
+  EXPECT_TRUE(result->best.options.bandwidth_aware);
+  EXPECT_GT(result->best.speedup, 0.9);
+  ASSERT_EQ(result->all.size(), 2u);
+}
+
+TEST(Autotune, BestIsMaxOverAllCandidates) {
+  const auto w = apps::make_synthetic({.seed = 11, .phases = 3});
+  const auto sys = *memsim::paper_system(6);
+  AutotuneSpace space;
+  space.dram_limits = {2ull << 30, 8ull << 30};
+  space.store_coefs = {0.0, 0.125};
+  space.bandwidth_aware = {false};
+  const auto result = autotune(w, sys, space);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->all.size(), 4u);
+  for (const auto& c : result->all) {
+    ASSERT_TRUE(c.ok) << c.error;
+    EXPECT_LE(c.speedup, result->best.speedup + 1e-12);
+  }
+}
+
+TEST(Autotune, DeterministicAcrossParallelism) {
+  const auto w = apps::make_synthetic({.seed = 12, .phases = 3});
+  const auto sys = *memsim::paper_system(6);
+  const auto serial = autotune(w, sys, {}, /*max_parallelism=*/1);
+  const auto parallel = autotune(w, sys, {}, /*max_parallelism=*/8);
+  ASSERT_TRUE(serial && parallel);
+  ASSERT_EQ(serial->all.size(), parallel->all.size());
+  for (std::size_t i = 0; i < serial->all.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial->all[i].speedup, parallel->all[i].speedup) << i;
+  }
+  EXPECT_DOUBLE_EQ(serial->best.speedup, parallel->best.speedup);
+}
+
+TEST(Autotune, EmptySpaceFails) {
+  const auto w = apps::make_synthetic({.seed = 13, .phases = 2});
+  const auto sys = *memsim::paper_system(6);
+  AutotuneSpace space;
+  space.dram_limits.clear();
+  EXPECT_FALSE(autotune(w, sys, space).has_value());
+}
+
+// ------------------------------------------------------- site reports
+
+TEST(SiteReport, TableContainsEverySite) {
+  const auto w = apps::make_synthetic({.seed = 14, .phases = 2});
+  const auto sys = *memsim::paper_system(6);
+  WorkflowOptions opt;
+  opt.dram_limit = 8ull << 30;
+  const auto run = run_workflow(w, sys, opt);
+  ASSERT_TRUE(run.has_value());
+
+  const auto text = analyzer::site_table_to_string(run->analysis, *w.modules);
+  EXPECT_NE(text.find("call stack"), std::string::npos);
+  EXPECT_NE(text.find("peak system bandwidth"), std::string::npos);
+  // One line per site plus header/footer.
+  const auto lines = static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n'));
+  EXPECT_GE(lines, run->analysis.sites.size() + 2);
+}
+
+TEST(SiteReport, TopNTruncates) {
+  const auto w = apps::make_synthetic({.seed = 15, .phases = 2});
+  const auto sys = *memsim::paper_system(6);
+  WorkflowOptions opt;
+  opt.dram_limit = 8ull << 30;
+  const auto run = run_workflow(w, sys, opt);
+  ASSERT_TRUE(run.has_value());
+
+  analyzer::SiteReportOptions ropt;
+  ropt.top = 3;
+  const auto text = analyzer::site_table_to_string(run->analysis, *w.modules, ropt);
+  const auto lines = static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n'));
+  EXPECT_EQ(lines, 3u + 2u);  // header + 3 rows + footer
+}
+
+TEST(SiteReport, CsvRoundTripsColumnCount) {
+  const auto w = apps::make_synthetic({.seed = 16, .phases = 2});
+  const auto sys = *memsim::paper_system(6);
+  WorkflowOptions opt;
+  opt.dram_limit = 8ull << 30;
+  const auto run = run_workflow(w, sys, opt);
+  ASSERT_TRUE(run.has_value());
+
+  std::ostringstream out;
+  analyzer::write_site_csv(out, run->analysis, *w.modules);
+  std::istringstream in(out.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  const auto header_cols = std::count(header.begin(), header.end(), ',') + 1;
+  EXPECT_EQ(header_cols, 14);
+  std::string row;
+  std::size_t rows = 0;
+  while (std::getline(in, row)) {
+    EXPECT_EQ(std::count(row.begin(), row.end(), ',') + 1, header_cols);
+    ++rows;
+  }
+  EXPECT_EQ(rows, run->analysis.sites.size());
+}
+
+}  // namespace
+}  // namespace ecohmem::core

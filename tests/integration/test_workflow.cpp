@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "ecohmem/apps/apps.hpp"
+#include "ecohmem/core/ecohmem.hpp"
+#include "ecohmem/flexmalloc/flexmalloc.hpp"
+#include "ecohmem/profiler/profiler.hpp"
+
+namespace ecohmem::core {
+namespace {
+
+constexpr Bytes GiB = 1024ull * 1024 * 1024;
+
+memsim::MemorySystem paper() { return *memsim::paper_system(6); }
+
+WorkflowOptions opts(Bytes dram, double store_coef = 0.0, bool bw = false) {
+  WorkflowOptions o;
+  o.dram_limit = dram;
+  o.store_coef = store_coef;
+  o.bandwidth_aware = bw;
+  return o;
+}
+
+TEST(Workflow, EndToEndProducesAllArtifacts) {
+  apps::AppOptions app_opt;
+  app_opt.iterations = 5;
+  const auto w = apps::make_minife(app_opt);
+  const auto sys = paper();
+  const auto result = run_workflow(w, sys, opts(12 * GiB));
+  ASSERT_TRUE(result.has_value()) << result.error();
+
+  EXPECT_GT(result->analysis.sites.size(), 3u);
+  EXPECT_GT(result->placement.decisions.size(), 3u);
+  EXPECT_FALSE(result->report_text.empty());
+  EXPECT_GT(result->baseline_metrics.total_ns, 0u);
+  EXPECT_GT(result->production_metrics.total_ns, 0u);
+  EXPECT_EQ(result->effective_dram_limit, 12 * GiB);
+  EXPECT_FALSE(result->bandwidth_aware.has_value());
+}
+
+TEST(Workflow, HeadlineSpeedupsHoldAtReducedIterations) {
+  // Shape checks from Fig. 6 at 12 GB, Loads config (full-length runs are
+  // exercised by the benchmarks; 6-8 iterations keep tests quick).
+  const auto sys = paper();
+  apps::AppOptions app_opt;
+  app_opt.iterations = 8;
+
+  const auto minife = run_workflow(apps::make_minife(app_opt), sys, opts(12 * GiB));
+  ASSERT_TRUE(minife.has_value());
+  EXPECT_GT(minife->speedup(), 1.4);
+
+  const auto hpcg = run_workflow(apps::make_hpcg(app_opt), sys, opts(12 * GiB));
+  ASSERT_TRUE(hpcg.has_value());
+  EXPECT_GT(hpcg->speedup(), 1.3);
+
+  const auto lammps = run_workflow(apps::make_lammps(app_opt), sys, opts(14 * GiB));
+  ASSERT_TRUE(lammps.has_value());
+  EXPECT_GT(lammps->speedup(), 0.9);
+  EXPECT_LT(lammps->speedup(), 1.08);  // short runs amortize comm losses less
+}
+
+TEST(Workflow, StoresHelpCloverleaf) {
+  // §VIII-A: Loads+stores captures the write-dominated work arrays.
+  const auto sys = paper();
+  apps::AppOptions app_opt;
+  app_opt.iterations = 8;
+  const auto w = apps::make_cloverleaf3d(app_opt);
+  const auto loads = run_workflow(w, sys, opts(12 * GiB, 0.0));
+  const auto stores = run_workflow(w, sys, opts(12 * GiB, 0.125));
+  ASSERT_TRUE(loads && stores);
+  EXPECT_GT(stores->speedup(), loads->speedup() * 1.05);
+}
+
+TEST(Workflow, BandwidthAwareRescuesOpenFoam) {
+  // §VIII-C/Table VIII: base fails, bandwidth-aware recovers.
+  const auto sys = paper();
+  apps::AppOptions app_opt;
+  app_opt.iterations = 8;
+  const auto w = apps::make_openfoam(app_opt);
+  const auto base = run_workflow(w, sys, opts(11 * GiB, 0.0, false));
+  const auto bw = run_workflow(w, sys, opts(11 * GiB, 0.0, true));
+  ASSERT_TRUE(base && bw);
+  EXPECT_LT(base->speedup(), 0.8);
+  EXPECT_GT(bw->speedup(), 0.95);
+  ASSERT_TRUE(bw->bandwidth_aware.has_value());
+  EXPECT_GT(bw->bandwidth_aware->swaps, 0u);
+  EXPECT_GT(bw->bandwidth_aware->streaming_moved, 0u);
+}
+
+TEST(Workflow, BandwidthAwareImprovesLulesh) {
+  const auto sys = paper();
+  apps::AppOptions app_opt;
+  app_opt.iterations = 8;
+  const auto w = apps::make_lulesh(app_opt);
+  const auto base = run_workflow(w, sys, opts(12 * GiB, 0.0, false));
+  const auto bw = run_workflow(w, sys, opts(12 * GiB, 0.0, true));
+  ASSERT_TRUE(base && bw);
+  EXPECT_GT(bw->speedup(), base->speedup() * 1.04);
+}
+
+TEST(Workflow, SmallerDramLimitNeverHelps) {
+  const auto sys = paper();
+  apps::AppOptions app_opt;
+  app_opt.iterations = 6;
+  const auto w = apps::make_hpcg(app_opt);
+  const auto big = run_workflow(w, sys, opts(12 * GiB));
+  const auto small = run_workflow(w, sys, opts(4 * GiB));
+  ASSERT_TRUE(big && small);
+  EXPECT_GE(big->speedup(), small->speedup() * 0.98);
+}
+
+TEST(Workflow, HumanReadableFormatCostsPerformance) {
+  // §VIII-D: per-rank debug info shrinks the DRAM budget and matching
+  // costs more; the BOM format preserves the win.
+  const auto sys = paper();
+  apps::AppOptions app_opt;
+  app_opt.iterations = 8;
+  const auto w = apps::make_openfoam(app_opt);
+
+  auto bw_opts = opts(11 * GiB, 0.0, true);
+  const auto bom_run = run_workflow(w, sys, bw_opts);
+  bw_opts.format = advisor::ReportFormat::kHumanReadable;
+  const auto hr_run = run_workflow(w, sys, bw_opts);
+  ASSERT_TRUE(bom_run && hr_run) << (bom_run ? hr_run.error() : bom_run.error());
+
+  EXPECT_LT(hr_run->effective_dram_limit, bom_run->effective_dram_limit);
+  EXPECT_LT(hr_run->speedup(), bom_run->speedup());
+  EXPECT_GT(hr_run->production_metrics.alloc_overhead_ns,
+            bom_run->production_metrics.alloc_overhead_ns);
+}
+
+TEST(Workflow, ReportSurvivesAslrRebase) {
+  // The §VI property end to end: a report produced in one run matches in
+  // a process whose modules are loaded at different bases.
+  const auto sys = paper();
+  apps::AppOptions app_opt;
+  app_opt.iterations = 4;
+  auto w = apps::make_minife(app_opt);
+  const auto result = run_workflow(w, sys, opts(12 * GiB));
+  ASSERT_TRUE(result.has_value());
+
+  Rng rng(1234);
+  w.modules->assign_bases(/*aslr=*/true, rng);  // "new process"
+
+  const auto parsed = flexmalloc::parse_report(result->report_text, *w.modules);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error();
+  auto fm = flexmalloc::FlexMalloc::create(
+      {{"dram", 12 * GiB}, {"pmem", sys.tier(1).capacity()}}, *parsed, w.symbols.get());
+  ASSERT_TRUE(fm.has_value()) << fm.error();
+  for (const auto& site : w.sites) {
+    const auto alloc = fm->malloc(site.stack, 64);
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_TRUE(alloc->matched) << site.label;
+  }
+}
+
+TEST(Workflow, ProductionDramUsageRespectsLimit) {
+  const auto sys = paper();
+  apps::AppOptions app_opt;
+  app_opt.iterations = 6;
+  const auto w = apps::make_cloverleaf3d(app_opt);
+  const auto result = run_workflow(w, sys, opts(8 * GiB));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LE(result->placement.footprint_in("dram"), 8 * GiB);
+}
+
+TEST(Workflow, DeterministicAcrossRuns) {
+  const auto sys = paper();
+  apps::AppOptions app_opt;
+  app_opt.iterations = 5;
+  const auto w = apps::make_lulesh(app_opt);
+  const auto r1 = run_workflow(w, sys, opts(12 * GiB, 0.0, true));
+  const auto r2 = run_workflow(w, sys, opts(12 * GiB, 0.0, true));
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_EQ(r1->production_metrics.total_ns, r2->production_metrics.total_ns);
+  EXPECT_EQ(r1->report_text, r2->report_text);
+}
+
+TEST(Workflow, RejectsExternalObserver) {
+  const auto sys = paper();
+  apps::AppOptions app_opt;
+  app_opt.iterations = 2;
+  runtime::EngineOptions eopt;
+  profiler::Profiler prof;
+  eopt.observer = &prof;
+  EXPECT_FALSE(run_workflow(apps::make_minife(app_opt), sys, opts(12 * GiB), eopt).has_value());
+}
+
+TEST(Workflow, Pmem2ConfigurationDegradesEverything) {
+  // Fig. 6 PMem-2: removing DIMMs lowers absolute performance in both
+  // modes; MiniFE keeps a solid win over memory mode.
+  const auto sys6 = paper();
+  const auto sys2 = *memsim::paper_system(2);
+  apps::AppOptions app_opt;
+  app_opt.iterations = 6;
+  const auto w = apps::make_minife(app_opt);
+  const auto r6 = run_workflow(w, sys6, opts(12 * GiB));
+  const auto r2 = run_workflow(w, sys2, opts(12 * GiB));
+  ASSERT_TRUE(r6 && r2);
+  EXPECT_GT(r2->production_metrics.total_ns, r6->production_metrics.total_ns);
+  EXPECT_GT(r2->speedup(), 1.2);
+}
+
+/// Sampling-noise robustness (DESIGN.md D5): the production speedup is
+/// stable across profiling seeds.
+class WorkflowSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorkflowSeedSweep, SpeedupStableUnderSamplingNoise) {
+  const auto sys = paper();
+  apps::AppOptions app_opt;
+  app_opt.iterations = 6;
+  const auto w = apps::make_minife(app_opt);
+  auto o = opts(12 * GiB);
+  o.profile_seed = GetParam();
+  const auto result = run_workflow(w, sys, o);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->speedup(), 1.4);
+  EXPECT_LT(result->speedup(), 2.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkflowSeedSweep,
+                         ::testing::Values(1u, 7u, 99u, 1234u, 0xabcdefu));
+
+}  // namespace
+}  // namespace ecohmem::core

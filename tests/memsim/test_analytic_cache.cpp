@@ -1,0 +1,107 @@
+#include "ecohmem/memsim/analytic_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecohmem::memsim {
+namespace {
+
+constexpr Bytes kLlc = 64ull * 1024 * 1024;
+
+TEST(AnalyticCache, PureStreamMissesEverything) {
+  AnalyticCacheModel model(kLlc);
+  // 1 GiB stream, one load per line, no reuse, no prefetch.
+  const double lines = 1024.0 * 1024 * 1024 / 64;
+  const auto out = model.evaluate({{lines, 0.0, 1024.0 * 1024 * 1024, 0.0, 0.0}});
+  EXPECT_NEAR(out.per_object[0].load_misses, lines, lines * 0.01);
+  EXPECT_DOUBLE_EQ(out.per_object[0].prefetched_loads, 0.0);
+}
+
+TEST(AnalyticCache, PrefetchSplitsDemandFromFills) {
+  AnalyticCacheModel model(kLlc);
+  const double lines = 1024.0 * 1024 * 1024 / 64;
+  const auto out = model.evaluate({{lines, 0.0, 1024.0 * 1024 * 1024, 0.0, 0.8}});
+  const auto& m = out.per_object[0];
+  EXPECT_NEAR(m.load_misses, 0.2 * lines, lines * 0.01);
+  EXPECT_NEAR(m.prefetched_loads, 0.8 * lines, lines * 0.01);
+  // Total memory read traffic is unchanged by prefetch.
+  EXPECT_NEAR(m.read_lines(), lines, lines * 0.01);
+}
+
+TEST(AnalyticCache, ResidentObjectMostlyHits) {
+  AnalyticCacheModel model(kLlc);
+  // 1 MiB object touched a million times with high friendliness.
+  const double footprint = 1024.0 * 1024;
+  const auto out = model.evaluate({{1e6, 0.0, footprint, 0.95, 0.0}});
+  EXPECT_LT(out.per_object[0].load_misses, 1e6 * 0.1);
+  EXPECT_GT(out.llc_hit_ratio, 0.9);
+}
+
+TEST(AnalyticCache, CapacityPressureRaisesMisses) {
+  AnalyticCacheModel model(kLlc);
+  const double footprint = 8.0 * 1024 * 1024 * 1024;  // 8 GiB >> LLC
+  const auto big = model.evaluate({{1e8, 0.0, footprint, 0.9, 0.0}});
+  const auto small = model.evaluate({{1e8, 0.0, 1024.0 * 1024, 0.9, 0.0}});
+  EXPECT_GT(big.per_object[0].load_misses, 9.0 * small.per_object[0].load_misses);
+}
+
+TEST(AnalyticCache, StoresContributeToStoreMisses) {
+  AnalyticCacheModel model(kLlc);
+  const double lines = 1e7;
+  const auto out = model.evaluate({{0.0, lines, 1024.0 * 1024 * 1024, 0.0, 0.0}});
+  EXPECT_GT(out.per_object[0].store_misses, 0.5 * lines);
+  EXPECT_DOUBLE_EQ(out.total_load_misses, out.per_object[0].load_misses);
+}
+
+TEST(AnalyticCache, CompetingObjectsShareResidency) {
+  AnalyticCacheModel model(kLlc);
+  const double footprint = 48.0 * 1024 * 1024;  // each fits alone, not both
+  const KernelObjectAccess obj{1e7, 0.0, footprint, 0.9, 0.0};
+  const auto alone = model.evaluate({obj});
+  const auto together = model.evaluate({obj, obj});
+  EXPECT_GT(together.per_object[0].load_misses, alone.per_object[0].load_misses);
+}
+
+TEST(AnalyticCache, EmptyKernelIsNeutral) {
+  AnalyticCacheModel model(kLlc);
+  const auto out = model.evaluate({});
+  EXPECT_DOUBLE_EQ(out.total_load_misses, 0.0);
+  EXPECT_DOUBLE_EQ(out.llc_hit_ratio, 1.0);
+}
+
+TEST(AnalyticCache, MissesNeverExceedRequests) {
+  AnalyticCacheModel model(kLlc);
+  for (const double friendliness : {0.0, 0.3, 0.7, 1.0}) {
+    for (const double pe : {0.0, 0.5, 0.9}) {
+      const double loads = 5e6;
+      const double stores = 2e6;
+      const auto out =
+          model.evaluate({{loads, stores, 2.0 * 1024 * 1024 * 1024, friendliness, pe}});
+      const auto& m = out.per_object[0];
+      EXPECT_LE(m.load_misses + m.prefetched_loads, loads * 1.001);
+      EXPECT_LE(m.store_misses, stores * 1.001);
+      EXPECT_GE(m.load_misses, 0.0);
+      EXPECT_GE(m.store_misses, 0.0);
+    }
+  }
+}
+
+/// Property sweep over prefetch efficiency: demand misses decrease
+/// monotonically while total read traffic stays constant.
+class PrefetchSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PrefetchSweep, DemandDecreasesTrafficConstant) {
+  AnalyticCacheModel model(kLlc);
+  const double lines = 1e7;
+  const double pe = GetParam();
+  const auto out = model.evaluate({{lines, 0.0, 4.0 * 1024 * 1024 * 1024, 0.0, pe}});
+  const auto base = model.evaluate({{lines, 0.0, 4.0 * 1024 * 1024 * 1024, 0.0, 0.0}});
+  EXPECT_NEAR(out.per_object[0].read_lines(), base.per_object[0].read_lines(), 1.0);
+  EXPECT_NEAR(out.per_object[0].load_misses, base.per_object[0].load_misses * (1.0 - pe),
+              lines * 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Efficiencies, PrefetchSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0));
+
+}  // namespace
+}  // namespace ecohmem::memsim

@@ -1,0 +1,73 @@
+#include "ecohmem/memsim/bandwidth_meter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecohmem::memsim {
+namespace {
+
+TEST(BandwidthMeter, SingleBinAverage) {
+  BandwidthMeter m(1, 1000);
+  m.add(0, 0, 1000, 500.0);  // 500 B over 1000 ns = 0.5 GB/s
+  const auto series = m.series(0);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0].gbs, 0.5);
+}
+
+TEST(BandwidthMeter, SmearsAcrossBins) {
+  BandwidthMeter m(1, 1000);
+  m.add(0, 500, 2500, 2000.0);  // uniform over 2 us spanning 3 bins
+  const auto series = m.series(0);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0].gbs, 0.5);   // 500 B in bin 0
+  EXPECT_DOUBLE_EQ(series[1].gbs, 1.0);   // 1000 B in bin 1
+  EXPECT_DOUBLE_EQ(series[2].gbs, 0.5);   // 500 B in bin 2
+}
+
+TEST(BandwidthMeter, TotalBytesConserved) {
+  BandwidthMeter m(1, 777);
+  m.add(0, 123, 98765, 1.0e6);
+  double total = 0.0;
+  for (const auto& p : m.series(0)) total += p.gbs * 777.0;
+  EXPECT_NEAR(total, 1.0e6, 1.0);
+}
+
+TEST(BandwidthMeter, AverageOverWindow) {
+  BandwidthMeter m(1, 1000);
+  m.add(0, 0, 1000, 1000.0);
+  m.add(0, 1000, 2000, 3000.0);
+  EXPECT_DOUBLE_EQ(m.average_gbs(0, 0, 2000), 2.0);
+  EXPECT_DOUBLE_EQ(m.average_gbs(0, 0, 1000), 1.0);
+  EXPECT_DOUBLE_EQ(m.average_gbs(0, 500, 1500), 2.0);  // half of each bin
+}
+
+TEST(BandwidthMeter, PeakPicksLargestBin) {
+  BandwidthMeter m(1, 1000);
+  m.add(0, 0, 1000, 100.0);
+  m.add(0, 3000, 4000, 900.0);
+  EXPECT_DOUBLE_EQ(m.peak_gbs(0), 0.9);
+}
+
+TEST(BandwidthMeter, TiersAreIndependent) {
+  BandwidthMeter m(2, 1000);
+  m.add(0, 0, 1000, 100.0);
+  m.add(1, 0, 1000, 700.0);
+  EXPECT_DOUBLE_EQ(m.peak_gbs(0), 0.1);
+  EXPECT_DOUBLE_EQ(m.peak_gbs(1), 0.7);
+}
+
+TEST(BandwidthMeter, IgnoresInvalidInput) {
+  BandwidthMeter m(1, 1000);
+  m.add(5, 0, 1000, 100.0);   // bad tier
+  m.add(0, 0, 1000, -5.0);    // negative bytes
+  EXPECT_TRUE(m.series(0).empty());
+  EXPECT_DOUBLE_EQ(m.average_gbs(0, 0, 0), 0.0);  // empty window
+}
+
+TEST(BandwidthMeter, ZeroLengthIntervalTreatedAsPoint) {
+  BandwidthMeter m(1, 1000);
+  m.add(0, 500, 500, 64.0);
+  EXPECT_NEAR(m.peak_gbs(0), 64.0 / 1000.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ecohmem::memsim

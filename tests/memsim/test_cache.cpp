@@ -1,0 +1,114 @@
+#include "ecohmem/memsim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecohmem::memsim {
+namespace {
+
+CacheGeometry tiny_cache() { return CacheGeometry{1024, 2, 64}; }  // 8 sets x 2 ways
+
+TEST(SetAssocCache, ColdMissThenHit) {
+  SetAssocCache c(tiny_cache());
+  EXPECT_FALSE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x103f, false).hit);  // same line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(SetAssocCache, LruEviction) {
+  SetAssocCache c(tiny_cache());
+  // Three lines mapping to the same set (stride = sets * line = 512).
+  c.access(0x0000, false);
+  c.access(0x0200, false);
+  c.access(0x0000, false);          // refresh line 0
+  c.access(0x0400, false);          // evicts 0x0200 (LRU)
+  EXPECT_TRUE(c.probe(0x0000));
+  EXPECT_FALSE(c.probe(0x0200));
+  EXPECT_TRUE(c.probe(0x0400));
+}
+
+TEST(SetAssocCache, DirtyEvictionReportsWriteback) {
+  SetAssocCache c(tiny_cache());
+  c.access(0x0000, true);  // dirty
+  c.access(0x0200, false);
+  const auto r = c.access(0x0400, false);  // evicts dirty 0x0000
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(r.evicted_line, 0x0000u);
+  EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(SetAssocCache, CleanEvictionNoWriteback) {
+  SetAssocCache c(tiny_cache());
+  c.access(0x0000, false);
+  c.access(0x0200, false);
+  const auto r = c.access(0x0400, false);
+  EXPECT_FALSE(r.writeback);
+  EXPECT_TRUE(r.evicted_valid);
+}
+
+TEST(SetAssocCache, FlushInvalidatesEverything) {
+  SetAssocCache c(tiny_cache());
+  c.access(0x0000, true);
+  c.flush();
+  EXPECT_FALSE(c.probe(0x0000));
+}
+
+TEST(SetAssocCache, GeometryDerivedSets) {
+  const CacheGeometry l1{32 * 1024, 8, 64};
+  EXPECT_EQ(l1.num_sets(), 64u);
+  EXPECT_EQ(tiny_cache().num_sets(), 8u);
+}
+
+TEST(CacheHierarchy, MissesPropagateDownward) {
+  auto h = CacheHierarchy::xeon_8260l();
+  EXPECT_EQ(h.access(0x10000, false), HitLevel::kMemory);
+  EXPECT_EQ(h.access(0x10000, false), HitLevel::kL1);
+  EXPECT_EQ(h.llc_load_misses(), 1u);
+}
+
+TEST(CacheHierarchy, L1EvictionStillHitsInL2) {
+  auto h = CacheHierarchy::xeon_8260l();
+  h.access(0x0, false);
+  // Sweep enough distinct lines to evict line 0 from the 32 KiB L1 but
+  // not the 1 MiB L2.
+  for (std::uint64_t a = 64 * 1024; a < 64 * 1024 + 64 * 1024; a += 64) {
+    h.access(a, false);
+  }
+  EXPECT_EQ(h.access(0x0, false), HitLevel::kL2);
+}
+
+TEST(CacheHierarchy, StoreMissCountsAsL1StoreMiss) {
+  auto h = CacheHierarchy::xeon_8260l();
+  h.access(0x40, true);
+  EXPECT_EQ(h.l1_store_misses(), 1u);
+  h.access(0x40, true);
+  EXPECT_EQ(h.l1_store_misses(), 1u);  // now resident
+}
+
+TEST(CacheHierarchy, StreamingMissesEveryLineOnce) {
+  auto h = CacheHierarchy::xeon_8260l();
+  const std::uint64_t lines = 4096;
+  for (std::uint64_t i = 0; i < lines; ++i) h.access(i * 64, false);
+  EXPECT_EQ(h.llc_load_misses(), lines);
+}
+
+TEST(CacheHierarchy, WorkingSetSmallerThanLlcStopsMissing) {
+  auto h = CacheHierarchy::xeon_8260l();
+  const std::uint64_t lines = 1024;  // 64 KiB, fits everywhere beyond L1
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t i = 0; i < lines; ++i) h.access(i * 64, false);
+  }
+  EXPECT_EQ(h.llc_load_misses(), lines);  // only the cold pass misses
+}
+
+TEST(CacheHierarchy, FlushResetsCounters) {
+  auto h = CacheHierarchy::xeon_8260l();
+  h.access(0x0, false);
+  h.flush();
+  EXPECT_EQ(h.llc_load_misses(), 0u);
+  EXPECT_EQ(h.access(0x0, false), HitLevel::kMemory);
+}
+
+}  // namespace
+}  // namespace ecohmem::memsim

@@ -1,0 +1,93 @@
+#include "ecohmem/memsim/dram_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecohmem::memsim {
+namespace {
+
+constexpr Bytes kDram = 16ull * 1024 * 1024 * 1024;
+
+TEST(DramCache, FittingWorkloadHitsAtLocality) {
+  DramCacheModel model(kDram);
+  const auto out = model.evaluate({{1e6, 0.0, 1.0e9, 0.8}});
+  EXPECT_NEAR(out.per_object[0].hit_ratio, 0.8, 1e-9);
+}
+
+TEST(DramCache, OversubscriptionLowersHitRatio) {
+  DramCacheModel model(kDram);
+  const auto fits = model.evaluate({{1e6, 0.0, 8.0e9, 0.8}});
+  const auto spills = model.evaluate({{1e6, 0.0, 64.0e9, 0.8}});
+  EXPECT_LT(spills.per_object[0].hit_ratio, fits.per_object[0].hit_ratio);
+}
+
+TEST(DramCache, ConflictAlphaPenalizesBeyondProportional) {
+  // alpha > 1 means the hit ratio drops faster than the capacity ratio.
+  DramCacheModel direct_mapped(kDram, 1.1);
+  DramCacheModel ideal(kDram, 1.0);
+  const std::vector<DramCacheTraffic> t = {{1e6, 0.0, 64.0e9, 1.0}};
+  EXPECT_LT(direct_mapped.evaluate(t).per_object[0].hit_ratio,
+            ideal.evaluate(t).per_object[0].hit_ratio);
+}
+
+TEST(DramCache, LoadTrafficSplit) {
+  DramCacheModel model(kDram);
+  const double misses = 1e6;
+  const auto out = model.evaluate({{misses, 0.0, 1.0e9, 0.5}});
+  const auto& o = out.per_object[0];
+  const double line = 64.0;
+  // Hits read DRAM; misses read PMem and fill DRAM.
+  EXPECT_NEAR(o.dram_read_bytes, 0.5 * misses * line, 1.0);
+  EXPECT_NEAR(o.pmem_read_bytes, 0.5 * misses * line, 1.0);
+  EXPECT_NEAR(o.dram_write_bytes, 0.5 * misses * line, 1.0);
+  EXPECT_DOUBLE_EQ(o.pmem_write_bytes, 0.0);
+}
+
+TEST(DramCache, StoreTrafficIncludesWritebackAndFill) {
+  DramCacheModel model(kDram);
+  const double stores = 1e6;
+  const auto out = model.evaluate({{0.0, stores, 1.0e9, 0.5}});
+  const auto& o = out.per_object[0];
+  const double line = 64.0;
+  EXPECT_NEAR(o.dram_write_bytes, stores * line, 1.0);              // all land in cache
+  EXPECT_NEAR(o.pmem_write_bytes, 0.5 * stores * line, 1.0);       // eventual writeback
+  EXPECT_NEAR(o.pmem_read_bytes, 0.5 * stores * line, 1.0);        // write-allocate fill
+}
+
+TEST(DramCache, AggregateHitRatioIsRequestWeighted) {
+  DramCacheModel model(kDram);
+  const auto out = model.evaluate({
+      {3e6, 0.0, 1.0e9, 1.0},  // hot, perfect locality
+      {1e6, 0.0, 1.0e9, 0.0},  // zero locality
+  });
+  EXPECT_NEAR(out.hit_ratio, 0.75, 1e-9);
+}
+
+TEST(DramCache, EmptyTrafficIsPerfect) {
+  DramCacheModel model(kDram);
+  const auto out = model.evaluate({});
+  EXPECT_DOUBLE_EQ(out.hit_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(out.pmem_read_bytes, 0.0);
+}
+
+TEST(DramCache, MissOverheadPositive) {
+  DramCacheModel model(kDram);
+  EXPECT_GT(model.miss_overhead_ns(), 0.0);
+}
+
+/// Property sweep: aggregate traffic is conserved — every load miss byte
+/// appears exactly once as DRAM read or PMem read.
+class DramCacheSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DramCacheSweep, LoadBytesConserved) {
+  DramCacheModel model(kDram);
+  const double locality = GetParam();
+  const double misses = 2.5e6;
+  const auto out = model.evaluate({{misses, 0.0, 24.0e9, locality}});
+  EXPECT_NEAR(out.dram_read_bytes + out.pmem_read_bytes, misses * 64.0, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Localities, DramCacheSweep,
+                         ::testing::Values(0.0, 0.2, 0.4, 0.6, 0.8, 1.0));
+
+}  // namespace
+}  // namespace ecohmem::memsim

@@ -1,0 +1,204 @@
+#include "ecohmem/profiler/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ecohmem/analyzer/aggregator.hpp"
+#include "ecohmem/runtime/engine.hpp"
+
+namespace ecohmem::profiler {
+namespace {
+
+runtime::Workload two_object_workload(int iters) {
+  runtime::WorkloadBuilder b("prof");
+  const auto mod = b.add_module("p.x", 1 << 20, 0);
+  const auto hot_site = b.add_site(mod, "hot", "p.cc", 10);
+  const auto cold_site = b.add_site(mod, "cold", "p.cc", 20);
+  const auto hot =
+      b.add_object(hot_site, 1ull << 28, runtime::AccessPattern::kRandom, 0.1, 0.5, 0.0);
+  const auto cold =
+      b.add_object(cold_site, 1ull << 28, runtime::AccessPattern::kRandom, 0.1, 0.5, 0.0);
+  // Hot gets 9x the loads of cold; cold gets all the stores.
+  const auto k = b.add_kernel("kernel", 1e8, 1e7,
+                              {runtime::KernelAccess{hot, 9e6, 0.0, 1 << 28},
+                               runtime::KernelAccess{cold, 1e6, 2e6, 1 << 28}});
+  b.alloc(hot).alloc(cold);
+  for (int i = 0; i < iters; ++i) b.run_kernel(k);
+  b.free(hot).free(cold);
+  return b.build();
+}
+
+trace::Trace profile(const runtime::Workload& w, ProfilerOptions opt = {}) {
+  const auto sys = *memsim::paper_system(6);
+  Profiler prof(opt);
+  runtime::EngineOptions eopt;
+  eopt.observer = &prof;
+  runtime::ExecutionEngine engine(&sys, eopt);
+  runtime::FixedTierMode mode(&sys, 1);
+  const auto metrics = engine.run(w, mode);
+  EXPECT_TRUE(metrics.has_value());
+  return prof.take_trace();
+}
+
+TEST(Profiler, RecordsAllocAndFreeEvents) {
+  const auto t = profile(two_object_workload(3));
+  int allocs = 0;
+  int frees = 0;
+  for (const auto& e : t.events) {
+    if (std::holds_alternative<trace::AllocEvent>(e)) ++allocs;
+    if (std::holds_alternative<trace::FreeEvent>(e)) ++frees;
+  }
+  EXPECT_EQ(allocs, 2);
+  EXPECT_EQ(frees, 2);
+  EXPECT_EQ(t.stacks.size(), 2u);
+}
+
+TEST(Profiler, EventsAreTimeOrdered) {
+  const auto t = profile(two_object_workload(5));
+  Ns prev = 0;
+  for (const auto& e : t.events) {
+    const Ns now = trace::event_time(e);
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(Profiler, SampleWeightsRecoverAbsoluteCounts) {
+  // The weighted sample total must approximate the true miss count
+  // regardless of the sampling rate.
+  const runtime::Workload w = two_object_workload(10);
+  ProfilerOptions opt;
+  opt.sample_rate_hz = 200.0;
+  const auto t = profile(w, opt);
+
+  double sampled_loads = 0.0;
+  for (const auto& e : t.events) {
+    if (const auto* s = std::get_if<trace::SampleEvent>(&e)) {
+      if (!s->is_store) sampled_loads += s->weight;
+    }
+  }
+  // True demand misses: ~10 iterations x 10e6 requests, mostly missing.
+  EXPECT_GT(sampled_loads, 5e7);
+  EXPECT_LT(sampled_loads, 1.2e8);
+}
+
+TEST(Profiler, SamplesSplitProportionallyToMisses) {
+  const auto t = profile(two_object_workload(10));
+  const auto result = analyzer::analyze(t);
+  ASSERT_TRUE(result.has_value()) << result.error();
+  ASSERT_EQ(result->sites.size(), 2u);
+  const auto& hot = result->sites[0];
+  const auto& cold = result->sites[1];
+  EXPECT_GT(hot.load_misses, 4.0 * cold.load_misses);
+  EXPECT_GT(cold.store_misses, 0.0);
+  EXPECT_DOUBLE_EQ(hot.store_misses, 0.0);
+}
+
+TEST(Profiler, SampleAddressesInsideObjects) {
+  const auto t = profile(two_object_workload(5));
+  // Re-derive object ranges from the alloc events.
+  struct Range {
+    std::uint64_t lo, hi;
+  };
+  std::vector<Range> ranges;
+  for (const auto& e : t.events) {
+    if (const auto* a = std::get_if<trace::AllocEvent>(&e)) {
+      ranges.push_back({a->address, a->address + a->size});
+    }
+  }
+  for (const auto& e : t.events) {
+    if (const auto* s = std::get_if<trace::SampleEvent>(&e)) {
+      bool inside = false;
+      for (const auto& r : ranges) inside = inside || (s->address >= r.lo && s->address < r.hi);
+      EXPECT_TRUE(inside);
+    }
+  }
+}
+
+TEST(Profiler, DeterministicForSameSeed) {
+  ProfilerOptions opt;
+  opt.seed = 99;
+  const auto t1 = profile(two_object_workload(5), opt);
+  const auto t2 = profile(two_object_workload(5), opt);
+  ASSERT_EQ(t1.events.size(), t2.events.size());
+  for (std::size_t i = 0; i < t1.events.size(); ++i) {
+    EXPECT_EQ(trace::event_time(t1.events[i]), trace::event_time(t2.events[i]));
+  }
+}
+
+TEST(Profiler, StoreSamplingCanBeDisabled) {
+  ProfilerOptions opt;
+  opt.sample_stores = false;
+  const auto t = profile(two_object_workload(5), opt);
+  for (const auto& e : t.events) {
+    if (const auto* s = std::get_if<trace::SampleEvent>(&e)) {
+      EXPECT_FALSE(s->is_store);
+    }
+  }
+}
+
+TEST(Profiler, UncoreReadingsPresentAndPlausible) {
+  const auto t = profile(two_object_workload(5));
+  double max_gbs = 0.0;
+  int count = 0;
+  for (const auto& e : t.events) {
+    if (const auto* u = std::get_if<trace::UncoreBwEvent>(&e)) {
+      ++count;
+      max_gbs = std::max(max_gbs, u->read_gbs + u->write_gbs);
+    }
+  }
+  EXPECT_GT(count, 0);
+  EXPECT_GT(max_gbs, 0.1);
+  EXPECT_LT(max_gbs, 80.0);
+}
+
+TEST(Profiler, MarkersBracketKernels) {
+  const auto t = profile(two_object_workload(2));
+  int depth = 0;
+  int enters = 0;
+  for (const auto& e : t.events) {
+    if (const auto* m = std::get_if<trace::MarkerEvent>(&e)) {
+      depth += m->is_enter ? 1 : -1;
+      enters += m->is_enter ? 1 : 0;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(enters, 2);
+}
+
+TEST(Profiler, TakeTraceResetsState) {
+  const runtime::Workload w = two_object_workload(2);
+  const auto sys = *memsim::paper_system(6);
+  Profiler prof;
+  runtime::EngineOptions eopt;
+  eopt.observer = &prof;
+  runtime::ExecutionEngine engine(&sys, eopt);
+  runtime::FixedTierMode mode(&sys, 1);
+  ASSERT_TRUE(engine.run(w, mode).has_value());
+  const auto first = prof.take_trace();
+  EXPECT_GT(first.events.size(), 0u);
+  const auto empty = prof.take_trace();
+  EXPECT_EQ(empty.events.size(), 0u);
+}
+
+/// Property sweep (DESIGN.md D5): the analyzer's per-site loads are
+/// stable across sampling seeds within a tolerance.
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, SampledCountsStableAcrossSeeds) {
+  ProfilerOptions opt;
+  opt.seed = GetParam();
+  const auto t = profile(two_object_workload(10), opt);
+  const auto result = analyzer::analyze(t);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->sites.size(), 2u);
+  const double ratio = result->sites[0].load_misses /
+                       std::max(result->sites[1].load_misses, 1.0);
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 16.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1u, 2u, 3u, 42u, 0xdeadu));
+
+}  // namespace
+}  // namespace ecohmem::profiler

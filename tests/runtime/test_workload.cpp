@@ -1,0 +1,96 @@
+#include "ecohmem/runtime/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecohmem::runtime {
+namespace {
+
+TEST(WorkloadBuilder, BuildsConsistentWorkload) {
+  WorkloadBuilder b("toy");
+  b.ranks(4).threads(2).mlp(6.0).static_footprint(1024);
+  const auto mod = b.add_module("toy.x", 1 << 20, 2 << 20);
+  const auto site = b.add_site(mod, "buf", "toy.cc", 10);
+  const auto obj = b.add_object(site, 4096, AccessPattern::kSequential, 0.1, 0.5);
+  const auto kernel = b.add_kernel("k", 1e6, 1e5, {KernelAccess{obj, 100.0, 10.0, 4096.0}});
+  b.alloc(obj).run_kernel(kernel).free(obj);
+
+  const Workload w = b.build();
+  EXPECT_EQ(w.name, "toy");
+  EXPECT_EQ(w.ranks, 4);
+  EXPECT_DOUBLE_EQ(w.mlp, 6.0);
+  EXPECT_EQ(w.sites.size(), 1u);
+  EXPECT_EQ(w.objects.size(), 1u);
+  EXPECT_EQ(w.kernels.size(), 1u);
+  EXPECT_EQ(w.steps.size(), 3u);
+  EXPECT_EQ(w.heap_high_water, 4096u);
+}
+
+TEST(WorkloadBuilder, SiteStacksAreDistinctAndSymbolized) {
+  WorkloadBuilder b("toy");
+  const auto mod = b.add_module("toy.x", 1 << 20, 0);
+  const auto s1 = b.add_site(mod, "a", "a.cc", 10);
+  const auto s2 = b.add_site(mod, "b", "b.cc", 20);
+  const Workload w = b.build();
+  EXPECT_NE(w.sites[s1].stack, w.sites[s2].stack);
+  // Every frame of every site translates via the generated symbol table.
+  for (const auto& site : w.sites) {
+    const auto hr = w.symbols->translate(site.stack);
+    EXPECT_TRUE(hr.has_value()) << site.label;
+  }
+}
+
+TEST(WorkloadBuilder, PrefetchDefaultsFollowPattern) {
+  WorkloadBuilder b("toy");
+  const auto mod = b.add_module("toy.x", 1 << 20, 0);
+  const auto site = b.add_site(mod, "a", "a.cc", 1);
+  const auto seq = b.add_object(site, 64, AccessPattern::kSequential, 0.0, 0.5);
+  const auto rnd = b.add_object(site, 64, AccessPattern::kRandom, 0.0, 0.5);
+  const auto custom = b.add_object(site, 64, AccessPattern::kRandom, 0.0, 0.5, 0.42);
+  const Workload w = b.build();
+  EXPECT_DOUBLE_EQ(w.objects[seq].prefetch_efficiency,
+                   default_prefetch_efficiency(AccessPattern::kSequential));
+  EXPECT_DOUBLE_EQ(w.objects[rnd].prefetch_efficiency,
+                   default_prefetch_efficiency(AccessPattern::kRandom));
+  EXPECT_DOUBLE_EQ(w.objects[custom].prefetch_efficiency, 0.42);
+}
+
+TEST(WorkloadBuilder, HighWaterTracksPeakNotTotal) {
+  WorkloadBuilder b("toy");
+  const auto mod = b.add_module("toy.x", 1 << 20, 0);
+  const auto site = b.add_site(mod, "a", "a.cc", 1);
+  const auto o1 = b.add_object(site, 1000, AccessPattern::kSequential, 0.0, 0.5);
+  const auto o2 = b.add_object(site, 1000, AccessPattern::kSequential, 0.0, 0.5);
+  b.alloc(o1).free(o1).alloc(o2).free(o2);
+  EXPECT_EQ(b.build().heap_high_water, 1000u);
+}
+
+TEST(WorkloadBuilder, DetectsDoubleAlloc) {
+  WorkloadBuilder b("bad");
+  const auto mod = b.add_module("x", 1 << 20, 0);
+  const auto site = b.add_site(mod, "a", "a.cc", 1);
+  const auto obj = b.add_object(site, 64, AccessPattern::kSequential, 0.0, 0.5);
+  b.alloc(obj).alloc(obj);
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(WorkloadBuilder, DetectsFreeOfNonLive) {
+  WorkloadBuilder b("bad");
+  const auto mod = b.add_module("x", 1 << 20, 0);
+  const auto site = b.add_site(mod, "a", "a.cc", 1);
+  const auto obj = b.add_object(site, 64, AccessPattern::kSequential, 0.0, 0.5);
+  b.free(obj);
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(WorkloadBuilder, DetectsKernelOnDeadObject) {
+  WorkloadBuilder b("bad");
+  const auto mod = b.add_module("x", 1 << 20, 0);
+  const auto site = b.add_site(mod, "a", "a.cc", 1);
+  const auto obj = b.add_object(site, 64, AccessPattern::kSequential, 0.0, 0.5);
+  const auto k = b.add_kernel("k", 1.0, 1.0, {KernelAccess{obj, 1.0, 0.0, 64.0}});
+  b.alloc(obj).free(obj).run_kernel(k);
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ecohmem::runtime

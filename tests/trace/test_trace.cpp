@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ecohmem/trace/events.hpp"
+#include "ecohmem/trace/trace_file.hpp"
+
+namespace ecohmem::trace {
+namespace {
+
+bom::ModuleTable test_modules() {
+  bom::ModuleTable mt;
+  mt.add_module("a.x", 1 << 20, 2 << 20);
+  mt.add_module("b.so", 1 << 20, 1 << 20);
+  return mt;
+}
+
+Trace make_trace() {
+  Trace t;
+  t.sample_rate_hz = 100.0;
+  const StackId s0 = t.stacks.intern(bom::CallStack{{{0, 0x10}, {1, 0x20}}});
+  const StackId s1 = t.stacks.intern(bom::CallStack{{{0, 0x30}}});
+  const std::uint32_t fn = t.functions.intern("matvec");
+
+  t.events.emplace_back(MarkerEvent{5, fn, true});
+  t.events.emplace_back(AllocEvent{10, 1, 0x1000, 4096, s0, AllocKind::kMalloc});
+  t.events.emplace_back(AllocEvent{12, 2, 0x2000, 8192, s1, AllocKind::kCalloc});
+  t.events.emplace_back(SampleEvent{20, 0x1040, 3.5, 180.0, false, fn});
+  t.events.emplace_back(SampleEvent{25, 0x2100, 2.0, 0.0, true, fn});
+  t.events.emplace_back(UncoreBwEvent{30, 10, 12.5, 3.5});
+  t.events.emplace_back(FreeEvent{40, 1});
+  t.events.emplace_back(MarkerEvent{50, fn, false});
+  return t;
+}
+
+TEST(StackTable, InternDeduplicates) {
+  StackTable st;
+  const bom::CallStack cs{{{0, 0x10}}};
+  EXPECT_EQ(st.intern(cs), st.intern(cs));
+  EXPECT_EQ(st.size(), 1u);
+  EXPECT_NE(st.intern(bom::CallStack{{{0, 0x11}}}), st.intern(cs));
+  EXPECT_EQ(st.size(), 2u);
+}
+
+TEST(FunctionTable, InternDeduplicates) {
+  FunctionTable ft;
+  EXPECT_EQ(ft.intern("f"), ft.intern("f"));
+  EXPECT_EQ(ft.name(ft.intern("g")), "g");
+  EXPECT_EQ(ft.size(), 2u);
+}
+
+TEST(Events, EventTimeVisitsAllVariants) {
+  EXPECT_EQ(event_time(Event{AllocEvent{10}}), 10u);
+  EXPECT_EQ(event_time(Event{FreeEvent{11}}), 11u);
+  EXPECT_EQ(event_time(Event{SampleEvent{12}}), 12u);
+  EXPECT_EQ(event_time(Event{MarkerEvent{13}}), 13u);
+  EXPECT_EQ(event_time(Event{UncoreBwEvent{14}}), 14u);
+}
+
+TEST(TraceFile, RoundTripPreservesEverything) {
+  const Trace original = make_trace();
+  const bom::ModuleTable modules = test_modules();
+
+  std::stringstream buffer;
+  ASSERT_TRUE(write_trace(buffer, original, modules).ok());
+
+  const auto loaded = read_trace(buffer);
+  ASSERT_TRUE(loaded.has_value()) << loaded.error();
+  const Trace& t = loaded->trace;
+
+  EXPECT_DOUBLE_EQ(t.sample_rate_hz, 100.0);
+  EXPECT_EQ(t.stacks.size(), original.stacks.size());
+  EXPECT_EQ(t.stacks.stack(0), original.stacks.stack(0));
+  EXPECT_EQ(t.functions.name(0), "matvec");
+  ASSERT_EQ(t.events.size(), original.events.size());
+
+  const auto& alloc = std::get<AllocEvent>(t.events[1]);
+  EXPECT_EQ(alloc.object_id, 1u);
+  EXPECT_EQ(alloc.size, 4096u);
+  EXPECT_EQ(alloc.kind, AllocKind::kMalloc);
+
+  const auto& sample = std::get<SampleEvent>(t.events[3]);
+  EXPECT_DOUBLE_EQ(sample.weight, 3.5);
+  EXPECT_DOUBLE_EQ(sample.latency_ns, 180.0);
+  EXPECT_FALSE(sample.is_store);
+
+  const auto& store = std::get<SampleEvent>(t.events[4]);
+  EXPECT_TRUE(store.is_store);
+
+  const auto& uncore = std::get<UncoreBwEvent>(t.events[5]);
+  EXPECT_DOUBLE_EQ(uncore.read_gbs, 12.5);
+  EXPECT_EQ(uncore.period_ns, 10u);
+
+  // Module table travels with the trace.
+  EXPECT_EQ(loaded->modules.size(), 2u);
+  EXPECT_EQ(loaded->modules.module(1).name, "b.so");
+  EXPECT_EQ(loaded->modules.module(0).debug_info_size, Bytes{2u << 20});
+}
+
+TEST(TraceFile, RejectsBadMagic) {
+  std::stringstream buffer("NOTATRACE-----------------");
+  EXPECT_FALSE(read_trace(buffer).has_value());
+}
+
+TEST(TraceFile, RejectsTruncation) {
+  const Trace original = make_trace();
+  std::stringstream buffer;
+  ASSERT_TRUE(write_trace(buffer, original, test_modules()).ok());
+  const std::string full = buffer.str();
+  // Chop at several points; every prefix must fail cleanly.
+  for (const double frac : {0.2, 0.5, 0.9, 0.99}) {
+    const auto cut_len =
+        static_cast<std::size_t>(static_cast<double>(full.size()) * frac);
+    std::stringstream cut(full.substr(0, cut_len));
+    EXPECT_FALSE(read_trace(cut).has_value()) << "fraction " << frac;
+  }
+}
+
+TEST(TraceFile, RejectsDanglingStackReference) {
+  Trace t;
+  t.events.emplace_back(AllocEvent{1, 1, 0x10, 64, /*stack=*/7, AllocKind::kMalloc});
+  std::stringstream buffer;
+  ASSERT_TRUE(write_trace(buffer, t, test_modules()).ok());
+  EXPECT_FALSE(read_trace(buffer).has_value());
+}
+
+TEST(TraceFile, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/ecohmem_test.trc";
+  ASSERT_TRUE(save_trace(path, make_trace(), test_modules()).ok());
+  const auto loaded = load_trace(path);
+  ASSERT_TRUE(loaded.has_value()) << loaded.error();
+  EXPECT_EQ(loaded->trace.events.size(), make_trace().events.size());
+  EXPECT_FALSE(load_trace("/no/such/file.trc").has_value());
+}
+
+TEST(TraceFile, EmptyTraceRoundTrips) {
+  Trace t;
+  bom::ModuleTable empty;
+  std::stringstream buffer;
+  ASSERT_TRUE(write_trace(buffer, t, empty).ok());
+  const auto loaded = read_trace(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->trace.events.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ecohmem::trace
+
+namespace ecohmem::trace {
+namespace {
+
+TEST(TraceFileCompact, RoundTripIsLossless) {
+  const Trace original = make_trace();
+  const bom::ModuleTable modules = test_modules();
+
+  std::stringstream buffer;
+  TraceWriteOptions opt;
+  opt.compact = true;
+  ASSERT_TRUE(write_trace(buffer, original, modules, opt).ok());
+
+  const auto loaded = read_trace(buffer);
+  ASSERT_TRUE(loaded.has_value()) << loaded.error();
+  ASSERT_EQ(loaded->trace.events.size(), original.events.size());
+  for (std::size_t i = 0; i < original.events.size(); ++i) {
+    EXPECT_EQ(event_time(loaded->trace.events[i]), event_time(original.events[i])) << i;
+    EXPECT_EQ(loaded->trace.events[i].index(), original.events[i].index()) << i;
+  }
+  const auto& sample = std::get<SampleEvent>(loaded->trace.events[3]);
+  EXPECT_DOUBLE_EQ(sample.weight, 3.5);
+  EXPECT_DOUBLE_EQ(sample.latency_ns, 180.0);
+  const auto& alloc = std::get<AllocEvent>(loaded->trace.events[1]);
+  EXPECT_EQ(alloc.address, 0x1000u);
+  EXPECT_EQ(alloc.kind, AllocKind::kMalloc);
+}
+
+TEST(TraceFileCompact, SmallerThanPlainOnRealisticTrace) {
+  // A sample-heavy trace with near-monotonic times: the typical profile.
+  Trace t;
+  const StackId site = t.stacks.intern(bom::CallStack{{{0, 0x10}}});
+  const std::uint32_t fn = t.functions.intern("kernel");
+  t.events.emplace_back(AllocEvent{100, 1, 1ull << 40, 1 << 20, site, AllocKind::kMalloc});
+  for (Ns time = 200; time < 200 + 5000 * 150; time += 150) {
+    t.events.emplace_back(SampleEvent{time, (1ull << 40) + time % (1 << 20), 12.0, 190.0,
+                                      false, fn});
+  }
+  t.events.emplace_back(FreeEvent{1'000'000'000, 1});
+
+  std::stringstream plain;
+  std::stringstream compact;
+  ASSERT_TRUE(write_trace(plain, t, test_modules()).ok());
+  TraceWriteOptions opt;
+  opt.compact = true;
+  ASSERT_TRUE(write_trace(compact, t, test_modules(), opt).ok());
+  EXPECT_LT(compact.str().size(), plain.str().size() * 3 / 4);
+
+  const auto reloaded = read_trace(compact);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(reloaded->trace.events.size(), t.events.size());
+}
+
+TEST(TraceFileCompact, RejectsTruncation) {
+  std::stringstream buffer;
+  TraceWriteOptions opt;
+  opt.compact = true;
+  ASSERT_TRUE(write_trace(buffer, make_trace(), test_modules(), opt).ok());
+  const std::string full = buffer.str();
+  for (const double frac : {0.3, 0.6, 0.95}) {
+    const auto cut_len = static_cast<std::size_t>(static_cast<double>(full.size()) * frac);
+    std::stringstream cut(full.substr(0, cut_len));
+    EXPECT_FALSE(read_trace(cut).has_value()) << frac;
+  }
+}
+
+TEST(TraceFileCompact, RejectsDanglingStackReference) {
+  Trace t;
+  t.events.emplace_back(AllocEvent{1, 1, 0x10, 64, /*stack=*/7, AllocKind::kMalloc});
+  std::stringstream buffer;
+  TraceWriteOptions opt;
+  opt.compact = true;
+  ASSERT_TRUE(write_trace(buffer, t, test_modules(), opt).ok());
+  EXPECT_FALSE(read_trace(buffer).has_value());
+}
+
+}  // namespace
+}  // namespace ecohmem::trace

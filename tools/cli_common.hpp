@@ -1,0 +1,71 @@
+#pragma once
+
+/// Minimal flag parsing shared by the ecohmem-* command-line tools.
+/// Flags are `--name value` or `--name` (boolean); positionals are kept
+/// in order.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ecohmem/common/strings.hpp"
+
+namespace ecohmem::cli {
+
+class Args {
+ public:
+  Args(int argc, char** argv, std::vector<std::string> bool_flags = {}) {
+    const auto is_bool = [&bool_flags](const std::string& name) {
+      for (const auto& b : bool_flags) {
+        if (b == name) return true;
+      }
+      return false;
+    };
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const std::string name = arg.substr(2);
+        if (is_bool(name) || i + 1 >= argc) {
+          flags_[name] = "true";
+        } else {
+          flags_[name] = argv[++i];
+        }
+      } else {
+        positional_.push_back(std::move(arg));
+      }
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& name, std::string def = {}) const {
+    const auto it = flags_.find(name);
+    return it != flags_.end() ? it->second : def;
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const { return flags_.contains(name); }
+
+  [[nodiscard]] double get_double(const std::string& name, double def) const {
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) return def;
+    return strings::parse_double(it->second).value_or(def);
+  }
+
+  [[nodiscard]] Bytes get_bytes(const std::string& name, Bytes def) const {
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) return def;
+    return strings::parse_bytes(it->second).value_or(def);
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+inline int fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace ecohmem::cli

@@ -1,0 +1,106 @@
+// ecohmem-advisor — the HMem Advisor stage as a command-line tool
+// (the Paramedir + Advisor boxes of Fig. 1).
+//
+// Reads a trace file written by ecohmem-profile, aggregates it, runs the
+// density knapsack (optionally followed by the bandwidth-aware pass of
+// §VII) and writes the FlexMalloc placement report.
+//
+// Usage:
+//   ecohmem-advisor --trace <trace.trc> --out <report.txt>
+//                   [--config <advisor.ini>] [--dram-limit 12GB]
+//                   [--store-coef 0.125] [--bandwidth-aware]
+//                   [--peak-pmem-bw GBS]
+//
+// Without --config, a two-tier dram/pmem config is synthesized from
+// --dram-limit and --store-coef. The report is written in BOM format
+// (the trace carries no symbol tables, so the human-readable format is
+// not available from this tool).
+
+#include <cstdio>
+
+#include "cli_common.hpp"
+#include "ecohmem/advisor/bandwidth_aware.hpp"
+#include "ecohmem/advisor/knapsack.hpp"
+#include "ecohmem/advisor/report.hpp"
+#include "ecohmem/analyzer/aggregator.hpp"
+#include "ecohmem/analyzer/site_report.hpp"
+#include "ecohmem/trace/trace_file.hpp"
+
+using namespace ecohmem;
+
+int main(int argc, char** argv) {
+  const cli::Args args(argc, argv, {"bandwidth-aware", "dump-sites", "help"});
+  if (args.has("help") || !args.has("trace") || !args.has("out")) {
+    std::printf(
+        "usage: ecohmem-advisor --trace <trace.trc> --out <report.txt>\n"
+        "                       [--config <advisor.ini>] [--dram-limit 12GB]\n"
+        "                       [--store-coef 0.125] [--bandwidth-aware]\n"
+        "                       [--peak-pmem-bw GBS] [--dump-sites] [--csv <file>]\n");
+    return args.has("help") ? 0 : 1;
+  }
+
+  const auto bundle = trace::load_trace(args.get("trace"));
+  if (!bundle) return cli::fail(bundle.error());
+
+  const auto analysis = analyzer::analyze(bundle->trace);
+  if (!analysis) return cli::fail(analysis.error());
+
+  if (args.has("dump-sites")) {
+    std::printf("%s", analyzer::site_table_to_string(*analysis, bundle->modules).c_str());
+  }
+  if (args.has("csv")) {
+    if (const auto s = analyzer::save_site_csv(args.get("csv"), *analysis, bundle->modules);
+        !s) {
+      return cli::fail(s.error());
+    }
+  }
+
+  advisor::AdvisorConfig config;
+  if (args.has("config")) {
+    const auto file = Config::load(args.get("config"));
+    if (!file) return cli::fail(file.error());
+    auto parsed = advisor::AdvisorConfig::from_config(*file);
+    if (!parsed) return cli::fail(parsed.error());
+    config = std::move(*parsed);
+  } else {
+    config = advisor::AdvisorConfig::dram_pmem(args.get_bytes("dram-limit", 12ull << 30),
+                                               args.get_double("store-coef", 0.0));
+  }
+
+  auto placement = advisor::place_by_density(analysis->sites, config);
+  if (!placement) return cli::fail(placement.error());
+
+  std::size_t swaps = 0;
+  std::size_t streaming = 0;
+  if (args.has("bandwidth-aware")) {
+    advisor::BandwidthAwareOptions bw;
+    bw.peak_pmem_bw_gbs =
+        args.get_double("peak-pmem-bw", analysis->observed_peak_bw_gbs);
+    bw.dram_tier = config.tiers.front().name;
+    bw.pmem_tier = config.fallback_tier().name;
+    auto refined = advisor::place_bandwidth_aware(analysis->sites, *placement, config, bw);
+    if (!refined) return cli::fail(refined.error());
+    swaps = refined->swaps;
+    streaming = refined->streaming_moved;
+    *placement = std::move(refined->placement);
+  }
+
+  if (const auto s = advisor::save_report(args.get("out"), *placement,
+                                          advisor::ReportFormat::kBom, bundle->modules);
+      !s) {
+    return cli::fail(s.error());
+  }
+
+  std::printf("analyzed %zu sites (%zu events); placement written to %s\n",
+              analysis->sites.size(), bundle->trace.events.size(), args.get("out").c_str());
+  for (const auto& tier : config.tiers) {
+    std::printf("  %-8s %10llu MB charged (limit %llu MB)\n", tier.name.c_str(),
+                static_cast<unsigned long long>(placement->footprint_in(tier.name) >> 20),
+                static_cast<unsigned long long>(tier.limit >> 20));
+  }
+  if (args.has("bandwidth-aware")) {
+    std::printf("  bandwidth-aware: %zu swaps, %zu Streaming-D moves (observed peak %.2f GB/s)\n",
+                swaps, streaming, analysis->observed_peak_bw_gbs);
+  }
+  return 0;
+}

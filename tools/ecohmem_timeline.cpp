@@ -1,0 +1,74 @@
+// ecohmem-timeline — exports per-tier bandwidth timelines (the raw series
+// behind Figs. 3 and 7) as CSV for plotting, for any app under any of
+// the supported placement configurations.
+//
+// Usage:
+//   ecohmem-timeline --app <name> --out <file.csv>
+//                    [--mode memory|base|bw-aware] [--dram-limit 12GB]
+//                    [--iterations N]
+//
+// CSV columns: time_s, tier, gbs
+
+#include <cstdio>
+#include <fstream>
+
+#include "cli_common.hpp"
+#include "ecohmem/apps/apps.hpp"
+#include "ecohmem/core/ecohmem.hpp"
+
+using namespace ecohmem;
+
+int main(int argc, char** argv) {
+  const cli::Args args(argc, argv, {"help"});
+  if (args.has("help") || !args.has("app") || !args.has("out")) {
+    std::printf(
+        "usage: ecohmem-timeline --app <name> --out <file.csv>\n"
+        "                        [--mode memory|base|bw-aware] [--dram-limit 12GB]\n"
+        "                        [--iterations N]\n");
+    return args.has("help") ? 0 : 1;
+  }
+
+  apps::AppOptions app_opt;
+  app_opt.iterations = static_cast<int>(args.get_double("iterations", 0.0));
+  runtime::Workload workload;
+  try {
+    workload = apps::make_app(args.get("app"), app_opt);
+  } catch (const std::exception& e) {
+    return cli::fail(e.what());
+  }
+  const auto system = memsim::paper_system(6);
+  if (!system) return cli::fail(system.error());
+
+  const std::string mode = args.get("mode", "base");
+  runtime::RunMetrics metrics;
+  if (mode == "memory") {
+    auto run = core::run_memory_mode(workload, *system);
+    if (!run) return cli::fail(run.error());
+    metrics = std::move(*run);
+  } else if (mode == "base" || mode == "bw-aware") {
+    core::WorkflowOptions opt;
+    opt.dram_limit = args.get_bytes("dram-limit", 12ull << 30);
+    opt.bandwidth_aware = mode == "bw-aware";
+    auto run = core::run_workflow(workload, *system, opt);
+    if (!run) return cli::fail(run.error());
+    metrics = std::move(run->production_metrics);
+  } else {
+    return cli::fail("unknown mode '" + mode + "' (memory|base|bw-aware)");
+  }
+
+  std::ofstream out(args.get("out"));
+  if (!out) return cli::fail("cannot open " + args.get("out"));
+  out << "time_s,tier,gbs\n";
+  std::size_t rows = 0;
+  for (std::size_t t = 0; t < metrics.tier_bw.size(); ++t) {
+    const std::string& tier = system->tier(t).name();
+    for (const auto& p : metrics.tier_bw[t]) {
+      out << static_cast<double>(p.time) * 1e-9 << ',' << tier << ',' << p.gbs << '\n';
+      ++rows;
+    }
+  }
+  std::printf("%s %s run: %.2f s simulated, %zu samples -> %s\n", args.get("app").c_str(),
+              mode.c_str(), static_cast<double>(metrics.total_ns) * 1e-9, rows,
+              args.get("out").c_str());
+  return 0;
+}
