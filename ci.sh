@@ -1,12 +1,32 @@
 #!/usr/bin/env bash
 # Full verification pipeline: configure, build, test, run every
-# reproduction benchmark and all examples. Exits non-zero on any failure.
+# reproduction benchmark and all examples, then cross-check the
+# generated artifacts with ecohmem-lint. Exits non-zero on any failure.
+#
+# Usage:
+#   ./ci.sh             # regular build + tests + benches + examples + lint
+#   ./ci.sh --sanitize  # additionally run tier-1 tests under ASan/UBSan
 set -euo pipefail
 cd "$(dirname "$0")"
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build -j"$(nproc)" --output-on-failure
+sanitize=0
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize) sanitize=1 ;;
+    *) echo "usage: $0 [--sanitize]" >&2; exit 2 ;;
+  esac
+done
+
+cmake --preset default
+cmake --build --preset default
+ctest --preset default -j"$(nproc)"
+
+if [ "$sanitize" -eq 1 ]; then
+  echo "== tier-1 tests under ASan/UBSan =="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan
+  ctest --preset asan-ubsan -j"$(nproc)"
+fi
 
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] && "$b"
@@ -20,6 +40,23 @@ build/examples/host_interposition
 
 build/tools/ecohmem-profile --app hpcg --out /tmp/ecohmem_ci2.trc --compact
 build/tools/ecohmem-advisor --trace /tmp/ecohmem_ci2.trc --out /tmp/ecohmem_ci_report.txt \
+  --config configs/advisor_dram_pmem.ini \
   --bandwidth-aware --dump-sites --csv /tmp/ecohmem_ci_sites.csv
+
+# Cross-artifact invariant check: trace vs site CSV vs placement report vs
+# tier config must tell one consistent story. Error-severity findings fail CI.
+build/tools/ecohmem-lint \
+  --trace /tmp/ecohmem_ci2.trc \
+  --sites /tmp/ecohmem_ci_sites.csv \
+  --report /tmp/ecohmem_ci_report.txt \
+  --config configs/advisor_dram_pmem.ini
+
 build/tools/ecohmem-run --app hpcg --report /tmp/ecohmem_ci_report.txt
+
+# clang-tidy is optional in the toolchain image; run it when available.
+if command -v clang-tidy >/dev/null 2>&1 && command -v run-clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy =="
+  run-clang-tidy -p build -quiet "src/ecohmem/(advisor|analyzer|check)/.*\.cpp$"
+fi
+
 echo "CI OK"

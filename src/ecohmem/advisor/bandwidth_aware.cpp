@@ -51,6 +51,7 @@ Expected<BandwidthAwareResult> place_bandwidth_aware(
   // --- Step 1: categorization.
   std::vector<const analyzer::SiteRecord*> fitting;
   std::vector<const analyzer::SiteRecord*> thrashing;
+  result.categories.reserve(sites.size());
   for (const auto& s : sites) {
     const auto it = decision_of.find(s.stack);
     const std::string& tier = it != decision_of.end() ? it->second->tier : base.fallback_tier;

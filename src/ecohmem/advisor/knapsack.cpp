@@ -37,6 +37,7 @@ Expected<Placement> place_by_density(const std::vector<analyzer::SiteRecord>& si
 
     Bytes used = 0;
     std::vector<std::size_t> next_remaining;
+    next_remaining.reserve(remaining.size());
     for (const std::size_t idx : order) {
       const analyzer::SiteRecord& site = sites[idx];
       const Bytes footprint = site_footprint(site, config.footprint_mode);
@@ -155,6 +156,7 @@ Expected<Placement> place_exact_dp(const std::vector<analyzer::SiteRecord>& site
     }
 
     std::vector<std::size_t> next_remaining;
+    next_remaining.reserve(remaining.size());
     for (const std::size_t idx : remaining) {
       const analyzer::SiteRecord& site = sites[idx];
       if (selected[idx]) {

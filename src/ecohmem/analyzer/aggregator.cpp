@@ -173,6 +173,7 @@ Expected<AnalysisResult> analyze(const trace::Trace& trace, const AnalyzerOption
   result.system_bw = bw_meter.series(0);
   result.observed_peak_bw_gbs = bw_meter.peak_gbs(0);
 
+  result.sites.reserve(sites.size());
   for (auto& [stack_id, acc] : sites) {
     (void)stack_id;
     SiteRecord& r = acc.record;
@@ -207,6 +208,7 @@ Expected<AnalysisResult> analyze(const trace::Trace& trace, const AnalyzerOption
     return a.first_alloc != b.first_alloc ? a.first_alloc < b.first_alloc : a.stack < b.stack;
   });
 
+  result.functions.reserve(functions.size());
   for (const auto& [fn_id, acc] : functions) {
     FunctionProfile fp;
     fp.name = fn_id < trace.functions.size() ? trace.functions.name(fn_id) : "?";

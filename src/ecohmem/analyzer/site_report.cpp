@@ -63,6 +63,10 @@ void write_site_table(std::ostream& out, const AnalysisResult& analysis,
 
 void write_site_csv(std::ostream& out, const AnalysisResult& analysis,
                     const bom::ModuleTable& modules) {
+  // Round-trippable doubles: at the default 6-significant-digit precision
+  // the exported miss counts drift from the trace's sampled mass, which
+  // the ecohmem-lint cross-checks (sites-misses-exceed-trace) detect.
+  const auto saved_precision = out.precision(17);
   out << "callstack,allocs,max_size,peak_live,load_misses,store_misses,"
          "avg_load_latency_ns,exec_bw_gbs,alloc_bw_gbs,exec_sys_bw_gbs,"
          "first_alloc_ns,last_free_ns,mean_lifetime_ns,has_writes\n";
@@ -74,6 +78,7 @@ void write_site_csv(std::ostream& out, const AnalysisResult& analysis,
         << s.first_alloc << ',' << s.last_free << ',' << s.mean_lifetime_ns << ','
         << (s.has_writes ? 1 : 0) << '\n';
   }
+  out.precision(saved_precision);
 }
 
 void write_function_csv(std::ostream& out, const AnalysisResult& analysis) {

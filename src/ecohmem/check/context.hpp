@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file context.hpp
+/// The artifact bundle a lint run checks.
+///
+/// Every pointer is optional: rules declare which artifacts they need via
+/// `Rule::applicable` and are skipped when an input is absent. The
+/// context does not own the artifacts; the lint driver (lint.hpp) or the
+/// embedding tool keeps them alive for the duration of the run.
+
+#include <string>
+
+#include "ecohmem/advisor/advisor_config.hpp"
+#include "ecohmem/analyzer/aggregator.hpp"
+#include "ecohmem/check/sites_csv.hpp"
+#include "ecohmem/flexmalloc/report_parser.hpp"
+#include "ecohmem/trace/trace_file.hpp"
+
+namespace ecohmem::check {
+
+struct CheckContext {
+  /// Profile trace + the module table it was captured against.
+  const trace::TraceBundle* bundle = nullptr;
+
+  /// Analyzer output derived from `bundle` (set by the lint driver when
+  /// the trace replays cleanly; absent when trace-level rules failed).
+  const analyzer::AnalysisResult* analysis = nullptr;
+
+  /// Analyzer site CSV export, re-parsed.
+  const SiteCsv* sites = nullptr;
+
+  /// Advisor placement report as FlexMalloc would parse it.
+  const flexmalloc::ParsedReport* report = nullptr;
+
+  /// Advisor configuration (tier capacities, coefficients).
+  const advisor::AdvisorConfig* config = nullptr;
+
+  /// Labels used in diagnostics (file paths when loaded from disk).
+  std::string trace_name = "trace";
+  std::string sites_name = "sites";
+  std::string report_name = "report";
+  std::string config_name = "config";
+};
+
+}  // namespace ecohmem::check

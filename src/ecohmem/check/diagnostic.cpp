@@ -1,0 +1,89 @@
+#include "ecohmem/check/diagnostic.hpp"
+
+#include <ostream>
+
+namespace ecohmem::check {
+
+std::string to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+Diagnostic error(std::string rule, std::string artifact, std::string message) {
+  return Diagnostic{std::move(rule), Severity::kError, std::move(artifact), std::move(message)};
+}
+
+Diagnostic warning(std::string rule, std::string artifact, std::string message) {
+  return Diagnostic{std::move(rule), Severity::kWarning, std::move(artifact), std::move(message)};
+}
+
+Diagnostic info(std::string rule, std::string artifact, std::string message) {
+  return Diagnostic{std::move(rule), Severity::kInfo, std::move(artifact), std::move(message)};
+}
+
+bool has_errors(const std::vector<Diagnostic>& diagnostics) {
+  return count_severity(diagnostics, Severity::kError) > 0;
+}
+
+std::size_t count_severity(const std::vector<Diagnostic>& diagnostics, Severity severity) {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+void write_text(std::ostream& out, const std::vector<Diagnostic>& diagnostics) {
+  for (const auto& d : diagnostics) {
+    out << to_string(d.severity) << ": [" << d.rule << "] " << d.artifact << ": " << d.message
+        << '\n';
+  }
+}
+
+namespace {
+
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out << "\\u00" << kHex[(c >> 4) & 0xf] << kHex[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void write_json(std::ostream& out, const std::vector<Diagnostic>& diagnostics) {
+  out << "[\n";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    out << "  {\"rule\": ";
+    write_json_string(out, d.rule);
+    out << ", \"severity\": ";
+    write_json_string(out, to_string(d.severity));
+    out << ", \"artifact\": ";
+    write_json_string(out, d.artifact);
+    out << ", \"message\": ";
+    write_json_string(out, d.message);
+    out << '}' << (i + 1 < diagnostics.size() ? "," : "") << '\n';
+  }
+  out << "]\n";
+}
+
+}  // namespace ecohmem::check

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file diagnostic.hpp
+/// Findings emitted by the ecohmem-lint rules.
+///
+/// The pipeline's offline artifacts — profile traces, analyzer site
+/// reports, advisor placement maps/configs, flexmalloc runtime reports —
+/// are produced by loosely-coupled stages. A `Diagnostic` records one
+/// cross-artifact inconsistency found by a `Rule` (see rule.hpp), with
+/// enough context to locate it: the rule id, a severity, the artifact it
+/// was found in, and a human-readable message.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ecohmem::check {
+
+/// How bad a finding is. `kError` findings make `ecohmem-lint` exit
+/// non-zero (and fail CI); `kWarning` findings are reported but do not
+/// fail the run; `kInfo` records skipped checks and context.
+enum class Severity { kInfo, kWarning, kError };
+
+[[nodiscard]] std::string to_string(Severity severity);
+
+/// One finding of one rule.
+struct Diagnostic {
+  std::string rule;      ///< id of the rule that fired (e.g. "trace-alloc-pairing")
+  Severity severity = Severity::kWarning;
+  std::string artifact;  ///< which input it was found in (label or path)
+  std::string message;   ///< what is wrong, with identifying detail
+};
+
+/// Convenience constructors.
+[[nodiscard]] Diagnostic error(std::string rule, std::string artifact, std::string message);
+[[nodiscard]] Diagnostic warning(std::string rule, std::string artifact, std::string message);
+[[nodiscard]] Diagnostic info(std::string rule, std::string artifact, std::string message);
+
+/// True if any diagnostic has error severity.
+[[nodiscard]] bool has_errors(const std::vector<Diagnostic>& diagnostics);
+
+/// Counts diagnostics of the given severity.
+[[nodiscard]] std::size_t count_severity(const std::vector<Diagnostic>& diagnostics,
+                                         Severity severity);
+
+/// Human-readable rendering, one line per diagnostic:
+///   `error: [report-capacity] report.txt: tier 'dram' over-committed ...`
+void write_text(std::ostream& out, const std::vector<Diagnostic>& diagnostics);
+
+/// Machine-readable rendering: a JSON array of objects with keys
+/// `rule`, `severity`, `artifact`, `message`.
+void write_json(std::ostream& out, const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace ecohmem::check

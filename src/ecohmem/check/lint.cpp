@@ -1,0 +1,165 @@
+#include "ecohmem/check/lint.hpp"
+
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <unordered_set>
+
+#include "ecohmem/common/strings.hpp"
+
+namespace ecohmem::check {
+
+namespace {
+
+Expected<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return unexpected("cannot open: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Builds a module table naming every module a BOM report mentions, so a
+/// report can be structurally linted without the trace it was captured
+/// against. Text sizes are unknown (0), which disables bounds checks but
+/// keeps frame parsing exact.
+bom::ModuleTable synthesize_modules(std::string_view report_text) {
+  bom::ModuleTable modules;
+  std::unordered_set<std::string> seen;
+  std::size_t start = 0;
+  while (start <= report_text.size()) {
+    const std::size_t end = report_text.find('\n', start);
+    std::string_view line = report_text.substr(
+        start, end == std::string_view::npos ? std::string_view::npos : end - start);
+    start = end == std::string_view::npos ? report_text.size() + 1 : end + 1;
+
+    line = strings::trim(line);
+    if (line.empty() || line.front() == '#') continue;
+    if (const std::size_t at = line.rfind(" @ "); at != std::string_view::npos) {
+      line = line.substr(0, at);
+    }
+    for (const auto& frame : strings::split(line, bom::kFrameSeparator)) {
+      const std::size_t bang = frame.find("!0x");
+      if (bang == std::string::npos) continue;
+      std::string name = frame.substr(0, bang);
+      if (!name.empty() && seen.insert(name).second) {
+        modules.add_module(std::move(name), /*text_size=*/0);
+      }
+    }
+  }
+  return modules;
+}
+
+}  // namespace
+
+Expected<LintResult> lint_files(const LintInputs& inputs, const CheckOptions& options) {
+  return lint_files(RuleRegistry::builtin(), inputs, options);
+}
+
+Expected<LintResult> lint_files(const RuleRegistry& registry, const LintInputs& inputs,
+                                const CheckOptions& options) {
+  if (inputs.trace_path.empty() && inputs.sites_path.empty() && inputs.report_path.empty() &&
+      inputs.config_path.empty()) {
+    return unexpected("nothing to lint: provide --trace, --sites, --report and/or --config");
+  }
+
+  std::vector<Diagnostic> load_diags;
+  CheckContext ctx;
+
+  // The loaded artifacts outlive the rule run.
+  std::optional<trace::TraceBundle> bundle;
+  std::optional<analyzer::AnalysisResult> analysis;
+  std::optional<SiteCsv> sites;
+  std::optional<flexmalloc::ParsedReport> report;
+  std::optional<advisor::AdvisorConfig> config;
+  std::optional<bom::ModuleTable> synthetic_modules;
+
+  if (!inputs.trace_path.empty()) {
+    ctx.trace_name = inputs.trace_path;
+    auto loaded = trace::load_trace(inputs.trace_path);
+    if (loaded) {
+      bundle.emplace(std::move(*loaded));
+      ctx.bundle = &*bundle;
+      // Derive the analyzer view. A malformed trace fails the replay;
+      // the trace-* rules report the specifics, so this is only noted.
+      auto derived = analyzer::analyze(bundle->trace);
+      if (derived) {
+        analysis.emplace(std::move(*derived));
+        ctx.analysis = &*analysis;
+      } else {
+        load_diags.push_back(info("trace-load", inputs.trace_path,
+                                  "analyzer replay failed (" + derived.error() +
+                                      "); analyzer-level rules skipped"));
+      }
+    } else {
+      load_diags.push_back(error("trace-load", inputs.trace_path, loaded.error()));
+    }
+  }
+
+  if (!inputs.config_path.empty()) {
+    ctx.config_name = inputs.config_path;
+    auto file = Config::load(inputs.config_path);
+    if (!file) {
+      load_diags.push_back(error("config-load", inputs.config_path, file.error()));
+    } else {
+      auto parsed = advisor::AdvisorConfig::from_config(*file);
+      if (!parsed) {
+        load_diags.push_back(error("config-load", inputs.config_path, parsed.error()));
+      } else {
+        config.emplace(std::move(*parsed));
+        ctx.config = &*config;
+      }
+    }
+  }
+
+  if (!inputs.sites_path.empty()) {
+    ctx.sites_name = inputs.sites_path;
+    auto loaded = load_site_csv(inputs.sites_path);
+    if (loaded) {
+      sites.emplace(std::move(*loaded));
+      ctx.sites = &*sites;
+    } else {
+      load_diags.push_back(error("sites-load", inputs.sites_path, loaded.error()));
+    }
+  }
+
+  if (!inputs.report_path.empty()) {
+    ctx.report_name = inputs.report_path;
+    auto text = read_file(inputs.report_path);
+    if (!text) {
+      load_diags.push_back(error("report-load", inputs.report_path, text.error()));
+    } else {
+      const bom::ModuleTable* modules = nullptr;
+      if (ctx.bundle != nullptr) {
+        modules = &ctx.bundle->modules;
+      } else {
+        synthetic_modules.emplace(synthesize_modules(*text));
+        modules = &*synthetic_modules;
+        load_diags.push_back(info("report-load", inputs.report_path,
+                                  "no trace given: module identities taken from the report "
+                                  "itself; frame-level drift checks skipped"));
+      }
+      auto parsed = flexmalloc::parse_report(*text, *modules);
+      if (parsed) {
+        report.emplace(std::move(*parsed));
+        ctx.report = &*report;
+      } else {
+        load_diags.push_back(error("report-load", inputs.report_path, parsed.error()));
+      }
+    }
+  }
+
+  RunResult run = registry.run_all(ctx, options);
+
+  LintResult result;
+  result.diagnostics = std::move(load_diags);
+  result.diagnostics.insert(result.diagnostics.end(),
+                            std::make_move_iterator(run.diagnostics.begin()),
+                            std::make_move_iterator(run.diagnostics.end()));
+  result.rules_run = std::move(run.rules_run);
+  result.rules_skipped = std::move(run.rules_skipped);
+  return result;
+}
+
+}  // namespace ecohmem::check

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file lint.hpp
+/// The ecohmem-lint driver: loads any combination of pipeline artifacts
+/// from disk, derives what can be derived (the analyzer replay), and runs
+/// the rule registry over them.
+///
+/// Artifact-loading failures are themselves diagnostics (pseudo-rule ids
+/// `trace-load`, `sites-load`, `report-load`, `config-load`) rather than
+/// hard errors: a truncated trace or unparseable report is exactly what a
+/// linter exists to report. `lint_files` only fails outright when it is
+/// given nothing to check.
+
+#include <string>
+#include <vector>
+
+#include "ecohmem/check/rule.hpp"
+#include "ecohmem/common/expected.hpp"
+
+namespace ecohmem::check {
+
+/// Paths of the artifacts to lint; empty string = not provided.
+struct LintInputs {
+  std::string trace_path;   ///< profiler output (.trc)
+  std::string sites_path;   ///< analyzer site CSV export
+  std::string report_path;  ///< advisor placement report
+  std::string config_path;  ///< advisor configuration (.ini)
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;
+  std::vector<std::string> rules_run;
+  std::vector<std::string> rules_skipped;
+
+  [[nodiscard]] bool ok() const { return !has_errors(diagnostics); }
+};
+
+/// Lints the given artifact files with the built-in rule set.
+[[nodiscard]] Expected<LintResult> lint_files(const LintInputs& inputs,
+                                              const CheckOptions& options = {});
+
+/// Same, with a caller-supplied registry (for extended rule sets).
+[[nodiscard]] Expected<LintResult> lint_files(const RuleRegistry& registry,
+                                              const LintInputs& inputs,
+                                              const CheckOptions& options = {});
+
+}  // namespace ecohmem::check

@@ -1,0 +1,55 @@
+#include "ecohmem/check/rule.hpp"
+
+#include <algorithm>
+
+namespace ecohmem::check {
+
+RuleRegistry RuleRegistry::builtin() {
+  RuleRegistry registry;
+  for (auto&& factory : {rules::trace_rules, rules::sites_rules, rules::report_rules}) {
+    for (auto& rule : factory()) registry.add(std::move(rule));
+  }
+  return registry;
+}
+
+const Rule* RuleRegistry::find(std::string_view id) const {
+  for (const auto& rule : rules_) {
+    if (rule->id() == id) return rule.get();
+  }
+  return nullptr;
+}
+
+RunResult RuleRegistry::run_all(const CheckContext& ctx, const CheckOptions& options) const {
+  RunResult result;
+  const auto disabled = [&options](std::string_view id) {
+    return std::any_of(options.disabled_rules.begin(), options.disabled_rules.end(),
+                       [id](const std::string& d) { return d == id; });
+  };
+
+  for (const auto& rule : rules_) {
+    const std::string id(rule->id());
+    if (disabled(rule->id()) || !rule->applicable(ctx)) {
+      result.rules_skipped.push_back(id);
+      continue;
+    }
+    result.rules_run.push_back(id);
+
+    std::vector<Diagnostic> found = rule->run(ctx);
+    if (options.max_per_rule > 0 && found.size() > options.max_per_rule) {
+      const std::size_t dropped = found.size() - options.max_per_rule;
+      // Keep the worst findings when truncating.
+      std::stable_sort(found.begin(), found.end(), [](const Diagnostic& a, const Diagnostic& b) {
+        return static_cast<int>(a.severity) > static_cast<int>(b.severity);
+      });
+      const Severity worst_dropped = found[options.max_per_rule].severity;
+      found.resize(options.max_per_rule);
+      found.push_back(Diagnostic{id, worst_dropped, "lint",
+                                 "... " + std::to_string(dropped) +
+                                     " further findings of this rule suppressed"});
+    }
+    for (auto& d : found) result.diagnostics.push_back(std::move(d));
+  }
+  return result;
+}
+
+}  // namespace ecohmem::check

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file rule.hpp
+/// The rule interface and registry of the cross-artifact checker.
+///
+/// A `Rule` is one invariant of the ecoHMEM pipeline, checked over
+/// whatever artifacts a `CheckContext` carries. Rules are pure readers:
+/// they never mutate the artifacts and never fail — a broken artifact is
+/// a diagnostic, not an error return. The built-in set (see
+/// docs/linting.md for the catalogue) spans every pipeline layer:
+///
+///   trace-*   trace well-formedness (time order, alloc/free pairing,
+///             double frees, overlapping live ranges, stack-table refs)
+///   bom-*     module-table consistency of interned call stacks
+///   sites-*   analyzer-output consistency against the trace
+///   config-*  advisor configuration sanity
+///   report-*  placement-map soundness (capacity, tier names, §VII
+///             bandwidth classes, site provenance, matcher ambiguity)
+///
+/// New rules: subclass `Rule`, then `registry.add(std::make_unique<...>())`
+/// — or start from `RuleRegistry::builtin()` and extend it.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ecohmem/check/context.hpp"
+#include "ecohmem/check/diagnostic.hpp"
+
+namespace ecohmem::check {
+
+/// One pipeline invariant.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+
+  /// Stable kebab-case identifier, e.g. "report-capacity". Used in
+  /// diagnostics, --disable lists, and docs/linting.md.
+  [[nodiscard]] virtual std::string_view id() const = 0;
+
+  /// One-line description of the invariant (for --list-rules).
+  [[nodiscard]] virtual std::string_view description() const = 0;
+
+  /// True when `ctx` carries every artifact this rule needs.
+  [[nodiscard]] virtual bool applicable(const CheckContext& ctx) const = 0;
+
+  /// Checks the invariant; returns one diagnostic per violation (empty
+  /// when the artifacts are consistent). Only called when applicable.
+  [[nodiscard]] virtual std::vector<Diagnostic> run(const CheckContext& ctx) const = 0;
+};
+
+struct CheckOptions {
+  /// Rule ids to skip (the CLI's --disable).
+  std::vector<std::string> disabled_rules;
+
+  /// Cap on diagnostics reported per rule; excess findings are folded
+  /// into one summary diagnostic. 0 = unlimited.
+  std::size_t max_per_rule = 16;
+};
+
+/// Outcome of running a registry over a context.
+struct RunResult {
+  std::vector<Diagnostic> diagnostics;
+  std::vector<std::string> rules_run;      ///< applicable, enabled rules
+  std::vector<std::string> rules_skipped;  ///< inapplicable or disabled
+
+  [[nodiscard]] bool ok() const { return !has_errors(diagnostics); }
+};
+
+/// An ordered collection of rules.
+class RuleRegistry {
+ public:
+  /// The built-in cross-artifact rule set.
+  [[nodiscard]] static RuleRegistry builtin();
+
+  void add(std::unique_ptr<Rule> rule) { rules_.push_back(std::move(rule)); }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Rule>>& rules() const { return rules_; }
+  [[nodiscard]] const Rule* find(std::string_view id) const;
+
+  /// Runs every applicable, enabled rule over `ctx`. Diagnostics keep
+  /// registry order (rules are ordered trace -> sites -> config -> report,
+  /// following the pipeline).
+  [[nodiscard]] RunResult run_all(const CheckContext& ctx, const CheckOptions& options = {}) const;
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/// Internal factories (one translation unit per pipeline layer).
+namespace rules {
+[[nodiscard]] std::vector<std::unique_ptr<Rule>> trace_rules();
+[[nodiscard]] std::vector<std::unique_ptr<Rule>> sites_rules();
+[[nodiscard]] std::vector<std::unique_ptr<Rule>> report_rules();
+}  // namespace rules
+
+}  // namespace ecohmem::check

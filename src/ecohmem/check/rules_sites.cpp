@@ -1,0 +1,231 @@
+/// \file rules_sites.cpp
+/// Analyzer-consistency rules: the per-site aggregates (in-memory
+/// AnalysisResult and/or the exported site CSV) must agree with the trace
+/// they were derived from — sample mass can't be invented, footprints of
+/// sampled sites can't vanish, and call-stack keys must be stable.
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ecohmem/bom/format.hpp"
+#include "ecohmem/check/rule.hpp"
+
+namespace ecohmem::check::rules {
+
+namespace {
+
+class SitesRule : public Rule {
+ public:
+  SitesRule(std::string_view id, std::string_view description)
+      : id_(id), description_(description) {}
+
+  [[nodiscard]] std::string_view id() const final { return id_; }
+  [[nodiscard]] std::string_view description() const final { return description_; }
+
+ protected:
+  std::string_view id_;
+  std::string_view description_;
+};
+
+/// Total weighted PEBS mass in a trace, split by channel.
+struct SampleTotals {
+  double loads = 0.0;
+  double stores = 0.0;
+};
+
+SampleTotals sample_totals(const trace::Trace& trace) {
+  SampleTotals totals;
+  for (const auto& event : trace.events) {
+    if (const auto* s = std::get_if<trace::SampleEvent>(&event)) {
+      (s->is_store ? totals.stores : totals.loads) += s->weight;
+    }
+  }
+  return totals;
+}
+
+/// Attributed miss mass can never exceed what the trace sampled. The
+/// relative slack absorbs CSV round-trip and summation rounding only.
+bool exceeds(double attributed, double total) {
+  return attributed > total * (1.0 + 1e-9) + 1e-3;
+}
+
+class MissesExceedTraceRule final : public SitesRule {
+ public:
+  MissesExceedTraceRule()
+      : SitesRule("sites-misses-exceed-trace",
+                  "per-site miss totals must not exceed the trace's sampled mass") {}
+
+  [[nodiscard]] bool applicable(const CheckContext& ctx) const override {
+    return ctx.bundle != nullptr && (ctx.sites != nullptr || ctx.analysis != nullptr);
+  }
+
+  [[nodiscard]] std::vector<Diagnostic> run(const CheckContext& ctx) const override {
+    std::vector<Diagnostic> out;
+    const SampleTotals totals = sample_totals(ctx.bundle->trace);
+
+    const auto check = [&](double loads, double stores, const std::string& artifact) {
+      if (exceeds(loads, totals.loads)) {
+        out.push_back(error(std::string(id_), artifact,
+                            "site load misses sum to " + std::to_string(loads) +
+                                " but the trace only sampled " + std::to_string(totals.loads) +
+                                " weighted load misses"));
+      }
+      if (exceeds(stores, totals.stores)) {
+        out.push_back(error(std::string(id_), artifact,
+                            "site store misses sum to " + std::to_string(stores) +
+                                " but the trace only sampled " + std::to_string(totals.stores) +
+                                " weighted store events"));
+      }
+    };
+
+    if (ctx.sites != nullptr) {
+      double loads = 0.0;
+      double stores = 0.0;
+      for (const auto& row : ctx.sites->rows) {
+        loads += row.load_misses;
+        stores += row.store_misses;
+      }
+      check(loads, stores, ctx.sites_name);
+    }
+    if (ctx.analysis != nullptr) {
+      double loads = 0.0;
+      double stores = 0.0;
+      for (const auto& site : ctx.analysis->sites) {
+        loads += site.load_misses;
+        stores += site.store_misses;
+      }
+      check(loads, stores, ctx.trace_name);
+    }
+    return out;
+  }
+};
+
+class ZeroFootprintRule final : public SitesRule {
+ public:
+  ZeroFootprintRule()
+      : SitesRule("sites-zero-footprint",
+                  "a site carrying miss mass must have a non-zero footprint") {}
+
+  [[nodiscard]] bool applicable(const CheckContext& ctx) const override {
+    return ctx.sites != nullptr || ctx.analysis != nullptr;
+  }
+
+  [[nodiscard]] std::vector<Diagnostic> run(const CheckContext& ctx) const override {
+    std::vector<Diagnostic> out;
+    const auto check = [&](const std::string& label, std::uint64_t allocs, Bytes max_size,
+                           double misses, const std::string& artifact) {
+      if (max_size > 0) return;
+      if (misses > 0.0) {
+        out.push_back(error(std::string(id_), artifact,
+                            label + ": " + std::to_string(misses) +
+                                " weighted misses attributed to a zero-size site (footprint "
+                                "accounting is broken)"));
+      } else if (allocs > 0) {
+        out.push_back(warning(std::string(id_), artifact,
+                              label + ": " + std::to_string(allocs) +
+                                  " allocations but max_size = 0 (zero-byte allocations only)"));
+      }
+    };
+
+    if (ctx.sites != nullptr) {
+      for (const auto& row : ctx.sites->rows) {
+        check("line " + std::to_string(row.line), row.alloc_count, row.max_size,
+              row.load_misses + row.store_misses, ctx.sites_name);
+      }
+    } else if (ctx.analysis != nullptr) {
+      for (const auto& site : ctx.analysis->sites) {
+        check("site stack " + std::to_string(site.stack), site.alloc_count, site.max_size,
+              site.load_misses + site.store_misses, ctx.trace_name);
+      }
+    }
+    return out;
+  }
+};
+
+class DuplicateStackRule final : public SitesRule {
+ public:
+  DuplicateStackRule()
+      : SitesRule("sites-duplicate-stack",
+                  "call-stack keys must be unique across site records") {}
+
+  [[nodiscard]] bool applicable(const CheckContext& ctx) const override {
+    return ctx.sites != nullptr || ctx.analysis != nullptr;
+  }
+
+  [[nodiscard]] std::vector<Diagnostic> run(const CheckContext& ctx) const override {
+    std::vector<Diagnostic> out;
+    if (ctx.sites != nullptr) {
+      std::unordered_map<std::string, std::size_t> seen;  // callstack -> first line
+      for (const auto& row : ctx.sites->rows) {
+        const auto [it, inserted] = seen.try_emplace(row.callstack, row.line);
+        if (!inserted) {
+          out.push_back(error(std::string(id_), ctx.sites_name,
+                              "line " + std::to_string(row.line) + ": call stack '" +
+                                  row.callstack + "' duplicates line " +
+                                  std::to_string(it->second) +
+                                  " (unstable site key: placements would collide)"));
+        }
+      }
+    }
+    if (ctx.analysis != nullptr) {
+      std::unordered_map<bom::CallStack, trace::StackId, bom::CallStackHash> seen;
+      for (const auto& site : ctx.analysis->sites) {
+        const auto [it, inserted] = seen.try_emplace(site.callstack, site.stack);
+        if (!inserted) {
+          out.push_back(error(std::string(id_), ctx.trace_name,
+                              "site stack " + std::to_string(site.stack) +
+                                  " shares its call stack with site stack " +
+                                  std::to_string(it->second) +
+                                  " (stack table interning is broken)"));
+        }
+      }
+    }
+    return out;
+  }
+};
+
+class UnknownStackRule final : public SitesRule {
+ public:
+  UnknownStackRule()
+      : SitesRule("sites-unknown-stack",
+                  "every exported site must exist in the trace it claims to come from") {}
+
+  [[nodiscard]] bool applicable(const CheckContext& ctx) const override {
+    return ctx.bundle != nullptr && ctx.sites != nullptr;
+  }
+
+  [[nodiscard]] std::vector<Diagnostic> run(const CheckContext& ctx) const override {
+    std::vector<Diagnostic> out;
+    const trace::StackTable& stacks = ctx.bundle->trace.stacks;
+    std::unordered_set<std::string> known;
+    known.reserve(stacks.size());
+    for (trace::StackId id = 0; id < stacks.size(); ++id) {
+      known.insert(bom::format_bom(stacks.stack(id), ctx.bundle->modules));
+    }
+    for (const auto& row : ctx.sites->rows) {
+      if (!known.contains(row.callstack)) {
+        out.push_back(error(std::string(id_), ctx.sites_name,
+                            "line " + std::to_string(row.line) + ": call stack '" +
+                                row.callstack + "' does not exist in " + ctx.trace_name +
+                                " (stale or mismatched site export)"));
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> sites_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<MissesExceedTraceRule>());
+  rules.push_back(std::make_unique<ZeroFootprintRule>());
+  rules.push_back(std::make_unique<DuplicateStackRule>());
+  rules.push_back(std::make_unique<UnknownStackRule>());
+  return rules;
+}
+
+}  // namespace ecohmem::check::rules

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file sites_csv.hpp
+/// Re-reads the analyzer's per-site CSV export (write_site_csv) so the
+/// checker can cross-validate it against the trace it was derived from.
+///
+/// The CSV is the machine-readable face of the Paramedir-style site
+/// report; the column order is fixed and documented in its header row
+/// (see analyzer/site_report.cpp). Parsing is strict: a row with the
+/// wrong column count or a numeric field that fails to parse is an error
+/// carrying the 1-based line number.
+
+#include <string>
+#include <vector>
+
+#include "ecohmem/common/expected.hpp"
+#include "ecohmem/common/units.hpp"
+
+namespace ecohmem::check {
+
+/// One parsed row of the site CSV (a subset of analyzer::SiteRecord; the
+/// call stack stays in its BOM text form, e.g. "app.x!0x100 > app.x!0x40").
+struct SiteCsvRow {
+  std::size_t line = 0;  ///< 1-based line number in the CSV
+  std::string callstack;
+  std::uint64_t alloc_count = 0;
+  Bytes max_size = 0;
+  Bytes peak_live = 0;
+  double load_misses = 0.0;
+  double store_misses = 0.0;
+  double avg_load_latency_ns = 0.0;
+  double exec_bw_gbs = 0.0;
+  double alloc_bw_gbs = 0.0;
+  double exec_sys_bw_gbs = 0.0;
+  Ns first_alloc = 0;
+  Ns last_free = 0;
+  double mean_lifetime_ns = 0.0;
+  bool has_writes = false;
+};
+
+struct SiteCsv {
+  std::vector<SiteCsvRow> rows;
+};
+
+/// Parses site-CSV text. Fails with a line number on a malformed header,
+/// row shape, or numeric field.
+[[nodiscard]] Expected<SiteCsv> parse_site_csv(std::string_view text);
+
+/// Reads and parses a site-CSV file.
+[[nodiscard]] Expected<SiteCsv> load_site_csv(const std::string& path);
+
+}  // namespace ecohmem::check

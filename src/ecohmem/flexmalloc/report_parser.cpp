@@ -39,12 +39,19 @@ Expected<ParsedReport> parse_report(std::string_view text, const bom::ModuleTabl
       continue;
     }
 
-    // Strip trailing "# size=N" annotation.
+    // Strip trailing "# size=N" annotation. A size that fails integer
+    // parsing (garbage, negative, or overflowing 64 bits) rejects the
+    // report: silently treating it as 0 would skew any capacity
+    // accounting done over the parsed entries.
     Bytes size = 0;
     if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
       const std::string_view note = strings::trim(line.substr(hash + 1));
       if (strings::starts_with(note, "size=")) {
-        if (auto parsed = strings::parse_u64(note.substr(5))) size = *parsed;
+        auto parsed = strings::parse_u64(note.substr(5));
+        if (!parsed) {
+          return unexpected("report line " + std::to_string(line_no) + ": " + parsed.error());
+        }
+        size = *parsed;
       }
       line = strings::trim(line.substr(0, hash));
     }

@@ -106,6 +106,7 @@ class FunctionTable {
   std::uint32_t intern(const std::string& name);
   [[nodiscard]] const std::string& name(std::uint32_t id) const { return names_.at(id); }
   [[nodiscard]] std::size_t size() const { return names_.size(); }
+  [[nodiscard]] bool empty() const { return names_.empty(); }
 
  private:
   std::vector<std::string> names_;

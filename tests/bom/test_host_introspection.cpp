@@ -89,7 +89,14 @@ TEST(HostCapture, DifferentCallPathsGiveDifferentStacks) {
   const CallStack b = capture_via_path_b(*table);
   ASSERT_FALSE(a.empty());
   ASSERT_FALSE(b.empty());
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  // Sanitizer interceptors add their own frames to ::backtrace, shifting
+  // the skip window: the innermost resolved frame can be capture_callstack
+  // itself for both paths. The stacks still differ at the caller frame.
+  EXPECT_NE(a.frames, b.frames);
+#else
   EXPECT_NE(a.frames.front(), b.frames.front());  // innermost frame differs
+#endif
 }
 
 TEST(HostCapture, SameCallSiteIsStable) {

@@ -1,0 +1,475 @@
+// Per-rule tests for the ecohmem-lint invariant checker: every built-in
+// rule id has at least one test feeding it a violating artifact (and
+// asserting that exact id fires) plus a clean counterpart.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "ecohmem/advisor/knapsack.hpp"
+#include "ecohmem/analyzer/aggregator.hpp"
+#include "ecohmem/bom/format.hpp"
+#include "ecohmem/check/rule.hpp"
+
+namespace ecohmem::check {
+namespace {
+
+using trace::AllocEvent;
+using trace::AllocKind;
+using trace::FreeEvent;
+using trace::SampleEvent;
+using trace::StackId;
+
+/// A well-formed two-site trace: disjoint allocations, attributed
+/// samples, everything freed.
+trace::TraceBundle clean_bundle() {
+  trace::TraceBundle b;
+  b.modules.add_module("app.x", 1 << 20);
+  trace::Trace& t = b.trace;
+  const StackId site_a = t.stacks.intern(bom::CallStack{{{0, 0x100}}});
+  const StackId site_b = t.stacks.intern(bom::CallStack{{{0, 0x200}}});
+  const std::uint32_t fn = t.functions.intern("kernel");
+  t.events.emplace_back(AllocEvent{100, 1, 0x1000, 4096, site_a, AllocKind::kMalloc});
+  t.events.emplace_back(AllocEvent{200, 2, 0x10000, 8192, site_b, AllocKind::kMalloc});
+  t.events.emplace_back(SampleEvent{500, 0x1010, 10.0, 150.0, false, fn});
+  t.events.emplace_back(SampleEvent{600, 0x10020, 4.0, 0.0, true, fn});
+  t.events.emplace_back(FreeEvent{1000, 1});
+  t.events.emplace_back(FreeEvent{1100, 2});
+  return b;
+}
+
+RunResult run(const CheckContext& ctx, const CheckOptions& options = {}) {
+  return RuleRegistry::builtin().run_all(ctx, options);
+}
+
+std::vector<Diagnostic> diags_with(const RunResult& result, std::string_view id) {
+  std::vector<Diagnostic> out;
+  for (const auto& d : result.diagnostics) {
+    if (d.rule == id) out.push_back(d);
+  }
+  return out;
+}
+
+void expect_fires(const RunResult& result, std::string_view id,
+                  Severity severity = Severity::kError) {
+  const auto found = diags_with(result, id);
+  ASSERT_FALSE(found.empty()) << "rule " << id << " did not fire";
+  EXPECT_EQ(found.front().severity, severity) << found.front().message;
+}
+
+void expect_silent(const RunResult& result, std::string_view id) {
+  const auto found = diags_with(result, id);
+  EXPECT_TRUE(found.empty()) << "rule " << id << " fired: " << found.front().message;
+}
+
+// ------------------------------------------------------------ registry
+
+TEST(Registry, BuiltinHasUniqueIdsAndFind) {
+  const RuleRegistry registry = RuleRegistry::builtin();
+  EXPECT_GE(registry.rules().size(), 17u);
+  std::set<std::string_view> ids;
+  for (const auto& rule : registry.rules()) {
+    EXPECT_TRUE(ids.insert(rule->id()).second) << "duplicate rule id " << rule->id();
+    EXPECT_FALSE(rule->description().empty());
+  }
+  EXPECT_NE(registry.find("report-capacity"), nullptr);
+  EXPECT_EQ(registry.find("no-such-rule"), nullptr);
+}
+
+TEST(Registry, CleanBundleProducesNoFindings) {
+  const auto b = clean_bundle();
+  const auto analysis = analyzer::analyze(b.trace);
+  ASSERT_TRUE(analysis.has_value()) << analysis.error();
+  CheckContext ctx;
+  ctx.bundle = &b;
+  ctx.analysis = &*analysis;
+  const auto result = run(ctx);
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.diagnostics.empty()) << result.diagnostics.front().message;
+  EXPECT_GE(result.rules_run.size(), 9u);
+}
+
+TEST(Registry, DisabledRuleIsSkipped) {
+  auto b = clean_bundle();
+  b.trace.events.pop_back();  // leak object 2
+  CheckContext ctx;
+  ctx.bundle = &b;
+  CheckOptions options;
+  options.disabled_rules = {"trace-leaked-objects"};
+  const auto result = run(ctx, options);
+  expect_silent(result, "trace-leaked-objects");
+  EXPECT_NE(std::find(result.rules_skipped.begin(), result.rules_skipped.end(),
+                      "trace-leaked-objects"),
+            result.rules_skipped.end());
+}
+
+TEST(Registry, MaxPerRuleTruncatesWithSummary) {
+  auto b = clean_bundle();
+  for (int i = 0; i < 10; ++i) b.trace.events.emplace_back(FreeEvent{2000, 1});
+  CheckContext ctx;
+  ctx.bundle = &b;
+  CheckOptions options;
+  options.max_per_rule = 3;
+  const auto result = run(ctx, options);
+  const auto found = diags_with(result, "trace-alloc-pairing");
+  ASSERT_EQ(found.size(), 4u);  // 3 kept + 1 suppression note
+  EXPECT_NE(found.back().message.find("suppressed"), std::string::npos);
+}
+
+// ------------------------------------------------------------ trace rules
+
+TEST(TraceRules, MonotonicTime) {
+  auto b = clean_bundle();
+  b.trace.events.emplace_back(SampleEvent{50, 0x1010, 1.0, 0.0, false, 0});  // t=50 after t=1100
+  CheckContext ctx;
+  ctx.bundle = &b;
+  expect_fires(run(ctx), "trace-monotonic-time");
+
+  const auto clean = clean_bundle();
+  CheckContext clean_ctx;
+  clean_ctx.bundle = &clean;
+  expect_silent(run(clean_ctx), "trace-monotonic-time");
+}
+
+TEST(TraceRules, AllocPairingDoubleFree) {
+  auto b = clean_bundle();
+  b.trace.events.emplace_back(FreeEvent{1200, 1});  // object 1 already freed
+  CheckContext ctx;
+  ctx.bundle = &b;
+  const auto result = run(ctx);
+  expect_fires(result, "trace-alloc-pairing");
+  EXPECT_NE(diags_with(result, "trace-alloc-pairing").front().message.find("double free"),
+            std::string::npos);
+}
+
+TEST(TraceRules, AllocPairingFreeOfUnknownId) {
+  auto b = clean_bundle();
+  b.trace.events.emplace_back(FreeEvent{1200, 777});
+  CheckContext ctx;
+  ctx.bundle = &b;
+  const auto result = run(ctx);
+  expect_fires(result, "trace-alloc-pairing");
+  EXPECT_NE(diags_with(result, "trace-alloc-pairing").front().message.find("unknown"),
+            std::string::npos);
+}
+
+TEST(TraceRules, AllocPairingReallocatedWhileLive) {
+  auto b = clean_bundle();
+  // Object id 3 allocated twice with no intervening free.
+  b.trace.events.emplace_back(AllocEvent{1200, 3, 0x20000, 64, 0, AllocKind::kMalloc});
+  b.trace.events.emplace_back(AllocEvent{1300, 3, 0x30000, 64, 0, AllocKind::kMalloc});
+  CheckContext ctx;
+  ctx.bundle = &b;
+  expect_fires(run(ctx), "trace-alloc-pairing");
+}
+
+TEST(TraceRules, OverlappingLiveRanges) {
+  auto b = clean_bundle();
+  // Object 4 lands inside object 3's still-live [0x20000, +4096) range.
+  b.trace.events.emplace_back(AllocEvent{1200, 3, 0x20000, 4096, 0, AllocKind::kMalloc});
+  b.trace.events.emplace_back(AllocEvent{1300, 4, 0x20800, 64, 0, AllocKind::kMalloc});
+  CheckContext ctx;
+  ctx.bundle = &b;
+  expect_fires(run(ctx), "trace-overlapping-live");
+
+  const auto clean = clean_bundle();
+  CheckContext clean_ctx;
+  clean_ctx.bundle = &clean;
+  expect_silent(run(clean_ctx), "trace-overlapping-live");
+}
+
+TEST(TraceRules, LeakedObjectsWarns) {
+  auto b = clean_bundle();
+  b.trace.events.pop_back();  // drop the free of object 2
+  CheckContext ctx;
+  ctx.bundle = &b;
+  expect_fires(run(ctx), "trace-leaked-objects", Severity::kWarning);
+}
+
+TEST(TraceRules, StackIdOutOfRange) {
+  auto b = clean_bundle();
+  b.trace.events.emplace_back(AllocEvent{1200, 3, 0x20000, 64, StackId{99}, AllocKind::kMalloc});
+  CheckContext ctx;
+  ctx.bundle = &b;
+  expect_fires(run(ctx), "trace-stack-ids");
+}
+
+TEST(TraceRules, FunctionIdOutOfRangeWarns) {
+  auto b = clean_bundle();
+  b.trace.events.emplace_back(SampleEvent{1200, 0x90000, 1.0, 0.0, false, 42});
+  CheckContext ctx;
+  ctx.bundle = &b;
+  expect_fires(run(ctx), "trace-stack-ids", Severity::kWarning);
+}
+
+TEST(TraceRules, FrameBeyondModuleText) {
+  auto b = clean_bundle();
+  // Offset 0x200000 lies beyond app.x's 1 MiB text segment.
+  const StackId bad = b.trace.stacks.intern(bom::CallStack{{{0, 0x200000}}});
+  b.trace.events.emplace_back(AllocEvent{1200, 3, 0x20000, 64, bad, AllocKind::kMalloc});
+  b.trace.events.emplace_back(FreeEvent{1300, 3});
+  CheckContext ctx;
+  ctx.bundle = &b;
+  expect_fires(run(ctx), "bom-frame-bounds");
+}
+
+TEST(TraceRules, FrameUnknownModule) {
+  auto b = clean_bundle();
+  const StackId bad = b.trace.stacks.intern(bom::CallStack{{{7, 0x10}}});
+  b.trace.events.emplace_back(AllocEvent{1200, 3, 0x20000, 64, bad, AllocKind::kMalloc});
+  b.trace.events.emplace_back(FreeEvent{1300, 3});
+  CheckContext ctx;
+  ctx.bundle = &b;
+  expect_fires(run(ctx), "bom-frame-bounds");
+}
+
+// ------------------------------------------------------------ sites rules
+
+TEST(SitesRules, MissesExceedTrace) {
+  const auto b = clean_bundle();
+  auto analysis = analyzer::analyze(b.trace);
+  ASSERT_TRUE(analysis.has_value());
+  analysis->sites[0].load_misses += 1000.0;  // invent sample mass
+  CheckContext ctx;
+  ctx.bundle = &b;
+  ctx.analysis = &*analysis;
+  expect_fires(run(ctx), "sites-misses-exceed-trace");
+}
+
+TEST(SitesRules, ZeroFootprintWithMisses) {
+  SiteCsv csv;
+  SiteCsvRow row;
+  row.line = 2;
+  row.callstack = "app.x!0x100";
+  row.alloc_count = 1;
+  row.max_size = 0;
+  row.load_misses = 5.0;
+  csv.rows.push_back(row);
+  CheckContext ctx;
+  ctx.sites = &csv;
+  expect_fires(run(ctx), "sites-zero-footprint");
+}
+
+TEST(SitesRules, ZeroFootprintAllocsOnlyWarns) {
+  SiteCsv csv;
+  SiteCsvRow row;
+  row.line = 2;
+  row.callstack = "app.x!0x100";
+  row.alloc_count = 3;
+  csv.rows.push_back(row);
+  CheckContext ctx;
+  ctx.sites = &csv;
+  expect_fires(run(ctx), "sites-zero-footprint", Severity::kWarning);
+}
+
+TEST(SitesRules, DuplicateStackInCsv) {
+  SiteCsv csv;
+  SiteCsvRow row;
+  row.line = 2;
+  row.callstack = "app.x!0x100";
+  row.alloc_count = 1;
+  row.max_size = 64;
+  csv.rows.push_back(row);
+  row.line = 3;
+  csv.rows.push_back(row);
+  CheckContext ctx;
+  ctx.sites = &csv;
+  expect_fires(run(ctx), "sites-duplicate-stack");
+}
+
+TEST(SitesRules, UnknownStackNotInTrace) {
+  const auto b = clean_bundle();
+  SiteCsv csv;
+  SiteCsvRow row;
+  row.line = 2;
+  row.callstack = "app.x!0xdead";  // never interned in the trace
+  row.alloc_count = 1;
+  row.max_size = 64;
+  csv.rows.push_back(row);
+  CheckContext ctx;
+  ctx.bundle = &b;
+  ctx.sites = &csv;
+  expect_fires(run(ctx), "sites-unknown-stack");
+
+  // The same row keyed by a real site is clean.
+  csv.rows[0].callstack = bom::format_bom(b.trace.stacks.stack(0), b.modules);
+  expect_silent(run(ctx), "sites-unknown-stack");
+}
+
+// ------------------------------------------------------------ config/report
+
+TEST(ConfigRules, NegativeCoefficient) {
+  auto cfg = advisor::AdvisorConfig::dram_pmem(1 << 30, 0.0);
+  cfg.tiers[0].load_coef = -1.0;
+  CheckContext ctx;
+  ctx.config = &cfg;
+  expect_fires(run(ctx), "config-coefficients");
+}
+
+TEST(ConfigRules, NonFiniteCoefficient) {
+  auto cfg = advisor::AdvisorConfig::dram_pmem(1 << 30, 0.0);
+  cfg.tiers[1].store_coef = std::numeric_limits<double>::quiet_NaN();
+  CheckContext ctx;
+  ctx.config = &cfg;
+  expect_fires(run(ctx), "config-coefficients");
+
+  const auto clean = advisor::AdvisorConfig::dram_pmem(1 << 30, 0.125);
+  CheckContext clean_ctx;
+  clean_ctx.config = &clean;
+  expect_silent(run(clean_ctx), "config-coefficients");
+}
+
+flexmalloc::ParsedReport bom_report(const bom::CallStack& stack, std::string tier, Bytes size) {
+  flexmalloc::ParsedReport report;
+  report.is_bom = true;
+  report.fallback_tier = "pmem";
+  flexmalloc::ReportEntry entry;
+  entry.stack = stack;
+  entry.tier = std::move(tier);
+  entry.size = size;
+  report.entries.push_back(std::move(entry));
+  return report;
+}
+
+TEST(ReportRules, CapacityOverflow) {
+  const auto cfg = advisor::AdvisorConfig::dram_pmem(4096, 0.0);
+  const auto report = bom_report(bom::CallStack{{{0, 0x100}}}, "dram", 1 << 20);
+  CheckContext ctx;
+  ctx.config = &cfg;
+  ctx.report = &report;
+  expect_fires(run(ctx), "report-capacity");
+
+  const auto fits = bom_report(bom::CallStack{{{0, 0x100}}}, "dram", 4096);
+  ctx.report = &fits;
+  expect_silent(run(ctx), "report-capacity");
+}
+
+TEST(ReportRules, CapacitySaturatesInsteadOfWrapping) {
+  const auto cfg = advisor::AdvisorConfig::dram_pmem(4096, 0.0);
+  auto report = bom_report(bom::CallStack{{{0, 0x100}}}, "dram",
+                           std::numeric_limits<Bytes>::max());
+  flexmalloc::ReportEntry second;
+  second.stack = bom::CallStack{{{0, 0x200}}};
+  second.tier = "dram";
+  second.size = std::numeric_limits<Bytes>::max();  // would wrap to small if unchecked
+  report.entries.push_back(std::move(second));
+  CheckContext ctx;
+  ctx.config = &cfg;
+  ctx.report = &report;
+  expect_fires(run(ctx), "report-capacity");
+}
+
+TEST(ReportRules, UnknownTier) {
+  const auto cfg = advisor::AdvisorConfig::dram_pmem(1 << 30, 0.0);
+  const auto report = bom_report(bom::CallStack{{{0, 0x100}}}, "hbm3", 64);
+  CheckContext ctx;
+  ctx.config = &cfg;
+  ctx.report = &report;
+  expect_fires(run(ctx), "report-unknown-tier");
+}
+
+TEST(ReportRules, MissingFallbackWarns) {
+  auto report = bom_report(bom::CallStack{{{0, 0x100}}}, "dram", 64);
+  report.fallback_tier.clear();
+  CheckContext ctx;
+  ctx.report = &report;
+  expect_fires(run(ctx), "report-fallback", Severity::kWarning);
+}
+
+TEST(ReportRules, DuplicateEntryConflictingTiers) {
+  auto report = bom_report(bom::CallStack{{{0, 0x100}}}, "dram", 64);
+  flexmalloc::ReportEntry dup;
+  dup.stack = bom::CallStack{{{0, 0x100}}};
+  dup.tier = "pmem";
+  report.entries.push_back(std::move(dup));
+  CheckContext ctx;
+  ctx.report = &report;
+  expect_fires(run(ctx), "report-duplicate-entry");
+}
+
+TEST(ReportRules, DuplicateEntrySameTierWarns) {
+  auto report = bom_report(bom::CallStack{{{0, 0x100}}}, "dram", 64);
+  report.entries.push_back(report.entries.front());
+  CheckContext ctx;
+  ctx.report = &report;
+  expect_fires(run(ctx), "report-duplicate-entry", Severity::kWarning);
+}
+
+TEST(ReportRules, DanglingSiteNotInTrace) {
+  const auto b = clean_bundle();
+  const auto report = bom_report(bom::CallStack{{{0, 0xdddd}}}, "dram", 64);
+  CheckContext ctx;
+  ctx.bundle = &b;
+  ctx.report = &report;
+  expect_fires(run(ctx), "report-site-in-trace");
+
+  const auto placed = bom_report(b.trace.stacks.stack(0), "dram", 64);
+  ctx.report = &placed;
+  expect_silent(run(ctx), "report-site-in-trace");
+}
+
+TEST(ReportRules, BandwidthMoveOutsideClasses) {
+  const auto b = clean_bundle();
+  const auto analysis = analyzer::analyze(b.trace);
+  ASSERT_TRUE(analysis.has_value());
+
+  // Three tiers; site footprints (4 KiB / 8 KiB) never fit the 1-byte
+  // DRAM budget, so the density pass places every site on 'hbm'.
+  advisor::AdvisorConfig cfg;
+  advisor::TierPolicy dram;
+  dram.name = "dram";
+  dram.limit = 1;
+  advisor::TierPolicy hbm;
+  hbm.name = "hbm";
+  hbm.limit = 1ull << 30;
+  hbm.order = 1;
+  advisor::TierPolicy pmem;
+  pmem.name = "pmem";
+  pmem.limit = 1ull << 40;
+  pmem.order = 2;
+  pmem.fallback = true;
+  cfg.tiers = {dram, hbm, pmem};
+
+  const auto base = advisor::place_by_density(analysis->sites, cfg);
+  ASSERT_TRUE(base.has_value());
+  ASSERT_FALSE(base->decisions.empty());
+  ASSERT_EQ(base->decisions.front().tier, "hbm");
+
+  // Moving an hbm-placed site to pmem leaves the dram/pmem exchange
+  // classes of the §VII pass: the report can't have come from it.
+  const auto moved = bom_report(base->decisions.front().callstack, "pmem", 4096);
+  CheckContext ctx;
+  ctx.bundle = &b;
+  ctx.analysis = &*analysis;
+  ctx.config = &cfg;
+  ctx.report = &moved;
+  expect_fires(run(ctx), "report-bw-classes");
+
+  // The same site kept on its base tier is clean.
+  const auto kept = bom_report(base->decisions.front().callstack, "hbm", 4096);
+  ctx.report = &kept;
+  expect_silent(run(ctx), "report-bw-classes");
+}
+
+TEST(ReportRules, DramToPmemMoveIsAllowed) {
+  const auto b = clean_bundle();
+  const auto analysis = analyzer::analyze(b.trace);
+  ASSERT_TRUE(analysis.has_value());
+  const auto cfg = advisor::AdvisorConfig::dram_pmem(1 << 30, 0.0);
+  const auto base = advisor::place_by_density(analysis->sites, cfg);
+  ASSERT_TRUE(base.has_value());
+  ASSERT_EQ(base->decisions.front().tier, "dram");
+
+  const auto moved = bom_report(base->decisions.front().callstack, "pmem", 4096);
+  CheckContext ctx;
+  ctx.bundle = &b;
+  ctx.analysis = &*analysis;
+  ctx.config = &cfg;
+  ctx.report = &moved;
+  expect_silent(run(ctx), "report-bw-classes");
+}
+
+}  // namespace
+}  // namespace ecohmem::check

@@ -73,6 +73,25 @@ TEST(ReportParser, Rejections) {
   EXPECT_FALSE(parse_report("app.x!0x100 @ \n", mt).has_value());      // empty tier
 }
 
+TEST(ReportParser, RejectsMalformedSizeAnnotations) {
+  const auto mt = test_modules();
+  // Garbage, negative, and 2^64-overflowing sizes must fail loudly with a
+  // line number, not silently parse as size = 0.
+  const auto garbage = parse_report("app.x!0x100 @ dram # size=banana\n", mt);
+  ASSERT_FALSE(garbage.has_value());
+  EXPECT_NE(garbage.error().find("line 1"), std::string::npos) << garbage.error();
+
+  const auto negative = parse_report("# header\napp.x!0x100 @ dram # size=-42\n", mt);
+  ASSERT_FALSE(negative.has_value());
+  EXPECT_NE(negative.error().find("line 2"), std::string::npos) << negative.error();
+
+  const auto overflow = parse_report("app.x!0x100 @ dram # size=99999999999999999999\n", mt);
+  ASSERT_FALSE(overflow.has_value());
+
+  const auto trailing = parse_report("app.x!0x100 @ dram # size=4096kb\n", mt);
+  ASSERT_FALSE(trailing.has_value());
+}
+
 TEST(ReportParser, LoadMissingFileFails) {
   EXPECT_FALSE(load_report("/no/such/report.txt", test_modules()).has_value());
 }
