@@ -1,0 +1,153 @@
+// Parallel replay benchmark: replays the Fig. 6 mini-app workloads
+// app-direct through FlexMalloc with 1 and N worker threads, verifies
+// that the placement-relevant results are identical (the determinism
+// contract of docs/threading.md), and records the measured wall-clock
+// numbers in BENCH_parallel_replay.json.
+//
+// Wall-clock speedup is hardware-dependent: on a single-core host the
+// parallel path cannot beat the serial one and the JSON records that
+// honestly (hardware_concurrency is part of the record).
+//
+// Usage: bench_parallel_replay [--threads N] [--repeats R] [--out FILE]
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace ecohmem;
+
+namespace {
+
+struct TimedRun {
+  runtime::RunMetrics metrics;
+  double best_wall_ms = 0.0;
+};
+
+Expected<TimedRun> timed_replay(const runtime::Workload& w, const memsim::MemorySystem& sys,
+                                const advisor::Placement& placement, int threads, int repeats) {
+  runtime::EngineOptions engine_options;
+  engine_options.replay_threads = threads;
+  TimedRun out;
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    auto metrics = core::run_with_placement(w, sys, placement, 12 * bench::kGiB,
+                                            advisor::ReportFormat::kBom, engine_options);
+    const auto end = std::chrono::steady_clock::now();
+    if (!metrics) return unexpected(metrics.error());
+    const double wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+    if (r == 0 || wall_ms < out.best_wall_ms) out.best_wall_ms = wall_ms;
+    out.metrics = std::move(*metrics);
+  }
+  return out;
+}
+
+bool traffic_identical(const runtime::RunMetrics& a, const runtime::RunMetrics& b) {
+  if (a.allocations != b.allocations || a.oom_redirects != b.oom_redirects) return false;
+  if (a.tier_traffic.size() != b.tier_traffic.size()) return false;
+  for (std::size_t k = 0; k < a.tier_traffic.size(); ++k) {
+    if (a.tier_traffic[k].read_bytes != b.tier_traffic[k].read_bytes) return false;
+    if (a.tier_traffic[k].write_bytes != b.tier_traffic[k].write_bytes) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = 4;
+  int repeats = 3;
+  std::string out_path = "BENCH_parallel_replay.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (flag == "--threads") threads = std::atoi(argv[i + 1]);
+    if (flag == "--repeats") repeats = std::atoi(argv[i + 1]);
+    if (flag == "--out") out_path = argv[i + 1];
+  }
+  if (threads < 2 || repeats < 1) {
+    std::fprintf(stderr, "error: --threads must be >= 2 and --repeats >= 1\n");
+    return 1;
+  }
+
+  bench::print_header("Parallel workload replay: 1 thread vs N threads",
+                      "thread-safe FlexMalloc + sharded replay (docs/threading.md)");
+  std::printf("host cores: %u, replay threads: %d, repeats: %d (best-of)\n\n",
+              std::thread::hardware_concurrency(), threads, repeats);
+  std::printf("%-14s %10s %10s %8s  %s\n", "app", "t1 (ms)", "tN (ms)", "speedup", "identical");
+
+  const auto sys = *memsim::paper_system(6);
+  struct Row {
+    std::string app;
+    double t1_ms = 0.0;
+    double tn_ms = 0.0;
+    bool identical = false;
+    std::uint64_t allocations = 0;
+  };
+  std::vector<Row> rows;
+  bool all_identical = true;
+
+  for (const char* app : {"minife", "minimd", "lulesh", "hpcg", "cloverleaf3d"}) {
+    const runtime::Workload w = apps::make_app(app);
+
+    core::WorkflowOptions opt;
+    opt.dram_limit = 12 * bench::kGiB;
+    const auto workflow = core::run_workflow(w, sys, opt);
+    if (!workflow) {
+      std::printf("%-14s workflow failed: %s\n", app, workflow.error().c_str());
+      all_identical = false;
+      continue;
+    }
+
+    const auto serial = timed_replay(w, sys, workflow->placement, 1, repeats);
+    const auto parallel = timed_replay(w, sys, workflow->placement, threads, repeats);
+    if (!serial || !parallel) {
+      std::printf("%-14s replay failed: %s\n", app,
+                  (!serial ? serial.error() : parallel.error()).c_str());
+      all_identical = false;
+      continue;
+    }
+
+    Row row;
+    row.app = app;
+    row.t1_ms = serial->best_wall_ms;
+    row.tn_ms = parallel->best_wall_ms;
+    row.identical = traffic_identical(serial->metrics, parallel->metrics);
+    row.allocations = serial->metrics.allocations;
+    all_identical = all_identical && row.identical;
+    rows.push_back(row);
+
+    std::printf("%-14s %10.2f %10.2f %7.2fx  %s\n", app, row.t1_ms, row.tn_ms,
+                row.tn_ms > 0.0 ? row.t1_ms / row.tn_ms : 0.0,
+                row.identical ? "yes" : "NO  <-- determinism violation");
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"parallel_replay\",\n");
+  std::fprintf(out, "  \"replay_threads\": %d,\n", threads);
+  std::fprintf(out, "  \"repeats\": %d,\n", repeats);
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"apps\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"app\": \"%s\", \"serial_ms\": %.3f, \"parallel_ms\": %.3f, "
+                 "\"wall_clock_speedup\": %.3f, \"allocations\": %llu, "
+                 "\"results_identical\": %s}%s\n",
+                 r.app.c_str(), r.t1_ms, r.tn_ms, r.tn_ms > 0.0 ? r.t1_ms / r.tn_ms : 0.0,
+                 static_cast<unsigned long long>(r.allocations),
+                 r.identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  return all_identical ? 0 : 1;
+}

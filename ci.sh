@@ -5,7 +5,8 @@
 #
 # Usage:
 #   ./ci.sh             # regular build + tests + benches + examples + lint
-#   ./ci.sh --sanitize  # additionally run tier-1 tests under ASan/UBSan
+#   ./ci.sh --sanitize  # additionally run tier-1 tests under ASan/UBSan and
+#                       # the concurrency stress tests under TSan
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -26,6 +27,14 @@ if [ "$sanitize" -eq 1 ]; then
   cmake --preset asan-ubsan
   cmake --build --preset asan-ubsan
   ctest --preset asan-ubsan -j"$(nproc)"
+
+  # The concurrency stress tests (FlexMalloc layer + parallel replay
+  # engine) only prove their locking under ThreadSanitizer; ASan cannot
+  # see data races (docs/threading.md).
+  echo "== concurrency stress tests under TSan =="
+  cmake --preset tsan
+  cmake --build --preset tsan
+  ctest --preset tsan -j"$(nproc)" -R 'Concurrency|ParallelReplay'
 fi
 
 for b in build/bench/*; do
@@ -52,6 +61,11 @@ build/tools/ecohmem-lint \
   --config configs/advisor_dram_pmem.ini
 
 build/tools/ecohmem-run --app hpcg --report /tmp/ecohmem_ci_report.txt
+# Parallel replay must accept a thread count and reject a bad one.
+build/tools/ecohmem-run --app hpcg --report /tmp/ecohmem_ci_report.txt --threads 4
+if build/tools/ecohmem-run --app hpcg --report /tmp/ecohmem_ci_report.txt --threads 0; then
+  echo "ecohmem-run accepted --threads 0" >&2; exit 1
+fi
 
 # clang-tidy is optional in the toolchain image; run it when available.
 if command -v clang-tidy >/dev/null 2>&1 && command -v run-clang-tidy >/dev/null 2>&1; then

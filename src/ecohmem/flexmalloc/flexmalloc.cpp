@@ -7,7 +7,33 @@ namespace {
 std::uint64_t heap_base(std::size_t tier_index) {
   return (static_cast<std::uint64_t>(tier_index) + 1) << 44;
 }
+
+/// Relaxed monotonic-max update (peak trackers under concurrency).
+void atomic_max(std::atomic<Bytes>& target, Bytes candidate) {
+  Bytes current = target.load(std::memory_order_relaxed);
+  while (candidate > current &&
+         !target.compare_exchange_weak(current, candidate, std::memory_order_relaxed)) {
+  }
+}
 }  // namespace
+
+FlexMalloc::FlexMalloc(FlexMalloc&& other) noexcept
+    : heaps_(std::move(other.heaps_)),
+      tier_stats_(std::move(other.tier_stats_)),
+      matcher_(std::move(other.matcher_)),
+      fallback_(other.fallback_),
+      oom_redirects_(other.oom_redirects_.load(std::memory_order_relaxed)) {}
+
+FlexMalloc& FlexMalloc::operator=(FlexMalloc&& other) noexcept {
+  if (this == &other) return *this;
+  heaps_ = std::move(other.heaps_);
+  tier_stats_ = std::move(other.tier_stats_);
+  matcher_ = std::move(other.matcher_);
+  fallback_ = other.fallback_;
+  oom_redirects_.store(other.oom_redirects_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  return *this;
+}
 
 Expected<FlexMalloc> FlexMalloc::create(std::vector<HeapSpec> heaps, const ParsedReport& report,
                                         const bom::SymbolTable* symbols,
@@ -21,7 +47,8 @@ Expected<FlexMalloc> FlexMalloc::create(std::vector<HeapSpec> heaps, const Parse
     if (spec.capacity == 0) return unexpected("heap '" + spec.tier + "' has zero capacity");
     fm.heaps_.push_back(
         std::make_unique<ArenaHeap>(spec.tier, heap_base(i), spec.capacity));
-    fm.tier_stats_.push_back(TierStats{spec.tier, 0, 0, 0});
+    fm.tier_stats_.push_back(std::make_unique<AtomicTierStats>());
+    fm.tier_stats_.back()->tier = spec.tier;
     if (spec.tier == report.fallback_tier) {
       fm.fallback_ = i;
       fallback_found = true;
@@ -80,19 +107,24 @@ Expected<Allocation> FlexMalloc::malloc(const bom::CallStack& stack, Bytes size)
   auto addr = heaps_[target]->allocate(size);
   if (!addr && target != fallback_) {
     // Designated tier is full: redirect to the fallback subsystem (§IV-C).
+    // The designated heap's lock is already released here, so redirect
+    // never holds two heap locks at once.
     target = fallback_;
     out.redirected = true;
-    ++oom_redirects_;
+    oom_redirects_.fetch_add(1, std::memory_order_relaxed);
     addr = heaps_[target]->allocate(size);
   }
   if (!addr) return unexpected(addr.error());
 
   out.address = *addr;
   out.tier_index = target;
-  auto& stats = tier_stats_[target];
-  ++stats.allocations;
-  stats.bytes += size;
-  stats.high_water = std::max(stats.high_water, heaps_[target]->used());
+  auto& stats = *tier_stats_[target];
+  stats.allocations.fetch_add(1, std::memory_order_relaxed);
+  stats.bytes.fetch_add(size, std::memory_order_relaxed);
+  // Peak tracking is a best-effort observation under concurrency: the
+  // heap's own used() is exact, the stats high-water may miss a peak
+  // that another thread's free erases between our two reads.
+  atomic_max(stats.high_water, heaps_[target]->used());
   return out;
 }
 
@@ -115,6 +147,18 @@ Expected<Allocation> FlexMalloc::realloc(const bom::CallStack& stack, std::uint6
   return malloc(stack, new_size);
 }
 
-std::vector<TierStats> FlexMalloc::stats() const { return tier_stats_; }
+std::vector<TierStats> FlexMalloc::stats() const {
+  std::vector<TierStats> out;
+  out.reserve(tier_stats_.size());
+  for (const auto& s : tier_stats_) {
+    TierStats t;
+    t.tier = s->tier;
+    t.allocations = s->allocations.load(std::memory_order_relaxed);
+    t.bytes = s->bytes.load(std::memory_order_relaxed);
+    t.high_water = s->high_water.load(std::memory_order_relaxed);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
 
 }  // namespace ecohmem::flexmalloc

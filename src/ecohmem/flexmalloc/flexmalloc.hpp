@@ -13,7 +13,17 @@
 /// The "interposition" boundary here is the explicit `malloc(stack, size)`
 /// call the execution engine makes for every workload allocation; on a
 /// real system the same entry point is reached via LD_PRELOAD.
+///
+/// Thread safety (docs/threading.md): after `create` returns, `malloc`,
+/// `free`, `realloc` and every accessor are safe to call from any number
+/// of threads concurrently — exactly what an LD_PRELOAD interposer under
+/// a multi-threaded HPC application must guarantee. Locking is sharded
+/// per tier (each `ArenaHeap` has its own leaf mutex, never held across
+/// heaps); matching is lock-free on the BOM path; all counters are
+/// relaxed atomics. The object itself must not be moved or destroyed
+/// while other threads are calling into it.
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -35,18 +45,18 @@ struct HeapSpec {
 
 /// A completed allocation.
 struct Allocation {
-  std::uint64_t address = 0;
-  std::size_t tier_index = 0;
-  bool matched = false;     ///< report hit (vs fallback by default)
-  bool redirected = false;  ///< designated tier was full, fell back
+  std::uint64_t address = 0;   ///< simulated VA of the new block
+  std::size_t tier_index = 0;  ///< tier the block actually landed in
+  bool matched = false;        ///< report hit (vs fallback by default)
+  bool redirected = false;     ///< designated tier was full, fell back
 };
 
-/// Per-tier counters.
+/// Per-tier counters (a point-in-time snapshot under concurrency).
 struct TierStats {
-  std::string tier;
-  std::uint64_t allocations = 0;
-  Bytes bytes = 0;
-  Bytes high_water = 0;
+  std::string tier;                ///< tier name
+  std::uint64_t allocations = 0;   ///< completed allocations routed here
+  Bytes bytes = 0;                 ///< sum of requested (unpadded) bytes
+  Bytes high_water = 0;            ///< peak observed heap usage
 };
 
 class FlexMalloc {
@@ -54,49 +64,83 @@ class FlexMalloc {
   /// `heaps`: one per tier, in the order used by `Allocation::tier_index`.
   /// `fallback_tier` must name one of them. `symbols` is required only
   /// for human-readable reports. `matcher_options` configures the
-  /// stack-depth fallback matching.
+  /// stack-depth fallback matching and the reader-mostly match cache.
   [[nodiscard]] static Expected<FlexMalloc> create(std::vector<HeapSpec> heaps,
                                                    const ParsedReport& report,
                                                    const bom::SymbolTable* symbols = nullptr,
                                                    MatcherOptions matcher_options = {});
 
+  /// Move-only; moving is for single-threaded setup (factory return) —
+  /// never move an instance other threads are calling into.
+  FlexMalloc(FlexMalloc&& other) noexcept;
+  FlexMalloc& operator=(FlexMalloc&& other) noexcept;
+  FlexMalloc(const FlexMalloc&) = delete;
+  FlexMalloc& operator=(const FlexMalloc&) = delete;
+  ~FlexMalloc() = default;
+
   /// Interposed malloc: captures nothing itself — the caller passes the
   /// call stack it captured (the engine plays the unwinder's role).
+  /// Thread-safe.
   [[nodiscard]] Expected<Allocation> malloc(const bom::CallStack& stack, Bytes size);
 
-  /// Interposed free.
+  /// Interposed free. Thread-safe for distinct addresses (each address
+  /// is freed by exactly one caller, as with real pointers).
   [[nodiscard]] Status free(std::uint64_t address);
 
   /// Interposed realloc: returns a new allocation in the same tier the
   /// stack maps to (contents-copy cost is the engine's concern).
+  /// Thread-safe under the same ownership rule as `free`.
   [[nodiscard]] Expected<Allocation> realloc(const bom::CallStack& stack,
                                              std::uint64_t address, Bytes new_size);
 
+  /// Number of tier heaps.
   [[nodiscard]] std::size_t tier_count() const { return heaps_.size(); }
+
+  /// Name of tier `index` (the order of `create`'s `heaps`).
   [[nodiscard]] const std::string& tier_name(std::size_t index) const {
     return heaps_.at(index)->name();
   }
+
+  /// Index of the tier named `name`; fails on unknown names.
   [[nodiscard]] Expected<std::size_t> tier_index(std::string_view name) const;
+
+  /// Index of the fallback tier (unmatched stacks, OOM redirection).
   [[nodiscard]] std::size_t fallback_index() const { return fallback_; }
 
+  /// The heap backing tier `index`.
   [[nodiscard]] const HeapManager& heap(std::size_t index) const { return *heaps_.at(index); }
+
+  /// Snapshot of the per-tier counters.
   [[nodiscard]] std::vector<TierStats> stats() const;
 
   /// Simulated cost of all matching work so far (see matcher.hpp).
   [[nodiscard]] double matching_cost_ns() const { return matcher_.matching_cost_ns(); }
+
+  /// The matcher (lookup/hit counters, format).
   [[nodiscard]] const CallStackMatcher& matcher() const { return matcher_; }
 
   /// Allocations that had to be redirected because their tier was full.
-  [[nodiscard]] std::uint64_t oom_redirects() const { return oom_redirects_; }
+  [[nodiscard]] std::uint64_t oom_redirects() const {
+    return oom_redirects_.load(std::memory_order_relaxed);
+  }
 
  private:
   FlexMalloc() = default;
 
+  /// Per-tier counters, atomic so concurrent allocations never lose
+  /// updates; boxed because atomics are not movable element-wise.
+  struct AtomicTierStats {
+    std::string tier;
+    std::atomic<std::uint64_t> allocations{0};
+    std::atomic<Bytes> bytes{0};
+    std::atomic<Bytes> high_water{0};
+  };
+
   std::vector<std::unique_ptr<ArenaHeap>> heaps_;
-  std::vector<TierStats> tier_stats_;
+  std::vector<std::unique_ptr<AtomicTierStats>> tier_stats_;
   CallStackMatcher matcher_;
   std::size_t fallback_ = 0;
-  std::uint64_t oom_redirects_ = 0;
+  std::atomic<std::uint64_t> oom_redirects_{0};
 };
 
 }  // namespace ecohmem::flexmalloc

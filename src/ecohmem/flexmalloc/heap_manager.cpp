@@ -14,8 +14,11 @@ ArenaHeap::ArenaHeap(std::string name, std::uint64_t base, Bytes capacity, Bytes
 Expected<std::uint64_t> ArenaHeap::allocate(Bytes size) {
   if (size == 0) size = alignment_;
   const Bytes padded = (size + alignment_ - 1) / alignment_ * alignment_;
-  if (used_ + padded > capacity_) {
-    return unexpected("heap '" + name_ + "' out of capacity (used " + std::to_string(used_) +
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const Bytes used_now = used_.load(std::memory_order_relaxed);
+  if (used_now + padded > capacity_) {
+    return unexpected("heap '" + name_ + "' out of capacity (used " + std::to_string(used_now) +
                       ", request " + std::to_string(padded) + ", capacity " +
                       std::to_string(capacity_) + ")");
   }
@@ -37,19 +40,25 @@ Expected<std::uint64_t> ArenaHeap::allocate(Bytes size) {
   }
 
   live_.emplace(address, padded);
-  used_ += padded;
-  high_water_ = std::max(high_water_, used_);
+  live_count_.store(live_.size(), std::memory_order_relaxed);
+  const Bytes used_after = used_now + padded;
+  used_.store(used_after, std::memory_order_relaxed);
+  if (used_after > high_water_.load(std::memory_order_relaxed)) {
+    high_water_.store(used_after, std::memory_order_relaxed);
+  }
   return address;
 }
 
 Expected<Bytes> ArenaHeap::deallocate(std::uint64_t address) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = live_.find(address);
   if (it == live_.end()) {
     return unexpected("heap '" + name_ + "': free of unknown address");
   }
   const Bytes size = it->second;
   live_.erase(it);
-  used_ -= size;
+  live_count_.store(live_.size(), std::memory_order_relaxed);
+  used_.fetch_sub(size, std::memory_order_relaxed);
 
   // Insert into the free list, coalescing with neighbors.
   auto [pos, inserted] = free_.emplace(address, size);
@@ -70,6 +79,7 @@ Expected<Bytes> ArenaHeap::deallocate(std::uint64_t address) {
 }
 
 bool ArenaHeap::owns(std::uint64_t address) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return live_.contains(address) ||
          (address >= base_ && address < cursor_);
 }

@@ -9,9 +9,18 @@
 /// addresses it hands out are simulated VAs — distinct non-overlapping
 /// ranges per tier, so the profiler's sample attribution and the
 /// analyzer's interval lookup behave exactly as with real pointers.
+///
+/// Thread safety (docs/threading.md): `ArenaHeap` is safe to call from
+/// any number of threads concurrently. Locking is sharded naturally —
+/// one mutex per tier heap, never held across heaps — so allocations on
+/// different tiers proceed in parallel and no lock ordering between
+/// heaps exists (hence no deadlock). The counters returned by `used()`,
+/// `high_water()` and `live_blocks()` are lock-free atomic reads.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "ecohmem/common/expected.hpp"
@@ -20,6 +29,10 @@
 namespace ecohmem::flexmalloc {
 
 /// Interface of a tier-backed heap.
+///
+/// Contract: implementations must be safe for concurrent calls from
+/// multiple threads (the parallel replay engine drives one shared heap
+/// per tier from all worker threads).
 class HeapManager {
  public:
   virtual ~HeapManager() = default;
@@ -33,39 +46,63 @@ class HeapManager {
   /// True if `address` belongs to this heap.
   [[nodiscard]] virtual bool owns(std::uint64_t address) const = 0;
 
+  /// Bytes currently allocated (padded block sizes).
   [[nodiscard]] virtual Bytes used() const = 0;
+
+  /// Total capacity available for allocations.
   [[nodiscard]] virtual Bytes capacity() const = 0;
+
+  /// Tier name this heap backs (matches the report's tier names).
   [[nodiscard]] virtual const std::string& name() const = 0;
 };
 
 /// Simulated-address-space heap with first-fit reuse of freed blocks.
+///
+/// Thread safe: `allocate`/`deallocate`/`owns` serialize on one internal
+/// mutex (a leaf lock — no other lock is ever taken while it is held);
+/// the accounting getters are wait-free atomic loads. Not copyable or
+/// movable (construct in place, e.g. behind `std::unique_ptr`).
 class ArenaHeap final : public HeapManager {
  public:
   /// `base`: start of this heap's VA range (ranges must not overlap
   /// across heaps). Blocks are aligned to `alignment`.
   ArenaHeap(std::string name, std::uint64_t base, Bytes capacity, Bytes alignment = 64);
 
+  ArenaHeap(const ArenaHeap&) = delete;
+  ArenaHeap& operator=(const ArenaHeap&) = delete;
+
   [[nodiscard]] Expected<std::uint64_t> allocate(Bytes size) override;
   [[nodiscard]] Expected<Bytes> deallocate(std::uint64_t address) override;
   [[nodiscard]] bool owns(std::uint64_t address) const override;
-  [[nodiscard]] Bytes used() const override { return used_; }
+  [[nodiscard]] Bytes used() const override { return used_.load(std::memory_order_relaxed); }
   [[nodiscard]] Bytes capacity() const override { return capacity_; }
   [[nodiscard]] const std::string& name() const override { return name_; }
 
+  /// Start of this heap's simulated VA range.
   [[nodiscard]] std::uint64_t base() const { return base_; }
-  [[nodiscard]] std::uint64_t live_blocks() const { return live_.size(); }
-  [[nodiscard]] Bytes high_water() const { return high_water_; }
+
+  /// Number of currently live (allocated, unfreed) blocks.
+  [[nodiscard]] std::uint64_t live_blocks() const {
+    return live_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Highest `used()` value ever observed.
+  [[nodiscard]] Bytes high_water() const { return high_water_.load(std::memory_order_relaxed); }
 
  private:
   std::string name_;
   std::uint64_t base_;
   Bytes capacity_;
   Bytes alignment_;
-  std::uint64_t cursor_;
-  Bytes used_ = 0;
-  Bytes high_water_ = 0;
-  std::map<std::uint64_t, Bytes> live_;  // address -> size
-  std::map<std::uint64_t, Bytes> free_;  // address -> size (coalesced)
+
+  mutable std::mutex mu_;                ///< guards cursor_, live_, free_
+  std::uint64_t cursor_;                 ///< bump pointer (under mu_)
+  std::map<std::uint64_t, Bytes> live_;  ///< address -> size (under mu_)
+  std::map<std::uint64_t, Bytes> free_;  ///< address -> size, coalesced (under mu_)
+
+  std::atomic<Bytes> used_{0};
+  std::atomic<Bytes> high_water_{0};
+  std::atomic<std::uint64_t> live_count_{0};
 };
 
 }  // namespace ecohmem::flexmalloc

@@ -13,7 +13,69 @@ bom::CallStack suffix_of(const bom::CallStack& stack, std::size_t depth) {
   return out;
 }
 
+/// fetch_add for atomic<double> via CAS (portable across libstdc++
+/// versions that predate the C++20 floating-point specializations).
+void atomic_add(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + value, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------- MatchCache
+
+std::pair<const std::string*, bool> MatchCache::find(const bom::CallStack& key) const {
+  const Shard& shard = shards_[shard_of(key)];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return {nullptr, false};
+  return {it->second, true};
+}
+
+void MatchCache::insert(const bom::CallStack& key, const std::string* tier) {
+  Shard& shard = shards_[shard_of(key)];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  shard.map.emplace(key, tier);
+}
+
+// --------------------------------------------------------- CallStackMatcher
+
+CallStackMatcher::CallStackMatcher(CallStackMatcher&& other) noexcept
+    : is_bom_(other.is_bom_),
+      options_(other.options_),
+      bom_index_(std::move(other.bom_index_)),
+      hr_index_(std::move(other.hr_index_)),
+      suffix_index_(std::move(other.suffix_index_)),
+      symbols_(other.symbols_),
+      cache_(std::move(other.cache_)),
+      hr_mu_(std::move(other.hr_mu_)),
+      lookups_(other.lookups_.load(std::memory_order_relaxed)),
+      hits_(other.hits_.load(std::memory_order_relaxed)),
+      frames_compared_(other.frames_compared_.load(std::memory_order_relaxed)),
+      string_bytes_compared_(other.string_bytes_compared_.load(std::memory_order_relaxed)),
+      symbolization_ns_(other.symbolization_ns_.load(std::memory_order_relaxed)) {}
+
+CallStackMatcher& CallStackMatcher::operator=(CallStackMatcher&& other) noexcept {
+  if (this == &other) return *this;
+  is_bom_ = other.is_bom_;
+  options_ = other.options_;
+  bom_index_ = std::move(other.bom_index_);
+  hr_index_ = std::move(other.hr_index_);
+  suffix_index_ = std::move(other.suffix_index_);
+  symbols_ = other.symbols_;
+  cache_ = std::move(other.cache_);
+  hr_mu_ = std::move(other.hr_mu_);
+  lookups_.store(other.lookups_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  hits_.store(other.hits_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  frames_compared_.store(other.frames_compared_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  string_bytes_compared_.store(other.string_bytes_compared_.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+  symbolization_ns_.store(other.symbolization_ns_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  return *this;
+}
 
 Expected<CallStackMatcher> CallStackMatcher::create(const ParsedReport& report,
                                                     const bom::SymbolTable* symbols,
@@ -22,6 +84,7 @@ Expected<CallStackMatcher> CallStackMatcher::create(const ParsedReport& report,
   m.is_bom_ = report.is_bom;
   m.symbols_ = symbols;
   m.options_ = options;
+  if (options.match_cache) m.cache_ = std::make_unique<MatchCache>();
 
   if (!report.is_bom && symbols == nullptr) {
     return unexpected("human-readable report requires debug information (symbol table)");
@@ -44,20 +107,40 @@ Expected<CallStackMatcher> CallStackMatcher::create(const ParsedReport& report,
 }
 
 MatchResult CallStackMatcher::match(const bom::CallStack& captured) {
-  ++lookups_;
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+
+  if (cache_) {
+    const auto [tier, found] = cache_->find(captured);
+    if (found) {
+      // A cache hit still pays one hash-and-compare over the frames.
+      frames_compared_.fetch_add(captured.frames.size(), std::memory_order_relaxed);
+      if (tier != nullptr) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return MatchResult{tier};
+      }
+      return {};
+    }
+  }
+
+  const MatchResult result = match_uncached(captured);
+  if (cache_) cache_->insert(captured, result.tier);
+  return result;
+}
+
+MatchResult CallStackMatcher::match_uncached(const bom::CallStack& captured) {
   if (is_bom_) {
-    frames_compared_ += captured.frames.size();
+    frames_compared_.fetch_add(captured.frames.size(), std::memory_order_relaxed);
     const auto it = bom_index_.find(captured);
     if (it != bom_index_.end()) {
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return MatchResult{&it->second};
     }
     if (options_.min_suffix_depth > 0) {
       const auto sfx =
           suffix_index_.find(suffix_of(captured, options_.min_suffix_depth));
-      frames_compared_ += options_.min_suffix_depth;
+      frames_compared_.fetch_add(options_.min_suffix_depth, std::memory_order_relaxed);
       if (sfx != suffix_index_.end() && !sfx->second.empty()) {
-        ++hits_;
+        hits_.fetch_add(1, std::memory_order_relaxed);
         return MatchResult{&sfx->second};
       }
     }
@@ -65,27 +148,32 @@ MatchResult CallStackMatcher::match(const bom::CallStack& captured) {
   }
 
   // Human-readable path: symbolize the captured frames, then compare the
-  // formatted strings. The cost of symbolization accrues in the symbol
-  // table's meter; string comparison cost accrues here.
+  // formatted strings. The shared symbol table sorts lazily and meters
+  // its own cost, so this whole path serializes on hr_mu_ (the BOM path
+  // above never takes it). The cost of symbolization accrues in the
+  // symbol table's meter; string comparison cost accrues here.
+  std::lock_guard<std::mutex> hr_lock(*hr_mu_);
   const double before = symbols_->cost().estimated_ns();
   auto hr = symbols_->translate(captured);
-  symbolization_ns_ += symbols_->cost().estimated_ns() - before;
+  atomic_add(symbolization_ns_, symbols_->cost().estimated_ns() - before);
   if (!hr) return {};  // stripped frame: unmatched, falls back
 
   const std::string key = bom::format_human(*hr);
-  string_bytes_compared_ += key.size();
+  string_bytes_compared_.fetch_add(key.size(), std::memory_order_relaxed);
   const auto it = hr_index_.find(key);
   if (it == hr_index_.end()) return {};
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   return MatchResult{&it->second};
 }
 
 double CallStackMatcher::matching_cost_ns() const {
   // BOM: ~2 ns per frame word compared (hash + equality on integers).
   // HR: symbolization dominates; string comparison adds ~0.25 ns/byte.
-  const double bom_cost = 2.0 * static_cast<double>(frames_compared_);
+  const double bom_cost =
+      2.0 * static_cast<double>(frames_compared_.load(std::memory_order_relaxed));
   const double hr_cost =
-      symbolization_ns_ + 0.25 * static_cast<double>(string_bytes_compared_);
+      symbolization_ns_.load(std::memory_order_relaxed) +
+      0.25 * static_cast<double>(string_bytes_compared_.load(std::memory_order_relaxed));
   return is_bom_ ? bom_cost : hr_cost;
 }
 

@@ -16,9 +16,24 @@
 ///
 /// Both paths report accumulated matching cost in simulated nanoseconds
 /// so the execution engine can charge it against the run.
+///
+/// Thread safety (docs/threading.md): after `create` returns, the match
+/// indexes are immutable and `match()` may be called from any number of
+/// threads concurrently. Instrumentation counters are relaxed atomics.
+/// The human-readable path serializes on an internal mutex because the
+/// shared `bom::SymbolTable` sorts lazily and meters its own cost — the
+/// BOM path (the paper's recommended configuration) takes no lock. The
+/// optional match cache (`MatcherOptions::match_cache`) is reader-mostly:
+/// sharded, shared-locked for lookups, exclusively locked only to insert
+/// a stack seen for the first time.
 
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "ecohmem/bom/format.hpp"
 #include "ecohmem/bom/frame.hpp"
@@ -30,7 +45,11 @@ namespace ecohmem::flexmalloc {
 
 /// Outcome of a lookup: a tier name, or nothing (use fallback).
 struct MatchResult {
-  const std::string* tier = nullptr;  ///< nullptr = unmatched
+  /// Tier the stack maps to; nullptr = unmatched (use the fallback
+  /// tier). Points into the matcher's index — valid for its lifetime.
+  const std::string* tier = nullptr;
+
+  /// True when the report listed this call stack.
   [[nodiscard]] bool matched() const { return tier != nullptr; }
 };
 
@@ -42,12 +61,60 @@ struct MatcherOptions {
   /// wrappers); ambiguous suffixes — two report entries sharing the same
   /// innermost frames but mapped to different tiers — never match.
   std::size_t min_suffix_depth = 0;
+
+  /// Enable the reader-mostly match cache: full match outcomes
+  /// (including negative ones) are memoized per captured stack, so
+  /// repeated stacks skip suffix probing and — on the human-readable
+  /// path — re-symbolization. Placement decisions are unaffected (the
+  /// cache memoizes a pure function of the stack); the accumulated
+  /// matching *cost* shrinks, which is the point. Off by default to
+  /// preserve the per-allocation overhead accounting the §VIII-D
+  /// benchmarks reproduce.
+  bool match_cache = false;
 };
 
+/// Reader-mostly sharded memo of match outcomes keyed by captured stack.
+///
+/// 16 shards, each a hash map under its own `std::shared_mutex`: lookups
+/// take a shared lock, first-time insertions an exclusive one. Values are
+/// pointers into the owning matcher's immutable index (nullptr = cached
+/// negative), so entries never need invalidation.
+class MatchCache {
+ public:
+  /// Returns {tier, true} when cached (tier may be nullptr = negative),
+  /// {nullptr, false} when this stack has not been seen yet.
+  [[nodiscard]] std::pair<const std::string*, bool> find(const bom::CallStack& key) const;
+
+  /// Memoizes an outcome; concurrent duplicate inserts are benign (the
+  /// outcome is a pure function of the key, so all writers agree).
+  void insert(const bom::CallStack& key, const std::string* tier);
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<bom::CallStack, const std::string*, bom::CallStackHash> map;
+  };
+  [[nodiscard]] static std::size_t shard_of(const bom::CallStack& key) {
+    return bom::CallStackHash{}(key) % kShards;
+  }
+  Shard shards_[kShards];
+};
+
+/// Matches captured call stacks against a parsed placement report.
 class CallStackMatcher {
  public:
   /// An empty matcher matches nothing (everything falls back).
   CallStackMatcher() = default;
+
+  /// Move-only: the instrumentation counters are atomics. Moving is for
+  /// single-threaded setup (factory return, FlexMalloc construction) —
+  /// never move a matcher other threads are using.
+  CallStackMatcher(CallStackMatcher&& other) noexcept;
+  CallStackMatcher& operator=(CallStackMatcher&& other) noexcept;
+  CallStackMatcher(const CallStackMatcher&) = delete;
+  CallStackMatcher& operator=(const CallStackMatcher&) = delete;
+  ~CallStackMatcher() = default;
 
   /// Builds matching structures from a parsed report. For human-readable
   /// reports a symbol table is mandatory.
@@ -57,17 +124,27 @@ class CallStackMatcher {
 
   /// Looks up the captured stack. Never fails; unmatched stacks return
   /// an empty result (FlexMalloc then uses the fallback tier).
+  /// Safe to call concurrently from multiple threads.
   [[nodiscard]] MatchResult match(const bom::CallStack& captured);
 
   /// Accumulated matching cost in simulated ns (BOM: hash+compare;
   /// HR: symbolization + string compares).
   [[nodiscard]] double matching_cost_ns() const;
 
-  [[nodiscard]] std::uint64_t lookups() const { return lookups_; }
-  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  /// Total `match()` calls so far.
+  [[nodiscard]] std::uint64_t lookups() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+
+  /// Lookups that found a report entry.
+  [[nodiscard]] std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+  /// True when the report uses BOM (module!offset) stacks.
   [[nodiscard]] bool is_bom() const { return is_bom_; }
 
  private:
+  [[nodiscard]] MatchResult match_uncached(const bom::CallStack& captured);
+
   bool is_bom_ = true;
   MatcherOptions options_;
   std::unordered_map<bom::CallStack, std::string, bom::CallStackHash> bom_index_;
@@ -76,11 +153,17 @@ class CallStackMatcher {
   std::unordered_map<bom::CallStack, std::string, bom::CallStackHash> suffix_index_;
   const bom::SymbolTable* symbols_ = nullptr;
 
-  std::uint64_t lookups_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t frames_compared_ = 0;
-  std::uint64_t string_bytes_compared_ = 0;
-  double symbolization_ns_ = 0.0;
+  /// Non-null when MatcherOptions::match_cache is set.
+  std::unique_ptr<MatchCache> cache_;
+  /// Serializes the human-readable path (shared lazily-sorted symbol
+  /// table + its cost meter). Leaf lock; BOM lookups never take it.
+  std::unique_ptr<std::mutex> hr_mu_ = std::make_unique<std::mutex>();
+
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> frames_compared_{0};
+  std::atomic<std::uint64_t> string_bytes_compared_{0};
+  std::atomic<double> symbolization_ns_{0.0};
 };
 
 }  // namespace ecohmem::flexmalloc

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <string>
 #include <unordered_map>
+
+#include "ecohmem/runtime/worker_pool.hpp"
 
 namespace ecohmem::runtime {
 
@@ -96,7 +100,148 @@ KernelSolution solve_kernel_fixed_point(const memsim::MemorySystem& system,
   return sol;
 }
 
+namespace {
+
+struct LiveState {
+  bool live = false;
+  std::uint64_t address = 0;
+  std::uint64_t uid = 0;
+};
+
+/// Deduplicating function-name -> metrics-slot lookup.
+struct FunctionTable {
+  std::unordered_map<std::string, std::size_t> index;
+
+  FunctionMetrics& slot(RunMetrics& metrics, const std::string& fn) {
+    const auto it = index.find(fn);
+    if (it != index.end()) return metrics.functions[it->second];
+    index.emplace(fn, metrics.functions.size());
+    metrics.functions.push_back(FunctionMetrics{fn, 0.0, 0.0, 0.0, 0.0});
+    return metrics.functions.back();
+  }
+};
+
+/// Replays one kernel step and returns its end time. Shared by the
+/// serial and parallel paths — kernels always run on the engine thread,
+/// which is what keeps placement and tier byte totals bit-identical
+/// across thread counts. `record_bw` bins the resolved traffic into
+/// bandwidth meters: the serial path adds to one meter directly, the
+/// parallel path fans the entries out over per-worker shard meters.
+Expected<Ns> replay_kernel(
+    const memsim::MemorySystem& system, const EngineOptions& options, const Workload& workload,
+    const KernelOp& kop, ExecutionMode& mode, const std::vector<LiveState>& live, Ns now,
+    RunMetrics& metrics, FunctionTable& functions, memsim::AnalyticCacheModel& cache,
+    const std::function<void(Ns, Ns, const std::vector<ObjectTraffic>&)>& record_bw) {
+  const std::size_t tiers = system.tier_count();
+  const KernelSpec& kernel = workload.kernels[kop.kernel];
+
+  // Gather live objects this kernel touches.
+  std::vector<LiveObjectRef> objects;
+  std::vector<memsim::KernelObjectAccess> accesses;
+  objects.reserve(kernel.accesses.size());
+  accesses.reserve(kernel.accesses.size());
+  for (const auto& acc : kernel.accesses) {
+    const auto& state = live[acc.object];
+    if (!state.live) return unexpected("kernel touches non-live object");
+    const ObjectSpec& spec = workload.objects[acc.object];
+    objects.push_back(LiveObjectRef{acc.object, &spec, state.address, acc.footprint});
+    accesses.push_back(memsim::KernelObjectAccess{acc.llc_loads, acc.llc_stores, acc.footprint,
+                                                  spec.llc_friendliness,
+                                                  spec.prefetch_efficiency});
+  }
+
+  const memsim::KernelCacheOutcome cache_outcome = cache.evaluate(accesses);
+
+  std::vector<ObjectTraffic> traffic(objects.size());
+  for (auto& t : traffic) {
+    t.read_bytes.assign(tiers, 0.0);
+    t.write_bytes.assign(tiers, 0.0);
+    t.latency_share.assign(tiers, 0.0);
+  }
+  mode.resolve(objects, cache_outcome.per_object, traffic);
+
+  // Modes may have appended background-traffic entries (migration);
+  // pad the miss vector with zeroes so the solver sees no extra stalls.
+  std::vector<memsim::KernelObjectMisses> padded_misses = cache_outcome.per_object;
+  padded_misses.resize(traffic.size());
+
+  const double compute_ns = cycles_to_ns(kernel.compute_cycles);
+  const KernelSolution sol = solve_kernel_fixed_point(system, traffic, padded_misses, compute_ns,
+                                                      workload.mlp, options);
+
+  const Ns start = now;
+  const Ns end = now + static_cast<Ns>(std::llround(sol.duration_ns));
+
+  // Accounting.
+  metrics.compute_ns += compute_ns;
+  metrics.load_stall_ns += sol.load_stall_ns;
+  metrics.store_stall_ns += sol.store_stall_ns;
+  metrics.bw_limited_extra_ns +=
+      std::max(0.0, sol.duration_ns - (compute_ns + sol.load_stall_ns + sol.store_stall_ns));
+  metrics.total_load_misses += cache_outcome.total_load_misses;
+  metrics.total_store_misses += cache_outcome.total_store_misses;
+
+  FunctionMetrics& fn = functions.slot(metrics, kernel.function);
+  fn.instructions += kernel.instructions;
+  fn.cycles += ns_to_cycles(sol.duration_ns);
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    fn.load_misses += cache_outcome.per_object[i].load_misses;
+    fn.latency_weight_sum +=
+        cache_outcome.per_object[i].load_misses * sol.object_load_latency_ns[i];
+  }
+
+  for (std::size_t i = 0; i < traffic.size(); ++i) {
+    for (std::size_t k = 0; k < tiers; ++k) {
+      metrics.tier_traffic[k].read_bytes += traffic[i].read_bytes[k];
+      metrics.tier_traffic[k].write_bytes += traffic[i].write_bytes[k];
+    }
+  }
+  record_bw(start, end, traffic);
+
+  if (options.observer != nullptr) {
+    KernelObservation obs;
+    obs.start = start;
+    obs.end = end;
+    obs.kernel = &kernel;
+    for (const auto& t : traffic) {
+      for (std::size_t k = 0; k < tiers; ++k) {
+        obs.total_read_bytes += t.read_bytes[k];
+        obs.total_write_bytes += t.write_bytes[k];
+      }
+    }
+    obs.objects.reserve(objects.size());
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+      ObjectKernelSample s;
+      s.object = objects[i].object;
+      s.address = objects[i].address;
+      s.size = objects[i].spec->size;
+      s.load_misses = cache_outcome.per_object[i].load_misses;
+      s.store_misses = cache_outcome.per_object[i].store_misses;
+      s.store_instructions = kernel.accesses[i].store_instructions > 0.0
+                                 ? kernel.accesses[i].store_instructions
+                                 : cache_outcome.per_object[i].store_misses;
+      s.avg_load_latency_ns = sol.object_load_latency_ns[i];
+      obs.objects.push_back(s);
+    }
+    options.observer->on_kernel(obs);
+  }
+
+  mode.after_kernel(start, end, objects, cache_outcome.per_object);
+  return end;
+}
+
+}  // namespace
+
 Expected<RunMetrics> ExecutionEngine::run(const Workload& workload, ExecutionMode& mode) {
+  if (options_.replay_threads < 1) {
+    return unexpected("EngineOptions.replay_threads must be >= 1, got " +
+                      std::to_string(options_.replay_threads));
+  }
+  if (options_.replay_threads == 1) return run_serial(workload, mode);
+  return run_parallel(workload, mode, static_cast<std::size_t>(options_.replay_threads));
+}
+
+Expected<RunMetrics> ExecutionEngine::run_serial(const Workload& workload, ExecutionMode& mode) {
   const std::size_t tiers = system_->tier_count();
 
   RunMetrics metrics;
@@ -110,21 +255,18 @@ Expected<RunMetrics> ExecutionEngine::run(const Workload& workload, ExecutionMod
   memsim::AnalyticCacheModel cache(options_.llc_bytes);
   memsim::BandwidthMeter bw_meter(tiers, options_.bw_bin_ns);
 
-  struct LiveState {
-    bool live = false;
-    std::uint64_t address = 0;
-    std::uint64_t uid = 0;
-  };
+  mode.on_replay_begin(workload);
+
   std::vector<LiveState> live(workload.objects.size());
   std::uint64_t next_uid = 1;
+  FunctionTable functions;
 
-  std::unordered_map<std::string, std::size_t> function_index;
-  auto function_metrics = [&](const std::string& fn) -> FunctionMetrics& {
-    const auto it = function_index.find(fn);
-    if (it != function_index.end()) return metrics.functions[it->second];
-    function_index.emplace(fn, metrics.functions.size());
-    metrics.functions.push_back(FunctionMetrics{fn, 0.0, 0.0, 0.0, 0.0});
-    return metrics.functions.back();
+  const auto record_bw = [&](Ns start, Ns end, const std::vector<ObjectTraffic>& traffic) {
+    for (std::size_t i = 0; i < traffic.size(); ++i) {
+      for (std::size_t k = 0; k < tiers; ++k) {
+        bw_meter.add(k, start, end, traffic[i].read_bytes[k] + traffic[i].write_bytes[k]);
+      }
+    }
   };
 
   Ns now = 0;
@@ -183,107 +325,174 @@ Expected<RunMetrics> ExecutionEngine::run(const Workload& workload, ExecutionMod
         options_.observer->on_alloc(now, state.uid, state.address, r->new_size, site.stack);
       }
     } else if (const auto* kop = std::get_if<KernelOp>(&step)) {
-      const KernelSpec& kernel = workload.kernels[kop->kernel];
-
-      // Gather live objects this kernel touches.
-      std::vector<LiveObjectRef> objects;
-      std::vector<memsim::KernelObjectAccess> accesses;
-      objects.reserve(kernel.accesses.size());
-      accesses.reserve(kernel.accesses.size());
-      for (const auto& acc : kernel.accesses) {
-        const auto& state = live[acc.object];
-        if (!state.live) return unexpected("kernel touches non-live object");
-        const ObjectSpec& spec = workload.objects[acc.object];
-        objects.push_back(LiveObjectRef{acc.object, &spec, state.address, acc.footprint});
-        accesses.push_back(memsim::KernelObjectAccess{acc.llc_loads, acc.llc_stores,
-                                                      acc.footprint, spec.llc_friendliness,
-                                                      spec.prefetch_efficiency});
-      }
-
-      const memsim::KernelCacheOutcome cache_outcome = cache.evaluate(accesses);
-
-      std::vector<ObjectTraffic> traffic(objects.size());
-      for (auto& t : traffic) {
-        t.read_bytes.assign(tiers, 0.0);
-        t.write_bytes.assign(tiers, 0.0);
-        t.latency_share.assign(tiers, 0.0);
-      }
-      mode.resolve(objects, cache_outcome.per_object, traffic);
-
-      // Modes may have appended background-traffic entries (migration);
-      // pad the miss vector with zeroes so the solver sees no extra stalls.
-      std::vector<memsim::KernelObjectMisses> padded_misses = cache_outcome.per_object;
-      padded_misses.resize(traffic.size());
-
-      const double compute_ns = cycles_to_ns(kernel.compute_cycles);
-      const KernelSolution sol = solve_kernel_fixed_point(
-          *system_, traffic, padded_misses, compute_ns, workload.mlp, options_);
-
-      const Ns start = now;
-      const Ns end = now + static_cast<Ns>(std::llround(sol.duration_ns));
-
-      // Accounting.
-      metrics.compute_ns += compute_ns;
-      metrics.load_stall_ns += sol.load_stall_ns;
-      metrics.store_stall_ns += sol.store_stall_ns;
-      metrics.bw_limited_extra_ns +=
-          std::max(0.0, sol.duration_ns - (compute_ns + sol.load_stall_ns + sol.store_stall_ns));
-      metrics.total_load_misses += cache_outcome.total_load_misses;
-      metrics.total_store_misses += cache_outcome.total_store_misses;
-
-      FunctionMetrics& fn = function_metrics(kernel.function);
-      fn.instructions += kernel.instructions;
-      fn.cycles += ns_to_cycles(sol.duration_ns);
-      for (std::size_t i = 0; i < objects.size(); ++i) {
-        fn.load_misses += cache_outcome.per_object[i].load_misses;
-        fn.latency_weight_sum +=
-            cache_outcome.per_object[i].load_misses * sol.object_load_latency_ns[i];
-      }
-
-      for (std::size_t i = 0; i < traffic.size(); ++i) {
-        for (std::size_t k = 0; k < tiers; ++k) {
-          metrics.tier_traffic[k].read_bytes += traffic[i].read_bytes[k];
-          metrics.tier_traffic[k].write_bytes += traffic[i].write_bytes[k];
-          bw_meter.add(k, start, end, traffic[i].read_bytes[k] + traffic[i].write_bytes[k]);
-        }
-      }
-
-      if (options_.observer != nullptr) {
-        KernelObservation obs;
-        obs.start = start;
-        obs.end = end;
-        obs.kernel = &kernel;
-        for (const auto& t : traffic) {
-          for (std::size_t k = 0; k < tiers; ++k) {
-            obs.total_read_bytes += t.read_bytes[k];
-            obs.total_write_bytes += t.write_bytes[k];
-          }
-        }
-        obs.objects.reserve(objects.size());
-        for (std::size_t i = 0; i < objects.size(); ++i) {
-          ObjectKernelSample s;
-          s.object = objects[i].object;
-          s.address = objects[i].address;
-          s.size = objects[i].spec->size;
-          s.load_misses = cache_outcome.per_object[i].load_misses;
-          s.store_misses = cache_outcome.per_object[i].store_misses;
-          s.store_instructions = kernel.accesses[i].store_instructions > 0.0
-                                     ? kernel.accesses[i].store_instructions
-                                     : cache_outcome.per_object[i].store_misses;
-          s.avg_load_latency_ns = sol.object_load_latency_ns[i];
-          obs.objects.push_back(s);
-        }
-        options_.observer->on_kernel(obs);
-      }
-
-      mode.after_kernel(start, end, objects, cache_outcome.per_object);
-      now = end;
+      auto end = replay_kernel(*system_, options_, workload, *kop, mode, live, now, metrics,
+                               functions, cache, record_bw);
+      if (!end) return unexpected(end.error());
+      now = *end;
     }
   }
 
   metrics.total_ns = now;
   metrics.dram_cache_hit_ratio = mode.dram_cache_hit_ratio();
   metrics.oom_redirects = mode.oom_redirects();
+  metrics.tier_bw.resize(tiers);
+  for (std::size_t k = 0; k < tiers; ++k) metrics.tier_bw[k] = bw_meter.series(k);
+  return metrics;
+}
+
+Expected<RunMetrics> ExecutionEngine::run_parallel(const Workload& workload, ExecutionMode& mode,
+                                                   std::size_t threads) {
+  if (options_.observer != nullptr) {
+    return unexpected(
+        "parallel replay does not support observers (profiling runs are serial); "
+        "use replay_threads=1");
+  }
+  if (!mode.concurrent_alloc_safe()) {
+    return unexpected("execution mode '" + mode.name() +
+                      "' does not support concurrent allocation replay; use replay_threads=1");
+  }
+
+  const std::size_t tiers = system_->tier_count();
+
+  RunMetrics metrics;
+  metrics.workload = workload.name;
+  metrics.mode = mode.name();
+  metrics.tier_traffic.resize(tiers);
+  for (std::size_t k = 0; k < tiers; ++k) {
+    metrics.tier_traffic[k].tier = system_->tier(k).name();
+  }
+
+  memsim::AnalyticCacheModel cache(options_.llc_bytes);
+  memsim::BandwidthMeter bw_meter(tiers, options_.bw_bin_ns);
+  std::vector<memsim::BandwidthMeter> bw_shards;
+  bw_shards.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) bw_shards.emplace_back(tiers, options_.bw_bin_ns);
+
+  mode.on_replay_begin(workload);
+
+  std::vector<LiveState> live(workload.objects.size());
+  ConcurrentReplayCounters counters;
+  FunctionTable functions;
+  WorkerPool pool(threads);
+  std::vector<std::string> worker_errors(threads);
+
+  Ns now = 0;
+  std::vector<const Step*> batch;
+
+  // Replays every batched alloc/free/realloc op. Worker `object % threads`
+  // owns each object, which preserves the per-object op order (and makes
+  // each live[] element single-writer) while distinct objects proceed
+  // concurrently through the shared thread-safe mode.
+  const auto replay_ops = [&](std::size_t wi) {
+    std::string& err = worker_errors[wi];
+    for (const Step* step : batch) {
+      if (!err.empty()) return;
+      if (const auto* a = std::get_if<AllocOp>(step)) {
+        if (a->object % threads != wi) continue;
+        const ObjectSpec& spec = workload.objects[a->object];
+        const SiteSpec& site = workload.sites[spec.site];
+        auto address = mode.on_alloc(a->object, spec, site, spec.size);
+        if (!address) {
+          err = "allocation failed in " + mode.name() + " for site '" + site.label +
+                "': " + address.error();
+          return;
+        }
+        auto& state = live[a->object];
+        state.live = true;
+        state.address = *address;
+        state.uid = counters.next_uid.fetch_add(1, std::memory_order_relaxed);
+        counters.allocations.fetch_add(1, std::memory_order_relaxed);
+      } else if (const auto* f = std::get_if<FreeOp>(step)) {
+        if (f->object % threads != wi) continue;
+        auto& state = live[f->object];
+        if (!state.live) {
+          err = "free of non-live object in step replay";
+          return;
+        }
+        if (Status s = mode.on_free(f->object, state.address); !s) {
+          err = "free failed: " + s.error();
+          return;
+        }
+        state.live = false;
+        counters.frees.fetch_add(1, std::memory_order_relaxed);
+      } else if (const auto* r = std::get_if<ReallocOp>(step)) {
+        if (r->object % threads != wi) continue;
+        auto& state = live[r->object];
+        if (!state.live) {
+          err = "realloc of non-live object in step replay";
+          return;
+        }
+        const ObjectSpec& spec = workload.objects[r->object];
+        const SiteSpec& site = workload.sites[spec.site];
+        if (Status s = mode.on_free(r->object, state.address); !s) {
+          err = "realloc (free half) failed: " + s.error();
+          return;
+        }
+        auto address = mode.on_alloc(r->object, spec, site, r->new_size);
+        if (!address) {
+          err = "realloc failed: " + address.error();
+          return;
+        }
+        state.address = *address;
+        state.uid = counters.next_uid.fetch_add(1, std::memory_order_relaxed);
+        counters.allocations.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const auto flush_batch = [&]() -> Status {
+    if (batch.empty()) return {};
+    pool.run(replay_ops);
+    batch.clear();
+    for (const auto& err : worker_errors) {
+      if (!err.empty()) return unexpected(err);
+    }
+    // The matcher meters interposition cost internally; draining it once
+    // per batch telescopes to the same total as per-op draining.
+    const double overhead = mode.take_alloc_overhead_ns();
+    metrics.alloc_overhead_ns += overhead;
+    now += static_cast<Ns>(overhead);
+    return {};
+  };
+
+  // Kernel bandwidth binning fans out into per-worker shard meters; entry
+  // i goes to shard i % threads, so each shard is single-writer.
+  const auto record_bw = [&](Ns start, Ns end, const std::vector<ObjectTraffic>& traffic) {
+    pool.run([&](std::size_t wi) {
+      auto& shard = bw_shards[wi];
+      for (std::size_t i = wi; i < traffic.size(); i += threads) {
+        for (std::size_t k = 0; k < tiers; ++k) {
+          shard.add(k, start, end, traffic[i].read_bytes[k] + traffic[i].write_bytes[k]);
+        }
+      }
+    });
+  };
+
+  for (const auto& step : workload.steps) {
+    if (const auto* kop = std::get_if<KernelOp>(&step)) {
+      // Kernels are barriers: every batched allocation op must land
+      // before the kernel reads the live set.
+      if (Status s = flush_batch(); !s) return unexpected(s.error());
+      auto end = replay_kernel(*system_, options_, workload, *kop, mode, live, now, metrics,
+                               functions, cache, record_bw);
+      if (!end) return unexpected(end.error());
+      now = *end;
+    } else {
+      batch.push_back(&step);
+    }
+  }
+  if (Status s = flush_batch(); !s) return unexpected(s.error());
+
+  metrics.allocations = counters.allocations.load(std::memory_order_relaxed);
+  metrics.total_ns = now;
+  metrics.dram_cache_hit_ratio = mode.dram_cache_hit_ratio();
+  metrics.oom_redirects = mode.oom_redirects();
+
+  // Merge shards in worker order so the timeline is deterministic for a
+  // given thread count.
+  for (const auto& shard : bw_shards) {
+    if (Status s = bw_meter.merge_from(shard); !s) return unexpected(s.error());
+  }
   metrics.tier_bw.resize(tiers);
   for (std::size_t k = 0; k < tiers; ++k) metrics.tier_bw[k] = bw_meter.series(k);
   return metrics;

@@ -16,6 +16,16 @@
 /// traffic stalls through store-buffer backpressure with a configurable
 /// weight — small for DRAM, but significant when PMem write bandwidth
 /// saturates (§V's motivation for store-aware heuristics).
+///
+/// Parallel replay (docs/threading.md): with `replay_threads > 1` the
+/// engine partitions the allocation-event stream across a worker pool —
+/// worker `object % threads` replays every op of that object, so the
+/// per-object alloc/free order is preserved while distinct objects
+/// proceed concurrently through the shared thread-safe mode/FlexMalloc.
+/// Kernel steps are barriers and run serially on the engine thread, so
+/// placement decisions and per-tier byte totals are bit-identical at any
+/// thread count; kernel bandwidth binning fans out into per-worker
+/// BandwidthMeter shards merged in worker order at the end.
 
 #include "ecohmem/common/expected.hpp"
 #include "ecohmem/memsim/analytic_cache.hpp"
@@ -44,7 +54,13 @@ struct EngineOptions {
   int max_fixed_point_iters = 100;
   double convergence = 1e-7;
 
-  /// Optional observation hook (profiler).
+  /// Replay worker threads. 1 = the classic serial replay; N > 1 shards
+  /// the allocation stream by object id across N workers (see the file
+  /// comment). Requires a mode with `concurrent_alloc_safe()` and no
+  /// observer; `run` fails with a clear error otherwise.
+  int replay_threads = 1;
+
+  /// Optional observation hook (profiler). Serial replay only.
   ExecutionObserver* observer = nullptr;
 };
 
@@ -52,13 +68,18 @@ class ExecutionEngine {
  public:
   ExecutionEngine(const memsim::MemorySystem* system, EngineOptions options = {});
 
-  /// Replays `workload` under `mode`. Fails on inconsistent workloads or
-  /// unrecoverable allocation failures (fallback tier exhausted).
+  /// Replays `workload` under `mode`. Fails on inconsistent workloads,
+  /// unrecoverable allocation failures (fallback tier exhausted), or an
+  /// invalid/unsupported `replay_threads` configuration.
   [[nodiscard]] Expected<RunMetrics> run(const Workload& workload, ExecutionMode& mode);
 
   [[nodiscard]] const EngineOptions& options() const { return options_; }
 
  private:
+  [[nodiscard]] Expected<RunMetrics> run_serial(const Workload& workload, ExecutionMode& mode);
+  [[nodiscard]] Expected<RunMetrics> run_parallel(const Workload& workload, ExecutionMode& mode,
+                                                  std::size_t threads);
+
   const memsim::MemorySystem* system_;
   EngineOptions options_;
 };

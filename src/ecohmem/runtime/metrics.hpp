@@ -1,8 +1,11 @@
 #pragma once
 
 /// \file metrics.hpp
-/// Results of one simulated run.
+/// Results of one simulated run, plus the shared counters the parallel
+/// replay engine's workers tally into.
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -10,6 +13,17 @@
 #include "ecohmem/memsim/bandwidth_meter.hpp"
 
 namespace ecohmem::runtime {
+
+/// Shared mutable tallies of a concurrent replay. Replay workers bump
+/// these from many threads at once; relaxed atomics suffice because each
+/// counter is an independent sum read only after the workers have been
+/// joined (see docs/threading.md). Totals are interleaving-independent —
+/// the same ops give the same counts at any thread count.
+struct ConcurrentReplayCounters {
+  std::atomic<std::uint64_t> allocations{0};  ///< completed alloc + realloc ops
+  std::atomic<std::uint64_t> frees{0};        ///< completed free ops
+  std::atomic<std::uint64_t> next_uid{1};     ///< allocation-uid source
+};
 
 /// Per-function aggregates (Table VII rows).
 struct FunctionMetrics {
@@ -36,9 +50,12 @@ struct TierTraffic {
   double write_bytes = 0.0;
 };
 
+/// Everything one replayed run produced: timing breakdown, per-function
+/// aggregates, per-tier traffic and bandwidth timelines, and allocator
+/// counters. Plain data — produced by one engine run, then read-only.
 struct RunMetrics {
-  std::string workload;
-  std::string mode;
+  std::string workload;  ///< workload name
+  std::string mode;      ///< execution-mode name ("app-direct", ...)
 
   Ns total_ns = 0;
   double compute_ns = 0.0;

@@ -13,6 +13,14 @@ AppDirectMode::AppDirectMode(const memsim::MemorySystem* system, flexmalloc::Fle
   }
 }
 
+void AppDirectMode::on_replay_begin(const Workload& workload) {
+  // Pre-size the tier table so concurrent on_alloc calls write distinct
+  // elements and never race on a resize.
+  if (object_tier_.size() < workload.objects.size()) {
+    object_tier_.resize(workload.objects.size(), 0);
+  }
+}
+
 Expected<std::uint64_t> AppDirectMode::on_alloc(std::size_t object, const ObjectSpec& spec,
                                                 const SiteSpec& site, Bytes size) {
   (void)spec;
@@ -66,9 +74,8 @@ Expected<std::uint64_t> MemoryModeExec::on_alloc(std::size_t object, const Objec
   (void)object;
   (void)spec;
   (void)site;
-  const std::uint64_t address = next_address_;
-  next_address_ += (size + kCacheLine - 1) / kCacheLine * kCacheLine;
-  return address;
+  const std::uint64_t span = (size + kCacheLine - 1) / kCacheLine * kCacheLine;
+  return next_address_.fetch_add(span, std::memory_order_relaxed);
 }
 
 Status MemoryModeExec::on_free(std::size_t object, std::uint64_t address) {
@@ -123,9 +130,8 @@ Expected<std::uint64_t> FixedTierMode::on_alloc(std::size_t object, const Object
   (void)object;
   (void)spec;
   (void)site;
-  const std::uint64_t address = next_address_;
-  next_address_ += (size + kCacheLine - 1) / kCacheLine * kCacheLine;
-  return address;
+  const std::uint64_t span = (size + kCacheLine - 1) / kCacheLine * kCacheLine;
+  return next_address_.fetch_add(span, std::memory_order_relaxed);
 }
 
 Status FixedTierMode::on_free(std::size_t object, std::uint64_t address) {

@@ -10,7 +10,14 @@
 ///   - MemoryModeExec: the memory-mode baseline (DRAM as cache of PMem),
 ///   - FixedTierMode: everything in one tier (ProfDP differential runs).
 /// The kernel-tiering baseline lives in baselines/ as another subclass.
+///
+/// Thread safety (docs/threading.md): the parallel replay engine calls
+/// `on_alloc`/`on_free` from multiple worker threads at once, but only
+/// for modes that report `concurrent_alloc_safe() == true`. Everything
+/// else — `resolve`, `after_kernel`, `take_alloc_overhead_ns`, the
+/// accessors — is engine-thread-only and needs no synchronization.
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -50,11 +57,25 @@ class ExecutionMode {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Places a new object; returns its address.
+  /// Whether `on_alloc`/`on_free` may be called from multiple replay
+  /// workers concurrently (always for distinct objects — the engine
+  /// shards the op stream by object id). Modes that keep unsynchronized
+  /// cross-object allocation state must leave this false; the parallel
+  /// engine refuses to run them.
+  [[nodiscard]] virtual bool concurrent_alloc_safe() const { return false; }
+
+  /// Called once from the engine thread before the first step of a
+  /// replay. Concurrent-safe modes pre-size per-object state here so the
+  /// allocation hot path never grows a shared container.
+  virtual void on_replay_begin(const Workload& workload) { (void)workload; }
+
+  /// Places a new object; returns its address. May run on any replay
+  /// worker (see `concurrent_alloc_safe`).
   [[nodiscard]] virtual Expected<std::uint64_t> on_alloc(std::size_t object,
                                                          const ObjectSpec& spec,
                                                          const SiteSpec& site, Bytes size) = 0;
 
+  /// Releases an object's storage. Same threading contract as `on_alloc`.
   [[nodiscard]] virtual Status on_free(std::size_t object, std::uint64_t address) = 0;
 
   /// Converts per-object misses into per-tier traffic + latency recipe.
@@ -62,18 +83,22 @@ class ExecutionMode {
   /// vectors sized to the tier count and zeroed. Modes may append extra
   /// entries beyond `objects.size()` for background traffic (e.g. page
   /// migration); such entries contribute bandwidth but no load stalls.
+  /// Engine-thread-only (kernels are replayed serially).
   virtual void resolve(const std::vector<LiveObjectRef>& objects,
                        const std::vector<memsim::KernelObjectMisses>& misses,
                        std::vector<ObjectTraffic>& out) = 0;
 
   /// Incremental interposition overhead since the last call (ns).
+  /// Engine-thread-only; the parallel engine calls it once per flushed
+  /// allocation batch instead of once per allocation — the telescoping
+  /// sum is the same total.
   [[nodiscard]] virtual double take_alloc_overhead_ns() { return 0.0; }
 
   /// Aggregate DRAM-cache hit ratio so far (memory mode only).
   [[nodiscard]] virtual double dram_cache_hit_ratio() const { return 0.0; }
 
   /// Called after each kernel with its resolved duration; migration-based
-  /// modes react here.
+  /// modes react here. Engine-thread-only.
   virtual void after_kernel(Ns start, Ns end,
                             const std::vector<LiveObjectRef>& objects,
                             const std::vector<memsim::KernelObjectMisses>& misses) {
@@ -94,11 +119,17 @@ class ExecutionMode {
 
 /// App-direct placement through a FlexMalloc instance (which owns the
 /// matching against an Advisor report).
+///
+/// Concurrent-alloc-safe: FlexMalloc is internally synchronized, and the
+/// per-object tier table is pre-sized in `on_replay_begin` so workers
+/// only ever write distinct elements.
 class AppDirectMode final : public ExecutionMode {
  public:
   AppDirectMode(const memsim::MemorySystem* system, flexmalloc::FlexMalloc* fm);
 
   [[nodiscard]] std::string name() const override { return "app-direct"; }
+  [[nodiscard]] bool concurrent_alloc_safe() const override { return true; }
+  void on_replay_begin(const Workload& workload) override;
   [[nodiscard]] Expected<std::uint64_t> on_alloc(std::size_t object, const ObjectSpec& spec,
                                                  const SiteSpec& site, Bytes size) override;
   [[nodiscard]] Status on_free(std::size_t object, std::uint64_t address) override;
@@ -127,6 +158,7 @@ class MemoryModeExec final : public ExecutionMode {
                  std::size_t pmem_tier, memsim::DramCacheModel model);
 
   [[nodiscard]] std::string name() const override { return "memory-mode"; }
+  [[nodiscard]] bool concurrent_alloc_safe() const override { return true; }
   [[nodiscard]] Expected<std::uint64_t> on_alloc(std::size_t object, const ObjectSpec& spec,
                                                  const SiteSpec& site, Bytes size) override;
   [[nodiscard]] Status on_free(std::size_t object, std::uint64_t address) override;
@@ -139,9 +171,12 @@ class MemoryModeExec final : public ExecutionMode {
   std::size_t dram_tier_;
   std::size_t pmem_tier_;
   memsim::DramCacheModel model_;
-  std::uint64_t next_address_ = 1ull << 40;
-  double hits_weighted_ = 0.0;
-  double requests_weighted_ = 0.0;
+  /// Bump address source; atomic so concurrent on_alloc never hands out
+  /// overlapping ranges (resolve never looks at addresses, so the
+  /// interleaving-dependent values are harmless).
+  std::atomic<std::uint64_t> next_address_{1ull << 40};
+  double hits_weighted_ = 0.0;     // engine-thread-only (resolve)
+  double requests_weighted_ = 0.0;  // engine-thread-only (resolve)
 };
 
 /// Everything in one tier (ProfDP differential profiling runs).
@@ -150,6 +185,7 @@ class FixedTierMode final : public ExecutionMode {
   FixedTierMode(const memsim::MemorySystem* system, std::size_t tier);
 
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool concurrent_alloc_safe() const override { return true; }
   [[nodiscard]] Expected<std::uint64_t> on_alloc(std::size_t object, const ObjectSpec& spec,
                                                  const SiteSpec& site, Bytes size) override;
   [[nodiscard]] Status on_free(std::size_t object, std::uint64_t address) override;
@@ -159,7 +195,7 @@ class FixedTierMode final : public ExecutionMode {
 
  private:
   std::size_t tier_;
-  std::uint64_t next_address_ = 1ull << 40;
+  std::atomic<std::uint64_t> next_address_{1ull << 40};  // see MemoryModeExec
 };
 
 }  // namespace ecohmem::runtime

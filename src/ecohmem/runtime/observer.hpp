@@ -39,6 +39,13 @@ struct KernelObservation {
   double total_write_bytes = 0.0;
 };
 
+/// Receives the replay event stream.
+///
+/// \note Observers are a serial-replay feature: the engine invokes all
+/// hooks from the engine thread, in program order, and rejects
+/// `EngineOptions.replay_threads > 1` when an observer is attached —
+/// the trace is an ordered artifact (docs/threading.md). Implementations
+/// therefore need no internal locking.
 class ExecutionObserver {
  public:
   virtual ~ExecutionObserver() = default;

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file worker_pool.hpp
+/// A small fork-join worker pool for the parallel replay engine.
+///
+/// The engine's parallel path alternates between fan-out phases (replay
+/// an allocation batch, bin a kernel's bandwidth) and serial phases (the
+/// kernel fixed point), so the pool offers exactly one primitive:
+/// `run(fn)` executes `fn(worker_index)` on every worker and returns when
+/// all of them have finished. Workers are long-lived — one spawn per
+/// run, not per batch.
+///
+/// Thread safety: `run` must be called from one coordinating thread at a
+/// time (the engine thread). The pool uses a mutex + condition variables
+/// only for phase hand-off; work partitioning inside `fn` is the
+/// caller's job (the engine shards by object id or item index).
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ecohmem::runtime {
+
+/// Fixed-size fork-join pool; see the file comment for the usage model.
+class WorkerPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit WorkerPool(std::size_t threads) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  /// Number of workers.
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Runs `task(worker_index)` on every worker; blocks until all return.
+  /// `task` must partition its own work by the given index (0..size()-1).
+  void run(const std::function<void(std::size_t)>& task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      task_ = &task;
+      pending_ = workers_.size();
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    task_ = nullptr;
+  }
+
+ private:
+  void worker_loop(std::size_t index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* task = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        task = task_;
+      }
+      if (task != nullptr) (*task)(index);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) done_cv_.notify_one();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* task_ = nullptr;  // under mu_
+  std::uint64_t generation_ = 0;                            // under mu_
+  std::size_t pending_ = 0;                                 // under mu_
+  bool stop_ = false;                                       // under mu_
+};
+
+}  // namespace ecohmem::runtime

@@ -1,0 +1,217 @@
+// Parallel replay correctness: the engine's multi-threaded allocation
+// replay must be a drop-in for the serial one — same placement decisions,
+// same tier byte totals, same counters — at every thread count
+// (docs/threading.md explains why that determinism holds).
+
+#include "ecohmem/runtime/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ecohmem/apps/apps.hpp"
+#include "ecohmem/flexmalloc/flexmalloc.hpp"
+#include "ecohmem/runtime/observer.hpp"
+
+namespace ecohmem::runtime {
+namespace {
+
+memsim::MemorySystem paper() { return *memsim::paper_system(6); }
+
+/// Many objects churned through interleaved alloc/free/realloc bursts
+/// between kernels — exercises the batching and object-sharding of the
+/// parallel path.
+Workload braided_workload(int object_count, int rounds) {
+  WorkloadBuilder b("braided");
+  const auto mod = b.add_module("braid.x", 1 << 20, 0);
+  std::vector<std::size_t> objs;
+  std::vector<KernelAccess> accesses;
+  for (int i = 0; i < object_count; ++i) {
+    const auto site = b.add_site(mod, "site" + std::to_string(i), "braid.cc",
+                                 static_cast<std::uint32_t>(10 + i));
+    const Bytes size = (Bytes{1} << 20) * static_cast<Bytes>(1 + i % 5);
+    objs.push_back(b.add_object(site, size, AccessPattern::kSequential, 0.0, 0.6, 0.5));
+    accesses.push_back(KernelAccess{objs.back(), 2e5, 4e4, static_cast<double>(size)});
+  }
+  const auto kernel = b.add_kernel("sweep", 1e8, 1e7, accesses);
+
+  for (const auto obj : objs) b.alloc(obj);
+  for (int r = 0; r < rounds; ++r) {
+    b.run_kernel(kernel);
+    for (int i = 0; i < object_count; ++i) {
+      const Bytes size = (Bytes{1} << 20) * static_cast<Bytes>(1 + i % 5);
+      if (i % 3 == 0) {
+        b.realloc(objs[static_cast<std::size_t>(i)], size + (Bytes{1} << 16) * static_cast<Bytes>(r + 1));
+      } else {
+        b.free(objs[static_cast<std::size_t>(i)]);
+        b.alloc(objs[static_cast<std::size_t>(i)]);
+      }
+    }
+  }
+  b.run_kernel(kernel);
+  for (const auto obj : objs) b.free(obj);
+  return b.build();
+}
+
+struct ReplayOutcome {
+  RunMetrics metrics;
+  std::vector<std::size_t> placement;            ///< engine tier per object
+  std::vector<flexmalloc::TierStats> tier_stats;
+};
+
+/// Replays `workload` app-direct with every even-indexed site mapped to
+/// DRAM; capacities are large enough that no OOM redirect can make the
+/// outcome order-dependent.
+Expected<ReplayOutcome> replay(const memsim::MemorySystem& system, const Workload& workload,
+                               int threads, ExecutionObserver* observer = nullptr) {
+  flexmalloc::ParsedReport report;
+  report.fallback_tier = "pmem";
+  for (std::size_t s = 0; s < workload.sites.size(); s += 2) {
+    report.entries.push_back(flexmalloc::ReportEntry{workload.sites[s].stack, "dram", 0});
+  }
+
+  flexmalloc::MatcherOptions matcher_options;
+  matcher_options.match_cache = true;
+  auto fm = flexmalloc::FlexMalloc::create({{"dram", 64ull << 30}, {"pmem", 256ull << 30}},
+                                           report, nullptr, matcher_options);
+  if (!fm) return unexpected(fm.error());
+
+  AppDirectMode mode(&system, &*fm);
+  EngineOptions options;
+  options.replay_threads = threads;
+  options.observer = observer;
+  ExecutionEngine engine(&system, options);
+
+  auto metrics = engine.run(workload, mode);
+  if (!metrics) return unexpected(metrics.error());
+
+  ReplayOutcome out{std::move(*metrics), {}, fm->stats()};
+  out.placement.reserve(workload.objects.size());
+  for (std::size_t o = 0; o < workload.objects.size(); ++o) {
+    auto tier = mode.tier_of(o);
+    if (!tier) return unexpected(tier.error());
+    out.placement.push_back(*tier);
+  }
+  return out;
+}
+
+void expect_identical(const ReplayOutcome& serial, const ReplayOutcome& parallel,
+                      const std::string& label) {
+  EXPECT_EQ(serial.placement, parallel.placement) << label;
+  EXPECT_EQ(serial.metrics.allocations, parallel.metrics.allocations) << label;
+  EXPECT_EQ(serial.metrics.oom_redirects, parallel.metrics.oom_redirects) << label;
+  EXPECT_EQ(serial.metrics.total_load_misses, parallel.metrics.total_load_misses) << label;
+  ASSERT_EQ(serial.metrics.tier_traffic.size(), parallel.metrics.tier_traffic.size()) << label;
+  for (std::size_t k = 0; k < serial.metrics.tier_traffic.size(); ++k) {
+    // Bit-identical, not just close: kernels run serially in both paths.
+    EXPECT_EQ(serial.metrics.tier_traffic[k].read_bytes,
+              parallel.metrics.tier_traffic[k].read_bytes)
+        << label << " tier " << serial.metrics.tier_traffic[k].tier;
+    EXPECT_EQ(serial.metrics.tier_traffic[k].write_bytes,
+              parallel.metrics.tier_traffic[k].write_bytes)
+        << label << " tier " << serial.metrics.tier_traffic[k].tier;
+  }
+  ASSERT_EQ(serial.tier_stats.size(), parallel.tier_stats.size()) << label;
+  for (std::size_t t = 0; t < serial.tier_stats.size(); ++t) {
+    EXPECT_EQ(serial.tier_stats[t].allocations, parallel.tier_stats[t].allocations)
+        << label << " tier " << serial.tier_stats[t].tier;
+    EXPECT_EQ(serial.tier_stats[t].bytes, parallel.tier_stats[t].bytes)
+        << label << " tier " << serial.tier_stats[t].tier;
+  }
+}
+
+TEST(ParallelReplay, BraidedWorkloadIsThreadCountIndependent) {
+  const auto sys = paper();
+  const Workload workload = braided_workload(/*object_count=*/23, /*rounds=*/6);
+
+  const auto serial = replay(sys, workload, 1);
+  ASSERT_TRUE(serial.has_value()) << serial.error();
+  for (const int threads : {2, 4, 7}) {
+    const auto parallel = replay(sys, workload, threads);
+    ASSERT_TRUE(parallel.has_value()) << parallel.error();
+    expect_identical(*serial, *parallel, "threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelReplay, MiniAppWorkloadIsThreadCountIndependent) {
+  const auto sys = paper();
+  apps::AppOptions opt;
+  opt.iterations = 3;
+  const Workload workload = apps::make_app("minife", opt);
+
+  const auto serial = replay(sys, workload, 1);
+  ASSERT_TRUE(serial.has_value()) << serial.error();
+  const auto parallel = replay(sys, workload, 4);
+  ASSERT_TRUE(parallel.has_value()) << parallel.error();
+  expect_identical(*serial, *parallel, "minife threads=4");
+}
+
+class NullObserver final : public ExecutionObserver {
+ public:
+  void on_alloc(Ns, std::uint64_t, std::uint64_t, Bytes, const bom::CallStack&) override {}
+  void on_free(Ns, std::uint64_t) override {}
+  void on_kernel(const KernelObservation&) override {}
+};
+
+TEST(ParallelReplay, ObserverIsRejected) {
+  const auto sys = paper();
+  const Workload workload = braided_workload(4, 1);
+  NullObserver observer;
+  const auto result = replay(sys, workload, 2, &observer);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().find("observer"), std::string::npos) << result.error();
+}
+
+/// A mode that leaves `concurrent_alloc_safe` at its false default.
+class SerialOnlyMode final : public ExecutionMode {
+ public:
+  explicit SerialOnlyMode(const memsim::MemorySystem* system) : ExecutionMode(system) {}
+  [[nodiscard]] std::string name() const override { return "serial-only"; }
+  [[nodiscard]] Expected<std::uint64_t> on_alloc(std::size_t, const ObjectSpec&, const SiteSpec&,
+                                                 Bytes size) override {
+    const std::uint64_t address = next_;
+    next_ += (size + kCacheLine - 1) / kCacheLine * kCacheLine;
+    return address;
+  }
+  [[nodiscard]] Status on_free(std::size_t, std::uint64_t) override { return {}; }
+  void resolve(const std::vector<LiveObjectRef>&, const std::vector<memsim::KernelObjectMisses>&,
+               std::vector<ObjectTraffic>&) override {}
+
+ private:
+  std::uint64_t next_ = 1ull << 40;
+};
+
+TEST(ParallelReplay, NonConcurrentModeIsRejected) {
+  const auto sys = paper();
+  const Workload workload = braided_workload(4, 1);
+  SerialOnlyMode mode(&sys);
+  EngineOptions options;
+  options.replay_threads = 2;
+  ExecutionEngine engine(&sys, options);
+  const auto result = engine.run(workload, mode);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().find("serial-only"), std::string::npos) << result.error();
+}
+
+TEST(ParallelReplay, NonPositiveThreadCountIsRejected) {
+  const auto sys = paper();
+  const Workload workload = braided_workload(2, 1);
+  flexmalloc::ParsedReport report;
+  report.fallback_tier = "pmem";
+  auto fm = flexmalloc::FlexMalloc::create({{"dram", 1ull << 30}, {"pmem", 1ull << 30}}, report,
+                                           nullptr);
+  ASSERT_TRUE(fm.has_value());
+  AppDirectMode mode(&sys, &*fm);
+  for (const int threads : {0, -3}) {
+    EngineOptions options;
+    options.replay_threads = threads;
+    ExecutionEngine engine(&sys, options);
+    const auto result = engine.run(workload, mode);
+    ASSERT_FALSE(result.has_value());
+    EXPECT_NE(result.error().find("replay_threads"), std::string::npos) << result.error();
+  }
+}
+
+}  // namespace
+}  // namespace ecohmem::runtime

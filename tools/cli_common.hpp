@@ -4,11 +4,14 @@
 /// Flags are `--name value` or `--name` (boolean); positionals are kept
 /// in order.
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "ecohmem/common/expected.hpp"
 #include "ecohmem/common/strings.hpp"
 
 namespace ecohmem::cli {
@@ -54,6 +57,29 @@ class Args {
     const auto it = flags_.find(name);
     if (it == flags_.end()) return def;
     return strings::parse_bytes(it->second).value_or(def);
+  }
+
+  /// Strictly-validated integer flag: the whole value must parse as a
+  /// base-10 integer and land in [lo, hi], otherwise an error naming the
+  /// flag is returned (no silent fallback to the default — a mistyped
+  /// `--threads x` or out-of-range `--threads 0` should stop the tool,
+  /// not be ignored). Absent flags return `def` unvalidated.
+  [[nodiscard]] Expected<long long> get_int_in_range(const std::string& name, long long def,
+                                                     long long lo, long long hi) const {
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) return def;
+    const std::string& text = it->second;
+    errno = 0;
+    char* end = nullptr;
+    const long long value = std::strtoll(text.c_str(), &end, 10);
+    if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE) {
+      return unexpected("--" + name + " expects an integer, got '" + text + "'");
+    }
+    if (value < lo || value > hi) {
+      return unexpected("--" + name + " must be in [" + std::to_string(lo) + ", " +
+                        std::to_string(hi) + "], got " + text);
+    }
+    return value;
   }
 
   [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
