@@ -46,7 +46,8 @@ Expected<TimedRun> timed_replay(const runtime::Workload& w, const memsim::Memory
 }
 
 bool traffic_identical(const runtime::RunMetrics& a, const runtime::RunMetrics& b) {
-  if (a.allocations != b.allocations || a.oom_redirects != b.oom_redirects) return false;
+  if (a.allocations != b.allocations || a.frees != b.frees) return false;
+  if (a.oom_redirects != b.oom_redirects || a.total_ns != b.total_ns) return false;
   if (a.tier_traffic.size() != b.tier_traffic.size()) return false;
   for (std::size_t k = 0; k < a.tier_traffic.size(); ++k) {
     if (a.tier_traffic[k].read_bytes != b.tier_traffic[k].read_bytes) return false;

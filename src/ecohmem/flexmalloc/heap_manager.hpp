@@ -81,6 +81,11 @@ class ArenaHeap final : public HeapManager {
   /// Start of this heap's simulated VA range.
   [[nodiscard]] std::uint64_t base() const { return base_; }
 
+  /// Block alignment: every allocation is padded to a multiple of this,
+  /// so a request for `size` bytes consumes at most `size + alignment()`
+  /// bytes of capacity (zero-byte requests consume exactly one unit).
+  [[nodiscard]] Bytes alignment() const { return alignment_; }
+
   /// Number of currently live (allocated, unfreed) blocks.
   [[nodiscard]] std::uint64_t live_blocks() const {
     return live_count_.load(std::memory_order_relaxed);

@@ -108,6 +108,34 @@ struct LiveState {
   std::uint64_t uid = 0;
 };
 
+/// Workload-object id an allocation-stream step operates on (kernels are
+/// never batched, so KernelOp is unreachable here).
+std::size_t step_object(const Step& step) {
+  if (const auto* a = std::get_if<AllocOp>(&step)) return a->object;
+  if (const auto* f = std::get_if<FreeOp>(&step)) return f->object;
+  return std::get<ReallocOp>(step).object;
+}
+
+/// Converts a stream of fractional overhead charges into whole-ns clock
+/// advances without dropping the remainders: after every `credit` call
+/// the total advance handed out equals the truncation of the *cumulative*
+/// overhead. Both replay paths use it, which makes `total_ns` independent
+/// of drain granularity — the serial path drains per op, the parallel
+/// path once per flushed batch, and a sum of per-op truncations would
+/// differ from the truncation of the sum.
+struct OverheadClock {
+  double accumulated_ns = 0.0;
+  Ns credited = 0;
+
+  [[nodiscard]] Ns credit(double overhead_ns) {
+    accumulated_ns += overhead_ns;
+    const Ns total = static_cast<Ns>(accumulated_ns);
+    const Ns delta = total - credited;
+    credited = total;
+    return delta;
+  }
+};
+
 /// Deduplicating function-name -> metrics-slot lookup.
 struct FunctionTable {
   std::unordered_map<std::string, std::size_t> index;
@@ -270,6 +298,7 @@ Expected<RunMetrics> ExecutionEngine::run_serial(const Workload& workload, Execu
   };
 
   Ns now = 0;
+  OverheadClock overhead_clock;
 
   for (const auto& step : workload.steps) {
     if (const auto* a = std::get_if<AllocOp>(&step)) {
@@ -289,7 +318,7 @@ Expected<RunMetrics> ExecutionEngine::run_serial(const Workload& workload, Execu
 
       const double overhead = mode.take_alloc_overhead_ns();
       metrics.alloc_overhead_ns += overhead;
-      now += static_cast<Ns>(overhead);
+      now += overhead_clock.credit(overhead);
 
       if (options_.observer != nullptr) {
         options_.observer->on_alloc(now, state.uid, state.address, spec.size, site.stack);
@@ -302,6 +331,7 @@ Expected<RunMetrics> ExecutionEngine::run_serial(const Workload& workload, Execu
       }
       if (options_.observer != nullptr) options_.observer->on_free(now, state.uid);
       state.live = false;
+      ++metrics.frees;
     } else if (const auto* r = std::get_if<ReallocOp>(&step)) {
       // Interposed realloc: free + alloc through the mode (FlexMalloc
       // keeps the tier of the call stack), fresh uid like a fresh pointer.
@@ -320,7 +350,7 @@ Expected<RunMetrics> ExecutionEngine::run_serial(const Workload& workload, Execu
       ++metrics.allocations;
       const double overhead = mode.take_alloc_overhead_ns();
       metrics.alloc_overhead_ns += overhead;
-      now += static_cast<Ns>(overhead);
+      now += overhead_clock.credit(overhead);
       if (options_.observer != nullptr) {
         options_.observer->on_alloc(now, state.uid, state.address, r->new_size, site.stack);
       }
@@ -377,73 +407,100 @@ Expected<RunMetrics> ExecutionEngine::run_parallel(const Workload& workload, Exe
   std::vector<std::string> worker_errors(threads);
 
   Ns now = 0;
+  OverheadClock overhead_clock;
   std::vector<const Step*> batch;
+  Bytes batch_alloc_bytes = 0;       // requested bytes the batch may allocate
+  std::uint64_t batch_alloc_ops = 0;  // alloc + realloc ops in the batch
+  std::vector<std::vector<const Step*>> partition(threads);
 
-  // Replays every batched alloc/free/realloc op. Worker `object % threads`
-  // owns each object, which preserves the per-object op order (and makes
-  // each live[] element single-writer) while distinct objects proceed
-  // concurrently through the shared thread-safe mode.
+  // Replays one alloc/free/realloc op; on failure records into `err` and
+  // returns false. Shared by the parallel workers and the in-order
+  // fallback for capacity-pressured batches.
+  const auto replay_one = [&](const Step* step, std::string& err) -> bool {
+    if (const auto* a = std::get_if<AllocOp>(step)) {
+      const ObjectSpec& spec = workload.objects[a->object];
+      const SiteSpec& site = workload.sites[spec.site];
+      auto address = mode.on_alloc(a->object, spec, site, spec.size);
+      if (!address) {
+        err = "allocation failed in " + mode.name() + " for site '" + site.label +
+              "': " + address.error();
+        return false;
+      }
+      auto& state = live[a->object];
+      state.live = true;
+      state.address = *address;
+      state.uid = counters.next_uid.fetch_add(1, std::memory_order_relaxed);
+      counters.allocations.fetch_add(1, std::memory_order_relaxed);
+    } else if (const auto* f = std::get_if<FreeOp>(step)) {
+      auto& state = live[f->object];
+      if (!state.live) {
+        err = "free of non-live object in step replay";
+        return false;
+      }
+      if (Status s = mode.on_free(f->object, state.address); !s) {
+        err = "free failed: " + s.error();
+        return false;
+      }
+      state.live = false;
+      counters.frees.fetch_add(1, std::memory_order_relaxed);
+    } else if (const auto* r = std::get_if<ReallocOp>(step)) {
+      auto& state = live[r->object];
+      if (!state.live) {
+        err = "realloc of non-live object in step replay";
+        return false;
+      }
+      const ObjectSpec& spec = workload.objects[r->object];
+      const SiteSpec& site = workload.sites[spec.site];
+      if (Status s = mode.on_free(r->object, state.address); !s) {
+        err = "realloc (free half) failed: " + s.error();
+        return false;
+      }
+      auto address = mode.on_alloc(r->object, spec, site, r->new_size);
+      if (!address) {
+        err = "realloc failed: " + address.error();
+        return false;
+      }
+      state.address = *address;
+      state.uid = counters.next_uid.fetch_add(1, std::memory_order_relaxed);
+      counters.allocations.fetch_add(1, std::memory_order_relaxed);
+    }
+    return true;
+  };
+
+  // Each worker walks only its own pre-partitioned op list.
   const auto replay_ops = [&](std::size_t wi) {
     std::string& err = worker_errors[wi];
-    for (const Step* step : batch) {
-      if (!err.empty()) return;
-      if (const auto* a = std::get_if<AllocOp>(step)) {
-        if (a->object % threads != wi) continue;
-        const ObjectSpec& spec = workload.objects[a->object];
-        const SiteSpec& site = workload.sites[spec.site];
-        auto address = mode.on_alloc(a->object, spec, site, spec.size);
-        if (!address) {
-          err = "allocation failed in " + mode.name() + " for site '" + site.label +
-                "': " + address.error();
-          return;
-        }
-        auto& state = live[a->object];
-        state.live = true;
-        state.address = *address;
-        state.uid = counters.next_uid.fetch_add(1, std::memory_order_relaxed);
-        counters.allocations.fetch_add(1, std::memory_order_relaxed);
-      } else if (const auto* f = std::get_if<FreeOp>(step)) {
-        if (f->object % threads != wi) continue;
-        auto& state = live[f->object];
-        if (!state.live) {
-          err = "free of non-live object in step replay";
-          return;
-        }
-        if (Status s = mode.on_free(f->object, state.address); !s) {
-          err = "free failed: " + s.error();
-          return;
-        }
-        state.live = false;
-        counters.frees.fetch_add(1, std::memory_order_relaxed);
-      } else if (const auto* r = std::get_if<ReallocOp>(step)) {
-        if (r->object % threads != wi) continue;
-        auto& state = live[r->object];
-        if (!state.live) {
-          err = "realloc of non-live object in step replay";
-          return;
-        }
-        const ObjectSpec& spec = workload.objects[r->object];
-        const SiteSpec& site = workload.sites[spec.site];
-        if (Status s = mode.on_free(r->object, state.address); !s) {
-          err = "realloc (free half) failed: " + s.error();
-          return;
-        }
-        auto address = mode.on_alloc(r->object, spec, site, r->new_size);
-        if (!address) {
-          err = "realloc failed: " + address.error();
-          return;
-        }
-        state.address = *address;
-        state.uid = counters.next_uid.fetch_add(1, std::memory_order_relaxed);
-        counters.allocations.fetch_add(1, std::memory_order_relaxed);
-      }
+    for (const Step* step : partition[wi]) {
+      if (!replay_one(step, err)) return;
     }
   };
 
   const auto flush_batch = [&]() -> Status {
     if (batch.empty()) return {};
-    pool.run(replay_ops);
+    if (mode.batch_placement_order_free(batch_alloc_bytes, batch_alloc_ops)) {
+      // Pre-partition on the engine thread: worker `object % threads`
+      // owns each object, which preserves the per-object op order (and
+      // makes each live[] element single-writer) while distinct objects
+      // proceed concurrently through the shared thread-safe mode.
+      for (auto& ops : partition) ops.clear();
+      for (const Step* step : batch) {
+        partition[step_object(*step) % threads].push_back(step);
+      }
+      pool.run(replay_ops);
+    } else {
+      // Capacity pressure: some tier could fill up mid-batch, which would
+      // make OOM redirection — and hence placement — depend on worker
+      // interleaving. Replay this batch in program order on the engine
+      // thread instead; that is the serial path's order by construction,
+      // so determinism survives (docs/threading.md).
+      std::string& err = worker_errors[0];
+      for (const Step* step : batch) {
+        if (!replay_one(step, err)) break;
+      }
+    }
     batch.clear();
+    batch_alloc_bytes = 0;
+    batch_alloc_ops = 0;
     for (const auto& err : worker_errors) {
       if (!err.empty()) return unexpected(err);
     }
@@ -451,7 +508,7 @@ Expected<RunMetrics> ExecutionEngine::run_parallel(const Workload& workload, Exe
     // per batch telescopes to the same total as per-op draining.
     const double overhead = mode.take_alloc_overhead_ns();
     metrics.alloc_overhead_ns += overhead;
-    now += static_cast<Ns>(overhead);
+    now += overhead_clock.credit(overhead);
     return {};
   };
 
@@ -478,12 +535,20 @@ Expected<RunMetrics> ExecutionEngine::run_parallel(const Workload& workload, Exe
       if (!end) return unexpected(end.error());
       now = *end;
     } else {
+      if (const auto* a = std::get_if<AllocOp>(&step)) {
+        batch_alloc_bytes += workload.objects[a->object].size;
+        ++batch_alloc_ops;
+      } else if (const auto* r = std::get_if<ReallocOp>(&step)) {
+        batch_alloc_bytes += r->new_size;
+        ++batch_alloc_ops;
+      }
       batch.push_back(&step);
     }
   }
   if (Status s = flush_batch(); !s) return unexpected(s.error());
 
   metrics.allocations = counters.allocations.load(std::memory_order_relaxed);
+  metrics.frees = counters.frees.load(std::memory_order_relaxed);
   metrics.total_ns = now;
   metrics.dram_cache_hit_ratio = mode.dram_cache_hit_ratio();
   metrics.oom_redirects = mode.oom_redirects();

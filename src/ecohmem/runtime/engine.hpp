@@ -25,7 +25,13 @@
 /// Kernel steps are barriers and run serially on the engine thread, so
 /// placement decisions and per-tier byte totals are bit-identical at any
 /// thread count; kernel bandwidth binning fans out into per-worker
-/// BandwidthMeter shards merged in worker order at the end.
+/// BandwidthMeter shards merged in worker order at the end. Before
+/// fanning a batch out, the engine asks the mode's
+/// `batch_placement_order_free` capacity guard whether any tier could
+/// fill up mid-batch (which would make OOM redirection — a placement
+/// decision — interleaving-dependent); pressured batches are replayed in
+/// program order on the engine thread instead, so determinism holds even
+/// at capacity.
 
 #include "ecohmem/common/expected.hpp"
 #include "ecohmem/memsim/analytic_cache.hpp"

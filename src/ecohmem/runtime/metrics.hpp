@@ -81,7 +81,8 @@ struct RunMetrics {
   std::vector<TierTraffic> tier_traffic;
   std::vector<std::vector<memsim::BandwidthPoint>> tier_bw;  ///< per tier timeline
 
-  std::uint64_t allocations = 0;
+  std::uint64_t allocations = 0;  ///< completed alloc + realloc ops
+  std::uint64_t frees = 0;        ///< completed free ops (realloc's internal free not counted)
   std::uint64_t oom_redirects = 0;
 
   /// Speedup of this run relative to `baseline` (>1 = this run faster).

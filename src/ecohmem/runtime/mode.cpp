@@ -21,6 +21,11 @@ void AppDirectMode::on_replay_begin(const Workload& workload) {
   }
 }
 
+bool AppDirectMode::batch_placement_order_free(Bytes total_bytes,
+                                               std::uint64_t alloc_ops) const {
+  return fm_->can_absorb(total_bytes, alloc_ops);
+}
+
 Expected<std::uint64_t> AppDirectMode::on_alloc(std::size_t object, const ObjectSpec& spec,
                                                 const SiteSpec& site, Bytes size) {
   (void)spec;

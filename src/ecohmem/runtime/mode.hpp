@@ -69,6 +69,24 @@ class ExecutionMode {
   /// allocation hot path never grows a shared container.
   virtual void on_replay_begin(const Workload& workload) { (void)workload; }
 
+  /// Capacity guard for parallel replay: true when concurrently
+  /// replaying a batch that allocates at most `alloc_ops` blocks
+  /// totalling `total_bytes` requested bytes cannot place any object
+  /// differently than serial replay would. Modes whose placement never
+  /// depends on remaining tier capacity keep the default `true`;
+  /// AppDirectMode answers via FlexMalloc's tier headroom, because its
+  /// OOM-redirect path makes placement order-dependent once a tier can
+  /// fill up mid-batch. When this returns false the engine replays the
+  /// batch in program order on the engine thread instead of fanning it
+  /// out (docs/threading.md). Engine-thread-only, called between
+  /// fork/join phases (no worker is allocating while it runs).
+  [[nodiscard]] virtual bool batch_placement_order_free(Bytes total_bytes,
+                                                        std::uint64_t alloc_ops) const {
+    (void)total_bytes;
+    (void)alloc_ops;
+    return true;
+  }
+
   /// Places a new object; returns its address. May run on any replay
   /// worker (see `concurrent_alloc_safe`).
   [[nodiscard]] virtual Expected<std::uint64_t> on_alloc(std::size_t object,
@@ -130,6 +148,8 @@ class AppDirectMode final : public ExecutionMode {
   [[nodiscard]] std::string name() const override { return "app-direct"; }
   [[nodiscard]] bool concurrent_alloc_safe() const override { return true; }
   void on_replay_begin(const Workload& workload) override;
+  [[nodiscard]] bool batch_placement_order_free(Bytes total_bytes,
+                                                std::uint64_t alloc_ops) const override;
   [[nodiscard]] Expected<std::uint64_t> on_alloc(std::size_t object, const ObjectSpec& spec,
                                                  const SiteSpec& site, Bytes size) override;
   [[nodiscard]] Status on_free(std::size_t object, std::uint64_t address) override;

@@ -60,20 +60,28 @@ struct ReplayOutcome {
   std::vector<flexmalloc::TierStats> tier_stats;
 };
 
-/// Replays `workload` app-direct with every even-indexed site mapped to
-/// DRAM; capacities are large enough that no OOM redirect can make the
-/// outcome order-dependent.
+struct ReplayConfig {
+  Bytes dram_capacity = 64ull << 30;
+  std::size_t site_stride = 2;  ///< every `stride`-th site maps to DRAM
+};
+
+/// Replays `workload` app-direct with every `site_stride`-th site mapped
+/// to DRAM. The default config's capacities are large enough that no OOM
+/// redirect can occur; the capacity-pressure tests shrink `dram_capacity`
+/// so that redirects do happen and must still match serial replay.
 Expected<ReplayOutcome> replay(const memsim::MemorySystem& system, const Workload& workload,
-                               int threads, ExecutionObserver* observer = nullptr) {
+                               int threads, ExecutionObserver* observer = nullptr,
+                               const ReplayConfig& config = {}) {
   flexmalloc::ParsedReport report;
   report.fallback_tier = "pmem";
-  for (std::size_t s = 0; s < workload.sites.size(); s += 2) {
+  for (std::size_t s = 0; s < workload.sites.size(); s += config.site_stride) {
     report.entries.push_back(flexmalloc::ReportEntry{workload.sites[s].stack, "dram", 0});
   }
 
   flexmalloc::MatcherOptions matcher_options;
   matcher_options.match_cache = true;
-  auto fm = flexmalloc::FlexMalloc::create({{"dram", 64ull << 30}, {"pmem", 256ull << 30}},
+  auto fm = flexmalloc::FlexMalloc::create({{"dram", config.dram_capacity},
+                                            {"pmem", 256ull << 30}},
                                            report, nullptr, matcher_options);
   if (!fm) return unexpected(fm.error());
 
@@ -100,8 +108,14 @@ void expect_identical(const ReplayOutcome& serial, const ReplayOutcome& parallel
                       const std::string& label) {
   EXPECT_EQ(serial.placement, parallel.placement) << label;
   EXPECT_EQ(serial.metrics.allocations, parallel.metrics.allocations) << label;
+  EXPECT_EQ(serial.metrics.frees, parallel.metrics.frees) << label;
   EXPECT_EQ(serial.metrics.oom_redirects, parallel.metrics.oom_redirects) << label;
   EXPECT_EQ(serial.metrics.total_load_misses, parallel.metrics.total_load_misses) << label;
+  // BOM matching cost is an exact per-lookup charge, so the overhead —
+  // and with it the end-to-end clock — is bit-identical too, regardless
+  // of the drain granularity (per op serially, per batch in parallel).
+  EXPECT_EQ(serial.metrics.alloc_overhead_ns, parallel.metrics.alloc_overhead_ns) << label;
+  EXPECT_EQ(serial.metrics.total_ns, parallel.metrics.total_ns) << label;
   ASSERT_EQ(serial.metrics.tier_traffic.size(), parallel.metrics.tier_traffic.size()) << label;
   for (std::size_t k = 0; k < serial.metrics.tier_traffic.size(); ++k) {
     // Bit-identical, not just close: kernels run serially in both paths.
@@ -121,6 +135,44 @@ void expect_identical(const ReplayOutcome& serial, const ReplayOutcome& parallel
   }
 }
 
+/// Alternates batches of small allocations (fit every tier — the guard
+/// lets them fan out) with batches of big allocations that oversubscribe
+/// a 16 MiB DRAM tier (the guard routes them through the in-order
+/// fallback). Every big batch forces OOM redirects whose count and
+/// placement depend on op order, so this exercises the exact scenario
+/// the capacity guard exists for.
+Workload pressured_workload(int rounds) {
+  WorkloadBuilder b("pressured");
+  const auto mod = b.add_module("pressure.x", 1 << 20, 0);
+  std::vector<std::size_t> small_objs;
+  std::vector<std::size_t> big_objs;
+  std::vector<KernelAccess> accesses;
+  for (int i = 0; i < 8; ++i) {
+    const auto site = b.add_site(mod, "small" + std::to_string(i), "pressure.cc",
+                                 static_cast<std::uint32_t>(10 + i));
+    const Bytes size = Bytes{64} << 10;
+    small_objs.push_back(b.add_object(site, size, AccessPattern::kSequential, 0.0, 0.6, 0.5));
+    accesses.push_back(KernelAccess{small_objs.back(), 1e5, 2e4, static_cast<double>(size)});
+  }
+  for (int i = 0; i < 4; ++i) {
+    const auto site = b.add_site(mod, "big" + std::to_string(i), "pressure.cc",
+                                 static_cast<std::uint32_t>(100 + i));
+    big_objs.push_back(
+        b.add_object(site, Bytes{8} << 20, AccessPattern::kSequential, 0.0, 0.6, 0.5));
+  }
+  const auto kernel = b.add_kernel("sweep", 1e7, 1e6, accesses);
+
+  for (int r = 0; r < rounds; ++r) {
+    for (const auto obj : small_objs) b.alloc(obj);
+    b.run_kernel(kernel);
+    for (const auto obj : big_objs) b.alloc(obj);  // oversubscribes DRAM
+    b.run_kernel(kernel);
+    for (const auto obj : big_objs) b.free(obj);
+    for (const auto obj : small_objs) b.free(obj);
+  }
+  return b.build();
+}
+
 TEST(ParallelReplay, BraidedWorkloadIsThreadCountIndependent) {
   const auto sys = paper();
   const Workload workload = braided_workload(/*object_count=*/23, /*rounds=*/6);
@@ -132,6 +184,42 @@ TEST(ParallelReplay, BraidedWorkloadIsThreadCountIndependent) {
     ASSERT_TRUE(parallel.has_value()) << parallel.error();
     expect_identical(*serial, *parallel, "threads=" + std::to_string(threads));
   }
+}
+
+TEST(ParallelReplay, CapacityPressureRedirectsAreThreadCountIndependent) {
+  const auto sys = paper();
+  const Workload workload = pressured_workload(/*rounds=*/4);
+  ReplayConfig config;
+  config.dram_capacity = Bytes{16} << 20;
+  config.site_stride = 1;  // every site designated DRAM
+
+  const auto serial = replay(sys, workload, 1, nullptr, config);
+  ASSERT_TRUE(serial.has_value()) << serial.error();
+  // The pressure must be real: without redirects this test proves nothing.
+  EXPECT_GT(serial->metrics.oom_redirects, 0u);
+  for (const int threads : {2, 4, 7}) {
+    const auto parallel = replay(sys, workload, threads, nullptr, config);
+    ASSERT_TRUE(parallel.has_value()) << parallel.error();
+    expect_identical(*serial, *parallel, "pressured threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelReplay, BraidedWorkloadUnderCapacityPressureMatchesSerial) {
+  // The braided alloc/free/realloc churn with a DRAM tier too small for
+  // its DRAM-designated objects: every batch can contend on capacity, so
+  // the guard keeps the whole allocation stream in program order and the
+  // redirect counts must still match serial exactly.
+  const auto sys = paper();
+  const Workload workload = braided_workload(/*object_count=*/23, /*rounds=*/6);
+  ReplayConfig config;
+  config.dram_capacity = Bytes{16} << 20;
+
+  const auto serial = replay(sys, workload, 1, nullptr, config);
+  ASSERT_TRUE(serial.has_value()) << serial.error();
+  EXPECT_GT(serial->metrics.oom_redirects, 0u);
+  const auto parallel = replay(sys, workload, 4, nullptr, config);
+  ASSERT_TRUE(parallel.has_value()) << parallel.error();
+  expect_identical(*serial, *parallel, "braided pressured threads=4");
 }
 
 TEST(ParallelReplay, MiniAppWorkloadIsThreadCountIndependent) {

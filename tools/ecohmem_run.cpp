@@ -13,8 +13,11 @@
 // matching is base-independent.
 //
 // --threads N > 1 replays the allocation stream on N worker threads
-// (docs/threading.md); placement decisions and tier byte totals are
-// identical to --threads 1.
+// (docs/threading.md); placement decisions, tier byte totals, OOM
+// redirects and the simulated clock are identical to --threads 1.
+// Batches that could exhaust a tier mid-flight (where OOM redirection
+// would become order-dependent) are detected by a capacity guard and
+// replayed in program order instead of fanning out.
 
 #include <chrono>
 #include <cstdio>
@@ -36,7 +39,8 @@ int main(int argc, char** argv) {
         "                   [--threads N]\n"
         "\n"
         "  --threads N   replay the allocation stream on N worker threads\n"
-        "                (1..256, default 1; results are thread-count independent)\n");
+        "                (1..256, default 1; results are thread-count independent —\n"
+        "                batches that could exhaust a tier replay in program order)\n");
     return args.has("help") ? 0 : 1;
   }
 
