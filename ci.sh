@@ -67,6 +67,42 @@ if build/tools/ecohmem-run --app hpcg --report /tmp/ecohmem_ci_report.txt --thre
   echo "ecohmem-run accepted --threads 0" >&2; exit 1
 fi
 
+# Online placement smoke: the shipped policy config must lint clean, must
+# actually migrate on the phase-shifting workload, and must refuse
+# parallel replay (the policy is serial-only, docs/online.md).
+build/tools/ecohmem-lint --online-policy configs/online_policy.ini
+build/tools/ecohmem-profile --app phase-shift --out /tmp/ecohmem_ci3.trc --compact
+build/tools/ecohmem-advisor --trace /tmp/ecohmem_ci3.trc --out /tmp/ecohmem_ci_report3.txt
+online_out=$(build/tools/ecohmem-run --app phase-shift --report /tmp/ecohmem_ci_report3.txt \
+  --online configs/online_policy.ini)
+echo "$online_out"
+if ! echo "$online_out" | grep -E 'online +: [1-9][0-9]* migrations' >/dev/null; then
+  echo "online run performed no migrations on phase-shift" >&2; exit 1
+fi
+if build/tools/ecohmem-run --app phase-shift --report /tmp/ecohmem_ci_report3.txt \
+  --online configs/online_policy.ini --threads 2; then
+  echo "ecohmem-run accepted --online with parallel replay" >&2; exit 1
+fi
+
+# The online bench (run in the bench loop above) must have recorded its
+# acceptance verdict; the binary itself exits nonzero on a violated bound.
+for key in '"bench": "online_placement"' '"hysteresis"' '"all_pass": true' \
+           '"static_s"' '"online_s"' '"kernel_tiering_s"' '"migrations"'; do
+  if ! grep -F "$key" BENCH_online_placement.json >/dev/null; then
+    echo "BENCH_online_placement.json missing $key" >&2; exit 1
+  fi
+done
+
+# Every tool parsing integer flags through cli_common must reject
+# out-of-range values instead of silently truncating them.
+for bad in "build/tools/ecohmem-profile --app hpcg --out /tmp/ecohmem_ci_bad.trc --pmem-dimms 0" \
+           "build/tools/ecohmem-timeline --app hpcg --out /tmp/ecohmem_ci_bad.csv --iterations -1" \
+           "build/tools/ecohmem-autotune --app hpcg --parallelism 9999"; do
+  if $bad; then
+    echo "accepted bad flag: $bad" >&2; exit 1
+  fi
+done
+
 # clang-tidy is optional in the toolchain image; run it when available.
 if command -v clang-tidy >/dev/null 2>&1 && command -v run-clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy =="

@@ -63,7 +63,13 @@ struct AppOptions {
 /// bandwidth-aware algorithm wins (§VIII-C, Table VIII, Fig. 7).
 [[nodiscard]] runtime::Workload make_openfoam(const AppOptions& options = {});
 
-/// All seven, keyed by the names used in the benchmark tables.
+/// Phase-shift synthetic (synthetic.hpp): rotating hot set, the
+/// adversarial case for frozen static placement and the showcase for the
+/// online policy (docs/online.md). `iterations` = number of phases,
+/// `scale` scales group/background sizes.
+[[nodiscard]] runtime::Workload make_phase_shift_app(const AppOptions& options = {});
+
+/// All registered models, keyed by the names used in the benchmark tables.
 [[nodiscard]] runtime::Workload make_app(const std::string& name,
                                          const AppOptions& options = {});
 

@@ -12,11 +12,13 @@ runtime::Workload make_app(const std::string& name, const AppOptions& options) {
   if (name == "cloverleaf3d") return make_cloverleaf3d(options);
   if (name == "lammps") return make_lammps(options);
   if (name == "openfoam") return make_openfoam(options);
+  if (name == "phase-shift") return make_phase_shift_app(options);
   throw std::invalid_argument("unknown application model: " + name);
 }
 
 std::vector<std::string> app_names() {
-  return {"minife", "minimd", "lulesh", "hpcg", "cloverleaf3d", "lammps", "openfoam"};
+  return {"minife",       "minimd", "lulesh",   "hpcg",
+          "cloverleaf3d", "lammps", "openfoam", "phase-shift"};
 }
 
 }  // namespace ecohmem::apps

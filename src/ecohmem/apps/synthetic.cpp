@@ -1,5 +1,8 @@
 #include "ecohmem/apps/synthetic.hpp"
 
+#include <algorithm>
+
+#include "ecohmem/apps/apps.hpp"
 #include <string>
 #include <vector>
 
@@ -88,6 +91,74 @@ runtime::Workload make_synthetic(const SyntheticSpec& spec) {
   }
   for (const auto o : persistent) b.free(o);
   return b.build();
+}
+
+runtime::Workload make_phase_shift(const PhaseShiftSpec& spec) {
+  WorkloadBuilder b("phase-shift");
+  // Low MLP: the hot sweeps are gather-heavy, so slow-tier latency hits
+  // the pipeline nearly at full weight — the tier the hot group lives in
+  // dominates the phase's runtime.
+  b.ranks(8).threads(3).mlp(4.0);
+
+  const auto mod = b.add_module("phaseshift.x", 4ull << 20, 24ull << 20);
+
+  // The rotating hot candidates: identical size, pattern and knobs, so
+  // nothing but *when* they are touched distinguishes them.
+  std::vector<std::size_t> groups;
+  for (int g = 0; g < spec.groups; ++g) {
+    const auto site = b.add_site(mod, "Grid::field#" + std::to_string(g), "src/grid.cpp",
+                                 static_cast<std::uint32_t>(200 + g));
+    groups.push_back(b.add_object(site, spec.group_bytes, AccessPattern::kStrided,
+                                  0.05, 0.55, 0.15));
+  }
+  const auto site_bg = b.add_site(mod, "Mesh::topology", "src/mesh.cpp", 77);
+  const auto background = b.add_object(site_bg, spec.background_bytes,
+                                       AccessPattern::kSequential, 0.3, 0.75, 0.8);
+
+  // One sweep kernel per group: streams that group hard, brushes the
+  // others and the topology. Per-phase miss density is concentrated on
+  // the current hot group; the time average is flat across groups.
+  const double line = 64.0;
+  std::vector<std::size_t> sweep;
+  for (int g = 0; g < spec.groups; ++g) {
+    std::vector<KernelAccess> acc;
+    for (int o = 0; o < spec.groups; ++o) {
+      const double sweeps = (o == g) ? spec.hot_sweeps : spec.cold_sweeps;
+      KernelAccess a;
+      a.object = groups[static_cast<std::size_t>(o)];
+      a.footprint = static_cast<double>(spec.group_bytes) * std::min(1.0, sweeps);
+      a.llc_loads = sweeps * static_cast<double>(spec.group_bytes) / line;
+      a.llc_stores = 0.25 * a.llc_loads;
+      a.store_instructions = a.llc_stores * 4.0;
+      acc.push_back(a);
+    }
+    KernelAccess bg;
+    bg.object = background;
+    bg.footprint = 0.1 * static_cast<double>(spec.background_bytes);
+    bg.llc_loads = bg.footprint / line * 0.3;
+    acc.push_back(bg);
+    sweep.push_back(b.add_kernel("phase_sweep_" + std::to_string(g), 6.0e9, 1.5e9,
+                                 std::move(acc)));
+  }
+
+  b.alloc(background);
+  for (const auto g : groups) b.alloc(g);
+  for (int p = 0; p < spec.phases; ++p) {
+    const std::size_t hot = sweep[static_cast<std::size_t>(p % spec.groups)];
+    for (int k = 0; k < spec.kernels_per_phase; ++k) b.run_kernel(hot);
+  }
+  for (const auto g : groups) b.free(g);
+  b.free(background);
+  return b.build();
+}
+
+runtime::Workload make_phase_shift_app(const AppOptions& options) {
+  PhaseShiftSpec spec;
+  if (options.iterations > 0) spec.phases = options.iterations;
+  spec.group_bytes = static_cast<Bytes>(static_cast<double>(spec.group_bytes) * options.scale);
+  spec.background_bytes =
+      static_cast<Bytes>(static_cast<double>(spec.background_bytes) * options.scale);
+  return make_phase_shift(spec);
 }
 
 }  // namespace ecohmem::apps

@@ -29,4 +29,24 @@ struct SyntheticSpec {
 /// Builds a valid random workload; deterministic per spec/seed.
 [[nodiscard]] runtime::Workload make_synthetic(const SyntheticSpec& spec = {});
 
+/// Phase-shifting workload (docs/online.md): `groups` equally sized
+/// arrays take turns being the hot set — each phase streams one group
+/// hard and barely touches the rest, rotating every phase. Time-averaged
+/// miss densities are identical across groups, so a frozen profile-based
+/// placement cannot distinguish them and leaves the per-phase hot group
+/// on the slow tier about half the time; an online policy that promotes
+/// whatever is hot *now* wins. The adversarial case for static placement.
+struct PhaseShiftSpec {
+  int groups = 4;                      ///< rotating hot candidates
+  Bytes group_bytes = 9ull << 29;      ///< 4.5 GiB per group
+  Bytes background_bytes = 12ull << 30;  ///< cold resident backing array
+  int phases = 8;                      ///< full run = `phases` rotations
+  int kernels_per_phase = 12;          ///< hot-sweep kernels per phase
+  double hot_sweeps = 2.0;             ///< full passes over the hot group
+  double cold_sweeps = 0.02;           ///< residual touch on cold groups
+};
+
+/// Builds the phase-shift workload; deterministic (no randomness).
+[[nodiscard]] runtime::Workload make_phase_shift(const PhaseShiftSpec& spec = {});
+
 }  // namespace ecohmem::apps

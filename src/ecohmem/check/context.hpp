@@ -13,6 +13,7 @@
 #include "ecohmem/advisor/advisor_config.hpp"
 #include "ecohmem/analyzer/aggregator.hpp"
 #include "ecohmem/check/sites_csv.hpp"
+#include "ecohmem/common/config.hpp"
 #include "ecohmem/flexmalloc/report_parser.hpp"
 #include "ecohmem/trace/trace_file.hpp"
 
@@ -35,11 +36,16 @@ struct CheckContext {
   /// Advisor configuration (tier capacities, coefficients).
   const advisor::AdvisorConfig* config = nullptr;
 
+  /// Online placement policy INI, kept raw so the online-* rules can
+  /// report every violation instead of stopping at the loader's first.
+  const Config* online = nullptr;
+
   /// Labels used in diagnostics (file paths when loaded from disk).
   std::string trace_name = "trace";
   std::string sites_name = "sites";
   std::string report_name = "report";
   std::string config_name = "config";
+  std::string online_name = "online-policy";
 };
 
 }  // namespace ecohmem::check

@@ -60,8 +60,9 @@ Expected<LintResult> lint_files(const LintInputs& inputs, const CheckOptions& op
 Expected<LintResult> lint_files(const RuleRegistry& registry, const LintInputs& inputs,
                                 const CheckOptions& options) {
   if (inputs.trace_path.empty() && inputs.sites_path.empty() && inputs.report_path.empty() &&
-      inputs.config_path.empty()) {
-    return unexpected("nothing to lint: provide --trace, --sites, --report and/or --config");
+      inputs.config_path.empty() && inputs.online_path.empty()) {
+    return unexpected(
+        "nothing to lint: provide --trace, --sites, --report, --config and/or --online-policy");
   }
 
   std::vector<Diagnostic> load_diags;
@@ -73,6 +74,7 @@ Expected<LintResult> lint_files(const RuleRegistry& registry, const LintInputs& 
   std::optional<SiteCsv> sites;
   std::optional<flexmalloc::ParsedReport> report;
   std::optional<advisor::AdvisorConfig> config;
+  std::optional<Config> online;
   std::optional<bom::ModuleTable> synthetic_modules;
 
   if (!inputs.trace_path.empty()) {
@@ -110,6 +112,19 @@ Expected<LintResult> lint_files(const RuleRegistry& registry, const LintInputs& 
         config.emplace(std::move(*parsed));
         ctx.config = &*config;
       }
+    }
+  }
+
+  if (!inputs.online_path.empty()) {
+    ctx.online_name = inputs.online_path;
+    auto file = Config::load(inputs.online_path);
+    if (!file) {
+      load_diags.push_back(error("online-load", inputs.online_path, file.error()));
+    } else {
+      // Kept as the raw INI: the online-* rules re-parse each key so one
+      // bad value does not hide the others (unlike the strict loader).
+      online.emplace(std::move(*file));
+      ctx.online = &*online;
     }
   }
 

@@ -25,6 +25,7 @@ struct LintInputs {
   std::string sites_path;   ///< analyzer site CSV export
   std::string report_path;  ///< advisor placement report
   std::string config_path;  ///< advisor configuration (.ini)
+  std::string online_path;  ///< online placement policy (.ini)
 };
 
 struct LintResult {

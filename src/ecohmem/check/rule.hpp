@@ -16,6 +16,8 @@
 ///   config-*  advisor configuration sanity
 ///   report-*  placement-map soundness (capacity, tier names, §VII
 ///             bandwidth classes, site provenance, matcher ambiguity)
+///   online-*  online placement policy sanity (key spelling and value
+///             ranges of the [online] INI, docs/online.md)
 ///
 /// New rules: subclass `Rule`, then `registry.add(std::make_unique<...>())`
 /// — or start from `RuleRegistry::builtin()` and extend it.
@@ -93,6 +95,7 @@ namespace rules {
 [[nodiscard]] std::vector<std::unique_ptr<Rule>> trace_rules();
 [[nodiscard]] std::vector<std::unique_ptr<Rule>> sites_rules();
 [[nodiscard]] std::vector<std::unique_ptr<Rule>> report_rules();
+[[nodiscard]] std::vector<std::unique_ptr<Rule>> online_rules();
 }  // namespace rules
 
 }  // namespace ecohmem::check

@@ -22,7 +22,10 @@ FlexMalloc::FlexMalloc(FlexMalloc&& other) noexcept
       tier_stats_(std::move(other.tier_stats_)),
       matcher_(std::move(other.matcher_)),
       fallback_(other.fallback_),
-      oom_redirects_(other.oom_redirects_.load(std::memory_order_relaxed)) {}
+      oom_redirects_(other.oom_redirects_.load(std::memory_order_relaxed)),
+      migrations_(other.migrations_.load(std::memory_order_relaxed)),
+      migrated_bytes_(other.migrated_bytes_.load(std::memory_order_relaxed)),
+      migration_refusals_(other.migration_refusals_.load(std::memory_order_relaxed)) {}
 
 FlexMalloc& FlexMalloc::operator=(FlexMalloc&& other) noexcept {
   if (this == &other) return *this;
@@ -32,6 +35,12 @@ FlexMalloc& FlexMalloc::operator=(FlexMalloc&& other) noexcept {
   fallback_ = other.fallback_;
   oom_redirects_.store(other.oom_redirects_.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
+  migrations_.store(other.migrations_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  migrated_bytes_.store(other.migrated_bytes_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  migration_refusals_.store(other.migration_refusals_.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
   return *this;
 }
 
@@ -145,6 +154,59 @@ Expected<Allocation> FlexMalloc::realloc(const bom::CallStack& stack, std::uint6
     if (Status s = free(address); !s) return unexpected(s.error());
   }
   return malloc(stack, new_size);
+}
+
+Expected<MigrationOutcome> FlexMalloc::migrate(std::uint64_t address, std::size_t target_tier) {
+  if (target_tier >= heaps_.size()) {
+    return unexpected("migrate: unknown target tier index " + std::to_string(target_tier));
+  }
+  std::size_t source = heaps_.size();
+  for (std::size_t i = 0; i < heaps_.size(); ++i) {
+    if (heaps_[i]->owns(address)) {
+      source = i;
+      break;
+    }
+  }
+  if (source == heaps_.size()) {
+    return unexpected("migrate: address not owned by any heap");
+  }
+  if (source == target_tier) {
+    return unexpected("migrate: block already lives in tier '" + heaps_[source]->name() + "'");
+  }
+
+  // `owns` also answers true for freed addresses inside the heap's used
+  // range; the size lookup is the live-block check.
+  const auto size = heaps_[source]->block_size(address);
+  if (!size) return unexpected("migrate: " + size.error());
+
+  MigrationOutcome out;
+  out.from_tier = source;
+  out.bytes = *size;
+
+  // Destination first, so a full target leaves the block where it is.
+  // Each heap call takes only that heap's leaf lock; the transient
+  // double-occupancy (both copies live) matches real migration.
+  const auto moved_to = heaps_[target_tier]->allocate(*size);
+  if (!moved_to) {
+    migration_refusals_.fetch_add(1, std::memory_order_relaxed);
+    out.moved = false;
+    out.address = address;
+    return out;
+  }
+  const auto freed = heaps_[source]->deallocate(address);
+  if (!freed) {
+    // Unreachable under the single-owner rule; roll the copy back so a
+    // failure never leaks destination capacity.
+    (void)heaps_[target_tier]->deallocate(*moved_to);
+    return unexpected("migrate: source release failed: " + freed.error());
+  }
+
+  out.moved = true;
+  out.address = *moved_to;
+  migrations_.fetch_add(1, std::memory_order_relaxed);
+  migrated_bytes_.fetch_add(*size, std::memory_order_relaxed);
+  atomic_max(tier_stats_[target_tier]->high_water, heaps_[target_tier]->used());
+  return out;
 }
 
 bool FlexMalloc::can_absorb(Bytes total_requested, std::uint64_t allocations) const {

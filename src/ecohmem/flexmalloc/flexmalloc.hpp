@@ -52,11 +52,21 @@ struct Allocation {
 };
 
 /// Per-tier counters (a point-in-time snapshot under concurrency).
+/// Migrations are tracked separately (`FlexMalloc::migrations()`), so
+/// `allocations`/`bytes` always mean routing decisions, never moves.
 struct TierStats {
   std::string tier;                ///< tier name
   std::uint64_t allocations = 0;   ///< completed allocations routed here
   Bytes bytes = 0;                 ///< sum of requested (unpadded) bytes
   Bytes high_water = 0;            ///< peak observed heap usage
+};
+
+/// Result of a live-object migration attempt (`FlexMalloc::migrate`).
+struct MigrationOutcome {
+  bool moved = false;          ///< false = target tier lacked capacity
+  std::uint64_t address = 0;   ///< new address when moved, else the original
+  std::size_t from_tier = 0;   ///< tier the block lived in
+  Bytes bytes = 0;             ///< padded block size
 };
 
 class FlexMalloc {
@@ -92,6 +102,32 @@ class FlexMalloc {
   /// Thread-safe under the same ownership rule as `free`.
   [[nodiscard]] Expected<Allocation> realloc(const bom::CallStack& stack,
                                              std::uint64_t address, Bytes new_size);
+
+  /// Moves the live block at `address` into `target_tier`'s heap — the
+  /// runtime half of the online placement subsystem (docs/online.md).
+  /// The destination is allocated before the source is released, so a
+  /// full target refuses the move (`moved == false`) and leaves the
+  /// block untouched; a refusal is not an error. Errors are reserved
+  /// for unknown addresses/tiers and same-tier requests. Preserves the
+  /// PR-2 lock hierarchy: each step takes exactly one heap's leaf lock
+  /// (size lookup on the source, allocate on the target, deallocate on
+  /// the source), never two at once. Thread-safe under the same
+  /// single-owner-per-address rule as `free`.
+  [[nodiscard]] Expected<MigrationOutcome> migrate(std::uint64_t address,
+                                                   std::size_t target_tier);
+
+  /// Completed (moved) migrations and the padded bytes they moved.
+  [[nodiscard]] std::uint64_t migrations() const {
+    return migrations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] Bytes migrated_bytes() const {
+    return migrated_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Migration attempts refused because the target tier was full.
+  [[nodiscard]] std::uint64_t migration_refusals() const {
+    return migration_refusals_.load(std::memory_order_relaxed);
+  }
 
   /// Number of tier heaps.
   [[nodiscard]] std::size_t tier_count() const { return heaps_.size(); }
@@ -153,6 +189,9 @@ class FlexMalloc {
   CallStackMatcher matcher_;
   std::size_t fallback_ = 0;
   std::atomic<std::uint64_t> oom_redirects_{0};
+  std::atomic<std::uint64_t> migrations_{0};
+  std::atomic<Bytes> migrated_bytes_{0};
+  std::atomic<std::uint64_t> migration_refusals_{0};
 };
 
 }  // namespace ecohmem::flexmalloc

@@ -78,6 +78,15 @@ Expected<Bytes> ArenaHeap::deallocate(std::uint64_t address) {
   return size;
 }
 
+Expected<Bytes> ArenaHeap::block_size(std::uint64_t address) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = live_.find(address);
+  if (it == live_.end()) {
+    return unexpected("heap '" + name_ + "': no live block at this address");
+  }
+  return it->second;
+}
+
 bool ArenaHeap::owns(std::uint64_t address) const {
   std::lock_guard<std::mutex> lock(mu_);
   return live_.contains(address) ||

@@ -81,6 +81,11 @@ class ArenaHeap final : public HeapManager {
   /// Start of this heap's simulated VA range.
   [[nodiscard]] std::uint64_t base() const { return base_; }
 
+  /// Padded size of the live block at `address`; fails when no live
+  /// block starts there. Used by FlexMalloc's object migration to size
+  /// the destination allocation before touching the source block.
+  [[nodiscard]] Expected<Bytes> block_size(std::uint64_t address) const;
+
   /// Block alignment: every allocation is padded to a multiple of this,
   /// so a request for `size` bytes consumes at most `size + alignment()`
   /// bytes of capacity (zero-byte requests consume exactly one unit).

@@ -1,0 +1,63 @@
+#include "ecohmem/online/hotness.hpp"
+
+namespace ecohmem::online {
+
+namespace {
+constexpr double kMiB = 1024.0 * 1024.0;
+
+/// Entries below this are dropped at the end of a kernel — an object
+/// that decayed to nothing costs neither memory nor decay work.
+constexpr double kEvictBelow = 1e-12;
+}  // namespace
+
+void HotnessTracker::record(std::size_t object, double events, Bytes bytes) {
+  const double mib = static_cast<double>(bytes) / kMiB;
+  const double density = mib > 0.0 ? events / mib : 0.0;
+  auto [it, inserted] = entries_.try_emplace(object);
+  Entry& e = it->second;
+  if (inserted) e.born = kernel_;
+  e.hotness = (1.0 - alpha_) * e.hotness + alpha_ * density;
+  e.touched = true;
+}
+
+void HotnessTracker::end_kernel() {
+  ++kernel_;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& e = it->second;
+    if (!e.touched) e.hotness *= 1.0 - alpha_;
+    e.touched = false;
+
+    // Slide the max-window forward: absorb this kernel's EWMA (dropping
+    // now-dominated smaller tail values) and expire values older than
+    // `window` kernels.
+    while (!e.peaks.empty() && e.peaks.back().second <= e.hotness) e.peaks.pop_back();
+    e.peaks.emplace_back(kernel_, e.hotness);
+    while (e.peaks.front().first + window_ <= kernel_) e.peaks.pop_front();
+
+    if (e.peaks.front().second < kEvictBelow) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double HotnessTracker::hotness(std::size_t object) const {
+  const auto it = entries_.find(object);
+  return it != entries_.end() ? it->second.hotness : 0.0;
+}
+
+double HotnessTracker::shield(std::size_t object) const {
+  const auto it = entries_.find(object);
+  if (it == entries_.end() || it->second.peaks.empty()) return 0.0;
+  return it->second.peaks.front().second;
+}
+
+std::uint64_t HotnessTracker::age(std::size_t object) const {
+  const auto it = entries_.find(object);
+  return it != entries_.end() ? kernel_ - it->second.born : 0;
+}
+
+void HotnessTracker::forget(std::size_t object) { entries_.erase(object); }
+
+}  // namespace ecohmem::online

@@ -1,0 +1,88 @@
+#include "ecohmem/online/planner.hpp"
+
+#include <algorithm>
+
+namespace ecohmem::online {
+
+std::vector<PlannedMove> MigrationPlanner::plan(const std::vector<ObjectView>& views,
+                                                std::size_t fast_tier,
+                                                Bytes fast_headroom) const {
+  std::vector<const ObjectView*> hot;   // slow-tier promotion candidates
+  std::vector<const ObjectView*> cold;  // fast-tier residents (victims)
+  for (const auto& v : views) {
+    (v.tier == fast_tier ? cold : hot).push_back(&v);
+  }
+  const auto hotter_first = [](const ObjectView* a, const ObjectView* b) {
+    if (a->hotness != b->hotness) return a->hotness > b->hotness;
+    return a->object < b->object;
+  };
+  const auto colder_first = [](const ObjectView* a, const ObjectView* b) {
+    if (a->shield != b->shield) return a->shield < b->shield;
+    return a->object < b->object;
+  };
+  std::sort(hot.begin(), hot.end(), hotter_first);
+  std::sort(cold.begin(), cold.end(), colder_first);
+
+  std::vector<PlannedMove> moves;
+  std::vector<bool> claimed(cold.size(), false);
+  Bytes headroom = fast_headroom;
+  Bytes moved_bytes = 0;
+
+  const auto byte_budget_allows = [&](Bytes extra) {
+    return config_.max_bytes_per_step == 0 || moved_bytes + extra <= config_.max_bytes_per_step;
+  };
+
+  for (const ObjectView* h : hot) {
+    if (moves.size() >= config_.max_moves_per_step) break;
+    if (h->hotness < config_.min_density) break;  // sorted: the rest are colder
+    if (h->age < config_.window) continue;  // maturity gate: too young to trust
+
+    if (h->bytes <= headroom) {
+      if (!byte_budget_allows(h->bytes)) continue;
+      moves.push_back(PlannedMove{h->object, h->tier, fast_tier, h->bytes});
+      headroom -= h->bytes;
+      moved_bytes += h->bytes;
+      continue;
+    }
+
+    // No free headroom: collect victims whose windowed shield the
+    // candidate beats by the hysteresis margin, coldest shield first.
+    std::vector<std::size_t> victims;
+    Bytes freed = 0;
+    for (std::size_t ci = 0; ci < cold.size(); ++ci) {
+      if (claimed[ci]) continue;
+      if (cold[ci]->shield * (1.0 + config_.hysteresis) >= h->hotness) {
+        break;  // sorted: the rest are at least as shielded
+      }
+      victims.push_back(ci);
+      freed += cold[ci]->bytes;
+      if (headroom + freed >= h->bytes) break;
+    }
+    if (headroom + freed < h->bytes) continue;  // a smaller candidate may still fit
+    if (moves.size() + victims.size() + 1 > config_.max_moves_per_step) continue;
+    if (!byte_budget_allows(freed + h->bytes)) continue;
+
+    for (const std::size_t ci : victims) {
+      // Victims demote to the tier the hot object vacates.
+      moves.push_back(PlannedMove{cold[ci]->object, fast_tier, h->tier, cold[ci]->bytes});
+      claimed[ci] = true;
+      headroom += cold[ci]->bytes;
+      moved_bytes += cold[ci]->bytes;
+    }
+    moves.push_back(PlannedMove{h->object, h->tier, fast_tier, h->bytes});
+    headroom -= h->bytes;
+    moved_bytes += h->bytes;
+  }
+  return moves;
+}
+
+double migration_cost_ns(Bytes bytes, const memsim::MemorySystem& system, std::size_t from,
+                         std::size_t to, double bandwidth_fraction) {
+  const auto& src = system.tier(from).spec();
+  const auto& dst = system.tier(to).spec();
+  // GB/s with 1 GB = 1e9 bytes is bytes-per-ns, so bytes / gbs is ns.
+  const double gbs = std::min(src.peak_read_gbs, dst.peak_write_gbs) * bandwidth_fraction;
+  return gbs > 0.0 ? static_cast<double>(bytes) / gbs : 0.0;
+}
+
+}  // namespace ecohmem::online

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file planner.hpp
+/// The migration policy and its cost model (docs/online.md).
+///
+/// At every kernel boundary the replay engine hands the planner a
+/// snapshot of the live objects (size, current tier, EWMA hotness and
+/// windowed shield — see hotness.hpp) and the fast tier's free headroom;
+/// the planner returns a promote/demote move list:
+///
+///   - hot slow-tier objects are promoted into free fast-tier headroom
+///     hottest-first, once their hotness clears `min_density` AND they
+///     have survived at least `window` kernels since allocation — the
+///     maturity gate that keeps short-lived per-step temporaries (whose
+///     first kernels always look scorching hot) from being copied to the
+///     fast tier only to be freed moments later;
+///   - when the fast tier is full, a hot object may displace residents —
+///     but only when its instantaneous hotness beats each victim's
+///     *shield* (its EWMA peak over the last `window` kernels) by the
+///     relative `hysteresis` margin. Shield-based protection is what
+///     keeps periodic steady-state workloads from thrashing: an object
+///     hammered by any kernel of the recent window keeps its peak even
+///     while its EWMA dips between those kernels, so only objects whose
+///     whole window went cold — a real phase shift — are displaced;
+///   - moves are capped per evaluation (`max_moves_per_step`,
+///     `max_bytes_per_step`), and ties break on object id, so the plan
+///     is a pure deterministic function of its inputs.
+///
+/// The cost model charges each move `bytes / (pairwise bandwidth *
+/// bandwidth_fraction)` nanoseconds, where the pairwise bandwidth is the
+/// min of the source tier's peak read and the destination tier's peak
+/// write rate — a migration is a read stream on one device and a write
+/// stream on the other, and it never runs at device peak because the
+/// application is using the controllers too.
+
+#include <vector>
+
+#include "ecohmem/common/units.hpp"
+#include "ecohmem/memsim/tier.hpp"
+#include "ecohmem/online/policy_config.hpp"
+
+namespace ecohmem::online {
+
+/// One live object as the planner sees it.
+struct ObjectView {
+  std::size_t object = 0;
+  Bytes bytes = 0;
+  std::size_t tier = 0;    ///< engine tier index it currently lives in
+  double hotness = 0.0;    ///< EWMA miss density (events per MiB)
+  double shield = 0.0;     ///< EWMA peak over the last `window` kernels
+  std::uint64_t age = 0;   ///< kernels of tracked history since allocation
+};
+
+/// One proposed migration.
+struct PlannedMove {
+  std::size_t object = 0;
+  std::size_t from_tier = 0;
+  std::size_t to_tier = 0;
+  Bytes bytes = 0;
+};
+
+class MigrationPlanner {
+ public:
+  explicit MigrationPlanner(const OnlinePolicyConfig& config) : config_(config) {}
+
+  /// Plans promote/demote moves toward `fast_tier` given its current
+  /// free headroom. Demotes always precede the promote they make room
+  /// for, so applying the list in order never overcommits the tier.
+  [[nodiscard]] std::vector<PlannedMove> plan(const std::vector<ObjectView>& views,
+                                              std::size_t fast_tier,
+                                              Bytes fast_headroom) const;
+
+ private:
+  OnlinePolicyConfig config_;
+};
+
+/// Modeled duration of moving `bytes` from tier `from` to tier `to`.
+[[nodiscard]] double migration_cost_ns(Bytes bytes, const memsim::MemorySystem& system,
+                                       std::size_t from, std::size_t to,
+                                       double bandwidth_fraction);
+
+}  // namespace ecohmem::online

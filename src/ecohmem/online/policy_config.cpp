@@ -1,0 +1,108 @@
+#include "ecohmem/online/policy_config.hpp"
+
+#include <cmath>
+
+namespace ecohmem::online {
+
+namespace {
+
+constexpr const char* kKeys[] = {
+    "sample_rate",       "ewma_alpha",        "window",
+    "hysteresis",        "min_density",       "max_moves_per_step",
+    "max_bytes_per_step", "bandwidth_fraction", "seed",
+    nullptr,
+};
+
+bool known_key(std::string_view key) {
+  for (const char* const* k = kKeys; *k != nullptr; ++k) {
+    if (key == *k) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* const* policy_keys() { return kKeys; }
+
+Status OnlinePolicyConfig::validate() const {
+  const auto in_unit = [](double v) { return std::isfinite(v) && v > 0.0 && v <= 1.0; };
+  if (!in_unit(sample_rate)) {
+    return unexpected("online policy: sample_rate must be in (0, 1], got " +
+                      std::to_string(sample_rate));
+  }
+  if (!in_unit(ewma_alpha)) {
+    return unexpected("online policy: ewma_alpha must be in (0, 1], got " +
+                      std::to_string(ewma_alpha));
+  }
+  if (window == 0) return unexpected("online policy: window must be > 0");
+  if (!std::isfinite(hysteresis) || hysteresis < 0.0) {
+    return unexpected("online policy: hysteresis must be >= 0, got " +
+                      std::to_string(hysteresis));
+  }
+  if (!std::isfinite(min_density) || min_density < 0.0) {
+    return unexpected("online policy: min_density must be >= 0, got " +
+                      std::to_string(min_density));
+  }
+  if (max_moves_per_step == 0) {
+    return unexpected("online policy: max_moves_per_step must be >= 1");
+  }
+  if (!in_unit(bandwidth_fraction)) {
+    return unexpected("online policy: bandwidth_fraction must be in (0, 1], got " +
+                      std::to_string(bandwidth_fraction));
+  }
+  return {};
+}
+
+Expected<OnlinePolicyConfig> OnlinePolicyConfig::from_config(const Config& config) {
+  // `[online]` section when present, else the unnamed global section —
+  // a bare `key = value` policy file is accepted.
+  const ConfigSection* section = config.first_section(kPolicySection);
+  if (section == nullptr) section = &config.global();
+
+  for (const auto& [key, value] : section->entries()) {
+    (void)value;
+    if (!known_key(key)) {
+      return unexpected("online policy: unknown key '" + key + "' (see docs/online.md)");
+    }
+  }
+
+  OnlinePolicyConfig out;
+  const auto rate = section->get_double("sample_rate", out.sample_rate);
+  if (!rate) return unexpected(rate.error());
+  out.sample_rate = *rate;
+  const auto alpha = section->get_double("ewma_alpha", out.ewma_alpha);
+  if (!alpha) return unexpected(alpha.error());
+  out.ewma_alpha = *alpha;
+  const auto window = section->get_u64("window", out.window);
+  if (!window) return unexpected(window.error());
+  out.window = *window;
+  const auto hysteresis = section->get_double("hysteresis", out.hysteresis);
+  if (!hysteresis) return unexpected(hysteresis.error());
+  out.hysteresis = *hysteresis;
+  const auto min_density = section->get_double("min_density", out.min_density);
+  if (!min_density) return unexpected(min_density.error());
+  out.min_density = *min_density;
+  const auto max_moves = section->get_u64("max_moves_per_step", out.max_moves_per_step);
+  if (!max_moves) return unexpected(max_moves.error());
+  out.max_moves_per_step = *max_moves;
+  const auto max_bytes = section->get_bytes("max_bytes_per_step", out.max_bytes_per_step);
+  if (!max_bytes) return unexpected(max_bytes.error());
+  out.max_bytes_per_step = *max_bytes;
+  const auto bw_fraction = section->get_double("bandwidth_fraction", out.bandwidth_fraction);
+  if (!bw_fraction) return unexpected(bw_fraction.error());
+  out.bandwidth_fraction = *bw_fraction;
+  const auto seed = section->get_u64("seed", out.seed);
+  if (!seed) return unexpected(seed.error());
+  out.seed = *seed;
+
+  if (Status s = out.validate(); !s) return unexpected(s.error());
+  return out;
+}
+
+Expected<OnlinePolicyConfig> OnlinePolicyConfig::load(const std::string& path) {
+  auto config = Config::load(path);
+  if (!config) return unexpected(config.error());
+  return from_config(*config);
+}
+
+}  // namespace ecohmem::online

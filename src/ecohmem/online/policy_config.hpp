@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file policy_config.hpp
+/// Configuration of the online placement subsystem (docs/online.md).
+///
+/// The policy is configured through the same INI layer as the Advisor:
+/// an `[online]` section whose keys control the PEBS-style sampler, the
+/// EWMA hotness tracker and the promote/demote migration policy. The
+/// loader is strict — unknown keys and out-of-range values are errors,
+/// mirroring the `online-*` rules of ecohmem-lint — so a typo in a
+/// policy file stops the run instead of silently running a different
+/// policy.
+
+#include <string>
+#include <string_view>
+
+#include "ecohmem/common/config.hpp"
+#include "ecohmem/common/expected.hpp"
+#include "ecohmem/common/units.hpp"
+
+namespace ecohmem::online {
+
+/// Section name the policy lives in (`[online]`).
+inline constexpr std::string_view kPolicySection = "online";
+
+/// The recognized keys of the `[online]` section, terminated by a
+/// nullptr sentinel. Shared with the `online-keys` lint rule so the
+/// loader and the linter can never disagree about what is a typo.
+[[nodiscard]] const char* const* policy_keys();
+
+struct OnlinePolicyConfig {
+  /// Fraction of LLC-miss events the simulated PEBS unit samples, in
+  /// (0, 1]. Fractional expectations are rounded stochastically through
+  /// the deterministic common/rng stream.
+  double sample_rate = 0.01;
+
+  /// EWMA smoothing factor for per-object hotness, in (0, 1]. 1 means
+  /// only the latest kernel counts; small values remember longer.
+  double ewma_alpha = 0.3;
+
+  /// Sliding-window length in kernel steps (> 0). A fast-tier resident
+  /// is protected from displacement by its EWMA *peak* over the last
+  /// `window` kernels (its shield, hotness.hpp), so the window should
+  /// cover one iteration of the workload's inner loop: objects touched
+  /// periodically keep their shield, objects cold for a whole window —
+  /// a genuine phase shift — become victims. The same length doubles as
+  /// the planner's maturity gate: an object younger than `window`
+  /// kernels is never promoted, so short-lived per-step temporaries are
+  /// not worth copying no matter how hot their brief life looks.
+  std::uint64_t window = 12;
+
+  /// Hysteresis margin (>= 0): a slow-tier object may displace a
+  /// fast-tier one only when its hotness exceeds the resident's shield
+  /// by this relative margin, which together with the shield keeps
+  /// steady-state workloads from thrashing (docs/online.md).
+  double hysteresis = 0.25;
+
+  /// Minimum hotness (sampled miss events per MiB per kernel, >= 0) an
+  /// object needs before a promotion is ever proposed.
+  double min_density = 1.0;
+
+  /// Cap on migrations proposed per evaluation (>= 1).
+  std::uint64_t max_moves_per_step = 8;
+
+  /// Cap on bytes moved per evaluation; 0 = unlimited.
+  Bytes max_bytes_per_step = 0;
+
+  /// Fraction of the pairwise tier bandwidth a migration stream gets,
+  /// in (0, 1] — migrations compete with the application for the
+  /// memory controllers, so they never run at device peak.
+  double bandwidth_fraction = 0.5;
+
+  /// Seed of the sampler's deterministic RNG stream: same seed + same
+  /// policy + same workload => bit-identical migration sequence.
+  std::uint64_t seed = 0x0ec0;
+
+  /// Range-checks every field; returns the first violation.
+  [[nodiscard]] Status validate() const;
+
+  /// Strict parse of an `[online]` section (top-level keys are also
+  /// accepted when no section is present). Unknown keys, malformed
+  /// values and range violations are errors.
+  [[nodiscard]] static Expected<OnlinePolicyConfig> from_config(const Config& config);
+
+  /// Reads and parses a policy file.
+  [[nodiscard]] static Expected<OnlinePolicyConfig> load(const std::string& path);
+};
+
+}  // namespace ecohmem::online

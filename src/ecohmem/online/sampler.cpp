@@ -1,0 +1,25 @@
+#include "ecohmem/online/sampler.hpp"
+
+#include <cmath>
+
+namespace ecohmem::online {
+
+std::uint64_t AccessSampler::sample_count(double events) {
+  const double expected = std::max(0.0, events) * rate_;
+  const double whole = std::floor(expected);
+  const double frac = expected - whole;
+  // One draw per call even when frac == 0, so the stream position is a
+  // pure function of the call sequence (see the file comment).
+  const bool extra = rng_.next_double() < frac;
+  return static_cast<std::uint64_t>(whole) + (extra ? 1u : 0u);
+}
+
+SampledAccess AccessSampler::sample(const ObjectAccess& access) {
+  SampledAccess out;
+  out.object = access.object;
+  out.loads = sample_count(access.load_misses);
+  out.stores = sample_count(access.store_misses);
+  return out;
+}
+
+}  // namespace ecohmem::online

@@ -2,10 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "ecohmem/online/hotness.hpp"
+#include "ecohmem/online/planner.hpp"
+#include "ecohmem/online/policy_config.hpp"
+#include "ecohmem/online/sampler.hpp"
 #include "ecohmem/runtime/worker_pool.hpp"
 
 namespace ecohmem::runtime {
@@ -106,6 +112,7 @@ struct LiveState {
   bool live = false;
   std::uint64_t address = 0;
   std::uint64_t uid = 0;
+  Bytes bytes = 0;  ///< current requested size (tracks realloc)
 };
 
 /// Workload-object id an allocation-stream step operates on (kernels are
@@ -155,11 +162,14 @@ struct FunctionTable {
 /// across thread counts. `record_bw` bins the resolved traffic into
 /// bandwidth meters: the serial path adds to one meter directly, the
 /// parallel path fans the entries out over per-worker shard meters.
+/// `online_feedback`, when non-null, receives this kernel's per-object
+/// miss counts for the online sampler (serial path only).
 Expected<Ns> replay_kernel(
     const memsim::MemorySystem& system, const EngineOptions& options, const Workload& workload,
     const KernelOp& kop, ExecutionMode& mode, const std::vector<LiveState>& live, Ns now,
     RunMetrics& metrics, FunctionTable& functions, memsim::AnalyticCacheModel& cache,
-    const std::function<void(Ns, Ns, const std::vector<ObjectTraffic>&)>& record_bw) {
+    const std::function<void(Ns, Ns, const std::vector<ObjectTraffic>&)>& record_bw,
+    std::vector<online::ObjectAccess>* online_feedback = nullptr) {
   const std::size_t tiers = system.tier_count();
   const KernelSpec& kernel = workload.kernels[kop.kernel];
 
@@ -179,6 +189,16 @@ Expected<Ns> replay_kernel(
   }
 
   const memsim::KernelCacheOutcome cache_outcome = cache.evaluate(accesses);
+
+  if (online_feedback != nullptr) {
+    online_feedback->clear();
+    online_feedback->reserve(objects.size());
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+      online_feedback->push_back(online::ObjectAccess{objects[i].object,
+                                                      cache_outcome.per_object[i].load_misses,
+                                                      cache_outcome.per_object[i].store_misses});
+    }
+  }
 
   std::vector<ObjectTraffic> traffic(objects.size());
   for (auto& t : traffic) {
@@ -258,6 +278,52 @@ Expected<Ns> replay_kernel(
   return end;
 }
 
+/// Serial-replay state of the online placement subsystem: the sampler /
+/// tracker / planner trio plus the moves scheduled at the last policy
+/// evaluation, which are applied at the *next* kernel boundary — the
+/// window in which a free or realloc can invalidate a scheduled move
+/// (detected via the allocation uid and counted as cancelled).
+struct OnlineDriver {
+  explicit OnlineDriver(const online::OnlinePolicyConfig& cfg)
+      : config(&cfg),
+        sampler(cfg.sample_rate, cfg.seed),
+        tracker(cfg.ewma_alpha, cfg.window),
+        planner(cfg) {}
+
+  const online::OnlinePolicyConfig* config;
+  online::AccessSampler sampler;
+  online::HotnessTracker tracker;
+  online::MigrationPlanner planner;
+  std::vector<online::PlannedMove> pending;
+  std::vector<std::uint64_t> pending_uid;      ///< uid at scheduling time
+  std::vector<online::ObjectAccess> feedback;  ///< reused per kernel
+
+  /// Monotonic min-deque of fast-tier headroom observed at the last
+  /// `window` kernel boundaries: (kernel index, headroom bytes).
+  std::deque<std::pair<std::uint64_t, Bytes>> headroom_window;
+  std::uint64_t headroom_kernel = 0;
+
+  /// Folds the headroom observed at this kernel boundary into the
+  /// window and returns the windowed minimum. Kernel-boundary headroom
+  /// oscillates when a workload allocates and frees large temporaries
+  /// every step (openfoam's assembly pool); promoting persistent
+  /// objects into such a trough evicts the *next* step's temporaries to
+  /// the slow tier via OOM redirect — capacity the planner never sees
+  /// it spending. Planning against the windowed minimum only offers
+  /// headroom that stayed free across a whole inner-loop iteration.
+  Bytes conservative_headroom(Bytes now_free) {
+    ++headroom_kernel;
+    while (!headroom_window.empty() && headroom_window.back().second >= now_free) {
+      headroom_window.pop_back();
+    }
+    headroom_window.emplace_back(headroom_kernel, now_free);
+    while (headroom_window.front().first + config->window <= headroom_kernel) {
+      headroom_window.pop_front();
+    }
+    return headroom_window.front().second;
+  }
+};
+
 }  // namespace
 
 Expected<RunMetrics> ExecutionEngine::run(const Workload& workload, ExecutionMode& mode) {
@@ -289,6 +355,16 @@ Expected<RunMetrics> ExecutionEngine::run_serial(const Workload& workload, Execu
   std::uint64_t next_uid = 1;
   FunctionTable functions;
 
+  std::optional<OnlineDriver> online_driver;
+  if (options_.online_policy != nullptr) {
+    if (Status s = options_.online_policy->validate(); !s) return unexpected(s.error());
+    if (!mode.supports_object_migration()) {
+      return unexpected("online placement needs an execution mode with object migration; "
+                        "mode '" + mode.name() + "' has none (use app-direct)");
+    }
+    online_driver.emplace(*options_.online_policy);
+  }
+
   const auto record_bw = [&](Ns start, Ns end, const std::vector<ObjectTraffic>& traffic) {
     for (std::size_t i = 0; i < traffic.size(); ++i) {
       for (std::size_t k = 0; k < tiers; ++k) {
@@ -299,6 +375,53 @@ Expected<RunMetrics> ExecutionEngine::run_serial(const Workload& workload, Execu
 
   Ns now = 0;
   OverheadClock overhead_clock;
+
+  // Applies the moves scheduled at the previous policy evaluation. Runs
+  // just before a kernel replays, so the object set is quiesced; moves
+  // whose object was freed or realloc'd since scheduling (the uid
+  // changed) and moves refused by a now-full target are cancelled, never
+  // errors. Applied moves charge the cost model into the clock, the
+  // per-tier traffic totals and the bandwidth timeline — migrations are
+  // never free.
+  const auto apply_pending_migrations = [&]() -> Status {
+    OnlineDriver& d = *online_driver;
+    for (std::size_t i = 0; i < d.pending.size(); ++i) {
+      const online::PlannedMove& mv = d.pending[i];
+      auto& state = live[mv.object];
+      if (!state.live || state.uid != d.pending_uid[i]) {
+        ++metrics.migrations_cancelled;
+        continue;
+      }
+      auto moved = mode.migrate_object(mv.object, state.address, mv.to_tier);
+      if (!moved) return unexpected("online migration failed: " + moved.error());
+      if (!moved->moved) {
+        ++metrics.migrations_cancelled;
+        continue;
+      }
+      state.address = moved->address;
+
+      const double cost_ns =
+          online::migration_cost_ns(moved->bytes, *system_, moved->from_tier, mv.to_tier,
+                                    d.config->bandwidth_fraction);
+      const Ns start = now;
+      const Ns end = now + static_cast<Ns>(std::llround(cost_ns));
+      const double bytes = static_cast<double>(moved->bytes);
+      metrics.tier_traffic[moved->from_tier].read_bytes += bytes;
+      metrics.tier_traffic[mv.to_tier].write_bytes += bytes;
+      bw_meter.add(moved->from_tier, start, end, bytes);
+      bw_meter.add(mv.to_tier, start, end, bytes);
+      now = end;
+
+      metrics.migration_ns += cost_ns;
+      metrics.migrated_bytes += moved->bytes;
+      ++metrics.migrations;
+      metrics.migration_events.push_back(
+          MigrationRecord{start, mv.object, moved->from_tier, mv.to_tier, moved->bytes});
+    }
+    d.pending.clear();
+    d.pending_uid.clear();
+    return {};
+  };
 
   for (const auto& step : workload.steps) {
     if (const auto* a = std::get_if<AllocOp>(&step)) {
@@ -314,6 +437,7 @@ Expected<RunMetrics> ExecutionEngine::run_serial(const Workload& workload, Execu
       state.live = true;
       state.address = *address;
       state.uid = next_uid++;
+      state.bytes = spec.size;
       ++metrics.allocations;
 
       const double overhead = mode.take_alloc_overhead_ns();
@@ -332,6 +456,7 @@ Expected<RunMetrics> ExecutionEngine::run_serial(const Workload& workload, Execu
       if (options_.observer != nullptr) options_.observer->on_free(now, state.uid);
       state.live = false;
       ++metrics.frees;
+      if (online_driver) online_driver->tracker.forget(f->object);
     } else if (const auto* r = std::get_if<ReallocOp>(&step)) {
       // Interposed realloc: free + alloc through the mode (FlexMalloc
       // keeps the tier of the call stack), fresh uid like a fresh pointer.
@@ -347,6 +472,7 @@ Expected<RunMetrics> ExecutionEngine::run_serial(const Workload& workload, Execu
       if (!address) return unexpected("realloc failed: " + address.error());
       state.address = *address;
       state.uid = next_uid++;
+      state.bytes = r->new_size;
       ++metrics.allocations;
       const double overhead = mode.take_alloc_overhead_ns();
       metrics.alloc_overhead_ns += overhead;
@@ -355,11 +481,59 @@ Expected<RunMetrics> ExecutionEngine::run_serial(const Workload& workload, Execu
         options_.observer->on_alloc(now, state.uid, state.address, r->new_size, site.stack);
       }
     } else if (const auto* kop = std::get_if<KernelOp>(&step)) {
+      if (online_driver) {
+        if (Status s = apply_pending_migrations(); !s) return unexpected(s.error());
+      }
       auto end = replay_kernel(*system_, options_, workload, *kop, mode, live, now, metrics,
-                               functions, cache, record_bw);
+                               functions, cache, record_bw,
+                               online_driver ? &online_driver->feedback : nullptr);
       if (!end) return unexpected(end.error());
       now = *end;
+
+      if (online_driver) {
+        OnlineDriver& d = *online_driver;
+        // Sample this kernel's misses and fold them into the hotness
+        // estimate; untouched objects decay inside end_kernel().
+        for (const online::ObjectAccess& acc : d.feedback) {
+          const online::SampledAccess s = d.sampler.sample(acc);
+          const double events = static_cast<double>(s.loads + s.stores);
+          if (events > 0.0) d.tracker.record(acc.object, events, live[acc.object].bytes);
+        }
+        d.tracker.end_kernel();
+
+        // Track fast-tier headroom at every kernel boundary (not just
+        // evaluation ones) so the window sees the allocation troughs.
+        constexpr std::size_t kFastTier = 0;
+        const Bytes usable_headroom = d.conservative_headroom(mode.migration_headroom(kFastTier));
+
+        // Evaluate the policy; the plan applies at the next kernel
+        // boundary (see apply_pending_migrations).
+        if (d.pending.empty()) {
+          std::vector<online::ObjectView> views;
+          views.reserve(live.size());
+          for (std::size_t obj = 0; obj < live.size(); ++obj) {
+            if (!live[obj].live) continue;
+            auto tier = mode.object_tier(obj);
+            if (!tier) continue;
+            views.push_back(online::ObjectView{obj, live[obj].bytes, *tier,
+                                               d.tracker.hotness(obj),
+                                               d.tracker.shield(obj),
+                                               d.tracker.age(obj)});
+          }
+          d.pending = d.planner.plan(views, kFastTier, usable_headroom);
+          d.pending_uid.reserve(d.pending.size());
+          for (const online::PlannedMove& mv : d.pending) {
+            d.pending_uid.push_back(live[mv.object].uid);
+          }
+          metrics.migrations_scheduled += d.pending.size();
+        }
+      }
     }
+  }
+
+  // Moves still pending when the run ends were never applied.
+  if (online_driver) {
+    metrics.migrations_cancelled += online_driver->pending.size();
   }
 
   metrics.total_ns = now;
@@ -380,6 +554,11 @@ Expected<RunMetrics> ExecutionEngine::run_parallel(const Workload& workload, Exe
   if (!mode.concurrent_alloc_safe()) {
     return unexpected("execution mode '" + mode.name() +
                       "' does not support concurrent allocation replay; use replay_threads=1");
+  }
+  if (options_.online_policy != nullptr) {
+    return unexpected(
+        "online placement requires serial replay (replay_threads=1); migrations are placement "
+        "decisions and must not depend on worker interleaving");
   }
 
   const std::size_t tiers = system_->tier_count();
@@ -430,6 +609,7 @@ Expected<RunMetrics> ExecutionEngine::run_parallel(const Workload& workload, Exe
       state.live = true;
       state.address = *address;
       state.uid = counters.next_uid.fetch_add(1, std::memory_order_relaxed);
+      state.bytes = spec.size;
       counters.allocations.fetch_add(1, std::memory_order_relaxed);
     } else if (const auto* f = std::get_if<FreeOp>(step)) {
       auto& state = live[f->object];
@@ -462,6 +642,7 @@ Expected<RunMetrics> ExecutionEngine::run_parallel(const Workload& workload, Exe
       }
       state.address = *address;
       state.uid = counters.next_uid.fetch_add(1, std::memory_order_relaxed);
+      state.bytes = r->new_size;
       counters.allocations.fetch_add(1, std::memory_order_relaxed);
     }
     return true;

@@ -41,6 +41,10 @@
 #include "ecohmem/runtime/observer.hpp"
 #include "ecohmem/runtime/workload.hpp"
 
+namespace ecohmem::online {
+struct OnlinePolicyConfig;
+}  // namespace ecohmem::online
+
 namespace ecohmem::runtime {
 
 struct EngineOptions {
@@ -68,6 +72,15 @@ struct EngineOptions {
 
   /// Optional observation hook (profiler). Serial replay only.
   ExecutionObserver* observer = nullptr;
+
+  /// Opt-in online placement (docs/online.md): the engine samples each
+  /// kernel's misses, tracks per-object hotness, and applies the
+  /// policy's promote/demote migrations at kernel boundaries, charging
+  /// their cost into the clock and the bandwidth meters. Requires a
+  /// mode with `supports_object_migration()` and serial replay
+  /// (`replay_threads == 1`); `run` fails with a clear error otherwise.
+  /// The pointed-to config must outlive the run.
+  const online::OnlinePolicyConfig* online_policy = nullptr;
 };
 
 class ExecutionEngine {

@@ -50,6 +50,19 @@ struct TierTraffic {
   double write_bytes = 0.0;
 };
 
+/// One applied online migration (docs/online.md). The event log is what
+/// the determinism tests compare bit-for-bit: same seed + same policy +
+/// same workload must reproduce the exact same sequence.
+struct MigrationRecord {
+  Ns at = 0;                  ///< simulated time the move started
+  std::size_t object = 0;     ///< workload object id
+  std::size_t from_tier = 0;  ///< engine tier indices
+  std::size_t to_tier = 0;
+  Bytes bytes = 0;            ///< block bytes moved
+
+  friend bool operator==(const MigrationRecord&, const MigrationRecord&) = default;
+};
+
 /// Everything one replayed run produced: timing breakdown, per-function
 /// aggregates, per-tier traffic and bandwidth timelines, and allocator
 /// counters. Plain data — produced by one engine run, then read-only.
@@ -84,6 +97,16 @@ struct RunMetrics {
   std::uint64_t allocations = 0;  ///< completed alloc + realloc ops
   std::uint64_t frees = 0;        ///< completed free ops (realloc's internal free not counted)
   std::uint64_t oom_redirects = 0;
+
+  /// Online placement counters (zero unless EngineOptions.online_policy
+  /// is set; docs/online.md). Every scheduled move is either applied or
+  /// cancelled: `migrations_scheduled == migrations + migrations_cancelled`.
+  std::uint64_t migrations_scheduled = 0;
+  std::uint64_t migrations = 0;            ///< applied moves
+  std::uint64_t migrations_cancelled = 0;  ///< object died/realloc'd/target full/run ended
+  Bytes migrated_bytes = 0;                ///< padded bytes moved
+  double migration_ns = 0.0;               ///< time charged into total_ns for moves
+  std::vector<MigrationRecord> migration_events;
 
   /// Speedup of this run relative to `baseline` (>1 = this run faster).
   [[nodiscard]] double speedup_over(const RunMetrics& baseline) const {

@@ -2,6 +2,24 @@
 
 namespace ecohmem::runtime {
 
+// Default migration surface: modes without object-migration support
+// answer every call with a clear error (the engine checks
+// `supports_object_migration` first, so reaching these is a bug).
+
+Expected<ObjectMigration> ExecutionMode::migrate_object(std::size_t object,
+                                                        std::uint64_t address,
+                                                        std::size_t target_tier) {
+  (void)object;
+  (void)address;
+  (void)target_tier;
+  return unexpected("execution mode '" + name() + "' does not support object migration");
+}
+
+Expected<std::size_t> ExecutionMode::object_tier(std::size_t object) const {
+  (void)object;
+  return unexpected("execution mode '" + name() + "' does not track per-object tiers");
+}
+
 // ---------------------------------------------------------------- AppDirect
 
 AppDirectMode::AppDirectMode(const memsim::MemorySystem* system, flexmalloc::FlexMalloc* fm)
@@ -62,6 +80,44 @@ double AppDirectMode::take_alloc_overhead_ns() {
 }
 
 std::uint64_t AppDirectMode::oom_redirects() const { return fm_->oom_redirects(); }
+
+Expected<std::size_t> AppDirectMode::fm_tier_for(std::size_t tier) const {
+  for (std::size_t i = 0; i < fm_to_engine_.size(); ++i) {
+    if (fm_to_engine_[i] == tier) return i;
+  }
+  return unexpected("no FlexMalloc heap backs engine tier " + std::to_string(tier));
+}
+
+Expected<ObjectMigration> AppDirectMode::migrate_object(std::size_t object,
+                                                        std::uint64_t address,
+                                                        std::size_t target_tier) {
+  const auto fm_tier = fm_tier_for(target_tier);
+  if (!fm_tier) return unexpected(fm_tier.error());
+
+  const auto outcome = fm_->migrate(address, *fm_tier);
+  if (!outcome) return unexpected(outcome.error());
+
+  ObjectMigration m;
+  m.moved = outcome->moved;
+  m.address = outcome->address;
+  m.from_tier = fm_to_engine_.at(outcome->from_tier);
+  m.bytes = outcome->bytes;
+  if (m.moved) object_tier_.at(object) = target_tier;
+  return m;
+}
+
+Expected<std::size_t> AppDirectMode::object_tier(std::size_t object) const {
+  return tier_of(object);
+}
+
+Bytes AppDirectMode::migration_headroom(std::size_t tier) const {
+  const auto fm_tier = fm_tier_for(tier);
+  if (!fm_tier) return 0;
+  const auto& heap = fm_->heap(*fm_tier);
+  const Bytes capacity = heap.capacity();
+  const Bytes used = heap.used();
+  return capacity > used ? capacity - used : 0;
+}
 
 Expected<std::size_t> AppDirectMode::tier_of(std::size_t object) const {
   if (object >= object_tier_.size()) return unexpected("object never allocated");

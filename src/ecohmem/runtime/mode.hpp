@@ -47,6 +47,14 @@ struct ObjectTraffic {
   double fixed_latency_ns = 0.0;
 };
 
+/// Result of one attempted object migration (`migrate_object`).
+struct ObjectMigration {
+  bool moved = false;          ///< false = target tier had no capacity
+  std::uint64_t address = 0;   ///< new address when moved, else the original
+  std::size_t from_tier = 0;   ///< engine tier the object came from
+  Bytes bytes = 0;             ///< block bytes moved (padded size)
+};
+
 class ExecutionMode {
  public:
   explicit ExecutionMode(const memsim::MemorySystem* system) : system_(system) {}
@@ -129,6 +137,33 @@ class ExecutionMode {
   /// OOM fallback redirections (AppDirect reports FlexMalloc's counter).
   [[nodiscard]] virtual std::uint64_t oom_redirects() const { return 0; }
 
+  /// --- Object migration (the online placement subsystem, docs/online.md).
+  /// Modes that can move a live object between tiers opt in by
+  /// overriding all four members; the engine refuses to run an online
+  /// policy against a mode that keeps the default `false`. All four are
+  /// engine-thread-only (migrations happen at kernel boundaries, which
+  /// are barriers).
+
+  /// Whether `migrate_object` is implemented.
+  [[nodiscard]] virtual bool supports_object_migration() const { return false; }
+
+  /// Moves the live object's block at `address` into engine tier
+  /// `target_tier`. `moved == false` means the target had no capacity
+  /// and the object is untouched (not an error); errors are reserved
+  /// for unknown addresses/tiers.
+  [[nodiscard]] virtual Expected<ObjectMigration> migrate_object(std::size_t object,
+                                                                 std::uint64_t address,
+                                                                 std::size_t target_tier);
+
+  /// Engine tier the live object currently occupies.
+  [[nodiscard]] virtual Expected<std::size_t> object_tier(std::size_t object) const;
+
+  /// Free capacity migrations may grow engine tier `tier` by.
+  [[nodiscard]] virtual Bytes migration_headroom(std::size_t tier) const {
+    (void)tier;
+    return 0;
+  }
+
   [[nodiscard]] const memsim::MemorySystem& system() const { return *system_; }
 
  protected:
@@ -159,10 +194,21 @@ class AppDirectMode final : public ExecutionMode {
   [[nodiscard]] double take_alloc_overhead_ns() override;
   [[nodiscard]] std::uint64_t oom_redirects() const override;
 
+  /// Object migration through FlexMalloc's tier heaps (docs/online.md).
+  [[nodiscard]] bool supports_object_migration() const override { return true; }
+  [[nodiscard]] Expected<ObjectMigration> migrate_object(std::size_t object,
+                                                         std::uint64_t address,
+                                                         std::size_t target_tier) override;
+  [[nodiscard]] Expected<std::size_t> object_tier(std::size_t object) const override;
+  [[nodiscard]] Bytes migration_headroom(std::size_t tier) const override;
+
   /// Tier the given workload object currently lives in.
   [[nodiscard]] Expected<std::size_t> tier_of(std::size_t object) const;
 
  private:
+  /// FlexMalloc tier index backing engine tier `tier`, if any.
+  [[nodiscard]] Expected<std::size_t> fm_tier_for(std::size_t tier) const;
+
   flexmalloc::FlexMalloc* fm_;
   std::vector<std::size_t> object_tier_;   // engine tier index per object
   std::vector<std::size_t> fm_to_engine_;  // FlexMalloc tier idx -> engine tier idx

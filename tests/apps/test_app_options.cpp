@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "ecohmem/analyzer/aggregator.hpp"
 #include "ecohmem/apps/apps.hpp"
 #include "ecohmem/core/ecohmem.hpp"
@@ -37,7 +39,12 @@ TEST_P(ScaleSweep, ScaledModelStillRuns) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllApps, ScaleSweep, ::testing::ValuesIn(apps::app_names()),
-                         [](const auto& param_info) { return param_info.param; });
+                         [](const auto& param_info) {
+                           // gtest test names reject '-' ("phase-shift").
+                           std::string name = param_info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
 
 TEST(Pmem200, FortyPercentMoreBandwidth) {
   const auto gen1 = memsim::optane_pmem_spec(6);

@@ -229,5 +229,102 @@ TEST(FlexMallocConcurrency, ParallelMallocFreeReallocKeepsTiersConsistent) {
   }
 }
 
+TEST(FlexMallocConcurrency, ParallelMigrationKeepsCountersAndHeapsConsistent) {
+  // Threads migrate their own live blocks back and forth between tiers
+  // while also allocating and freeing — the single-owner-per-address
+  // rule from docs/threading.md. Every counter must reconcile exactly
+  // against the per-thread tallies after the join, and a refused move
+  // (full target) must leave the block where it was.
+  ParsedReport report;
+  report.fallback_tier = "pmem";
+  report.entries.push_back(ReportEntry{make_stack(0), "dram", 0});
+
+  auto fm = FlexMalloc::create({{"dram", 64ull << 20}, {"pmem", 1ull << 30}}, report,
+                               nullptr, {});
+  ASSERT_TRUE(fm.has_value());
+
+  struct ThreadTally {
+    std::uint64_t moved = 0;
+    Bytes moved_bytes = 0;
+    std::uint64_t refused = 0;
+    std::uint64_t allocs = 0;
+    std::uint64_t failures = 0;
+  };
+  std::vector<ThreadTally> tallies(kThreads);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(0x317 + t * 7919);
+      ThreadTally& mine = tallies[t];
+      std::vector<std::pair<std::uint64_t, std::size_t>> live;  // address, tier
+      for (int step = 0; step < 3000; ++step) {
+        const double roll = rng.next_double();
+        if (live.empty() || roll < 0.4) {
+          const auto a = fm->malloc(make_stack(rng.next_below(4)), 1 + rng.next_below(8192));
+          if (!a) {
+            ++mine.failures;
+            continue;
+          }
+          ++mine.allocs;
+          live.emplace_back(a->address, a->tier_index);
+        } else if (roll < 0.6) {
+          const std::size_t pick = rng.next_below(live.size());
+          if (!fm->free(live[pick].first).ok()) ++mine.failures;
+          live.erase(live.begin() + static_cast<long>(pick));
+        } else {
+          // Move one of our own blocks to the other tier. Only this
+          // thread touches this address, so the locally tracked tier
+          // is authoritative and a same-tier error can never happen.
+          const std::size_t pick = rng.next_below(live.size());
+          const std::size_t target = 1 - live[pick].second;
+          const auto outcome = fm->migrate(live[pick].first, target);
+          if (!outcome) {
+            ++mine.failures;
+            continue;
+          }
+          if (outcome->moved) {
+            ++mine.moved;
+            mine.moved_bytes += outcome->bytes;
+            live[pick] = {outcome->address, target};
+          } else {
+            ++mine.refused;
+            if (outcome->address != live[pick].first) ++mine.failures;
+          }
+        }
+      }
+      for (const auto& [addr, tier] : live) {
+        if (!fm->free(addr).ok()) ++mine.failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::uint64_t moved = 0;
+  Bytes moved_bytes = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t allocs = 0;
+  for (const auto& tally : tallies) {
+    EXPECT_EQ(tally.failures, 0u);
+    moved += tally.moved;
+    moved_bytes += tally.moved_bytes;
+    refused += tally.refused;
+    allocs += tally.allocs;
+  }
+  EXPECT_EQ(fm->migrations(), moved);
+  EXPECT_EQ(fm->migrated_bytes(), moved_bytes);
+  EXPECT_EQ(fm->migration_refusals(), refused);
+  EXPECT_GT(moved, 0u);
+
+  // Migrations never count as allocations (TierStats tracks routing).
+  std::uint64_t tier_allocs = 0;
+  for (const auto& s : fm->stats()) tier_allocs += s.allocations;
+  EXPECT_EQ(tier_allocs, allocs);
+  for (std::size_t t = 0; t < fm->tier_count(); ++t) {
+    EXPECT_EQ(fm->heap(t).used(), 0u) << fm->tier_name(t);
+  }
+}
+
 }  // namespace
 }  // namespace ecohmem::flexmalloc

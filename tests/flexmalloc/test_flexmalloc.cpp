@@ -203,5 +203,102 @@ TEST(FlexMalloc, AddressesAreTierDisjoint) {
   EXPECT_FALSE(fm.heap(cold->tier_index).owns(hot->address));
 }
 
+// ------------------------------------------------------------ migrate
+
+TEST(FlexMallocMigrate, MovesLiveBlockBetweenTiers) {
+  FlexMalloc fm = make_fm();
+  const auto a = fm.malloc(kHotStack, 256);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_EQ(fm.tier_name(a->tier_index), "dram");
+
+  const auto pmem = fm.tier_index("pmem");
+  ASSERT_TRUE(pmem.has_value());
+  const auto moved = fm.migrate(a->address, *pmem);
+  ASSERT_TRUE(moved.has_value()) << moved.error();
+  EXPECT_TRUE(moved->moved);
+  EXPECT_EQ(moved->from_tier, a->tier_index);
+  EXPECT_GE(moved->bytes, 256u);
+  EXPECT_TRUE(fm.heap(*pmem).owns(moved->address));
+  EXPECT_FALSE(fm.heap(a->tier_index).owns(moved->address));
+  EXPECT_EQ(fm.migrations(), 1u);
+  EXPECT_GE(fm.migrated_bytes(), 256u);
+  EXPECT_EQ(fm.migration_refusals(), 0u);
+}
+
+TEST(FlexMallocMigrate, AddressMapFollowsTheMove) {
+  FlexMalloc fm = make_fm();
+  const auto a = fm.malloc(kHotStack, 128);
+  ASSERT_TRUE(a.has_value());
+  const auto pmem = fm.tier_index("pmem");
+  ASSERT_TRUE(pmem.has_value());
+  const auto moved = fm.migrate(a->address, *pmem);
+  ASSERT_TRUE(moved.has_value());
+  ASSERT_TRUE(moved->moved);
+
+  // The old address is gone; the new one frees cleanly.
+  EXPECT_FALSE(fm.free(a->address).ok());
+  EXPECT_TRUE(fm.free(moved->address).ok());
+}
+
+TEST(FlexMallocMigrate, UnknownAddressIsAnError) {
+  FlexMalloc fm = make_fm();
+  const auto pmem = fm.tier_index("pmem");
+  ASSERT_TRUE(pmem.has_value());
+  EXPECT_FALSE(fm.migrate(0xdeadbeef, *pmem).has_value());
+}
+
+TEST(FlexMallocMigrate, SameTierRequestIsAnError) {
+  FlexMalloc fm = make_fm();
+  const auto a = fm.malloc(kHotStack, 64);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(fm.migrate(a->address, a->tier_index).has_value());
+}
+
+TEST(FlexMallocMigrate, UnknownTierIsAnError) {
+  FlexMalloc fm = make_fm();
+  const auto a = fm.malloc(kHotStack, 64);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(fm.migrate(a->address, 99).has_value());
+}
+
+TEST(FlexMallocMigrate, FullTargetRefusesButDoesNotError) {
+  // dram heap of 256 bytes: a resident block leaves no room for the
+  // 256-byte block we try to move in from pmem.
+  auto fm = FlexMalloc::create({{"dram", 256}, {"pmem", 1 << 20}}, test_report(), nullptr);
+  ASSERT_TRUE(fm.has_value());
+  const auto resident = fm->malloc(kHotStack, 256);
+  ASSERT_TRUE(resident.has_value());
+  const auto visitor = fm->malloc(kColdStack, 256);
+  ASSERT_TRUE(visitor.has_value());
+  ASSERT_EQ(fm->tier_name(visitor->tier_index), "pmem");
+
+  const auto dram = fm->tier_index("dram");
+  ASSERT_TRUE(dram.has_value());
+  const auto refused = fm->migrate(visitor->address, *dram);
+  ASSERT_TRUE(refused.has_value()) << refused.error();
+  EXPECT_FALSE(refused->moved);
+  EXPECT_EQ(refused->address, visitor->address);  // block untouched
+  EXPECT_EQ(fm->migrations(), 0u);
+  EXPECT_EQ(fm->migration_refusals(), 1u);
+  EXPECT_TRUE(fm->free(visitor->address).ok());
+}
+
+TEST(FlexMallocMigrate, CountersAccumulateAcrossMoves) {
+  FlexMalloc fm = make_fm();
+  const auto pmem = fm.tier_index("pmem");
+  const auto dram = fm.tier_index("dram");
+  ASSERT_TRUE(pmem && dram);
+  const auto a = fm.malloc(kHotStack, 100);
+  ASSERT_TRUE(a.has_value());
+  const auto there = fm.migrate(a->address, *pmem);
+  ASSERT_TRUE(there.has_value());
+  ASSERT_TRUE(there->moved);
+  const auto back = fm.migrate(there->address, *dram);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back->moved);
+  EXPECT_EQ(fm.migrations(), 2u);
+  EXPECT_EQ(fm.migrated_bytes(), there->bytes + back->bytes);
+}
+
 }  // namespace
 }  // namespace ecohmem::flexmalloc

@@ -19,8 +19,13 @@ int main(int argc, char** argv) {
     return args.has("help") ? 0 : 1;
   }
 
+  const auto iterations = args.get_int_in_range("iterations", 0, 0, 1'000'000);
+  if (!iterations) return cli::fail(iterations.error());
+  const auto parallelism = args.get_int_in_range("parallelism", 0, 0, 1024);
+  if (!parallelism) return cli::fail(parallelism.error());
+
   apps::AppOptions app_opt;
-  app_opt.iterations = static_cast<int>(args.get_double("iterations", 0.0));
+  app_opt.iterations = static_cast<int>(*iterations);
   runtime::Workload workload;
   try {
     workload = apps::make_app(args.get("app"), app_opt);
@@ -30,8 +35,8 @@ int main(int argc, char** argv) {
   const auto system = memsim::paper_system(6);
   if (!system) return cli::fail(system.error());
 
-  const auto result = core::autotune(
-      workload, *system, {}, static_cast<unsigned>(args.get_double("parallelism", 0.0)));
+  const auto result =
+      core::autotune(workload, *system, {}, static_cast<unsigned>(*parallelism));
   if (!result) return cli::fail(result.error());
 
   std::printf("%12s %10s %10s %10s\n", "dram", "C_store", "bw-aware", "speedup");

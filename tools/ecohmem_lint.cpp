@@ -1,15 +1,16 @@
 // ecohmem-lint — cross-artifact invariant checker for the pipeline's
 // offline artifacts (trace, analyzer site CSV, advisor placement report,
-// advisor config).
+// advisor config, online placement policy).
 //
-// The four artifacts are produced by loosely-coupled stages; nothing in
-// the pipeline itself verifies they stayed mutually consistent. This tool
+// The artifacts are produced by loosely-coupled stages; nothing in the
+// pipeline itself verifies they stayed mutually consistent. This tool
 // runs the ecohmem::check rule set over any combination of them and
 // reports drift before a production run can silently misplace objects.
 //
 // Usage:
 //   ecohmem-lint [--trace <trace.trc>] [--sites <sites.csv>]
 //                [--report <report.txt>] [--config <advisor.ini>]
+//                [--online-policy <policy.ini>]
 //                [--json] [--disable id1,id2] [--list-rules] [--quiet]
 //
 // Exit status: 0 = clean (warnings allowed), 1 = error-severity findings,
@@ -39,8 +40,8 @@ int list_rules() {
 /// maps a trailing value-flag to "true", but a linter should hold its own
 /// command line to the same standard as the artifacts it checks.
 bool validate_usage(int argc, char** argv) {
-  static constexpr std::string_view kValueFlags[] = {"trace", "sites", "report", "config",
-                                                     "disable"};
+  static constexpr std::string_view kValueFlags[] = {"trace",  "sites",         "report",
+                                                     "config", "online-policy", "disable"};
   static constexpr std::string_view kBoolFlags[] = {"json", "list-rules", "quiet", "help"};
   const auto is_one_of = [](std::string_view name, const auto& set) {
     for (const auto& f : set) {
@@ -81,6 +82,7 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: ecohmem-lint [--trace <trace.trc>] [--sites <sites.csv>]\n"
         "                    [--report <report.txt>] [--config <advisor.ini>]\n"
+        "                    [--online-policy <policy.ini>]\n"
         "                    [--json] [--disable id1,id2] [--list-rules] [--quiet]\n"
         "exit: 0 clean, 1 error findings, 2 usage error\n");
     return 0;
@@ -92,6 +94,7 @@ int main(int argc, char** argv) {
   inputs.sites_path = args.get("sites");
   inputs.report_path = args.get("report");
   inputs.config_path = args.get("config");
+  inputs.online_path = args.get("online-policy");
 
   check::CheckOptions options;
   if (args.has("disable")) {

@@ -12,6 +12,7 @@
 //   ecohmem-profile --app lulesh --out /tmp/lulesh.trc
 
 #include <cstdio>
+#include <limits>
 
 #include "cli_common.hpp"
 #include "ecohmem/apps/apps.hpp"
@@ -35,8 +36,15 @@ int main(int argc, char** argv) {
     return args.has("help") ? 0 : 1;
   }
 
+  const auto iterations = args.get_int_in_range("iterations", 0, 0, 1'000'000);
+  if (!iterations) return cli::fail(iterations.error());
+  const auto pmem_dimms = args.get_int_in_range("pmem-dimms", 6, 1, 64);
+  if (!pmem_dimms) return cli::fail(pmem_dimms.error());
+  const auto seed = args.get_int_in_range("seed", 0x5eed, 0, std::numeric_limits<long long>::max());
+  if (!seed) return cli::fail(seed.error());
+
   apps::AppOptions app_opt;
-  app_opt.iterations = static_cast<int>(args.get_double("iterations", 0.0));
+  app_opt.iterations = static_cast<int>(*iterations);
   runtime::Workload workload;
   try {
     workload = apps::make_app(args.get("app"), app_opt);
@@ -44,13 +52,12 @@ int main(int argc, char** argv) {
     return cli::fail(e.what());
   }
 
-  const auto system = memsim::paper_system(
-      static_cast<int>(args.get_double("pmem-dimms", 6.0)));
+  const auto system = memsim::paper_system(static_cast<int>(*pmem_dimms));
   if (!system) return cli::fail(system.error());
 
   profiler::ProfilerOptions popt;
   popt.sample_rate_hz = args.get_double("rate", 100.0);
-  popt.seed = static_cast<std::uint64_t>(args.get_double("seed", 0x5eed));
+  popt.seed = static_cast<std::uint64_t>(*seed);
   popt.sample_stores = !args.has("no-stores");
   profiler::Profiler prof(popt);
 

@@ -21,12 +21,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <thread>
 
 #include "cli_common.hpp"
 #include "ecohmem/apps/apps.hpp"
 #include "ecohmem/core/ecohmem.hpp"
 #include "ecohmem/flexmalloc/flexmalloc.hpp"
+#include "ecohmem/online/policy_config.hpp"
 
 using namespace ecohmem;
 
@@ -36,11 +38,13 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: ecohmem-run --app <name> --report <report.txt>\n"
         "                   [--iterations N] [--dram-capacity 12GB] [--pmem-dimms 6]\n"
-        "                   [--threads N]\n"
+        "                   [--threads N] [--online <policy.ini>]\n"
         "\n"
         "  --threads N   replay the allocation stream on N worker threads\n"
         "                (1..256, default 1; results are thread-count independent —\n"
-        "                batches that could exhaust a tier replay in program order)\n");
+        "                batches that could exhaust a tier replay in program order)\n"
+        "  --online F    enable the online placement policy from INI file F\n"
+        "                (docs/online.md; serial replay only, so not with --threads > 1)\n");
     return args.has("help") ? 0 : 1;
   }
 
@@ -85,6 +89,15 @@ int main(int argc, char** argv) {
   runtime::AppDirectMode mode(&*system, &*fm);
   runtime::EngineOptions engine_options;
   engine_options.replay_threads = static_cast<int>(*threads);
+
+  std::optional<online::OnlinePolicyConfig> online_policy;
+  if (args.has("online")) {
+    auto policy = online::OnlinePolicyConfig::load(args.get("online"));
+    if (!policy) return cli::fail(policy.error());
+    online_policy = *policy;
+    engine_options.online_policy = &*online_policy;
+  }
+
   runtime::ExecutionEngine engine(&*system, engine_options);
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -112,6 +125,13 @@ int main(int argc, char** argv) {
     std::printf("  tier %-6s %8llu allocations, high water %llu MB\n", s.tier.c_str(),
                 static_cast<unsigned long long>(s.allocations),
                 static_cast<unsigned long long>(s.high_water >> 20));
+  }
+  if (online_policy) {
+    std::printf("  online     : %llu migrations (%llu cancelled), %llu MB moved, %.1f ms migration time\n",
+                static_cast<unsigned long long>(production->migrations),
+                static_cast<unsigned long long>(production->migrations_cancelled),
+                static_cast<unsigned long long>(production->migrated_bytes >> 20),
+                production->migration_ns * 1e-6);
   }
   return 0;
 }

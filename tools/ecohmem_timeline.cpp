@@ -28,8 +28,11 @@ int main(int argc, char** argv) {
     return args.has("help") ? 0 : 1;
   }
 
+  const auto iterations = args.get_int_in_range("iterations", 0, 0, 1'000'000);
+  if (!iterations) return cli::fail(iterations.error());
+
   apps::AppOptions app_opt;
-  app_opt.iterations = static_cast<int>(args.get_double("iterations", 0.0));
+  app_opt.iterations = static_cast<int>(*iterations);
   runtime::Workload workload;
   try {
     workload = apps::make_app(args.get("app"), app_opt);
