@@ -29,16 +29,32 @@ if [ "$sanitize" -eq 1 ]; then
   ctest --preset asan-ubsan -j"$(nproc)"
 
   # The concurrency stress tests (FlexMalloc layer + parallel replay
-  # engine) only prove their locking under ThreadSanitizer; ASan cannot
-  # see data races (docs/threading.md).
+  # engine + parallel aggregation) only prove their locking under
+  # ThreadSanitizer; ASan cannot see data races (docs/threading.md).
   echo "== concurrency stress tests under TSan =="
   cmake --preset tsan
   cmake --build --preset tsan
-  ctest --preset tsan -j"$(nproc)" -R 'Concurrency|ParallelReplay'
+  ctest --preset tsan -j"$(nproc)" -R 'Concurrency|ParallelReplay|ParallelAggregation'
 fi
 
 for b in build/bench/*; do
+  case "$b" in */bench_trace_pipeline) continue ;; esac  # run in smoke mode below
   [ -x "$b" ] && [ -f "$b" ] && "$b"
+done
+
+# Trace pipeline bench (smoke mode: small synthetic trace, one repeat).
+# The binary itself exits nonzero when any app's parallel aggregation is
+# not bit-identical to serial; the decode-throughput bound is recorded
+# but not gated in smoke mode (a sub-second trace measures call overhead,
+# not throughput) — the committed full-size record BENCH_trace_pipeline.json
+# is what certifies the bound.
+build/bench/bench_trace_pipeline --smoke --out /tmp/BENCH_trace_pipeline_smoke.json
+for key in '"bench": "trace_pipeline"' '"hardware_concurrency"' '"v3_block_decode_mbs"' \
+           '"aggregate_speedup"' '"per_block_decode_speedup"' '"speedup_bound_enforced"' \
+           '"speedup_bound_met": true' '"identical": true'; do
+  if ! grep -F "$key" /tmp/BENCH_trace_pipeline_smoke.json >/dev/null; then
+    echo "BENCH_trace_pipeline_smoke.json missing $key" >&2; exit 1
+  fi
 done
 
 build/examples/quickstart
@@ -93,10 +109,27 @@ for key in '"bench": "online_placement"' '"hysteresis"' '"all_pass": true' \
   fi
 done
 
+# v3 indexed trace path: profile in v3, lint the footer index
+# (trace-v3-index), aggregate in parallel — the report must be
+# byte-identical to the serial one — and stream a timeline from the file.
+build/tools/ecohmem-profile --app lulesh --out /tmp/ecohmem_ci_v3.trc \
+  --format v3 --block-events 4096
+build/tools/ecohmem-lint --trace /tmp/ecohmem_ci_v3.trc
+build/tools/ecohmem-advisor --trace /tmp/ecohmem_ci_v3.trc \
+  --out /tmp/ecohmem_ci_v3_parallel.txt --threads 4
+build/tools/ecohmem-advisor --trace /tmp/ecohmem_ci_v3.trc \
+  --out /tmp/ecohmem_ci_v3_serial.txt
+cmp /tmp/ecohmem_ci_v3_parallel.txt /tmp/ecohmem_ci_v3_serial.txt
+build/tools/ecohmem-timeline --trace /tmp/ecohmem_ci_v3.trc \
+  --out /tmp/ecohmem_ci_v3.csv --bin-ms 50
+
 # Every tool parsing integer flags through cli_common must reject
 # out-of-range values instead of silently truncating them.
 for bad in "build/tools/ecohmem-profile --app hpcg --out /tmp/ecohmem_ci_bad.trc --pmem-dimms 0" \
+           "build/tools/ecohmem-profile --app hpcg --out /tmp/ecohmem_ci_bad.trc --format v3 --block-events 0" \
+           "build/tools/ecohmem-advisor --trace /tmp/ecohmem_ci_v3.trc --out /tmp/ecohmem_ci_bad.txt --threads 0" \
            "build/tools/ecohmem-timeline --app hpcg --out /tmp/ecohmem_ci_bad.csv --iterations -1" \
+           "build/tools/ecohmem-timeline --trace /tmp/ecohmem_ci_v3.trc --out /tmp/ecohmem_ci_bad.csv --bin-ms 0" \
            "build/tools/ecohmem-autotune --app hpcg --parallelism 9999"; do
   if $bad; then
     echo "accepted bad flag: $bad" >&2; exit 1

@@ -4,16 +4,27 @@
 #include <map>
 #include <unordered_map>
 
+#include "ecohmem/runtime/worker_pool.hpp"
+
 namespace ecohmem::analyzer {
 
 namespace {
 
-/// A live allocation during replay.
-struct LiveObject {
-  std::uint64_t address = 0;
+/// One allocation's lifetime in *event-index* space, recorded during the
+/// serial replay so that sample attribution can be answered for any
+/// event index afterwards (and therefore in parallel): the span is in
+/// the live map exactly for event indices `alloc_idx < i < end_idx`.
+/// `end_idx` is the index of the free event, the index of an alloc that
+/// reused the address while the object was still live (the historical
+/// overwrite behavior), or `n_events` for objects that survive the
+/// trace.
+struct Span {
+  std::uint64_t start = 0;
   Bytes size = 0;
   trace::StackId stack = trace::kInvalidStack;
   Ns alloc_time = 0;
+  std::uint64_t alloc_idx = 0;
+  std::uint64_t end_idx = 0;
 };
 
 /// Accumulator per allocation site during replay.
@@ -28,6 +39,74 @@ struct SiteAccum {
 struct FunctionAccum {
   double samples = 0.0;
   double latency_sum = 0.0;
+};
+
+/// Per-worker sample-side accumulators (phase: accumulate). Each worker
+/// owns a disjoint set of keys (`stack % W`, `function_id % W`), folds
+/// them in stream order starting from zero, and the merge just moves
+/// each key's single fold into the global map — so the result is
+/// bit-identical for every worker count, including 1 (FP addition is
+/// non-associative, but every per-key addition sequence here is the
+/// serial one).
+struct SampleShard {
+  std::unordered_map<trace::StackId, SiteAccum> sites;
+  std::map<std::uint32_t, FunctionAccum> functions;
+  double unattributed = 0.0;  ///< folded by worker 0 only
+};
+
+/// Answers "which object was live at address `addr` when event `i`
+/// executed" exactly as the serial live-map did: find the greatest live
+/// start <= addr, containment-check that single candidate. Spans are
+/// grouped by start address; within a group the residency intervals
+/// [alloc_idx, end_idx) are disjoint and ordered, so a binary search
+/// finds the unique candidate.
+class SpanIndex {
+ public:
+  explicit SpanIndex(std::vector<Span> spans) : spans_(std::move(spans)) {
+    std::stable_sort(spans_.begin(), spans_.end(),
+                     [](const Span& a, const Span& b) { return a.start < b.start; });
+    for (std::size_t i = 0; i < spans_.size(); ++i) {
+      if (starts_.empty() || starts_.back() != spans_[i].start) {
+        starts_.push_back(spans_[i].start);
+        run_begin_.push_back(i);
+      }
+    }
+    run_begin_.push_back(spans_.size());
+  }
+
+  /// Resolves the sample at event index `i` touching `addr` to a site,
+  /// or kInvalidStack when no live object matches (the serial
+  /// "unattributed" outcome). Const and thread-safe.
+  [[nodiscard]] trace::StackId resolve(std::uint64_t addr, std::uint64_t i) const {
+    auto it = std::upper_bound(starts_.begin(), starts_.end(), addr);
+    while (it != starts_.begin()) {
+      --it;
+      const auto run = static_cast<std::size_t>(it - starts_.begin());
+      const std::size_t lo = run_begin_[run];
+      const std::size_t hi = run_begin_[run + 1];
+      // Last span in the run allocated before event i.
+      auto sp_it = std::partition_point(spans_.begin() + static_cast<std::ptrdiff_t>(lo),
+                                        spans_.begin() + static_cast<std::ptrdiff_t>(hi),
+                                        [i](const Span& s) { return s.alloc_idx < i; });
+      if (sp_it != spans_.begin() + static_cast<std::ptrdiff_t>(lo)) {
+        const Span& sp = *(sp_it - 1);
+        if (sp.end_idx > i) {
+          // This start held a live object at event i: it is the serial
+          // nearest-below live entry. Containment decides; lower starts
+          // are never consulted (matching the serial single-candidate
+          // check).
+          return addr >= sp.start && addr < sp.start + sp.size ? sp.stack
+                                                               : trace::kInvalidStack;
+        }
+      }
+    }
+    return trace::kInvalidStack;
+  }
+
+ private:
+  std::vector<Span> spans_;
+  std::vector<std::uint64_t> starts_;     ///< distinct start addresses, ascending
+  std::vector<std::size_t> run_begin_;    ///< starts_.size()+1 offsets into spans_
 };
 
 }  // namespace
@@ -50,30 +129,15 @@ std::string to_string(BandwidthRegion region) {
 
 Expected<AnalysisResult> analyze(const trace::Trace& trace, const AnalyzerOptions& options) {
   AnalysisResult result;
+  const std::uint64_t n_events = trace.events.size();
 
-  // --- Pass 1: replay allocations, build the bandwidth timeline, and
-  // attribute samples to live objects via an ordered address map.
-  std::map<std::uint64_t, LiveObject> live;  // keyed by start address
-  std::unordered_map<std::uint64_t, std::uint64_t> object_address;  // id -> addr
-  std::unordered_map<trace::StackId, SiteAccum> sites;
-  std::unordered_map<std::uint32_t, FunctionAccum> functions;
-
+  // --- Phase 1 (serial): bandwidth prescan. Uncore readings (which see
+  // prefetch fills) are authoritative; traces without them fall back to
+  // reconstructing traffic from the PEBS samples. Serial because
+  // BandwidthMeter::add smears bytes across bin boundaries — the only
+  // FP fold here that is not per-key shardable.
   memsim::BandwidthMeter bw_meter(1, options.bw_bin_ns);
   Ns last_time = 0;
-
-  auto find_live = [&live](std::uint64_t addr) -> LiveObject* {
-    auto it = live.upper_bound(addr);
-    if (it == live.begin()) return nullptr;
-    --it;
-    LiveObject& obj = it->second;
-    if (addr >= obj.address && addr < obj.address + obj.size) return &obj;
-    return nullptr;
-  };
-
-  // Pre-scan the bandwidth timeline so the allocation-time bandwidth
-  // signal is available in trace order. Uncore readings (which see
-  // prefetch fills) are authoritative; traces without them fall back to
-  // reconstructing traffic from the PEBS samples.
   bool has_uncore = false;
   for (const auto& event : trace.events) {
     if (std::holds_alternative<trace::UncoreBwEvent>(event)) {
@@ -95,12 +159,30 @@ Expected<AnalysisResult> analyze(const trace::Trace& trace, const AnalyzerOption
   }
   result.trace_end = last_time;
 
-  for (const auto& event : trace.events) {
+  // --- Phase 2 (serial): replay allocations/frees in program order,
+  // accumulating every alloc-side metric and recording each object's
+  // lifetime in event-index space (Span) for the attribution phase.
+  // The live map is ordered so that survivors close their windows in
+  // ascending address order, as they always have.
+  std::vector<Span> spans;
+  std::map<std::uint64_t, std::size_t> live;  // start address -> span index
+  std::unordered_map<std::uint64_t, std::uint64_t> object_address;  // id -> addr
+  std::unordered_map<trace::StackId, SiteAccum> sites;
+
+  for (std::uint64_t i = 0; i < n_events; ++i) {
+    const trace::Event& event = trace.events[i];
     if (const auto* a = std::get_if<trace::AllocEvent>(&event)) {
       if (a->stack == trace::kInvalidStack || a->stack >= trace.stacks.size()) {
         return unexpected("alloc event with invalid stack id");
       }
-      live[a->address] = LiveObject{a->address, a->size, a->stack, a->time};
+      auto [it, inserted] = live.try_emplace(a->address, spans.size());
+      if (!inserted) {
+        // Address reuse while live: the previous object drops out of
+        // the live map here, so its span ends at this event.
+        spans[it->second].end_idx = i;
+        it->second = spans.size();
+      }
+      spans.push_back(Span{a->address, a->size, a->stack, a->time, i, n_events});
       object_address[a->object_id] = a->address;
 
       auto& acc = sites[a->stack];
@@ -125,27 +207,75 @@ Expected<AnalysisResult> analyze(const trace::Trace& trace, const AnalyzerOption
       if (live_it == live.end()) {
         return unexpected("double free of object id " + std::to_string(f->object_id));
       }
-      const LiveObject& obj = live_it->second;
-      auto& acc = sites[obj.stack];
-      acc.live_bytes = acc.live_bytes >= obj.size ? acc.live_bytes - obj.size : 0;
-      acc.record.windows.push_back(LiveWindow{obj.alloc_time, f->time});
+      Span& sp = spans[live_it->second];
+      auto& acc = sites[sp.stack];
+      acc.live_bytes = acc.live_bytes >= sp.size ? acc.live_bytes - sp.size : 0;
+      acc.record.windows.push_back(LiveWindow{sp.alloc_time, f->time});
       acc.record.last_free = std::max(acc.record.last_free, f->time);
       acc.record.total_lifetime_ns +=
-          static_cast<double>(f->time > obj.alloc_time ? f->time - obj.alloc_time : 0);
+          static_cast<double>(f->time > sp.alloc_time ? f->time - sp.alloc_time : 0);
+      sp.end_idx = i;
       live.erase(live_it);
       object_address.erase(addr_it);
-    } else if (const auto* s = std::get_if<trace::SampleEvent>(&event)) {
-      LiveObject* obj = find_live(s->address);
-      auto& fn = functions[s->function_id];
-      if (!s->is_store) {
-        fn.samples += s->weight;
-        fn.latency_sum += s->weight * s->latency_ns;
+    }
+    // Samples are attributed in phase 3; markers only delimit functions
+    // and sample events carry their own function attribution.
+  }
+
+  // Objects still live at trace end: close their windows at last_time.
+  for (const auto& [addr, span_idx] : live) {
+    (void)addr;
+    const Span& sp = spans[span_idx];
+    auto& acc = sites[sp.stack];
+    acc.record.windows.push_back(LiveWindow{sp.alloc_time, last_time});
+    acc.record.last_free = std::max(acc.record.last_free, last_time);
+    acc.record.total_lifetime_ns +=
+        static_cast<double>(last_time > sp.alloc_time ? last_time - sp.alloc_time : 0);
+  }
+
+  const std::size_t want_threads =
+      options.threads < 1 ? 1 : static_cast<std::size_t>(options.threads);
+  const std::size_t workers = std::max<std::size_t>(1, want_threads);
+
+  // --- Phase 3 (parallel over event ranges): resolve every sample to a
+  // site via the span index — a pure function of the replayed spans, so
+  // any partitioning gives the same answers. kInvalidStack marks the
+  // serial "no live object" outcome.
+  const SpanIndex span_index(std::move(spans));
+  std::vector<trace::StackId> resolved(static_cast<std::size_t>(n_events),
+                                       trace::kInvalidStack);
+  const auto resolve_range = [&](std::uint64_t begin, std::uint64_t end) {
+    for (std::uint64_t i = begin; i < end; ++i) {
+      if (const auto* s = std::get_if<trace::SampleEvent>(&trace.events[i])) {
+        resolved[static_cast<std::size_t>(i)] = span_index.resolve(s->address, i);
       }
-      if (obj == nullptr) {
-        result.unattributed_samples += s->weight;
+    }
+  };
+
+  // --- Phase 4 (parallel, key-sharded): fold sample weights. Worker w
+  // owns sites with stack % W == w and functions with id % W == w, and
+  // scans the whole stream folding only its keys, so each per-key FP
+  // addition sequence is exactly the serial one (see docs/threading.md).
+  std::vector<SampleShard> shards(workers);
+  const auto accumulate_shard = [&](std::size_t w) {
+    SampleShard& shard = shards[w];
+    for (std::uint64_t i = 0; i < n_events; ++i) {
+      const auto* s = std::get_if<trace::SampleEvent>(&trace.events[i]);
+      if (s == nullptr) continue;
+      if (s->function_id % workers == w) {
+        auto& fn = shard.functions[s->function_id];
+        if (!s->is_store) {
+          fn.samples += s->weight;
+          fn.latency_sum += s->weight * s->latency_ns;
+        }
+      }
+      const trace::StackId stack = resolved[static_cast<std::size_t>(i)];
+      if (stack == trace::kInvalidStack) {
+        if (w == 0) shard.unattributed += s->weight;
         continue;
       }
-      auto& acc = sites[obj->stack];
+      if (stack % workers != w) continue;
+      auto& acc = shard.sites[stack];
       if (s->is_store) {
         acc.record.store_misses += s->weight;
         acc.record.has_writes = true;
@@ -155,21 +285,40 @@ Expected<AnalysisResult> analyze(const trace::Trace& trace, const AnalyzerOption
         acc.latency_sum += s->weight * s->latency_ns;
       }
     }
-    // Marker events only delimit functions; sample events carry their own
-    // function attribution, so no state is needed here.
+  };
+
+  if (workers == 1) {
+    resolve_range(0, n_events);
+    accumulate_shard(0);
+  } else {
+    runtime::WorkerPool pool(workers);
+    pool.run([&](std::size_t w) {
+      const std::uint64_t begin = n_events * w / workers;
+      const std::uint64_t end = n_events * (w + 1) / workers;
+      resolve_range(begin, end);
+    });
+    pool.run(accumulate_shard);
   }
 
-  // Objects still live at trace end: close their windows at last_time.
-  for (const auto& [addr, obj] : live) {
-    (void)addr;
-    auto& acc = sites[obj.stack];
-    acc.record.windows.push_back(LiveWindow{obj.alloc_time, last_time});
-    acc.record.last_free = std::max(acc.record.last_free, last_time);
-    acc.record.total_lifetime_ns +=
-        static_cast<double>(last_time > obj.alloc_time ? last_time - obj.alloc_time : 0);
+  // Merge: shards own disjoint keys, so each target field receives
+  // exactly one worker's fold — no cross-shard FP addition.
+  std::map<std::uint32_t, FunctionAccum> functions;
+  for (auto& shard : shards) {
+    for (auto& [stack, sample_acc] : shard.sites) {
+      auto& acc = sites[stack];  // exists: every resolved stack came from an alloc
+      acc.record.load_misses += sample_acc.record.load_misses;
+      acc.record.store_misses += sample_acc.record.store_misses;
+      acc.record.has_writes = acc.record.has_writes || sample_acc.record.has_writes;
+      acc.latency_weight += sample_acc.latency_weight;
+      acc.latency_sum += sample_acc.latency_sum;
+    }
+    for (auto& [fn_id, fn_acc] : shard.functions) {
+      functions.emplace(fn_id, fn_acc);
+    }
+    result.unattributed_samples += shard.unattributed;
   }
 
-  // --- Pass 2: finalize per-site derived metrics.
+  // --- Phase 5 (serial): finalize per-site derived metrics.
   result.system_bw = bw_meter.series(0);
   result.observed_peak_bw_gbs = bw_meter.peak_gbs(0);
 
@@ -208,6 +357,8 @@ Expected<AnalysisResult> analyze(const trace::Trace& trace, const AnalyzerOption
     return a.first_alloc != b.first_alloc ? a.first_alloc < b.first_alloc : a.stack < b.stack;
   });
 
+  // The function map is ordered by id, so ties between equal names (the
+  // "?" placeholder for out-of-range ids) break deterministically.
   result.functions.reserve(functions.size());
   for (const auto& [fn_id, acc] : functions) {
     FunctionProfile fp;
@@ -216,8 +367,10 @@ Expected<AnalysisResult> analyze(const trace::Trace& trace, const AnalyzerOption
     fp.avg_load_latency_ns = acc.samples > 0.0 ? acc.latency_sum / acc.samples : 0.0;
     result.functions.push_back(std::move(fp));
   }
-  std::sort(result.functions.begin(), result.functions.end(),
-            [](const FunctionProfile& a, const FunctionProfile& b) { return a.name < b.name; });
+  std::stable_sort(result.functions.begin(), result.functions.end(),
+                   [](const FunctionProfile& a, const FunctionProfile& b) {
+                     return a.name < b.name;
+                   });
 
   return result;
 }

@@ -11,6 +11,12 @@
 ///  3. Reconstruct the system bandwidth timeline from sample weights and
 ///     derive each site's allocation-time and execution-time bandwidth
 ///     regions (Table II inputs for the bandwidth-aware algorithm).
+///
+/// With `AnalyzerOptions.threads > 1` the sample-attribution and
+/// accumulation phases fan out across a worker pool; the alloc/free
+/// replay and the bandwidth timeline stay serial (they are
+/// order-dependent), and the output is bit-identical to the serial
+/// path for every thread count.
 
 #include <vector>
 
@@ -31,6 +37,12 @@ struct AnalyzerOptions {
   /// Window around each allocation used for the allocation-time
   /// bandwidth signal.
   Ns alloc_window_ns = 50'000'000;  // 50 ms
+
+  /// Worker threads for the sample-attribution and accumulation phases.
+  /// The result is bit-identical for every thread count (per-call-stack
+  /// key sharding keeps each FP fold in serial stream order; see
+  /// docs/threading.md). 1 = fully serial, no pool spawned.
+  int threads = 1;
 };
 
 struct AnalysisResult {

@@ -8,7 +8,9 @@
 /// context does not own the artifacts; the lint driver (lint.hpp) or the
 /// embedding tool keeps them alive for the duration of the run.
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "ecohmem/advisor/advisor_config.hpp"
 #include "ecohmem/analyzer/aggregator.hpp"
@@ -18,6 +20,23 @@
 #include "ecohmem/trace/trace_file.hpp"
 
 namespace ecohmem::check {
+
+/// Raw view of a v3 trace's footer index, loaded *leniently* (trailer
+/// magic and entry-span arithmetic only) so the trace-v3-index rule can
+/// re-check every raw value and report all violations — the strict
+/// reader (TraceReader / load_trace) stops at the first.
+struct TraceIndexView {
+  struct Entry {
+    std::uint64_t offset = 0;      ///< absolute file offset of the block
+    std::uint64_t count = 0;       ///< events in the block
+    std::uint64_t first_time = 0;  ///< timestamp of the block's first event
+  };
+  std::vector<Entry> entries;
+  std::uint64_t events_offset = 0;       ///< first byte after the header
+  std::uint64_t footer_offset = 0;       ///< first byte of the index footer
+  std::uint64_t file_size = 0;           ///< total trace file size
+  std::uint64_t header_event_count = 0;  ///< event count the header claims
+};
 
 struct CheckContext {
   /// Profile trace + the module table it was captured against.
@@ -39,6 +58,11 @@ struct CheckContext {
   /// Online placement policy INI, kept raw so the online-* rules can
   /// report every violation instead of stopping at the loader's first.
   const Config* online = nullptr;
+
+  /// v3 footer index of the trace file, raw (see TraceIndexView). Set
+  /// even when the strict trace load failed on the index, so the
+  /// trace-v3-index rule can still enumerate what is wrong with it.
+  const TraceIndexView* trace_index = nullptr;
 
   /// Labels used in diagnostics (file paths when loaded from disk).
   std::string trace_name = "trace";

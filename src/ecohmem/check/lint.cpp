@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "ecohmem/common/strings.hpp"
+#include "ecohmem/trace/codec.hpp"
 
 namespace ecohmem::check {
 
@@ -18,6 +19,37 @@ Expected<std::string> read_file(const std::string& path) {
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
+}
+
+/// Leniently loads the footer index of a v3 trace so trace-v3-index can
+/// re-check the raw values. Returns nullopt for v1/v2 traces, unreadable
+/// files, or undecodable headers (all of which trace-load reports); only
+/// a structurally unreadable *index* earns its own diagnostic here.
+std::optional<TraceIndexView> load_trace_index(const std::string& path,
+                                               std::vector<Diagnostic>& diags) {
+  const auto bytes = read_file(path);
+  if (!bytes) return std::nullopt;
+  const auto* data = reinterpret_cast<const unsigned char*>(bytes->data());
+  trace::codec::ByteReader src(data, bytes->size(), 0);
+  const auto header = trace::codec::decode_header(src);
+  if (!header || header->version != trace::codec::kVersionIndexed) return std::nullopt;
+  const auto index = trace::codec::decode_index(data, bytes->size());
+  if (!index) {
+    diags.push_back(error("trace-index-load", path,
+                          "v3 footer index is structurally unreadable (" + index.error() +
+                              "); trace-v3-index skipped"));
+    return std::nullopt;
+  }
+  TraceIndexView view;
+  view.events_offset = header->events_offset;
+  view.footer_offset = index->footer_offset;
+  view.file_size = index->file_size;
+  view.header_event_count = header->event_count;
+  view.entries.reserve(index->entries.size());
+  for (const auto& e : index->entries) {
+    view.entries.push_back({e.offset, e.count, e.first_time});
+  }
+  return view;
 }
 
 /// Builds a module table naming every module a BOM report mentions, so a
@@ -76,9 +108,15 @@ Expected<LintResult> lint_files(const RuleRegistry& registry, const LintInputs& 
   std::optional<advisor::AdvisorConfig> config;
   std::optional<Config> online;
   std::optional<bom::ModuleTable> synthetic_modules;
+  std::optional<TraceIndexView> trace_index;
 
   if (!inputs.trace_path.empty()) {
     ctx.trace_name = inputs.trace_path;
+    // The raw v3 index is loaded independently of the strict reader: a
+    // broken index fails load_trace below, and trace-v3-index exists to
+    // say exactly how it is broken.
+    trace_index = load_trace_index(inputs.trace_path, load_diags);
+    if (trace_index) ctx.trace_index = &*trace_index;
     auto loaded = trace::load_trace(inputs.trace_path);
     if (loaded) {
       bundle.emplace(std::move(*loaded));

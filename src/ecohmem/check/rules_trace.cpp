@@ -4,6 +4,7 @@
 /// the analyzer — which hard-fails on the first malformed event — these
 /// rules scan the whole stream and report every violation.
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -250,10 +251,84 @@ class FrameBoundsRule final : public TraceRule {
   }
 };
 
+/// Unlike the other trace rules this one reads the raw v3 footer index
+/// (CheckContext::trace_index), not the decoded bundle: a corrupt index
+/// usually prevents the bundle from loading at all, and this rule exists
+/// to enumerate everything wrong with it, not just the strict reader's
+/// first complaint.
+class TraceV3IndexRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "trace-v3-index"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "v3 footer index: increasing in-bounds block offsets, non-decreasing block "
+           "timestamps, counts summing to the header total";
+  }
+  [[nodiscard]] bool applicable(const CheckContext& ctx) const override {
+    return ctx.trace_index != nullptr;
+  }
+
+  [[nodiscard]] std::vector<Diagnostic> run(const CheckContext& ctx) const override {
+    std::vector<Diagnostic> out;
+    const TraceIndexView& idx = *ctx.trace_index;
+    const auto fail = [&](std::string message) {
+      out.push_back(error("trace-v3-index", ctx.trace_name, std::move(message)));
+    };
+
+    if (idx.entries.empty()) {
+      if (idx.footer_offset != idx.events_offset) {
+        fail("index lists no blocks but the event section spans offsets " +
+             std::to_string(idx.events_offset) + ".." + std::to_string(idx.footer_offset));
+      }
+      if (idx.header_event_count != 0) {
+        fail("index lists no blocks but the header claims " +
+             std::to_string(idx.header_event_count) + " events");
+      }
+      return out;
+    }
+
+    if (idx.entries.front().offset != idx.events_offset) {
+      fail("block 0 starts at offset " + std::to_string(idx.entries.front().offset) +
+           ", expected the start of the event section at offset " +
+           std::to_string(idx.events_offset));
+    }
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < idx.entries.size(); ++i) {
+      const TraceIndexView::Entry& e = idx.entries[i];
+      total += e.count;
+      if (e.count == 0) {
+        fail("block " + std::to_string(i) + " at offset " + std::to_string(e.offset) +
+             " is empty (count 0)");
+      }
+      if (e.offset >= idx.footer_offset) {
+        fail("block " + std::to_string(i) + " offset " + std::to_string(e.offset) +
+             " lies at or past the footer at offset " + std::to_string(idx.footer_offset));
+      }
+      if (i > 0) {
+        if (e.offset <= idx.entries[i - 1].offset) {
+          fail("block " + std::to_string(i) + " offset " + std::to_string(e.offset) +
+               " does not increase over block " + std::to_string(i - 1) + " at offset " +
+               std::to_string(idx.entries[i - 1].offset));
+        }
+        if (e.first_time < idx.entries[i - 1].first_time) {
+          fail("block " + std::to_string(i) + " first timestamp t=" +
+               std::to_string(e.first_time) + "ns precedes block " + std::to_string(i - 1) +
+               " at t=" + std::to_string(idx.entries[i - 1].first_time) + "ns");
+        }
+      }
+    }
+    if (total != idx.header_event_count) {
+      fail("index blocks sum to " + std::to_string(total) + " events but the header claims " +
+           std::to_string(idx.header_event_count));
+    }
+    return out;
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> trace_rules() {
   std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<TraceV3IndexRule>());
   rules.push_back(std::make_unique<MonotonicTimeRule>());
   rules.push_back(std::make_unique<AllocPairingRule>());
   rules.push_back(std::make_unique<OverlappingLiveRule>());

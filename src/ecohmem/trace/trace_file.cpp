@@ -4,368 +4,184 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <utility>
+
+#include "ecohmem/trace/codec.hpp"
 
 namespace ecohmem::trace {
 
 namespace {
 
-constexpr char kMagic[8] = {'E', 'C', 'O', 'H', 'M', 'T', 'R', 'C'};
-constexpr std::uint32_t kVersionPlain = 1;
-constexpr std::uint32_t kVersionCompact = 2;
+/// Flush threshold for the write-side string buffer: large enough that
+/// stream writes are block-sized, small enough to bound writer memory.
+constexpr std::size_t kFlushBytes = 1u << 20;
 
-// Event tags.
-enum : std::uint8_t {
-  kTagAlloc = 1,
-  kTagFree = 2,
-  kTagSample = 3,
-  kTagMarker = 4,
-  kTagUncore = 5,
-};
-
-template <typename T>
-void put(std::ostream& out, const T& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-void put_string(std::ostream& out, const std::string& s) {
-  put(out, static_cast<std::uint32_t>(s.size()));
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-/// LEB128 unsigned varint.
-void put_varint(std::ostream& out, std::uint64_t v) {
-  while (v >= 0x80) {
-    const auto byte = static_cast<unsigned char>((v & 0x7f) | 0x80);
-    out.put(static_cast<char>(byte));
-    v >>= 7;
+Status flush_buffer(std::ostream& out, std::string& buf) {
+  if (!buf.empty()) {
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    buf.clear();
   }
-  out.put(static_cast<char>(v));
+  if (!out.good()) return unexpected("trace write failed (I/O error)");
+  return {};
 }
 
-bool get_varint(std::istream& in, std::uint64_t& v) {
-  v = 0;
-  for (int shift = 0; shift < 64; shift += 7) {
-    const int c = in.get();
-    if (c == std::char_traits<char>::eof()) return false;
-    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
-    if ((c & 0x80) == 0) return true;
+/// Reads the whole stream in large chunks (satellite of the v3 work:
+/// even legacy v1/v2 traces are decoded from memory instead of per-event
+/// istream reads).
+std::string slurp_stream(std::istream& in) {
+  std::string bytes;
+  char chunk[256 * 1024];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    bytes.append(chunk, static_cast<std::size_t>(in.gcount()));
   }
-  return false;  // over-long encoding
+  return bytes;
 }
 
-template <typename T>
-bool get(std::istream& in, T& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
-  return in.good();
+Status write_events_v3(std::ostream& out, const Trace& trace, std::uint64_t events_offset,
+                       std::uint64_t block_events) {
+  std::string buf;
+  std::vector<codec::IndexEntry> entries;
+  std::uint64_t offset = events_offset;
+  const std::uint64_t n = trace.events.size();
+  for (std::uint64_t i = 0; i < n;) {
+    const std::uint64_t count = std::min(block_events, n - i);
+    codec::IndexEntry entry;
+    entry.offset = offset;
+    entry.count = count;
+    entry.first_time = event_time(trace.events[i]);
+    Ns last_time = 0;  // delta base resets per block: blocks decode independently
+    for (std::uint64_t j = 0; j < count; ++j, ++i) {
+      codec::encode_event_compact(buf, trace.events[i], last_time);
+    }
+    offset += buf.size();
+    entries.push_back(entry);
+    if (Status s = flush_buffer(out, buf); !s.ok()) return s;
+  }
+  const std::uint64_t footer_offset = offset;
+  for (const auto& e : entries) {
+    codec::put(buf, e.offset);
+    codec::put(buf, e.count);
+    codec::put(buf, e.first_time);
+  }
+  codec::put(buf, static_cast<std::uint64_t>(entries.size()));
+  codec::put(buf, footer_offset);
+  buf.append(codec::kIndexMagic, sizeof(codec::kIndexMagic));
+  return flush_buffer(out, buf);
 }
 
-bool get_string(std::istream& in, std::string& s) {
-  std::uint32_t n = 0;
-  if (!get(in, n)) return false;
-  if (n > (1u << 20)) return false;  // sanity cap on string length
-  s.resize(n);
-  in.read(s.data(), n);
-  return in.good() || (n == 0 && !in.bad());
+Expected<TraceBundle> decode_trace(const unsigned char* data, std::size_t size) {
+  codec::ByteReader r(data, size, 0);
+  auto header = codec::decode_header(r);
+  if (!header.has_value()) return unexpected(header.error());
+
+  TraceBundle bundle;
+  bundle.trace.stacks = std::move(header->stacks);
+  bundle.trace.functions = std::move(header->functions);
+  bundle.trace.sample_rate_hz = header->sample_rate_hz;
+  bundle.modules = std::move(header->modules);
+  const auto stack_count = static_cast<std::uint32_t>(bundle.trace.stacks.size());
+  // Every event is at least 2 encoded bytes, so a hostile header count
+  // cannot make us reserve more than the file could actually hold.
+  bundle.trace.events.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(header->event_count, size / 2 + 1)));
+
+  if (header->version == codec::kVersionIndexed) {
+    auto index = codec::decode_index(data, size);
+    if (!index.has_value()) return unexpected(index.error());
+    // The event section must end where the footer begins.
+    if (Status s = codec::validate_index(*index, header->events_offset, header->event_count);
+        !s.ok()) {
+      return unexpected(s.error());
+    }
+    for (std::size_t b = 0; b < index->entries.size(); ++b) {
+      const codec::IndexEntry& entry = index->entries[b];
+      const std::uint64_t end =
+          b + 1 < index->entries.size() ? index->entries[b + 1].offset : index->footer_offset;
+      codec::ByteReader br(data + entry.offset, static_cast<std::size_t>(end - entry.offset),
+                           entry.offset);
+      Ns last_time = 0;
+      for (std::uint64_t j = 0; j < entry.count; ++j) {
+        Event ev;
+        if (Status s = codec::decode_event_compact(br, stack_count, last_time, ev); !s.ok()) {
+          return unexpected(s.error());
+        }
+        if (j == 0 && event_time(ev) != entry.first_time) {
+          return unexpected("v3 index block " + std::to_string(b) +
+                            " first timestamp disagrees with its events at offset " +
+                            std::to_string(entry.offset));
+        }
+        bundle.trace.events.push_back(std::move(ev));
+      }
+      if (br.remaining() != 0) {
+        return unexpected("v3 index block " + std::to_string(b) + " has " +
+                          std::to_string(br.remaining()) + " undecoded bytes at offset " +
+                          std::to_string(br.offset()));
+      }
+    }
+    return bundle;
+  }
+
+  if (header->version == codec::kVersionCompact) {
+    Ns last_time = 0;
+    for (std::uint64_t i = 0; i < header->event_count; ++i) {
+      Event ev;
+      if (Status s = codec::decode_event_compact(r, stack_count, last_time, ev); !s.ok()) {
+        return unexpected(s.error());
+      }
+      bundle.trace.events.push_back(std::move(ev));
+    }
+    return bundle;
+  }
+
+  for (std::uint64_t i = 0; i < header->event_count; ++i) {
+    Event ev;
+    if (Status s = codec::decode_event_plain(r, stack_count, ev); !s.ok()) {
+      return unexpected(s.error());
+    }
+    bundle.trace.events.push_back(std::move(ev));
+  }
+  return bundle;
 }
 
 }  // namespace
 
 Status write_trace(std::ostream& out, const Trace& trace, const bom::ModuleTable& modules,
                    const TraceWriteOptions& options) {
-  out.write(kMagic, sizeof(kMagic));
-  put(out, options.compact ? kVersionCompact : kVersionPlain);
-  put(out, trace.sample_rate_hz);
+  const std::uint32_t version = options.indexed  ? codec::kVersionIndexed
+                                : options.compact ? codec::kVersionCompact
+                                                  : codec::kVersionPlain;
+  std::string buf;
+  codec::encode_header(buf, trace.stacks, trace.functions, trace.sample_rate_hz, modules,
+                       version, trace.events.size());
+  const std::uint64_t events_offset = buf.size();
+  if (Status s = flush_buffer(out, buf); !s.ok()) return s;
 
-  put(out, static_cast<std::uint32_t>(modules.size()));
-  for (const auto& m : modules.modules()) {
-    put_string(out, m.name);
-    put(out, static_cast<std::uint64_t>(m.text_size));
-    put(out, static_cast<std::uint64_t>(m.debug_info_size));
+  if (version == codec::kVersionIndexed) {
+    return write_events_v3(out, trace, events_offset,
+                           std::max<std::uint64_t>(1, options.block_events));
   }
-
-  put(out, static_cast<std::uint32_t>(trace.stacks.size()));
-  for (std::uint32_t i = 0; i < trace.stacks.size(); ++i) {
-    const auto& cs = trace.stacks.stack(i);
-    put(out, static_cast<std::uint32_t>(cs.frames.size()));
-    for (const auto& f : cs.frames) {
-      put(out, f.module);
-      put(out, f.offset);
-    }
-  }
-
-  put(out, static_cast<std::uint32_t>(trace.functions.size()));
-  for (std::uint32_t i = 0; i < trace.functions.size(); ++i) {
-    put_string(out, trace.functions.name(i));
-  }
-
-  put(out, static_cast<std::uint64_t>(trace.events.size()));
-  if (options.compact) {
+  if (version == codec::kVersionCompact) {
     Ns last_time = 0;
     for (const auto& e : trace.events) {
-      const Ns now = event_time(e);
-      const std::uint64_t delta = now >= last_time ? now - last_time : 0;
-      last_time = now;
-      if (const auto* a = std::get_if<AllocEvent>(&e)) {
-        put(out, static_cast<std::uint8_t>(kTagAlloc));
-        put_varint(out, delta);
-        put_varint(out, a->object_id);
-        put_varint(out, a->address);
-        put_varint(out, a->size);
-        put_varint(out, a->stack);
-        put(out, static_cast<std::uint8_t>(a->kind));
-      } else if (const auto* f = std::get_if<FreeEvent>(&e)) {
-        put(out, static_cast<std::uint8_t>(kTagFree));
-        put_varint(out, delta);
-        put_varint(out, f->object_id);
-      } else if (const auto* smp = std::get_if<SampleEvent>(&e)) {
-        put(out, static_cast<std::uint8_t>(kTagSample));
-        put_varint(out, delta);
-        put_varint(out, smp->address);
-        put(out, smp->weight);
-        put(out, smp->latency_ns);
-        put(out, static_cast<std::uint8_t>(smp->is_store ? 1 : 0));
-        put_varint(out, smp->function_id);
-      } else if (const auto* m = std::get_if<MarkerEvent>(&e)) {
-        put(out, static_cast<std::uint8_t>(kTagMarker));
-        put_varint(out, delta);
-        put_varint(out, m->function_id);
-        put(out, static_cast<std::uint8_t>(m->is_enter ? 1 : 0));
-      } else if (const auto* u = std::get_if<UncoreBwEvent>(&e)) {
-        put(out, static_cast<std::uint8_t>(kTagUncore));
-        put_varint(out, delta);
-        put_varint(out, u->period_ns);
-        put(out, u->read_gbs);
-        put(out, u->write_gbs);
+      codec::encode_event_compact(buf, e, last_time);
+      if (buf.size() >= kFlushBytes) {
+        if (Status s = flush_buffer(out, buf); !s.ok()) return s;
       }
     }
-    if (!out.good()) return unexpected("trace write failed (I/O error)");
-    return {};
+    return flush_buffer(out, buf);
   }
   for (const auto& e : trace.events) {
-    if (const auto* a = std::get_if<AllocEvent>(&e)) {
-      put(out, static_cast<std::uint8_t>(kTagAlloc));
-      put(out, a->time);
-      put(out, a->object_id);
-      put(out, a->address);
-      put(out, a->size);
-      put(out, a->stack);
-      put(out, static_cast<std::uint8_t>(a->kind));
-    } else if (const auto* f = std::get_if<FreeEvent>(&e)) {
-      put(out, static_cast<std::uint8_t>(kTagFree));
-      put(out, f->time);
-      put(out, f->object_id);
-    } else if (const auto* s = std::get_if<SampleEvent>(&e)) {
-      put(out, static_cast<std::uint8_t>(kTagSample));
-      put(out, s->time);
-      put(out, s->address);
-      put(out, s->weight);
-      put(out, s->latency_ns);
-      put(out, static_cast<std::uint8_t>(s->is_store ? 1 : 0));
-      put(out, s->function_id);
-    } else if (const auto* m = std::get_if<MarkerEvent>(&e)) {
-      put(out, static_cast<std::uint8_t>(kTagMarker));
-      put(out, m->time);
-      put(out, m->function_id);
-      put(out, static_cast<std::uint8_t>(m->is_enter ? 1 : 0));
-    } else if (const auto* u = std::get_if<UncoreBwEvent>(&e)) {
-      put(out, static_cast<std::uint8_t>(kTagUncore));
-      put(out, u->time);
-      put(out, u->period_ns);
-      put(out, u->read_gbs);
-      put(out, u->write_gbs);
+    codec::encode_event_plain(buf, e);
+    if (buf.size() >= kFlushBytes) {
+      if (Status s = flush_buffer(out, buf); !s.ok()) return s;
     }
   }
-  if (!out.good()) return unexpected("trace write failed (I/O error)");
-  return {};
+  return flush_buffer(out, buf);
 }
 
 Expected<TraceBundle> read_trace(std::istream& in) {
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return unexpected("not an ecoHMEM trace (bad magic)");
-  }
-  std::uint32_t version = 0;
-  if (!get(in, version) || (version != kVersionPlain && version != kVersionCompact)) {
-    return unexpected("unsupported trace version");
-  }
-  const bool compact = version == kVersionCompact;
-
-  TraceBundle bundle;
-  if (!get(in, bundle.trace.sample_rate_hz)) return unexpected("truncated trace header");
-
-  std::uint32_t module_count = 0;
-  if (!get(in, module_count)) return unexpected("truncated module table");
-  for (std::uint32_t i = 0; i < module_count; ++i) {
-    std::string name;
-    std::uint64_t text_size = 0;
-    std::uint64_t debug_size = 0;
-    if (!get_string(in, name) || !get(in, text_size) || !get(in, debug_size)) {
-      return unexpected("truncated module table");
-    }
-    bundle.modules.add_module(std::move(name), text_size, debug_size);
-  }
-
-  std::uint32_t stack_count = 0;
-  if (!get(in, stack_count)) return unexpected("truncated stack table");
-  for (std::uint32_t i = 0; i < stack_count; ++i) {
-    std::uint32_t depth = 0;
-    if (!get(in, depth) || depth > 1024) return unexpected("corrupt stack table");
-    bom::CallStack cs;
-    cs.frames.reserve(depth);
-    for (std::uint32_t d = 0; d < depth; ++d) {
-      bom::Frame f;
-      if (!get(in, f.module) || !get(in, f.offset)) return unexpected("truncated stack table");
-      if (f.module >= module_count) return unexpected("stack frame references unknown module");
-      cs.frames.push_back(f);
-    }
-    bundle.trace.stacks.intern(cs);
-  }
-
-  std::uint32_t fn_count = 0;
-  if (!get(in, fn_count)) return unexpected("truncated function table");
-  for (std::uint32_t i = 0; i < fn_count; ++i) {
-    std::string name;
-    if (!get_string(in, name)) return unexpected("truncated function table");
-    bundle.trace.functions.intern(name);
-  }
-
-  std::uint64_t event_count = 0;
-  if (!get(in, event_count)) return unexpected("truncated event stream");
-  bundle.trace.events.reserve(event_count);
-
-  if (compact) {
-    Ns last_time = 0;
-    for (std::uint64_t i = 0; i < event_count; ++i) {
-      std::uint8_t tag = 0;
-      std::uint64_t delta = 0;
-      if (!get(in, tag) || !get_varint(in, delta)) return unexpected("truncated event stream");
-      last_time += delta;
-      switch (tag) {
-        case kTagAlloc: {
-          AllocEvent a;
-          a.time = last_time;
-          std::uint64_t stack = 0;
-          std::uint8_t kind = 0;
-          if (!get_varint(in, a.object_id) || !get_varint(in, a.address) ||
-              !get_varint(in, a.size) || !get_varint(in, stack) || !get(in, kind)) {
-            return unexpected("truncated alloc event");
-          }
-          if (stack >= stack_count) return unexpected("alloc event references unknown stack");
-          a.stack = static_cast<StackId>(stack);
-          a.kind = static_cast<AllocKind>(kind);
-          bundle.trace.events.emplace_back(a);
-          break;
-        }
-        case kTagFree: {
-          FreeEvent f;
-          f.time = last_time;
-          if (!get_varint(in, f.object_id)) return unexpected("truncated free event");
-          bundle.trace.events.emplace_back(f);
-          break;
-        }
-        case kTagSample: {
-          SampleEvent smp;
-          smp.time = last_time;
-          std::uint8_t is_store = 0;
-          std::uint64_t fn = 0;
-          if (!get_varint(in, smp.address) || !get(in, smp.weight) ||
-              !get(in, smp.latency_ns) || !get(in, is_store) || !get_varint(in, fn)) {
-            return unexpected("truncated sample event");
-          }
-          smp.is_store = is_store != 0;
-          smp.function_id = static_cast<std::uint32_t>(fn);
-          bundle.trace.events.emplace_back(smp);
-          break;
-        }
-        case kTagMarker: {
-          MarkerEvent m;
-          m.time = last_time;
-          std::uint64_t fn = 0;
-          std::uint8_t is_enter = 0;
-          if (!get_varint(in, fn) || !get(in, is_enter)) {
-            return unexpected("truncated marker event");
-          }
-          m.function_id = static_cast<std::uint32_t>(fn);
-          m.is_enter = is_enter != 0;
-          bundle.trace.events.emplace_back(m);
-          break;
-        }
-        case kTagUncore: {
-          UncoreBwEvent u;
-          u.time = last_time;
-          if (!get_varint(in, u.period_ns) || !get(in, u.read_gbs) || !get(in, u.write_gbs)) {
-            return unexpected("truncated uncore event");
-          }
-          bundle.trace.events.emplace_back(u);
-          break;
-        }
-        default:
-          return unexpected("unknown event tag " + std::to_string(tag));
-      }
-    }
-    return bundle;
-  }
-
-  for (std::uint64_t i = 0; i < event_count; ++i) {
-    std::uint8_t tag = 0;
-    if (!get(in, tag)) return unexpected("truncated event stream");
-    switch (tag) {
-      case kTagAlloc: {
-        AllocEvent a;
-        std::uint8_t kind = 0;
-        if (!get(in, a.time) || !get(in, a.object_id) || !get(in, a.address) ||
-            !get(in, a.size) || !get(in, a.stack) || !get(in, kind)) {
-          return unexpected("truncated alloc event");
-        }
-        if (a.stack >= stack_count) return unexpected("alloc event references unknown stack");
-        a.kind = static_cast<AllocKind>(kind);
-        bundle.trace.events.emplace_back(a);
-        break;
-      }
-      case kTagFree: {
-        FreeEvent f;
-        if (!get(in, f.time) || !get(in, f.object_id)) return unexpected("truncated free event");
-        bundle.trace.events.emplace_back(f);
-        break;
-      }
-      case kTagSample: {
-        SampleEvent s;
-        std::uint8_t is_store = 0;
-        if (!get(in, s.time) || !get(in, s.address) || !get(in, s.weight) ||
-            !get(in, s.latency_ns) || !get(in, is_store) || !get(in, s.function_id)) {
-          return unexpected("truncated sample event");
-        }
-        s.is_store = is_store != 0;
-        bundle.trace.events.emplace_back(s);
-        break;
-      }
-      case kTagMarker: {
-        MarkerEvent m;
-        std::uint8_t is_enter = 0;
-        if (!get(in, m.time) || !get(in, m.function_id) || !get(in, is_enter)) {
-          return unexpected("truncated marker event");
-        }
-        m.is_enter = is_enter != 0;
-        bundle.trace.events.emplace_back(m);
-        break;
-      }
-      case kTagUncore: {
-        UncoreBwEvent u;
-        if (!get(in, u.time) || !get(in, u.period_ns) || !get(in, u.read_gbs) ||
-            !get(in, u.write_gbs)) {
-          return unexpected("truncated uncore event");
-        }
-        bundle.trace.events.emplace_back(u);
-        break;
-      }
-      default:
-        return unexpected("unknown event tag " + std::to_string(tag));
-    }
-  }
-  return bundle;
+  const std::string bytes = slurp_stream(in);
+  return decode_trace(reinterpret_cast<const unsigned char*>(bytes.data()), bytes.size());
 }
 
 Status save_trace(const std::string& path, const Trace& trace, const bom::ModuleTable& modules,
@@ -380,5 +196,106 @@ Expected<TraceBundle> load_trace(const std::string& path) {
   if (!in) return unexpected("cannot open trace: " + path);
   return read_trace(in);
 }
+
+// --------------------------------------------------------------------------
+// TraceBlockWriter
+
+struct TraceBlockWriter::Impl {
+  std::ofstream out;
+  std::string buf;
+  std::vector<codec::IndexEntry> entries;
+  std::uint64_t offset = 0;             ///< bytes flushed to the file so far
+  std::uint64_t count_field_offset = 0; ///< where the header's event count lives
+  std::uint64_t block_events = 0;
+  std::uint64_t in_block = 0;
+  std::uint64_t total = 0;
+  std::uint32_t stack_count = 0;
+  Ns last_time = 0;
+  Ns block_first = 0;
+  bool finished = false;
+
+  Status close_block() {
+    codec::IndexEntry entry;
+    entry.offset = offset;
+    entry.count = in_block;
+    entry.first_time = block_first;
+    entries.push_back(entry);
+    offset += buf.size();
+    in_block = 0;
+    return flush_buffer(out, buf);
+  }
+};
+
+TraceBlockWriter::TraceBlockWriter() : impl_(std::make_unique<Impl>()) {}
+TraceBlockWriter::TraceBlockWriter(TraceBlockWriter&&) noexcept = default;
+TraceBlockWriter& TraceBlockWriter::operator=(TraceBlockWriter&&) noexcept = default;
+TraceBlockWriter::~TraceBlockWriter() = default;
+
+Expected<TraceBlockWriter> TraceBlockWriter::create(const std::string& path,
+                                                    const StackTable& stacks,
+                                                    const FunctionTable& functions,
+                                                    const bom::ModuleTable& modules,
+                                                    double sample_rate_hz,
+                                                    std::uint64_t block_events) {
+  TraceBlockWriter w;
+  Impl& impl = *w.impl_;
+  impl.out.open(path, std::ios::binary);
+  if (!impl.out) return unexpected("cannot open for writing: " + path);
+  impl.block_events = std::max<std::uint64_t>(1, block_events);
+  impl.stack_count = static_cast<std::uint32_t>(stacks.size());
+  // Event count is unknown until finish(); encode 0 and patch it later
+  // (it is always the last 8 bytes of the header).
+  codec::encode_header(impl.buf, stacks, functions, sample_rate_hz, modules,
+                       codec::kVersionIndexed, 0);
+  impl.count_field_offset = impl.buf.size() - sizeof(std::uint64_t);
+  impl.offset = impl.buf.size();
+  if (Status s = flush_buffer(impl.out, impl.buf); !s.ok()) return unexpected(s.error());
+  return w;
+}
+
+Status TraceBlockWriter::add(const Event& e) {
+  Impl& impl = *impl_;
+  if (impl.finished) return unexpected("TraceBlockWriter::add after finish");
+  if (const auto* a = std::get_if<AllocEvent>(&e)) {
+    if (a->stack >= impl.stack_count) {
+      return unexpected("alloc event references unknown stack " + std::to_string(a->stack));
+    }
+  }
+  if (impl.in_block == 0) {
+    impl.block_first = event_time(e);
+    impl.last_time = 0;
+  }
+  codec::encode_event_compact(impl.buf, e, impl.last_time);
+  ++impl.in_block;
+  ++impl.total;
+  if (impl.in_block == impl.block_events) return impl.close_block();
+  return {};
+}
+
+Status TraceBlockWriter::finish() {
+  Impl& impl = *impl_;
+  if (impl.finished) return unexpected("TraceBlockWriter::finish called twice");
+  if (impl.in_block > 0) {
+    if (Status s = impl.close_block(); !s.ok()) return s;
+  }
+  const std::uint64_t footer_offset = impl.offset;
+  for (const auto& entry : impl.entries) {
+    codec::put(impl.buf, entry.offset);
+    codec::put(impl.buf, entry.count);
+    codec::put(impl.buf, entry.first_time);
+  }
+  codec::put(impl.buf, static_cast<std::uint64_t>(impl.entries.size()));
+  codec::put(impl.buf, footer_offset);
+  impl.buf.append(codec::kIndexMagic, sizeof(codec::kIndexMagic));
+  if (Status s = flush_buffer(impl.out, impl.buf); !s.ok()) return s;
+  impl.out.seekp(static_cast<std::streamoff>(impl.count_field_offset));
+  impl.out.write(reinterpret_cast<const char*>(&impl.total), sizeof(impl.total));
+  impl.out.flush();
+  if (!impl.out.good()) return unexpected("trace write failed (I/O error)");
+  impl.finished = true;
+  return {};
+}
+
+std::uint64_t TraceBlockWriter::events_written() const { return impl_->total; }
 
 }  // namespace ecohmem::trace

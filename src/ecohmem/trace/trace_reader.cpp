@@ -1,0 +1,417 @@
+#include "ecohmem/trace/trace_reader.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <utility>
+
+#include "ecohmem/runtime/worker_pool.hpp"
+#include "ecohmem/trace/codec.hpp"
+
+namespace ecohmem::trace {
+
+namespace {
+
+std::string slurp_stream(std::istream& in) {
+  std::string bytes;
+  char chunk[256 * 1024];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    bytes.append(chunk, static_cast<std::size_t>(in.gcount()));
+  }
+  return bytes;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// TraceReader
+
+struct TraceReader::Impl {
+  const unsigned char* data = nullptr;
+  std::size_t size = 0;
+  bool is_mmap = false;
+  std::string owned;  ///< backing storage when not mmapped
+  codec::HeaderInfo header;
+  std::vector<TraceBlockInfo> blocks;
+  std::uint64_t events_end = 0;  ///< one past the last event byte
+
+  ~Impl() {
+    if (is_mmap && data != nullptr) {
+      ::munmap(const_cast<unsigned char*>(static_cast<const unsigned char*>(data)), size);
+    }
+  }
+
+  /// Decodes + validates the header and (for v3) the footer index;
+  /// builds the block table. Called once from open/from_stream.
+  Status init() {
+    codec::ByteReader r(data, size, 0);
+    auto header_or = codec::decode_header(r);
+    if (!header_or.has_value()) return unexpected(header_or.error());
+    header = std::move(*header_or);
+    // Every encoded event is at least 2 bytes, so a count the file could
+    // not physically hold is rejected before anything is allocated.
+    if (header.event_count > size / 2 + 1) {
+      return unexpected("trace declares " + std::to_string(header.event_count) +
+                        " events but the file only holds " + std::to_string(size) + " bytes");
+    }
+
+    if (header.version == codec::kVersionIndexed) {
+      auto index = codec::decode_index(data, size);
+      if (!index.has_value()) return unexpected(index.error());
+      if (Status s = codec::validate_index(*index, header.events_offset, header.event_count);
+          !s.ok()) {
+        return s;
+      }
+      events_end = index->footer_offset;
+      blocks.reserve(index->entries.size());
+      std::uint64_t first_index = 0;
+      for (std::size_t i = 0; i < index->entries.size(); ++i) {
+        const codec::IndexEntry& e = index->entries[i];
+        const std::uint64_t end =
+            i + 1 < index->entries.size() ? index->entries[i + 1].offset : index->footer_offset;
+        TraceBlockInfo b;
+        b.file_offset = e.offset;
+        b.byte_size = end - e.offset;
+        b.event_count = e.count;
+        b.first_event_index = first_index;
+        b.first_time = e.first_time;
+        blocks.push_back(b);
+        first_index += e.count;
+      }
+      return {};
+    }
+
+    // v1/v2: one virtual block spanning the whole event section (the
+    // events are one continuous stream, decodable only front to back).
+    events_end = size;
+    if (header.event_count > 0) {
+      TraceBlockInfo b;
+      b.file_offset = header.events_offset;
+      b.byte_size = size - std::min<std::uint64_t>(header.events_offset, size);
+      b.event_count = header.event_count;
+      b.first_event_index = 0;
+      blocks.push_back(b);
+    }
+    return {};
+  }
+};
+
+TraceReader::TraceReader() : impl_(std::make_unique<Impl>()) {}
+TraceReader::TraceReader(TraceReader&&) noexcept = default;
+TraceReader& TraceReader::operator=(TraceReader&&) noexcept = default;
+TraceReader::~TraceReader() = default;
+
+Expected<TraceReader> TraceReader::open(const std::string& path) {
+  TraceReader reader;
+  Impl& impl = *reader.impl_;
+
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return unexpected("cannot open trace: " + path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return unexpected("cannot stat trace: " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  bool mapped = false;
+  if (size > 0) {
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      impl.data = static_cast<const unsigned char*>(map);
+      impl.size = size;
+      impl.is_mmap = true;
+      mapped = true;
+    }
+  }
+  if (!mapped) {
+    // mmap unavailable (or empty file): fall back to a private copy.
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      ::close(fd);
+      return unexpected("cannot open trace: " + path);
+    }
+    impl.owned = slurp_stream(in);
+    impl.data = reinterpret_cast<const unsigned char*>(impl.owned.data());
+    impl.size = impl.owned.size();
+  }
+  ::close(fd);
+
+  if (Status s = impl.init(); !s.ok()) return unexpected(s.error());
+  return reader;
+}
+
+Expected<TraceReader> TraceReader::from_stream(std::istream& in) {
+  TraceReader reader;
+  Impl& impl = *reader.impl_;
+  impl.owned = slurp_stream(in);
+  impl.data = reinterpret_cast<const unsigned char*>(impl.owned.data());
+  impl.size = impl.owned.size();
+  if (Status s = impl.init(); !s.ok()) return unexpected(s.error());
+  return reader;
+}
+
+std::uint32_t TraceReader::version() const { return impl_->header.version; }
+bool TraceReader::indexed() const { return impl_->header.version == codec::kVersionIndexed; }
+bool TraceReader::mapped() const { return impl_->is_mmap; }
+double TraceReader::sample_rate_hz() const { return impl_->header.sample_rate_hz; }
+const bom::ModuleTable& TraceReader::modules() const { return impl_->header.modules; }
+const StackTable& TraceReader::stacks() const { return impl_->header.stacks; }
+const FunctionTable& TraceReader::functions() const { return impl_->header.functions; }
+std::uint64_t TraceReader::event_count() const { return impl_->header.event_count; }
+std::uint64_t TraceReader::byte_size() const { return impl_->size; }
+std::size_t TraceReader::block_count() const { return impl_->blocks.size(); }
+const TraceBlockInfo& TraceReader::block(std::size_t i) const { return impl_->blocks.at(i); }
+
+Status TraceReader::decode_block_into(std::size_t i, Event* out) const {
+  const Impl& impl = *impl_;
+  const TraceBlockInfo& b = impl.blocks.at(i);
+  codec::ByteReader br(impl.data + b.file_offset, static_cast<std::size_t>(b.byte_size),
+                       b.file_offset);
+  const auto stack_count = static_cast<std::uint32_t>(impl.header.stacks.size());
+
+  if (impl.header.version == codec::kVersionPlain) {
+    for (std::uint64_t j = 0; j < b.event_count; ++j) {
+      if (Status s = codec::decode_event_plain(br, stack_count, out[j]); !s.ok()) return s;
+    }
+    return {};
+  }
+
+  Ns last_time = 0;
+  for (std::uint64_t j = 0; j < b.event_count; ++j) {
+    if (Status s = codec::decode_event_compact(br, stack_count, last_time, out[j]); !s.ok()) {
+      return s;
+    }
+    if (j == 0 && impl.header.version == codec::kVersionIndexed &&
+        event_time(out[0]) != b.first_time) {
+      return unexpected("v3 index block " + std::to_string(i) +
+                        " first timestamp disagrees with its events at offset " +
+                        std::to_string(b.file_offset));
+    }
+  }
+  // v3 blocks are exactly sized; v1/v2's virtual block may carry
+  // trailing bytes (historically tolerated).
+  if (impl.header.version == codec::kVersionIndexed && br.remaining() != 0) {
+    return unexpected("v3 index block " + std::to_string(i) + " has " +
+                      std::to_string(br.remaining()) + " undecoded bytes at offset " +
+                      std::to_string(br.offset()));
+  }
+  return {};
+}
+
+Status TraceReader::decode_block(std::size_t i, std::vector<Event>& out) const {
+  out.resize(static_cast<std::size_t>(impl_->blocks.at(i).event_count));
+  return decode_block_into(i, out.data());
+}
+
+Expected<TraceBundle> TraceReader::read_all(int threads) const {
+  const Impl& impl = *impl_;
+  TraceBundle bundle;
+  bundle.trace.stacks = impl.header.stacks;
+  bundle.trace.functions = impl.header.functions;
+  bundle.trace.sample_rate_hz = impl.header.sample_rate_hz;
+  bundle.modules = impl.header.modules;
+  bundle.trace.events.resize(static_cast<std::size_t>(impl.header.event_count));
+
+  const std::size_t want = threads < 1 ? 1 : static_cast<std::size_t>(threads);
+  const std::size_t workers = std::min(want, impl.blocks.size());
+
+  if (workers <= 1) {
+    for (std::size_t b = 0; b < impl.blocks.size(); ++b) {
+      if (Status s =
+              decode_block_into(b, bundle.trace.events.data() + impl.blocks[b].first_event_index);
+          !s.ok()) {
+        return unexpected(s.error());
+      }
+    }
+    return bundle;
+  }
+
+  // Parallel block decode: workers fill disjoint event slices, so the
+  // materialized vector is byte-for-byte what serial decode produces.
+  // Blocks are strided across workers for balance.
+  std::vector<Status> worker_status(workers);
+  std::vector<std::size_t> failed_block(workers, impl.blocks.size());
+  runtime::WorkerPool pool(workers);
+  Event* events = bundle.trace.events.data();
+  pool.run([&](std::size_t w) {
+    for (std::size_t b = w; b < impl.blocks.size(); b += workers) {
+      Status s = decode_block_into(b, events + impl.blocks[b].first_event_index);
+      if (!s.ok()) {
+        worker_status[w] = std::move(s);
+        failed_block[w] = b;
+        return;
+      }
+    }
+  });
+  // Report the earliest failing block so the error is thread-count
+  // independent.
+  std::size_t first_fail = impl.blocks.size();
+  std::size_t fail_worker = workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    if (!worker_status[w].ok() && failed_block[w] < first_fail) {
+      first_fail = failed_block[w];
+      fail_worker = w;
+    }
+  }
+  if (fail_worker != workers) return unexpected(worker_status[fail_worker].error());
+  return bundle;
+}
+
+// --------------------------------------------------------------------------
+// TraceStreamer
+
+struct TraceStreamer::Impl {
+  std::string path;
+  codec::HeaderInfo header;
+  std::vector<codec::IndexEntry> entries;  ///< v3 block index (empty for v1/v2)
+};
+
+TraceStreamer::TraceStreamer() : impl_(std::make_unique<Impl>()) {}
+TraceStreamer::TraceStreamer(TraceStreamer&&) noexcept = default;
+TraceStreamer& TraceStreamer::operator=(TraceStreamer&&) noexcept = default;
+TraceStreamer::~TraceStreamer() = default;
+
+Expected<TraceStreamer> TraceStreamer::open(const std::string& path) {
+  TraceStreamer streamer;
+  Impl& impl = *streamer.impl_;
+  impl.path = path;
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return unexpected("cannot open trace: " + path);
+  codec::ChunkedStreamReader src(in);
+  auto header_or = codec::decode_header(src);
+  if (!header_or.has_value()) return unexpected(header_or.error());
+  impl.header = std::move(*header_or);
+
+  if (impl.header.version == codec::kVersionIndexed) {
+    // The index lives at the end of the file; read it through a seek
+    // rather than scanning the event section.
+    std::ifstream idx(path, std::ios::binary);
+    idx.seekg(0, std::ios::end);
+    const auto file_size = static_cast<std::uint64_t>(idx.tellg());
+    if (!idx.good()) return unexpected("cannot read v3 index of " + path);
+    if (impl.header.event_count > file_size / 2 + 1) {
+      return unexpected("trace declares " + std::to_string(impl.header.event_count) +
+                        " events but the file only holds " + std::to_string(file_size) +
+                        " bytes");
+    }
+    if (file_size < codec::kTrailerBytes) {
+      return unexpected("v3 trace too small for index trailer at offset " +
+                        std::to_string(file_size));
+    }
+    std::string trailer(codec::kTrailerBytes, '\0');
+    idx.seekg(static_cast<std::streamoff>(file_size - codec::kTrailerBytes));
+    idx.read(trailer.data(), static_cast<std::streamsize>(trailer.size()));
+    if (!idx.good()) {
+      return codec::truncated_at("truncated v3 index trailer", file_size - codec::kTrailerBytes);
+    }
+    std::uint64_t entry_count = 0;
+    std::uint64_t footer_offset = 0;
+    std::memcpy(&entry_count, trailer.data(), 8);
+    std::memcpy(&footer_offset, trailer.data() + 8, 8);
+    if (std::memcmp(trailer.data() + 16, codec::kIndexMagic, sizeof(codec::kIndexMagic)) != 0) {
+      return codec::truncated_at("missing v3 index trailer magic", file_size - 8);
+    }
+    const std::uint64_t trailer_offset = file_size - codec::kTrailerBytes;
+    if (footer_offset > trailer_offset ||
+        entry_count * codec::kIndexEntryBytes != trailer_offset - footer_offset) {
+      return unexpected("v3 index claims " + std::to_string(entry_count) +
+                        " entries but spans " + std::to_string(trailer_offset - footer_offset) +
+                        " bytes at offset " + std::to_string(footer_offset));
+    }
+    std::string raw(static_cast<std::size_t>(trailer_offset - footer_offset), '\0');
+    idx.seekg(static_cast<std::streamoff>(footer_offset));
+    idx.read(raw.data(), static_cast<std::streamsize>(raw.size()));
+    if (!idx.good() && !raw.empty()) {
+      return codec::truncated_at("truncated v3 index", footer_offset);
+    }
+    codec::IndexInfo info;
+    info.file_size = file_size;
+    info.footer_offset = footer_offset;
+    codec::ByteReader r(reinterpret_cast<const unsigned char*>(raw.data()), raw.size(),
+                        footer_offset);
+    for (std::uint64_t i = 0; i < entry_count; ++i) {
+      codec::IndexEntry e;
+      if (!r.get(e.offset) || !r.get(e.count) || !r.get(e.first_time)) {
+        return codec::truncated_at("truncated v3 index entry", r.offset());
+      }
+      info.entries.push_back(e);
+    }
+    if (Status s =
+            codec::validate_index(info, impl.header.events_offset, impl.header.event_count);
+        !s.ok()) {
+      return unexpected(s.error());
+    }
+    impl.entries = std::move(info.entries);
+  }
+  return streamer;
+}
+
+std::uint32_t TraceStreamer::version() const { return impl_->header.version; }
+double TraceStreamer::sample_rate_hz() const { return impl_->header.sample_rate_hz; }
+const bom::ModuleTable& TraceStreamer::modules() const { return impl_->header.modules; }
+const StackTable& TraceStreamer::stacks() const { return impl_->header.stacks; }
+const FunctionTable& TraceStreamer::functions() const { return impl_->header.functions; }
+std::uint64_t TraceStreamer::event_count() const { return impl_->header.event_count; }
+
+Status TraceStreamer::for_each(const std::function<void(const Event&)>& fn) const {
+  const Impl& impl = *impl_;
+  std::ifstream in(impl.path, std::ios::binary);
+  if (!in) return unexpected("cannot open trace: " + impl.path);
+  in.seekg(static_cast<std::streamoff>(impl.header.events_offset));
+  if (!in.good()) {
+    return codec::truncated_at("truncated event stream", impl.header.events_offset);
+  }
+  codec::ChunkedStreamReader src(in, impl.header.events_offset);
+  const auto stack_count = static_cast<std::uint32_t>(impl.header.stacks.size());
+  Event ev;
+
+  if (impl.header.version == codec::kVersionIndexed) {
+    for (std::size_t b = 0; b < impl.entries.size(); ++b) {
+      const codec::IndexEntry& entry = impl.entries[b];
+      if (src.offset() != entry.offset) {
+        return unexpected("v3 index block " + std::to_string(b) + " starts at offset " +
+                          std::to_string(entry.offset) + " but the event stream is at " +
+                          std::to_string(src.offset()));
+      }
+      Ns last_time = 0;
+      for (std::uint64_t j = 0; j < entry.count; ++j) {
+        if (Status s = codec::decode_event_compact(src, stack_count, last_time, ev); !s.ok()) {
+          return s;
+        }
+        if (j == 0 && event_time(ev) != entry.first_time) {
+          return unexpected("v3 index block " + std::to_string(b) +
+                            " first timestamp disagrees with its events at offset " +
+                            std::to_string(entry.offset));
+        }
+        fn(ev);
+      }
+    }
+    return {};
+  }
+
+  if (impl.header.version == codec::kVersionCompact) {
+    Ns last_time = 0;
+    for (std::uint64_t i = 0; i < impl.header.event_count; ++i) {
+      if (Status s = codec::decode_event_compact(src, stack_count, last_time, ev); !s.ok()) {
+        return s;
+      }
+      fn(ev);
+    }
+    return {};
+  }
+
+  for (std::uint64_t i = 0; i < impl.header.event_count; ++i) {
+    if (Status s = codec::decode_event_plain(src, stack_count, ev); !s.ok()) return s;
+    fn(ev);
+  }
+  return {};
+}
+
+}  // namespace ecohmem::trace

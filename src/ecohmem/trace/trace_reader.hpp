@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file trace_reader.hpp
+/// Zero-copy and streaming access to on-disk traces.
+///
+/// `TraceReader` mmaps a trace file (falling back to a private in-memory
+/// copy for unseekable inputs) and exposes the v3 block index: each
+/// block is independently decodable, so blocks can be decoded on demand,
+/// out of order, or in parallel (`read_all(threads)` fans block decoding
+/// out across a fork-join worker pool and writes into disjoint slices of
+/// the destination vector — bit-identical to serial decode by
+/// construction). v1/v2 traces are presented as a single virtual block,
+/// so every caller works on every version.
+///
+/// `TraceStreamer` is the bounded-memory path for consumers that never
+/// need the whole trace at once (ecohmem-timeline): it keeps only the
+/// header tables, the block index, and one 256 KiB read buffer resident
+/// regardless of trace size, re-reading the file on each pass.
+///
+/// Thread safety: after construction, `TraceReader`'s accessors and
+/// `decode_block*` are const and safe to call from any number of threads
+/// concurrently (the mapping is immutable). `read_all` must be called
+/// from one thread at a time (it owns the worker pool hand-off).
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ecohmem/bom/module_table.hpp"
+#include "ecohmem/common/expected.hpp"
+#include "ecohmem/trace/events.hpp"
+#include "ecohmem/trace/trace_file.hpp"
+
+namespace ecohmem::trace {
+
+/// One independently-decodable event block (v3), or the whole event
+/// section as a single virtual block (v1/v2).
+struct TraceBlockInfo {
+  std::uint64_t file_offset = 0;       ///< absolute offset of the block's first byte
+  std::uint64_t byte_size = 0;         ///< encoded size in bytes
+  std::uint64_t event_count = 0;       ///< events in the block
+  std::uint64_t first_event_index = 0; ///< index of the block's first event in the trace
+  Ns first_time = 0;                   ///< timestamp of the block's first event (v3)
+};
+
+class TraceReader {
+ public:
+  /// Opens and validates a trace file: header decoded eagerly, v3 footer
+  /// index decoded and strictly validated (chained offsets, counts
+  /// summing to the header total, non-decreasing timestamps). The file
+  /// is mmapped read-only when possible.
+  static Expected<TraceReader> open(const std::string& path);
+
+  /// Reads a trace from a stream that may not be seekable (a pipe): the
+  /// bytes are copied into a private buffer, everything else behaves
+  /// like `open`.
+  static Expected<TraceReader> from_stream(std::istream& in);
+
+  TraceReader(TraceReader&&) noexcept;
+  TraceReader& operator=(TraceReader&&) noexcept;
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+  ~TraceReader();
+
+  [[nodiscard]] std::uint32_t version() const;
+  /// True for the v3 indexed format (random-access blocks).
+  [[nodiscard]] bool indexed() const;
+  /// True when the file is mmapped (zero-copy); false when it was read
+  /// into a private buffer.
+  [[nodiscard]] bool mapped() const;
+  [[nodiscard]] double sample_rate_hz() const;
+  [[nodiscard]] const bom::ModuleTable& modules() const;
+  [[nodiscard]] const StackTable& stacks() const;
+  [[nodiscard]] const FunctionTable& functions() const;
+  [[nodiscard]] std::uint64_t event_count() const;
+  [[nodiscard]] std::uint64_t byte_size() const;
+
+  [[nodiscard]] std::size_t block_count() const;
+  [[nodiscard]] const TraceBlockInfo& block(std::size_t i) const;
+
+  /// Decodes block `i` into `out`, which must have room for
+  /// `block(i).event_count` events. Safe to call concurrently for
+  /// distinct (or even the same) blocks. Errors carry file offsets.
+  [[nodiscard]] Status decode_block_into(std::size_t i, Event* out) const;
+
+  /// Convenience: resizes `out` and decodes into it.
+  [[nodiscard]] Status decode_block(std::size_t i, std::vector<Event>& out) const;
+
+  /// Materializes the whole trace (tables copied). With `threads > 1`
+  /// and a v3 trace, blocks decode in parallel into disjoint slices of
+  /// the event vector; the result is bit-identical to serial decode.
+  [[nodiscard]] Expected<TraceBundle> read_all(int threads = 1) const;
+
+ private:
+  TraceReader();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Bounded-memory sequential reader: only the header tables, the block
+/// index, and one fixed-size read chunk stay resident, independent of
+/// how many events the trace holds. Each `for_each` call re-reads the
+/// file front to back, so multi-pass consumers work on a cold file
+/// handle instead of a materialized `Trace`.
+class TraceStreamer {
+ public:
+  static Expected<TraceStreamer> open(const std::string& path);
+
+  TraceStreamer(TraceStreamer&&) noexcept;
+  TraceStreamer& operator=(TraceStreamer&&) noexcept;
+  TraceStreamer(const TraceStreamer&) = delete;
+  TraceStreamer& operator=(const TraceStreamer&) = delete;
+  ~TraceStreamer();
+
+  [[nodiscard]] std::uint32_t version() const;
+  [[nodiscard]] double sample_rate_hz() const;
+  [[nodiscard]] const bom::ModuleTable& modules() const;
+  [[nodiscard]] const StackTable& stacks() const;
+  [[nodiscard]] const FunctionTable& functions() const;
+  [[nodiscard]] std::uint64_t event_count() const;
+
+  /// Streams every event, in order, through `fn`. Decodes from a
+  /// bounded chunk buffer; never materializes more than one event.
+  [[nodiscard]] Status for_each(const std::function<void(const Event&)>& fn) const;
+
+ private:
+  TraceStreamer();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ecohmem::trace

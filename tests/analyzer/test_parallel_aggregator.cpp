@@ -1,0 +1,146 @@
+// Bit-identity of the parallel aggregator: analyze(trace, threads=N)
+// must produce exactly the same AnalysisResult — every double compared
+// by its bit pattern, not by tolerance — as the serial path, for every
+// bundled application model. The per-call-stack key sharding keeps each
+// floating-point fold in serial stream order (docs/threading.md), so any
+// divergence here is a determinism bug, not rounding.
+//
+// These tests also double as the TSan target for the aggregator's worker
+// fan-out (ci.sh runs the 'ParallelAggregation' filter under the tsan
+// preset).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "ecohmem/analyzer/aggregator.hpp"
+#include "ecohmem/apps/apps.hpp"
+#include "ecohmem/memsim/tier.hpp"
+#include "ecohmem/profiler/profiler.hpp"
+#include "ecohmem/runtime/engine.hpp"
+
+namespace ecohmem::analyzer {
+namespace {
+
+/// Bitwise double equality: NaNs of the same pattern compare equal,
+/// -0.0 != +0.0. Exactly the "bit-identical" contract.
+void expect_bits(double a, double b, const char* what) {
+  std::uint64_t ua = 0;
+  std::uint64_t ub = 0;
+  std::memcpy(&ua, &a, 8);
+  std::memcpy(&ub, &b, 8);
+  EXPECT_EQ(ua, ub) << what << ": " << a << " vs " << b;
+}
+
+void expect_identical(const AnalysisResult& serial, const AnalysisResult& parallel) {
+  ASSERT_EQ(serial.sites.size(), parallel.sites.size());
+  for (std::size_t i = 0; i < serial.sites.size(); ++i) {
+    const SiteRecord& a = serial.sites[i];
+    const SiteRecord& b = parallel.sites[i];
+    EXPECT_EQ(a.stack, b.stack) << "site " << i;
+    EXPECT_EQ(a.callstack, b.callstack) << "site " << i;
+    EXPECT_EQ(a.max_size, b.max_size) << "site " << i;
+    EXPECT_EQ(a.peak_live_bytes, b.peak_live_bytes) << "site " << i;
+    EXPECT_EQ(a.alloc_count, b.alloc_count) << "site " << i;
+    expect_bits(a.load_misses, b.load_misses, "load_misses");
+    expect_bits(a.store_misses, b.store_misses, "store_misses");
+    expect_bits(a.avg_load_latency_ns, b.avg_load_latency_ns, "avg_load_latency_ns");
+    EXPECT_EQ(a.first_alloc, b.first_alloc) << "site " << i;
+    EXPECT_EQ(a.last_free, b.last_free) << "site " << i;
+    expect_bits(a.total_lifetime_ns, b.total_lifetime_ns, "total_lifetime_ns");
+    expect_bits(a.mean_lifetime_ns, b.mean_lifetime_ns, "mean_lifetime_ns");
+    expect_bits(a.exec_bw_gbs, b.exec_bw_gbs, "exec_bw_gbs");
+    expect_bits(a.alloc_time_system_bw_gbs, b.alloc_time_system_bw_gbs,
+                "alloc_time_system_bw_gbs");
+    expect_bits(a.exec_time_system_bw_gbs, b.exec_time_system_bw_gbs,
+                "exec_time_system_bw_gbs");
+    EXPECT_EQ(a.has_writes, b.has_writes) << "site " << i;
+    ASSERT_EQ(a.windows.size(), b.windows.size()) << "site " << i;
+    for (std::size_t w = 0; w < a.windows.size(); ++w) {
+      EXPECT_EQ(a.windows[w].start, b.windows[w].start) << "site " << i << " window " << w;
+      EXPECT_EQ(a.windows[w].end, b.windows[w].end) << "site " << i << " window " << w;
+    }
+  }
+
+  ASSERT_EQ(serial.system_bw.size(), parallel.system_bw.size());
+  for (std::size_t i = 0; i < serial.system_bw.size(); ++i) {
+    EXPECT_EQ(serial.system_bw[i].time, parallel.system_bw[i].time) << "bw point " << i;
+    expect_bits(serial.system_bw[i].gbs, parallel.system_bw[i].gbs, "system_bw");
+  }
+  expect_bits(serial.observed_peak_bw_gbs, parallel.observed_peak_bw_gbs, "observed_peak");
+
+  ASSERT_EQ(serial.functions.size(), parallel.functions.size());
+  for (std::size_t i = 0; i < serial.functions.size(); ++i) {
+    EXPECT_EQ(serial.functions[i].name, parallel.functions[i].name) << "function " << i;
+    expect_bits(serial.functions[i].load_samples, parallel.functions[i].load_samples,
+                "load_samples");
+    expect_bits(serial.functions[i].avg_load_latency_ns,
+                parallel.functions[i].avg_load_latency_ns, "function latency");
+  }
+
+  EXPECT_EQ(serial.trace_end, parallel.trace_end);
+  expect_bits(serial.unattributed_samples, parallel.unattributed_samples, "unattributed");
+}
+
+/// Profiles `app` through the execution engine (the ecohmem-profile path)
+/// and checks serial vs parallel analysis for several worker counts.
+void check_app(const std::string& app) {
+  apps::AppOptions opt;
+  opt.iterations = 2;
+  const runtime::Workload workload = apps::make_app(app, opt);
+  const auto sys = memsim::paper_system(6);
+  ASSERT_TRUE(sys.has_value()) << sys.error();
+
+  profiler::Profiler prof;
+  runtime::EngineOptions eopt;
+  eopt.observer = &prof;
+  runtime::ExecutionEngine engine(&*sys, eopt);
+  runtime::FixedTierMode mode(&*sys, 1);
+  const auto metrics = engine.run(workload, mode);
+  ASSERT_TRUE(metrics.has_value()) << metrics.error();
+  const trace::Trace t = prof.take_trace();
+  ASSERT_FALSE(t.events.empty());
+
+  AnalyzerOptions serial_opt;
+  const auto serial = analyze(t, serial_opt);
+  ASSERT_TRUE(serial.has_value()) << serial.error();
+
+  for (const int threads : {2, 3, 4, 8}) {
+    AnalyzerOptions parallel_opt;
+    parallel_opt.threads = threads;
+    const auto parallel = analyze(t, parallel_opt);
+    ASSERT_TRUE(parallel.has_value()) << "threads=" << threads << ": " << parallel.error();
+    SCOPED_TRACE(app + " threads=" + std::to_string(threads));
+    expect_identical(*serial, *parallel);
+  }
+}
+
+TEST(ParallelAggregation, MiniFe) { check_app("minife"); }
+TEST(ParallelAggregation, MiniMd) { check_app("minimd"); }
+TEST(ParallelAggregation, Lulesh) { check_app("lulesh"); }
+TEST(ParallelAggregation, Hpcg) { check_app("hpcg"); }
+TEST(ParallelAggregation, CloverLeaf3d) { check_app("cloverleaf3d"); }
+TEST(ParallelAggregation, PhaseShift) { check_app("phase-shift"); }
+
+TEST(ParallelAggregation, MalformedTraceFailsIdenticallyInParallel) {
+  // A double free must produce the same error string for every thread
+  // count (the replay that detects it is serial by design).
+  trace::Trace t;
+  const trace::StackId s = t.stacks.intern(bom::CallStack{{{0, 0x10}}});
+  t.events.emplace_back(trace::AllocEvent{1, 7, 0x1000, 64, s, trace::AllocKind::kMalloc});
+  t.events.emplace_back(trace::FreeEvent{2, 7});
+  t.events.emplace_back(trace::FreeEvent{3, 7});
+
+  AnalyzerOptions serial_opt;
+  const auto serial = analyze(t, serial_opt);
+  ASSERT_FALSE(serial.has_value());
+  AnalyzerOptions parallel_opt;
+  parallel_opt.threads = 4;
+  const auto parallel = analyze(t, parallel_opt);
+  ASSERT_FALSE(parallel.has_value());
+  EXPECT_EQ(serial.error(), parallel.error());
+}
+
+}  // namespace
+}  // namespace ecohmem::analyzer

@@ -471,5 +471,81 @@ TEST(ReportRules, DramToPmemMoveIsAllowed) {
   expect_silent(run(ctx), "report-bw-classes");
 }
 
+// ------------------------------------------------------------ trace-v3-index
+
+/// Three chained 10-event blocks: 100..200..300..400, footer at 400.
+TraceIndexView clean_index() {
+  TraceIndexView idx;
+  idx.events_offset = 100;
+  idx.footer_offset = 400;
+  idx.file_size = 496;
+  idx.header_event_count = 30;
+  idx.entries = {{100, 10, 5}, {200, 10, 50}, {300, 10, 500}};
+  return idx;
+}
+
+TEST(TraceV3IndexRule, CleanIndexIsSilent) {
+  const TraceIndexView idx = clean_index();
+  CheckContext ctx;
+  ctx.trace_index = &idx;
+  const RunResult result = run(ctx);
+  EXPECT_NE(std::find(result.rules_run.begin(), result.rules_run.end(), "trace-v3-index"),
+            result.rules_run.end());
+  expect_silent(result, "trace-v3-index");
+}
+
+TEST(TraceV3IndexRule, SkippedWithoutAnIndex) {
+  CheckContext ctx;  // v1/v2 trace: no index view
+  const RunResult result = run(ctx);
+  EXPECT_NE(std::find(result.rules_skipped.begin(), result.rules_skipped.end(), "trace-v3-index"),
+            result.rules_skipped.end());
+}
+
+TEST(TraceV3IndexRule, ReportsEveryViolationNotJustTheFirst) {
+  TraceIndexView idx = clean_index();
+  idx.entries[0].offset = 90;     // does not start at the event section
+  idx.entries[1].count = 0;       // empty block (and the sum drops to 20)
+  idx.entries[2].offset = 160;    // non-increasing offset
+  idx.entries[2].first_time = 1;  // timestamp regression
+  CheckContext ctx;
+  ctx.trace_index = &idx;
+  const auto found = diags_with(run(ctx), "trace-v3-index");
+  EXPECT_GE(found.size(), 5u) << "expected one diagnostic per violation";
+  for (const auto& d : found) EXPECT_EQ(d.severity, Severity::kError) << d.message;
+}
+
+TEST(TraceV3IndexRule, OffsetPastFooterFires) {
+  TraceIndexView idx = clean_index();
+  idx.entries[2].offset = 400;  // at the footer
+  idx.entries[2].first_time = 600;
+  CheckContext ctx;
+  ctx.trace_index = &idx;
+  expect_fires(run(ctx), "trace-v3-index");
+}
+
+TEST(TraceV3IndexRule, CountSumMismatchFires) {
+  TraceIndexView idx = clean_index();
+  idx.header_event_count = 31;
+  CheckContext ctx;
+  ctx.trace_index = &idx;
+  expect_fires(run(ctx), "trace-v3-index");
+}
+
+TEST(TraceV3IndexRule, EmptyIndexMustMatchAnEmptyTrace) {
+  TraceIndexView idx;
+  idx.events_offset = 100;
+  idx.footer_offset = 120;  // 20 stray event bytes with no block
+  idx.file_size = 144;
+  idx.header_event_count = 4;
+  CheckContext ctx;
+  ctx.trace_index = &idx;
+  const auto found = diags_with(run(ctx), "trace-v3-index");
+  EXPECT_EQ(found.size(), 2u);  // stray bytes + unaccounted events
+
+  idx.footer_offset = 100;
+  idx.header_event_count = 0;
+  expect_silent(run(ctx), "trace-v3-index");
+}
+
 }  // namespace
 }  // namespace ecohmem::check

@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "ecohmem/advisor/knapsack.hpp"
 #include "ecohmem/advisor/report.hpp"
@@ -200,6 +204,85 @@ TEST(LintFiles, StaleSitesCsvFiresUnknownStack) {
   ASSERT_TRUE(result.has_value());
   EXPECT_FALSE(result->ok());
   EXPECT_TRUE(has_rule(*result, "sites-unknown-stack", Severity::kError));
+}
+
+/// Writes a small valid v3 trace and returns its bytes.
+std::string small_v3_bytes(const std::string& path) {
+  trace::Trace t;
+  bom::ModuleTable modules;
+  modules.add_module("app.x", 1 << 20);
+  const auto site = t.stacks.intern(bom::CallStack{{{0, 0x100}}});
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    t.events.emplace_back(
+        trace::AllocEvent{10 * i, i + 1, 0x1000 + (i << 12), 64, site, trace::AllocKind::kMalloc});
+    t.events.emplace_back(trace::FreeEvent{10 * i + 5, i + 1});
+  }
+  trace::TraceWriteOptions opt;
+  opt.indexed = true;
+  opt.block_events = 16;
+  EXPECT_TRUE(trace::save_trace(path, t, modules, opt).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(LintFiles, ValidV3TraceRunsIndexRuleClean) {
+  const std::string path = tmp_path("lint_v3_clean.trc");
+  small_v3_bytes(path);
+  LintInputs inputs;
+  inputs.trace_path = path;
+  const auto result = lint_files(inputs);
+  ASSERT_TRUE(result.has_value()) << result.error();
+  EXPECT_TRUE(result->ok());
+  EXPECT_NE(std::find(result->rules_run.begin(), result->rules_run.end(), "trace-v3-index"),
+            result->rules_run.end());
+}
+
+TEST(LintFiles, CorruptV3IndexFiresIndexRuleDespiteLoadFailure) {
+  const std::string path = tmp_path("lint_v3_corrupt.trc");
+  std::string bytes = small_v3_bytes(path);
+  // Bump the first index entry's event count: the strict loader rejects
+  // the trace (trace-load), but the lenient index view still reaches the
+  // trace-v3-index rule, which pinpoints the sum mismatch.
+  std::uint64_t footer_offset = 0;
+  std::memcpy(&footer_offset, bytes.data() + bytes.size() - 16, 8);
+  std::uint64_t count = 0;
+  std::memcpy(&count, bytes.data() + footer_offset + 8, 8);
+  ++count;
+  std::memcpy(bytes.data() + footer_offset + 8, &count, 8);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  LintInputs inputs;
+  inputs.trace_path = path;
+  const auto result = lint_files(inputs);
+  ASSERT_TRUE(result.has_value()) << result.error();
+  EXPECT_FALSE(result->ok());
+  EXPECT_TRUE(has_rule(*result, "trace-load", Severity::kError));
+  EXPECT_TRUE(has_rule(*result, "trace-v3-index", Severity::kError));
+}
+
+TEST(LintFiles, StructurallyUnreadableV3IndexIsALoadDiagnostic) {
+  const std::string path = tmp_path("lint_v3_noindex.trc");
+  std::string bytes = small_v3_bytes(path);
+  // Destroy the trailer magic: the index cannot even be enumerated, which
+  // earns the trace-index-load pseudo-diagnostic instead of rule findings.
+  bytes[bytes.size() - 1] = '?';
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  LintInputs inputs;
+  inputs.trace_path = path;
+  const auto result = lint_files(inputs);
+  ASSERT_TRUE(result.has_value()) << result.error();
+  EXPECT_FALSE(result->ok());
+  EXPECT_TRUE(has_rule(*result, "trace-load", Severity::kError));
+  EXPECT_TRUE(has_rule(*result, "trace-index-load", Severity::kError));
 }
 
 }  // namespace

@@ -24,7 +24,7 @@
 #include "ecohmem/advisor/report.hpp"
 #include "ecohmem/analyzer/aggregator.hpp"
 #include "ecohmem/analyzer/site_report.hpp"
-#include "ecohmem/trace/trace_file.hpp"
+#include "ecohmem/trace/trace_reader.hpp"
 
 using namespace ecohmem;
 
@@ -35,14 +35,27 @@ int main(int argc, char** argv) {
         "usage: ecohmem-advisor --trace <trace.trc> --out <report.txt>\n"
         "                       [--config <advisor.ini>] [--dram-limit 12GB]\n"
         "                       [--store-coef 0.125] [--bandwidth-aware]\n"
-        "                       [--peak-pmem-bw GBS] [--dump-sites] [--csv <file>]\n");
+        "                       [--peak-pmem-bw GBS] [--dump-sites] [--csv <file>]\n"
+        "                       [--threads N]\n"
+        "  --threads N decodes v3 trace blocks and aggregates samples on N\n"
+        "  workers; the analysis is bit-identical to --threads 1.\n");
     return args.has("help") ? 0 : 1;
   }
 
-  const auto bundle = trace::load_trace(args.get("trace"));
+  const auto threads = args.get_int_in_range("threads", 1, 1, 256);
+  if (!threads) return cli::fail(threads.error());
+
+  // The trace is mmapped and decoded block-wise (in parallel for v3
+  // traces when --threads > 1); v1/v2 traces take the same path through
+  // a single virtual block.
+  auto reader = trace::TraceReader::open(args.get("trace"));
+  if (!reader) return cli::fail(reader.error());
+  const auto bundle = reader->read_all(static_cast<int>(*threads));
   if (!bundle) return cli::fail(bundle.error());
 
-  const auto analysis = analyzer::analyze(bundle->trace);
+  analyzer::AnalyzerOptions aopt;
+  aopt.threads = static_cast<int>(*threads);
+  const auto analysis = analyzer::analyze(bundle->trace, aopt);
   if (!analysis) return cli::fail(analysis.error());
 
   if (args.has("dump-sites")) {

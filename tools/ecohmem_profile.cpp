@@ -29,7 +29,11 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: ecohmem-profile --app <name> --out <trace.trc>\n"
         "                       [--iterations N] [--rate HZ] [--seed S]\n"
-        "                       [--pmem-dimms 6] [--no-stores] [--compact]\n"
+        "                       [--pmem-dimms 6] [--no-stores]\n"
+        "                       [--format v1|v2|v3] [--compact] [--block-events N]\n"
+        "  --format v3 writes the indexed block format (mmap random access,\n"
+        "  parallel decode); --compact is the v2 shorthand kept for\n"
+        "  compatibility. --block-events sets the v3 block granularity.\n"
         "apps: ");
     for (const auto& a : apps::app_names()) std::printf("%s ", a.c_str());
     std::printf("\n");
@@ -69,9 +73,20 @@ int main(int argc, char** argv) {
   const auto metrics = engine.run(workload, mode);
   if (!metrics) return cli::fail("profiling run failed: " + metrics.error());
 
+  const auto block_events = args.get_int_in_range("block-events", 64 * 1024, 1, 1 << 30);
+  if (!block_events) return cli::fail(block_events.error());
+
   const trace::Trace t = prof.take_trace();
   trace::TraceWriteOptions wopt;
-  wopt.compact = args.has("compact");
+  const std::string format = args.get("format", args.has("compact") ? "v2" : "v1");
+  if (format == "v3") {
+    wopt.indexed = true;
+    wopt.block_events = static_cast<std::uint64_t>(*block_events);
+  } else if (format == "v2") {
+    wopt.compact = true;
+  } else if (format != "v1") {
+    return cli::fail("unknown --format '" + format + "' (v1|v2|v3)");
+  }
   if (const auto s = trace::save_trace(args.get("out"), t, *workload.modules, wopt); !s) {
     return cli::fail(s.error());
   }
