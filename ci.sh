@@ -34,7 +34,7 @@ if [ "$sanitize" -eq 1 ]; then
   echo "== concurrency stress tests under TSan =="
   cmake --preset tsan
   cmake --build --preset tsan
-  ctest --preset tsan -j"$(nproc)" -R 'Concurrency|ParallelReplay|ParallelAggregation'
+  ctest --preset tsan -j"$(nproc)" -R 'Concurrency|ParallelReplay|ParallelAggregation|Salvage'
 fi
 
 for b in build/bench/*; do
@@ -51,7 +51,7 @@ done
 build/bench/bench_trace_pipeline --smoke --out /tmp/BENCH_trace_pipeline_smoke.json
 for key in '"bench": "trace_pipeline"' '"hardware_concurrency"' '"v3_block_decode_mbs"' \
            '"aggregate_speedup"' '"per_block_decode_speedup"' '"speedup_bound_enforced"' \
-           '"speedup_bound_met": true' '"identical": true'; do
+           '"speedup_bound_met": true' '"identical": true' '"salvage_read_mbs"'; do
   if ! grep -F "$key" /tmp/BENCH_trace_pipeline_smoke.json >/dev/null; then
     echo "BENCH_trace_pipeline_smoke.json missing $key" >&2; exit 1
   fi
@@ -122,6 +122,37 @@ build/tools/ecohmem-advisor --trace /tmp/ecohmem_ci_v3.trc \
 cmp /tmp/ecohmem_ci_v3_parallel.txt /tmp/ecohmem_ci_v3_serial.txt
 build/tools/ecohmem-timeline --trace /tmp/ecohmem_ci_v3.trc \
   --out /tmp/ecohmem_ci_v3.csv --bin-ms 50
+
+# Corruption-fuzz smoke: damage the v3 trace and prove the fail-soft
+# contract on the CLI surface (the seeded sweep itself — zero crashes,
+# manifest byte conservation, parallel == serial salvage — runs as
+# test_salvage in the suite above).
+v3_size=$(stat -c %s /tmp/ecohmem_ci_v3.trc)
+head -c $((v3_size * 3 / 5)) /tmp/ecohmem_ci_v3.trc > /tmp/ecohmem_ci_v3_damaged.trc
+# Strict readers must fail loudly, naming the path and a byte offset.
+if build/tools/ecohmem-advisor --trace /tmp/ecohmem_ci_v3_damaged.trc \
+    --out /tmp/ecohmem_ci_damaged.txt 2>/tmp/ecohmem_ci_strict_err.txt; then
+  echo "strict advisor accepted a truncated trace" >&2; exit 1
+fi
+grep -q "ecohmem_ci_v3_damaged.trc" /tmp/ecohmem_ci_strict_err.txt
+grep -q "offset" /tmp/ecohmem_ci_strict_err.txt
+# Salvage mode recovers the decodable prefix and prints the manifest...
+build/tools/ecohmem-advisor --trace /tmp/ecohmem_ci_v3_damaged.trc \
+  --out /tmp/ecohmem_ci_damaged.txt --salvage --min-coverage 0 | grep "salvage: kept"
+# ...but the default coverage gate (0.9) must reject this much loss.
+if build/tools/ecohmem-advisor --trace /tmp/ecohmem_ci_v3_damaged.trc \
+    --out /tmp/ecohmem_ci_damaged2.txt --salvage >/dev/null 2>&1; then
+  echo "salvage advisor accepted ~60% coverage under the default 90% gate" >&2; exit 1
+fi
+# Timeline streams the salvaged blocks.
+build/tools/ecohmem-timeline --trace /tmp/ecohmem_ci_v3_damaged.trc \
+  --out /tmp/ecohmem_ci_damaged.csv --bin-ms 50 --salvage
+# Lint falls back to a salvage read (warnings, exit 0) and turns the
+# trace-salvage-coverage finding into an error when the bar is missed.
+build/tools/ecohmem-lint --trace /tmp/ecohmem_ci_v3_damaged.trc --min-coverage 0.1
+if build/tools/ecohmem-lint --trace /tmp/ecohmem_ci_v3_damaged.trc --min-coverage 0.99; then
+  echo "lint passed a salvaged trace below --min-coverage" >&2; exit 1
+fi
 
 # Every tool parsing integer flags through cli_common must reject
 # out-of-range values instead of silently truncating them.

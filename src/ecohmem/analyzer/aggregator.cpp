@@ -131,6 +131,14 @@ Expected<AnalysisResult> analyze(const trace::Trace& trace, const AnalyzerOption
   AnalysisResult result;
   const std::uint64_t n_events = trace.events.size();
 
+  // Coverage travels from the loader through to the reports. An empty
+  // option (strict in-memory callers) means full coverage of what we see.
+  result.coverage = options.coverage;
+  if (result.coverage.empty()) {
+    result.coverage.events_seen = n_events;
+    result.coverage.events_declared = n_events;
+  }
+
   // --- Phase 1 (serial): bandwidth prescan. Uncore readings (which see
   // prefetch fills) are authoritative; traces without them fall back to
   // reconstructing traffic from the PEBS samples. Serial because

@@ -24,6 +24,7 @@
 #include "ecohmem/common/expected.hpp"
 #include "ecohmem/memsim/bandwidth_meter.hpp"
 #include "ecohmem/trace/events.hpp"
+#include "ecohmem/trace/trace_file.hpp"
 
 namespace ecohmem::analyzer {
 
@@ -43,6 +44,12 @@ struct AnalyzerOptions {
   /// key sharding keeps each FP fold in serial stream order; see
   /// docs/threading.md). 1 = fully serial, no pool spawned.
   int threads = 1;
+
+  /// Trace coverage as reported by the loader (TraceBundle::coverage).
+  /// Left empty, the analyzer assumes the events it sees are the whole
+  /// trace. Salvage-mode callers pass the bundle's coverage so reports
+  /// carry events_seen/events_declared (docs/robustness.md).
+  trace::TraceCoverage coverage;
 };
 
 struct AnalysisResult {
@@ -55,6 +62,11 @@ struct AnalysisResult {
   /// Total weighted samples that hit no live object (stack/static data or
   /// attribution error); reported for diagnostics.
   double unattributed_samples = 0.0;
+
+  /// Coverage of the analyzed events relative to what the trace file
+  /// declared (full coverage unless the caller analyzed a salvaged
+  /// bundle). Stamped into the site table/CSV by site_report.cpp.
+  trace::TraceCoverage coverage;
 };
 
 /// Aggregates `trace` into per-site records. Fails on malformed traces

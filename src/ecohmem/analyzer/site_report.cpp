@@ -59,6 +59,10 @@ void write_site_table(std::ostream& out, const AnalysisResult& analysis,
   out << "sites: " << analysis.sites.size()
       << "  peak system bandwidth: " << std::setprecision(2) << analysis.observed_peak_bw_gbs
       << " GB/s  trace span: " << static_cast<double>(analysis.trace_end) * 1e-9 << " s\n";
+  if (analysis.coverage.salvaged) {
+    out << "coverage: " << analysis.coverage.events_seen << "/"
+        << analysis.coverage.events_declared << " events (salvaged trace; partial data)\n";
+  }
 }
 
 void write_site_csv(std::ostream& out, const AnalysisResult& analysis,
@@ -67,6 +71,14 @@ void write_site_csv(std::ostream& out, const AnalysisResult& analysis,
   // the exported miss counts drift from the trace's sampled mass, which
   // the ecohmem-lint cross-checks (sites-misses-exceed-trace) detect.
   const auto saved_precision = out.precision(17);
+  // Salvaged analyses announce their coverage ahead of the header so a
+  // consumer can never mistake partial data for a full profile. The
+  // comment form keeps plain-CSV tooling working (sites_csv.cpp skips
+  // and parses '#' lines); full-coverage strict runs stay byte-stable.
+  if (analysis.coverage.salvaged) {
+    out << "# coverage: events_seen=" << analysis.coverage.events_seen
+        << " events_declared=" << analysis.coverage.events_declared << " salvaged=1\n";
+  }
   out << "callstack,allocs,max_size,peak_live,load_misses,store_misses,"
          "avg_load_latency_ns,exec_bw_gbs,alloc_bw_gbs,exec_sys_bw_gbs,"
          "first_alloc_ns,last_free_ns,mean_lifetime_ns,has_writes\n";

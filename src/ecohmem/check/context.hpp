@@ -17,6 +17,7 @@
 #include "ecohmem/check/sites_csv.hpp"
 #include "ecohmem/common/config.hpp"
 #include "ecohmem/flexmalloc/report_parser.hpp"
+#include "ecohmem/trace/salvage.hpp"
 #include "ecohmem/trace/trace_file.hpp"
 
 namespace ecohmem::check {
@@ -63,6 +64,16 @@ struct CheckContext {
   /// even when the strict trace load failed on the index, so the
   /// trace-v3-index rule can still enumerate what is wrong with it.
   const TraceIndexView* trace_index = nullptr;
+
+  /// Salvage manifest when `bundle` came from a salvage-mode read (the
+  /// strict load failed and the lint driver fell back to salvage).
+  /// Drives the trace-salvage-coverage rule; null for strict loads.
+  const trace::SalvageManifest* salvage = nullptr;
+
+  /// Minimum acceptable salvage coverage (fraction of declared events
+  /// recovered) before trace-salvage-coverage reports an error rather
+  /// than a warning. Copied from CheckOptions by the lint driver.
+  double min_salvage_coverage = 0.9;
 
   /// Labels used in diagnostics (file paths when loaded from disk).
   std::string trace_name = "trace";

@@ -8,6 +8,7 @@
 
 #include "ecohmem/common/strings.hpp"
 #include "ecohmem/trace/codec.hpp"
+#include "ecohmem/trace/trace_reader.hpp"
 
 namespace ecohmem::check {
 
@@ -24,9 +25,11 @@ Expected<std::string> read_file(const std::string& path) {
 /// Leniently loads the footer index of a v3 trace so trace-v3-index can
 /// re-check the raw values. Returns nullopt for v1/v2 traces, unreadable
 /// files, or undecodable headers (all of which trace-load reports); only
-/// a structurally unreadable *index* earns its own diagnostic here.
+/// a structurally unreadable *index* sets `index_error` — the caller
+/// turns that into a diagnostic once it knows whether a salvage read
+/// recovered the trace (which decides the severity).
 std::optional<TraceIndexView> load_trace_index(const std::string& path,
-                                               std::vector<Diagnostic>& diags) {
+                                               std::string& index_error) {
   const auto bytes = read_file(path);
   if (!bytes) return std::nullopt;
   const auto* data = reinterpret_cast<const unsigned char*>(bytes->data());
@@ -35,9 +38,7 @@ std::optional<TraceIndexView> load_trace_index(const std::string& path,
   if (!header || header->version != trace::codec::kVersionIndexed) return std::nullopt;
   const auto index = trace::codec::decode_index(data, bytes->size());
   if (!index) {
-    diags.push_back(error("trace-index-load", path,
-                          "v3 footer index is structurally unreadable (" + index.error() +
-                              "); trace-v3-index skipped"));
+    index_error = index.error();
     return std::nullopt;
   }
   TraceIndexView view;
@@ -99,9 +100,11 @@ Expected<LintResult> lint_files(const RuleRegistry& registry, const LintInputs& 
 
   std::vector<Diagnostic> load_diags;
   CheckContext ctx;
+  ctx.min_salvage_coverage = options.min_salvage_coverage;
 
   // The loaded artifacts outlive the rule run.
   std::optional<trace::TraceBundle> bundle;
+  std::optional<trace::SalvageManifest> salvage_manifest;
   std::optional<analyzer::AnalysisResult> analysis;
   std::optional<SiteCsv> sites;
   std::optional<flexmalloc::ParsedReport> report;
@@ -115,15 +118,49 @@ Expected<LintResult> lint_files(const RuleRegistry& registry, const LintInputs& 
     // The raw v3 index is loaded independently of the strict reader: a
     // broken index fails load_trace below, and trace-v3-index exists to
     // say exactly how it is broken.
-    trace_index = load_trace_index(inputs.trace_path, load_diags);
+    std::string index_error;
+    trace_index = load_trace_index(inputs.trace_path, index_error);
     if (trace_index) ctx.trace_index = &*trace_index;
     auto loaded = trace::load_trace(inputs.trace_path);
+    if (!loaded) {
+      // Strict load failed: fall back to a salvage-mode read. A trace
+      // with recoverable blocks lints in degraded form — the failure
+      // becomes a warning, and trace-salvage-coverage gates how much
+      // data may be missing (docs/robustness.md).
+      const std::string strict_error = loaded.error();
+      trace::TraceOpenOptions salvage_opts;
+      salvage_opts.salvage = true;
+      auto reader = trace::TraceReader::open(inputs.trace_path, salvage_opts);
+      if (reader) {
+        auto recovered = reader->read_all();
+        if (recovered) {
+          salvage_manifest.emplace(reader->manifest());
+          ctx.salvage = &*salvage_manifest;
+          load_diags.push_back(warning("trace-load", inputs.trace_path,
+                                       "strict load failed (" + strict_error + "); " +
+                                           salvage_manifest->summary()));
+          loaded = std::move(*recovered);
+        }
+      }
+    }
+    if (!index_error.empty()) {
+      // An unreadable footer index is fatal for trace-v3-index either
+      // way, but once a salvage read recovered the events it is degraded
+      // data, not a lint failure — trace-salvage-coverage owns the gating.
+      const std::string message = "v3 footer index is structurally unreadable (" +
+                                  index_error + "); trace-v3-index skipped";
+      load_diags.push_back(ctx.salvage != nullptr
+                               ? warning("trace-index-load", inputs.trace_path, message)
+                               : error("trace-index-load", inputs.trace_path, message));
+    }
     if (loaded) {
       bundle.emplace(std::move(*loaded));
       ctx.bundle = &*bundle;
       // Derive the analyzer view. A malformed trace fails the replay;
       // the trace-* rules report the specifics, so this is only noted.
-      auto derived = analyzer::analyze(bundle->trace);
+      analyzer::AnalyzerOptions aopt;
+      aopt.coverage = bundle->coverage;
+      auto derived = analyzer::analyze(bundle->trace, aopt);
       if (derived) {
         analysis.emplace(std::move(*derived));
         ctx.analysis = &*analysis;

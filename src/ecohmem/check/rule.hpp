@@ -59,6 +59,11 @@ struct CheckOptions {
   /// Cap on diagnostics reported per rule; excess findings are folded
   /// into one summary diagnostic. 0 = unlimited.
   std::size_t max_per_rule = 16;
+
+  /// Minimum fraction of declared events a salvaged trace must recover
+  /// before trace-salvage-coverage escalates from warning to error
+  /// (the CLI's --min-coverage). See docs/robustness.md.
+  double min_salvage_coverage = 0.9;
 };
 
 /// Outcome of running a registry over a context.

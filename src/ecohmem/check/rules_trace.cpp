@@ -5,6 +5,7 @@
 /// rules scan the whole stream and report every violation.
 
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -324,10 +325,65 @@ class TraceV3IndexRule final : public Rule {
   }
 };
 
+/// Gates salvage-mode trace loads on how much of the declared data was
+/// actually recovered. Only applicable when the lint driver fell back
+/// to a salvage read (ctx.salvage set); a strict load is full coverage
+/// by construction. Thresholds: coverage below ctx.min_salvage_coverage
+/// is an error, anything short of 100% is a warning, and a manifest
+/// that fails byte conservation is always an error (it means the
+/// salvage accounting itself cannot be trusted).
+class TraceSalvageCoverageRule final : public TraceRule {
+ public:
+  TraceSalvageCoverageRule()
+      : TraceRule("trace-salvage-coverage",
+                  "a salvaged trace must recover at least the minimum coverage") {}
+
+  [[nodiscard]] bool applicable(const CheckContext& ctx) const override {
+    return ctx.salvage != nullptr;
+  }
+
+  [[nodiscard]] std::vector<Diagnostic> run(const CheckContext& ctx) const override {
+    std::vector<Diagnostic> out;
+    const trace::SalvageManifest& m = *ctx.salvage;
+    if (!m.bytes_conserved()) {
+      out.push_back(fail(ctx, "salvage manifest does not account for every byte (header " +
+                                  std::to_string(m.header_bytes) + " + kept " +
+                                  std::to_string(m.kept_bytes) + " + dropped " +
+                                  std::to_string(m.dropped_bytes) + " + index " +
+                                  std::to_string(m.index_bytes) + " != file " +
+                                  std::to_string(m.file_bytes) + ")"));
+    }
+    const auto pct = [](double fraction) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f", fraction * 100.0);
+      return std::string(buf);
+    };
+    const double coverage = m.coverage();
+    const std::string detail =
+        std::to_string(m.events_recovered) + "/" + std::to_string(m.events_declared) +
+        " declared events recovered (" + std::to_string(m.blocks_dropped) + " of " +
+        std::to_string(m.blocks_declared) + " blocks dropped)";
+    if (coverage < ctx.min_salvage_coverage) {
+      out.push_back(fail(ctx, "salvage coverage " + pct(coverage) + "% is below the minimum " +
+                                  pct(ctx.min_salvage_coverage) + "%: " + detail));
+    } else if (coverage < 1.0) {
+      out.push_back(warn(ctx, "salvaged trace is incomplete: " + detail));
+    }
+    if (m.sequential_scan && m.version == trace::codec::kVersionIndexed) {
+      out.push_back(warn(ctx,
+                         "v3 footer index was unusable; events were recovered by sequential "
+                         "scan — timestamps after the first block boundary may be skewed "
+                         "(docs/trace_format.md)"));
+    }
+    return out;
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> trace_rules() {
   std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<TraceSalvageCoverageRule>());
   rules.push_back(std::make_unique<TraceV3IndexRule>());
   rules.push_back(std::make_unique<MonotonicTimeRule>());
   rules.push_back(std::make_unique<AllocPairingRule>());

@@ -86,6 +86,30 @@ Expected<SiteCsv> parse_site_csv(std::string_view text) {
     const std::string_view line = strings::trim(raw);
     if (line.empty()) continue;
 
+    // Comment lines may precede the header; the analyzer uses one to
+    // stamp salvage coverage ("# coverage: events_seen=N ...").
+    if (line.front() == '#') {
+      std::string_view body = strings::trim(line.substr(1));
+      if (body.rfind("coverage:", 0) == 0) {
+        csv.has_coverage = true;
+        std::istringstream kv{std::string(strings::trim(body.substr(9)))};
+        std::string tok;
+        while (kv >> tok) {
+          const std::size_t eq = tok.find('=');
+          if (eq == std::string::npos) continue;
+          const std::string key = tok.substr(0, eq);
+          const auto v = strings::parse_u64(tok.substr(eq + 1));
+          if (!v) {
+            return unexpected("line " + std::to_string(line_no) + ": bad coverage field " + tok);
+          }
+          if (key == "events_seen") csv.events_seen = *v;
+          else if (key == "events_declared") csv.events_declared = *v;
+          else if (key == "salvaged") csv.salvaged = *v != 0;
+        }
+      }
+      continue;
+    }
+
     if (!saw_header) {
       if (line != kExpectedHeader) {
         return unexpected("line " + std::to_string(line_no) +

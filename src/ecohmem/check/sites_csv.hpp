@@ -40,6 +40,14 @@ struct SiteCsvRow {
 
 struct SiteCsv {
   std::vector<SiteCsvRow> rows;
+
+  /// From the optional leading "# coverage: ..." comment the analyzer
+  /// writes for salvaged traces (site_report.cpp). Absent on strict
+  /// exports: has_coverage is false and the counts are 0.
+  bool has_coverage = false;
+  bool salvaged = false;
+  std::uint64_t events_seen = 0;
+  std::uint64_t events_declared = 0;
 };
 
 /// Parses site-CSV text. Fails with a line number on a malformed header,

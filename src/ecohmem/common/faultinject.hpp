@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file faultinject.hpp
+/// Deterministic fault injection for the trace pipeline's robustness
+/// tests and the CI corruption-fuzz sweep.
+///
+/// A `Fault` is a single, precisely-located mutation of a byte buffer:
+/// a bit flip, a truncation, or a short garble run. `schedule()` derives
+/// a reproducible list of faults from a seed and the trace's codec
+/// landmarks (header fields, block bodies, index entries, trailer), so
+/// a failing sweep iteration is replayable from its seed alone — no
+/// corpus files, no flaky randomness. `FailingStream` simulates an
+/// input stream whose underlying device errors mid-read (badbit), the
+/// case `slurp_stream` must distinguish from EOF.
+///
+/// Everything here is test/CI machinery: deterministic, allocation-only,
+/// no I/O. See docs/robustness.md for how the sweep uses it.
+
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+namespace ecohmem::faultinject {
+
+enum class FaultKind : std::uint8_t {
+  kBitFlip,   ///< flip bit `bit` of the byte at `offset`
+  kTruncate,  ///< drop every byte from `offset` on
+  kGarble,    ///< overwrite `length` bytes at `offset` with seeded noise
+};
+
+/// One deterministic mutation. `label` says which landmark the offset
+/// was aimed at, so sweep failures read like "bit flip in block 3 body"
+/// instead of a bare file offset.
+struct Fault {
+  FaultKind kind = FaultKind::kBitFlip;
+  std::uint64_t offset = 0;
+  std::uint32_t bit = 0;     ///< kBitFlip only (0-7)
+  std::uint64_t length = 0;  ///< kGarble only
+  std::uint64_t seed = 0;    ///< kGarble noise seed
+  std::string label;
+};
+
+/// Returns a corrupted copy of `bytes` (the original is untouched).
+/// Faults past the end of the buffer are no-ops, so a schedule built
+/// for one file can be replayed against a shorter variant.
+[[nodiscard]] std::vector<unsigned char> apply(const std::vector<unsigned char>& bytes,
+                                               const Fault& fault);
+
+/// Codec landmarks of a v3 trace, located structurally (not by decoding
+/// events): where the event section, footer index, and trailer live.
+struct Landmarks {
+  std::uint64_t file_size = 0;
+  std::uint64_t events_offset = 0;   ///< first event byte (0 if unknown)
+  std::uint64_t footer_offset = 0;   ///< first index byte (0 if no index)
+  std::uint64_t trailer_offset = 0;  ///< last 24 bytes (0 if no index)
+  std::vector<std::uint64_t> block_offsets;  ///< per-index-entry block starts
+};
+
+/// Locates the landmarks of a well-formed v3 trace buffer; returns a
+/// zeroed struct (except file_size) when the trailer is not readable.
+/// `events_offset` must come from the caller (decode_header knows it).
+[[nodiscard]] Landmarks landmarks_v3(const std::vector<unsigned char>& bytes,
+                                     std::uint64_t events_offset);
+
+/// Builds a deterministic schedule of `count` faults aimed at the
+/// interesting places of a trace with the given landmarks: block
+/// bodies, block boundaries, index entries, the trailer magic, the
+/// header's count field, and truncations at all of the above. The same
+/// (landmarks, seed, count) always yields the same schedule.
+[[nodiscard]] std::vector<Fault> schedule(const Landmarks& lm, std::uint64_t seed,
+                                          std::size_t count);
+
+/// An istream over a byte buffer whose read position `fail_at` onward
+/// raises a device error: the stream reports badbit mid-read instead of
+/// a clean EOF. Reproduces a failing disk/pipe for `from_stream` tests.
+class FailingStream : public std::istream {
+ public:
+  FailingStream(std::string bytes, std::size_t fail_at);
+  ~FailingStream() override;
+
+ private:
+  class Buf;
+  std::unique_ptr<Buf> buf_;
+};
+
+}  // namespace ecohmem::faultinject

@@ -1,0 +1,250 @@
+/// \file salvage.cpp
+/// The salvage planner: block classification and byte/event accounting
+/// for fail-soft trace reads. See salvage.hpp for the recovery rules.
+
+#include "ecohmem/trace/salvage.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <utility>
+
+namespace ecohmem::trace {
+
+namespace {
+
+/// Sequential-scan recovery: decode the event section front to back as
+/// one virtual block. Used for v1/v2 and for v3 files whose footer
+/// index is unreadable (`index_error` carries the lenient decode error
+/// in that case).
+void plan_sequential(SalvageSource& source, const codec::HeaderInfo& header,
+                     std::uint64_t file_size, const std::string& index_error,
+                     SalvagePlan& plan) {
+  SalvageManifest& m = plan.manifest;
+  const bool v3 = header.version == codec::kVersionIndexed;
+  const bool plain = header.version == codec::kVersionPlain;
+  m.sequential_scan = true;
+  m.index_bytes = 0;
+
+  // For v1/v2 the header count is authoritative (written in one shot);
+  // decoding past it would mint events out of trailing garbage. A v3
+  // header may still carry the streaming writer's 0 placeholder (the
+  // crash-before-finish case), so 0 there means "unknown": scan to the
+  // first undecodable byte.
+  std::uint64_t cap = header.event_count;
+  if (v3 && cap == 0) cap = std::numeric_limits<std::uint64_t>::max();
+
+  const SalvageSource::Probe p = source.probe(header.events_offset, file_size, cap, plain);
+  m.events_recovered = p.events;
+  m.events_declared = std::max(header.event_count, p.events);
+  m.events_dropped = m.events_declared - m.events_recovered;
+  m.kept_bytes = p.end_offset - header.events_offset;
+  m.dropped_bytes = file_size - p.end_offset;
+
+  if (p.events > 0) {
+    m.blocks_kept = 1;
+    plan.blocks.push_back(TraceBlockInfo{header.events_offset, m.kept_bytes, p.events,
+                                         /*first_event_index=*/0, p.first_time});
+  }
+  if (m.events_dropped > 0 || m.dropped_bytes > 0) {
+    m.blocks_dropped = 1;
+    SalvageBlockLoss loss;
+    loss.block = m.blocks_kept;  // the region after the last kept one
+    loss.file_offset = p.end_offset;
+    loss.byte_size = m.dropped_bytes;
+    loss.events_declared = m.events_dropped;
+    loss.first_error_offset = p.ok ? p.end_offset : p.error_offset;
+    if (v3) {
+      loss.reason = "footer index unreadable (" + index_error + ")";
+      if (!p.ok) loss.reason += "; " + p.error;
+    } else {
+      loss.reason = p.ok ? "header declares more events than the file holds" : p.error;
+    }
+    m.losses.push_back(std::move(loss));
+  }
+  m.blocks_declared = m.blocks_kept + m.blocks_dropped;
+}
+
+}  // namespace
+
+std::string SalvageManifest::summary() const {
+  char cov[32];
+  std::snprintf(cov, sizeof(cov), "%.1f%%", coverage() * 100.0);
+  std::string s = "salvage: kept " + std::to_string(blocks_kept) + "/" +
+                  std::to_string(blocks_declared) + " blocks, " + std::to_string(events_recovered) +
+                  "/" + std::to_string(events_declared) + " events (" + cov + " coverage), dropped " +
+                  std::to_string(dropped_bytes) + " of " + std::to_string(file_bytes) + " bytes";
+  if (sequential_scan) s += " [sequential scan: no usable index]";
+  return s;
+}
+
+SalvagePlan build_salvage_plan(SalvageSource& source, const codec::HeaderInfo& header,
+                               std::uint64_t file_size, const Expected<codec::IndexInfo>& index) {
+  SalvagePlan plan;
+  SalvageManifest& m = plan.manifest;
+  m.salvaged = true;
+  m.version = header.version;
+  m.file_bytes = file_size;
+  m.header_bytes = header.events_offset;
+
+  if (header.version != codec::kVersionIndexed) {
+    plan_sequential(source, header, file_size, /*index_error=*/"", plan);
+    return plan;
+  }
+  // A structurally-readable footer whose offset points into (or before)
+  // the header cannot describe real blocks — its "entries" are header
+  // bytes. Treat it the same as an unreadable index.
+  if (!index.has_value() || index->footer_offset < header.events_offset) {
+    const std::string err =
+        index.has_value() ? "footer offset points before the event section" : index.error();
+    plan_sequential(source, header, file_size, err, plan);
+    return plan;
+  }
+
+  const codec::IndexInfo& idx = *index;
+  const std::uint64_t events_end = idx.footer_offset;
+  m.index_usable = true;
+  m.index_bytes = file_size - events_end;
+  m.blocks_declared = idx.entries.size();
+  for (const codec::IndexEntry& e : idx.entries) m.events_declared += e.count;
+
+  // Pass 1: keep only entries whose offsets are in-range and strictly
+  // increasing — anything else is index damage and its span cannot be
+  // attributed, so the declared events are charged as lost up front.
+  struct Candidate {
+    std::uint64_t ordinal;
+    codec::IndexEntry entry;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(idx.entries.size());
+  std::uint64_t prev_offset = 0;
+  bool have_prev = false;
+  for (std::size_t i = 0; i < idx.entries.size(); ++i) {
+    const codec::IndexEntry& e = idx.entries[i];
+    const std::uint64_t entry_pos = idx.footer_offset + i * codec::kIndexEntryBytes;
+    const bool plausible = e.offset >= header.events_offset && e.offset < events_end &&
+                           (!have_prev || e.offset > prev_offset);
+    if (!plausible) {
+      SalvageBlockLoss loss;
+      loss.block = i;
+      loss.file_offset = e.offset;
+      loss.byte_size = 0;  // span unattributable; the bytes land in dropped_bytes
+      loss.events_declared = e.count;
+      loss.first_error_offset = entry_pos;
+      loss.reason = "implausible index entry (offset out of range or out of order)";
+      m.losses.push_back(std::move(loss));
+      ++m.blocks_dropped;
+      m.events_dropped += e.count;
+      continue;
+    }
+    candidates.push_back(Candidate{i, e});
+    prev_offset = e.offset;
+    have_prev = true;
+  }
+
+  // Pass 2: trial-decode each candidate span. A block is kept only when
+  // it decodes cleanly, yields exactly the declared count, and ends
+  // exactly where the next candidate begins — anything weaker would let
+  // a flipped count byte silently shift events between blocks.
+  std::uint64_t first_event_index = 0;
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    const Candidate& c = candidates[k];
+    const std::uint64_t span_end =
+        k + 1 < candidates.size() ? candidates[k + 1].entry.offset : events_end;
+    SalvageSource::Probe p = source.probe(c.entry.offset, span_end, c.entry.count, /*plain=*/false);
+    std::string reason;
+    if (!p.ok) {
+      reason = p.error;
+    } else if (p.events != c.entry.count) {
+      reason = "block decodes only " + std::to_string(p.events) + " of " +
+               std::to_string(c.entry.count) + " declared events";
+      p.error_offset = p.end_offset;
+    } else if (p.end_offset != span_end) {
+      reason = std::to_string(span_end - p.end_offset) +
+               " undecoded bytes between the block's last event and the next block";
+      p.error_offset = p.end_offset;
+    }
+    if (reason.empty()) {
+      plan.blocks.push_back(
+          TraceBlockInfo{c.entry.offset, span_end - c.entry.offset, c.entry.count,
+                         first_event_index, p.first_time});
+      first_event_index += c.entry.count;
+      ++m.blocks_kept;
+      m.events_recovered += c.entry.count;
+      m.kept_bytes += span_end - c.entry.offset;
+    } else {
+      SalvageBlockLoss loss;
+      loss.block = c.ordinal;
+      loss.file_offset = c.entry.offset;
+      loss.byte_size = span_end - c.entry.offset;
+      loss.events_declared = c.entry.count;
+      loss.first_error_offset = p.error_offset;
+      loss.reason = std::move(reason);
+      m.losses.push_back(std::move(loss));
+      ++m.blocks_dropped;
+      m.events_dropped += c.entry.count;
+    }
+  }
+
+  // Global byte accounting: every event-section byte not inside a kept
+  // block is dropped, which also covers gaps no index entry claims.
+  m.dropped_bytes = (events_end - header.events_offset) - m.kept_bytes;
+  std::sort(m.losses.begin(), m.losses.end(),
+            [](const SalvageBlockLoss& a, const SalvageBlockLoss& b) { return a.block < b.block; });
+  return plan;
+}
+
+Expected<codec::IndexInfo> read_index_lenient(std::istream& in, std::uint64_t file_size) {
+  // Mirrors codec::decode_index byte for byte (same checks, same error
+  // strings) so TraceReader and TraceStreamer produce identical salvage
+  // manifests for identical file contents.
+  if (file_size < codec::kTrailerBytes) {
+    return codec::truncated_at("v3 trace too small for index trailer", file_size);
+  }
+  const std::uint64_t trailer_offset = file_size - codec::kTrailerBytes;
+  unsigned char trailer[codec::kTrailerBytes];
+  in.clear();
+  in.seekg(static_cast<std::streamoff>(trailer_offset));
+  in.read(reinterpret_cast<char*>(trailer), sizeof(trailer));
+  if (!in.good()) {
+    return codec::truncated_at("unreadable v3 index trailer", trailer_offset);
+  }
+  if (std::memcmp(trailer + 16, codec::kIndexMagic, sizeof(codec::kIndexMagic)) != 0) {
+    return codec::truncated_at("missing v3 index trailer magic", file_size - 8);
+  }
+  std::uint64_t entry_count = 0;
+  codec::IndexInfo info;
+  info.file_size = file_size;
+  std::memcpy(&entry_count, trailer, 8);
+  std::memcpy(&info.footer_offset, trailer + 8, 8);
+  if (info.footer_offset > trailer_offset) {
+    return codec::truncated_at("v3 footer offset points past the index trailer", file_size - 16);
+  }
+  const std::uint64_t index_bytes = trailer_offset - info.footer_offset;
+  if (entry_count * codec::kIndexEntryBytes != index_bytes) {
+    return unexpected("v3 index claims " + std::to_string(entry_count) + " entries but spans " +
+                      std::to_string(index_bytes) + " bytes at offset " +
+                      std::to_string(info.footer_offset));
+  }
+  std::vector<unsigned char> raw(static_cast<std::size_t>(index_bytes));
+  in.clear();
+  in.seekg(static_cast<std::streamoff>(info.footer_offset));
+  in.read(reinterpret_cast<char*>(raw.data()), static_cast<std::streamsize>(raw.size()));
+  if (!in.good() && index_bytes != 0) {
+    return codec::truncated_at("unreadable v3 index footer", info.footer_offset);
+  }
+  info.entries.reserve(static_cast<std::size_t>(entry_count));
+  codec::ByteReader r(raw.data(), raw.size(), info.footer_offset);
+  for (std::uint64_t i = 0; i < entry_count; ++i) {
+    codec::IndexEntry e;
+    if (!r.get(e.offset) || !r.get(e.count) || !r.get(e.first_time)) {
+      return codec::truncated_at("truncated v3 index entry", r.offset());
+    }
+    info.entries.push_back(e);
+  }
+  return info;
+}
+
+}  // namespace ecohmem::trace

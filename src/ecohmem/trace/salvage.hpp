@@ -1,0 +1,199 @@
+#pragma once
+
+/// \file salvage.hpp
+/// Fail-soft trace recovery: the salvage planner shared by `TraceReader`
+/// and `TraceStreamer` (trace_reader.hpp) when they are opened in
+/// salvage mode.
+///
+/// A strict reader rejects a trace at the first structural error. The
+/// salvage planner instead classifies the file block by block, using the
+/// *lenient* v3 index decode (codec::decode_index — previously the
+/// linter's private tool) and a trial decode of every candidate block:
+///
+///   - v3, readable trailer+footer: every index entry whose offset is
+///     in-range and increasing gets its span trial-decoded; a block is
+///     kept only when it decodes cleanly, yields exactly the event count
+///     the index declares, and ends exactly at the next block's offset.
+///     Anything else becomes a `SalvageBlockLoss` with the first error
+///     offset. Blocks after a dropped block remain recoverable because
+///     v3 blocks decode independently (the delta base resets per block).
+///   - v3, unreadable trailer/footer (short write, crashed profiler):
+///     sequential scan — the event section is decoded front to back as
+///     one virtual block up to the first undecodable event. See
+///     docs/trace_format.md for the timestamp caveat past the first
+///     block boundary.
+///   - v1/v2: sequential scan with the version's codec, capped at the
+///     header's declared event count.
+///
+/// The resulting `SalvageManifest` accounts for every byte of the file
+/// (`bytes_conserved()`) and every declared event (recovered + dropped ==
+/// declared whenever the index was usable), so degraded reads are loud:
+/// the analyzer stamps the coverage into its reports and `ecohmem-lint`
+/// gates on it (trace-salvage-coverage). docs/robustness.md is the
+/// user-facing guide.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ecohmem/common/expected.hpp"
+#include "ecohmem/trace/codec.hpp"
+#include "ecohmem/trace/events.hpp"
+
+namespace ecohmem::trace {
+
+/// One independently-decodable event block (v3), or the whole event
+/// section as a single virtual block (v1/v2 and sequential salvage).
+struct TraceBlockInfo {
+  std::uint64_t file_offset = 0;       ///< absolute offset of the block's first byte
+  std::uint64_t byte_size = 0;         ///< encoded size in bytes
+  std::uint64_t event_count = 0;       ///< events in the block
+  std::uint64_t first_event_index = 0; ///< index of the block's first event in the trace
+  Ns first_time = 0;                   ///< timestamp of the block's first event (v3)
+};
+
+/// One region salvage could not recover, with the reason and where the
+/// first error was detected (absolute file offset).
+struct SalvageBlockLoss {
+  std::uint64_t block = 0;             ///< ordinal in the raw footer index
+  std::uint64_t file_offset = 0;       ///< where the lost region begins
+  std::uint64_t byte_size = 0;         ///< bytes charged to this loss (0 when unattributable)
+  std::uint64_t events_declared = 0;   ///< events the index/header claimed for the region
+  std::uint64_t first_error_offset = 0;
+  std::string reason;
+};
+
+/// Full accounting of a salvage read: what was kept, what was dropped
+/// and why, down to the byte. `salvaged` is false for strict opens (the
+/// manifest is then not meaningful).
+struct SalvageManifest {
+  bool salvaged = false;         ///< the reader ran in salvage mode
+  bool index_usable = false;     ///< the v3 footer index was structurally readable
+  bool sequential_scan = false;  ///< recovered by front-to-back scan (no usable index)
+  std::uint32_t version = 0;
+
+  std::uint64_t file_bytes = 0;
+  std::uint64_t header_bytes = 0;  ///< magic through the header tables
+  std::uint64_t kept_bytes = 0;    ///< event bytes in recovered blocks
+  std::uint64_t dropped_bytes = 0; ///< event-section bytes not recovered
+  std::uint64_t index_bytes = 0;   ///< footer + trailer (0 when unreadable)
+
+  std::uint64_t blocks_declared = 0;
+  std::uint64_t blocks_kept = 0;
+  std::uint64_t blocks_dropped = 0;
+
+  std::uint64_t events_declared = 0;  ///< index sum (v3) or header count (v1/v2)
+  std::uint64_t events_recovered = 0;
+  std::uint64_t events_dropped = 0;   ///< declared - recovered
+
+  std::vector<SalvageBlockLoss> losses;
+
+  /// Fraction of declared events recovered (1.0 when nothing declared).
+  [[nodiscard]] double coverage() const {
+    if (events_declared == 0) return 1.0;
+    return static_cast<double>(events_recovered) / static_cast<double>(events_declared);
+  }
+
+  /// Every file byte is accounted exactly once: header, kept blocks,
+  /// dropped regions, index. The corruption-sweep test asserts this for
+  /// every injected fault — salvage never silently loses bytes.
+  [[nodiscard]] bool bytes_conserved() const {
+    return header_bytes + kept_bytes + dropped_bytes + index_bytes == file_bytes;
+  }
+
+  /// One-line human summary for CLI output.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Random-access decode probe the planner classifies blocks through.
+/// Implemented over the mmapped bytes (TraceReader) and over a seekable
+/// file stream (TraceStreamer); both must report identical results for
+/// identical bytes, which the corruption-sweep test cross-checks.
+class SalvageSource {
+ public:
+  struct Probe {
+    std::uint64_t events = 0;      ///< events decoded cleanly
+    std::uint64_t end_offset = 0;  ///< offset one past the last clean event
+    Ns first_time = 0;             ///< timestamp of the first decoded event
+    bool ok = true;                ///< false when decoding stopped on an error
+    std::uint64_t error_offset = 0;
+    std::string error;
+  };
+
+  virtual ~SalvageSource() = default;
+
+  /// Decodes up to `max_events` events starting at absolute offset
+  /// `begin`, never accepting an event that ends past `end`. `plain`
+  /// selects the v1 fixed-width codec (v2/v3 use the compact codec with
+  /// a fresh delta base). Must not throw.
+  [[nodiscard]] virtual Probe probe(std::uint64_t begin, std::uint64_t end,
+                                    std::uint64_t max_events, bool plain) = 0;
+};
+
+/// Shared probe loop for both sources (`Source` is a codec decode source
+/// positioned at `begin`). Stops cleanly when the span [begin, end) is
+/// exhausted, and with `ok = false` at the first decode error or the
+/// first event that overruns `end`.
+template <typename Source>
+SalvageSource::Probe probe_events(Source& src, std::uint64_t end, std::uint64_t max_events,
+                                  bool plain, std::uint32_t stack_count) {
+  SalvageSource::Probe p;
+  p.end_offset = src.offset();
+  Ns last_time = 0;
+  Event ev;
+  for (std::uint64_t j = 0; j < max_events; ++j) {
+    const std::uint64_t pos = src.offset();
+    if (pos >= end) break;
+    const Status s = plain ? codec::decode_event_plain(src, stack_count, ev)
+                           : codec::decode_event_compact(src, stack_count, last_time, ev);
+    if (!s.ok()) {
+      // Re-anchor the codec's error at the event *start*: the mmap and
+      // stream sources consume a failing event's bytes differently, and
+      // both readers must report an identical manifest for identical
+      // bytes (the corruption sweep cross-checks this).
+      p.ok = false;
+      std::string msg = s.error();
+      if (const auto k = msg.rfind(" at offset "); k != std::string::npos) msg.resize(k);
+      p.error = msg + " at offset " + std::to_string(pos);
+      p.error_offset = pos;
+      break;
+    }
+    if (src.offset() > end) {
+      p.ok = false;
+      p.error = "event at offset " + std::to_string(pos) + " overruns the block end at offset " +
+                std::to_string(end);
+      p.error_offset = pos;
+      break;
+    }
+    if (p.events == 0) p.first_time = event_time(ev);
+    ++p.events;
+    p.end_offset = src.offset();
+  }
+  return p;
+}
+
+/// The salvage classification: manifest plus the kept-block table the
+/// readers serve (`first_event_index` renumbered over recovered events
+/// only, `first_time` taken from the decoded events, so the index values
+/// need not be trusted).
+struct SalvagePlan {
+  SalvageManifest manifest;
+  std::vector<TraceBlockInfo> blocks;
+};
+
+/// Classifies a trace for salvage. `index` is the *lenient* footer
+/// decode result for v3 traces (its error selects the sequential-scan
+/// path); ignored for v1/v2. The header must already have decoded —
+/// without its tables nothing is recoverable.
+[[nodiscard]] SalvagePlan build_salvage_plan(SalvageSource& source,
+                                             const codec::HeaderInfo& header,
+                                             std::uint64_t file_size,
+                                             const Expected<codec::IndexInfo>& index);
+
+/// Lenient footer/trailer read over a seekable stream — the stream-side
+/// twin of codec::decode_index, with the same checks and error strings
+/// so both readers classify a damaged index identically.
+[[nodiscard]] Expected<codec::IndexInfo> read_index_lenient(std::istream& in,
+                                                            std::uint64_t file_size);
+
+}  // namespace ecohmem::trace

@@ -27,12 +27,16 @@ Status flush_buffer(std::ostream& out, std::string& buf) {
 
 /// Reads the whole stream in large chunks (satellite of the v3 work:
 /// even legacy v1/v2 traces are decoded from memory instead of per-event
-/// istream reads).
-std::string slurp_stream(std::istream& in) {
+/// istream reads). A stream that goes bad mid-read is an error — a
+/// short buffer would otherwise decode as a silently truncated trace.
+Expected<std::string> slurp_stream(std::istream& in) {
   std::string bytes;
   char chunk[256 * 1024];
   while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
     bytes.append(chunk, static_cast<std::size_t>(in.gcount()));
+  }
+  if (in.bad()) {
+    return unexpected("stream read error after " + std::to_string(bytes.size()) + " bytes");
   }
   return bytes;
 }
@@ -79,6 +83,8 @@ Expected<TraceBundle> decode_trace(const unsigned char* data, std::size_t size) 
   bundle.trace.functions = std::move(header->functions);
   bundle.trace.sample_rate_hz = header->sample_rate_hz;
   bundle.modules = std::move(header->modules);
+  bundle.coverage.events_seen = header->event_count;
+  bundle.coverage.events_declared = header->event_count;
   const auto stack_count = static_cast<std::uint32_t>(bundle.trace.stacks.size());
   // Every event is at least 2 encoded bytes, so a hostile header count
   // cannot make us reserve more than the file could actually hold.
@@ -180,8 +186,9 @@ Status write_trace(std::ostream& out, const Trace& trace, const bom::ModuleTable
 }
 
 Expected<TraceBundle> read_trace(std::istream& in) {
-  const std::string bytes = slurp_stream(in);
-  return decode_trace(reinterpret_cast<const unsigned char*>(bytes.data()), bytes.size());
+  const Expected<std::string> bytes = slurp_stream(in);
+  if (!bytes.has_value()) return unexpected("cannot read trace stream: " + bytes.error());
+  return decode_trace(reinterpret_cast<const unsigned char*>(bytes->data()), bytes->size());
 }
 
 Status save_trace(const std::string& path, const Trace& trace, const bom::ModuleTable& modules,

@@ -39,10 +39,31 @@
 
 namespace ecohmem::trace {
 
+/// How much of the on-disk trace a bundle actually carries. Strict
+/// reads always have full coverage; salvage-mode reads (trace_reader.hpp)
+/// may recover fewer events than the file declared, and downstream
+/// consumers (analyzer, advisor, lint) gate on this instead of guessing.
+struct TraceCoverage {
+  std::uint64_t events_seen = 0;      ///< events materialized in the bundle
+  std::uint64_t events_declared = 0;  ///< events the trace file declared
+  bool salvaged = false;              ///< bundle came from a salvage-mode read
+
+  /// Fraction of declared events present (1.0 when nothing declared).
+  [[nodiscard]] double fraction() const {
+    if (events_declared == 0) return 1.0;
+    return static_cast<double>(events_seen) / static_cast<double>(events_declared);
+  }
+  /// True for a default-constructed value (loader did not stamp it).
+  [[nodiscard]] bool empty() const {
+    return events_seen == 0 && events_declared == 0 && !salvaged;
+  }
+};
+
 /// A trace together with the module table it was captured against.
 struct TraceBundle {
   Trace trace;
   bom::ModuleTable modules;
+  TraceCoverage coverage;  ///< stamped by the readers; empty() if not
 };
 
 struct TraceWriteOptions {

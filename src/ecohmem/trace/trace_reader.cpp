@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -18,14 +19,92 @@ namespace ecohmem::trace {
 
 namespace {
 
-std::string slurp_stream(std::istream& in) {
+/// Reads a whole stream into memory. A stream that goes bad mid-read
+/// (I/O error, exception from the stream buffer) is reported as an
+/// error — `gcount() == 0` alone cannot distinguish EOF from failure,
+/// so the loop's exit condition must be double-checked with `bad()`.
+Expected<std::string> slurp_stream(std::istream& in) {
   std::string bytes;
   char chunk[256 * 1024];
   while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
     bytes.append(chunk, static_cast<std::size_t>(in.gcount()));
   }
+  if (in.bad()) {
+    return unexpected("stream read error after " + std::to_string(bytes.size()) + " bytes");
+  }
   return bytes;
 }
+
+/// Reads the whole file behind an already-open descriptor. Used by the
+/// mmap fallback so the fallback sees the very same file `fstat` saw
+/// (re-opening by path would race a concurrent rename/replace).
+Expected<std::string> slurp_fd(int fd, std::size_t size_hint) {
+  std::string bytes;
+  bytes.reserve(size_hint);
+  if (::lseek(fd, 0, SEEK_SET) < 0) return unexpected("cannot seek trace fd");
+  char chunk[256 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return unexpected("read error after " + std::to_string(bytes.size()) + " bytes");
+    }
+    bytes.append(chunk, static_cast<std::size_t>(n));
+  }
+  return bytes;
+}
+
+/// Salvage probe over in-memory bytes (mmap or private copy). The probe
+/// span is bounded by the file end, not the block end, so an event that
+/// overruns its block is detected the same way the stream source
+/// detects it (by offset, not by a short read).
+class ByteSalvageSource final : public SalvageSource {
+ public:
+  ByteSalvageSource(const unsigned char* data, std::size_t size, std::uint32_t stack_count)
+      : data_(data), size_(size), stack_count_(stack_count) {}
+
+  Probe probe(std::uint64_t begin, std::uint64_t end, std::uint64_t max_events,
+              bool plain) override {
+    if (begin > size_) begin = size_;
+    codec::ByteReader src(data_ + begin, size_ - static_cast<std::size_t>(begin), begin);
+    return probe_events(src, end, max_events, plain, stack_count_);
+  }
+
+ private:
+  const unsigned char* data_;
+  std::size_t size_;
+  std::uint32_t stack_count_;
+};
+
+/// Salvage probe over a seekable stream (TraceStreamer). Must classify
+/// identical bytes identically to ByteSalvageSource — the corruption
+/// sweep cross-checks the two manifests.
+class StreamSalvageSource final : public SalvageSource {
+ public:
+  StreamSalvageSource(std::istream& in, std::uint32_t stack_count)
+      : in_(&in), stack_count_(stack_count) {}
+
+  Probe probe(std::uint64_t begin, std::uint64_t end, std::uint64_t max_events,
+              bool plain) override {
+    in_->clear();
+    in_->seekg(static_cast<std::streamoff>(begin));
+    if (!in_->good()) {
+      Probe p;
+      p.ok = false;
+      p.end_offset = begin;
+      p.error_offset = begin;
+      p.error = "cannot seek to offset " + std::to_string(begin);
+      return p;
+    }
+    codec::ChunkedStreamReader src(*in_, begin);
+    return probe_events(src, end, max_events, plain, stack_count_);
+  }
+
+ private:
+  std::istream* in_;
+  std::uint32_t stack_count_;
+};
 
 }  // namespace
 
@@ -40,6 +119,7 @@ struct TraceReader::Impl {
   codec::HeaderInfo header;
   std::vector<TraceBlockInfo> blocks;
   std::uint64_t events_end = 0;  ///< one past the last event byte
+  SalvageManifest manifest;      ///< meaningful only when manifest.salvaged
 
   ~Impl() {
     if (is_mmap && data != nullptr) {
@@ -48,12 +128,30 @@ struct TraceReader::Impl {
   }
 
   /// Decodes + validates the header and (for v3) the footer index;
-  /// builds the block table. Called once from open/from_stream.
-  Status init() {
+  /// builds the block table. Called once from open/from_stream. In
+  /// salvage mode the block table holds only the recoverable blocks and
+  /// the header count is rewritten to the recovered total, so every
+  /// downstream accessor works unchanged on a damaged file.
+  Status init(bool salvage) {
     codec::ByteReader r(data, size, 0);
     auto header_or = codec::decode_header(r);
     if (!header_or.has_value()) return unexpected(header_or.error());
     header = std::move(*header_or);
+
+    if (salvage) {
+      ByteSalvageSource source(data, size, static_cast<std::uint32_t>(header.stacks.size()));
+      const Expected<codec::IndexInfo> index =
+          header.version == codec::kVersionIndexed
+              ? codec::decode_index(data, size)
+              : Expected<codec::IndexInfo>(unexpected("not a v3 trace"));
+      SalvagePlan plan = build_salvage_plan(source, header, size, index);
+      manifest = std::move(plan.manifest);
+      blocks = std::move(plan.blocks);
+      events_end = header.events_offset + manifest.kept_bytes;
+      header.event_count = manifest.events_recovered;
+      return {};
+    }
+
     // Every encoded event is at least 2 bytes, so a count the file could
     // not physically hold is rejected before anything is allocated.
     if (header.event_count > size / 2 + 1) {
@@ -107,11 +205,11 @@ TraceReader::TraceReader(TraceReader&&) noexcept = default;
 TraceReader& TraceReader::operator=(TraceReader&&) noexcept = default;
 TraceReader::~TraceReader() = default;
 
-Expected<TraceReader> TraceReader::open(const std::string& path) {
+Expected<TraceReader> TraceReader::open(const std::string& path, TraceOpenOptions options) {
   TraceReader reader;
   Impl& impl = *reader.impl_;
 
-  const int fd = ::open(path.c_str(), O_RDONLY);
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) return unexpected("cannot open trace: " + path);
   struct stat st {};
   if (::fstat(fd, &st) != 0) {
@@ -123,6 +221,16 @@ Expected<TraceReader> TraceReader::open(const std::string& path) {
   if (size > 0) {
     void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
     if (map != MAP_FAILED) {
+      // Re-stat after mapping: a writer truncating the file between
+      // fstat and mmap (or still truncating it now) would leave pages
+      // past the new EOF that SIGBUS on first touch. A shrunk file is
+      // an error up front, not a crash at decode time.
+      struct stat st2 {};
+      if (::fstat(fd, &st2) != 0 || static_cast<std::size_t>(st2.st_size) < size) {
+        ::munmap(map, size);
+        ::close(fd);
+        return unexpected("trace shrank while opening (concurrent truncation): " + path);
+      }
       impl.data = static_cast<const unsigned char*>(map);
       impl.size = size;
       impl.is_mmap = true;
@@ -130,29 +238,33 @@ Expected<TraceReader> TraceReader::open(const std::string& path) {
     }
   }
   if (!mapped) {
-    // mmap unavailable (or empty file): fall back to a private copy.
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
+    // mmap unavailable (or empty file): fall back to a private copy,
+    // read through the descriptor we already validated — re-opening by
+    // path could hand us a different file.
+    auto bytes = slurp_fd(fd, size);
+    if (!bytes.has_value()) {
       ::close(fd);
-      return unexpected("cannot open trace: " + path);
+      return unexpected("cannot read trace " + path + ": " + bytes.error());
     }
-    impl.owned = slurp_stream(in);
+    impl.owned = std::move(*bytes);
     impl.data = reinterpret_cast<const unsigned char*>(impl.owned.data());
     impl.size = impl.owned.size();
   }
   ::close(fd);
 
-  if (Status s = impl.init(); !s.ok()) return unexpected(s.error());
+  if (Status s = impl.init(options.salvage); !s.ok()) return unexpected(s.error());
   return reader;
 }
 
-Expected<TraceReader> TraceReader::from_stream(std::istream& in) {
+Expected<TraceReader> TraceReader::from_stream(std::istream& in, TraceOpenOptions options) {
   TraceReader reader;
   Impl& impl = *reader.impl_;
-  impl.owned = slurp_stream(in);
+  auto bytes = slurp_stream(in);
+  if (!bytes.has_value()) return unexpected("cannot read trace stream: " + bytes.error());
+  impl.owned = std::move(*bytes);
   impl.data = reinterpret_cast<const unsigned char*>(impl.owned.data());
   impl.size = impl.owned.size();
-  if (Status s = impl.init(); !s.ok()) return unexpected(s.error());
+  if (Status s = impl.init(options.salvage); !s.ok()) return unexpected(s.error());
   return reader;
 }
 
@@ -167,6 +279,7 @@ std::uint64_t TraceReader::event_count() const { return impl_->header.event_coun
 std::uint64_t TraceReader::byte_size() const { return impl_->size; }
 std::size_t TraceReader::block_count() const { return impl_->blocks.size(); }
 const TraceBlockInfo& TraceReader::block(std::size_t i) const { return impl_->blocks.at(i); }
+const SalvageManifest& TraceReader::manifest() const { return impl_->manifest; }
 
 Status TraceReader::decode_block_into(std::size_t i, Event* out) const {
   const Impl& impl = *impl_;
@@ -216,6 +329,10 @@ Expected<TraceBundle> TraceReader::read_all(int threads) const {
   bundle.trace.functions = impl.header.functions;
   bundle.trace.sample_rate_hz = impl.header.sample_rate_hz;
   bundle.modules = impl.header.modules;
+  bundle.coverage.events_seen = impl.header.event_count;
+  bundle.coverage.events_declared =
+      impl.manifest.salvaged ? impl.manifest.events_declared : impl.header.event_count;
+  bundle.coverage.salvaged = impl.manifest.salvaged;
   bundle.trace.events.resize(static_cast<std::size_t>(impl.header.event_count));
 
   const std::size_t want = threads < 1 ? 1 : static_cast<std::size_t>(threads);
@@ -270,6 +387,8 @@ struct TraceStreamer::Impl {
   std::string path;
   codec::HeaderInfo header;
   std::vector<codec::IndexEntry> entries;  ///< v3 block index (empty for v1/v2)
+  std::vector<TraceBlockInfo> blocks;      ///< recovered blocks (salvage mode only)
+  SalvageManifest manifest;                ///< meaningful only when manifest.salvaged
 };
 
 TraceStreamer::TraceStreamer() : impl_(std::make_unique<Impl>()) {}
@@ -277,7 +396,7 @@ TraceStreamer::TraceStreamer(TraceStreamer&&) noexcept = default;
 TraceStreamer& TraceStreamer::operator=(TraceStreamer&&) noexcept = default;
 TraceStreamer::~TraceStreamer() = default;
 
-Expected<TraceStreamer> TraceStreamer::open(const std::string& path) {
+Expected<TraceStreamer> TraceStreamer::open(const std::string& path, TraceOpenOptions options) {
   TraceStreamer streamer;
   Impl& impl = *streamer.impl_;
   impl.path = path;
@@ -288,6 +407,26 @@ Expected<TraceStreamer> TraceStreamer::open(const std::string& path) {
   auto header_or = codec::decode_header(src);
   if (!header_or.has_value()) return unexpected(header_or.error());
   impl.header = std::move(*header_or);
+
+  if (options.salvage) {
+    // Fail-soft open: classify the file with the shared salvage planner
+    // through a seekable probe stream, mirroring TraceReader exactly.
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) return unexpected("cannot open trace: " + path);
+    probe.seekg(0, std::ios::end);
+    const auto file_size = static_cast<std::uint64_t>(probe.tellg());
+    if (!probe.good()) return unexpected("cannot read trace size of " + path);
+    const Expected<codec::IndexInfo> index =
+        impl.header.version == codec::kVersionIndexed
+            ? read_index_lenient(probe, file_size)
+            : Expected<codec::IndexInfo>(unexpected("not a v3 trace"));
+    StreamSalvageSource source(probe, static_cast<std::uint32_t>(impl.header.stacks.size()));
+    SalvagePlan plan = build_salvage_plan(source, impl.header, file_size, index);
+    impl.manifest = std::move(plan.manifest);
+    impl.blocks = std::move(plan.blocks);
+    impl.header.event_count = impl.manifest.events_recovered;
+    return streamer;
+  }
 
   if (impl.header.version == codec::kVersionIndexed) {
     // The index lives at the end of the file; read it through a seek
@@ -359,11 +498,37 @@ const bom::ModuleTable& TraceStreamer::modules() const { return impl_->header.mo
 const StackTable& TraceStreamer::stacks() const { return impl_->header.stacks; }
 const FunctionTable& TraceStreamer::functions() const { return impl_->header.functions; }
 std::uint64_t TraceStreamer::event_count() const { return impl_->header.event_count; }
+const SalvageManifest& TraceStreamer::manifest() const { return impl_->manifest; }
 
 Status TraceStreamer::for_each(const std::function<void(const Event&)>& fn) const {
   const Impl& impl = *impl_;
   std::ifstream in(impl.path, std::ios::binary);
   if (!in) return unexpected("cannot open trace: " + impl.path);
+
+  if (impl.manifest.salvaged) {
+    // Stream only the blocks recovered at open time, seeking over the
+    // dropped regions. Each v2/v3 block decodes from a fresh delta base.
+    const auto stacks = static_cast<std::uint32_t>(impl.header.stacks.size());
+    const bool plain = impl.header.version == codec::kVersionPlain;
+    Event ev;
+    for (const TraceBlockInfo& b : impl.blocks) {
+      in.clear();
+      in.seekg(static_cast<std::streamoff>(b.file_offset));
+      if (!in.good()) {
+        return codec::truncated_at("cannot seek to salvaged block", b.file_offset);
+      }
+      codec::ChunkedStreamReader src(in, b.file_offset);
+      Ns last_time = 0;
+      for (std::uint64_t j = 0; j < b.event_count; ++j) {
+        const Status s = plain ? codec::decode_event_plain(src, stacks, ev)
+                               : codec::decode_event_compact(src, stacks, last_time, ev);
+        if (!s.ok()) return s;  // file changed since open
+        fn(ev);
+      }
+    }
+    return {};
+  }
+
   in.seekg(static_cast<std::streamoff>(impl.header.events_offset));
   if (!in.good()) {
     return codec::truncated_at("truncated event stream", impl.header.events_offset);

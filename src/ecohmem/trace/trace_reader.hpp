@@ -32,18 +32,19 @@
 #include "ecohmem/bom/module_table.hpp"
 #include "ecohmem/common/expected.hpp"
 #include "ecohmem/trace/events.hpp"
+#include "ecohmem/trace/salvage.hpp"
 #include "ecohmem/trace/trace_file.hpp"
 
 namespace ecohmem::trace {
 
-/// One independently-decodable event block (v3), or the whole event
-/// section as a single virtual block (v1/v2).
-struct TraceBlockInfo {
-  std::uint64_t file_offset = 0;       ///< absolute offset of the block's first byte
-  std::uint64_t byte_size = 0;         ///< encoded size in bytes
-  std::uint64_t event_count = 0;       ///< events in the block
-  std::uint64_t first_event_index = 0; ///< index of the block's first event in the trace
-  Ns first_time = 0;                   ///< timestamp of the block's first event (v3)
+/// How a trace file is opened.
+struct TraceOpenOptions {
+  /// Fail-soft mode: instead of rejecting a corrupt/truncated trace at
+  /// the first structural error, recover every independently decodable
+  /// block and account for the rest in `manifest()` (salvage.hpp). The
+  /// header tables must still decode — without them nothing is
+  /// recoverable. Off by default: strict reads stay strict.
+  bool salvage = false;
 };
 
 class TraceReader {
@@ -51,13 +52,14 @@ class TraceReader {
   /// Opens and validates a trace file: header decoded eagerly, v3 footer
   /// index decoded and strictly validated (chained offsets, counts
   /// summing to the header total, non-decreasing timestamps). The file
-  /// is mmapped read-only when possible.
-  static Expected<TraceReader> open(const std::string& path);
+  /// is mmapped read-only when possible. With `options.salvage`,
+  /// validation relaxes to per-block recovery (see `manifest()`).
+  static Expected<TraceReader> open(const std::string& path, TraceOpenOptions options = {});
 
   /// Reads a trace from a stream that may not be seekable (a pipe): the
   /// bytes are copied into a private buffer, everything else behaves
-  /// like `open`.
-  static Expected<TraceReader> from_stream(std::istream& in);
+  /// like `open`. A stream that goes bad mid-read is an error, not EOF.
+  static Expected<TraceReader> from_stream(std::istream& in, TraceOpenOptions options = {});
 
   TraceReader(TraceReader&&) noexcept;
   TraceReader& operator=(TraceReader&&) noexcept;
@@ -91,8 +93,14 @@ class TraceReader {
 
   /// Materializes the whole trace (tables copied). With `threads > 1`
   /// and a v3 trace, blocks decode in parallel into disjoint slices of
-  /// the event vector; the result is bit-identical to serial decode.
+  /// the event vector; the result is bit-identical to serial decode —
+  /// in salvage mode too (recovered blocks are fixed at open time).
+  /// The bundle's `coverage` reflects the salvage manifest.
   [[nodiscard]] Expected<TraceBundle> read_all(int threads = 1) const;
+
+  /// Salvage accounting for this open. `manifest().salvaged` is false
+  /// for strict opens (the other fields are then meaningless).
+  [[nodiscard]] const SalvageManifest& manifest() const;
 
  private:
   TraceReader();
@@ -107,7 +115,7 @@ class TraceReader {
 /// handle instead of a materialized `Trace`.
 class TraceStreamer {
  public:
-  static Expected<TraceStreamer> open(const std::string& path);
+  static Expected<TraceStreamer> open(const std::string& path, TraceOpenOptions options = {});
 
   TraceStreamer(TraceStreamer&&) noexcept;
   TraceStreamer& operator=(TraceStreamer&&) noexcept;
@@ -123,8 +131,12 @@ class TraceStreamer {
   [[nodiscard]] std::uint64_t event_count() const;
 
   /// Streams every event, in order, through `fn`. Decodes from a
-  /// bounded chunk buffer; never materializes more than one event.
+  /// bounded chunk buffer; never materializes more than one event. In
+  /// salvage mode only the blocks recovered at open time are streamed.
   [[nodiscard]] Status for_each(const std::function<void(const Event&)>& fn) const;
+
+  /// Salvage accounting for this open (see TraceReader::manifest).
+  [[nodiscard]] const SalvageManifest& manifest() const;
 
  private:
   TraceStreamer();

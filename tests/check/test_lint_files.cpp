@@ -261,15 +261,22 @@ TEST(LintFiles, CorruptV3IndexFiresIndexRuleDespiteLoadFailure) {
   const auto result = lint_files(inputs);
   ASSERT_TRUE(result.has_value()) << result.error();
   EXPECT_FALSE(result->ok());
-  EXPECT_TRUE(has_rule(*result, "trace-load", Severity::kError));
+  // The strict load failure degrades to a salvage-mode read (block 0 is
+  // dropped: it decodes 16 of the 17 events the tampered index claims),
+  // while trace-v3-index still pinpoints the sum mismatch and the
+  // recovered coverage (112/129 < 0.9) fails the salvage gate.
+  EXPECT_TRUE(has_rule(*result, "trace-load", Severity::kWarning));
   EXPECT_TRUE(has_rule(*result, "trace-v3-index", Severity::kError));
+  EXPECT_TRUE(has_rule(*result, "trace-salvage-coverage", Severity::kError));
 }
 
 TEST(LintFiles, StructurallyUnreadableV3IndexIsALoadDiagnostic) {
   const std::string path = tmp_path("lint_v3_noindex.trc");
   std::string bytes = small_v3_bytes(path);
-  // Destroy the trailer magic: the index cannot even be enumerated, which
-  // earns the trace-index-load pseudo-diagnostic instead of rule findings.
+  // Destroy the trailer magic: the index cannot even be enumerated. The
+  // salvage fallback recovers every event by sequential scan, so the
+  // load and index diagnostics are warnings and the lint passes — the
+  // damage is fully accounted, not fatal.
   bytes[bytes.size() - 1] = '?';
   {
     std::ofstream out(path, std::ios::binary);
@@ -280,9 +287,10 @@ TEST(LintFiles, StructurallyUnreadableV3IndexIsALoadDiagnostic) {
   inputs.trace_path = path;
   const auto result = lint_files(inputs);
   ASSERT_TRUE(result.has_value()) << result.error();
-  EXPECT_FALSE(result->ok());
-  EXPECT_TRUE(has_rule(*result, "trace-load", Severity::kError));
-  EXPECT_TRUE(has_rule(*result, "trace-index-load", Severity::kError));
+  EXPECT_TRUE(result->ok());
+  EXPECT_TRUE(has_rule(*result, "trace-load", Severity::kWarning));
+  EXPECT_TRUE(has_rule(*result, "trace-index-load", Severity::kWarning));
+  EXPECT_TRUE(has_rule(*result, "trace-salvage-coverage", Severity::kWarning));
 }
 
 }  // namespace

@@ -94,4 +94,15 @@ inline int fail(const std::string& message) {
   return 1;
 }
 
+/// Load-failure diagnostic: every tool reports a file it could not
+/// load the same way — nonzero exit, the path, and the loader's message
+/// (which carries the byte offset for codec-level trace errors). Tools
+/// must route trace/report/CSV load errors through this so no path or
+/// offset is ever dropped.
+inline int fail_load(const std::string& path, const std::string& message) {
+  // Loaders sometimes embed the path already; avoid printing it twice.
+  if (message.find(path) != std::string::npos) return fail(message);
+  return fail(path + ": " + message);
+}
+
 }  // namespace ecohmem::cli

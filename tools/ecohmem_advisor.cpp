@@ -29,32 +29,52 @@
 using namespace ecohmem;
 
 int main(int argc, char** argv) {
-  const cli::Args args(argc, argv, {"bandwidth-aware", "dump-sites", "help"});
+  const cli::Args args(argc, argv, {"bandwidth-aware", "dump-sites", "salvage", "help"});
   if (args.has("help") || !args.has("trace") || !args.has("out")) {
     std::printf(
         "usage: ecohmem-advisor --trace <trace.trc> --out <report.txt>\n"
         "                       [--config <advisor.ini>] [--dram-limit 12GB]\n"
         "                       [--store-coef 0.125] [--bandwidth-aware]\n"
         "                       [--peak-pmem-bw GBS] [--dump-sites] [--csv <file>]\n"
-        "                       [--threads N]\n"
+        "                       [--threads N] [--salvage] [--min-coverage F]\n"
         "  --threads N decodes v3 trace blocks and aggregates samples on N\n"
-        "  workers; the analysis is bit-identical to --threads 1.\n");
+        "  workers; the analysis is bit-identical to --threads 1.\n"
+        "  --salvage recovers what it can from a corrupt/truncated trace and\n"
+        "  fails only when coverage drops below --min-coverage (default 0.9).\n");
     return args.has("help") ? 0 : 1;
   }
 
   const auto threads = args.get_int_in_range("threads", 1, 1, 256);
   if (!threads) return cli::fail(threads.error());
+  const double min_coverage = args.get_double("min-coverage", 0.9);
+  if (min_coverage < 0.0 || min_coverage > 1.0) {
+    return cli::fail("--min-coverage must be in [0, 1]");
+  }
 
   // The trace is mmapped and decoded block-wise (in parallel for v3
   // traces when --threads > 1); v1/v2 traces take the same path through
-  // a single virtual block.
-  auto reader = trace::TraceReader::open(args.get("trace"));
-  if (!reader) return cli::fail(reader.error());
+  // a single virtual block. With --salvage a damaged trace is read
+  // fail-soft and the analysis is stamped with its coverage.
+  trace::TraceOpenOptions topt;
+  topt.salvage = args.has("salvage");
+  auto reader = trace::TraceReader::open(args.get("trace"), topt);
+  if (!reader) return cli::fail_load(args.get("trace"), reader.error());
   const auto bundle = reader->read_all(static_cast<int>(*threads));
-  if (!bundle) return cli::fail(bundle.error());
+  if (!bundle) return cli::fail_load(args.get("trace"), bundle.error());
+
+  if (reader->manifest().salvaged) {
+    std::printf("%s\n", reader->manifest().summary().c_str());
+    if (reader->manifest().coverage() < min_coverage) {
+      return cli::fail("salvage coverage " +
+                       std::to_string(reader->manifest().coverage() * 100.0) +
+                       "% of " + args.get("trace") + " is below --min-coverage " +
+                       std::to_string(min_coverage * 100.0) + "%");
+    }
+  }
 
   analyzer::AnalyzerOptions aopt;
   aopt.threads = static_cast<int>(*threads);
+  aopt.coverage = bundle->coverage;
   const auto analysis = analyzer::analyze(bundle->trace, aopt);
   if (!analysis) return cli::fail(analysis.error());
 

@@ -40,8 +40,8 @@ int list_rules() {
 /// maps a trailing value-flag to "true", but a linter should hold its own
 /// command line to the same standard as the artifacts it checks.
 bool validate_usage(int argc, char** argv) {
-  static constexpr std::string_view kValueFlags[] = {"trace",  "sites",         "report",
-                                                     "config", "online-policy", "disable"};
+  static constexpr std::string_view kValueFlags[] = {
+      "trace", "sites", "report", "config", "online-policy", "disable", "min-coverage"};
   static constexpr std::string_view kBoolFlags[] = {"json", "list-rules", "quiet", "help"};
   const auto is_one_of = [](std::string_view name, const auto& set) {
     for (const auto& f : set) {
@@ -84,6 +84,9 @@ int main(int argc, char** argv) {
         "                    [--report <report.txt>] [--config <advisor.ini>]\n"
         "                    [--online-policy <policy.ini>]\n"
         "                    [--json] [--disable id1,id2] [--list-rules] [--quiet]\n"
+        "                    [--min-coverage F]\n"
+        "--min-coverage F: minimum fraction of declared events a salvaged\n"
+        "trace must recover before trace-salvage-coverage errors (default 0.9).\n"
         "exit: 0 clean, 1 error findings, 2 usage error\n");
     return 0;
   }
@@ -99,6 +102,14 @@ int main(int argc, char** argv) {
   check::CheckOptions options;
   if (args.has("disable")) {
     options.disabled_rules = strings::split(args.get("disable"), ',');
+  }
+  if (args.has("min-coverage")) {
+    const double v = args.get_double("min-coverage", -1.0);
+    if (v < 0.0 || v > 1.0) {
+      std::fprintf(stderr, "error: --min-coverage must be a fraction in [0, 1]\n");
+      return 2;
+    }
+    options.min_salvage_coverage = v;
   }
 
   const auto result = check::lint_files(inputs, options);

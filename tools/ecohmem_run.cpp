@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
   if (!system) return cli::fail(system.error());
 
   const auto report = flexmalloc::load_report(args.get("report"), *workload.modules);
-  if (!report) return cli::fail(report.error());
+  if (!report) return cli::fail_load(args.get("report"), report.error());
 
   auto fm_heaps = std::vector<flexmalloc::HeapSpec>{
       {"dram", args.get_bytes("dram-capacity", 12ull << 30)},

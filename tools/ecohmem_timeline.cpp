@@ -38,8 +38,13 @@ int run_trace_mode(const cli::Args& args) {
   const auto bin_ms = args.get_int_in_range("bin-ms", 10, 1, 60'000);
   if (!bin_ms) return cli::fail(bin_ms.error());
 
-  auto streamer = trace::TraceStreamer::open(args.get("trace"));
-  if (!streamer) return cli::fail(streamer.error());
+  trace::TraceOpenOptions topt;
+  topt.salvage = args.has("salvage");
+  auto streamer = trace::TraceStreamer::open(args.get("trace"), topt);
+  if (!streamer) return cli::fail_load(args.get("trace"), streamer.error());
+  if (streamer->manifest().salvaged) {
+    std::printf("%s\n", streamer->manifest().summary().c_str());
+  }
 
   // Pass 1: does the trace carry uncore readings? (Early-exits on the
   // first one in spirit; the streaming API visits all events, which is
@@ -49,7 +54,7 @@ int run_trace_mode(const cli::Args& args) {
         has_uncore = has_uncore || std::holds_alternative<trace::UncoreBwEvent>(e);
       });
       !s.ok()) {
-    return cli::fail(s.error());
+    return cli::fail_load(args.get("trace"), s.error());
   }
 
   // Pass 2: fold the traffic into fixed-width bins.
@@ -67,7 +72,7 @@ int run_trace_mode(const cli::Args& args) {
         }
       });
       !s.ok()) {
-    return cli::fail(s.error());
+    return cli::fail_load(args.get("trace"), s.error());
   }
 
   std::ofstream out(args.get("out"));
@@ -88,14 +93,17 @@ int run_trace_mode(const cli::Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const cli::Args args(argc, argv, {"help"});
+  const cli::Args args(argc, argv, {"salvage", "help"});
   const bool trace_mode = args.has("trace");
   if (args.has("help") || (!trace_mode && !args.has("app")) || !args.has("out")) {
     std::printf(
         "usage: ecohmem-timeline --app <name> --out <file.csv>\n"
         "                        [--mode memory|base|bw-aware] [--dram-limit 12GB]\n"
         "                        [--iterations N]\n"
-        "       ecohmem-timeline --trace <trace.trc> --out <file.csv> [--bin-ms N]\n");
+        "       ecohmem-timeline --trace <trace.trc> --out <file.csv> [--bin-ms N]\n"
+        "                        [--salvage]\n"
+        "  --salvage streams whatever blocks are recoverable from a damaged\n"
+        "  trace (prints the salvage summary) instead of failing outright.\n");
     return args.has("help") ? 0 : 1;
   }
   if (trace_mode) return run_trace_mode(args);
