@@ -7,14 +7,20 @@
 #   ./ci.sh             # regular build + tests + benches + examples + lint
 #   ./ci.sh --sanitize  # additionally run tier-1 tests under ASan/UBSan and
 #                       # the concurrency stress tests under TSan
+#   ./ci.sh --static    # additionally gate on static analysis: the
+#                       # ecohmem-srclint source lint, the clang-tsa
+#                       # thread-safety build, and clang-tidy (the clang
+#                       # steps skip loudly when clang is not installed)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 sanitize=0
+static=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) sanitize=1 ;;
-    *) echo "usage: $0 [--sanitize]" >&2; exit 2 ;;
+    --static) static=1 ;;
+    *) echo "usage: $0 [--sanitize] [--static]" >&2; exit 2 ;;
   esac
 done
 
@@ -22,19 +28,61 @@ cmake --preset default
 cmake --build --preset default
 ctest --preset default -j"$(nproc)"
 
+# Concurrency-suite filter, shared by the lockdep re-run below and the
+# TSan pass: every suite that exercises locks or worker threads —
+# FlexMalloc heap/matcher stress, parallel replay, parallel aggregation,
+# salvage-mode parallel reads, online migration, the worker pool, and
+# the lockdep validator's own tests. New concurrent suites must match
+# this regex (name them *Concurrency* or extend the list).
+concurrency_suites='Concurrency|ParallelReplay|ParallelAggregation|Salvage|OnlineEngine|Lockdep'
+
+# Runtime lock-order validation (docs/threading.md): re-run the
+# concurrency suites with the lockdep validator armed. Any rank/leaf
+# violation or acquisition-order cycle aborts the offending test.
+echo "== concurrency suites with ECOHMEM_LOCKDEP=1 =="
+ECOHMEM_LOCKDEP=1 ctest --preset default -j"$(nproc)" -R "$concurrency_suites"
+
+if [ "$static" -eq 1 ]; then
+  # Source-level determinism/concurrency contracts: gates unconditionally
+  # (no external toolchain needed). Zero findings required.
+  echo "== ecohmem-srclint =="
+  build/tools/ecohmem-srclint --root .
+
+  # Clang thread-safety analysis over the annotations. Requires clang++
+  # (>= 16: std::source_location needs __builtin_source_location against
+  # libstdc++); the GCC-only toolchain image skips this loudly instead of
+  # failing, and the annotations still gate wherever clang exists.
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "== clang -Wthread-safety (as errors) =="
+    cmake --preset clang-tsa
+    cmake --build --preset clang-tsa
+  else
+    echo "note: clang++ not found; skipping the clang-tsa thread-safety build" >&2
+  fi
+
+  # clang-tidy over the layers with a tidy config, driven off the
+  # compile database the default preset exports.
+  if command -v clang-tidy >/dev/null 2>&1 && command -v run-clang-tidy >/dev/null 2>&1; then
+    echo "== clang-tidy (gating) =="
+    run-clang-tidy -p build -quiet "src/ecohmem/(advisor|analyzer|check)/.*\.cpp$"
+  else
+    echo "note: clang-tidy not found; skipping the clang-tidy pass" >&2
+  fi
+fi
+
 if [ "$sanitize" -eq 1 ]; then
   echo "== tier-1 tests under ASan/UBSan =="
   cmake --preset asan-ubsan
   cmake --build --preset asan-ubsan
   ctest --preset asan-ubsan -j"$(nproc)"
 
-  # The concurrency stress tests (FlexMalloc layer + parallel replay
-  # engine + parallel aggregation) only prove their locking under
+  # The concurrency suites only prove their locking under
   # ThreadSanitizer; ASan cannot see data races (docs/threading.md).
+  # The filter is the shared $concurrency_suites list above.
   echo "== concurrency stress tests under TSan =="
   cmake --preset tsan
   cmake --build --preset tsan
-  ctest --preset tsan -j"$(nproc)" -R 'Concurrency|ParallelReplay|ParallelAggregation|Salvage'
+  ctest --preset tsan -j"$(nproc)" -R "$concurrency_suites"
 fi
 
 for b in build/bench/*; do
@@ -167,10 +215,15 @@ for bad in "build/tools/ecohmem-profile --app hpcg --out /tmp/ecohmem_ci_bad.trc
   fi
 done
 
-# clang-tidy is optional in the toolchain image; run it when available.
-if command -v clang-tidy >/dev/null 2>&1 && command -v run-clang-tidy >/dev/null 2>&1; then
-  echo "== clang-tidy =="
-  run-clang-tidy -p build -quiet "src/ecohmem/(advisor|analyzer|check)/.*\.cpp$"
-fi
+# Both linters must reject unknown rule ids in --disable (exit 2, not a
+# silent no-op that would re-enable a rule in CI) and list valid ids.
+build/tools/ecohmem-srclint --list-rules >/dev/null
+for bad_disable in "build/tools/ecohmem-lint --trace /tmp/ecohmem_ci_v3.trc --disable no-such-rule" \
+                   "build/tools/ecohmem-srclint --disable det-rnd"; do
+  if $bad_disable 2>/tmp/ecohmem_ci_disable_err.txt; then
+    echo "accepted unknown --disable id: $bad_disable" >&2; exit 1
+  fi
+  grep -q "valid rule ids" /tmp/ecohmem_ci_disable_err.txt
+done
 
 echo "CI OK"

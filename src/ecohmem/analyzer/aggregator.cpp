@@ -312,6 +312,7 @@ Expected<AnalysisResult> analyze(const trace::Trace& trace, const AnalyzerOption
   // exactly one worker's fold — no cross-shard FP addition.
   std::map<std::uint32_t, FunctionAccum> functions;
   for (auto& shard : shards) {
+    // srclint-ok: det-unordered-iter (keyed += folds; order-independent)
     for (auto& [stack, sample_acc] : shard.sites) {
       auto& acc = sites[stack];  // exists: every resolved stack came from an alloc
       acc.record.load_misses += sample_acc.record.load_misses;
@@ -320,6 +321,7 @@ Expected<AnalysisResult> analyze(const trace::Trace& trace, const AnalyzerOption
       acc.latency_weight += sample_acc.latency_weight;
       acc.latency_sum += sample_acc.latency_sum;
     }
+    // srclint-ok: det-unordered-iter (emplace into an id-ordered std::map)
     for (auto& [fn_id, fn_acc] : shard.functions) {
       functions.emplace(fn_id, fn_acc);
     }
@@ -331,6 +333,7 @@ Expected<AnalysisResult> analyze(const trace::Trace& trace, const AnalyzerOption
   result.observed_peak_bw_gbs = bw_meter.peak_gbs(0);
 
   result.sites.reserve(sites.size());
+  // srclint-ok: det-unordered-iter (result.sites is sorted below)
   for (auto& [stack_id, acc] : sites) {
     (void)stack_id;
     SiteRecord& r = acc.record;

@@ -1,5 +1,6 @@
 #include "ecohmem/check/lint.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <memory>
 #include <optional>
@@ -85,6 +86,12 @@ bom::ModuleTable synthesize_modules(std::string_view report_text) {
 }
 
 }  // namespace
+
+const std::vector<std::string_view>& pseudo_rule_ids() {
+  static const std::vector<std::string_view> ids = {
+      "trace-load", "trace-index-load", "sites-load", "report-load", "config-load", "online-load"};
+  return ids;
+}
 
 Expected<LintResult> lint_files(const LintInputs& inputs, const CheckOptions& options) {
   return lint_files(RuleRegistry::builtin(), inputs, options);
@@ -241,6 +248,16 @@ Expected<LintResult> lint_files(const RuleRegistry& registry, const LintInputs& 
   }
 
   RunResult run = registry.run_all(ctx, options);
+
+  // --disable applies to the loader pseudo-rules too: a CI setup that
+  // knowingly lints salvaged traces can silence trace-load without also
+  // losing the real rules.
+  if (!options.disabled_rules.empty()) {
+    std::erase_if(load_diags, [&options](const Diagnostic& d) {
+      return std::find(options.disabled_rules.begin(), options.disabled_rules.end(), d.rule) !=
+             options.disabled_rules.end();
+    });
+  }
 
   LintResult result;
   result.diagnostics = std::move(load_diags);

@@ -12,12 +12,18 @@
 /// given nothing to check.
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ecohmem/check/rule.hpp"
 #include "ecohmem/common/expected.hpp"
 
 namespace ecohmem::check {
+
+/// Ids of the artifact-loader pseudo-rules (`trace-load` & co.). Not in
+/// the registry — loading happens before rules run — but valid targets
+/// for `CheckOptions::disabled_rules` and the CLI's --disable.
+[[nodiscard]] const std::vector<std::string_view>& pseudo_rule_ids();
 
 /// Paths of the artifacts to lint; empty string = not provided.
 struct LintInputs {

@@ -1,0 +1,250 @@
+#include "ecohmem/common/lockdep.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace ecohmem::common::lockdep {
+
+namespace {
+
+/// One entry of the per-thread held-lock stack.
+struct Held {
+  const void* mutex = nullptr;
+  const char* name = "?";
+  int rank = 0;
+  bool leaf = false;
+  LockSite site;
+};
+
+thread_local std::vector<Held> t_held;
+
+/// -1 = environment not consulted yet, 0 = off, 1 = on.
+std::atomic<int> g_mode{-1};
+
+std::atomic<Handler> g_handler{nullptr};
+
+[[noreturn]] void default_handler_abort(const Violation& violation) {
+  std::fprintf(stderr, "ecohmem lockdep: %s\n", violation.message.c_str());
+  std::abort();
+}
+
+std::string site_str(const LockSite& site) {
+  return std::string(site.file) + ":" + std::to_string(site.line);
+}
+
+void report(Violation violation) {
+  const Handler handler = g_handler.load(std::memory_order_acquire);
+  if (handler != nullptr) {
+    handler(violation);
+  } else {
+    default_handler_abort(violation);
+  }
+}
+
+/// The global acquisition-order graph, at lock-*class* granularity
+/// (like kernel lockdep): one observed "acquired B while holding A"
+/// anywhere in the process adds edge A -> B; a cycle means two code
+/// paths disagree about the order and could deadlock given the right
+/// interleaving, even if neither run ever deadlocked.
+struct Edge {
+  int to = -1;
+  LockSite held_site;       ///< where the source (held) lock was acquired
+  LockSite acquired_site;   ///< where the target lock was acquired
+};
+
+struct Graph {
+  // Internal bookkeeping lock. Deliberately raw: it is unranked (it
+  // must never appear in its own graph) and a strict leaf — nothing is
+  // called while it is held.
+  std::mutex mu;  // srclint-ok: conc-raw-mutex (lockdep's own bookkeeping)
+  std::map<std::string, int> ids;
+  std::vector<std::string> names;
+  std::vector<std::vector<Edge>> out;
+
+  int id_of(const char* name) {
+    const auto [it, inserted] = ids.emplace(name, static_cast<int>(names.size()));
+    if (inserted) {
+      names.emplace_back(name);
+      out.emplace_back();
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] bool has_edge(int from, int to) const {
+    for (const auto& e : out[static_cast<std::size_t>(from)]) {
+      if (e.to == to) return true;
+    }
+    return false;
+  }
+
+  /// DFS for a path from `from` to `to`; on success `into_target` is
+  /// the recorded edge that enters `to` on the found path (the
+  /// previously observed opposite-direction acquisition).
+  bool find_path(int from, int to, std::vector<bool>& seen, Edge& into_target) const {
+    if (seen[static_cast<std::size_t>(from)]) return false;
+    seen[static_cast<std::size_t>(from)] = true;
+    for (const auto& e : out[static_cast<std::size_t>(from)]) {
+      if (e.to == to) {
+        into_target = e;
+        return true;
+      }
+      if (find_path(e.to, to, seen, into_target)) return true;
+    }
+    return false;
+  }
+};
+
+Graph& graph() {
+  static Graph g;
+  return g;
+}
+
+}  // namespace
+
+const char* to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kRankOrder: return "rank-order";
+    case ViolationKind::kLeafNesting: return "leaf-nesting";
+    case ViolationKind::kCycle: return "cycle";
+    case ViolationKind::kNotHeld: return "not-held";
+  }
+  return "?";
+}
+
+bool enabled() {
+  int mode = g_mode.load(std::memory_order_relaxed);
+  if (mode < 0) {
+    const char* env = std::getenv("ECOHMEM_LOCKDEP");
+    const int from_env = (env != nullptr && env[0] == '1') ? 1 : 0;
+    int expected = -1;
+    g_mode.compare_exchange_strong(expected, from_env, std::memory_order_relaxed);
+    mode = g_mode.load(std::memory_order_relaxed);
+  }
+  return mode == 1;
+}
+
+void set_enabled_for_testing(bool on) {
+  g_mode.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+Handler set_violation_handler(Handler handler) {
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+void reset_for_testing() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);  // srclint-ok: conc-raw-mutex
+  g.ids.clear();
+  g.names.clear();
+  g.out.clear();
+  t_held.clear();
+}
+
+std::size_t held_count() { return t_held.size(); }
+
+void on_acquire(const void* mutex, const char* name, int rank, bool leaf,
+                const std::source_location& where) {
+  const LockSite site{where.file_name(), where.line()};
+
+  if (!t_held.empty()) {
+    // Leaf rule: the most restrictive — cite the first held leaf.
+    for (const auto& held : t_held) {
+      if (!held.leaf) continue;
+      Violation v;
+      v.kind = ViolationKind::kLeafNesting;
+      v.acquiring = name;
+      v.held = held.name;
+      v.acquiring_site = site;
+      v.held_site = held.site;
+      v.message = "leaf-nesting violation: acquiring '" + std::string(name) + "' at " +
+                  site_str(site) + " while holding leaf lock '" + held.name +
+                  "' acquired at " + site_str(held.site) +
+                  "; leaf locks admit no nested acquisition (docs/threading.md)";
+      report(std::move(v));
+      break;
+    }
+
+    // Rank rule: strictly increasing; cite the highest-ranked offender.
+    const Held* worst = nullptr;
+    for (const auto& held : t_held) {
+      if (held.rank >= rank && (worst == nullptr || held.rank > worst->rank)) {
+        worst = &held;
+      }
+    }
+    if (worst != nullptr) {
+      Violation v;
+      v.kind = ViolationKind::kRankOrder;
+      v.acquiring = name;
+      v.held = worst->name;
+      v.acquiring_site = site;
+      v.held_site = worst->site;
+      v.message = std::string(worst->mutex == mutex ? "recursive acquisition" : "rank-order violation") +
+                  ": acquiring '" + name + "' (rank " + std::to_string(rank) + ") at " +
+                  site_str(site) + " while holding '" + worst->name + "' (rank " +
+                  std::to_string(worst->rank) + ") acquired at " + site_str(worst->site) +
+                  "; acquisition order must be strictly rank-increasing (docs/threading.md)";
+      report(std::move(v));
+    }
+
+    // Acquisition-order graph: record held-class -> acquiring-class
+    // edges and refuse cycles. This is what catches inversions whose
+    // two halves only ever execute on different threads.
+    Graph& g = graph();
+    std::lock_guard<std::mutex> lock(g.mu);  // srclint-ok: conc-raw-mutex
+    const int to = g.id_of(name);
+    for (const auto& held : t_held) {
+      const int from = g.id_of(held.name);
+      if (from == to || g.has_edge(from, to)) continue;
+      std::vector<bool> seen(g.names.size(), false);
+      Edge into_target;
+      if (g.find_path(to, from, seen, into_target)) {
+        Violation v;
+        v.kind = ViolationKind::kCycle;
+        v.acquiring = name;
+        v.held = held.name;
+        v.acquiring_site = site;
+        v.held_site = into_target.acquired_site;
+        v.message = "lock-order cycle: acquiring '" + std::string(name) + "' at " +
+                    site_str(site) + " while holding '" + held.name + "' (acquired at " +
+                    site_str(held.site) + "), but the opposite order was previously observed: '" +
+                    g.names[static_cast<std::size_t>(into_target.to)] + "' acquired at " +
+                    site_str(into_target.acquired_site) + " while holding a lock acquired at " +
+                    site_str(into_target.held_site);
+        report(std::move(v));
+        continue;  // do not record the cycle-closing edge
+      }
+      g.out[static_cast<std::size_t>(from)].push_back(Edge{to, held.site, site});
+    }
+  }
+
+  t_held.push_back(Held{mutex, name, rank, leaf, site});
+}
+
+void on_release(const void* mutex) {
+  // std::mutex permits non-LIFO unlock orders, so search from the top.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mutex == mutex) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Unlock of a lock acquired before the validator was enabled: ignore.
+}
+
+void on_assert_held(const void* mutex, const char* name) {
+  for (const auto& held : t_held) {
+    if (held.mutex == mutex) return;
+  }
+  Violation v;
+  v.kind = ViolationKind::kNotHeld;
+  v.acquiring = name;
+  v.held = "";
+  v.message = "assert_held: '" + std::string(name) + "' is not held by this thread";
+  report(std::move(v));
+}
+
+}  // namespace ecohmem::common::lockdep

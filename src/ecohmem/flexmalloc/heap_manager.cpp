@@ -15,7 +15,7 @@ Expected<std::uint64_t> ArenaHeap::allocate(Bytes size) {
   if (size == 0) size = alignment_;
   const Bytes padded = (size + alignment_ - 1) / alignment_ * alignment_;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  common::ScopedLock lock(mu_);
   const Bytes used_now = used_.load(std::memory_order_relaxed);
   if (used_now + padded > capacity_) {
     return unexpected("heap '" + name_ + "' out of capacity (used " + std::to_string(used_now) +
@@ -50,7 +50,7 @@ Expected<std::uint64_t> ArenaHeap::allocate(Bytes size) {
 }
 
 Expected<Bytes> ArenaHeap::deallocate(std::uint64_t address) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::ScopedLock lock(mu_);
   const auto it = live_.find(address);
   if (it == live_.end()) {
     return unexpected("heap '" + name_ + "': free of unknown address");
@@ -79,7 +79,7 @@ Expected<Bytes> ArenaHeap::deallocate(std::uint64_t address) {
 }
 
 Expected<Bytes> ArenaHeap::block_size(std::uint64_t address) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::ScopedLock lock(mu_);
   const auto it = live_.find(address);
   if (it == live_.end()) {
     return unexpected("heap '" + name_ + "': no live block at this address");
@@ -88,7 +88,7 @@ Expected<Bytes> ArenaHeap::block_size(std::uint64_t address) const {
 }
 
 bool ArenaHeap::owns(std::uint64_t address) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::ScopedLock lock(mu_);
   return live_.contains(address) ||
          (address >= base_ && address < cursor_);
 }

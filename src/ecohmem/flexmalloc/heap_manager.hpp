@@ -20,10 +20,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "ecohmem/common/expected.hpp"
+#include "ecohmem/common/lockdep.hpp"
+#include "ecohmem/common/thread_annotations.hpp"
 #include "ecohmem/common/units.hpp"
 
 namespace ecohmem::flexmalloc {
@@ -105,10 +106,12 @@ class ArenaHeap final : public HeapManager {
   Bytes capacity_;
   Bytes alignment_;
 
-  mutable std::mutex mu_;                ///< guards cursor_, live_, free_
-  std::uint64_t cursor_;                 ///< bump pointer (under mu_)
-  std::map<std::uint64_t, Bytes> live_;  ///< address -> size (under mu_)
-  std::map<std::uint64_t, Bytes> free_;  ///< address -> size, coalesced (under mu_)
+  /// Leaf lock (rank table: docs/threading.md). One per tier heap,
+  /// never held across heaps or while calling out.
+  mutable common::RankedMutex mu_{common::lockdep::LockRank::kArenaHeap, "arena_heap"};
+  std::uint64_t cursor_ ECOHMEM_GUARDED_BY(mu_);                 ///< bump pointer
+  std::map<std::uint64_t, Bytes> live_ ECOHMEM_GUARDED_BY(mu_);  ///< address -> size
+  std::map<std::uint64_t, Bytes> free_ ECOHMEM_GUARDED_BY(mu_);  ///< address -> size, coalesced
 
   std::atomic<Bytes> used_{0};
   std::atomic<Bytes> high_water_{0};

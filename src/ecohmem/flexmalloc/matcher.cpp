@@ -27,7 +27,7 @@ void atomic_add(std::atomic<double>& target, double value) {
 
 std::pair<const std::string*, bool> MatchCache::find(const bom::CallStack& key) const {
   const Shard& shard = shards_[shard_of(key)];
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  common::SharedScopedLock lock(shard.mu);
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) return {nullptr, false};
   return {it->second, true};
@@ -35,7 +35,7 @@ std::pair<const std::string*, bool> MatchCache::find(const bom::CallStack& key) 
 
 void MatchCache::insert(const bom::CallStack& key, const std::string* tier) {
   Shard& shard = shards_[shard_of(key)];
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  common::ScopedWriteLock lock(shard.mu);
   shard.map.emplace(key, tier);
 }
 
@@ -152,7 +152,7 @@ MatchResult CallStackMatcher::match_uncached(const bom::CallStack& captured) {
   // its own cost, so this whole path serializes on hr_mu_ (the BOM path
   // above never takes it). The cost of symbolization accrues in the
   // symbol table's meter; string comparison cost accrues here.
-  std::lock_guard<std::mutex> hr_lock(*hr_mu_);
+  common::ScopedLock hr_lock(*hr_mu_);
   const double before = symbols_->cost().estimated_ns();
   auto hr = symbols_->translate(captured);
   atomic_add(symbolization_ns_, symbols_->cost().estimated_ns() - before);

@@ -29,8 +29,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -39,6 +37,8 @@
 #include "ecohmem/bom/frame.hpp"
 #include "ecohmem/bom/symbols.hpp"
 #include "ecohmem/common/expected.hpp"
+#include "ecohmem/common/lockdep.hpp"
+#include "ecohmem/common/thread_annotations.hpp"
 #include "ecohmem/flexmalloc/report_parser.hpp"
 
 namespace ecohmem::flexmalloc {
@@ -92,8 +92,12 @@ class MatchCache {
  private:
   static constexpr std::size_t kShards = 16;
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::unordered_map<bom::CallStack, const std::string*, bom::CallStackHash> map;
+    /// Leaf lock (rank table: docs/threading.md); shared for probes,
+    /// exclusive only for first-time inserts.
+    mutable common::RankedSharedMutex mu{common::lockdep::LockRank::kMatchCacheShard,
+                                         "match_cache_shard"};
+    std::unordered_map<bom::CallStack, const std::string*, bom::CallStackHash> map
+        ECOHMEM_GUARDED_BY(mu);
   };
   [[nodiscard]] static std::size_t shard_of(const bom::CallStack& key) {
     return bom::CallStackHash{}(key) % kShards;
@@ -156,8 +160,11 @@ class CallStackMatcher {
   /// Non-null when MatcherOptions::match_cache is set.
   std::unique_ptr<MatchCache> cache_;
   /// Serializes the human-readable path (shared lazily-sorted symbol
-  /// table + its cost meter). Leaf lock; BOM lookups never take it.
-  std::unique_ptr<std::mutex> hr_mu_ = std::make_unique<std::mutex>();
+  /// table + its cost meter). Leaf lock (rank table:
+  /// docs/threading.md); BOM lookups never take it. Boxed so the
+  /// matcher stays movable during single-threaded setup.
+  std::unique_ptr<common::RankedMutex> hr_mu_ =
+      std::make_unique<common::RankedMutex>(common::lockdep::LockRank::kMatcherHr, "matcher_hr");
 
   std::atomic<std::uint64_t> lookups_{0};
   std::atomic<std::uint64_t> hits_{0};

@@ -11,16 +11,26 @@
 /// run, not per batch.
 ///
 /// Thread safety: `run` must be called from one coordinating thread at a
-/// time (the engine thread). The pool uses a mutex + condition variables
-/// only for phase hand-off; work partitioning inside `fn` is the
-/// caller's job (the engine shards by object id or item index).
+/// time (the engine thread). The pool uses a ranked mutex + condition
+/// variables only for phase hand-off (lock-rank table:
+/// docs/threading.md); work partitioning inside `fn` is the caller's job
+/// (the engine shards by object id or item index).
+///
+/// Exceptions: a task that throws on a worker does not crash or deadlock
+/// the pool. The first exception (by worker completion order) is
+/// captured and rethrown from `run` on the coordinating thread after
+/// every worker has finished its slice; the pool stays usable for
+/// subsequent `run` calls and joins cleanly on destruction.
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "ecohmem/common/lockdep.hpp"
+#include "ecohmem/common/thread_annotations.hpp"
 
 namespace ecohmem::runtime {
 
@@ -41,7 +51,7 @@ class WorkerPool {
 
   ~WorkerPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::ScopedLock lock(mu_);
       stop_ = true;
       ++generation_;
     }
@@ -54,17 +64,34 @@ class WorkerPool {
 
   /// Runs `task(worker_index)` on every worker; blocks until all return.
   /// `task` must partition its own work by the given index (0..size()-1).
+  /// If any worker's slice threw, the first captured exception is
+  /// rethrown here once every worker has finished (so no worker is still
+  /// touching caller state when the exception propagates).
   void run(const std::function<void(std::size_t)>& task) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::ScopedLock lock(mu_);
       task_ = &task;
       pending_ = workers_.size();
+      first_error_ = nullptr;
       ++generation_;
     }
     work_cv_.notify_all();
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return pending_ == 0; });
-    task_ = nullptr;
+    std::exception_ptr error;
+    {
+      common::ScopedLock lock(mu_);
+      // condition_variable_any drives mu_ directly (RankedMutex is
+      // BasicLockable), so lockdep sees every release/reacquire of the
+      // wait loop. The predicate asserts the capability for the static
+      // analysis — the wait contract guarantees the lock is held.
+      done_cv_.wait(mu_, [this] {
+        mu_.assert_held();
+        return pending_ == 0;
+      });
+      task_ = nullptr;
+      error = first_error_;
+      first_error_ = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
   }
 
  private:
@@ -73,28 +100,43 @@ class WorkerPool {
     for (;;) {
       const std::function<void(std::size_t)>* task = nullptr;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        common::ScopedLock lock(mu_);
+        work_cv_.wait(mu_, [&, this] {
+          mu_.assert_held();
+          return stop_ || generation_ != seen;
+        });
         if (stop_) return;
         seen = generation_;
         task = task_;
       }
-      if (task != nullptr) (*task)(index);
+      std::exception_ptr error;
+      if (task != nullptr) {
+        try {
+          (*task)(index);
+        } catch (...) {
+          error = std::current_exception();
+        }
+      }
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        common::ScopedLock lock(mu_);
+        if (error && !first_error_) first_error_ = error;
         if (--pending_ == 0) done_cv_.notify_one();
       }
     }
   }
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* task_ = nullptr;  // under mu_
-  std::uint64_t generation_ = 0;                            // under mu_
-  std::size_t pending_ = 0;                                 // under mu_
-  bool stop_ = false;                                       // under mu_
+  /// Phase hand-off lock (rank table: docs/threading.md). Never held
+  /// while a task runs, so tasks may take any ranked lock.
+  common::RankedMutex mu_{common::lockdep::LockRank::kWorkerPool, "worker_pool"};
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any done_cv_;
+  const std::function<void(std::size_t)>* task_ ECOHMEM_GUARDED_BY(mu_) = nullptr;
+  std::uint64_t generation_ ECOHMEM_GUARDED_BY(mu_) = 0;
+  std::size_t pending_ ECOHMEM_GUARDED_BY(mu_) = 0;
+  bool stop_ ECOHMEM_GUARDED_BY(mu_) = false;
+  /// First exception any worker's slice threw this phase.
+  std::exception_ptr first_error_ ECOHMEM_GUARDED_BY(mu_);
 };
 
 }  // namespace ecohmem::runtime

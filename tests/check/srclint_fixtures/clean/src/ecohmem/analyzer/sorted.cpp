@@ -1,0 +1,24 @@
+// srclint fixture: analyzer-path file that uses unordered containers
+// correctly — must scan clean. Never compiled; scanned by test_srclint.
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+void fixture_sorted_dump() {
+  std::unordered_map<int, double> sites;
+  sites[1] = 2.0;
+
+  // Copy into an ordered sequence before anything order-sensitive.
+  std::vector<std::pair<int, double>> rows(sites.begin(), sites.end());
+  std::sort(rows.begin(), rows.end());
+  for (const auto& [id, weight] : rows) {
+    std::printf("%d %f\n", id, weight);
+  }
+
+  // srclint-ok: det-unordered-iter (fixture: order-independent fold)
+  for (const auto& [id, weight] : sites) {
+    (void)id;
+    (void)weight;
+  }
+}

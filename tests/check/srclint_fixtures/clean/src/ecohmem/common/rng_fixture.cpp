@@ -1,0 +1,9 @@
+// srclint fixture: files under src/ecohmem/common/rng* are sanctioned
+// for det-rand — the deterministic generator implementation itself may
+// reference standard engines. Never compiled; scanned by test_srclint.
+#include <random>
+
+unsigned fixture_sanctioned_engine() {
+  std::mt19937 gen(1234);
+  return gen();
+}

@@ -1,0 +1,23 @@
+// srclint fixture: the same banned constructs as fire/, silenced by
+// inline suppressions (same line and previous line) — must scan clean.
+// Never compiled — scanned by test_srclint only.
+#include <chrono>
+#include <cstdlib>
+
+int fixture_suppressed_rand() {
+  // srclint-ok: det-rand (fixture: documents the previous-line form)
+  std::srand(42);
+  return rand() % 10;  // srclint-ok: det-rand (fixture: same-line form)
+}
+
+long fixture_suppressed_clock() {
+  const auto t0 = std::chrono::steady_clock::now();  // srclint-ok: det-wallclock (fixture)
+  return t0.time_since_epoch().count();
+}
+
+long fixture_mentions_in_comments_only() {
+  // Comments are stripped before matching: rand(), std::random_device,
+  // steady_clock::now() and std::mutex in prose must not fire.
+  /* block comments too: time(nullptr) */
+  return 0;
+}

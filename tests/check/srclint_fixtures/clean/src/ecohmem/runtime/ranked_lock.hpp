@@ -1,0 +1,18 @@
+// srclint fixture: the sanctioned concurrency vocabulary — ranked
+// wrappers and condition_variable_any — must scan clean.
+// Never compiled; scanned by test_srclint.
+#pragma once
+#include <condition_variable>
+
+namespace fixture {
+class RankedMutexLike {
+ public:
+  void lock() {}
+  void unlock() {}
+};
+}  // namespace fixture
+
+struct FixtureRankedLocks {
+  fixture::RankedMutexLike mu;
+  std::condition_variable_any cv;
+};

@@ -1,0 +1,12 @@
+// srclint fixture: unordered-container iteration in an analyzer path
+// (det-unordered-iter). Never compiled — scanned by test_srclint only.
+#include <cstdio>
+#include <unordered_map>
+
+void fixture_dump() {
+  std::unordered_map<int, double> sites;
+  sites[1] = 2.0;
+  for (const auto& [id, weight] : sites) {  // finding: det-unordered-iter
+    std::printf("%d %f\n", id, weight);
+  }
+}

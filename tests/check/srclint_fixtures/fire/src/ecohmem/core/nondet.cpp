@@ -1,0 +1,20 @@
+// srclint fixture: every line in this file that names a banned
+// construct must produce a finding (det-rand, det-wallclock).
+// Never compiled — scanned by test_srclint only.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int fixture_rand_source() {
+  std::random_device rd;  // finding: det-rand
+  std::srand(42);         // finding: det-rand
+  return rand() % 10;     // finding: det-rand
+}
+
+long fixture_wall_clock() {
+  const auto t0 = std::chrono::steady_clock::now();  // finding: det-wallclock
+  const auto t1 = std::chrono::system_clock::now();  // finding: det-wallclock
+  (void)t1;
+  (void)time(nullptr);  // finding: det-wallclock
+  return t0.time_since_epoch().count();
+}

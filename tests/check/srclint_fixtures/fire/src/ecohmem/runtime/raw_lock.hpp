@@ -1,0 +1,12 @@
+// srclint fixture: raw standard mutexes in library code
+// (conc-raw-mutex). Never compiled — scanned by test_srclint only.
+#pragma once
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+struct FixtureRawLocks {
+  std::mutex mu;                 // finding: conc-raw-mutex
+  std::shared_mutex shared_mu;   // finding: conc-raw-mutex
+  std::condition_variable cv;    // finding: conc-raw-mutex
+};

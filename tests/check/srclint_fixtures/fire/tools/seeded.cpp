@@ -1,0 +1,8 @@
+// srclint fixture: the tools/ tree is in scope for the det-* rules.
+// Never compiled — scanned by test_srclint only.
+#include <random>
+
+unsigned fixture_tool_entropy() {
+  std::mt19937 gen(1234);  // finding: det-rand
+  return gen();
+}

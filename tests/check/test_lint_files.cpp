@@ -163,6 +163,25 @@ TEST(LintFiles, MalformedReportSizeIsALoadDiagnostic) {
   EXPECT_TRUE(has_rule(*result, "report-load", Severity::kError));
 }
 
+TEST(LintFiles, DisableSilencesLoaderPseudoRules) {
+  LintInputs inputs;
+  inputs.trace_path = tmp_path("no_such_disabled.trc");
+  CheckOptions options;
+  options.disabled_rules = {"trace-load"};
+  const auto result = lint_files(inputs, options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok());
+  for (const auto& d : result->diagnostics) EXPECT_NE(d.rule, "trace-load");
+}
+
+TEST(LintFiles, PseudoRuleIdsAreExported) {
+  const auto& ids = pseudo_rule_ids();
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "trace-load"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "report-load"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "trace-index-load"), ids.end());
+  EXPECT_EQ(std::find(ids.begin(), ids.end(), "trace-alloc-pairing"), ids.end());
+}
+
 TEST(LintFiles, ReportOnlyLintUsesSyntheticModules) {
   const std::string path = tmp_path("lint_reportonly.txt");
   write_file(path,

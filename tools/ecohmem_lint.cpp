@@ -16,6 +16,7 @@
 // Exit status: 0 = clean (warnings allowed), 1 = error-severity findings,
 // 2 = usage error. Rule ids and severities: docs/linting.md.
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -102,6 +103,29 @@ int main(int argc, char** argv) {
   check::CheckOptions options;
   if (args.has("disable")) {
     options.disabled_rules = strings::split(args.get("disable"), ',');
+    // Unknown ids are a usage error, not a silent no-op: a typo like
+    // --disable report-capcity must not re-enable the rule in CI.
+    const auto registry = check::RuleRegistry::builtin();
+    bool ok = true;
+    for (const auto& id : options.disabled_rules) {
+      const bool pseudo = std::find(check::pseudo_rule_ids().begin(),
+                                    check::pseudo_rule_ids().end(),
+                                    id) != check::pseudo_rule_ids().end();
+      if (pseudo || registry.find(id) != nullptr) continue;
+      std::fprintf(stderr, "error: --disable: unknown rule id '%s'\n", id.c_str());
+      ok = false;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "valid rule ids:");
+      for (const auto& rule : registry.rules()) {
+        std::fprintf(stderr, " %s", std::string(rule->id()).c_str());
+      }
+      for (const auto id : check::pseudo_rule_ids()) {
+        std::fprintf(stderr, " %s", std::string(id).c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
   }
   if (args.has("min-coverage")) {
     const double v = args.get_double("min-coverage", -1.0);

@@ -100,9 +100,11 @@ int main(int argc, char** argv) {
 
   runtime::ExecutionEngine engine(&*system, engine_options);
 
-  const auto wall_start = std::chrono::steady_clock::now();
+  // Real elapsed time of the simulator itself — reported to the user,
+  // never fed into simulated timestamps or serialized artifacts.
+  const auto wall_start = std::chrono::steady_clock::now();  // srclint-ok: det-wallclock
   const auto production = engine.run(workload, mode);
-  const auto wall_end = std::chrono::steady_clock::now();
+  const auto wall_end = std::chrono::steady_clock::now();  // srclint-ok: det-wallclock
   if (!production) return cli::fail(production.error());
 
   const auto baseline = core::run_memory_mode(workload, *system);
