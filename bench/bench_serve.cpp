@@ -1,0 +1,330 @@
+// Serving-path benchmark: wire-protocol codec throughput and loopback
+// daemon ingest/query rates for ecohmem-serve, with the identity gate
+// the daemon must honor — the report queried over the socket is
+// byte-identical to the offline ecohmem-advisor pipeline on the same
+// events. Records BENCH_serve.json; exits nonzero if identity fails.
+//
+// Usage: bench_serve [--events N] [--block-events N] [--repeats R]
+//                    [--out FILE] [--smoke]
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ecohmem/advisor/advisor_config.hpp"
+#include "ecohmem/advisor/knapsack.hpp"
+#include "ecohmem/advisor/report.hpp"
+#include "ecohmem/analyzer/aggregator.hpp"
+#include "ecohmem/serve/client.hpp"
+#include "ecohmem/serve/protocol.hpp"
+#include "ecohmem/serve/server.hpp"
+#include "ecohmem/trace/codec.hpp"
+
+using namespace ecohmem;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+double mbs(std::uint64_t bytes, double ms) {
+  return ms > 0.0 ? static_cast<double>(bytes) / 1e6 / (ms / 1e3) : 0.0;
+}
+
+double events_per_s(std::uint64_t events, double ms) {
+  return ms > 0.0 ? static_cast<double>(events) / (ms / 1e3) : 0.0;
+}
+
+/// Deterministic synthetic stream: allocations with interleaved frees
+/// and access samples over two call stacks — enough shape to exercise
+/// the analyzer store while the wire cost dominates.
+std::vector<trace::Event> synth_events(std::size_t n, trace::StackId s0, trace::StackId s1,
+                                       std::uint32_t fn) {
+  std::vector<trace::Event> events;
+  events.reserve(n);
+  std::uint64_t x = 0x2545F4914F6CDD1Dull;
+  const auto rnd = [&x] {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    return x >> 33;
+  };
+  Ns time = 0;
+  std::uint64_t next_id = 1;
+  std::uint64_t next_addr = 0x100000;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> live;
+  for (std::size_t i = 0; i < n; ++i) {
+    time += 10 + rnd() % 40;
+    switch (rnd() % 8) {
+      case 0:
+      case 1: {
+        const Bytes size = 64 + rnd() % 4096;
+        events.emplace_back(trace::AllocEvent{time, next_id, next_addr, size,
+                                              (i % 2) != 0 ? s0 : s1,
+                                              trace::AllocKind::kMalloc});
+        live.emplace_back(next_id, next_addr);
+        next_addr += size + 64;
+        ++next_id;
+        break;
+      }
+      case 2:
+        if (live.empty()) {
+          events.emplace_back(trace::MarkerEvent{time, fn, true});
+        } else {
+          const std::size_t k = rnd() % live.size();
+          events.emplace_back(trace::FreeEvent{time, live[k].first});
+          live[k] = live.back();
+          live.pop_back();
+        }
+        break;
+      default:
+        events.emplace_back(trace::SampleEvent{
+            time, live.empty() ? 0x10 : live[rnd() % live.size()].second + rnd() % 64,
+            1.0 + static_cast<double>(rnd() % 8) * 0.5, static_cast<double>(rnd() % 400),
+            rnd() % 4 == 0, fn});
+    }
+  }
+  return events;
+}
+
+template <typename Fn>
+double best_of(int repeats, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = Clock::now();
+    fn();
+    const double ms = ms_since(start);
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n_events = 2'000'000;
+  std::size_t block_events = 4096;
+  int repeats = 3;
+  std::string out_path = "BENCH_serve.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--smoke") {
+      smoke = true;
+    } else if (i + 1 < argc) {
+      const char* value = argv[++i];
+      if (flag == "--events") n_events = static_cast<std::size_t>(std::atoll(value));
+      if (flag == "--block-events") block_events = static_cast<std::size_t>(std::atoll(value));
+      if (flag == "--repeats") repeats = std::atoi(value);
+      if (flag == "--out") out_path = value;
+    }
+  }
+  if (smoke) {
+    n_events = std::min<std::size_t>(n_events, 100'000);
+    repeats = 1;
+  }
+  if (n_events == 0 || block_events == 0 || repeats < 1) {
+    std::fprintf(stderr, "error: --events, --block-events and --repeats must be >= 1\n");
+    return 1;
+  }
+
+  bench::print_header("Serving path: wire codec throughput + loopback daemon ingest/query",
+                      "ecohmem-serve placement-as-a-service (docs/serving.md)");
+  std::printf("host cores: %u, repeats: %d (best-of), events: %zu, block: %zu%s\n\n",
+              std::thread::hardware_concurrency(), repeats, n_events, block_events,
+              smoke ? " [smoke]" : "");
+
+  trace::Trace t;
+  t.sample_rate_hz = 1000.0;
+  const trace::StackId s0 = t.stacks.intern(bom::CallStack{{{0, 0x10}}});
+  const trace::StackId s1 = t.stacks.intern(bom::CallStack{{{0, 0x20}, {1, 0x8}}});
+  const std::uint32_t fn = t.functions.intern("synth");
+  bom::ModuleTable modules;
+  modules.add_module("synth.x", 1 << 20, 0);
+  modules.add_module("libsynth.so", 1 << 20, 0);
+  t.events = synth_events(n_events, s0, s1, fn);
+
+  // ------------------------------------------ wire codec, no sockets
+  // Encode the whole stream into INGEST_BLOCK frames, then parse and
+  // decode every frame back; both directions are the per-connection
+  // hot path of the daemon.
+  std::string wire;
+  const double encode_ms = best_of(repeats, [&] {
+    wire.clear();
+    std::size_t seq = 0;
+    for (std::size_t off = 0; off < t.events.size(); off += block_events) {
+      const std::size_t count = std::min(block_events, t.events.size() - off);
+      serve::IngestBlock msg;
+      msg.block_seq = seq++;
+      msg.event_count = count;
+      Ns last_time = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        trace::codec::encode_event_compact(msg.block, t.events[off + i], last_time);
+      }
+      std::string payload;
+      serve::encode_ingest_block(payload, msg);
+      serve::append_frame(wire, serve::FrameType::kIngestBlock, payload);
+    }
+  });
+
+  std::uint64_t decoded_events = 0;
+  const double decode_ms = best_of(repeats, [&] {
+    decoded_events = 0;
+    std::size_t offset = 0;
+    while (offset < wire.size()) {
+      std::size_t consumed = 0;
+      const auto frame = serve::parse_frame(
+          reinterpret_cast<const unsigned char*>(wire.data()) + offset, wire.size() - offset,
+          &consumed, serve::kDefaultMaxFrameBytes);
+      if (!frame) {
+        std::fprintf(stderr, "error: %s\n", frame.error().c_str());
+        std::exit(1);
+      }
+      const auto msg = serve::decode_ingest_block(frame->payload);
+      if (!msg) {
+        std::fprintf(stderr, "error: %s\n", msg.error().c_str());
+        std::exit(1);
+      }
+      trace::codec::ByteReader r(
+          reinterpret_cast<const unsigned char*>(msg->block.data()), msg->block.size(), 0);
+      Ns last_time = 0;
+      for (std::uint64_t i = 0; i < msg->event_count; ++i) {
+        trace::Event event;
+        if (const auto status =
+                trace::codec::decode_event_compact(r, 2, last_time, event);
+            !status.ok()) {
+          std::fprintf(stderr, "error: %s\n", status.error().c_str());
+          std::exit(1);
+        }
+        ++decoded_events;
+      }
+      offset += consumed;
+    }
+  });
+  if (decoded_events != t.events.size()) {
+    std::fprintf(stderr, "error: codec round trip lost events (%llu != %zu)\n",
+                 static_cast<unsigned long long>(decoded_events), t.events.size());
+    return 1;
+  }
+
+  // ------------------------------------------ loopback daemon
+  const std::string socket_path =
+      "/tmp/bench_serve_" + std::to_string(::getpid()) + ".sock";
+  serve::ServerOptions options;
+  options.socket_path = socket_path;
+  auto server = serve::Server::create(std::move(options));
+  if (!server) {
+    std::fprintf(stderr, "error: %s\n", server.error().c_str());
+    return 1;
+  }
+  std::thread daemon([&server] {
+    if (const auto status = (*server)->run(); !status.ok()) {
+      std::fprintf(stderr, "error: server run: %s\n", status.error().c_str());
+      std::exit(1);
+    }
+  });
+
+  auto client = serve::Client::connect(socket_path);
+  if (!client) {
+    std::fprintf(stderr, "error: %s\n", client.error().c_str());
+    return 1;
+  }
+  if (const auto status =
+          client->hello_create(t.stacks, t.functions, modules, t.sample_rate_hz);
+      !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.error().c_str());
+    return 1;
+  }
+
+  const auto ingest_start = Clock::now();
+  if (const auto status = client->ingest_events(t.events, block_events); !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.error().c_str());
+    return 1;
+  }
+  const double ingest_ms = ms_since(ingest_start);
+
+  const auto config = advisor::AdvisorConfig::dram_pmem(bench::kGiB, bench::kStoreCoef);
+  Expected<serve::Report> served = unexpected("query never ran");
+  const double query_ms = best_of(repeats, [&] {
+    served = client->query(config);
+    if (!served) {
+      std::fprintf(stderr, "error: %s\n", served.error().c_str());
+      std::exit(1);
+    }
+  });
+  if (const auto status = client->bye(); !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.error().c_str());
+    return 1;
+  }
+  (*server)->request_stop();
+  daemon.join();
+
+  // ------------------------------------------ identity gate
+  const auto analysis = analyzer::analyze(t);
+  if (!analysis) {
+    std::fprintf(stderr, "error: %s\n", analysis.error().c_str());
+    return 1;
+  }
+  auto placement = advisor::place_by_density(analysis->sites, config);
+  if (!placement) {
+    std::fprintf(stderr, "error: %s\n", placement.error().c_str());
+    return 1;
+  }
+  const auto offline =
+      advisor::report_to_string(*placement, advisor::ReportFormat::kBom, modules);
+  if (!offline) {
+    std::fprintf(stderr, "error: %s\n", offline.error().c_str());
+    return 1;
+  }
+  const bool identical = served->text == *offline && served->events_analyzed == n_events;
+
+  const double encode_rate = mbs(wire.size(), encode_ms);
+  const double decode_rate = mbs(wire.size(), decode_ms);
+  const double ingest_rate = events_per_s(n_events, ingest_ms);
+  std::printf("wire bytes          : %.1f MB (%zu frames of <= %zu events)\n",
+              static_cast<double>(wire.size()) / 1e6,
+              (t.events.size() + block_events - 1) / block_events, block_events);
+  std::printf("frame encode        : %8.1f MB/s\n", encode_rate);
+  std::printf("frame decode        : %8.1f MB/s\n", decode_rate);
+  std::printf("loopback ingest     : %8.0f events/s (%.1f ms total)\n", ingest_rate, ingest_ms);
+  std::printf("query latency       : %8.2f ms (epoch %llu, %llu events)\n", query_ms,
+              static_cast<unsigned long long>(served->epoch),
+              static_cast<unsigned long long>(served->events_analyzed));
+  std::printf("identity            : %s\n", identical ? "served == offline" : "MISMATCH");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"serve\",\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"events\": %zu,\n"
+               "  \"block_events\": %zu,\n"
+               "  \"wire_bytes\": %zu,\n"
+               "  \"frame_encode_mbs\": %.1f,\n"
+               "  \"frame_decode_mbs\": %.1f,\n"
+               "  \"ingest_events_per_s\": %.0f,\n"
+               "  \"query_ms\": %.3f,\n"
+               "  \"identical\": %s\n"
+               "}\n",
+               std::thread::hardware_concurrency(), n_events, block_events, wire.size(),
+               encode_rate, decode_rate, ingest_rate, query_ms, identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr, "error: served report is not byte-identical to the offline advisor\n");
+    return 1;
+  }
+  return 0;
+}

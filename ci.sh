@@ -68,6 +68,22 @@ if [ "$static" -eq 1 ]; then
   else
     echo "note: clang-tidy not found; skipping the clang-tidy pass" >&2
   fi
+
+  # The serve headers are a compatibility surface (third-party clients
+  # code against docs/serving.md + these declarations), so an
+  # undocumented public entity under src/ecohmem/serve/ fails the docs
+  # build. Doxygen is optional in the image; skip loudly without it.
+  if command -v doxygen >/dev/null 2>&1; then
+    echo "== doxygen (serve headers must be warning-clean) =="
+    cmake --build build --target docs 2>/tmp/ecohmem_ci_doxygen_err.txt || {
+      cat /tmp/ecohmem_ci_doxygen_err.txt >&2; exit 1
+    }
+    if grep "ecohmem/serve/" /tmp/ecohmem_ci_doxygen_err.txt; then
+      echo "doxygen warnings in src/ecohmem/serve/ headers" >&2; exit 1
+    fi
+  else
+    echo "note: doxygen not found; skipping the serve docs warning gate" >&2
+  fi
 fi
 
 if [ "$sanitize" -eq 1 ]; then
@@ -201,6 +217,53 @@ build/tools/ecohmem-lint --trace /tmp/ecohmem_ci_v3_damaged.trc --min-coverage 0
 if build/tools/ecohmem-lint --trace /tmp/ecohmem_ci_v3_damaged.trc --min-coverage 0.99; then
   echo "lint passed a salvaged trace below --min-coverage" >&2; exit 1
 fi
+
+# Placement-as-a-service smoke (docs/serving.md): a daemon on a unix
+# socket serves a placement report byte-identical to the offline
+# ecohmem-advisor run above for the same trace and config, then drains
+# cleanly on SIGTERM (prints its farewell, unlinks its socket).
+serve_sock=/tmp/ecohmem_ci_serve.sock
+build/tools/ecohmem-serve --listen "$serve_sock" >/tmp/ecohmem_ci_serve.log 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 50); do [ -S "$serve_sock" ] && break; sleep 0.1; done
+[ -S "$serve_sock" ]
+build/tools/ecohmem-serve --connect "$serve_sock" --ingest /tmp/ecohmem_ci2.trc \
+  --query /tmp/ecohmem_ci_served.txt --config configs/advisor_dram_pmem.ini \
+  --bandwidth-aware --csv /tmp/ecohmem_ci_served.csv
+cmp /tmp/ecohmem_ci_served.txt /tmp/ecohmem_ci_report.txt
+cmp /tmp/ecohmem_ci_served.csv /tmp/ecohmem_ci_sites.csv
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "ecohmem-serve exited nonzero on SIGTERM" >&2; exit 1; }
+grep -q "drained, socket unlinked" /tmp/ecohmem_ci_serve.log
+if [ -e "$serve_sock" ]; then
+  echo "ecohmem-serve left its socket behind after draining" >&2; exit 1
+fi
+
+# The serve bench (run in the bench loop above) gates the wire-protocol
+# identity contract: the served report must be byte-identical to the
+# offline pipeline; the binary exits nonzero on a mismatch.
+for key in '"bench": "serve"' '"frame_encode_mbs"' '"frame_decode_mbs"' \
+           '"ingest_events_per_s"' '"query_ms"' '"identical": true'; do
+  if ! grep -F "$key" BENCH_serve.json >/dev/null; then
+    echo "BENCH_serve.json missing $key" >&2; exit 1
+  fi
+done
+
+# ecohmem-serve usage errors must exit 2 (the cli_common convention),
+# before any socket is created or bound.
+for bad_serve in "--listen" \
+                 "--listen /tmp/ecohmem_ci_serve_a.sock --connect /tmp/ecohmem_ci_serve_b.sock" \
+                 "--connect /tmp/ecohmem_ci_serve_b.sock --attach 0" \
+                 "--listen /tmp/ecohmem_ci_serve_a.sock --queue-blocks 0" \
+                 "--listen /tmp/ecohmem_ci_serve_a.sock --max-frame-bytes 1"; do
+  set +e
+  build/tools/ecohmem-serve $bad_serve >/dev/null 2>&1
+  serve_rc=$?
+  set -e
+  if [ "$serve_rc" -ne 2 ]; then
+    echo "ecohmem-serve $bad_serve exited $serve_rc, want 2" >&2; exit 1
+  fi
+done
 
 # Every tool parsing integer flags through cli_common must reject
 # out-of-range values instead of silently truncating them.

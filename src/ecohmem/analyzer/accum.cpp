@@ -1,0 +1,70 @@
+#include "ecohmem/analyzer/accum.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ecohmem::analyzer::detail {
+
+void finalize_result(std::unordered_map<trace::StackId, SiteAccum>& sites,
+                     const std::map<std::uint32_t, FunctionAccum>& functions,
+                     const memsim::BandwidthMeter& bw_meter,
+                     const trace::FunctionTable& function_names,
+                     AnalysisResult& result) {
+  result.system_bw = bw_meter.series(0);
+  result.observed_peak_bw_gbs = bw_meter.peak_gbs(0);
+
+  result.sites.clear();
+  result.sites.reserve(sites.size());
+  // srclint-ok: det-unordered-iter (result.sites is sorted below)
+  for (auto& [stack_id, acc] : sites) {
+    (void)stack_id;
+    SiteRecord& r = acc.record;
+    if (r.alloc_count > 0) {
+      r.mean_lifetime_ns = r.total_lifetime_ns / static_cast<double>(r.alloc_count);
+      r.alloc_time_system_bw_gbs = acc.alloc_bw_sum / static_cast<double>(r.alloc_count);
+    }
+    if (acc.latency_weight > 0.0) {
+      r.avg_load_latency_ns = acc.latency_sum / acc.latency_weight;
+    }
+    if (r.total_lifetime_ns > 0.0) {
+      r.exec_bw_gbs = (r.load_misses + r.store_misses) * static_cast<double>(kCacheLine) /
+                      r.total_lifetime_ns;
+    }
+    // Execution-time system bandwidth: average over the live windows.
+    double weighted = 0.0;
+    double total_dur = 0.0;
+    for (const auto& w : r.windows) {
+      const double dur = static_cast<double>(w.duration());
+      weighted += bw_meter.average_gbs(0, w.start, std::max(w.end, w.start + 1)) * dur;
+      total_dur += dur;
+    }
+    r.exec_time_system_bw_gbs = total_dur > 0.0 ? weighted / total_dur : 0.0;
+
+    std::sort(r.windows.begin(), r.windows.end(),
+              [](const LiveWindow& a, const LiveWindow& b) { return a.start < b.start; });
+    result.sites.push_back(std::move(r));
+  }
+
+  // Deterministic output order: by first allocation, then stack id.
+  std::sort(result.sites.begin(), result.sites.end(), [](const SiteRecord& a, const SiteRecord& b) {
+    return a.first_alloc != b.first_alloc ? a.first_alloc < b.first_alloc : a.stack < b.stack;
+  });
+
+  // The function map is ordered by id, so ties between equal names (the
+  // "?" placeholder for out-of-range ids) break deterministically.
+  result.functions.clear();
+  result.functions.reserve(functions.size());
+  for (const auto& [fn_id, acc] : functions) {
+    FunctionProfile fp;
+    fp.name = fn_id < function_names.size() ? function_names.name(fn_id) : "?";
+    fp.load_samples = acc.samples;
+    fp.avg_load_latency_ns = acc.samples > 0.0 ? acc.latency_sum / acc.samples : 0.0;
+    result.functions.push_back(std::move(fp));
+  }
+  std::stable_sort(result.functions.begin(), result.functions.end(),
+                   [](const FunctionProfile& a, const FunctionProfile& b) {
+                     return a.name < b.name;
+                   });
+}
+
+}  // namespace ecohmem::analyzer::detail

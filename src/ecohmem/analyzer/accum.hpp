@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file accum.hpp
+/// Accumulation state shared by the two analyzer drivers.
+///
+/// `analyze()` (aggregator.cpp) replays a complete in-memory trace;
+/// `IncrementalAggregator` (incremental.hpp) folds the same event
+/// stream block by block for the serving layer. Both funnel their
+/// per-site and per-function accumulators through `finalize_result()`
+/// so the derived metrics, ordering and tie-breaking rules live in
+/// exactly one place — the bit-identity contract between the offline
+/// and incremental paths (tests/serve/test_session.cpp) depends on it.
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "ecohmem/analyzer/aggregator.hpp"
+#include "ecohmem/analyzer/object_record.hpp"
+#include "ecohmem/memsim/bandwidth_meter.hpp"
+#include "ecohmem/trace/events.hpp"
+
+namespace ecohmem::analyzer::detail {
+
+/// Accumulator per allocation site during replay.
+struct SiteAccum {
+  SiteRecord record;            ///< the fields that survive into the result
+  Bytes live_bytes = 0;         ///< currently live footprint of this site
+  double latency_weight = 0.0;  ///< weights of latency-carrying samples
+  double latency_sum = 0.0;     ///< weight * latency
+  double alloc_bw_sum = 0.0;    ///< per-allocation system bw, summed
+};
+
+/// Accumulator per traced function (Table VII inputs).
+struct FunctionAccum {
+  double samples = 0.0;      ///< weighted load samples
+  double latency_sum = 0.0;  ///< weight * latency
+};
+
+/// The analyzer's serial finalize phase, shared verbatim by both
+/// drivers: derives the per-site metrics (mean lifetime, average load
+/// latency, execution bandwidth, the window-weighted system-bandwidth
+/// average), orders windows and sites deterministically, and assembles
+/// the function profiles from the id-ordered accumulator map. Consumes
+/// the site accumulators (records are moved out); `result.system_bw`,
+/// `observed_peak_bw_gbs`, `sites` and `functions` are overwritten.
+void finalize_result(std::unordered_map<trace::StackId, SiteAccum>& sites,
+                     const std::map<std::uint32_t, FunctionAccum>& functions,
+                     const memsim::BandwidthMeter& bw_meter,
+                     const trace::FunctionTable& function_names,
+                     AnalysisResult& result);
+
+}  // namespace ecohmem::analyzer::detail

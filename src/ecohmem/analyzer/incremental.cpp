@@ -1,0 +1,163 @@
+#include "ecohmem/analyzer/incremental.hpp"
+
+#include <algorithm>
+#include <variant>
+
+namespace ecohmem::analyzer {
+
+IncrementalAggregator::IncrementalAggregator(const trace::StackTable& stacks,
+                                             const trace::FunctionTable& functions,
+                                             AnalyzerOptions options)
+    : stacks_(&stacks),
+      functions_(&functions),
+      options_(options),
+      uncore_meter_(1, options.bw_bin_ns),
+      sample_meter_(1, options.bw_bin_ns) {}
+
+Status IncrementalAggregator::ingest(const trace::Event* events, std::size_t count) {
+  if (!error_.empty()) return unexpected(error_);
+
+  for (std::size_t k = 0; k < count; ++k) {
+    const trace::Event& event = events[k];
+    const std::uint64_t i = n_events_;
+
+    if (const auto* u = std::get_if<trace::UncoreBwEvent>(&event)) {
+      has_uncore_ = true;
+      const Ns t0 = u->time > u->period_ns ? u->time - u->period_ns : 0;
+      uncore_meter_.add(0, t0, u->time,
+                        (u->read_gbs + u->write_gbs) * static_cast<double>(u->period_ns));
+    } else if (const auto* a = std::get_if<trace::AllocEvent>(&event)) {
+      if (a->stack == trace::kInvalidStack || a->stack >= stacks_->size()) {
+        error_ = "alloc event with invalid stack id";
+        return unexpected(error_);
+      }
+      auto [it, inserted] = live_.try_emplace(a->address);
+      // Address reuse while live: the previous object drops out of the
+      // live map, exactly as in the offline replay.
+      it->second = LiveObject{a->size, a->stack, a->time};
+      (void)inserted;
+      object_address_[a->object_id] = a->address;
+
+      auto& acc = sites_[a->stack];
+      if (acc.record.alloc_count == 0) {
+        acc.record.stack = a->stack;
+        acc.record.callstack = stacks_->stack(a->stack);
+        acc.record.first_alloc = a->time;
+      }
+      ++acc.record.alloc_count;
+      acc.record.max_size = std::max(acc.record.max_size, a->size);
+      acc.live_bytes += a->size;
+      acc.record.peak_live_bytes = std::max(acc.record.peak_live_bytes, acc.live_bytes);
+
+      // The alloc-window bandwidth average can see future traffic;
+      // defer the fold to finalize() (in allocation order).
+      const Ns w0 = a->time > options_.alloc_window_ns ? a->time - options_.alloc_window_ns / 2 : 0;
+      alloc_bw_pending_.emplace_back(a->stack, w0);
+    } else if (const auto* f = std::get_if<trace::FreeEvent>(&event)) {
+      const auto addr_it = object_address_.find(f->object_id);
+      if (addr_it == object_address_.end()) {
+        error_ = "free event for unknown object id " + std::to_string(f->object_id);
+        return unexpected(error_);
+      }
+      const auto live_it = live_.find(addr_it->second);
+      if (live_it == live_.end()) {
+        error_ = "double free of object id " + std::to_string(f->object_id);
+        return unexpected(error_);
+      }
+      const LiveObject& obj = live_it->second;
+      auto& acc = sites_[obj.stack];
+      acc.live_bytes = acc.live_bytes >= obj.size ? acc.live_bytes - obj.size : 0;
+      acc.record.windows.push_back(LiveWindow{obj.alloc_time, f->time});
+      acc.record.last_free = std::max(acc.record.last_free, f->time);
+      acc.record.total_lifetime_ns +=
+          static_cast<double>(f->time > obj.alloc_time ? f->time - obj.alloc_time : 0);
+      live_.erase(live_it);
+      object_address_.erase(addr_it);
+    } else if (const auto* s = std::get_if<trace::SampleEvent>(&event)) {
+      sample_meter_.add(0, s->time, s->time + 1, s->weight * static_cast<double>(kCacheLine));
+
+      // Function attribution happens regardless of object resolution,
+      // matching the offline accumulation phase.
+      if (!s->is_store) {
+        auto& fn = functions_accum_[s->function_id];
+        fn.samples += s->weight;
+        fn.latency_sum += s->weight * s->latency_ns;
+      }
+
+      // Resolve against the live map as of event i: nearest live start
+      // at or below the address, containment-check that single
+      // candidate (the serial analyzer's attribution rule).
+      trace::StackId stack = trace::kInvalidStack;
+      auto live_it = live_.upper_bound(s->address);
+      if (live_it != live_.begin()) {
+        --live_it;
+        const LiveObject& obj = live_it->second;
+        if (s->address >= live_it->first && s->address < live_it->first + obj.size) {
+          stack = obj.stack;
+        }
+      }
+      if (stack == trace::kInvalidStack) {
+        unattributed_ += s->weight;
+      } else {
+        auto& acc = sites_[stack];
+        if (s->is_store) {
+          acc.record.store_misses += s->weight;
+          acc.record.has_writes = true;
+        } else {
+          acc.record.load_misses += s->weight;
+          acc.latency_weight += s->weight;
+          acc.latency_sum += s->weight * s->latency_ns;
+        }
+      }
+    }
+    // Markers only carry a timestamp here, like offline.
+
+    last_time_ = std::max(last_time_, trace::event_time(event));
+    n_events_ = i + 1;
+  }
+  return {};
+}
+
+Expected<AnalysisResult> IncrementalAggregator::finalize(trace::TraceCoverage coverage) const {
+  if (!error_.empty()) return unexpected(error_);
+
+  AnalysisResult result;
+  result.coverage = coverage;
+  if (result.coverage.empty()) {
+    result.coverage.events_seen = n_events_;
+    result.coverage.events_declared = n_events_;
+  }
+  result.trace_end = last_time_;
+  result.unattributed_samples = unattributed_;
+
+  // The offline analyzer prescans the whole trace for uncore readings
+  // before folding bandwidth; here both candidate folds already ran, so
+  // just pick the one analyze() would have used.
+  const memsim::BandwidthMeter& bw_meter = has_uncore_ ? uncore_meter_ : sample_meter_;
+
+  // Snapshot semantics: all remaining folds mutate copies.
+  std::unordered_map<trace::StackId, detail::SiteAccum> sites = sites_;
+
+  // Deferred alloc-window folds, replayed in allocation order — each
+  // site's alloc_bw_sum receives exactly the serial addition sequence.
+  for (const auto& [stack, w0] : alloc_bw_pending_) {
+    sites[stack].alloc_bw_sum +=
+        bw_meter.average_gbs(0, w0, w0 + options_.alloc_window_ns);
+  }
+
+  // Objects still live: close their windows at the last event time, in
+  // ascending address order (the offline survivor pass).
+  for (const auto& [addr, obj] : live_) {
+    (void)addr;
+    auto& acc = sites[obj.stack];
+    acc.record.windows.push_back(LiveWindow{obj.alloc_time, last_time_});
+    acc.record.last_free = std::max(acc.record.last_free, last_time_);
+    acc.record.total_lifetime_ns +=
+        static_cast<double>(last_time_ > obj.alloc_time ? last_time_ - obj.alloc_time : 0);
+  }
+
+  detail::finalize_result(sites, functions_accum_, bw_meter, *functions_, result);
+  return result;
+}
+
+}  // namespace ecohmem::analyzer

@@ -44,14 +44,18 @@ namespace lockdep {
 /// The lock-rank table (keep in sync with docs/threading.md).
 /// Acquisition order must be strictly rank-increasing; every rank below
 /// is additionally a *leaf* — no further ranked lock may be acquired
-/// while one is held. Gaps leave room for the daemon refactor's
-/// session/store locks, which will be non-leaf and rank below the
-/// leaves they may call into.
+/// while one is held. The serve-layer locks rank below the analyzer and
+/// FlexMalloc leaves they sit above architecturally, but they too are
+/// leaves: the daemon moves data between its queue, store and registry
+/// one lock at a time (docs/threading.md, docs/serving.md).
 enum class LockRank : int {
-  kWorkerPool = 10,       ///< WorkerPool phase hand-off (runtime/worker_pool.hpp)
-  kMatcherHr = 20,        ///< CallStackMatcher human-readable path (flexmalloc/matcher.*)
-  kMatchCacheShard = 30,  ///< MatchCache shard shared_mutex (flexmalloc/matcher.*)
-  kArenaHeap = 40,        ///< per-tier ArenaHeap leaf mutex (flexmalloc/heap_manager.*)
+  kServeRegistryShard = 4,  ///< SessionManager shard map (serve/session.*)
+  kServeSessionQueue = 6,   ///< per-session bounded ingest queue (serve/session.*)
+  kServeSessionStore = 8,   ///< per-session incremental site store (serve/session.*)
+  kWorkerPool = 10,         ///< WorkerPool phase hand-off (runtime/worker_pool.hpp)
+  kMatcherHr = 20,          ///< CallStackMatcher human-readable path (flexmalloc/matcher.*)
+  kMatchCacheShard = 30,    ///< MatchCache shard shared_mutex (flexmalloc/matcher.*)
+  kArenaHeap = 40,          ///< per-tier ArenaHeap leaf mutex (flexmalloc/heap_manager.*)
 };
 
 /// File:line of an acquisition, captured via std::source_location.

@@ -1,0 +1,181 @@
+#include "ecohmem/common/posix.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ecohmem::common::posix {
+
+namespace {
+
+[[nodiscard]] std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::size_t max_socket_path() {
+  return sizeof(sockaddr_un{}.sun_path) - 1;
+}
+
+UniqueFd& UniqueFd::operator=(UniqueFd&& other) noexcept {
+  if (this != &other) reset(std::exchange(other.fd_, -1));
+  return *this;
+}
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) {
+    // POSIX leaves the descriptor state unspecified after EINTR from
+    // close(2); Linux guarantees it is closed, so do not retry.
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+Status read_full(int fd, void* data, std::size_t size) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, p + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return unexpected(errno_message("read"));
+    }
+    if (n == 0) return unexpected("unexpected EOF");
+    done += static_cast<std::size_t>(n);
+  }
+  return {};
+}
+
+Expected<bool> read_full_or_eof(int fd, void* data, std::size_t size) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, p + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return unexpected(errno_message("read"));
+    }
+    if (n == 0) {
+      if (done == 0) return false;  // clean EOF on a frame boundary
+      return unexpected("unexpected EOF");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+Status write_full(int fd, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, p + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return unexpected(errno_message("write"));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return {};
+}
+
+Status send_full(int fd, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::send(fd, p + done, size - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return unexpected(errno_message("send"));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return {};
+}
+
+namespace {
+
+[[nodiscard]] Expected<sockaddr_un> make_unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty()) return unexpected("socket path is empty");
+  if (path.size() > max_socket_path()) {
+    return unexpected("socket path too long (" + std::to_string(path.size()) + " > " +
+                      std::to_string(max_socket_path()) + "): " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Expected<UniqueFd> listen_unix(const std::string& path, int backlog) {
+  auto addr = make_unix_address(path);
+  if (!addr) return unexpected(addr.error());
+
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return unexpected(errno_message("socket"));
+
+  ::unlink(path.c_str());  // stale socket from a previous daemon
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&*addr), sizeof(*addr)) != 0) {
+    return unexpected(errno_message(("bind " + path).c_str()));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return unexpected(errno_message("listen"));
+  }
+  return fd;
+}
+
+Expected<UniqueFd> accept_unix(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return UniqueFd(fd);
+    if (errno == EINTR) continue;
+    return unexpected(errno_message("accept"));
+  }
+}
+
+Expected<UniqueFd> connect_unix(const std::string& path) {
+  auto addr = make_unix_address(path);
+  if (!addr) return unexpected(addr.error());
+
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return unexpected(errno_message("socket"));
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&*addr), sizeof(*addr)) != 0) {
+    return unexpected(errno_message(("connect " + path).c_str()));
+  }
+  return fd;
+}
+
+Expected<WakePipe> WakePipe::create() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) return unexpected(errno_message("pipe"));
+  WakePipe pipe;
+  pipe.read_end_.reset(fds[0]);
+  pipe.write_end_.reset(fds[1]);
+  for (const int fd : fds) {
+    const int flags = ::fcntl(fd, F_GETFL);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+      return unexpected(errno_message("fcntl"));
+    }
+  }
+  return pipe;
+}
+
+void WakePipe::write_one_byte() const {
+  const char byte = 1;
+  // Best effort: EAGAIN means a wakeup is already pending.
+  [[maybe_unused]] const ssize_t n = ::write(write_end_.get(), &byte, 1);
+}
+
+void WakePipe::drain() const {
+  char buf[64];
+  while (::read(read_end_.get(), buf, sizeof buf) > 0) {
+  }
+}
+
+}  // namespace ecohmem::common::posix

@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file posix.hpp
+/// Thin POSIX wrappers for the serving layer: an owning file
+/// descriptor, EINTR-safe whole-buffer I/O, and unix-domain socket
+/// setup. Everything reports failures through `Expected`/`Status`
+/// (errno rendered into the message) — no exceptions, no globals.
+///
+/// Kept deliberately small: the daemon (docs/serving.md) needs exactly
+/// listen/accept/connect on `AF_UNIX` stream sockets, full reads and
+/// writes for length-prefixed frames, and a self-pipe for signal-safe
+/// shutdown. Anything fancier belongs in the serve subsystem itself.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "ecohmem/common/expected.hpp"
+
+namespace ecohmem::common::posix {
+
+/// Longest socket path accepted by `bind(2)` for `sockaddr_un` on this
+/// platform (the buffer must also hold the terminating NUL).
+[[nodiscard]] std::size_t max_socket_path();
+
+/// An owning file descriptor. Move-only; closes on destruction
+/// (EINTR-tolerant). A default-constructed instance holds nothing.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  UniqueFd(UniqueFd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept;
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  ~UniqueFd() { reset(); }
+
+  /// The wrapped descriptor, -1 when empty.
+  [[nodiscard]] int get() const { return fd_; }
+
+  /// True when a descriptor is held.
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  /// Closes the held descriptor (if any) and adopts `fd`.
+  void reset(int fd = -1);
+
+  /// Releases ownership without closing.
+  [[nodiscard]] int release() { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Reads exactly `size` bytes, retrying on EINTR and short reads.
+/// Fails on I/O errors and on end-of-stream before `size` bytes
+/// ("unexpected EOF"), which is how a frame reader distinguishes a
+/// clean close (first byte already missing — see `read_full_or_eof`)
+/// from a truncated frame.
+[[nodiscard]] Status read_full(int fd, void* data, std::size_t size);
+
+/// Like `read_full`, but end-of-stream *before the first byte* returns
+/// false instead of failing; true means the buffer is complete.
+[[nodiscard]] Expected<bool> read_full_or_eof(int fd, void* data, std::size_t size);
+
+/// Writes exactly `size` bytes, retrying on EINTR and short writes.
+[[nodiscard]] Status write_full(int fd, const void* data, std::size_t size);
+
+/// `write_full` for sockets: uses send(MSG_NOSIGNAL) so a peer that hung
+/// up yields an EPIPE error instead of a process-killing SIGPIPE.
+[[nodiscard]] Status send_full(int fd, const void* data, std::size_t size);
+
+/// Creates a unix-domain stream socket listening on `path`. Any stale
+/// socket file at `path` is removed first (daemons own their socket
+/// path). `backlog` caps pending connections.
+[[nodiscard]] Expected<UniqueFd> listen_unix(const std::string& path, int backlog = 16);
+
+/// Accepts one connection from a listening socket. Retries on EINTR.
+[[nodiscard]] Expected<UniqueFd> accept_unix(int listen_fd);
+
+/// Connects to the unix-domain socket at `path`.
+[[nodiscard]] Expected<UniqueFd> connect_unix(const std::string& path);
+
+/// A self-pipe pair: `write_one_byte()` is async-signal-safe, so a
+/// signal handler can wake a `poll` on `read_fd()` without touching
+/// locks or the heap.
+class WakePipe {
+ public:
+  /// Builds the pipe (O_NONBLOCK on both ends).
+  [[nodiscard]] static Expected<WakePipe> create();
+
+  [[nodiscard]] int read_fd() const { return read_end_.get(); }
+
+  /// Signals the pipe. Async-signal-safe; a full pipe is fine (the
+  /// wakeup is already pending).
+  void write_one_byte() const;
+
+  /// Drains pending wakeup bytes (call after poll reports readable).
+  void drain() const;
+
+ private:
+  UniqueFd read_end_;
+  UniqueFd write_end_;
+};
+
+}  // namespace ecohmem::common::posix

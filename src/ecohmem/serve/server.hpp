@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file server.hpp
+/// The `ecohmem-serve` daemon core: a unix-domain socket accept loop
+/// dispatching the docs/serving.md protocol onto `Session` stores.
+///
+/// Threading model: `run()` owns the accept loop (one thread); each
+/// accepted connection gets a dedicated handler thread that reads one
+/// frame, dispatches it, writes the reply, and repeats — the protocol
+/// is strictly request/response per connection. Handler threads take
+/// session locks only through the `Session` API (all leaf locks, see
+/// docs/threading.md); the accept loop joins finished handlers as it
+/// goes and joins all of them on shutdown.
+///
+/// Shutdown: `request_stop()` is async-signal-safe (atomic flag + a
+/// self-pipe wakeup), so `tools/ecohmem_serve.cpp` calls it straight
+/// from the SIGTERM/SIGINT handler. The drain is graceful: the listen
+/// socket closes, in-flight frames finish and get their replies,
+/// handlers then send ERROR shutting-down and close, queued ingest
+/// blocks are applied to the stores, and the socket file is unlinked
+/// before `run()` returns.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ecohmem/common/expected.hpp"
+#include "ecohmem/common/posix.hpp"
+#include "ecohmem/serve/protocol.hpp"
+#include "ecohmem/serve/session.hpp"
+
+namespace ecohmem::serve {
+
+struct ServerOptions {
+  /// Path of the unix-domain socket to listen on (required). A stale
+  /// socket file from a dead daemon is replaced.
+  std::string socket_path;
+
+  /// Registry bound: HELLO-create fails beyond it.
+  std::size_t max_sessions = 256;
+
+  /// Per-session ingest queue bound (the backpressure point).
+  std::size_t queue_blocks = 64;
+
+  /// Ceiling on accepted frame sizes.
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// listen(2) backlog.
+  int backlog = 16;
+
+  /// Backoff suggested to clients in BUSY replies.
+  std::uint32_t busy_retry_hint_ms = 5;
+
+  /// Analyzer knobs for the session stores.
+  analyzer::AnalyzerOptions analyzer;
+
+  /// Test hook, forwarded to every session (SessionOptions::before_apply).
+  std::function<void()> before_apply;
+};
+
+/// The daemon. Construct via `create` (binds the socket), then call
+/// `run()` from the serving thread; `request_stop()` from anywhere —
+/// including a signal handler — makes `run()` drain and return.
+class Server {
+ public:
+  /// Binds and listens on `options.socket_path`.
+  [[nodiscard]] static Expected<std::unique_ptr<Server>> create(ServerOptions options);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Accept/dispatch loop; blocks until `request_stop()`, then drains
+  /// (connections joined, session queues applied, socket unlinked).
+  [[nodiscard]] Status run();
+
+  /// Makes `run()` stop accepting and drain. Async-signal-safe;
+  /// idempotent.
+  void request_stop();
+
+  /// The bound socket path.
+  [[nodiscard]] const std::string& socket_path() const { return options_.socket_path; }
+
+  /// The session registry (tests and in-process embedding).
+  [[nodiscard]] SessionManager& sessions() { return *sessions_; }
+
+ private:
+  struct ConnectionHandle {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;  ///< set by the handler on exit
+  };
+
+  explicit Server(ServerOptions options);
+
+  void handle_connection(common::posix::UniqueFd fd);
+  void reap_connections(bool join_all);
+
+  ServerOptions options_;
+  std::unique_ptr<SessionManager> sessions_;
+  common::posix::UniqueFd listen_fd_;
+  common::posix::WakePipe wake_;
+  std::atomic<bool> stopping_{false};
+  std::vector<ConnectionHandle> connections_;  ///< touched only by run()'s thread
+};
+
+}  // namespace ecohmem::serve

@@ -142,10 +142,21 @@ TEST_F(LockdepValidator, CrossThreadInvertedOrderIsDetected) {
   RankedMutex a(rank(50), "t_cycle_a", /*leaf=*/false);
   RankedMutex b(rank(60), "t_cycle_b", /*leaf=*/false);
 
+  // Drive the hooks directly instead of taking the real mutexes: the
+  // validator only sees on_acquire/on_release either way, and actually
+  // nesting the underlying std::mutexes would make TSan's own deadlock
+  // detector report the very inversion this test constructs on purpose.
+  const auto acquire = [](RankedMutex& m) {
+    lockdep::on_acquire(&m, m.name(), m.rank(), m.leaf(), std::source_location::current());
+  };
+  const auto release = [](RankedMutex& m) { lockdep::on_release(&m); };
+
   // Thread 1 observes a -> b (rank-increasing: silent, records edge).
   std::thread first([&] {
-    ScopedLock outer(a);
-    ScopedLock inner(b);
+    acquire(a);
+    acquire(b);
+    release(b);
+    release(a);
   });
   first.join();
   EXPECT_TRUE(seen().empty());
@@ -155,8 +166,10 @@ TEST_F(LockdepValidator, CrossThreadInvertedOrderIsDetected) {
   // the rank rule, which is the point of ranks — but the cycle proof
   // does not depend on it).
   std::thread second([&] {
-    ScopedLock outer(b);
-    ScopedLock inner(a);
+    acquire(b);
+    acquire(a);
+    release(a);
+    release(b);
   });
   second.join();
 

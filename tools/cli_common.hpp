@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ecohmem/common/expected.hpp"
+#include "ecohmem/common/posix.hpp"
 #include "ecohmem/common/strings.hpp"
 
 namespace ecohmem::cli {
@@ -29,7 +30,13 @@ class Args {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) == 0) {
         const std::string name = arg.substr(2);
-        if (is_bool(name) || i + 1 >= argc) {
+        // A value flag never swallows the next `--flag` token: in
+        // `--out --stats` the user forgot the value, and silently
+        // using "--stats" as it would both corrupt the value and drop
+        // the flag. Single-dash values (negative numbers) still work.
+        const bool next_is_flag =
+            i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) == 0;
+        if (is_bool(name) || i + 1 >= argc || next_is_flag) {
           flags_[name] = "true";
         } else {
           flags_[name] = argv[++i];
@@ -92,6 +99,29 @@ class Args {
 inline int fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 1;
+}
+
+/// Usage-error diagnostic: same `error:` shape as `fail`, but exit
+/// code 2 — bad flags are distinguishable from runtime failures
+/// (docs/cli.md §conventions).
+inline int fail_usage(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 2;
+}
+
+/// Validates a unix-domain socket path flag value: present, non-empty
+/// and within the platform `sockaddr_un` limit. `flag` names the flag
+/// in the diagnostic (without dashes).
+[[nodiscard]] inline Status validate_socket_path(const std::string& flag,
+                                                 const std::string& path) {
+  if (path.empty() || path == "true") {
+    return unexpected("--" + flag + " expects a socket path");
+  }
+  if (path.size() > common::posix::max_socket_path()) {
+    return unexpected("--" + flag + " path exceeds " +
+                      std::to_string(common::posix::max_socket_path()) + " bytes: " + path);
+  }
+  return {};
 }
 
 /// Load-failure diagnostic: every tool reports a file it could not
