@@ -265,6 +265,57 @@ for bad_serve in "--listen" \
   fi
 done
 
+# Learned placement smoke (docs/learned.md): train a small model, advise
+# with --policy learned, prove the report stays schema-compatible with the
+# greedy one (FlexMalloc replays it unchanged), and verify the
+# report/model pairing with ecohmem-lint.
+build/tools/ecohmem-train --apps minife,large-hot --out /tmp/ecohmem_ci_model.ehm \
+  --epochs 80 --max-solo 8 --max-swaps 4
+build/tools/ecohmem-advisor --trace /tmp/ecohmem_ci2.trc \
+  --out /tmp/ecohmem_ci_learned.txt --config configs/advisor_dram_pmem.ini \
+  --policy learned --model /tmp/ecohmem_ci_model.ehm
+grep -q "^# model = 0x" /tmp/ecohmem_ci_learned.txt
+build/tools/ecohmem-lint --trace /tmp/ecohmem_ci2.trc \
+  --report /tmp/ecohmem_ci_learned.txt --config configs/advisor_dram_pmem.ini \
+  --model /tmp/ecohmem_ci_model.ehm
+build/tools/ecohmem-run --app hpcg --report /tmp/ecohmem_ci_learned.txt
+# A damaged model must be a lint error (model-load), not a crash or a pass.
+head -c 40 /tmp/ecohmem_ci_model.ehm > /tmp/ecohmem_ci_model_damaged.ehm
+if build/tools/ecohmem-lint --report /tmp/ecohmem_ci_learned.txt \
+    --model /tmp/ecohmem_ci_model_damaged.ehm >/dev/null 2>&1; then
+  echo "lint accepted a truncated model file" >&2; exit 1
+fi
+
+# Learned-policy usage errors must exit 2 (the cli_common convention):
+# unknown policy names, --policy learned without a model, --model with
+# the greedy policy, an unusable model file, and out-of-range train flags.
+for bad_learned in "build/tools/ecohmem-advisor --trace /tmp/ecohmem_ci2.trc --out /tmp/ecohmem_ci_bad.txt --policy bogus" \
+                   "build/tools/ecohmem-advisor --trace /tmp/ecohmem_ci2.trc --out /tmp/ecohmem_ci_bad.txt --policy learned" \
+                   "build/tools/ecohmem-advisor --trace /tmp/ecohmem_ci2.trc --out /tmp/ecohmem_ci_bad.txt --model /tmp/ecohmem_ci_model.ehm" \
+                   "build/tools/ecohmem-advisor --trace /tmp/ecohmem_ci2.trc --out /tmp/ecohmem_ci_bad.txt --policy learned --model /tmp/ecohmem_ci_model_damaged.ehm" \
+                   "build/tools/ecohmem-train --apps no-such-app --out /tmp/ecohmem_ci_bad.ehm" \
+                   "build/tools/ecohmem-train --apps minife --out /tmp/ecohmem_ci_bad.ehm --epochs 0"; do
+  set +e
+  $bad_learned >/dev/null 2>&1
+  learned_rc=$?
+  set -e
+  if [ "$learned_rc" -ne 2 ]; then
+    echo "$bad_learned exited $learned_rc, want 2" >&2; exit 1
+  fi
+done
+
+# The learned-placement bench (run in the bench loop above) must have
+# recorded its acceptance verdict — learned no worse than greedy on every
+# fig6 app and strictly better on large-hot; the binary itself exits
+# nonzero on a violated bound.
+for key in '"bench": "learned_placement"' '"model_hash"' '"training_pairs"' \
+           '"pair_accuracy"' '"greedy_s"' '"learned_s"' '"adversarial": true' \
+           '"all_pass": true'; do
+  if ! grep -F "$key" BENCH_learned_placement.json >/dev/null; then
+    echo "BENCH_learned_placement.json missing $key" >&2; exit 1
+  fi
+done
+
 # Every tool parsing integer flags through cli_common must reject
 # out-of-range values instead of silently truncating them.
 for bad in "build/tools/ecohmem-profile --app hpcg --out /tmp/ecohmem_ci_bad.trc --pmem-dimms 0" \

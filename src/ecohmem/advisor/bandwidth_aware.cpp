@@ -41,9 +41,13 @@ Expected<BandwidthAwareResult> place_bandwidth_aware(
   BandwidthAwareResult result;
   result.placement = base;
 
-  // Index decisions and site records by stack id.
-  std::unordered_map<trace::StackId, PlacementDecision*> decision_of;
-  for (auto& d : result.placement.decisions) decision_of[d.stack] = &d;
+  // Index decisions by position so retiers go through
+  // Placement::set_tier (which keeps the placement's lookup caches
+  // coherent) instead of mutating decisions in place.
+  std::unordered_map<trace::StackId, std::size_t> decision_of;
+  for (std::size_t i = 0; i < result.placement.decisions.size(); ++i) {
+    decision_of[result.placement.decisions[i].stack] = i;
+  }
 
   std::unordered_map<trace::StackId, const analyzer::SiteRecord*> site_of;
   for (const auto& s : sites) site_of[s.stack] = &s;
@@ -54,7 +58,9 @@ Expected<BandwidthAwareResult> place_bandwidth_aware(
   result.categories.reserve(sites.size());
   for (const auto& s : sites) {
     const auto it = decision_of.find(s.stack);
-    const std::string& tier = it != decision_of.end() ? it->second->tier : base.fallback_tier;
+    const std::string& tier = it != decision_of.end()
+                                  ? result.placement.decisions[it->second].tier
+                                  : base.fallback_tier;
     const Category c = categorize(s, tier, options);
     result.categories.push_back(CategorizedSite{s.stack, c});
 
@@ -68,7 +74,7 @@ Expected<BandwidthAwareResult> place_bandwidth_aware(
       case Category::kStreamingD: {
         // Algorithm 1: all Streaming-D objects move to PMEM directly.
         if (it != decision_of.end()) {
-          it->second->tier = options.pmem_tier;
+          result.placement.set_tier(it->second, options.pmem_tier);
           ++result.streaming_moved;
         }
         break;
@@ -115,10 +121,10 @@ Expected<BandwidthAwareResult> place_bandwidth_aware(
 
     consumed.insert(replacement->stack);
     if (auto it = decision_of.find(t->stack); it != decision_of.end()) {
-      it->second->tier = options.dram_tier;
+      result.placement.set_tier(it->second, options.dram_tier);
     }
     if (auto it = decision_of.find(replacement->stack); it != decision_of.end()) {
-      it->second->tier = options.pmem_tier;
+      result.placement.set_tier(it->second, options.pmem_tier);
     }
     ++result.swaps;
   }

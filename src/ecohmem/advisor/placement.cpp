@@ -1,8 +1,58 @@
 #include "ecohmem/advisor/placement.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 
 namespace ecohmem::advisor {
+
+void Placement::refresh_index() const {
+  if (indexed_size_ == decisions.size()) return;
+
+  by_stack_.clear();
+  by_stack_.reserve(decisions.size());
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    by_stack_.emplace_back(decisions[i].stack, i);
+  }
+  // stable_sort keeps the earliest position first within a duplicate
+  // stack id, so lower_bound resolves duplicates to the same decision
+  // the previous first-match linear scan did.
+  std::stable_sort(by_stack_.begin(), by_stack_.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  tier_totals_.clear();
+  for (const auto& d : decisions) {
+    auto it = std::find_if(tier_totals_.begin(), tier_totals_.end(),
+                           [&](const auto& t) { return t.first == d.tier; });
+    if (it == tier_totals_.end()) {
+      tier_totals_.emplace_back(d.tier, d.footprint);
+    } else {
+      it->second += d.footprint;
+    }
+  }
+  indexed_size_ = decisions.size();
+}
+
+const std::string& Placement::tier_of(trace::StackId stack) const {
+  refresh_index();
+  const auto it = std::lower_bound(
+      by_stack_.begin(), by_stack_.end(), stack,
+      [](const auto& entry, trace::StackId s) { return entry.first < s; });
+  if (it != by_stack_.end() && it->first == stack) return decisions[it->second].tier;
+  return fallback_tier;
+}
+
+Bytes Placement::footprint_in(std::string_view tier) const {
+  refresh_index();
+  for (const auto& [name, total] : tier_totals_) {
+    if (name == tier) return total;
+  }
+  return 0;
+}
+
+void Placement::set_tier(std::size_t index, std::string tier) {
+  decisions[index].tier = std::move(tier);
+  indexed_size_ = kStale;
+}
 
 std::vector<PlacementMove> diff_placements(const Placement& before, const Placement& after) {
   std::unordered_map<trace::StackId, const PlacementDecision*> old_of;

@@ -3,7 +3,9 @@
 /// \file placement.hpp
 /// The Advisor's output: an object→tier map keyed by call stack.
 
+#include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ecohmem/bom/frame.hpp"
@@ -23,26 +25,44 @@ struct PlacementDecision {
 
 /// A full placement: decisions plus the fallback subsystem for unlisted
 /// objects (§IV-C).
+///
+/// `tier_of` and `footprint_in` are called per-allocation during replay,
+/// so both answer from a lazily built index (stack→position map plus
+/// per-tier footprint totals) instead of scanning `decisions`. The index
+/// rebuilds automatically when `decisions` grows or shrinks; code that
+/// retiers an existing decision *in place* must go through `set_tier`
+/// (which also invalidates the cached totals) — writing
+/// `decisions[i].tier` directly leaves `footprint_in` answering from the
+/// stale totals until the next structural change.
 struct Placement {
   std::vector<PlacementDecision> decisions;
   std::string fallback_tier;
 
+  /// Content hash of the ranking model that ordered this placement
+  /// (`--policy learned`); empty for the heuristic policies. Stamped
+  /// into the report header as `# model = <hash>` (docs/learned.md).
+  std::string model_stamp;
+
   /// Tier assigned to `stack`, or the fallback if unlisted.
-  [[nodiscard]] const std::string& tier_of(trace::StackId stack) const {
-    for (const auto& d : decisions) {
-      if (d.stack == stack) return d.tier;
-    }
-    return fallback_tier;
-  }
+  [[nodiscard]] const std::string& tier_of(trace::StackId stack) const;
 
   /// Total footprint charged against `tier`.
-  [[nodiscard]] Bytes footprint_in(std::string_view tier) const {
-    Bytes total = 0;
-    for (const auto& d : decisions) {
-      if (d.tier == tier) total += d.footprint;
-    }
-    return total;
-  }
+  [[nodiscard]] Bytes footprint_in(std::string_view tier) const;
+
+  /// Retiers decision `index` and invalidates the cached totals. The
+  /// only supported way to change an existing decision's tier.
+  void set_tier(std::size_t index, std::string tier);
+
+ private:
+  void refresh_index() const;
+
+  /// npos = stale. Mutable lazy cache: the first `tier_of`/`footprint_in`
+  /// after a structural change rebuilds it (not thread-safe against
+  /// concurrent first queries; warm the index before sharing).
+  static constexpr std::size_t kStale = static_cast<std::size_t>(-1);
+  mutable std::size_t indexed_size_ = kStale;
+  mutable std::vector<std::pair<trace::StackId, std::size_t>> by_stack_;  ///< sorted
+  mutable std::vector<std::pair<std::string, Bytes>> tier_totals_;
 };
 
 /// One site whose tier changed between two placements.

@@ -15,6 +15,11 @@ Status write_report(std::ostream& out, const Placement& placement, ReportFormat 
   out << "# ecoHMEM placement report\n";
   out << "# format = " << to_string(format) << "\n";
   out << "# fallback = " << placement.fallback_tier << "\n";
+  // Unknown header keys are ignored by every report consumer, so the
+  // model stamp is byte-invisible to pre-learn parsers.
+  if (!placement.model_stamp.empty()) {
+    out << "# model = " << placement.model_stamp << "\n";
+  }
 
   for (const auto& d : placement.decisions) {
     std::string stack_text;

@@ -69,6 +69,13 @@ struct AppOptions {
 /// `scale` scales group/background sizes.
 [[nodiscard]] runtime::Workload make_phase_shift_app(const AppOptions& options = {});
 
+/// Adversarial large-hot synthetic (docs/learned.md): two huge grids
+/// carry most of the miss traffic, but a pack of small scratch buffers
+/// is denser per byte, so greedy's density ranking crowds the hottest
+/// object out of DRAM. The workload the learned policy must win on.
+/// `iterations` = sweep iterations, `scale` scales all object sizes.
+[[nodiscard]] runtime::Workload make_large_hot(const AppOptions& options = {});
+
 /// All registered models, keyed by the names used in the benchmark tables.
 [[nodiscard]] runtime::Workload make_app(const std::string& name,
                                          const AppOptions& options = {});

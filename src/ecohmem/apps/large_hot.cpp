@@ -1,0 +1,80 @@
+#include "ecohmem/apps/apps.hpp"
+
+namespace ecohmem::apps {
+
+using runtime::AccessPattern;
+using runtime::KernelAccess;
+using runtime::WorkloadBuilder;
+
+/// Adversarial workload for the density heuristic (docs/learned.md).
+///
+/// Two huge halo grids carry most of the LLC miss traffic, but a pack of
+/// small scratch buffers is touched slightly *denser per byte*. Greedy
+/// density ranking therefore fills DRAM with the scratch pack first
+/// (5.25 GB), after which the 7 GB grid no longer fits the 12 GB budget
+/// and the single hottest object in the program lands on PMem. A ranker
+/// that has learned from memsim outcomes that absolute miss volume wins
+/// over per-byte density places both grids first and strictly beats
+/// greedy — the bench_learned_placement gate.
+///
+/// Shape: ~16.75 GB heap high water (Table V ballpark), loads-dominant,
+/// low MLP so slow-tier latency lands at nearly full weight.
+runtime::Workload make_large_hot(const AppOptions& options) {
+  const int iters = options.iterations > 0 ? options.iterations : 16;
+  const double s = options.scale;
+  const auto bytes = [s](double gib) { return static_cast<Bytes>(gib * s * 1024 * 1024 * 1024); };
+
+  WorkloadBuilder b("large-hot");
+  b.ranks(8).threads(2).mlp(4.5).static_footprint(bytes(0.25));
+
+  const auto exe = b.add_module("largehot.x", 5ull * 1024 * 1024, 28ull * 1024 * 1024);
+
+  // The huge hot pair: 5 sweeps per iteration each.
+  const auto site_cells = b.add_site(exe, "HaloGrid::cells", "src/halo_grid.cpp", 121);
+  const auto site_flux = b.add_site(exe, "HaloGrid::fluxes", "src/halo_grid.cpp", 148);
+  const auto cells = b.add_object(site_cells, bytes(7.0), AccessPattern::kStrided,
+                                  /*llc_friendliness=*/0.05, /*dram_locality=*/0.55,
+                                  /*prefetch=*/0.15);
+  const auto flux = b.add_object(site_flux, bytes(3.0), AccessPattern::kStrided, 0.05, 0.55,
+                                 0.15);
+
+  // The scratch pack: 6 sweeps per iteration — denser per byte than the
+  // grids, tiny in absolute traffic. Seven of them so the pack (5.25 GB)
+  // crowds the 7 GB grid out of a 12 GB budget under greedy.
+  constexpr int kScratch = 7;
+  std::vector<std::size_t> scratch;
+  for (int i = 0; i < kScratch; ++i) {
+    const auto site = b.add_site(exe, "Scratch::buf#" + std::to_string(i),
+                                 "src/scratch.cpp", static_cast<std::uint32_t>(40 + i));
+    scratch.push_back(b.add_object(site, bytes(0.75), AccessPattern::kRandom, 0.05, 0.45,
+                                   0.05));
+  }
+
+  // Cold topology: background noise both policies should leave on PMem.
+  const auto site_topo = b.add_site(exe, "Mesh::topology", "src/mesh.cpp", 63);
+  const auto topo = b.add_object(site_topo, bytes(1.5), AccessPattern::kSequential, 0.4,
+                                 0.75, 0.85);
+
+  const double gib = s * 1024.0 * 1024.0 * 1024.0;
+  const double line = 64.0;
+
+  std::vector<KernelAccess> acc;
+  acc.push_back(KernelAccess{cells, 5.0 * 7.0 * gib / line, 0.5 * 7.0 * gib / line, 7.0 * gib});
+  acc.push_back(KernelAccess{flux, 5.0 * 3.0 * gib / line, 0.5 * 3.0 * gib / line, 3.0 * gib});
+  for (const auto o : scratch) {
+    acc.push_back(KernelAccess{o, 6.0 * 0.75 * gib / line, 0.6 * 0.75 * gib / line,
+                               0.75 * gib});
+  }
+  acc.push_back(KernelAccess{topo, 0.1 * 1.5 * gib / line, 0.0, 0.15 * gib});
+  const std::size_t k_sweep =
+      b.add_kernel("halo_exchange_sweep", 9.0e9, 2.2e9, std::move(acc));
+
+  b.alloc(topo).alloc(cells).alloc(flux);
+  for (const auto o : scratch) b.alloc(o);
+  for (int i = 0; i < iters; ++i) b.run_kernel(k_sweep);
+  for (const auto o : scratch) b.free(o);
+  b.free(flux).free(cells).free(topo);
+  return b.build();
+}
+
+}  // namespace ecohmem::apps

@@ -13,12 +13,13 @@ runtime::Workload make_app(const std::string& name, const AppOptions& options) {
   if (name == "lammps") return make_lammps(options);
   if (name == "openfoam") return make_openfoam(options);
   if (name == "phase-shift") return make_phase_shift_app(options);
+  if (name == "large-hot") return make_large_hot(options);
   throw std::invalid_argument("unknown application model: " + name);
 }
 
 std::vector<std::string> app_names() {
-  return {"minife",       "minimd", "lulesh",   "hpcg",
-          "cloverleaf3d", "lammps", "openfoam", "phase-shift"};
+  return {"minife", "minimd",   "lulesh",      "hpcg",      "cloverleaf3d",
+          "lammps", "openfoam", "phase-shift", "large-hot"};
 }
 
 }  // namespace ecohmem::apps

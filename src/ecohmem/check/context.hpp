@@ -17,6 +17,7 @@
 #include "ecohmem/check/sites_csv.hpp"
 #include "ecohmem/common/config.hpp"
 #include "ecohmem/flexmalloc/report_parser.hpp"
+#include "ecohmem/learn/ranker.hpp"
 #include "ecohmem/trace/salvage.hpp"
 #include "ecohmem/trace/trace_file.hpp"
 
@@ -60,6 +61,10 @@ struct CheckContext {
   /// report every violation instead of stopping at the loader's first.
   const Config* online = nullptr;
 
+  /// Ranking model (ecohmem-train output), for checking a learned-policy
+  /// report's `# model = <hash>` stamp against the model it claims.
+  const learn::Model* model = nullptr;
+
   /// v3 footer index of the trace file, raw (see TraceIndexView). Set
   /// even when the strict trace load failed on the index, so the
   /// trace-v3-index rule can still enumerate what is wrong with it.
@@ -81,6 +86,7 @@ struct CheckContext {
   std::string report_name = "report";
   std::string config_name = "config";
   std::string online_name = "online-policy";
+  std::string model_name = "model";
 };
 
 }  // namespace ecohmem::check

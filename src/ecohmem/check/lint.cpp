@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "ecohmem/common/strings.hpp"
+#include "ecohmem/learn/model.hpp"
 #include "ecohmem/trace/codec.hpp"
 #include "ecohmem/trace/trace_reader.hpp"
 
@@ -89,7 +90,9 @@ bom::ModuleTable synthesize_modules(std::string_view report_text) {
 
 const std::vector<std::string_view>& pseudo_rule_ids() {
   static const std::vector<std::string_view> ids = {
-      "trace-load", "trace-index-load", "sites-load", "report-load", "config-load", "online-load"};
+      "trace-load", "trace-index-load", "sites-load",
+      "report-load", "config-load",     "online-load",
+      "model-load"};
   return ids;
 }
 
@@ -100,9 +103,10 @@ Expected<LintResult> lint_files(const LintInputs& inputs, const CheckOptions& op
 Expected<LintResult> lint_files(const RuleRegistry& registry, const LintInputs& inputs,
                                 const CheckOptions& options) {
   if (inputs.trace_path.empty() && inputs.sites_path.empty() && inputs.report_path.empty() &&
-      inputs.config_path.empty() && inputs.online_path.empty()) {
+      inputs.config_path.empty() && inputs.online_path.empty() && inputs.model_path.empty()) {
     return unexpected(
-        "nothing to lint: provide --trace, --sites, --report, --config and/or --online-policy");
+        "nothing to lint: provide --trace, --sites, --report, --config, --online-policy "
+        "and/or --model");
   }
 
   std::vector<Diagnostic> load_diags;
@@ -117,6 +121,7 @@ Expected<LintResult> lint_files(const RuleRegistry& registry, const LintInputs& 
   std::optional<flexmalloc::ParsedReport> report;
   std::optional<advisor::AdvisorConfig> config;
   std::optional<Config> online;
+  std::optional<learn::Model> model;
   std::optional<bom::ModuleTable> synthetic_modules;
   std::optional<TraceIndexView> trace_index;
 
@@ -207,6 +212,19 @@ Expected<LintResult> lint_files(const RuleRegistry& registry, const LintInputs& 
       // bad value does not hide the others (unlike the strict loader).
       online.emplace(std::move(*file));
       ctx.online = &*online;
+    }
+  }
+
+  if (!inputs.model_path.empty()) {
+    ctx.model_name = inputs.model_path;
+    // The strict loader mirrors the trace loaders (absolute byte offsets,
+    // checksum); its message is the diagnostic.
+    auto loaded = learn::load_model(inputs.model_path);
+    if (loaded) {
+      model.emplace(std::move(*loaded));
+      ctx.model = &*model;
+    } else {
+      load_diags.push_back(error("model-load", inputs.model_path, loaded.error()));
     }
   }
 

@@ -32,6 +32,7 @@ struct LintInputs {
   std::string report_path;  ///< advisor placement report
   std::string config_path;  ///< advisor configuration (.ini)
   std::string online_path;  ///< online placement policy (.ini)
+  std::string model_path;   ///< ranking model (.ehm, ecohmem-train output)
 };
 
 struct LintResult {

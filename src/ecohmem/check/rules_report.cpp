@@ -16,6 +16,7 @@
 #include "ecohmem/bom/format.hpp"
 #include "ecohmem/check/rule.hpp"
 #include "ecohmem/common/strings.hpp"
+#include "ecohmem/learn/model.hpp"
 
 namespace ecohmem::check::rules {
 
@@ -292,6 +293,71 @@ class ReportBwClassesRule final : public NamedRule {
   }
 };
 
+class AdvisorPolicyModelRule final : public NamedRule {
+ public:
+  AdvisorPolicyModelRule()
+      : NamedRule("advisor-policy-model",
+                  "a learned-policy report's '# model = <hash>' stamp must name the "
+                  "ranking model it was produced with") {}
+
+  [[nodiscard]] bool applicable(const CheckContext& ctx) const override {
+    // Something to check: a stamped report, or a model to check one against.
+    return (ctx.report != nullptr && !ctx.report->model_stamp.empty()) ||
+           (ctx.report != nullptr && ctx.model != nullptr);
+  }
+
+  [[nodiscard]] std::vector<Diagnostic> run(const CheckContext& ctx) const override {
+    std::vector<Diagnostic> out;
+    const std::string& stamp = ctx.report->model_stamp;
+
+    if (!stamp.empty() && !well_formed(stamp)) {
+      out.push_back(error(std::string(id_), ctx.report_name,
+                          "malformed model stamp '" + stamp +
+                              "' (expected 0x<hex>, the content hash ecohmem-advisor "
+                              "--policy learned writes)"));
+      return out;
+    }
+
+    if (ctx.model == nullptr) {
+      // Stamp present, nothing to compare against: not a defect, but the
+      // stamp is unverified — say so for CI logs.
+      out.push_back(info(std::string(id_), ctx.report_name,
+                         "model stamp " + stamp +
+                             " cannot be verified (re-run with --model <model.ehm>)"));
+      return out;
+    }
+
+    const std::string expected = learn::model_content_hash(*ctx.model);
+    if (stamp.empty()) {
+      // A model was supplied but the report carries no stamp: the report
+      // came from the greedy policy (or a pre-learned advisor) and does
+      // not belong to this model.
+      out.push_back(warning(std::string(id_), ctx.report_name,
+                            "report has no model stamp; it was not produced by "
+                            "--policy learned with " + ctx.model_name +
+                                " (expected stamp " + expected + ")"));
+    } else if (stamp != expected) {
+      out.push_back(error(std::string(id_), ctx.report_name,
+                          "model stamp " + stamp + " does not match " + ctx.model_name +
+                              " (content hash " + expected +
+                              "); the report was produced with a different model"));
+    }
+    return out;
+  }
+
+ private:
+  static bool well_formed(const std::string& stamp) {
+    if (stamp.size() <= 2 || stamp.size() > 18) return false;
+    if (stamp[0] != '0' || stamp[1] != 'x') return false;
+    for (std::size_t i = 2; i < stamp.size(); ++i) {
+      const char c = stamp[i];
+      const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+      if (!hex) return false;
+    }
+    return true;
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Rule>> report_rules() {
@@ -303,6 +369,7 @@ std::vector<std::unique_ptr<Rule>> report_rules() {
   rules.push_back(std::make_unique<ReportDuplicateEntryRule>());
   rules.push_back(std::make_unique<ReportSiteInTraceRule>());
   rules.push_back(std::make_unique<ReportBwClassesRule>());
+  rules.push_back(std::make_unique<AdvisorPolicyModelRule>());
   return rules;
 }
 

@@ -34,6 +34,8 @@ Expected<ParsedReport> parse_report(std::string_view text, const bom::ModuleTabl
           format_known = true;
         } else if (key == "fallback") {
           report.fallback_tier = std::string(value);
+        } else if (key == "model") {
+          report.model_stamp = std::string(value);
         }
       }
       continue;

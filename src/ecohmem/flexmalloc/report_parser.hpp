@@ -30,6 +30,12 @@ struct ParsedReport {
   std::vector<ReportEntry> entries;
   std::string fallback_tier;
   bool is_bom = true;
+
+  /// `# model = <hash>` header stamp: the content hash of the ranking
+  /// model that produced the placement (`--policy learned`). Empty for
+  /// heuristic reports. Informational to FlexMalloc; ecohmem-lint's
+  /// advisor-policy-model rule verifies it against the model file.
+  std::string model_stamp;
 };
 
 /// Parses report text. BOM frames are resolved against `modules`; an

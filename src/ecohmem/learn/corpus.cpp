@@ -1,0 +1,258 @@
+#include "ecohmem/learn/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ecohmem/apps/apps.hpp"
+#include "ecohmem/core/ecohmem.hpp"
+
+namespace ecohmem::learn {
+
+namespace {
+
+/// Pair weight from the relative total_ns gap between the two outcomes:
+/// 1.0 for a barely-significant gap, saturating at 4.0 for decisive ones.
+double gap_weight(double better_ns, double worse_ns) {
+  const double gap = (worse_ns - better_ns) / better_ns;
+  return 1.0 + std::min(gap * 20.0, 3.0);
+}
+
+/// Row index of `stack` in the feature matrix (matrix order = site order).
+const FeatureRow* row_of(const FeatureMatrix& features, trace::StackId stack) {
+  for (std::size_t i = 0; i < features.stacks.size(); ++i) {
+    if (features.stacks[i] == stack) return &features.rows[i];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Expected<Corpus> build_corpus(const std::vector<std::string>& apps,
+                              const memsim::MemorySystem& system,
+                              const CorpusOptions& options) {
+  if (apps.empty()) return unexpected("build_corpus: empty app list");
+  const std::vector<std::string> known = apps::app_names();
+  for (const auto& name : apps) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      return unexpected("build_corpus: unknown app '" + name + "'");
+    }
+  }
+  if (system.tier_count() < 2) {
+    return unexpected("build_corpus: need a fast tier and a fallback tier");
+  }
+  const std::string dram_name = system.tier(0).name();
+  const std::string pmem_name = system.tier(system.fallback_index()).name();
+
+  Corpus corpus;
+  corpus.apps = apps;
+
+  apps::AppOptions app_opt;
+  app_opt.iterations = options.app_iterations;
+  app_opt.scale = options.app_scale;
+
+  for (const auto& app_name : apps) {
+    const runtime::Workload workload = apps::make_app(app_name, app_opt);
+
+    core::WorkflowOptions wf_opt;
+    wf_opt.dram_limit = options.dram_limit;
+    wf_opt.store_coef = options.store_coef;
+    const auto wf = core::run_workflow(workload, system, wf_opt);
+    if (!wf) return unexpected("build_corpus: " + app_name + ": " + wf.error());
+
+    const analyzer::AnalysisResult& analysis = wf->analysis;
+    const FeatureMatrix features = extract_features(analysis);
+
+    AppCorpusStats stats;
+    stats.app = app_name;
+    stats.sites = analysis.sites.size();
+
+    // ---- 0. All-PMem baseline: the reference point that turns each solo
+    // probe's total_ns into a DRAM *gain* for that one site.
+    double base_ns = 0.0;
+    {
+      advisor::Placement probe;
+      probe.fallback_tier = pmem_name;
+      for (const auto& site : analysis.sites) {
+        advisor::PlacementDecision d;
+        d.stack = site.stack;
+        d.callstack = site.callstack;
+        d.tier = pmem_name;
+        d.footprint = advisor::site_footprint(site, advisor::FootprintMode::kPeakLive);
+        probe.decisions.push_back(std::move(d));
+      }
+      const auto metrics =
+          core::run_with_placement(workload, system, probe, options.dram_limit);
+      if (!metrics) {
+        return unexpected("build_corpus: " + app_name + " base probe: " + metrics.error());
+      }
+      base_ns = static_cast<double>(metrics->total_ns);
+      ++stats.sim_runs;
+    }
+
+    // ---- 1. Solo probes: each candidate site alone in DRAM.
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < analysis.sites.size(); ++i) {
+      const analyzer::SiteRecord& s = analysis.sites[i];
+      const Bytes fp = advisor::site_footprint(s, advisor::FootprintMode::kPeakLive);
+      if (s.load_misses + s.store_misses <= 0.0) continue;
+      if (fp > options.dram_limit) continue;
+      candidates.push_back(i);
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const auto& sa = analysis.sites[a];
+                       const auto& sb = analysis.sites[b];
+                       return sa.load_misses + sa.store_misses >
+                              sb.load_misses + sb.store_misses;
+                     });
+    if (candidates.size() > options.max_single_sites) {
+      candidates.resize(options.max_single_sites);
+    }
+
+    std::vector<double> solo_ns(candidates.size(), 0.0);
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const analyzer::SiteRecord& solo = analysis.sites[candidates[c]];
+      advisor::Placement probe;
+      probe.fallback_tier = pmem_name;
+      for (const auto& site : analysis.sites) {
+        advisor::PlacementDecision d;
+        d.stack = site.stack;
+        d.callstack = site.callstack;
+        d.tier = site.stack == solo.stack ? dram_name : pmem_name;
+        d.footprint = advisor::site_footprint(site, advisor::FootprintMode::kPeakLive);
+        probe.decisions.push_back(std::move(d));
+      }
+      const auto metrics =
+          core::run_with_placement(workload, system, probe, options.dram_limit);
+      if (!metrics) {
+        return unexpected("build_corpus: " + app_name + " solo probe: " + metrics.error());
+      }
+      solo_ns[c] = static_cast<double>(metrics->total_ns);
+      ++stats.sim_runs;
+    }
+
+    // Label by gain *per byte of DRAM consumed*, not raw gain: under a
+    // binding capacity the knapsack-correct ranking is value density,
+    // and labelling by absolute gain would teach the ranker to promote
+    // huge mediocre objects over small hot ones. Packing exceptions
+    // (a big object worth evicting several dense small ones for) are
+    // covered by the promote probes below, which compare whole
+    // placements through memsim.
+    std::vector<double> solo_density(candidates.size(), 0.0);
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const Bytes fp = advisor::site_footprint(analysis.sites[candidates[c]],
+                                               advisor::FootprintMode::kPeakLive);
+      solo_density[c] =
+          (base_ns - solo_ns[c]) / static_cast<double>(std::max<Bytes>(fp, 1));
+    }
+    for (std::size_t a = 0; a < candidates.size(); ++a) {
+      for (std::size_t b = a + 1; b < candidates.size(); ++b) {
+        const std::size_t winner = solo_density[a] >= solo_density[b] ? a : b;
+        const std::size_t loser = winner == a ? b : a;
+        const double scale =
+            std::max(std::abs(solo_density[winner]), std::abs(solo_density[loser]));
+        if (scale <= 0.0) continue;
+        const double gap = (solo_density[winner] - solo_density[loser]) / scale;
+        if (gap < options.min_rel_gap) continue;
+        PairSample p;
+        p.better = features.rows[candidates[winner]];
+        p.worse = features.rows[candidates[loser]];
+        p.weight = 1.0 + std::min(gap * 2.0, 3.0);
+        corpus.pairs.push_back(p);
+        ++stats.pairs;
+      }
+    }
+
+    // ---- 2. Promote probes: pull a fallback site into DRAM, evicting
+    // as many of the weakest-density DRAM members as capacity demands,
+    // and replay the whole perturbed placement through memsim. These are
+    // the packing experiments solo probes cannot express: whether one
+    // big object is worth several dense small ones. Each probe labels
+    // the promoted site against every evicted site, in the direction the
+    // simulated runtime actually moved.
+    const advisor::Placement& greedy = wf->placement;
+    const double greedy_ns = static_cast<double>(wf->production_metrics.total_ns);
+
+    std::vector<std::size_t> dram_members;
+    std::vector<std::size_t> fallback_members;
+    for (std::size_t i = 0; i < greedy.decisions.size(); ++i) {
+      if (greedy.decisions[i].tier == dram_name) dram_members.push_back(i);
+      else if (greedy.decisions[i].tier == pmem_name) fallback_members.push_back(i);
+    }
+    // Weakest DRAM members first (ascending decision value) — the
+    // cheapest evictions; biggest fallback members first — the promotions
+    // greedy's per-byte density ranking most plausibly got wrong.
+    std::stable_sort(dram_members.begin(), dram_members.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return greedy.decisions[a].density < greedy.decisions[b].density;
+                     });
+    std::stable_sort(fallback_members.begin(), fallback_members.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return greedy.decisions[a].footprint > greedy.decisions[b].footprint;
+                     });
+
+    Bytes dram_used = 0;
+    for (const std::size_t i : dram_members) dram_used += greedy.decisions[i].footprint;
+
+    std::size_t probes = 0;
+    for (const std::size_t pi : fallback_members) {
+      if (probes >= options.max_swaps) break;
+      const advisor::PlacementDecision& promote = greedy.decisions[pi];
+      const FeatureRow* promote_row = row_of(features, promote.stack);
+      if (promote_row == nullptr) continue;
+      if (promote.footprint > options.dram_limit) continue;
+
+      std::vector<std::size_t> evicted;
+      Bytes freed = 0;
+      for (const std::size_t di : dram_members) {
+        if (dram_used - freed + promote.footprint <= options.dram_limit) break;
+        evicted.push_back(di);
+        freed += greedy.decisions[di].footprint;
+      }
+      if (dram_used - freed + promote.footprint > options.dram_limit) continue;
+      // Fits without evicting anything: greedy skipped it as worthless
+      // (zero miss density), not for capacity — nothing to learn here.
+      if (evicted.empty()) continue;
+
+      advisor::Placement perturbed = greedy;
+      for (const std::size_t di : evicted) perturbed.set_tier(di, pmem_name);
+      perturbed.set_tier(pi, dram_name);
+      const auto metrics =
+          core::run_with_placement(workload, system, perturbed, options.dram_limit);
+      if (!metrics) {
+        return unexpected("build_corpus: " + app_name + " promote probe: " +
+                          metrics.error());
+      }
+      const double probe_ns = static_cast<double>(metrics->total_ns);
+      ++stats.sim_runs;
+      ++probes;
+
+      const double gap = std::abs(probe_ns - greedy_ns) / std::max(greedy_ns, 1.0);
+      if (gap < options.min_rel_gap) continue;
+      const bool promote_won = probe_ns < greedy_ns;
+      const double weight = promote_won ? gap_weight(probe_ns, greedy_ns)
+                                        : gap_weight(greedy_ns, probe_ns);
+      for (const std::size_t di : evicted) {
+        const FeatureRow* evicted_row = row_of(features, greedy.decisions[di].stack);
+        if (evicted_row == nullptr) continue;
+        PairSample p;
+        p.better = promote_won ? *promote_row : *evicted_row;
+        p.worse = promote_won ? *evicted_row : *promote_row;
+        p.weight = weight;
+        corpus.pairs.push_back(p);
+        ++stats.pairs;
+      }
+    }
+
+    corpus.sim_runs += stats.sim_runs;
+    corpus.per_app.push_back(std::move(stats));
+  }
+
+  if (corpus.pairs.empty()) {
+    return unexpected("build_corpus: no informative pairs (all probes tied)");
+  }
+  return corpus;
+}
+
+}  // namespace ecohmem::learn

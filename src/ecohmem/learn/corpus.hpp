@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file corpus.hpp
+/// Training-label construction from memsim outcomes (docs/learned.md).
+///
+/// For each corpus app the builder profiles and analyzes the workload
+/// once, then enumerates placement perturbations and scores each with
+/// the memory simulator:
+///
+///   1. *Solo probes*: one site alone in DRAM, everything else on the
+///      fallback tier, against an all-fallback baseline. Each probe
+///      yields the site's DRAM gain; sites are compared by gain *per
+///      byte* — the knapsack-correct value density under a binding
+///      capacity — independent of greedy.
+///   2. *Promote probes*: starting from the greedy placement, pull a
+///      fallback site into DRAM and evict as many of the weakest-density
+///      DRAM members as capacity demands. These are the packing
+///      experiments value density cannot express: whether one big object
+///      is worth several dense small ones. The simulated runtime labels
+///      the promoted site against every evicted site.
+///
+/// Each preference becomes a `PairSample` whose weight grows with the
+/// relative total_ns gap, so decisive outcomes teach harder than noise.
+/// Everything is deterministic: fixed profile seeds, fixed enumeration
+/// order, no clocks.
+
+#include <string>
+#include <vector>
+
+#include "ecohmem/common/expected.hpp"
+#include "ecohmem/learn/ranker.hpp"
+#include "ecohmem/memsim/tier.hpp"
+
+namespace ecohmem::learn {
+
+struct CorpusOptions {
+  /// DRAM budget for the greedy baseline and capacity checks.
+  Bytes dram_limit = 12ull * 1024 * 1024 * 1024;
+
+  /// Store-miss coefficient for the greedy baseline (bench convention).
+  double store_coef = 0.125;
+
+  /// Solo probes: at most this many sites per app (largest traffic first).
+  std::size_t max_single_sites = 16;
+
+  /// Promote probes: at most this many per app (biggest fallback
+  /// members first).
+  std::size_t max_swaps = 12;
+
+  /// Relative total_ns gap below which two outcomes are treated as a tie
+  /// (no pair emitted; memsim noise floor).
+  double min_rel_gap = 1e-4;
+
+  /// Forwarded to the app models (0/1.0 = each app's defaults).
+  int app_iterations = 0;
+  double app_scale = 1.0;
+};
+
+/// Per-app accounting, reported by ecohmem-train.
+struct AppCorpusStats {
+  std::string app;
+  std::size_t sites = 0;
+  std::size_t pairs = 0;
+  std::size_t sim_runs = 0;
+};
+
+struct Corpus {
+  std::vector<PairSample> pairs;
+  std::vector<std::string> apps;
+  std::vector<AppCorpusStats> per_app;
+  std::size_t sim_runs = 0;  ///< total memsim evaluations
+};
+
+/// Builds training pairs for `apps` (names accepted by `apps::make_app`)
+/// on `system`. Fails on an unknown app name or a workflow error.
+[[nodiscard]] Expected<Corpus> build_corpus(const std::vector<std::string>& apps,
+                                            const memsim::MemorySystem& system,
+                                            const CorpusOptions& options = {});
+
+}  // namespace ecohmem::learn

@@ -1,0 +1,103 @@
+#include "ecohmem/learn/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecohmem::learn {
+
+namespace {
+
+/// log2(1 + x), the monotone squash used for all heavy-tailed columns.
+/// Exact for x = 0 and deterministic across platforms for the IEEE
+/// doubles the analyzer produces.
+double log_squash(double x) { return std::log2(1.0 + std::max(x, 0.0)); }
+
+/// x / denom with a zero-safe denominator.
+double share(double x, double denom) { return denom > 0.0 ? x / denom : 0.0; }
+
+}  // namespace
+
+const std::array<std::string_view, kFeatureCount>& feature_names() {
+  static const std::array<std::string_view, kFeatureCount> names = {
+      "log_footprint_bytes",     // log2(1 + max(peak_live, max_size))
+      "log_max_size_bytes",      // log2(1 + max_size)
+      "log_alloc_count",         // log2(1 + alloc_count)
+      "log_load_misses",         // log2(1 + load_misses)
+      "log_store_misses",        // log2(1 + store_misses)
+      "log_miss_density",        // log2(1 + (loads+stores)/footprint)
+      "miss_share",              // (loads+stores) / trace total
+      "footprint_share",         // footprint / sum of all footprints
+      "log_avg_load_latency_ns", // log2(1 + avg sampled load latency)
+      "lifetime_fraction",       // total lifetime / trace duration
+      "log_mean_lifetime_ns",    // log2(1 + mean window duration)
+      "exec_bw_share",           // site demand bw / observed system peak
+      "alloc_time_bw_share",     // system bw at allocation / observed peak
+      "has_writes",              // 0/1 store flag
+  };
+  return names;
+}
+
+std::uint64_t feature_schema_hash() {
+  // FNV-1a over the schema version digits and every column name, with a
+  // separator byte so renames cannot collide by concatenation.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](unsigned char byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  std::uint32_t v = kFeatureSchemaVersion;
+  for (int i = 0; i < 4; ++i) {
+    mix(static_cast<unsigned char>(v & 0xff));
+    v >>= 8;
+  }
+  for (const std::string_view name : feature_names()) {
+    for (const char c : name) mix(static_cast<unsigned char>(c));
+    mix('\n');
+  }
+  return h;
+}
+
+FeatureMatrix extract_features(const analyzer::AnalysisResult& analysis) {
+  FeatureMatrix m;
+  m.stacks.reserve(analysis.sites.size());
+  m.rows.reserve(analysis.sites.size());
+
+  // Per-trace normalizers, folded in site order (deterministic).
+  double total_misses = 0.0;
+  double total_footprint = 0.0;
+  for (const auto& s : analysis.sites) {
+    total_misses += s.load_misses + s.store_misses;
+    total_footprint +=
+        static_cast<double>(std::max(s.peak_live_bytes, s.max_size));
+  }
+  const double trace_ns = static_cast<double>(analysis.trace_end);
+  const double peak_bw = analysis.observed_peak_bw_gbs;
+
+  for (const auto& s : analysis.sites) {
+    const double footprint =
+        static_cast<double>(std::max(s.peak_live_bytes, s.max_size));
+    const double misses = s.load_misses + s.store_misses;
+
+    FeatureRow row;
+    row[0] = log_squash(footprint);
+    row[1] = log_squash(static_cast<double>(s.max_size));
+    row[2] = log_squash(static_cast<double>(s.alloc_count));
+    row[3] = log_squash(s.load_misses);
+    row[4] = log_squash(s.store_misses);
+    row[5] = log_squash(share(misses, footprint));
+    row[6] = share(misses, total_misses);
+    row[7] = share(footprint, total_footprint);
+    row[8] = log_squash(s.avg_load_latency_ns);
+    row[9] = std::min(share(s.total_lifetime_ns, trace_ns), 1.0);
+    row[10] = log_squash(s.mean_lifetime_ns);
+    row[11] = std::min(share(s.exec_bw_gbs, peak_bw), 1.0);
+    row[12] = std::min(share(s.alloc_time_system_bw_gbs, peak_bw), 1.0);
+    row[13] = s.has_writes ? 1.0 : 0.0;
+
+    m.stacks.push_back(s.stack);
+    m.rows.push_back(row);
+  }
+  return m;
+}
+
+}  // namespace ecohmem::learn

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file model.hpp
+/// Versioned on-disk format for trained ranking models (docs/learned.md).
+///
+/// Layout (all integers little-endian, doubles as IEEE-754 bit patterns):
+///
+///   offset  size  field
+///   0       8     magic "ECOHMODL"
+///   8       4     u32 format version (kModelVersion)
+///   12      8     u64 feature schema hash (features.hpp)
+///   20      4     u32 feature count
+///   24      4     u32 corpus entry count C
+///   28      ...   C length-prefixed app names (u32 len + bytes each)
+///   ...     8*N   N f64 weights
+///   end-8   8     u64 FNV-1a checksum of every preceding byte
+///
+/// Loading is strict, mirroring the trace loaders: every failure carries
+/// the absolute byte offset it was detected at, any truncated prefix is
+/// rejected, the schema hash must match the running binary's
+/// `feature_schema_hash()`, and the trailing checksum must verify.
+
+#include <string>
+
+#include "ecohmem/common/expected.hpp"
+#include "ecohmem/learn/ranker.hpp"
+
+namespace ecohmem::learn {
+
+inline constexpr char kModelMagic[8] = {'E', 'C', 'O', 'H', 'M', 'O', 'D', 'L'};
+inline constexpr std::uint32_t kModelVersion = 1;
+
+/// Serializes `model` to the documented byte layout.
+[[nodiscard]] std::string encode_model(const Model& model);
+
+/// Strictly decodes a model from bytes; errors name absolute offsets.
+[[nodiscard]] Expected<Model> decode_model(std::string_view bytes);
+
+/// Writes `model` to `path` (encode + single write; fails on IO error).
+[[nodiscard]] Status save_model(const Model& model, const std::string& path);
+
+/// Reads and strictly decodes a model file.
+[[nodiscard]] Expected<Model> load_model(const std::string& path);
+
+/// Stable hex digest of the model's serialized bytes. Stamped into
+/// placement reports (`# model = <hash>`) so ecohmem-lint can verify a
+/// report against the model file that produced it.
+[[nodiscard]] std::string model_content_hash(const Model& model);
+
+}  // namespace ecohmem::learn

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file policy.hpp
+/// The `--policy learned` advisor: rank sites with a trained model, then
+/// fill tiers in ranked order under the *same* capacity accounting as
+/// the greedy knapsack (docs/learned.md).
+///
+/// Only the site ordering changes relative to `place_by_density` — the
+/// footprint charging, per-tier limits, zero-miss fallback rule and
+/// leftover handling are identical, so the emitted placement report is
+/// byte-compatible with everything downstream (FlexMalloc, lint, serve).
+
+#include "ecohmem/advisor/knapsack.hpp"
+#include "ecohmem/learn/model.hpp"
+
+namespace ecohmem::learn {
+
+/// Places the analyzed sites by model rank. `decision.density` records
+/// the model score (diagnostics, like greedy's density column). Fails on
+/// an empty tier list or a model whose schema hash does not match this
+/// build.
+[[nodiscard]] Expected<advisor::Placement> place_by_ranker(
+    const analyzer::AnalysisResult& analysis, const advisor::AdvisorConfig& config,
+    const Model& model);
+
+}  // namespace ecohmem::learn

@@ -1,0 +1,102 @@
+#include "ecohmem/learn/ranker.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "ecohmem/common/rng.hpp"
+
+namespace ecohmem::learn {
+
+Expected<TrainStats> train_pairwise(Model& model,
+                                    const std::vector<PairSample>& pairs,
+                                    const TrainOptions& options) {
+  if (pairs.empty()) return unexpected("train_pairwise: empty pair set");
+  if (options.epochs <= 0)
+    return unexpected("train_pairwise: epochs must be positive");
+  if (!(options.learning_rate > 0.0) || !std::isfinite(options.learning_rate))
+    return unexpected("train_pairwise: learning_rate must be positive and finite");
+  if (options.l2 < 0.0 || !std::isfinite(options.l2))
+    return unexpected("train_pairwise: l2 must be non-negative and finite");
+  for (const auto& p : pairs) {
+    if (!(p.weight > 0.0) || !std::isfinite(p.weight))
+      return unexpected("train_pairwise: pair weight must be positive and finite");
+    for (std::size_t i = 0; i < kFeatureCount; ++i) {
+      if (!std::isfinite(p.better[i]) || !std::isfinite(p.worse[i]))
+        return unexpected("train_pairwise: non-finite feature value in pair set");
+    }
+  }
+
+  model.schema_hash = feature_schema_hash();
+  model.weights.fill(0.0);
+
+  // Feature scales are wildly mixed (log-bytes ~30, shares ~0..1). A
+  // single learning rate on raw diffs lets the large-scale columns
+  // dominate the gradient, so standardize each diff column to unit RMS
+  // for training and fold the scale back into the stored weights at the
+  // end — exact for a pairwise linear ranker, since score differences
+  // w·(a-b) = (w/s)·(s*(a-b)) are unchanged.
+  std::array<double, kFeatureCount> scale{};
+  for (const auto& p : pairs) {
+    for (std::size_t i = 0; i < kFeatureCount; ++i) {
+      const double d = p.better[i] - p.worse[i];
+      scale[i] += d * d;
+    }
+  }
+  for (auto& s : scale) {
+    s = std::sqrt(s / static_cast<double>(pairs.size()));
+    if (s < 1e-12) s = 1.0;  // constant column: leave raw (weight stays 0-ish)
+  }
+
+  std::vector<std::size_t> order(pairs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  Rng rng(options.seed);
+  double mean_loss = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // Fisher-Yates with the seeded Rng: the visit order — and therefore
+    // the final weights — depends only on (pairs, options).
+    for (std::size_t i = order.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+      std::swap(order[i - 1], order[j]);
+    }
+
+    double loss = 0.0;
+    for (const std::size_t idx : order) {
+      const PairSample& p = pairs[idx];
+      double margin = 0.0;
+      for (std::size_t i = 0; i < kFeatureCount; ++i)
+        margin += model.weights[i] * (p.better[i] - p.worse[i]) / scale[i];
+
+      // d/dm log(1 + exp(-m)) = -sigmoid(-m); clamp exp input to keep
+      // the loss finite for very confident pairs.
+      const double m = std::min(std::max(margin, -50.0), 50.0);
+      loss += p.weight * std::log1p(std::exp(-m));
+      const double g = p.weight / (1.0 + std::exp(m));  // sigmoid(-m)
+
+      for (std::size_t i = 0; i < kFeatureCount; ++i) {
+        const double diff = (p.better[i] - p.worse[i]) / scale[i];
+        model.weights[i] +=
+            options.learning_rate * (g * diff - options.l2 * model.weights[i]);
+      }
+    }
+    mean_loss = loss / static_cast<double>(pairs.size());
+  }
+
+  // Fold the standardization into the weights so Model::score applies
+  // directly to raw feature rows.
+  for (std::size_t i = 0; i < kFeatureCount; ++i) model.weights[i] /= scale[i];
+
+  TrainStats stats;
+  stats.pairs = pairs.size();
+  stats.epochs = options.epochs;
+  stats.final_loss = mean_loss;
+  std::size_t correct = 0;
+  for (const auto& p : pairs) {
+    if (model.score(p.better) > model.score(p.worse)) ++correct;
+  }
+  stats.pair_accuracy =
+      static_cast<double>(correct) / static_cast<double>(pairs.size());
+  return stats;
+}
+
+}  // namespace ecohmem::learn

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file ranker.hpp
+/// Pairwise learning-to-rank over site features (docs/learned.md).
+///
+/// The model is a linear scorer w·x over the feature columns of
+/// features.hpp; training minimizes the pairwise logistic loss
+///
+///   L(w) = sum over preference pairs (a better than b) of
+///          log(1 + exp(-(w·x_a - w·x_b))) + (l2/2)|w|^2
+///
+/// by plain SGD. Pair visit order is shuffled per epoch with an
+/// explicitly seeded `ecohmem::Rng` (the srclint det-rand contract), so
+/// training is bit-reproducible: same pairs + same options = same
+/// weights. Scores are only ever *compared*, never interpreted, so the
+/// model has no bias term (it cancels in every difference).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ecohmem/common/expected.hpp"
+#include "ecohmem/learn/features.hpp"
+
+namespace ecohmem::learn {
+
+/// A trained linear ranking model.
+struct Model {
+  /// Pinned feature schema (feature_schema_hash() at training time).
+  std::uint64_t schema_hash = 0;
+
+  /// One weight per feature column.
+  std::array<double, kFeatureCount> weights{};
+
+  /// Names of the workloads the model was trained on (provenance only;
+  /// stored in the model file, never used for scoring).
+  std::vector<std::string> corpus;
+
+  /// Ranking score of one feature row (higher = more DRAM-worthy).
+  [[nodiscard]] double score(const FeatureRow& x) const {
+    double s = 0.0;
+    for (std::size_t i = 0; i < kFeatureCount; ++i) s += weights[i] * x[i];
+    return s;
+  }
+};
+
+/// One training preference: `better` should outscore `worse`. `weight`
+/// scales the pair's gradient (decisive memsim gaps teach harder).
+struct PairSample {
+  FeatureRow better{};
+  FeatureRow worse{};
+  double weight = 1.0;
+};
+
+struct TrainOptions {
+  int epochs = 400;
+  double learning_rate = 0.05;
+  double l2 = 1e-4;
+  std::uint64_t seed = 0x5eed;
+};
+
+struct TrainStats {
+  std::size_t pairs = 0;        ///< training pairs seen
+  int epochs = 0;               ///< epochs run
+  double final_loss = 0.0;      ///< mean pairwise logistic loss, last epoch
+  double pair_accuracy = 0.0;   ///< fraction of pairs ranked correctly
+};
+
+/// Trains `model.weights` from scratch on `pairs`. Fails on an empty
+/// pair set or non-finite/invalid options. Stamps `model.schema_hash`.
+[[nodiscard]] Expected<TrainStats> train_pairwise(Model& model,
+                                                  const std::vector<PairSample>& pairs,
+                                                  const TrainOptions& options = {});
+
+}  // namespace ecohmem::learn

@@ -104,7 +104,7 @@ TEST(AppRegistry, UnknownNameThrows) {
 }
 
 TEST(AppRegistry, NamesMatchBuilders) {
-  EXPECT_EQ(app_names().size(), 8u);
+  EXPECT_EQ(app_names().size(), 9u);
   for (const auto& name : app_names()) {
     EXPECT_EQ(make_app(name).name, name);
   }

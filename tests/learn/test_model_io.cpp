@@ -1,0 +1,129 @@
+// Model file format (model.hpp): exact round-trips, and strict rejection
+// of every malformed variant — most importantly every truncated prefix,
+// mirroring the trace-loader contract that no short read may ever pass.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "ecohmem/learn/model.hpp"
+
+namespace ecohmem::learn {
+namespace {
+
+Model sample_model() {
+  Model m;
+  m.schema_hash = feature_schema_hash();
+  for (std::size_t i = 0; i < kFeatureCount; ++i) {
+    m.weights[i] = (static_cast<double>(i) - 3.0) * 0.731;
+  }
+  m.corpus = {"minife", "large-hot"};
+  return m;
+}
+
+void expect_same(const Model& a, const Model& b) {
+  EXPECT_EQ(a.schema_hash, b.schema_hash);
+  EXPECT_EQ(a.corpus, b.corpus);
+  for (std::size_t i = 0; i < kFeatureCount; ++i) {
+    std::uint64_t ua = 0;
+    std::uint64_t ub = 0;
+    std::memcpy(&ua, &a.weights[i], 8);
+    std::memcpy(&ub, &b.weights[i], 8);
+    EXPECT_EQ(ua, ub) << "weight " << i;
+  }
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(ModelCodec, EncodeDecodeRoundTrip) {
+  const Model m = sample_model();
+  const std::string bytes = encode_model(m);
+  const auto decoded = decode_model(bytes);
+  ASSERT_TRUE(decoded.has_value()) << decoded.error();
+  expect_same(m, *decoded);
+
+  // Identical scores, not just identical weights.
+  FeatureRow row{};
+  for (std::size_t i = 0; i < kFeatureCount; ++i) row[i] = 1.0 + static_cast<double>(i);
+  EXPECT_EQ(m.score(row), decoded->score(row));
+}
+
+TEST(ModelCodec, FileRoundTrip) {
+  const Model m = sample_model();
+  const std::string path = temp_path("ecohmem_model_roundtrip.ehm");
+  const auto saved = save_model(m, path);
+  ASSERT_TRUE(saved.ok()) << saved.error();
+  const auto loaded = load_model(path);
+  ASSERT_TRUE(loaded.has_value()) << loaded.error();
+  expect_same(m, *loaded);
+  std::filesystem::remove(path);
+}
+
+TEST(ModelCodec, EveryTruncatedPrefixIsRejected) {
+  const std::string bytes = encode_model(sample_model());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const auto decoded = decode_model(std::string_view(bytes).substr(0, len));
+    EXPECT_FALSE(decoded.has_value()) << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(ModelCodec, TrailingBytesAreRejected) {
+  std::string bytes = encode_model(sample_model());
+  bytes.push_back('\0');
+  EXPECT_FALSE(decode_model(bytes).has_value());
+}
+
+TEST(ModelCodec, BadMagicIsRejected) {
+  std::string bytes = encode_model(sample_model());
+  bytes[0] = 'X';
+  const auto decoded = decode_model(bytes);
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_NE(decoded.error().find("bad magic"), std::string::npos) << decoded.error();
+}
+
+TEST(ModelCodec, UnsupportedVersionIsRejected) {
+  std::string bytes = encode_model(sample_model());
+  bytes[8] = 99;  // u32 version LE, offset 8
+  const auto decoded = decode_model(bytes);
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_NE(decoded.error().find("version"), std::string::npos) << decoded.error();
+}
+
+TEST(ModelCodec, SchemaHashMismatchIsRejected) {
+  Model m = sample_model();
+  m.schema_hash ^= 1;
+  const auto decoded = decode_model(encode_model(m));
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_NE(decoded.error().find("schema"), std::string::npos) << decoded.error();
+}
+
+TEST(ModelCodec, CorruptedPayloadFailsTheChecksum) {
+  const Model m = sample_model();
+  std::string bytes = encode_model(m);
+  // Flip one bit in a weight (after the corpus table, before the
+  // trailing checksum); only the checksum can catch this.
+  bytes[bytes.size() - 16] ^= 0x01;
+  const auto decoded = decode_model(bytes);
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_NE(decoded.error().find("checksum"), std::string::npos) << decoded.error();
+}
+
+TEST(ModelCodec, MissingFileIsALoadError) {
+  EXPECT_FALSE(load_model(temp_path("ecohmem_model_does_not_exist.ehm")).has_value());
+}
+
+TEST(ModelCodec, ContentHashTracksTheBytes) {
+  const Model a = sample_model();
+  Model b = sample_model();
+  EXPECT_EQ(model_content_hash(a), model_content_hash(b));
+  b.weights[0] += 1.0;
+  EXPECT_NE(model_content_hash(a), model_content_hash(b));
+}
+
+}  // namespace
+}  // namespace ecohmem::learn

@@ -10,6 +10,7 @@
 //                   [--config <advisor.ini>] [--dram-limit 12GB]
 //                   [--store-coef 0.125] [--bandwidth-aware]
 //                   [--peak-pmem-bw GBS]
+//                   [--policy greedy|learned] [--model <model.ehm>]
 //
 // Without --config, a two-tier dram/pmem config is synthesized from
 // --dram-limit and --store-coef. The report is written in BOM format
@@ -24,6 +25,8 @@
 #include "ecohmem/advisor/report.hpp"
 #include "ecohmem/analyzer/aggregator.hpp"
 #include "ecohmem/analyzer/site_report.hpp"
+#include "ecohmem/learn/model.hpp"
+#include "ecohmem/learn/policy.hpp"
 #include "ecohmem/trace/trace_reader.hpp"
 
 using namespace ecohmem;
@@ -37,11 +40,35 @@ int main(int argc, char** argv) {
         "                       [--store-coef 0.125] [--bandwidth-aware]\n"
         "                       [--peak-pmem-bw GBS] [--dump-sites] [--csv <file>]\n"
         "                       [--threads N] [--salvage] [--min-coverage F]\n"
+        "                       [--policy greedy|learned] [--model <model.ehm>]\n"
         "  --threads N decodes v3 trace blocks and aggregates samples on N\n"
         "  workers; the analysis is bit-identical to --threads 1.\n"
         "  --salvage recovers what it can from a corrupt/truncated trace and\n"
-        "  fails only when coverage drops below --min-coverage (default 0.9).\n");
+        "  fails only when coverage drops below --min-coverage (default 0.9).\n"
+        "  --policy learned ranks sites with a trained model (ecohmem-train)\n"
+        "  instead of the greedy density heuristic; the report gains a\n"
+        "  '# model = <hash>' header stamp (docs/learned.md).\n");
     return args.has("help") ? 0 : 1;
+  }
+
+  const std::string policy = args.get("policy", "greedy");
+  if (policy != "greedy" && policy != "learned") {
+    return cli::fail_usage("--policy must be 'greedy' or 'learned', got '" + policy + "'");
+  }
+  if (policy == "learned" && !args.has("model")) {
+    return cli::fail_usage("--policy learned requires --model <model.ehm>");
+  }
+  if (policy != "learned" && args.has("model")) {
+    return cli::fail_usage("--model is only meaningful with --policy learned");
+  }
+  // An unusable --model value (missing, truncated or corrupt file) is a
+  // usage error like any other invalid flag value: exit 2, with the
+  // loader's offset-bearing message (docs/cli.md).
+  learn::Model model;
+  if (policy == "learned") {
+    auto loaded = learn::load_model(args.get("model"));
+    if (!loaded) return cli::fail_usage("--model " + args.get("model") + ": " + loaded.error());
+    model = std::move(*loaded);
   }
 
   const auto threads = args.get_int_in_range("threads", 1, 1, 256);
@@ -100,8 +127,11 @@ int main(int argc, char** argv) {
                                                args.get_double("store-coef", 0.0));
   }
 
-  auto placement = advisor::place_by_density(analysis->sites, config);
+  auto placement = policy == "learned"
+                       ? learn::place_by_ranker(*analysis, config, model)
+                       : advisor::place_by_density(analysis->sites, config);
   if (!placement) return cli::fail(placement.error());
+  if (policy == "learned") placement->model_stamp = learn::model_content_hash(model);
 
   std::size_t swaps = 0;
   std::size_t streaming = 0;
@@ -124,8 +154,13 @@ int main(int argc, char** argv) {
     return cli::fail(s.error());
   }
 
-  std::printf("analyzed %zu sites (%zu events); placement written to %s\n",
-              analysis->sites.size(), bundle->trace.events.size(), args.get("out").c_str());
+  std::printf("analyzed %zu sites (%zu events); %s placement written to %s\n",
+              analysis->sites.size(), bundle->trace.events.size(), policy.c_str(),
+              args.get("out").c_str());
+  if (policy == "learned") {
+    std::printf("  model %s (%zu corpus apps)\n", placement->model_stamp.c_str(),
+                model.corpus.size());
+  }
   for (const auto& tier : config.tiers) {
     std::printf("  %-8s %10llu MB charged (limit %llu MB)\n", tier.name.c_str(),
                 static_cast<unsigned long long>(placement->footprint_in(tier.name) >> 20),

@@ -42,7 +42,8 @@ int list_rules() {
 /// command line to the same standard as the artifacts it checks.
 bool validate_usage(int argc, char** argv) {
   static constexpr std::string_view kValueFlags[] = {
-      "trace", "sites", "report", "config", "online-policy", "disable", "min-coverage"};
+      "trace", "sites", "report", "config", "online-policy", "model", "disable",
+      "min-coverage"};
   static constexpr std::string_view kBoolFlags[] = {"json", "list-rules", "quiet", "help"};
   const auto is_one_of = [](std::string_view name, const auto& set) {
     for (const auto& f : set) {
@@ -83,11 +84,13 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: ecohmem-lint [--trace <trace.trc>] [--sites <sites.csv>]\n"
         "                    [--report <report.txt>] [--config <advisor.ini>]\n"
-        "                    [--online-policy <policy.ini>]\n"
+        "                    [--online-policy <policy.ini>] [--model <model.ehm>]\n"
         "                    [--json] [--disable id1,id2] [--list-rules] [--quiet]\n"
         "                    [--min-coverage F]\n"
         "--min-coverage F: minimum fraction of declared events a salvaged\n"
         "trace must recover before trace-salvage-coverage errors (default 0.9).\n"
+        "--model: ranking model to verify a learned-policy report's\n"
+        "'# model = <hash>' stamp against (advisor-policy-model rule).\n"
         "exit: 0 clean, 1 error findings, 2 usage error\n");
     return 0;
   }
@@ -99,6 +102,7 @@ int main(int argc, char** argv) {
   inputs.report_path = args.get("report");
   inputs.config_path = args.get("config");
   inputs.online_path = args.get("online-policy");
+  inputs.model_path = args.get("model");
 
   check::CheckOptions options;
   if (args.has("disable")) {
