@@ -1,17 +1,23 @@
 // Trace pipeline benchmark: write / read / aggregate throughput of the
-// v2 compact stream format vs the v3 indexed block format, serial vs
-// parallel, on a >= 10M-event synthetic trace plus every Fig. 6 mini-app
-// profile. Records BENCH_trace_pipeline.json.
+// v2 compact stream format, the v3 indexed block format, and v3 with
+// compressed (bit-packed columnar) blocks, serial vs parallel, on a
+// >= 10M-event synthetic trace plus every Fig. 6 mini-app profile.
+// Records BENCH_trace_pipeline.json.
 //
 // Determinism contract: for each app the parallel aggregation must be
-// bit-identical to serial ("identical": true); any violation exits
-// nonzero. Wall-clock parallel speedup is hardware-dependent: on a
-// single-core host the 4-thread path cannot beat serial wall time and
-// the JSON records that honestly (hardware_concurrency is part of the
-// record, as in BENCH_parallel_replay.json); the >= 2x bound is then
-// asserted on per-block decode throughput — the v3 mmap block decode
-// against the v2 bounded-buffer istream decode — instead of on
-// aggregate wall time.
+// bit-identical to serial ("identical": true), and the compressed
+// trace must decode to events bit-identical to the uncompressed one;
+// any violation exits nonzero. Wall-clock parallel speedup is
+// hardware-dependent: on a single-core host the 4-thread path cannot
+// beat serial wall time and the JSON records that honestly
+// (hardware_concurrency is part of the record, as in
+// BENCH_parallel_replay.json); the >= 2x bound is then asserted on
+// per-block decode throughput — the v3 mmap block decode against the
+// v2 bounded-buffer istream decode — instead of on aggregate wall
+// time. Serial and parallel aggregation repeats are interleaved (after
+// an untimed warm-up pair) so allocator or cache drift cannot bias
+// either side; the zero-regression bound requires parallel >= 0.98x
+// serial even when thread clamping makes both run the same path.
 //
 // Usage: bench_trace_pipeline [--events N] [--threads N] [--repeats R]
 //                             [--out FILE] [--smoke]
@@ -27,6 +33,7 @@
 #include "ecohmem/analyzer/aggregator.hpp"
 #include "ecohmem/common/faultinject.hpp"
 #include "ecohmem/profiler/profiler.hpp"
+#include "ecohmem/trace/codec.hpp"
 #include "ecohmem/trace/trace_file.hpp"
 #include "ecohmem/trace/trace_reader.hpp"
 
@@ -171,14 +178,17 @@ struct SyntheticStats {
   std::uint64_t events = 0;
   std::uint64_t v2_bytes = 0;
   std::uint64_t v3_bytes = 0;
-  double v2_write_ms = 0, v3_write_ms = 0;
+  std::uint64_t v3c_bytes = 0;
+  double v2_write_ms = 0, v3_write_ms = 0, v3c_write_ms = 0;
   double v2_read_ms = 0, v3_read_serial_ms = 0, v3_read_parallel_ms = 0;
+  double v3c_read_ms = 0;
   double salvage_read_ms = 0;
   std::uint64_t salvage_recovered = 0, salvage_declared = 0;
-  double v2_stream_decode_ms = 0, v3_block_decode_ms = 0;
+  double v2_stream_decode_ms = 0, v3_block_decode_ms = 0, v3c_block_decode_ms = 0;
   double aggregate_serial_ms = 0, aggregate_parallel_ms = 0;
   bool aggregate_identical = false;
   bool read_identical = false;
+  bool compressed_identical = false;
 };
 
 struct AppRow {
@@ -225,6 +235,7 @@ int main(int argc, char** argv) {
 
   const std::string v2_path = "/tmp/bench_pipeline_v2.trc";
   const std::string v3_path = "/tmp/bench_pipeline_v3.trc";
+  const std::string v3c_path = "/tmp/bench_pipeline_v3c.trc";
 
   // ---------------------------------------------------------- synthetic
   SyntheticStats syn;
@@ -274,6 +285,24 @@ int main(int argc, char** argv) {
       }
     });
   }
+  syn.v3c_write_ms = best_of(repeats, [&] {
+    auto writer = trace::TraceBlockWriter::create(v3c_path, header.stacks, header.functions,
+                                                  modules, 1000.0, 64 * 1024, /*compress=*/true);
+    if (!writer) {
+      std::fprintf(stderr, "error: %s\n", writer.error().c_str());
+      std::exit(1);
+    }
+    Status status;
+    for (const trace::Event& e : full.events) {
+      status = writer->add(e);
+      if (!status.ok()) break;
+    }
+    if (status.ok()) status = writer->finish();
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.error().c_str());
+      std::exit(1);
+    }
+  });
   full = trace::Trace{};  // measured loads below re-read from disk
 
   const auto file_size = [](const std::string& path) -> std::uint64_t {
@@ -286,6 +315,7 @@ int main(int argc, char** argv) {
   };
   syn.v2_bytes = file_size(v2_path);
   syn.v3_bytes = file_size(v3_path);
+  syn.v3c_bytes = file_size(v3c_path);
 
   // Read throughput: v2 bulk load, v3 mmap serial, v3 mmap parallel.
   trace::TraceBundle v2_bundle;
@@ -317,6 +347,42 @@ int main(int argc, char** argv) {
   });
   syn.read_identical = v2_bundle.trace.events.size() == v3_bundle.trace.events.size() &&
                        v3_bundle.trace.events.size() == v3_parallel_bundle.trace.events.size();
+  v2_bundle = {};           // only their event counts are compared; drop the
+  v3_parallel_bundle = {};  // ~0.5 GB each before the compressed read below
+
+  // Compressed v3: same events through bit-packed columnar blocks (what
+  // `ecohmem-profile --compress` writes). Reads must flow through the
+  // same reader, and the decoded events must be bit-identical to the
+  // uncompressed read (verified below by re-encoding both streams).
+  const auto c_reader = trace::TraceReader::open(v3c_path);
+  if (!c_reader) {
+    std::fprintf(stderr, "error: %s\n", c_reader.error().c_str());
+    return 1;
+  }
+  {
+    trace::TraceBundle v3c_bundle;
+    syn.v3c_read_ms = best_of(repeats, [&] {
+      auto bundle = c_reader->read_all(1);
+      if (!bundle) std::exit((std::fprintf(stderr, "error: %s\n", bundle.error().c_str()), 1));
+      v3c_bundle = std::move(*bundle);
+    });
+    syn.compressed_identical =
+        v3c_bundle.trace.events.size() == v3_bundle.trace.events.size();
+    if (syn.compressed_identical) {
+      std::string ec, eu;
+      Ns lc = 0, lu = 0;
+      for (std::size_t i = 0; i < v3c_bundle.trace.events.size(); ++i) {
+        ec.clear();
+        eu.clear();
+        trace::codec::encode_event_compact(ec, v3c_bundle.trace.events[i], lc);
+        trace::codec::encode_event_compact(eu, v3_bundle.trace.events[i], lu);
+        if (ec != eu) {
+          syn.compressed_identical = false;
+          break;
+        }
+      }
+    }
+  }
 
   // Salvage read throughput: a damaged copy of the v3 trace (one block
   // garbled mid-body) recovered fail-soft with the same parallel decode.
@@ -375,10 +441,21 @@ int main(int argc, char** argv) {
     for (std::size_t b = 0; b < reader->block_count(); ++b) {
       max_block = std::max(max_block, static_cast<std::size_t>(reader->block(b).event_count));
     }
+    for (std::size_t b = 0; b < c_reader->block_count(); ++b) {
+      max_block = std::max(max_block, static_cast<std::size_t>(c_reader->block(b).event_count));
+    }
     scratch.resize(max_block);
     syn.v3_block_decode_ms = best_of(repeats, [&] {
       for (std::size_t b = 0; b < reader->block_count(); ++b) {
         if (const auto s = reader->decode_block_into(b, scratch.data()); !s.ok()) {
+          std::fprintf(stderr, "error: %s\n", s.error().c_str());
+          std::exit(1);
+        }
+      }
+    });
+    syn.v3c_block_decode_ms = best_of(repeats, [&] {
+      for (std::size_t b = 0; b < c_reader->block_count(); ++b) {
+        if (const auto s = c_reader->decode_block_into(b, scratch.data()); !s.ok()) {
           std::fprintf(stderr, "error: %s\n", s.error().c_str());
           std::exit(1);
         }
@@ -401,35 +478,60 @@ int main(int argc, char** argv) {
   }
 
   // Aggregate: serial vs parallel analysis of the same decoded trace.
+  // The timed repeats are interleaved, after one untimed warm-up pair:
+  // running all serial repeats before all parallel ones lets allocator
+  // and cache drift bias whichever side runs second (observed as a
+  // phantom ~10% "slowdown" on a clamped 1-core host where both sides
+  // execute the identical code path).
   analyzer::AnalysisResult serial_result;
-  syn.aggregate_serial_ms = best_of(repeats, [&] {
-    analyzer::AnalyzerOptions opt;
-    auto result = analyzer::analyze(v3_bundle.trace, opt);
-    if (!result) std::exit((std::fprintf(stderr, "error: %s\n", result.error().c_str()), 1));
-    serial_result = std::move(*result);
-  });
   analyzer::AnalysisResult parallel_result;
-  syn.aggregate_parallel_ms = best_of(repeats, [&] {
-    analyzer::AnalyzerOptions opt;
-    opt.threads = threads;
-    auto result = analyzer::analyze(v3_bundle.trace, opt);
-    if (!result) std::exit((std::fprintf(stderr, "error: %s\n", result.error().c_str()), 1));
-    parallel_result = std::move(*result);
-  });
+  {
+    analyzer::AnalyzerOptions serial_opt;
+    analyzer::AnalyzerOptions parallel_opt;
+    parallel_opt.threads = threads;
+    const auto run = [&](const analyzer::AnalyzerOptions& opt, analyzer::AnalysisResult& dst) {
+      auto result = analyzer::analyze(v3_bundle.trace, opt);
+      if (!result) std::exit((std::fprintf(stderr, "error: %s\n", result.error().c_str()), 1));
+      dst = std::move(*result);
+    };
+    run(serial_opt, serial_result);
+    run(parallel_opt, parallel_result);
+    for (int r = 0; r < repeats; ++r) {
+      auto start = Clock::now();
+      run(serial_opt, serial_result);
+      const double serial_ms = ms_since(start);
+      if (r == 0 || serial_ms < syn.aggregate_serial_ms) syn.aggregate_serial_ms = serial_ms;
+      start = Clock::now();
+      run(parallel_opt, parallel_result);
+      const double parallel_ms = ms_since(start);
+      if (r == 0 || parallel_ms < syn.aggregate_parallel_ms) {
+        syn.aggregate_parallel_ms = parallel_ms;
+      }
+    }
+  }
   syn.aggregate_identical = results_identical(serial_result, parallel_result);
 
-  std::printf("synthetic (%zu events): v2 %.1f MB, v3 %.1f MB\n", n_events,
-              static_cast<double>(syn.v2_bytes) / 1e6, static_cast<double>(syn.v3_bytes) / 1e6);
+  std::printf("synthetic (%zu events): v2 %.1f MB, v3 %.1f MB, v3 compressed %.1f MB (%.2fx)\n",
+              n_events, static_cast<double>(syn.v2_bytes) / 1e6,
+              static_cast<double>(syn.v3_bytes) / 1e6, static_cast<double>(syn.v3c_bytes) / 1e6,
+              syn.v3c_bytes > 0
+                  ? static_cast<double>(syn.v3_bytes) / static_cast<double>(syn.v3c_bytes)
+                  : 0.0);
   std::printf("  %-28s %10.1f ms %10.1f MB/s\n", "v2 write", syn.v2_write_ms,
               mbs(syn.v2_bytes, syn.v2_write_ms));
   std::printf("  %-28s %10.1f ms %10.1f MB/s\n", "v3 write (streamed)", syn.v3_write_ms,
               mbs(syn.v3_bytes, syn.v3_write_ms));
+  std::printf("  %-28s %10.1f ms %10.1f MB/s\n", "v3 write (compressed)", syn.v3c_write_ms,
+              mbs(syn.v3c_bytes, syn.v3c_write_ms));
   std::printf("  %-28s %10.1f ms %10.1f MB/s\n", "v2 read", syn.v2_read_ms,
               mbs(syn.v2_bytes, syn.v2_read_ms));
   std::printf("  %-28s %10.1f ms %10.1f MB/s\n", "v3 read (1 thread)", syn.v3_read_serial_ms,
               mbs(syn.v3_bytes, syn.v3_read_serial_ms));
   std::printf("  %-28s %10.1f ms %10.1f MB/s\n", "v3 read (N threads)", syn.v3_read_parallel_ms,
               mbs(syn.v3_bytes, syn.v3_read_parallel_ms));
+  std::printf("  %-28s %10.1f ms %10.1f MB/s  (%.1f MB/s plain-equiv, identical: %s)\n",
+              "v3 read (compressed)", syn.v3c_read_ms, mbs(syn.v3c_bytes, syn.v3c_read_ms),
+              mbs(syn.v3_bytes, syn.v3c_read_ms), syn.compressed_identical ? "yes" : "NO");
   std::printf("  %-28s %10.1f ms %10.1f MB/s  (%.1f%% coverage)\n", "v3 salvage read (damaged)",
               syn.salvage_read_ms, mbs(syn.v3_bytes, syn.salvage_read_ms),
               syn.salvage_declared > 0 ? 100.0 * static_cast<double>(syn.salvage_recovered) /
@@ -439,6 +541,10 @@ int main(int argc, char** argv) {
               syn.v2_stream_decode_ms, mbs(syn.v2_bytes, syn.v2_stream_decode_ms));
   std::printf("  %-28s %10.1f ms %10.1f MB/s\n", "v3 per-block mmap decode",
               syn.v3_block_decode_ms, mbs(syn.v3_bytes, syn.v3_block_decode_ms));
+  std::printf("  %-28s %10.1f ms %10.1f MB/s  (%.1f MB/s plain-equiv)\n",
+              "v3c per-block mmap decode", syn.v3c_block_decode_ms,
+              mbs(syn.v3c_bytes, syn.v3c_block_decode_ms),
+              mbs(syn.v3_bytes, syn.v3c_block_decode_ms));
   std::printf("  %-28s %10.1f ms  (identical: %s)\n", "aggregate (1 thread)",
               syn.aggregate_serial_ms, syn.aggregate_identical ? "yes" : "NO");
   std::printf("  %-28s %10.1f ms  speedup %.2fx\n\n", "aggregate (N threads)",
@@ -448,7 +554,8 @@ int main(int argc, char** argv) {
 
   // --------------------------------------------------------------- apps
   std::vector<AppRow> rows;
-  bool all_identical = syn.aggregate_identical && syn.read_identical;
+  bool all_identical =
+      syn.aggregate_identical && syn.read_identical && syn.compressed_identical;
   std::printf("%-14s %10s %10s %10s %8s  %s\n", "app", "events", "t1 (ms)", "tN (ms)", "speedup",
               "identical");
   for (const char* app : {"minife", "minimd", "lulesh", "hpcg", "cloverleaf3d"}) {
@@ -512,12 +619,34 @@ int main(int argc, char** argv) {
   // enforced in both modes.
   const bool speedup_raw = hw >= 4 ? aggregate_speedup >= 2.0 : per_block_decode_speedup >= 2.0;
   const bool speedup_ok = smoke || speedup_raw;
+  // Zero-regression bound: requesting parallel aggregation must never
+  // cost wall time — >= 0.98x serial even when thread clamping reduces
+  // it to the serial path (the 2% allows measurement noise only).
+  const bool zero_regression_raw = aggregate_speedup >= 0.98;
+  const bool zero_regression_ok = smoke || zero_regression_raw;
+  // Compression bound: reading the compressed trace must cost at most
+  // 15% more wall time than the uncompressed one.  It reads ~1.6x fewer
+  // bytes, so anywhere below that the format is a strict win once real
+  // IO (not a warm page cache) is in the path; observed ratios on the
+  // dev box range 0.70x-1.11x run to run, so the bound leaves headroom
+  // for scheduler noise without masking a real decode regression.
+  const bool compressed_raw =
+      syn.v3c_read_ms > 0 && syn.v3c_read_ms <= syn.v3_read_serial_ms * 1.15;
+  const bool compressed_ok = smoke || compressed_raw;
   std::printf("\naggregate speedup %.2fx, per-block decode speedup %.2fx -> bound %s (%u cores)\n",
               aggregate_speedup, per_block_decode_speedup,
               speedup_raw  ? "met"
               : speedup_ok ? "not met (informational in smoke mode)"
                            : "VIOLATED",
               hw);
+  std::printf("zero-regression bound (parallel >= 0.98x serial): %s\n",
+              zero_regression_raw ? "met"
+              : zero_regression_ok ? "not met (informational in smoke mode)"
+                                   : "VIOLATED");
+  std::printf("compressed read bound (<= 1.15x uncompressed wall time): %s\n",
+              compressed_raw  ? "met"
+              : compressed_ok ? "not met (informational in smoke mode)"
+                              : "VIOLATED");
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -534,16 +663,28 @@ int main(int argc, char** argv) {
   std::fprintf(out, "    \"events\": %llu,\n", static_cast<unsigned long long>(syn.events));
   std::fprintf(out, "    \"v2_bytes\": %llu,\n", static_cast<unsigned long long>(syn.v2_bytes));
   std::fprintf(out, "    \"v3_bytes\": %llu,\n", static_cast<unsigned long long>(syn.v3_bytes));
+  std::fprintf(out, "    \"v3_compressed_bytes\": %llu,\n",
+               static_cast<unsigned long long>(syn.v3c_bytes));
+  std::fprintf(out, "    \"compression_ratio\": %.3f,\n",
+               syn.v3c_bytes > 0
+                   ? static_cast<double>(syn.v3_bytes) / static_cast<double>(syn.v3c_bytes)
+                   : 0.0);
   std::fprintf(out, "    \"v2_write_ms\": %.3f, \"v2_write_mbs\": %.1f,\n", syn.v2_write_ms,
                mbs(syn.v2_bytes, syn.v2_write_ms));
   std::fprintf(out, "    \"v3_write_ms\": %.3f, \"v3_write_mbs\": %.1f,\n", syn.v3_write_ms,
                mbs(syn.v3_bytes, syn.v3_write_ms));
+  std::fprintf(out, "    \"v3_compressed_write_ms\": %.3f, \"v3_compressed_write_mbs\": %.1f,\n",
+               syn.v3c_write_ms, mbs(syn.v3c_bytes, syn.v3c_write_ms));
   std::fprintf(out, "    \"v2_read_ms\": %.3f, \"v2_read_mbs\": %.1f,\n", syn.v2_read_ms,
                mbs(syn.v2_bytes, syn.v2_read_ms));
   std::fprintf(out, "    \"v3_read_serial_ms\": %.3f, \"v3_read_serial_mbs\": %.1f,\n",
                syn.v3_read_serial_ms, mbs(syn.v3_bytes, syn.v3_read_serial_ms));
   std::fprintf(out, "    \"v3_read_parallel_ms\": %.3f, \"v3_read_parallel_mbs\": %.1f,\n",
                syn.v3_read_parallel_ms, mbs(syn.v3_bytes, syn.v3_read_parallel_ms));
+  std::fprintf(out, "    \"v3_compressed_read_ms\": %.3f, \"compressed_read_mbs\": %.1f,\n",
+               syn.v3c_read_ms, mbs(syn.v3c_bytes, syn.v3c_read_ms));
+  std::fprintf(out, "    \"compressed_read_plain_equiv_mbs\": %.1f,\n",
+               mbs(syn.v3_bytes, syn.v3c_read_ms));
   std::fprintf(out, "    \"salvage_read_ms\": %.3f, \"salvage_read_mbs\": %.1f,\n",
                syn.salvage_read_ms, mbs(syn.v3_bytes, syn.salvage_read_ms));
   std::fprintf(out, "    \"salvage_events_recovered\": %llu,\n",
@@ -554,14 +695,27 @@ int main(int argc, char** argv) {
                syn.v2_stream_decode_ms, mbs(syn.v2_bytes, syn.v2_stream_decode_ms));
   std::fprintf(out, "    \"v3_block_decode_ms\": %.3f, \"v3_block_decode_mbs\": %.1f,\n",
                syn.v3_block_decode_ms, mbs(syn.v3_bytes, syn.v3_block_decode_ms));
+  std::fprintf(out, "    \"v3_batch_decode_mbs\": %.1f,\n",
+               mbs(syn.v3_bytes, syn.v3_block_decode_ms));
+  std::fprintf(out,
+               "    \"v3_compressed_block_decode_ms\": %.3f, "
+               "\"v3_compressed_block_decode_mbs\": %.1f,\n",
+               syn.v3c_block_decode_ms, mbs(syn.v3c_bytes, syn.v3c_block_decode_ms));
+  std::fprintf(out, "    \"v3_compressed_block_decode_plain_equiv_mbs\": %.1f,\n",
+               mbs(syn.v3_bytes, syn.v3c_block_decode_ms));
   std::fprintf(out, "    \"aggregate_serial_ms\": %.3f,\n", syn.aggregate_serial_ms);
   std::fprintf(out, "    \"aggregate_parallel_ms\": %.3f,\n", syn.aggregate_parallel_ms);
   std::fprintf(out, "    \"aggregate_speedup\": %.3f,\n", aggregate_speedup);
   std::fprintf(out, "    \"per_block_decode_speedup\": %.3f,\n", per_block_decode_speedup);
+  std::fprintf(out, "    \"compressed_identical\": %s,\n",
+               syn.compressed_identical ? "true" : "false");
   std::fprintf(out, "    \"identical\": %s\n", syn.aggregate_identical ? "true" : "false");
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"speedup_bound_enforced\": %s,\n", smoke ? "false" : "true");
   std::fprintf(out, "  \"speedup_bound_met\": %s,\n", speedup_ok ? "true" : "false");
+  std::fprintf(out, "  \"zero_regression_bound_met\": %s,\n",
+               zero_regression_ok ? "true" : "false");
+  std::fprintf(out, "  \"compressed_read_bound_met\": %s,\n", compressed_ok ? "true" : "false");
   std::fprintf(out, "  \"apps\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const AppRow& r = rows[i];
@@ -578,6 +732,7 @@ int main(int argc, char** argv) {
 
   std::remove(v2_path.c_str());
   std::remove(v3_path.c_str());
+  std::remove(v3c_path.c_str());
   std::remove(salvage_path.c_str());
-  return all_identical && speedup_ok ? 0 : 1;
+  return all_identical && speedup_ok && zero_regression_ok && compressed_ok ? 0 : 1;
 }

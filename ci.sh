@@ -114,8 +114,11 @@ done
 # is what certifies the bound.
 build/bench/bench_trace_pipeline --smoke --out /tmp/BENCH_trace_pipeline_smoke.json
 for key in '"bench": "trace_pipeline"' '"hardware_concurrency"' '"v3_block_decode_mbs"' \
+           '"v3_batch_decode_mbs"' '"compressed_read_mbs"' '"compression_ratio"' \
            '"aggregate_speedup"' '"per_block_decode_speedup"' '"speedup_bound_enforced"' \
-           '"speedup_bound_met": true' '"identical": true' '"salvage_read_mbs"'; do
+           '"speedup_bound_met": true' '"zero_regression_bound_met": true' \
+           '"compressed_read_bound_met": true' '"compressed_identical": true' \
+           '"identical": true' '"salvage_read_mbs"'; do
   if ! grep -F "$key" /tmp/BENCH_trace_pipeline_smoke.json >/dev/null; then
     echo "BENCH_trace_pipeline_smoke.json missing $key" >&2; exit 1
   fi
@@ -187,6 +190,31 @@ cmp /tmp/ecohmem_ci_v3_parallel.txt /tmp/ecohmem_ci_v3_serial.txt
 build/tools/ecohmem-timeline --trace /tmp/ecohmem_ci_v3.trc \
   --out /tmp/ecohmem_ci_v3.csv --bin-ms 50
 
+# Compressed v3 blocks (docs/trace_format.md): the same workload profiled
+# with --compress must lint clean (trace-block-compression rule) and
+# produce an advisor report byte-identical to the uncompressed v3 one —
+# compression must be invisible to every consumer.
+build/tools/ecohmem-profile --app lulesh --out /tmp/ecohmem_ci_v3c.trc \
+  --format v3 --block-events 4096 --compress
+build/tools/ecohmem-lint --trace /tmp/ecohmem_ci_v3c.trc
+build/tools/ecohmem-advisor --trace /tmp/ecohmem_ci_v3c.trc \
+  --out /tmp/ecohmem_ci_v3c.txt
+cmp /tmp/ecohmem_ci_v3c.txt /tmp/ecohmem_ci_v3_serial.txt
+build/tools/ecohmem-timeline --trace /tmp/ecohmem_ci_v3c.trc \
+  --out /tmp/ecohmem_ci_v3c.csv --bin-ms 50
+cmp /tmp/ecohmem_ci_v3c.csv /tmp/ecohmem_ci_v3.csv
+# --compress without the v3 index must exit 2 (cli_common usage error).
+for bad_compress in "--compress" "--format v2 --compress" "--compact --compress"; do
+  set +e
+  build/tools/ecohmem-profile --app lulesh --iterations 2 \
+    --out /tmp/ecohmem_ci_bad.trc $bad_compress >/dev/null 2>&1
+  compress_rc=$?
+  set -e
+  if [ "$compress_rc" -ne 2 ]; then
+    echo "ecohmem-profile $bad_compress exited $compress_rc, want 2" >&2; exit 1
+  fi
+done
+
 # Corruption-fuzz smoke: damage the v3 trace and prove the fail-soft
 # contract on the CLI surface (the seeded sweep itself — zero crashes,
 # manifest byte conservation, parallel == serial salvage — runs as
@@ -232,6 +260,12 @@ build/tools/ecohmem-serve --connect "$serve_sock" --ingest /tmp/ecohmem_ci2.trc 
   --bandwidth-aware --csv /tmp/ecohmem_ci_served.csv
 cmp /tmp/ecohmem_ci_served.txt /tmp/ecohmem_ci_report.txt
 cmp /tmp/ecohmem_ci_served.csv /tmp/ecohmem_ci_sites.csv
+# Compressed traces must flow through serve ingest unchanged: the served
+# report for the compressed lulesh trace must be byte-identical to the
+# offline advisor's report for the uncompressed copy.
+build/tools/ecohmem-serve --connect "$serve_sock" --ingest /tmp/ecohmem_ci_v3c.trc \
+  --query /tmp/ecohmem_ci_served_v3c.txt
+cmp /tmp/ecohmem_ci_served_v3c.txt /tmp/ecohmem_ci_v3_serial.txt
 kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "ecohmem-serve exited nonzero on SIGTERM" >&2; exit 1; }
 grep -q "drained, socket unlinked" /tmp/ecohmem_ci_serve.log

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <thread>
 #include <unordered_map>
 
 #include "ecohmem/analyzer/accum.hpp"
@@ -31,6 +32,27 @@ struct Span {
   std::uint64_t end_idx = 0;
 };
 
+/// Per-site sample fold, arena-backed: the cell for stack id `s` lives
+/// at shard.sites[s]. Only the sample-side fields — the alloc-side
+/// metrics already live in the serial `sites` map the merge folds into.
+struct SiteCell {
+  double load_misses = 0.0;
+  double store_misses = 0.0;
+  double latency_weight = 0.0;
+  double latency_sum = 0.0;
+  bool has_writes = false;
+  bool touched = false;
+};
+
+/// Per-function sample fold (arena slot). `touched` preserves the
+/// historical behavior that any sample — including store-only ones —
+/// materializes its function's entry.
+struct FunctionCell {
+  double samples = 0.0;
+  double latency_sum = 0.0;
+  bool touched = false;
+};
+
 /// Per-worker sample-side accumulators (phase: accumulate). Each worker
 /// owns a disjoint set of keys (`stack % W`, `function_id % W`), folds
 /// them in stream order starting from zero, and the merge just moves
@@ -38,9 +60,17 @@ struct Span {
 /// bit-identical for every worker count, including 1 (FP addition is
 /// non-associative, but every per-key addition sequence here is the
 /// serial one).
+///
+/// The fold targets are contiguous arenas indexed by stack/function id —
+/// one allocation per worker instead of per-key map-node churn, and the
+/// merge walks them in index order. Every resolved stack is a validated
+/// alloc stack (< stacks.size()), so the site arena always covers it;
+/// function ids are not validated at decode time (trace-stack-ids only
+/// warns), so ids past the table spill into an ordered overflow map.
 struct SampleShard {
-  std::unordered_map<trace::StackId, SiteAccum> sites;
-  std::map<std::uint32_t, FunctionAccum> functions;
+  std::vector<SiteCell> sites;          ///< indexed by stack id
+  std::vector<FunctionCell> functions;  ///< indexed by function id
+  std::map<std::uint32_t, FunctionAccum> function_overflow;
   double unattributed = 0.0;  ///< folded by worker 0 only
 };
 
@@ -233,7 +263,15 @@ Expected<AnalysisResult> analyze(const trace::Trace& trace, const AnalyzerOption
 
   const std::size_t want_threads =
       options.threads < 1 ? 1 : static_cast<std::size_t>(options.threads);
-  const std::size_t workers = std::max<std::size_t>(1, want_threads);
+  std::size_t workers = std::max<std::size_t>(1, want_threads);
+  if (options.clamp_threads) {
+    // The output is worker-count invariant (every per-key fold is the
+    // serial sequence), so shedding oversubscription is free: extra
+    // workers past the core count only repeat the phase-4 stream scan
+    // without adding parallelism.
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw != 0) workers = std::min<std::size_t>(workers, hw);
+  }
 
   // --- Phase 3 (parallel over event ranges): resolve every sample to a
   // site via the span index — a pure function of the replayed spans, so
@@ -254,17 +292,30 @@ Expected<AnalysisResult> analyze(const trace::Trace& trace, const AnalyzerOption
   // owns sites with stack % W == w and functions with id % W == w, and
   // scans the whole stream folding only its keys, so each per-key FP
   // addition sequence is exactly the serial one (see docs/threading.md).
+  const std::size_t stack_slots = trace.stacks.size();
+  const std::size_t fn_slots = trace.functions.size();
   std::vector<SampleShard> shards(workers);
   const auto accumulate_shard = [&](std::size_t w) {
     SampleShard& shard = shards[w];
+    shard.sites.assign(stack_slots, SiteCell{});
+    shard.functions.assign(fn_slots, FunctionCell{});
     for (std::uint64_t i = 0; i < n_events; ++i) {
       const auto* s = std::get_if<trace::SampleEvent>(&trace.events[i]);
       if (s == nullptr) continue;
       if (s->function_id % workers == w) {
-        auto& fn = shard.functions[s->function_id];
-        if (!s->is_store) {
-          fn.samples += s->weight;
-          fn.latency_sum += s->weight * s->latency_ns;
+        if (s->function_id < fn_slots) {
+          FunctionCell& fn = shard.functions[s->function_id];
+          fn.touched = true;
+          if (!s->is_store) {
+            fn.samples += s->weight;
+            fn.latency_sum += s->weight * s->latency_ns;
+          }
+        } else {
+          auto& fn = shard.function_overflow[s->function_id];
+          if (!s->is_store) {
+            fn.samples += s->weight;
+            fn.latency_sum += s->weight * s->latency_ns;
+          }
         }
       }
       const trace::StackId stack = resolved[static_cast<std::size_t>(i)];
@@ -273,14 +324,15 @@ Expected<AnalysisResult> analyze(const trace::Trace& trace, const AnalyzerOption
         continue;
       }
       if (stack % workers != w) continue;
-      auto& acc = shard.sites[stack];
+      SiteCell& cell = shard.sites[stack];
+      cell.touched = true;
       if (s->is_store) {
-        acc.record.store_misses += s->weight;
-        acc.record.has_writes = true;
+        cell.store_misses += s->weight;
+        cell.has_writes = true;
       } else {
-        acc.record.load_misses += s->weight;
-        acc.latency_weight += s->weight;
-        acc.latency_sum += s->weight * s->latency_ns;
+        cell.load_misses += s->weight;
+        cell.latency_weight += s->weight;
+        cell.latency_sum += s->weight * s->latency_ns;
       }
     }
   };
@@ -299,20 +351,28 @@ Expected<AnalysisResult> analyze(const trace::Trace& trace, const AnalyzerOption
   }
 
   // Merge: shards own disjoint keys, so each target field receives
-  // exactly one worker's fold — no cross-shard FP addition.
+  // exactly one worker's fold — no cross-shard FP addition. The arenas
+  // are walked in index order, a single deterministic pass per worker.
   std::map<std::uint32_t, FunctionAccum> functions;
-  for (auto& shard : shards) {
-    // srclint-ok: det-unordered-iter (keyed += folds; order-independent)
-    for (auto& [stack, sample_acc] : shard.sites) {
-      auto& acc = sites[stack];  // exists: every resolved stack came from an alloc
-      acc.record.load_misses += sample_acc.record.load_misses;
-      acc.record.store_misses += sample_acc.record.store_misses;
-      acc.record.has_writes = acc.record.has_writes || sample_acc.record.has_writes;
-      acc.latency_weight += sample_acc.latency_weight;
-      acc.latency_sum += sample_acc.latency_sum;
+  for (SampleShard& shard : shards) {
+    for (std::size_t k = 0; k < shard.sites.size(); ++k) {
+      const SiteCell& cell = shard.sites[k];
+      if (!cell.touched) continue;
+      // Exists: every resolved stack came from an alloc replayed in phase 2.
+      auto& acc = sites[static_cast<trace::StackId>(k)];
+      acc.record.load_misses += cell.load_misses;
+      acc.record.store_misses += cell.store_misses;
+      acc.record.has_writes = acc.record.has_writes || cell.has_writes;
+      acc.latency_weight += cell.latency_weight;
+      acc.latency_sum += cell.latency_sum;
     }
-    // srclint-ok: det-unordered-iter (emplace into an id-ordered std::map)
-    for (auto& [fn_id, fn_acc] : shard.functions) {
+    for (std::size_t k = 0; k < shard.functions.size(); ++k) {
+      const FunctionCell& cell = shard.functions[k];
+      if (!cell.touched) continue;
+      functions.emplace(static_cast<std::uint32_t>(k),
+                        FunctionAccum{cell.samples, cell.latency_sum});
+    }
+    for (auto& [fn_id, fn_acc] : shard.function_overflow) {
       functions.emplace(fn_id, fn_acc);
     }
     result.unattributed_samples += shard.unattributed;

@@ -45,6 +45,14 @@ struct AnalyzerOptions {
   /// docs/threading.md). 1 = fully serial, no pool spawned.
   int threads = 1;
 
+  /// Clamp `threads` to the hardware concurrency before spawning the
+  /// pool. Because the output is thread-count invariant, shedding
+  /// oversubscription (which multiplies the key-sharded stream scans
+  /// without adding cores) cannot change any result bit — it only
+  /// removes the slowdown. Tests disable this to exercise the
+  /// multi-shard merge on any host.
+  bool clamp_threads = true;
+
   /// Trace coverage as reported by the loader (TraceBundle::coverage).
   /// Left empty, the analyzer assumes the events it sees are the whole
   /// trace. Salvage-mode callers pass the bundle's coverage so reports

@@ -30,8 +30,17 @@ namespace ecohmem::check {
 struct TraceIndexView {
   struct Entry {
     std::uint64_t offset = 0;      ///< absolute file offset of the block
-    std::uint64_t count = 0;       ///< events in the block
+    std::uint64_t count = 0;       ///< events in the block (compression flag masked off)
     std::uint64_t first_time = 0;  ///< timestamp of the block's first event
+    bool compressed = false;       ///< kBlockCompressedFlag set on the raw count
+    /// Block body starts with the compressed-block magic byte (peeked
+    /// from the file; meaningful only when the span was readable).
+    bool body_looks_compressed = false;
+    /// Event count the compressed body header declares; valid only when
+    /// `body_count_ok`. `body_error` carries the peek failure otherwise.
+    std::uint64_t body_count = 0;
+    bool body_count_ok = false;
+    std::string body_error;
   };
   std::vector<Entry> entries;
   std::uint64_t events_offset = 0;       ///< first byte after the header

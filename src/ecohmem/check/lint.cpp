@@ -49,8 +49,34 @@ std::optional<TraceIndexView> load_trace_index(const std::string& path,
   view.file_size = index->file_size;
   view.header_event_count = header->event_count;
   view.entries.reserve(index->entries.size());
-  for (const auto& e : index->entries) {
-    view.entries.push_back({e.offset, e.count, e.first_time});
+  for (std::size_t i = 0; i < index->entries.size(); ++i) {
+    const auto& e = index->entries[i];
+    TraceIndexView::Entry v;
+    v.offset = e.offset;
+    v.count = e.count & trace::codec::kBlockCountMask;
+    v.first_time = e.first_time;
+    v.compressed = (e.count & trace::codec::kBlockCompressedFlag) != 0;
+    // Peek the block body (lenient: damaged entries get a reason, not a
+    // throw) so trace-block-compression can cross-check the flag and the
+    // body's own declared count against the index.
+    const std::uint64_t end =
+        i + 1 < index->entries.size() ? index->entries[i + 1].offset : index->footer_offset;
+    if (e.offset < end && end <= bytes->size()) {
+      v.body_looks_compressed = data[e.offset] == trace::codec::kCompressedBlockMagic;
+      if (v.compressed) {
+        const auto n = trace::codec::peek_compressed_block_count(
+            data + e.offset, static_cast<std::size_t>(end - e.offset), e.offset);
+        if (n) {
+          v.body_count = *n;
+          v.body_count_ok = true;
+        } else {
+          v.body_error = n.error();
+        }
+      }
+    } else if (v.compressed) {
+      v.body_error = "block span lies outside the event section";
+    }
+    view.entries.push_back(std::move(v));
   }
   return view;
 }

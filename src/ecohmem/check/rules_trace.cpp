@@ -325,6 +325,51 @@ class TraceV3IndexRule final : public Rule {
   }
 };
 
+/// Cross-checks the v3 per-block compression flag against the block
+/// bodies: a flagged block must carry a readable compressed column
+/// header whose declared event count matches the index entry (the
+/// all-or-nothing decode contract salvage relies on), and an unflagged
+/// block must not open with the compressed-block magic — 0xEC is never
+/// a valid event tag, so that can only be a dropped flag bit.
+class TraceBlockCompressionRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "trace-block-compression"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "v3 compressed blocks: flag bit, body magic and the body's declared event count "
+           "must agree with the footer index";
+  }
+  [[nodiscard]] bool applicable(const CheckContext& ctx) const override {
+    return ctx.trace_index != nullptr;
+  }
+
+  [[nodiscard]] std::vector<Diagnostic> run(const CheckContext& ctx) const override {
+    std::vector<Diagnostic> out;
+    const TraceIndexView& idx = *ctx.trace_index;
+    const auto fail = [&](std::string message) {
+      out.push_back(error("trace-block-compression", ctx.trace_name, std::move(message)));
+    };
+    for (std::size_t i = 0; i < idx.entries.size(); ++i) {
+      const TraceIndexView::Entry& e = idx.entries[i];
+      if (e.compressed) {
+        if (!e.body_count_ok) {
+          fail("block " + std::to_string(i) + " at offset " + std::to_string(e.offset) +
+               " is flagged compressed but its body header is unreadable (" + e.body_error +
+               ")");
+        } else if (e.body_count != e.count) {
+          fail("block " + std::to_string(i) + " at offset " + std::to_string(e.offset) +
+               ": index entry declares " + std::to_string(e.count) +
+               " events but the compressed body declares " + std::to_string(e.body_count));
+        }
+      } else if (e.body_looks_compressed) {
+        fail("block " + std::to_string(i) + " at offset " + std::to_string(e.offset) +
+             " opens with the compressed-block magic but its index entry is not flagged "
+             "compressed");
+      }
+    }
+    return out;
+  }
+};
+
 /// Gates salvage-mode trace loads on how much of the declared data was
 /// actually recovered. Only applicable when the lint driver fell back
 /// to a salvage read (ctx.salvage set); a strict load is full coverage
@@ -385,6 +430,7 @@ std::vector<std::unique_ptr<Rule>> trace_rules() {
   std::vector<std::unique_ptr<Rule>> rules;
   rules.push_back(std::make_unique<TraceSalvageCoverageRule>());
   rules.push_back(std::make_unique<TraceV3IndexRule>());
+  rules.push_back(std::make_unique<TraceBlockCompressionRule>());
   rules.push_back(std::make_unique<MonotonicTimeRule>());
   rules.push_back(std::make_unique<AllocPairingRule>());
   rules.push_back(std::make_unique<OverlappingLiveRule>());

@@ -33,12 +33,19 @@ Expected<std::vector<trace::Event>> decode_block(const IngestBlock& msg,
   // compact event is at least 2 bytes) so a hostile count can't OOM us.
   const std::uint64_t plausible = msg.block.size() / 2 + 1;
   events.reserve(static_cast<std::size_t>(std::min(msg.event_count, plausible)));
+  // Batch decode in bounded chunks: a hostile count fails on the first
+  // starved chunk instead of sizing the vector for the full claim, and
+  // the errors stay identical to a per-event decode.
   Ns last_time = 0;
-  for (std::uint64_t i = 0; i < msg.event_count; ++i) {
-    trace::Event event;
-    auto status = trace::codec::decode_event_compact(r, stack_count, last_time, event);
+  std::uint64_t remaining = msg.event_count;
+  while (remaining > 0) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(remaining, 16 * 1024);
+    const std::size_t base = events.size();
+    events.resize(base + static_cast<std::size_t>(chunk));
+    auto status =
+        trace::codec::decode_compact_events(r, stack_count, last_time, events.data() + base, chunk);
     if (!status.ok()) return unexpected(status.error());
-    events.push_back(event);
+    remaining -= chunk;
   }
   if (r.remaining() != 0) {
     return unexpected("block has " + std::to_string(r.remaining()) +

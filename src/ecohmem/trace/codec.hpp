@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <cstring>
 #include <istream>
+#include <memory>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -46,6 +47,30 @@ inline constexpr std::size_t kTrailerBytes = 24;
 inline constexpr std::uint32_t kMaxStringBytes = 1u << 20;
 /// Default events per v3 block (~64K, independently decodable).
 inline constexpr std::uint64_t kDefaultBlockEvents = 64 * 1024;
+
+/// Bit 63 of a v3 index entry's count field marks the block body as
+/// compressed (column streams, see encode_compressed_block). Stealing a
+/// count bit keeps uncompressed v3 files byte-identical to the flagless
+/// format; real counts are bounded by the file size, so the bit is free.
+inline constexpr std::uint64_t kBlockCompressedFlag = 1ull << 63;
+inline constexpr std::uint64_t kBlockCountMask = kBlockCompressedFlag - 1;
+/// First byte of a compressed block body. 0xEC is not a valid event tag,
+/// so a sequential scan (salvage without an index) can tell a compressed
+/// block from a v2 event stream by its first byte.
+inline constexpr std::uint8_t kCompressedBlockMagic = 0xEC;
+inline constexpr std::uint8_t kCompressedLayoutVersion = 1;
+
+/// Upper bound on one compact-encoded event: tag (1) + up to five 10-byte
+/// varints + a flag byte. The fast decoder's window bounds check relies
+/// on this.
+inline constexpr std::size_t kMaxCompactEventBytes = 52;
+/// Events per chunk in the two-stage scan/materialize fast decode path.
+inline constexpr std::size_t kScanChunk = 512;
+/// Stage-1 scan window: the scanner classifies 64 bytes with two AVX2
+/// compares and only scans events that start with a whole window of
+/// readable bytes (every compact event fits, see kMaxCompactEventBytes).
+inline constexpr std::size_t kScanWindowBytes = 64;
+static_assert(kMaxCompactEventBytes <= kScanWindowBytes);
 
 // Event tags (shared by all format versions).
 enum : std::uint8_t {
@@ -115,46 +140,73 @@ inline void encode_event_plain(std::string& out, const Event& e) {
   }
 }
 
+namespace detail {
+
+/// LEB128 emit into a raw buffer; returns one past the last byte written.
+/// Same byte sequence as put_varint, without the per-byte push_back.
+inline char* emit_varint(char* p, std::uint64_t v) {
+  while (v >= 0x80) {
+    *p++ = static_cast<char>((v & 0x7f) | 0x80);
+    v >>= 7;
+  }
+  *p++ = static_cast<char>(v);
+  return p;
+}
+
+template <typename T>
+inline char* emit(char* p, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::memcpy(p, &v, sizeof(v));
+  return p + sizeof(v);
+}
+
+}  // namespace detail
+
 /// Compact (v2 codec) event record: delta-encoded timestamp + varint
 /// integer fields. `last_time` carries the delta base between calls; the
 /// v3 block writer resets it to 0 at each block boundary so blocks decode
-/// independently.
+/// independently. Encodes through a fixed stack buffer and appends once —
+/// the bytes are identical to the historical per-byte appends, only the
+/// `std::string` bookkeeping per field is gone.
 inline void encode_event_compact(std::string& out, const Event& e, Ns& last_time) {
   const Ns now = event_time(e);
   const std::uint64_t delta = now >= last_time ? now - last_time : 0;
   last_time = now;
+  char buf[kMaxCompactEventBytes];
+  char* p = buf;
   if (const auto* a = std::get_if<AllocEvent>(&e)) {
-    put(out, static_cast<std::uint8_t>(kTagAlloc));
-    put_varint(out, delta);
-    put_varint(out, a->object_id);
-    put_varint(out, a->address);
-    put_varint(out, a->size);
-    put_varint(out, a->stack);
-    put(out, static_cast<std::uint8_t>(a->kind));
+    *p++ = static_cast<char>(kTagAlloc);
+    p = detail::emit_varint(p, delta);
+    p = detail::emit_varint(p, a->object_id);
+    p = detail::emit_varint(p, a->address);
+    p = detail::emit_varint(p, a->size);
+    p = detail::emit_varint(p, a->stack);
+    *p++ = static_cast<char>(static_cast<std::uint8_t>(a->kind));
   } else if (const auto* f = std::get_if<FreeEvent>(&e)) {
-    put(out, static_cast<std::uint8_t>(kTagFree));
-    put_varint(out, delta);
-    put_varint(out, f->object_id);
+    *p++ = static_cast<char>(kTagFree);
+    p = detail::emit_varint(p, delta);
+    p = detail::emit_varint(p, f->object_id);
   } else if (const auto* s = std::get_if<SampleEvent>(&e)) {
-    put(out, static_cast<std::uint8_t>(kTagSample));
-    put_varint(out, delta);
-    put_varint(out, s->address);
-    put(out, s->weight);
-    put(out, s->latency_ns);
-    put(out, static_cast<std::uint8_t>(s->is_store ? 1 : 0));
-    put_varint(out, s->function_id);
+    *p++ = static_cast<char>(kTagSample);
+    p = detail::emit_varint(p, delta);
+    p = detail::emit_varint(p, s->address);
+    p = detail::emit(p, s->weight);
+    p = detail::emit(p, s->latency_ns);
+    *p++ = static_cast<char>(s->is_store ? 1 : 0);
+    p = detail::emit_varint(p, s->function_id);
   } else if (const auto* m = std::get_if<MarkerEvent>(&e)) {
-    put(out, static_cast<std::uint8_t>(kTagMarker));
-    put_varint(out, delta);
-    put_varint(out, m->function_id);
-    put(out, static_cast<std::uint8_t>(m->is_enter ? 1 : 0));
+    *p++ = static_cast<char>(kTagMarker);
+    p = detail::emit_varint(p, delta);
+    p = detail::emit_varint(p, m->function_id);
+    *p++ = static_cast<char>(m->is_enter ? 1 : 0);
   } else if (const auto* u = std::get_if<UncoreBwEvent>(&e)) {
-    put(out, static_cast<std::uint8_t>(kTagUncore));
-    put_varint(out, delta);
-    put_varint(out, u->period_ns);
-    put(out, u->read_gbs);
-    put(out, u->write_gbs);
+    *p++ = static_cast<char>(kTagUncore);
+    p = detail::emit_varint(p, delta);
+    p = detail::emit_varint(p, u->period_ns);
+    p = detail::emit(p, u->read_gbs);
+    p = detail::emit(p, u->write_gbs);
   }
+  out.append(buf, static_cast<std::size_t>(p - buf));
 }
 
 // --------------------------------------------------------------------------
@@ -202,6 +254,12 @@ class ByteReader {
     pos_ += n;
     return true;
   }
+
+  /// Raw cursor for the batch fast path. The caller owns the bounds
+  /// proof: it may only dereference bytes it has checked via remaining(),
+  /// and `skip` must not pass the end.
+  [[nodiscard]] const unsigned char* raw() const { return data_ + pos_; }
+  void skip(std::size_t n) { pos_ += n; }
 
  private:
   const unsigned char* data_;
@@ -534,6 +592,806 @@ Status decode_event_compact(Source& src, std::uint32_t stack_count, Ns& last_tim
 }
 
 // --------------------------------------------------------------------------
+// Two-stage batch decode fast path (compact codec, in-memory sources only).
+//
+// The scalar decoder above pays two taxes the format forces on it: one
+// unpredictable branch per event (the tag dispatch — kinds interleave
+// randomly in real traces, so it mispredicts constantly) and a serial
+// byte-at-a-time varint loop. The fast path splits decoding so neither
+// lands in a hot loop:
+//
+//  Stage 1 — scan (scan_compact_chunk). Two AVX2 compares turn a
+//  64-byte window into a terminator bitmap (bit b set = byte b has its
+//  varint continuation bit clear). Each event's byte length is then
+//  computed arithmetically from the first few terminator positions,
+//  with the five kinds' candidate lengths combined by mask selects, so
+//  the random tag sequence costs no mispredicts. The timestamp delta —
+//  the one varint every kind shares — is extracted with pext during
+//  the scan. The scan records per-event offsets, delta lengths,
+//  resolved timestamps and a per-kind index list.
+//
+//  Stage 2 — materialize (materialize_chunk). Each kind's events are
+//  walked as a uniform run off the index lists (no tag dispatch),
+//  payload varints load branch-free as single 8-byte extracts, and the
+//  Event variants are written at their stream positions.
+//
+// Any anomaly — a varint longer than 8 bytes (legal at 9 or 10), an
+// unknown tag, an out-of-table stack reference, an event too close to
+// the readable end for a whole window — hands the affected region back
+// to decode_event_compact, so the fast path stays bitwise-identical to
+// a scalar decode including error text and offsets
+// (tests/trace/test_codec_batch.cpp flips every byte of a stream to
+// prove it). The wide path needs AVX2+BMI2 and is selected by a
+// runtime CPU check; other hosts decode scalar.
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define ECOHMEM_CODEC_WIDE_SCAN 1
+#endif
+
+#if ECOHMEM_CODEC_WIDE_SCAN
+#include <immintrin.h>
+#endif
+
+namespace detail {
+
+/// Stage-1 output for one chunk of up to kScanChunk events. `off` and
+/// `dlen` locate each event and its delta varint relative to the chunk
+/// base, `time` is the resolved absolute timestamp, and `kind_idx[tag]`
+/// lists the stream indices of that kind's events in order.
+struct ScanChunk {
+  std::uint32_t off[kScanChunk];
+  std::uint8_t dlen[kScanChunk];
+  std::uint64_t time[kScanChunk];
+  std::uint16_t kind_idx[kTagUncore + 1][kScanChunk];
+  std::uint32_t kind_count[kTagUncore + 1];
+};
+
+#if ECOHMEM_CODEC_WIDE_SCAN
+
+inline bool wide_scan_available() {
+  static const bool ok = __builtin_cpu_supports("avx2") && __builtin_cpu_supports("bmi") &&
+                         __builtin_cpu_supports("bmi2");
+  return ok;
+}
+
+__attribute__((target("avx2,bmi,bmi2"), always_inline)) inline std::uint64_t scan_load64(
+    const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Computes the byte length of the event at `ev` from the terminator
+/// bitmap `stops` (bit b set = ev[b] ends a varint), extracting the
+/// timestamp delta on the way. Returns 0 when the event cannot be
+/// proven well-formed from the window alone — a delta varint longer
+/// than 8 bytes, an unknown tag, or a length past kMaxCompactEventBytes
+/// — which sends the caller to the scalar decoder. Boundary positions
+/// are terminator-derived, so the returned length is exact even when a
+/// *payload* varint is over-long; stage 2 rejects those separately.
+__attribute__((target("avx2,bmi,bmi2"), always_inline)) inline unsigned scan_compact_event(
+    const unsigned char* ev, std::uint64_t stops, unsigned tag, unsigned& dlen,
+    std::uint64_t& delta) {
+  const std::uint64_t s = stops >> 1;  // terminator positions relative to ev + 1
+  const unsigned sel1 = static_cast<unsigned>(_tzcnt_u64(s));
+  if (sel1 >= 8) return 0;  // delta varint longer than 8 bytes (or absent)
+  const unsigned sel2 = static_cast<unsigned>(_tzcnt_u64(s & (s - 1)));
+  const unsigned sel5 = static_cast<unsigned>(_tzcnt_u64(_pdep_u64(16, s)));
+  const std::uint64_t dv = scan_load64(ev + 1) & (~0ull >> (56 - 8 * sel1));
+  delta = _pext_u64(dv, 0x7f7f7f7f7f7f7f7full);
+  dlen = sel1 + 1;
+  // Candidate end offsets for all five kinds, selected branch-free. The
+  // first terminators are always varint ends: every fixed-width payload
+  // byte (doubles, flag bytes) sits *after* the varints it could shadow.
+  const unsigned fnpos = 1 + sel2 + 18;  // sample: address, doubles, store byte
+  const unsigned lf = static_cast<unsigned>(_tzcnt_u64(stops >> (fnpos & 63)));
+  const unsigned e_alloc = 1 + sel5 + 2;
+  const unsigned e_free = 1 + sel2 + 1;
+  const unsigned e_sample = fnpos + lf + 1;
+  const unsigned e_marker = 1 + sel2 + 2;
+  const unsigned e_uncore = 1 + sel2 + 17;
+  const unsigned end = (e_alloc & -static_cast<unsigned>(tag == kTagAlloc)) |
+                       (e_free & -static_cast<unsigned>(tag == kTagFree)) |
+                       (e_sample & -static_cast<unsigned>(tag == kTagSample)) |
+                       (e_marker & -static_cast<unsigned>(tag == kTagMarker)) |
+                       (e_uncore & -static_cast<unsigned>(tag == kTagUncore));
+  // One unsigned compare rejects both end == 0 (bad tag) and lengths a
+  // valid event can never have (a missing terminator saturates tzcnt at
+  // 64, so a window-spanning event always lands here).
+  if (end - 1 > kMaxCompactEventBytes - 1) return 0;
+  return end;
+}
+
+/// Stage 1: scans up to `want` (<= kScanChunk) events at `base`,
+/// filling `c` and reporting the bytes they span in `used`. Every
+/// scanned event starts with a whole 64-byte window readable, which is
+/// what lets stage 2 use unconditional 8-byte loads. The running
+/// timestamp enters as `t0`; `c.time[got - 1]` is the caller's next
+/// base. Stops early (without error) at the first event it cannot
+/// prove well-formed — the caller decodes that one scalar and retries.
+__attribute__((target("avx2,bmi,bmi2"))) inline std::size_t scan_compact_chunk(
+    const unsigned char* base, std::size_t avail, std::size_t want, std::uint64_t t0,
+    ScanChunk& c, std::size_t& used) {
+  for (unsigned k = 0; k <= kTagUncore; ++k) c.kind_count[k] = 0;
+  std::size_t i = 0;
+  std::size_t pos = 0;
+  std::uint64_t t = t0;
+  while (i < want && pos + kScanWindowBytes <= avail) {
+    const unsigned char* ev = base + pos;
+    const __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ev));
+    const __m256i hi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ev + 32));
+    const std::uint64_t cont =
+        static_cast<std::uint32_t>(_mm256_movemask_epi8(lo)) |
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(_mm256_movemask_epi8(hi))) << 32);
+    const std::uint64_t stops = ~cont;
+    unsigned dlen = 0;
+    std::uint64_t delta = 0;
+    const unsigned end1 = scan_compact_event(ev, stops, ev[0], dlen, delta);
+    if (end1 == 0) break;
+    const unsigned tag = ev[0];
+    c.off[i] = static_cast<std::uint32_t>(pos);
+    c.dlen[i] = static_cast<std::uint8_t>(dlen);
+    t += delta;
+    c.time[i] = t;
+    c.kind_idx[tag][c.kind_count[tag]++] = static_cast<std::uint16_t>(i);
+    ++i;
+    if (i >= want) {
+      pos += end1;
+      break;
+    }
+    // A second event from the same window costs only a bitmap shift.
+    // Accept it only when both events fit the 64 bytes (the shifted
+    // bitmap is exact in that case) and the second event still has a
+    // whole window for stage 2's loads.
+    const unsigned tag2 = ev[end1];
+    unsigned dlen2 = 0;
+    std::uint64_t delta2 = 0;
+    const unsigned end2 = scan_compact_event(ev + end1, stops >> end1, tag2, dlen2, delta2);
+    if (end2 != 0 && end1 + end2 <= kScanWindowBytes &&
+        pos + end1 + kScanWindowBytes <= avail) {
+      c.off[i] = static_cast<std::uint32_t>(pos + end1);
+      c.dlen[i] = static_cast<std::uint8_t>(dlen2);
+      t += delta2;
+      c.time[i] = t;
+      c.kind_idx[tag2][c.kind_count[tag2]++] = static_cast<std::uint16_t>(i);
+      ++i;
+      pos += end1 + static_cast<std::size_t>(end2);
+    } else {
+      pos += end1;
+    }
+  }
+  used = pos;
+  return i;
+}
+
+/// Branch-free varint extract: one 8-byte load, terminator found with
+/// tzcnt, payload bits compacted with pext. Advances `p` past the
+/// varint. Varints longer than 8 bytes (legal encodings the single
+/// load cannot cover) set `bad`; the value is then garbage and the
+/// caller falls back to the scalar decoder for the whole region.
+__attribute__((target("avx2,bmi,bmi2"), always_inline)) inline std::uint64_t extract_varint(
+    const unsigned char*& p, bool& bad) {
+  const std::uint64_t raw = scan_load64(p);
+  const std::uint64_t stop = ~raw & 0x8080808080808080ull;
+  bad |= stop == 0;
+  const unsigned len = ((static_cast<unsigned>(_tzcnt_u64(stop)) & 63) >> 3) + 1;
+  p += len;
+  return _pext_u64(raw & (~0ull >> (64 - 8 * len)), 0x7f7f7f7f7f7f7f7full);
+}
+
+/// Stage 2: materializes the `c.kind_count` events scanned into `c`
+/// from their payload bytes, writing each Event at its stream position
+/// in `out`. Returns false when any payload needs the scalar decoder
+/// (an over-long varint, an out-of-table stack); `out` may then hold
+/// partial garbage and the caller re-decodes the region scalar.
+__attribute__((target("avx2,bmi,bmi2"))) inline bool materialize_chunk(
+    const unsigned char* base, std::uint32_t stack_count, const ScanChunk& c, Event* out) {
+  // Slots are assigned whole Event temporaries: assigning the bare
+  // alternative would go through the variant's converting assignment,
+  // which branches on the slot's previous (effectively random) index.
+  bool bad = false;
+  for (std::uint32_t j = 0; j < c.kind_count[kTagAlloc]; ++j) {
+    const std::size_t i = c.kind_idx[kTagAlloc][j];
+    const unsigned char* q = base + c.off[i] + 1 + c.dlen[i];
+    AllocEvent a;
+    a.time = c.time[i];
+    a.object_id = extract_varint(q, bad);
+    a.address = extract_varint(q, bad);
+    a.size = extract_varint(q, bad);
+    const std::uint64_t stack = extract_varint(q, bad);
+    bad |= stack >= stack_count;
+    a.stack = static_cast<StackId>(stack);
+    a.kind = static_cast<AllocKind>(*q);
+    out[i] = Event{a};
+  }
+  for (std::uint32_t j = 0; j < c.kind_count[kTagFree]; ++j) {
+    const std::size_t i = c.kind_idx[kTagFree][j];
+    const unsigned char* q = base + c.off[i] + 1 + c.dlen[i];
+    FreeEvent f;
+    f.time = c.time[i];
+    f.object_id = extract_varint(q, bad);
+    out[i] = Event{f};
+  }
+  for (std::uint32_t j = 0; j < c.kind_count[kTagSample]; ++j) {
+    const std::size_t i = c.kind_idx[kTagSample][j];
+    const unsigned char* q = base + c.off[i] + 1 + c.dlen[i];
+    SampleEvent smp;
+    smp.time = c.time[i];
+    smp.address = extract_varint(q, bad);
+    std::memcpy(&smp.weight, q, sizeof(double));
+    std::memcpy(&smp.latency_ns, q + 8, sizeof(double));
+    smp.is_store = q[16] != 0;
+    q += 17;
+    smp.function_id = static_cast<std::uint32_t>(extract_varint(q, bad));
+    out[i] = Event{smp};
+  }
+  for (std::uint32_t j = 0; j < c.kind_count[kTagMarker]; ++j) {
+    const std::size_t i = c.kind_idx[kTagMarker][j];
+    const unsigned char* q = base + c.off[i] + 1 + c.dlen[i];
+    MarkerEvent m;
+    m.time = c.time[i];
+    m.function_id = static_cast<std::uint32_t>(extract_varint(q, bad));
+    m.is_enter = *q != 0;
+    out[i] = Event{m};
+  }
+  for (std::uint32_t j = 0; j < c.kind_count[kTagUncore]; ++j) {
+    const std::size_t i = c.kind_idx[kTagUncore][j];
+    const unsigned char* q = base + c.off[i] + 1 + c.dlen[i];
+    UncoreBwEvent u;
+    u.time = c.time[i];
+    u.period_ns = extract_varint(q, bad);
+    std::memcpy(&u.read_gbs, q, sizeof(double));
+    std::memcpy(&u.write_gbs, q + 8, sizeof(double));
+    out[i] = Event{u};
+  }
+  return !bad;
+}
+
+#endif  // ECOHMEM_CODEC_WIDE_SCAN
+
+}  // namespace detail
+
+/// Decodes exactly `n` compact events from `src`, bitwise-identical to
+/// `n` sequential decode_event_compact calls — same events, same
+/// `last_time` evolution, and on corrupt input the same error text and
+/// offset (the scalar decoder owns every diagnosis). The fast path
+/// engages while a whole scan window remains; the block tail and any
+/// region the scanner or materializer cannot prove clean decode scalar.
+inline Status decode_compact_events(ByteReader& src, std::uint32_t stack_count, Ns& last_time,
+                                    Event* out, std::uint64_t n) {
+#if ECOHMEM_CODEC_WIDE_SCAN
+  if (detail::wide_scan_available()) {
+    detail::ScanChunk chunk;
+    std::uint64_t i = 0;
+    while (i < n) {
+      const std::size_t want = static_cast<std::size_t>(std::min<std::uint64_t>(n - i, kScanChunk));
+      std::size_t used = 0;
+      std::size_t got = 0;
+      if (src.remaining() >= kScanWindowBytes) {
+        got = detail::scan_compact_chunk(src.raw(), src.remaining(), want, last_time, chunk, used);
+      }
+      if (got > 0) {
+        if (detail::materialize_chunk(src.raw(), stack_count, chunk, out + i)) {
+          last_time = chunk.time[got - 1];
+          src.skip(used);
+          i += got;
+          continue;
+        }
+        // A payload only the scalar decoder handles (a legal 9/10-byte
+        // varint, an out-of-table stack): re-decode the whole chunk
+        // region scalar so any error is exactly the scalar decoder's.
+        for (std::size_t k = 0; k < want; ++k, ++i) {
+          if (Status st = decode_event_compact(src, stack_count, last_time, out[i]); !st.ok()) {
+            return st;
+          }
+        }
+        continue;
+      }
+      // Block tail, or an event the scanner cannot prove well-formed at
+      // the chunk start: one scalar event guarantees progress, then the
+      // fast path retries.
+      if (Status st = decode_event_compact(src, stack_count, last_time, out[i]); !st.ok()) {
+        return st;
+      }
+      ++i;
+    }
+    return {};
+  }
+#endif
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (Status st = decode_event_compact(src, stack_count, last_time, out[i]); !st.ok()) {
+      return st;
+    }
+  }
+  return {};
+}
+
+// --------------------------------------------------------------------------
+// Compressed block codec (v3, opt-in per block via kBlockCompressedFlag).
+//
+// A compressed block body replaces the v2 event stream with column
+// streams: the tag sequence, then every field as a bit-packed u64 column
+// grouped by event kind (values appear in stream order within their
+// kind). Doubles are bit-reversed before packing — profiling weights and
+// latencies are quantized, so their low mantissa bits are zero and the
+// reversed values pack narrow. The block stays independently decodable:
+// the delta-timestamp base resets to 0 exactly as in uncompressed v3
+// blocks, so decoding yields bit-identical events.
+//
+// Body layout (normative; docs/trace_format.md):
+//   u8  magic           0xEC (never a valid event tag)
+//   u8  layout version  1
+//   varint n_events
+//   u8[n_events] tags   (per-kind counts are derived from these)
+//   packed column: time deltas (all events, stream order)
+//   packed columns per kind, each over that kind's events in order:
+//     alloc:  object_id, address, size, stack, kind
+//     free:   object_id
+//     sample: address, bitrev(weight), bitrev(latency_ns), is_store,
+//             function_id
+//     marker: function_id, is_enter
+//     uncore: period_ns, bitrev(read_gbs), bitrev(write_gbs)
+//   packed column: u8 bit width (0-64), then ceil(n*width/8) bytes of
+//   width-bit values packed LSB-first.
+
+namespace detail {
+
+inline std::uint64_t bitrev64(std::uint64_t v) {
+  v = ((v >> 1) & 0x5555555555555555ull) | ((v & 0x5555555555555555ull) << 1);
+  v = ((v >> 2) & 0x3333333333333333ull) | ((v & 0x3333333333333333ull) << 2);
+  v = ((v >> 4) & 0x0f0f0f0f0f0f0f0full) | ((v & 0x0f0f0f0f0f0f0f0full) << 4);
+  v = ((v >> 8) & 0x00ff00ff00ff00ffull) | ((v & 0x00ff00ff00ff00ffull) << 8);
+  v = ((v >> 16) & 0x0000ffff0000ffffull) | ((v & 0x0000ffff0000ffffull) << 16);
+  return (v >> 32) | (v << 32);
+}
+
+inline std::uint64_t double_to_packed(double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bitrev64(bits);
+}
+
+inline double packed_to_double(std::uint64_t v) {
+  const std::uint64_t bits = bitrev64(v);
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+}  // namespace detail
+
+/// Appends a bit-packed u64 column: u8 width, then the values LSB-first.
+inline void put_packed_column(std::string& out, const std::uint64_t* vals, std::size_t n) {
+  unsigned width = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    while (width < 64 && (vals[i] >> width) != 0) ++width;
+  }
+  out.push_back(static_cast<char>(width));
+  if (width == 0 || n == 0) return;
+  unsigned __int128 acc = 0;
+  unsigned nbits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc |= static_cast<unsigned __int128>(vals[i]) << nbits;
+    nbits += width;
+    while (nbits >= 8) {
+      out.push_back(static_cast<char>(static_cast<unsigned char>(acc & 0xff)));
+      acc >>= 8;
+      nbits -= 8;
+    }
+  }
+  if (nbits > 0) out.push_back(static_cast<char>(static_cast<unsigned char>(acc & 0xff)));
+}
+
+/// Reads a bit-packed u64 column of `n` values. Consumes exactly
+/// 1 + ceil(n*width/8) bytes; `scratch` is reused across columns.
+///
+/// Each value is extracted with one unaligned 8-byte load at its bit
+/// offset (plus one spill byte for the 64-bit-at-odd-offset case) — no
+/// carried accumulator, so the loop has no cross-iteration dependency
+/// and no per-byte branch. `scratch` is padded so the loads never read
+/// past the buffer.
+template <typename Source>
+bool get_packed_column(Source& src, std::uint64_t n, std::vector<std::uint64_t>& out,
+                       std::vector<unsigned char>& scratch) {
+  std::uint8_t width = 0;
+  if (!src.get(width) || width > 64) return false;
+  if (width == 0 || n == 0) {
+    out.assign(static_cast<std::size_t>(n), 0);
+    return true;
+  }
+  const std::uint64_t nbytes = (n * width + 7) / 8;
+  scratch.resize(static_cast<std::size_t>(nbytes) + 8);
+  if (!src.read(scratch.data(), static_cast<std::size_t>(nbytes))) return false;
+  out.resize(static_cast<std::size_t>(n));
+  const std::uint64_t mask = width == 64 ? ~0ull : (1ull << width) - 1;
+  const unsigned char* p = scratch.data();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t bitpos = i * width;
+    const std::uint64_t byte = bitpos >> 3;
+    const unsigned sh = static_cast<unsigned>(bitpos & 7);
+    std::uint64_t w;
+    std::memcpy(&w, p + byte, sizeof(w));
+    // The ninth byte contributes the top `sh` bits of a 64-bit-wide
+    // read; the double shift keeps sh == 0 well-defined.
+    const std::uint64_t spill = p[byte + 8];
+    out[static_cast<std::size_t>(i)] = ((w >> sh) | ((spill << 1) << (63 - sh))) & mask;
+  }
+  return true;
+}
+
+namespace detail {
+
+/// Bit-packed column view used by the fused block decoder: value `j`
+/// is extracted with one unaligned 8-byte load at its bit offset plus
+/// one spill byte, exactly like get_packed_column, but straight out of
+/// the source bytes — no intermediate u64 vector. `p` must stay
+/// dereferenceable 8 bytes past the packed payload (the zero-copy
+/// opener below proves that bound or falls back to an owned copy).
+struct PackedCursor {
+  const unsigned char* p = nullptr;
+  unsigned width = 0;
+  std::uint64_t mask = 0;
+
+  [[nodiscard]] std::uint64_t at(std::uint64_t j) const {
+    const std::uint64_t bitpos = j * width;
+    const std::uint64_t byte = bitpos >> 3;
+    const unsigned sh = static_cast<unsigned>(bitpos & 7);
+    std::uint64_t w;
+    std::memcpy(&w, p + byte, sizeof(w));
+    // The ninth byte contributes the top `sh` bits of a 64-bit-wide
+    // read; the double shift keeps sh == 0 well-defined.
+    const std::uint64_t spill = p[byte + 8];
+    return ((w >> sh) | ((spill << 1) << (63 - sh))) & mask;
+  }
+};
+
+/// Backing bytes for zero-width columns: at() always lands on offset 0
+/// and masks to zero, so no per-call width branch is needed.
+inline constexpr unsigned char kZeroColumn[16] = {};
+
+/// Parses one packed column header and positions a cursor over its
+/// payload. Generic sources copy the payload into an owned buffer with
+/// the 8 spill bytes zeroed; the ByteReader overload serves the bytes
+/// in place whenever the buffer extends 8 bytes past the column (true
+/// for every column except a file's final one). Byte consumption and
+/// failure behavior match get_packed_column exactly.
+template <typename Source>
+bool open_packed_column(Source& src, std::uint64_t n, PackedCursor& c,
+                        std::vector<std::unique_ptr<unsigned char[]>>& own) {
+  std::uint8_t width = 0;
+  if (!src.get(width) || width > 64) return false;
+  if (width == 0 || n == 0) {
+    c.p = kZeroColumn;
+    c.width = 0;
+    c.mask = 0;
+    return true;
+  }
+  const std::uint64_t nbytes = (n * width + 7) / 8;
+  auto buf = std::make_unique<unsigned char[]>(static_cast<std::size_t>(nbytes) + 8);
+  if (!src.read(buf.get(), static_cast<std::size_t>(nbytes))) return false;
+  std::memset(buf.get() + nbytes, 0, 8);
+  c.p = buf.get();
+  c.width = width;
+  c.mask = width == 64 ? ~0ull : (1ull << width) - 1;
+  own.push_back(std::move(buf));
+  return true;
+}
+
+inline bool open_packed_column(ByteReader& src, std::uint64_t n, PackedCursor& c,
+                               std::vector<std::unique_ptr<unsigned char[]>>& own) {
+  std::uint8_t width = 0;
+  if (!src.get(width) || width > 64) return false;
+  if (width == 0 || n == 0) {
+    c.p = kZeroColumn;
+    c.width = 0;
+    c.mask = 0;
+    return true;
+  }
+  const std::uint64_t nbytes = (n * width + 7) / 8;
+  if (nbytes > src.remaining()) return false;
+  c.width = width;
+  c.mask = width == 64 ? ~0ull : (1ull << width) - 1;
+  if (src.remaining() >= nbytes + 8) {
+    c.p = src.raw();
+    src.skip(static_cast<std::size_t>(nbytes));
+    return true;
+  }
+  auto buf = std::make_unique<unsigned char[]>(static_cast<std::size_t>(nbytes) + 8);
+  src.read(buf.get(), static_cast<std::size_t>(nbytes));
+  std::memset(buf.get() + nbytes, 0, 8);
+  c.p = buf.get();
+  own.push_back(std::move(buf));
+  return true;
+}
+
+}  // namespace detail
+
+/// Encodes `n` events as one compressed block body (see layout above).
+/// Lossless: decoding yields events bit-identical to the v2 compact
+/// codec's decode of the same stream, including the delta clamp for
+/// non-monotonic timestamps.
+inline void encode_compressed_block(std::string& out, const Event* events, std::size_t n) {
+  out.push_back(static_cast<char>(kCompressedBlockMagic));
+  out.push_back(static_cast<char>(kCompressedLayoutVersion));
+  put_varint(out, n);
+
+  std::vector<std::uint64_t> deltas;
+  deltas.reserve(n);
+  // Per-kind field columns, stream order within each kind.
+  std::vector<std::uint64_t> a_id, a_addr, a_size, a_stack, a_kind;
+  std::vector<std::uint64_t> f_id;
+  std::vector<std::uint64_t> s_addr, s_weight, s_lat, s_store, s_fn;
+  std::vector<std::uint64_t> m_fn, m_enter;
+  std::vector<std::uint64_t> u_period, u_read, u_write;
+
+  Ns last_time = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Event& e = events[i];
+    const Ns now = event_time(e);
+    deltas.push_back(now >= last_time ? now - last_time : 0);
+    last_time = now;
+    if (const auto* a = std::get_if<AllocEvent>(&e)) {
+      out.push_back(static_cast<char>(kTagAlloc));
+      a_id.push_back(a->object_id);
+      a_addr.push_back(a->address);
+      a_size.push_back(a->size);
+      a_stack.push_back(a->stack);
+      a_kind.push_back(static_cast<std::uint8_t>(a->kind));
+    } else if (const auto* f = std::get_if<FreeEvent>(&e)) {
+      out.push_back(static_cast<char>(kTagFree));
+      f_id.push_back(f->object_id);
+    } else if (const auto* smp = std::get_if<SampleEvent>(&e)) {
+      out.push_back(static_cast<char>(kTagSample));
+      s_addr.push_back(smp->address);
+      s_weight.push_back(detail::double_to_packed(smp->weight));
+      s_lat.push_back(detail::double_to_packed(smp->latency_ns));
+      s_store.push_back(smp->is_store ? 1 : 0);
+      s_fn.push_back(smp->function_id);
+    } else if (const auto* m = std::get_if<MarkerEvent>(&e)) {
+      out.push_back(static_cast<char>(kTagMarker));
+      m_fn.push_back(m->function_id);
+      m_enter.push_back(m->is_enter ? 1 : 0);
+    } else if (const auto* u = std::get_if<UncoreBwEvent>(&e)) {
+      out.push_back(static_cast<char>(kTagUncore));
+      u_period.push_back(u->period_ns);
+      u_read.push_back(detail::double_to_packed(u->read_gbs));
+      u_write.push_back(detail::double_to_packed(u->write_gbs));
+    }
+  }
+
+  const auto put_col = [&out](const std::vector<std::uint64_t>& v) {
+    put_packed_column(out, v.data(), v.size());
+  };
+  put_col(deltas);
+  put_col(a_id);
+  put_col(a_addr);
+  put_col(a_size);
+  put_col(a_stack);
+  put_col(a_kind);
+  put_col(f_id);
+  put_col(s_addr);
+  put_col(s_weight);
+  put_col(s_lat);
+  put_col(s_store);
+  put_col(s_fn);
+  put_col(m_fn);
+  put_col(m_enter);
+  put_col(u_period);
+  put_col(u_read);
+  put_col(u_write);
+}
+
+namespace detail {
+
+/// Shared body of the compressed-block decoders: parses the header,
+/// tag sequence and columns, then materializes every event into the
+/// `n` writable slots `prepare(n)` returns. The merge runs per kind —
+/// a counting sort of the tag sequence yields each kind's stream
+/// positions, so the hot loops have no per-event tag dispatch — and
+/// writes each Event at its stream position. Decoding is all-or-
+/// nothing: on error nothing is delivered (`prepare` may have run).
+template <typename Source, typename Prepare>
+Status decode_compressed_block_impl(Source& src, std::uint32_t stack_count,
+                                    std::uint64_t max_events, std::uint64_t& n_events,
+                                    Prepare&& prepare) {
+  const std::uint64_t body_offset = src.offset();
+  std::uint8_t magic = 0;
+  std::uint8_t layout = 0;
+  if (!src.get(magic) || magic != kCompressedBlockMagic) {
+    return truncated_at("not a compressed block (bad magic)", body_offset);
+  }
+  if (!src.get(layout) || layout != kCompressedLayoutVersion) {
+    return truncated_at("unsupported compressed block layout", src.offset());
+  }
+  std::uint64_t n = 0;
+  if (!src.get_varint(n)) {
+    return truncated_at("truncated compressed block header", src.offset());
+  }
+  if (n > max_events) {
+    return unexpected("compressed block declares " + std::to_string(n) +
+                      " events, more than the " + std::to_string(max_events) +
+                      " admissible at offset " + std::to_string(body_offset));
+  }
+  n_events = n;
+
+  std::vector<std::uint8_t> tags(static_cast<std::size_t>(n));
+  if (n > 0 && !src.read(tags.data(), tags.size())) {
+    return truncated_at("truncated compressed block tag column", src.offset());
+  }
+  std::uint64_t counts[6] = {0, 0, 0, 0, 0, 0};
+  for (const std::uint8_t t : tags) {
+    if (t < kTagAlloc || t > kTagUncore) {
+      return truncated_at(("unknown event tag " + std::to_string(t) +
+                           " in compressed block starting")
+                              .c_str(),
+                          body_offset);
+    }
+    ++counts[t];
+  }
+
+  // Columns are consumed as cursors over the source bytes (zero-copy
+  // for in-memory blocks) and unpacked directly into the output events
+  // below — the packed payload is only touched once.
+  std::vector<std::unique_ptr<unsigned char[]>> own;
+  PackedCursor dcol;
+  if (!open_packed_column(src, n, dcol, own)) {
+    return truncated_at("truncated compressed block column", src.offset());
+  }
+  // Column order and per-kind sizes mirror encode_compressed_block.
+  const std::uint64_t sizes[16] = {
+      counts[kTagAlloc], counts[kTagAlloc],  counts[kTagAlloc],  counts[kTagAlloc],
+      counts[kTagAlloc], counts[kTagFree],   counts[kTagSample], counts[kTagSample],
+      counts[kTagSample], counts[kTagSample], counts[kTagSample], counts[kTagMarker],
+      counts[kTagMarker], counts[kTagUncore], counts[kTagUncore], counts[kTagUncore]};
+  PackedCursor cols[16];
+  for (std::size_t c = 0; c < 16; ++c) {
+    if (!open_packed_column(src, sizes[c], cols[c], own)) {
+      return truncated_at("truncated compressed block column", src.offset());
+    }
+  }
+
+  // Resolve the deltas to absolute timestamps (same wrapping
+  // accumulation as the v2 codec), then counting-sort the tag sequence:
+  // order[base[k] + j] is the stream position of kind k's j-th event.
+  std::vector<Ns> deltas(static_cast<std::size_t>(n));
+  Ns last_time = 0;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+    last_time += dcol.at(i);
+    deltas[i] = last_time;
+  }
+  std::vector<std::uint32_t> order(static_cast<std::size_t>(n));
+  std::uint64_t base[7] = {0, 0, 0, 0, 0, 0, 0};
+  for (unsigned k = kTagAlloc; k <= kTagUncore; ++k) base[k + 1] = base[k] + counts[k];
+  std::uint64_t cur[6] = {0, base[kTagAlloc], base[kTagFree], base[kTagSample],
+                          base[kTagMarker], base[kTagUncore]};
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+    order[static_cast<std::size_t>(cur[tags[i]]++)] = static_cast<std::uint32_t>(i);
+  }
+
+  Event* out = prepare(static_cast<std::size_t>(n));
+  // Slots are assigned whole Event temporaries: assigning the bare
+  // alternative would go through the variant's converting assignment,
+  // which branches on the slot's previous (effectively random) index.
+  const std::uint32_t* idx = order.data() + base[kTagAlloc];
+  for (std::uint64_t j = 0; j < counts[kTagAlloc]; ++j) {
+    const std::uint32_t i = idx[j];
+    const std::uint64_t stack = cols[3].at(j);
+    if (stack >= stack_count) {
+      return truncated_at("alloc event references unknown stack", src.offset());
+    }
+    AllocEvent a;
+    a.time = deltas[i];
+    a.object_id = cols[0].at(j);
+    a.address = cols[1].at(j);
+    a.size = cols[2].at(j);
+    a.stack = static_cast<StackId>(stack);
+    a.kind = static_cast<AllocKind>(cols[4].at(j));
+    out[i] = Event{a};
+  }
+  idx = order.data() + base[kTagFree];
+  for (std::uint64_t j = 0; j < counts[kTagFree]; ++j) {
+    const std::uint32_t i = idx[j];
+    FreeEvent f;
+    f.time = deltas[i];
+    f.object_id = cols[5].at(j);
+    out[i] = Event{f};
+  }
+  idx = order.data() + base[kTagSample];
+  for (std::uint64_t j = 0; j < counts[kTagSample]; ++j) {
+    const std::uint32_t i = idx[j];
+    SampleEvent smp;
+    smp.time = deltas[i];
+    smp.address = cols[6].at(j);
+    smp.weight = detail::packed_to_double(cols[7].at(j));
+    smp.latency_ns = detail::packed_to_double(cols[8].at(j));
+    smp.is_store = cols[9].at(j) != 0;
+    smp.function_id = static_cast<std::uint32_t>(cols[10].at(j));
+    out[i] = Event{smp};
+  }
+  idx = order.data() + base[kTagMarker];
+  for (std::uint64_t j = 0; j < counts[kTagMarker]; ++j) {
+    const std::uint32_t i = idx[j];
+    MarkerEvent m;
+    m.time = deltas[i];
+    m.function_id = static_cast<std::uint32_t>(cols[11].at(j));
+    m.is_enter = cols[12].at(j) != 0;
+    out[i] = Event{m};
+  }
+  idx = order.data() + base[kTagUncore];
+  for (std::uint64_t j = 0; j < counts[kTagUncore]; ++j) {
+    const std::uint32_t i = idx[j];
+    UncoreBwEvent u;
+    u.time = deltas[i];
+    u.period_ns = cols[13].at(j);
+    u.read_gbs = detail::packed_to_double(cols[14].at(j));
+    u.write_gbs = detail::packed_to_double(cols[15].at(j));
+    out[i] = Event{u};
+  }
+  return {};
+}
+
+}  // namespace detail
+
+/// Decodes one compressed block body straight into `out`, which must
+/// hold `max_events` writable slots (the declared count is checked
+/// against that bound before anything is written); `n_events` reports
+/// the count actually decoded. The random-access reader uses this to
+/// skip the per-event sink indirection. All-or-nothing: on error `out`
+/// may hold partial garbage and nothing should be consumed.
+template <typename Source>
+Status decode_compressed_block_into(Source& src, std::uint32_t stack_count,
+                                    std::uint64_t max_events, std::uint64_t& n_events,
+                                    Event* out) {
+  return detail::decode_compressed_block_impl(src, stack_count, max_events, n_events,
+                                              [out](std::size_t) { return out; });
+}
+
+/// Decodes one compressed block body from `src`, emitting each event in
+/// stream order through `sink(const Event&)`. `max_events` bounds the
+/// body's declared count before any allocation (callers pass the index
+/// entry's count, or a remaining-bytes bound when scanning without an
+/// index); `n_events` reports the declared count on success. Every error
+/// carries the absolute offset it was detected at. The block decodes
+/// all-or-nothing — the sink only ever sees events from a block that
+/// decoded cleanly end to end.
+template <typename Source, typename Sink>
+Status decode_compressed_block(Source& src, std::uint32_t stack_count, std::uint64_t max_events,
+                               std::uint64_t& n_events, Sink&& sink) {
+  std::vector<Event> buf;
+  if (Status s = detail::decode_compressed_block_impl(src, stack_count, max_events, n_events,
+                                                      [&buf](std::size_t n) {
+                                                        buf.resize(n);
+                                                        return buf.data();
+                                                      });
+      !s.ok()) {
+    return s;
+  }
+  for (const Event& e : buf) sink(e);
+  return {};
+}
+
+/// Peeks a compressed block body's declared event count without decoding
+/// its columns: {layout_ok, n_events}. Used by the lenient lint view.
+inline Expected<std::uint64_t> peek_compressed_block_count(const unsigned char* data,
+                                                           std::size_t size,
+                                                           std::uint64_t base_offset) {
+  ByteReader src(data, size, base_offset);
+  std::uint8_t magic = 0;
+  std::uint8_t layout = 0;
+  if (!src.get(magic) || magic != kCompressedBlockMagic) {
+    return truncated_at("not a compressed block (bad magic)", base_offset);
+  }
+  if (!src.get(layout) || layout != kCompressedLayoutVersion) {
+    return truncated_at("unsupported compressed block layout", src.offset());
+  }
+  std::uint64_t n = 0;
+  if (!src.get_varint(n)) {
+    return truncated_at("truncated compressed block header", src.offset());
+  }
+  return n;
+}
+
+// --------------------------------------------------------------------------
 // Footer index codec (v3).
 
 struct IndexEntry {
@@ -609,7 +1467,7 @@ inline Status validate_index(const IndexInfo& info, std::uint64_t events_offset,
                         std::to_string(e.offset) + " points past the event section end " +
                         std::to_string(info.footer_offset));
     }
-    if (e.count == 0) {
+    if ((e.count & kBlockCountMask) == 0) {
       return unexpected("v3 index block " + std::to_string(i) + " is empty at offset " +
                         std::to_string(e.offset));
     }
@@ -626,7 +1484,7 @@ inline Status validate_index(const IndexInfo& info, std::uint64_t events_offset,
       return unexpected("v3 index block " + std::to_string(i) + " has non-positive byte size at "
                         "offset " + std::to_string(e.offset));
     }
-    total += e.count;
+    total += e.count & kBlockCountMask;  // bit 63 flags compression, not count
   }
   if (!info.entries.empty() && info.entries.front().offset != events_offset) {
     return unexpected("v3 index first block offset " +

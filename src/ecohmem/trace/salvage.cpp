@@ -108,7 +108,9 @@ SalvagePlan build_salvage_plan(SalvageSource& source, const codec::HeaderInfo& h
   m.index_usable = true;
   m.index_bytes = file_size - events_end;
   m.blocks_declared = idx.entries.size();
-  for (const codec::IndexEntry& e : idx.entries) m.events_declared += e.count;
+  for (const codec::IndexEntry& e : idx.entries) {
+    m.events_declared += e.count & codec::kBlockCountMask;  // bit 63 flags compression
+  }
 
   // Pass 1: keep only entries whose offsets are in-range and strictly
   // increasing — anything else is index damage and its span cannot be
@@ -131,12 +133,12 @@ SalvagePlan build_salvage_plan(SalvageSource& source, const codec::HeaderInfo& h
       loss.block = i;
       loss.file_offset = e.offset;
       loss.byte_size = 0;  // span unattributable; the bytes land in dropped_bytes
-      loss.events_declared = e.count;
+      loss.events_declared = e.count & codec::kBlockCountMask;
       loss.first_error_offset = entry_pos;
       loss.reason = "implausible index entry (offset out of range or out of order)";
       m.losses.push_back(std::move(loss));
       ++m.blocks_dropped;
-      m.events_dropped += e.count;
+      m.events_dropped += e.count & codec::kBlockCountMask;
       continue;
     }
     candidates.push_back(Candidate{i, e});
@@ -153,13 +155,17 @@ SalvagePlan build_salvage_plan(SalvageSource& source, const codec::HeaderInfo& h
     const Candidate& c = candidates[k];
     const std::uint64_t span_end =
         k + 1 < candidates.size() ? candidates[k + 1].entry.offset : events_end;
-    SalvageSource::Probe p = source.probe(c.entry.offset, span_end, c.entry.count, /*plain=*/false);
+    const bool compressed = (c.entry.count & codec::kBlockCompressedFlag) != 0;
+    const std::uint64_t declared = c.entry.count & codec::kBlockCountMask;
+    SalvageSource::Probe p =
+        compressed ? source.probe_compressed(c.entry.offset, span_end, declared)
+                   : source.probe(c.entry.offset, span_end, declared, /*plain=*/false);
     std::string reason;
     if (!p.ok) {
       reason = p.error;
-    } else if (p.events != c.entry.count) {
+    } else if (p.events != declared) {
       reason = "block decodes only " + std::to_string(p.events) + " of " +
-               std::to_string(c.entry.count) + " declared events";
+               std::to_string(declared) + " declared events";
       p.error_offset = p.end_offset;
     } else if (p.end_offset != span_end) {
       reason = std::to_string(span_end - p.end_offset) +
@@ -167,24 +173,23 @@ SalvagePlan build_salvage_plan(SalvageSource& source, const codec::HeaderInfo& h
       p.error_offset = p.end_offset;
     }
     if (reason.empty()) {
-      plan.blocks.push_back(
-          TraceBlockInfo{c.entry.offset, span_end - c.entry.offset, c.entry.count,
-                         first_event_index, p.first_time});
-      first_event_index += c.entry.count;
+      plan.blocks.push_back(TraceBlockInfo{c.entry.offset, span_end - c.entry.offset, declared,
+                                           first_event_index, p.first_time, compressed});
+      first_event_index += declared;
       ++m.blocks_kept;
-      m.events_recovered += c.entry.count;
+      m.events_recovered += declared;
       m.kept_bytes += span_end - c.entry.offset;
     } else {
       SalvageBlockLoss loss;
       loss.block = c.ordinal;
       loss.file_offset = c.entry.offset;
       loss.byte_size = span_end - c.entry.offset;
-      loss.events_declared = c.entry.count;
+      loss.events_declared = declared;
       loss.first_error_offset = p.error_offset;
       loss.reason = std::move(reason);
       m.losses.push_back(std::move(loss));
       ++m.blocks_dropped;
-      m.events_dropped += c.entry.count;
+      m.events_dropped += declared;
     }
   }
 

@@ -17,11 +17,16 @@
 ///     Anything else becomes a `SalvageBlockLoss` with the first error
 ///     offset. Blocks after a dropped block remain recoverable because
 ///     v3 blocks decode independently (the delta base resets per block).
+///     Compressed blocks (kBlockCompressedFlag on the index count) are
+///     trial-decoded all-or-nothing with the column codec under the
+///     same three conditions.
 ///   - v3, unreadable trailer/footer (short write, crashed profiler):
 ///     sequential scan — the event section is decoded front to back as
-///     one virtual block up to the first undecodable event. See
-///     docs/trace_format.md for the timestamp caveat past the first
-///     block boundary.
+///     one virtual block up to the first undecodable event. A compressed
+///     block's 0xEC lead byte is never a valid event tag, so the scan
+///     stops there: compressed events are only recoverable through the
+///     index. See docs/trace_format.md for the timestamp caveat past
+///     the first block boundary.
 ///   - v1/v2: sequential scan with the version's codec, capped at the
 ///     header's declared event count.
 ///
@@ -32,7 +37,9 @@
 /// gates on it (trace-salvage-coverage). docs/robustness.md is the
 /// user-facing guide.
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -47,9 +54,10 @@ namespace ecohmem::trace {
 struct TraceBlockInfo {
   std::uint64_t file_offset = 0;       ///< absolute offset of the block's first byte
   std::uint64_t byte_size = 0;         ///< encoded size in bytes
-  std::uint64_t event_count = 0;       ///< events in the block
+  std::uint64_t event_count = 0;       ///< events in the block (compression flag masked off)
   std::uint64_t first_event_index = 0; ///< index of the block's first event in the trace
   Ns first_time = 0;                   ///< timestamp of the block's first event (v3)
+  bool compressed = false;             ///< body is a compressed column block (v3)
 };
 
 /// One region salvage could not recover, with the reason and where the
@@ -128,6 +136,14 @@ class SalvageSource {
   /// a fresh delta base). Must not throw.
   [[nodiscard]] virtual Probe probe(std::uint64_t begin, std::uint64_t end,
                                     std::uint64_t max_events, bool plain) = 0;
+
+  /// Trial-decodes one compressed column block starting at `begin`
+  /// (index-driven salvage only; a compressed block is all-or-nothing).
+  /// Errors are re-anchored at `begin` so both sources classify
+  /// identical bytes identically regardless of how far their cursors
+  /// advanced before failing. Must not throw.
+  [[nodiscard]] virtual Probe probe_compressed(std::uint64_t begin, std::uint64_t end,
+                                               std::uint64_t max_events) = 0;
 };
 
 /// Shared probe loop for both sources (`Source` is a codec decode source
@@ -141,9 +157,63 @@ SalvageSource::Probe probe_events(Source& src, std::uint64_t end, std::uint64_t 
   p.end_offset = src.offset();
   Ns last_time = 0;
   Event ev;
-  for (std::uint64_t j = 0; j < max_events; ++j) {
+#if ECOHMEM_CODEC_WIDE_SCAN
+  // Scratch for the scan fast path below. Heap-allocated once per probe
+  // so the stream-source instantiation (which never uses it) costs
+  // nothing and the probe's stack stays small.
+  struct ScanScratch {
+    codec::detail::ScanChunk chunk;
+    std::array<Event, codec::kScanChunk> events;
+  };
+  std::unique_ptr<ScanScratch> scratch;
+  if constexpr (std::is_same_v<Source, codec::ByteReader>) {
+    if (!plain && codec::detail::wide_scan_available()) {
+      scratch = std::make_unique<ScanScratch>();
+    }
+  }
+#endif
+  for (std::uint64_t j = 0; j < max_events;) {
+    // Scan fast path (in-memory source, compact codec): stage-1 scan a
+    // chunk of events, materialize them to run the full validation the
+    // scalar decoder applies (stack references included), and commit
+    // wholesale the prefix that stays inside [.., end). Any anomaly
+    // falls through to the scalar decode below, which owns the
+    // diagnosis — so the probe's result is bitwise what a scalar-only
+    // probe reports.
+    if constexpr (std::is_same_v<Source, codec::ByteReader>) {
+#if ECOHMEM_CODEC_WIDE_SCAN
+      if (scratch && src.offset() < end && src.remaining() >= codec::kScanWindowBytes) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(max_events - j, codec::kScanChunk));
+        std::size_t used = 0;
+        const std::size_t got = codec::detail::scan_compact_chunk(
+            src.raw(), src.remaining(), want, last_time, scratch->chunk, used);
+        if (got > 0 && codec::detail::materialize_chunk(src.raw(), stack_count, scratch->chunk,
+                                                        scratch->events.data())) {
+          // Keep only the events that end inside the span (event k's end
+          // is event k+1's start; the overrunning tail re-decodes scalar
+          // so the overrun diagnosis below stays the scalar one).
+          std::size_t m = got;
+          while (m > 0 &&
+                 src.offset() + (m < got ? scratch->chunk.off[m] : used) > end) {
+            --m;
+          }
+          if (m > 0) {
+            if (p.events == 0) p.first_time = scratch->chunk.time[0];
+            last_time = scratch->chunk.time[m - 1];
+            src.skip(m < got ? scratch->chunk.off[m] : used);
+            p.events += m;
+            p.end_offset = src.offset();
+            j += m;
+            continue;
+          }
+        }
+      }
+#endif
+    }
     const std::uint64_t pos = src.offset();
     if (pos >= end) break;
+    ++j;
     const Status s = plain ? codec::decode_event_plain(src, stack_count, ev)
                            : codec::decode_event_compact(src, stack_count, last_time, ev);
     if (!s.ok()) {
@@ -167,6 +237,46 @@ SalvageSource::Probe probe_events(Source& src, std::uint64_t end, std::uint64_t 
     }
     if (p.events == 0) p.first_time = event_time(ev);
     ++p.events;
+    p.end_offset = src.offset();
+  }
+  return p;
+}
+
+/// Shared compressed-block trial decode for both sources. A compressed
+/// block decodes all-or-nothing, so on any error the probe reports zero
+/// events with the error re-anchored at the block start `begin`: the
+/// byte and stream sources consume a failing read differently, and both
+/// readers must produce an identical manifest for identical bytes.
+template <typename Source>
+SalvageSource::Probe probe_compressed_events(Source& src, std::uint64_t end,
+                                             std::uint64_t max_events,
+                                             std::uint32_t stack_count) {
+  SalvageSource::Probe p;
+  const std::uint64_t begin = src.offset();
+  p.end_offset = begin;
+  bool first = true;
+  std::uint64_t declared = 0;
+  const Status s = codec::decode_compressed_block(
+      src, stack_count, max_events, declared, [&p, &first](const Event& ev) {
+        if (first) {
+          p.first_time = event_time(ev);
+          first = false;
+        }
+        ++p.events;
+      });
+  const auto fail = [&p, begin](std::string msg) {
+    if (const auto k = msg.rfind(" at offset "); k != std::string::npos) msg.resize(k);
+    p.ok = false;
+    p.error = msg + " at offset " + std::to_string(begin);
+    p.error_offset = begin;
+    p.end_offset = begin;
+    p.events = 0;
+  };
+  if (!s.ok()) {
+    fail(s.error());
+  } else if (src.offset() > end) {
+    fail("compressed block overruns the block end");
+  } else {
     p.end_offset = src.offset();
   }
   return p;

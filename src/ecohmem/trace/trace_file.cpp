@@ -42,20 +42,28 @@ Expected<std::string> slurp_stream(std::istream& in) {
 }
 
 Status write_events_v3(std::ostream& out, const Trace& trace, std::uint64_t events_offset,
-                       std::uint64_t block_events) {
+                       std::uint64_t block_events, bool compress) {
   std::string buf;
   std::vector<codec::IndexEntry> entries;
   std::uint64_t offset = events_offset;
   const std::uint64_t n = trace.events.size();
+  // One reservation serves every block: flush_buffer clears the string
+  // but keeps its capacity.
+  buf.reserve(static_cast<std::size_t>(std::min(block_events, n)) * 17);
   for (std::uint64_t i = 0; i < n;) {
     const std::uint64_t count = std::min(block_events, n - i);
     codec::IndexEntry entry;
     entry.offset = offset;
-    entry.count = count;
+    entry.count = compress ? (count | codec::kBlockCompressedFlag) : count;
     entry.first_time = event_time(trace.events[i]);
-    Ns last_time = 0;  // delta base resets per block: blocks decode independently
-    for (std::uint64_t j = 0; j < count; ++j, ++i) {
-      codec::encode_event_compact(buf, trace.events[i], last_time);
+    if (compress) {
+      codec::encode_compressed_block(buf, trace.events.data() + i, static_cast<std::size_t>(count));
+      i += count;
+    } else {
+      Ns last_time = 0;  // delta base resets per block: blocks decode independently
+      for (std::uint64_t j = 0; j < count; ++j, ++i) {
+        codec::encode_event_compact(buf, trace.events[i], last_time);
+      }
     }
     offset += buf.size();
     entries.push_back(entry);
@@ -103,20 +111,47 @@ Expected<TraceBundle> decode_trace(const unsigned char* data, std::size_t size) 
       const codec::IndexEntry& entry = index->entries[b];
       const std::uint64_t end =
           b + 1 < index->entries.size() ? index->entries[b + 1].offset : index->footer_offset;
+      const std::uint64_t count = entry.count & codec::kBlockCountMask;
+      const bool compressed = (entry.count & codec::kBlockCompressedFlag) != 0;
+      // Every event costs at least one block byte (tags are one byte in
+      // both body encodings), so a hostile count cannot force a large
+      // allocation before the decode fails.
+      if (count > end - entry.offset) {
+        return unexpected("v3 index block " + std::to_string(b) + " declares " +
+                          std::to_string(count) + " events in " +
+                          std::to_string(end - entry.offset) + " bytes at offset " +
+                          std::to_string(entry.offset));
+      }
       codec::ByteReader br(data + entry.offset, static_cast<std::size_t>(end - entry.offset),
                            entry.offset);
-      Ns last_time = 0;
-      for (std::uint64_t j = 0; j < entry.count; ++j) {
-        Event ev;
-        if (Status s = codec::decode_event_compact(br, stack_count, last_time, ev); !s.ok()) {
+      const std::size_t base = bundle.trace.events.size();
+      if (compressed) {
+        std::uint64_t body_events = 0;
+        if (Status s = codec::decode_compressed_block(
+                br, stack_count, count, body_events,
+                [&bundle](const Event& ev) { bundle.trace.events.push_back(ev); });
+            !s.ok()) {
           return unexpected(s.error());
         }
-        if (j == 0 && event_time(ev) != entry.first_time) {
-          return unexpected("v3 index block " + std::to_string(b) +
-                            " first timestamp disagrees with its events at offset " +
+        if (body_events != count) {
+          return unexpected("v3 index block " + std::to_string(b) + " declares " +
+                            std::to_string(count) + " events but its compressed body holds " +
+                            std::to_string(body_events) + " at offset " +
                             std::to_string(entry.offset));
         }
-        bundle.trace.events.push_back(std::move(ev));
+      } else {
+        bundle.trace.events.resize(base + static_cast<std::size_t>(count));
+        Ns last_time = 0;
+        if (Status s = codec::decode_compact_events(br, stack_count, last_time,
+                                                    bundle.trace.events.data() + base, count);
+            !s.ok()) {
+          return unexpected(s.error());
+        }
+      }
+      if (count > 0 && event_time(bundle.trace.events[base]) != entry.first_time) {
+        return unexpected("v3 index block " + std::to_string(b) +
+                          " first timestamp disagrees with its events at offset " +
+                          std::to_string(entry.offset));
       }
       if (br.remaining() != 0) {
         return unexpected("v3 index block " + std::to_string(b) + " has " +
@@ -156,6 +191,9 @@ Status write_trace(std::ostream& out, const Trace& trace, const bom::ModuleTable
   const std::uint32_t version = options.indexed  ? codec::kVersionIndexed
                                 : options.compact ? codec::kVersionCompact
                                                   : codec::kVersionPlain;
+  if (options.compress && version != codec::kVersionIndexed) {
+    return unexpected("compressed blocks require the v3 indexed format");
+  }
   std::string buf;
   codec::encode_header(buf, trace.stacks, trace.functions, trace.sample_rate_hz, modules,
                        version, trace.events.size());
@@ -164,7 +202,7 @@ Status write_trace(std::ostream& out, const Trace& trace, const bom::ModuleTable
 
   if (version == codec::kVersionIndexed) {
     return write_events_v3(out, trace, events_offset,
-                           std::max<std::uint64_t>(1, options.block_events));
+                           std::max<std::uint64_t>(1, options.block_events), options.compress);
   }
   if (version == codec::kVersionCompact) {
     Ns last_time = 0;
@@ -219,12 +257,20 @@ struct TraceBlockWriter::Impl {
   std::uint32_t stack_count = 0;
   Ns last_time = 0;
   Ns block_first = 0;
+  bool compress = false;
+  /// Compressed bodies are columnar, so events of the open block are
+  /// held back until close_block; empty (and unused) when !compress.
+  std::vector<Event> pending;
   bool finished = false;
 
   Status close_block() {
+    if (compress) {
+      codec::encode_compressed_block(buf, pending.data(), pending.size());
+      pending.clear();
+    }
     codec::IndexEntry entry;
     entry.offset = offset;
-    entry.count = in_block;
+    entry.count = compress ? (in_block | codec::kBlockCompressedFlag) : in_block;
     entry.first_time = block_first;
     entries.push_back(entry);
     offset += buf.size();
@@ -243,13 +289,14 @@ Expected<TraceBlockWriter> TraceBlockWriter::create(const std::string& path,
                                                     const FunctionTable& functions,
                                                     const bom::ModuleTable& modules,
                                                     double sample_rate_hz,
-                                                    std::uint64_t block_events) {
+                                                    std::uint64_t block_events, bool compress) {
   TraceBlockWriter w;
   Impl& impl = *w.impl_;
   impl.out.open(path, std::ios::binary);
   if (!impl.out) return unexpected("cannot open for writing: " + path);
   impl.block_events = std::max<std::uint64_t>(1, block_events);
   impl.stack_count = static_cast<std::uint32_t>(stacks.size());
+  impl.compress = compress;
   // Event count is unknown until finish(); encode 0 and patch it later
   // (it is always the last 8 bytes of the header).
   codec::encode_header(impl.buf, stacks, functions, sample_rate_hz, modules,
@@ -272,7 +319,11 @@ Status TraceBlockWriter::add(const Event& e) {
     impl.block_first = event_time(e);
     impl.last_time = 0;
   }
-  codec::encode_event_compact(impl.buf, e, impl.last_time);
+  if (impl.compress) {
+    impl.pending.push_back(e);
+  } else {
+    codec::encode_event_compact(impl.buf, e, impl.last_time);
+  }
   ++impl.in_block;
   ++impl.total;
   if (impl.in_block == impl.block_events) return impl.close_block();

@@ -79,6 +79,11 @@ struct TraceWriteOptions {
   /// Events per v3 block. Smaller blocks mean finer-grained random
   /// access and parallelism at a slightly larger index.
   std::uint64_t block_events = 64 * 1024;
+  /// Compress v3 block bodies (column streams, flagged per block in the
+  /// footer index; see docs/trace_format.md). Requires `indexed`; blocks
+  /// stay independently decodable and decode bit-identically. Files
+  /// written without this remain byte-identical to the flagless format.
+  bool compress = false;
 };
 
 /// Serializes `trace` captured against `modules` to a stream.
@@ -113,7 +118,8 @@ class TraceBlockWriter {
                                            const FunctionTable& functions,
                                            const bom::ModuleTable& modules,
                                            double sample_rate_hz,
-                                           std::uint64_t block_events = 64 * 1024);
+                                           std::uint64_t block_events = 64 * 1024,
+                                           bool compress = false);
 
   TraceBlockWriter(TraceBlockWriter&&) noexcept;
   TraceBlockWriter& operator=(TraceBlockWriter&&) noexcept;

@@ -71,6 +71,13 @@ class ByteSalvageSource final : public SalvageSource {
     return probe_events(src, end, max_events, plain, stack_count_);
   }
 
+  Probe probe_compressed(std::uint64_t begin, std::uint64_t end,
+                         std::uint64_t max_events) override {
+    if (begin > size_) begin = size_;
+    codec::ByteReader src(data_ + begin, size_ - static_cast<std::size_t>(begin), begin);
+    return probe_compressed_events(src, end, max_events, stack_count_);
+  }
+
  private:
   const unsigned char* data_;
   std::size_t size_;
@@ -99,6 +106,22 @@ class StreamSalvageSource final : public SalvageSource {
     }
     codec::ChunkedStreamReader src(*in_, begin);
     return probe_events(src, end, max_events, plain, stack_count_);
+  }
+
+  Probe probe_compressed(std::uint64_t begin, std::uint64_t end,
+                         std::uint64_t max_events) override {
+    in_->clear();
+    in_->seekg(static_cast<std::streamoff>(begin));
+    if (!in_->good()) {
+      Probe p;
+      p.ok = false;
+      p.end_offset = begin;
+      p.error_offset = begin;
+      p.error = "cannot seek to offset " + std::to_string(begin);
+      return p;
+    }
+    codec::ChunkedStreamReader src(*in_, begin);
+    return probe_compressed_events(src, end, max_events, stack_count_);
   }
 
  private:
@@ -176,11 +199,21 @@ struct TraceReader::Impl {
         TraceBlockInfo b;
         b.file_offset = e.offset;
         b.byte_size = end - e.offset;
-        b.event_count = e.count;
+        b.event_count = e.count & codec::kBlockCountMask;
+        b.compressed = (e.count & codec::kBlockCompressedFlag) != 0;
         b.first_event_index = first_index;
         b.first_time = e.first_time;
+        // Every event costs at least one body byte in either encoding
+        // (tag byte / tag-column byte), so a count the span cannot hold
+        // is index damage — reject before decode_block allocates for it.
+        if (b.event_count > b.byte_size) {
+          return unexpected("v3 index block " + std::to_string(i) + " declares " +
+                            std::to_string(b.event_count) + " events in " +
+                            std::to_string(b.byte_size) + " bytes at offset " +
+                            std::to_string(e.offset));
+        }
         blocks.push_back(b);
-        first_index += e.count;
+        first_index += b.event_count;
       }
       return {};
     }
@@ -295,17 +328,31 @@ Status TraceReader::decode_block_into(std::size_t i, Event* out) const {
     return {};
   }
 
-  Ns last_time = 0;
-  for (std::uint64_t j = 0; j < b.event_count; ++j) {
-    if (Status s = codec::decode_event_compact(br, stack_count, last_time, out[j]); !s.ok()) {
+  if (b.compressed) {
+    std::uint64_t body_events = 0;
+    if (Status s =
+            codec::decode_compressed_block_into(br, stack_count, b.event_count, body_events, out);
+        !s.ok()) {
       return s;
     }
-    if (j == 0 && impl.header.version == codec::kVersionIndexed &&
-        event_time(out[0]) != b.first_time) {
-      return unexpected("v3 index block " + std::to_string(i) +
-                        " first timestamp disagrees with its events at offset " +
+    if (body_events != b.event_count) {
+      return unexpected("v3 index block " + std::to_string(i) + " declares " +
+                        std::to_string(b.event_count) + " events but its compressed body holds " +
+                        std::to_string(body_events) + " at offset " +
                         std::to_string(b.file_offset));
     }
+  } else {
+    Ns last_time = 0;
+    if (Status s = codec::decode_compact_events(br, stack_count, last_time, out, b.event_count);
+        !s.ok()) {
+      return s;
+    }
+  }
+  if (impl.header.version == codec::kVersionIndexed && b.event_count > 0 &&
+      event_time(out[0]) != b.first_time) {
+    return unexpected("v3 index block " + std::to_string(i) +
+                      " first timestamp disagrees with its events at offset " +
+                      std::to_string(b.file_offset));
   }
   // v3 blocks are exactly sized; v1/v2's virtual block may carry
   // trailing bytes (historically tolerated).
@@ -387,6 +434,7 @@ struct TraceStreamer::Impl {
   std::string path;
   codec::HeaderInfo header;
   std::vector<codec::IndexEntry> entries;  ///< v3 block index (empty for v1/v2)
+  std::uint64_t footer_offset = 0;         ///< one past the last event byte (v3 strict)
   std::vector<TraceBlockInfo> blocks;      ///< recovered blocks (salvage mode only)
   SalvageManifest manifest;                ///< meaningful only when manifest.salvaged
 };
@@ -488,6 +536,7 @@ Expected<TraceStreamer> TraceStreamer::open(const std::string& path, TraceOpenOp
       return unexpected(s.error());
     }
     impl.entries = std::move(info.entries);
+    impl.footer_offset = footer_offset;
   }
   return streamer;
 }
@@ -518,6 +567,15 @@ Status TraceStreamer::for_each(const std::function<void(const Event&)>& fn) cons
         return codec::truncated_at("cannot seek to salvaged block", b.file_offset);
       }
       codec::ChunkedStreamReader src(in, b.file_offset);
+      if (b.compressed) {
+        std::uint64_t body = 0;
+        if (Status s = codec::decode_compressed_block(src, stacks, b.event_count, body,
+                                                      [&fn](const Event& e) { fn(e); });
+            !s.ok()) {
+          return s;  // file changed since open
+        }
+        continue;
+      }
       Ns last_time = 0;
       for (std::uint64_t j = 0; j < b.event_count; ++j) {
         const Status s = plain ? codec::decode_event_plain(src, stacks, ev)
@@ -533,33 +591,81 @@ Status TraceStreamer::for_each(const std::function<void(const Event&)>& fn) cons
   if (!in.good()) {
     return codec::truncated_at("truncated event stream", impl.header.events_offset);
   }
-  codec::ChunkedStreamReader src(in, impl.header.events_offset);
   const auto stack_count = static_cast<std::uint32_t>(impl.header.stacks.size());
   Event ev;
 
   if (impl.header.version == codec::kVersionIndexed) {
+    // Blocks are read whole (their byte spans are exact by
+    // validate_index) and decoded from memory so the batch fast path and
+    // the compressed column codec both apply. Peak memory stays
+    // proportional to the largest block, not the trace.
+    std::vector<unsigned char> buf;
+    std::vector<Event> scratch;
     for (std::size_t b = 0; b < impl.entries.size(); ++b) {
       const codec::IndexEntry& entry = impl.entries[b];
-      if (src.offset() != entry.offset) {
-        return unexpected("v3 index block " + std::to_string(b) + " starts at offset " +
-                          std::to_string(entry.offset) + " but the event stream is at " +
-                          std::to_string(src.offset()));
+      const std::uint64_t count = entry.count & codec::kBlockCountMask;
+      const std::uint64_t block_end =
+          b + 1 < impl.entries.size() ? impl.entries[b + 1].offset : impl.footer_offset;
+      buf.resize(static_cast<std::size_t>(block_end - entry.offset));
+      in.read(reinterpret_cast<char*>(buf.data()), static_cast<std::streamsize>(buf.size()));
+      if (!in.good()) {
+        return codec::truncated_at("truncated event stream", entry.offset);
       }
-      Ns last_time = 0;
-      for (std::uint64_t j = 0; j < entry.count; ++j) {
-        if (Status s = codec::decode_event_compact(src, stack_count, last_time, ev); !s.ok()) {
-          return s;
+      codec::ByteReader br(buf.data(), buf.size(), entry.offset);
+      if ((entry.count & codec::kBlockCompressedFlag) != 0) {
+        bool first = true;
+        std::uint64_t body = 0;
+        Status first_time_error;
+        Status s = codec::decode_compressed_block(
+            br, stack_count, count, body, [&](const Event& e) {
+              if (first) {
+                first = false;
+                if (event_time(e) != entry.first_time) {
+                  first_time_error = unexpected(
+                      "v3 index block " + std::to_string(b) +
+                      " first timestamp disagrees with its events at offset " +
+                      std::to_string(entry.offset));
+                }
+              }
+              if (first_time_error.ok()) fn(e);
+            });
+        if (!first_time_error.ok()) return first_time_error;
+        if (!s.ok()) return s;
+        if (body != count) {
+          return unexpected("v3 index block " + std::to_string(b) + " declares " +
+                            std::to_string(count) + " events but its compressed body holds " +
+                            std::to_string(body) + " at offset " + std::to_string(entry.offset));
         }
-        if (j == 0 && event_time(ev) != entry.first_time) {
-          return unexpected("v3 index block " + std::to_string(b) +
-                            " first timestamp disagrees with its events at offset " +
-                            std::to_string(entry.offset));
+      } else {
+        Ns last_time = 0;
+        std::uint64_t done = 0;
+        while (done < count) {
+          const std::uint64_t chunk = std::min<std::uint64_t>(count - done, 16 * 1024);
+          scratch.resize(static_cast<std::size_t>(chunk));
+          if (Status s =
+                  codec::decode_compact_events(br, stack_count, last_time, scratch.data(), chunk);
+              !s.ok()) {
+            return s;
+          }
+          if (done == 0 && event_time(scratch[0]) != entry.first_time) {
+            return unexpected("v3 index block " + std::to_string(b) +
+                              " first timestamp disagrees with its events at offset " +
+                              std::to_string(entry.offset));
+          }
+          for (std::uint64_t j = 0; j < chunk; ++j) fn(scratch[static_cast<std::size_t>(j)]);
+          done += chunk;
         }
-        fn(ev);
+      }
+      if (br.remaining() != 0) {
+        return unexpected("v3 index block " + std::to_string(b) + " has " +
+                          std::to_string(br.remaining()) + " undecoded bytes at offset " +
+                          std::to_string(br.offset()));
       }
     }
     return {};
   }
+
+  codec::ChunkedStreamReader src(in, impl.header.events_offset);
 
   if (impl.header.version == codec::kVersionCompact) {
     Ns last_time = 0;

@@ -106,9 +106,14 @@ void check_app(const std::string& app) {
   const auto serial = analyze(t, serial_opt);
   ASSERT_TRUE(serial.has_value()) << serial.error();
 
-  for (const int threads : {2, 3, 4, 8}) {
+  for (const int threads : {1, 2, 3, 4, 8}) {
     AnalyzerOptions parallel_opt;
     parallel_opt.threads = threads;
+    // Disable the hardware-concurrency clamp so every worker count runs
+    // the real shard/merge path even on a 1-core CI host — the clamp
+    // only sheds oversubscription, so being bit-identical with it off
+    // proves it is bit-identical with it on.
+    parallel_opt.clamp_threads = false;
     const auto parallel = analyze(t, parallel_opt);
     ASSERT_TRUE(parallel.has_value()) << "threads=" << threads << ": " << parallel.error();
     SCOPED_TRACE(app + " threads=" + std::to_string(threads));
@@ -137,9 +142,38 @@ TEST(ParallelAggregation, MalformedTraceFailsIdenticallyInParallel) {
   ASSERT_FALSE(serial.has_value());
   AnalyzerOptions parallel_opt;
   parallel_opt.threads = 4;
+  parallel_opt.clamp_threads = false;
   const auto parallel = analyze(t, parallel_opt);
   ASSERT_FALSE(parallel.has_value());
   EXPECT_EQ(serial.error(), parallel.error());
+}
+
+TEST(ParallelAggregation, OutOfTableFunctionIdsSurviveTheArenaMerge) {
+  // Samples naming function ids past the function table land in the
+  // per-shard overflow map; the merged result must match the serial path
+  // bit for bit, including the historical rule that a store-only sample
+  // still materializes its function's entry with zero load samples.
+  trace::Trace t;
+  const trace::StackId s = t.stacks.intern(bom::CallStack{{{0, 0x10}}});
+  const std::uint32_t fn = t.functions.intern("known");
+  t.events.emplace_back(trace::AllocEvent{1, 1, 0x1000, 4096, s, trace::AllocKind::kMalloc});
+  t.events.emplace_back(trace::SampleEvent{2, 0x1004, 2.0, 120.0, false, fn});
+  t.events.emplace_back(trace::SampleEvent{3, 0x1008, 1.5, 90.0, false, /*fn=*/7777});
+  t.events.emplace_back(trace::SampleEvent{4, 0x100c, 1.0, 0.0, true, /*fn=*/8888});
+  t.events.emplace_back(trace::FreeEvent{5, 1});
+
+  AnalyzerOptions serial_opt;
+  const auto serial = analyze(t, serial_opt);
+  ASSERT_TRUE(serial.has_value()) << serial.error();
+  for (const int threads : {2, 8}) {
+    AnalyzerOptions parallel_opt;
+    parallel_opt.threads = threads;
+    parallel_opt.clamp_threads = false;
+    const auto parallel = analyze(t, parallel_opt);
+    ASSERT_TRUE(parallel.has_value()) << parallel.error();
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical(*serial, *parallel);
+  }
 }
 
 }  // namespace

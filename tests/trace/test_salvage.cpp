@@ -122,10 +122,12 @@ void write_bytes(const std::string& path, const std::string& bytes) {
 }
 
 std::string v3_file_bytes(const std::string& path, const Trace& t,
-                          const bom::ModuleTable& modules, std::uint64_t block_events) {
+                          const bom::ModuleTable& modules, std::uint64_t block_events,
+                          bool compress = false) {
   TraceWriteOptions opt;
   opt.indexed = true;
   opt.block_events = block_events;
+  opt.compress = compress;
   EXPECT_TRUE(save_trace(path, t, modules, opt).ok());
   return read_bytes(path);
 }
@@ -588,15 +590,9 @@ TEST(SalvageFaultInject, ApplySemantics) {
 // The corruption sweep: the fail-soft contract under every scheduled
 // fault. Deterministic — a failure names its seed and fault label.
 
-TEST(SalvageSweep, EveryInjectedFaultIsContainedAndAccounted) {
-  const Trace original = synth_trace(6'000, 101);
-  const bom::ModuleTable modules = test_modules();
-  const std::string base_path = tmp_path("salv_sweep_base.trc");
-  const std::string bytes = v3_file_bytes(base_path, original, modules, 512);
+void run_fault_sweep(const std::string& bytes, const std::string& path) {
   const auto lm = faultinject::landmarks_v3(to_vec(bytes), events_offset_of(bytes));
   ASSERT_FALSE(lm.block_offsets.empty());
-
-  const std::string path = tmp_path("salv_sweep.trc");
   for (const std::uint64_t seed : {2026ull, 806ull}) {
     for (const auto& fault : faultinject::schedule(lm, seed, 24)) {
       SCOPED_TRACE("seed=" + std::to_string(seed) + " fault=" + fault.label +
@@ -645,6 +641,104 @@ TEST(SalvageSweep, EveryInjectedFaultIsContainedAndAccounted) {
       EXPECT_EQ(*streamed, v1_bytes(serial->trace, serial->modules));
     }
   }
+}
+
+TEST(SalvageSweep, EveryInjectedFaultIsContainedAndAccounted) {
+  const Trace original = synth_trace(6'000, 101);
+  const std::string bytes =
+      v3_file_bytes(tmp_path("salv_sweep_base.trc"), original, test_modules(), 512);
+  run_fault_sweep(bytes, tmp_path("salv_sweep.trc"));
+}
+
+TEST(SalvageSweep, CompressedBlocksHonorTheSameContract) {
+  // The same fault schedule over the same trace written with per-block
+  // compression: a damaged compressed block is all-or-nothing (trial
+  // decode either yields the whole block or drops it), but the fail-soft
+  // accounting and reader/streamer parity must be identical in form.
+  const Trace original = synth_trace(6'000, 101);
+  const std::string bytes = v3_file_bytes(tmp_path("salv_sweepc_base.trc"), original,
+                                          test_modules(), 512, /*compress=*/true);
+  run_fault_sweep(bytes, tmp_path("salv_sweepc.trc"));
+}
+
+// --------------------------------------------------------------------------
+// Targeted compressed-block salvage behavior.
+
+TEST(SalvageReader, CompressedCorruptedBlockDropsExactlyThatBlock) {
+  const std::size_t kEvents = 4'096;
+  const std::uint64_t kBlock = 256;
+  const Trace original = synth_trace(kEvents, 23);
+  const bom::ModuleTable modules = test_modules();
+  const std::string path = tmp_path("salv_c_oneblock.trc");
+  const std::string bytes = v3_file_bytes(path, original, modules, kBlock, /*compress=*/true);
+
+  const auto lm = faultinject::landmarks_v3(to_vec(bytes), events_offset_of(bytes));
+  ASSERT_EQ(lm.block_offsets.size(), kEvents / kBlock);
+
+  // Packed column payloads carry no redundancy, so mid-column garbling
+  // can silently re-quantize values; what MUST fail is damage to the
+  // block's own header — magic, layout, declared count or tag column.
+  faultinject::Fault f;
+  f.kind = faultinject::FaultKind::kGarble;
+  f.offset = lm.block_offsets[5];
+  f.length = 16;
+  f.seed = 99;
+  write_bytes(path, to_str(faultinject::apply(to_vec(bytes), f)));
+
+  auto reader = TraceReader::open(path, salvage_opts());
+  ASSERT_TRUE(reader.has_value()) << reader.error();
+  const SalvageManifest& m = reader->manifest();
+  EXPECT_TRUE(m.index_usable);
+  EXPECT_EQ(m.blocks_dropped, 1u);
+  ASSERT_EQ(m.losses.size(), 1u);
+  EXPECT_EQ(m.losses[0].block, 5u);
+  EXPECT_EQ(m.losses[0].events_declared, kBlock);
+  EXPECT_FALSE(m.losses[0].reason.empty());
+  EXPECT_EQ(m.events_recovered, kEvents - kBlock);
+  EXPECT_TRUE(m.bytes_conserved());
+
+  Trace expected;
+  expected.sample_rate_hz = original.sample_rate_hz;
+  expected.stacks = original.stacks;
+  expected.functions = original.functions;
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    if (i / kBlock != 5) expected.events.push_back(original.events[i]);
+  }
+  const auto bundle = reader->read_all();
+  ASSERT_TRUE(bundle.has_value()) << bundle.error();
+  EXPECT_EQ(v1_bytes(bundle->trace, bundle->modules), v1_bytes(expected, modules));
+
+  auto streamer = TraceStreamer::open(path, salvage_opts());
+  ASSERT_TRUE(streamer.has_value()) << streamer.error();
+  expect_manifest_eq(reader->manifest(), streamer->manifest());
+  const auto streamed = streamer_v1_bytes(*streamer);
+  ASSERT_TRUE(streamed.has_value()) << streamed.error();
+  EXPECT_EQ(*streamed, v1_bytes(bundle->trace, bundle->modules));
+}
+
+TEST(SalvageReader, CompressedTraceWithoutIndexIsUnrecoverableButAccounted) {
+  // With the trailer gone the sequential scan is the only fallback, and
+  // it stops at the first compressed block's 0xEC byte — compressed
+  // events are only reachable through the index (docs/robustness.md).
+  // The manifest must still conserve bytes and agree across readers.
+  const Trace original = synth_trace(3'000, 31);
+  const bom::ModuleTable modules = test_modules();
+  const std::string path = tmp_path("salv_c_trailer.trc");
+  const std::string bytes =
+      v3_file_bytes(path, original, modules, 1u << 20, /*compress=*/true);
+  write_bytes(path, bytes.substr(0, bytes.size() - 10));
+
+  auto reader = TraceReader::open(path, salvage_opts());
+  ASSERT_TRUE(reader.has_value()) << reader.error();
+  const SalvageManifest& m = reader->manifest();
+  EXPECT_FALSE(m.index_usable);
+  EXPECT_TRUE(m.sequential_scan);
+  EXPECT_EQ(m.events_recovered, 0u);
+  EXPECT_TRUE(m.bytes_conserved());
+
+  auto streamer = TraceStreamer::open(path, salvage_opts());
+  ASSERT_TRUE(streamer.has_value()) << streamer.error();
+  expect_manifest_eq(reader->manifest(), streamer->manifest());
 }
 
 }  // namespace

@@ -24,16 +24,18 @@
 using namespace ecohmem;
 
 int main(int argc, char** argv) {
-  const cli::Args args(argc, argv, {"no-stores", "compact", "help"});
+  const cli::Args args(argc, argv, {"no-stores", "compact", "compress", "help"});
   if (args.has("help") || !args.has("app") || !args.has("out")) {
     std::printf(
         "usage: ecohmem-profile --app <name> --out <trace.trc>\n"
         "                       [--iterations N] [--rate HZ] [--seed S]\n"
         "                       [--pmem-dimms 6] [--no-stores]\n"
         "                       [--format v1|v2|v3] [--compact] [--block-events N]\n"
+        "                       [--compress]\n"
         "  --format v3 writes the indexed block format (mmap random access,\n"
         "  parallel decode); --compact is the v2 shorthand kept for\n"
         "  compatibility. --block-events sets the v3 block granularity.\n"
+        "  --compress bit-packs each v3 block's columns (v3 only).\n"
         "apps: ");
     for (const auto& a : apps::app_names()) std::printf("%s ", a.c_str());
     std::printf("\n");
@@ -82,10 +84,15 @@ int main(int argc, char** argv) {
   if (format == "v3") {
     wopt.indexed = true;
     wopt.block_events = static_cast<std::uint64_t>(*block_events);
+    wopt.compress = args.has("compress");
   } else if (format == "v2") {
     wopt.compact = true;
   } else if (format != "v1") {
     return cli::fail("unknown --format '" + format + "' (v1|v2|v3)");
+  }
+  if (args.has("compress") && format != "v3") {
+    return cli::fail_usage("--compress requires --format v3 (per-block compression lives in "
+                           "the indexed footer; v1/v2 have no block index)");
   }
   if (const auto s = trace::save_trace(args.get("out"), t, *workload.modules, wopt); !s) {
     return cli::fail(s.error());
