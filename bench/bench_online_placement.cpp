@@ -1,12 +1,19 @@
 // Online placement benchmark: static (frozen advisor placement) vs the
-// online migration policy vs the kernel-tiering baseline, on the
-// phase-shifting synthetic workload and the Fig. 6 mini-apps.
+// online migration policy (pure and guidance-seeded) vs the
+// kernel-tiering baseline, on the phase-shifting synthetic workload and
+// the Fig. 6 mini-apps.
 //
 // Acceptance (docs/online.md, checked here and by ci.sh):
 //   - on phase-shift the online policy must beat the frozen static
 //     placement even after paying every migration's bandwidth cost;
 //   - on the steady-state mini-apps it must never regress the static
-//     run by more than the configured hysteresis margin.
+//     run by more than the configured hysteresis margin;
+//   - seeding the policy from the advisor report (--from-report) must
+//     never make it slower than starting cold;
+//   - phase-shift must exercise page-granular partial moves (the huge
+//     arrays migrate in chunks, not as monolithic copies);
+//   - parallel replay (--threads 4) must reproduce the serial online
+//     run bit-identically (counters, stall times, migration events).
 // The measured numbers land in BENCH_online_placement.json; a violated
 // acceptance bound makes the binary exit nonzero.
 //
@@ -20,6 +27,7 @@
 #include "ecohmem/apps/synthetic.hpp"
 #include "ecohmem/baselines/kernel_tiering.hpp"
 #include "ecohmem/online/policy_config.hpp"
+#include "ecohmem/runtime/guidance.hpp"
 
 using namespace ecohmem;
 
@@ -30,15 +38,42 @@ struct Row {
   bool steady = false;      // steady-state app -> hysteresis bound applies
   double static_s = 0.0;    // frozen placement, no migrations
   double online_s = 0.0;    // same placement + online policy
+  double seeded_s = 0.0;    // online policy seeded from the advisor report
   double tiering_s = 0.0;   // kernel-tiering baseline (context)
   std::uint64_t migrations = 0;
+  std::uint64_t partial = 0;
   std::uint64_t cancelled = 0;
   double migrated_mb = 0.0;
   double migration_ms = 0.0;
+  bool parallel_identical = false;  // --threads 4 reproduces serial exactly
   bool pass = false;
 };
 
 double seconds(std::uint64_t ns) { return static_cast<double>(ns) * 1e-9; }
+
+/// Bit-exact equality of everything an online run reports — the
+/// determinism contract docs/threading.md makes for parallel replay.
+bool metrics_identical(const runtime::RunMetrics& a, const runtime::RunMetrics& b) {
+  if (a.total_ns != b.total_ns || a.load_stall_ns != b.load_stall_ns ||
+      a.store_stall_ns != b.store_stall_ns) {
+    return false;
+  }
+  if (a.migrations_scheduled != b.migrations_scheduled || a.migrations != b.migrations ||
+      a.migrations_partial != b.migrations_partial ||
+      a.migrations_cancelled != b.migrations_cancelled ||
+      a.migrated_bytes != b.migrated_bytes || a.migration_ns != b.migration_ns ||
+      a.migration_events != b.migration_events) {
+    return false;
+  }
+  if (a.tier_traffic.size() != b.tier_traffic.size()) return false;
+  for (std::size_t i = 0; i < a.tier_traffic.size(); ++i) {
+    if (a.tier_traffic[i].read_bytes != b.tier_traffic[i].read_bytes ||
+        a.tier_traffic[i].write_bytes != b.tier_traffic[i].write_bytes) {
+      return false;
+    }
+  }
+  return true;
+}
 
 Expected<Row> run_app(const std::string& name, const runtime::Workload& w,
                       const memsim::MemorySystem& sys,
@@ -54,6 +89,26 @@ Expected<Row> run_app(const std::string& name, const runtime::Workload& w,
                                                advisor::ReportFormat::kBom, engine_options);
   if (!online) return unexpected(online.error());
 
+  // The same run seeded from the advisor report, exactly as
+  // `ecohmem-run --online P --from-report R` would set it up.
+  const auto report = flexmalloc::parse_report(workflow->report_text, *w.modules);
+  if (!report) return unexpected(report.error());
+  const auto guidance = runtime::GuidanceSeed::build(w, *report);
+  if (!guidance) return unexpected(guidance.error());
+  runtime::EngineOptions seeded_options = engine_options;
+  seeded_options.guidance = &*guidance;
+  const auto seeded = core::run_with_placement(w, sys, workflow->placement, opt.dram_limit,
+                                               advisor::ReportFormat::kBom, seeded_options);
+  if (!seeded) return unexpected(seeded.error());
+
+  // Parallel replay of the identical online run; the sharded sampler
+  // keeps it bit-identical at any thread count.
+  runtime::EngineOptions parallel_options = engine_options;
+  parallel_options.replay_threads = 4;
+  const auto parallel = core::run_with_placement(w, sys, workflow->placement, opt.dram_limit,
+                                                 advisor::ReportFormat::kBom, parallel_options);
+  if (!parallel) return unexpected(parallel.error());
+
   baselines::KernelTieringMode tiering(&sys, 0, sys.fallback_index());
   runtime::ExecutionEngine engine(&sys, {});
   const auto tiering_run = engine.run(w, tiering);
@@ -64,13 +119,23 @@ Expected<Row> run_app(const std::string& name, const runtime::Workload& w,
   row.steady = steady;
   row.static_s = seconds(workflow->production_metrics.total_ns);
   row.online_s = seconds(online->total_ns);
+  row.seeded_s = seconds(seeded->total_ns);
   row.tiering_s = seconds(tiering_run->total_ns);
   row.migrations = online->migrations;
+  row.partial = online->migrations_partial;
   row.cancelled = online->migrations_cancelled;
   row.migrated_mb = static_cast<double>(online->migrated_bytes) / (1 << 20);
   row.migration_ms = online->migration_ns * 1e-6;
-  row.pass = steady ? row.online_s <= row.static_s * (1.0 + policy.hysteresis)
-                    : row.online_s < row.static_s;
+  row.parallel_identical = metrics_identical(*online, *parallel);
+  const bool online_ok = steady ? row.online_s <= row.static_s * (1.0 + policy.hysteresis)
+                                : row.online_s < row.static_s;
+  // Seeding must never make the policy slower than starting cold
+  // (tiny tolerance: seeding may legally reorder same-cost moves).
+  const bool seeded_ok = row.seeded_s <= row.online_s * 1.0001;
+  // Phase-shift's hot arrays are over the huge-object threshold, so the
+  // win must come through page-granular partial moves.
+  const bool partial_ok = steady || row.partial > 0;
+  row.pass = online_ok && seeded_ok && partial_ok && row.parallel_identical;
   return row;
 }
 
@@ -97,10 +162,12 @@ int main(int argc, char** argv) {
       {"lulesh", true},       {"hpcg", true},         {"cloverleaf3d", true},
   };
 
-  std::printf("%-14s %10s %10s %10s %6s %9s  %s\n", "app", "static(s)", "online(s)",
-              "tiering(s)", "moves", "moved(MB)", "bound");
+  std::printf("%-14s %10s %10s %10s %10s %6s %8s %9s %4s  %s\n", "app", "static(s)",
+              "online(s)", "seeded(s)", "tiering(s)", "moves", "partial", "moved(MB)",
+              "par", "bound");
   std::vector<Row> rows;
   bool all_pass = true;
+  bool parallel_identical = true;
   for (const auto& spec : specs) {
     const runtime::Workload w = apps::make_app(spec.name);
     const auto row = run_app(spec.name, w, sys, policy, spec.steady);
@@ -110,12 +177,15 @@ int main(int argc, char** argv) {
       continue;
     }
     rows.push_back(*row);
-    std::printf("%-14s %10.3f %10.3f %10.3f %6llu %9.1f  %s\n", row->app.c_str(),
-                row->static_s, row->online_s, row->tiering_s,
-                static_cast<unsigned long long>(row->migrations), row->migrated_mb,
+    std::printf("%-14s %10.3f %10.3f %10.3f %10.3f %6llu %8llu %9.1f %4s  %s\n",
+                row->app.c_str(), row->static_s, row->online_s, row->seeded_s,
+                row->tiering_s, static_cast<unsigned long long>(row->migrations),
+                static_cast<unsigned long long>(row->partial), row->migrated_mb,
+                row->parallel_identical ? "ok" : "DIFF",
                 row->pass ? (row->steady ? "within hysteresis" : "beats static")
                           : "VIOLATED");
     all_pass = all_pass && row->pass;
+    parallel_identical = parallel_identical && row->parallel_identical;
   }
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
@@ -127,19 +197,23 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"bench\": \"online_placement\",\n");
   std::fprintf(out, "  \"hysteresis\": %.6g,\n", policy.hysteresis);
   std::fprintf(out, "  \"all_pass\": %s,\n", all_pass ? "true" : "false");
+  std::fprintf(out, "  \"parallel_identical\": %s,\n", parallel_identical ? "true" : "false");
   std::fprintf(out, "  \"apps\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(out,
                  "    {\"app\": \"%s\", \"steady\": %s, \"static_s\": %.6f, "
-                 "\"online_s\": %.6f, \"kernel_tiering_s\": %.6f, "
-                 "\"migrations\": %llu, \"migrations_cancelled\": %llu, "
-                 "\"migrated_mb\": %.1f, \"migration_ms\": %.3f, \"pass\": %s}%s\n",
+                 "\"online_s\": %.6f, \"seeded_s\": %.6f, \"kernel_tiering_s\": %.6f, "
+                 "\"migrations\": %llu, \"migrations_partial\": %llu, "
+                 "\"migrations_cancelled\": %llu, "
+                 "\"migrated_mb\": %.1f, \"migration_ms\": %.3f, "
+                 "\"parallel_identical\": %s, \"pass\": %s}%s\n",
                  r.app.c_str(), r.steady ? "true" : "false", r.static_s, r.online_s,
-                 r.tiering_s, static_cast<unsigned long long>(r.migrations),
+                 r.seeded_s, r.tiering_s, static_cast<unsigned long long>(r.migrations),
+                 static_cast<unsigned long long>(r.partial),
                  static_cast<unsigned long long>(r.cancelled), r.migrated_mb,
-                 r.migration_ms, r.pass ? "true" : "false",
-                 i + 1 < rows.size() ? "," : "");
+                 r.migration_ms, r.parallel_identical ? "true" : "false",
+                 r.pass ? "true" : "false", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

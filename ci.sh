@@ -150,27 +150,64 @@ if build/tools/ecohmem-run --app hpcg --report /tmp/ecohmem_ci_report.txt --thre
   echo "ecohmem-run accepted --threads 0" >&2; exit 1
 fi
 
-# Online placement smoke: the shipped policy config must lint clean, must
-# actually migrate on the phase-shifting workload, and must refuse
-# parallel replay (the policy is serial-only, docs/online.md).
+# Online placement smoke: the shipped policy config must lint clean and
+# must actually migrate on the phase-shifting workload. Parallel replay
+# composes with --online (the sharded sampler keeps it deterministic,
+# docs/threading.md): the serial and --threads 4 runs must be
+# bit-identical, down to the migration log.
 build/tools/ecohmem-lint --online-policy configs/online_policy.ini
 build/tools/ecohmem-profile --app phase-shift --out /tmp/ecohmem_ci3.trc --compact
 build/tools/ecohmem-advisor --trace /tmp/ecohmem_ci3.trc --out /tmp/ecohmem_ci_report3.txt
 online_out=$(build/tools/ecohmem-run --app phase-shift --report /tmp/ecohmem_ci_report3.txt \
-  --online configs/online_policy.ini)
+  --online configs/online_policy.ini --migration-log /tmp/ecohmem_ci_mig1.csv)
 echo "$online_out"
 if ! echo "$online_out" | grep -E 'online +: [1-9][0-9]* migrations' >/dev/null; then
   echo "online run performed no migrations on phase-shift" >&2; exit 1
 fi
-if build/tools/ecohmem-run --app phase-shift --report /tmp/ecohmem_ci_report3.txt \
-  --online configs/online_policy.ini --threads 2; then
-  echo "ecohmem-run accepted --online with parallel replay" >&2; exit 1
+if ! echo "$online_out" | grep -E '\([1-9][0-9]* partial' >/dev/null; then
+  echo "online run performed no partial (page-granular) moves on phase-shift" >&2; exit 1
 fi
+online_par=$(build/tools/ecohmem-run --app phase-shift --report /tmp/ecohmem_ci_report3.txt \
+  --online configs/online_policy.ini --threads 4 --migration-log /tmp/ecohmem_ci_mig4.csv)
+# The replay line reports host wall-clock (not simulated time) and only
+# appears for N > 1; everything else must match byte-for-byte.
+if [ "$(echo "$online_out" | grep -v 'replay')" != "$(echo "$online_par" | grep -v 'replay')" ]; then
+  echo "--online --threads 4 output differs from the serial run" >&2; exit 1
+fi
+cmp /tmp/ecohmem_ci_mig1.csv /tmp/ecohmem_ci_mig4.csv
+# The migration log must satisfy the conservation identities against the
+# policy it was produced under.
+build/tools/ecohmem-lint --migration-log /tmp/ecohmem_ci_mig1.csv \
+  --online-policy configs/online_policy.ini
+
+# Guidance seeding: --from-report warm-starts the policy from the advisor
+# report; two seeded invocations must agree byte-for-byte.
+seeded_a=$(build/tools/ecohmem-run --app phase-shift --report /tmp/ecohmem_ci_report3.txt \
+  --online configs/online_policy.ini --from-report /tmp/ecohmem_ci_report3.txt)
+seeded_b=$(build/tools/ecohmem-run --app phase-shift --report /tmp/ecohmem_ci_report3.txt \
+  --online configs/online_policy.ini --from-report /tmp/ecohmem_ci_report3.txt)
+if [ "$(echo "$seeded_a" | grep -v 'replay')" != "$(echo "$seeded_b" | grep -v 'replay')" ]; then
+  echo "seeded online runs are not deterministic" >&2; exit 1
+fi
+if ! echo "$seeded_a" | grep -E 'guidance +: [1-9][0-9]* of' >/dev/null; then
+  echo "--from-report matched no sites" >&2; exit 1
+fi
+
+# Residual invalid combinations must die with a one-line usage error (2).
+set +e
+build/tools/ecohmem-run --app hpcg --report /tmp/ecohmem_ci_report.txt \
+  --from-report /tmp/ecohmem_ci_report.txt
+[ $? -eq 2 ] || { echo "--from-report without --online did not exit 2" >&2; exit 1; }
+build/tools/ecohmem-run --app hpcg --report /tmp/ecohmem_ci_report.txt \
+  --migration-log /tmp/ecohmem_ci_mig_bad.csv
+[ $? -eq 2 ] || { echo "--migration-log without --online did not exit 2" >&2; exit 1; }
+set -e
 
 # The online bench (run in the bench loop above) must have recorded its
 # acceptance verdict; the binary itself exits nonzero on a violated bound.
 for key in '"bench": "online_placement"' '"hysteresis"' '"all_pass": true' \
-           '"static_s"' '"online_s"' '"kernel_tiering_s"' '"migrations"'; do
+           '"parallel_identical": true' '"static_s"' '"online_s"' '"seeded_s"' \
+           '"kernel_tiering_s"' '"migrations"' '"migrations_partial"'; do
   if ! grep -F "$key" BENCH_online_placement.json >/dev/null; then
     echo "BENCH_online_placement.json missing $key" >&2; exit 1
   fi

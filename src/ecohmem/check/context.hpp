@@ -14,6 +14,7 @@
 
 #include "ecohmem/advisor/advisor_config.hpp"
 #include "ecohmem/analyzer/aggregator.hpp"
+#include "ecohmem/check/migration_log.hpp"
 #include "ecohmem/check/sites_csv.hpp"
 #include "ecohmem/common/config.hpp"
 #include "ecohmem/flexmalloc/report_parser.hpp"
@@ -74,6 +75,10 @@ struct CheckContext {
   /// report's `# model = <hash>` stamp against the model it claims.
   const learn::Model* model = nullptr;
 
+  /// Migration CSV (`ecohmem-run --migration-log`), for auditing the
+  /// online policy's conservation identities and sub-range moves.
+  const MigrationLog* migration_log = nullptr;
+
   /// v3 footer index of the trace file, raw (see TraceIndexView). Set
   /// even when the strict trace load failed on the index, so the
   /// trace-v3-index rule can still enumerate what is wrong with it.
@@ -96,6 +101,7 @@ struct CheckContext {
   std::string config_name = "config";
   std::string online_name = "online-policy";
   std::string model_name = "model";
+  std::string migration_log_name = "migration-log";
 };
 
 }  // namespace ecohmem::check

@@ -118,7 +118,7 @@ const std::vector<std::string_view>& pseudo_rule_ids() {
   static const std::vector<std::string_view> ids = {
       "trace-load", "trace-index-load", "sites-load",
       "report-load", "config-load",     "online-load",
-      "model-load"};
+      "model-load",  "migration-log-load"};
   return ids;
 }
 
@@ -129,10 +129,11 @@ Expected<LintResult> lint_files(const LintInputs& inputs, const CheckOptions& op
 Expected<LintResult> lint_files(const RuleRegistry& registry, const LintInputs& inputs,
                                 const CheckOptions& options) {
   if (inputs.trace_path.empty() && inputs.sites_path.empty() && inputs.report_path.empty() &&
-      inputs.config_path.empty() && inputs.online_path.empty() && inputs.model_path.empty()) {
+      inputs.config_path.empty() && inputs.online_path.empty() && inputs.model_path.empty() &&
+      inputs.migration_log_path.empty()) {
     return unexpected(
-        "nothing to lint: provide --trace, --sites, --report, --config, --online-policy "
-        "and/or --model");
+        "nothing to lint: provide --trace, --sites, --report, --config, --online-policy, "
+        "--model and/or --migration-log");
   }
 
   std::vector<Diagnostic> load_diags;
@@ -148,6 +149,7 @@ Expected<LintResult> lint_files(const RuleRegistry& registry, const LintInputs& 
   std::optional<advisor::AdvisorConfig> config;
   std::optional<Config> online;
   std::optional<learn::Model> model;
+  std::optional<MigrationLog> migration_log;
   std::optional<bom::ModuleTable> synthetic_modules;
   std::optional<TraceIndexView> trace_index;
 
@@ -251,6 +253,18 @@ Expected<LintResult> lint_files(const RuleRegistry& registry, const LintInputs& 
       ctx.model = &*model;
     } else {
       load_diags.push_back(error("model-load", inputs.model_path, loaded.error()));
+    }
+  }
+
+  if (!inputs.migration_log_path.empty()) {
+    ctx.migration_log_name = inputs.migration_log_path;
+    auto loaded = load_migration_log(inputs.migration_log_path);
+    if (loaded) {
+      migration_log.emplace(std::move(*loaded));
+      ctx.migration_log = &*migration_log;
+    } else {
+      load_diags.push_back(
+          error("migration-log-load", inputs.migration_log_path, loaded.error()));
     }
   }
 

@@ -33,6 +33,7 @@ struct LintInputs {
   std::string config_path;  ///< advisor configuration (.ini)
   std::string online_path;  ///< online placement policy (.ini)
   std::string model_path;   ///< ranking model (.ehm, ecohmem-train output)
+  std::string migration_log_path;  ///< migration CSV (ecohmem-run --migration-log)
 };
 
 struct LintResult {

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file migration_log.hpp
+/// Re-reads the migration CSV `ecohmem-run --migration-log` writes so the
+/// checker can validate the online policy's run against its counter
+/// identities (docs/online.md): every applied move appears as one row
+/// (with its sub-range offset for page-granular partial moves), and the
+/// trailing `# summary` comment restates the RunMetrics counters the rows
+/// must reproduce — applied row count, partial row count, byte total, and
+/// `scheduled == applied + cancelled`.
+///
+/// Parsing is strict: a row with the wrong column count or an unparseable
+/// numeric field is an error carrying the 1-based line number. The
+/// invariant checks live in the migration-* rules (rules_migration.cpp),
+/// not here.
+
+#include <string>
+#include <vector>
+
+#include "ecohmem/common/expected.hpp"
+#include "ecohmem/common/units.hpp"
+
+namespace ecohmem::check {
+
+/// One applied migration (a CSV data row).
+struct MigrationLogRow {
+  std::size_t line = 0;  ///< 1-based line number in the CSV
+  Ns at = 0;             ///< simulated start time of the copy
+  std::size_t object = 0;
+  std::size_t from_tier = 0;
+  std::size_t to_tier = 0;
+  Bytes bytes = 0;   ///< bytes moved (the range length for partial moves)
+  Bytes offset = 0;  ///< start of the moved range within the object
+  bool partial = false;
+};
+
+struct MigrationLog {
+  std::vector<MigrationLogRow> rows;
+
+  /// From the trailing "# summary ..." comment. A log without one is
+  /// truncated output; the migration-summary rule reports it.
+  bool has_summary = false;
+  std::uint64_t scheduled = 0;
+  std::uint64_t applied = 0;
+  std::uint64_t partial_moves = 0;
+  std::uint64_t cancelled = 0;
+  Bytes migrated_bytes = 0;
+};
+
+/// Parses migration-log text. Fails with a line number on a malformed
+/// header, row shape, or numeric field.
+[[nodiscard]] Expected<MigrationLog> parse_migration_log(std::string_view text);
+
+/// Reads and parses a migration-log file.
+[[nodiscard]] Expected<MigrationLog> load_migration_log(const std::string& path);
+
+}  // namespace ecohmem::check

@@ -6,8 +6,8 @@ namespace ecohmem::check {
 
 RuleRegistry RuleRegistry::builtin() {
   RuleRegistry registry;
-  for (auto&& factory :
-       {rules::trace_rules, rules::sites_rules, rules::report_rules, rules::online_rules}) {
+  for (auto&& factory : {rules::trace_rules, rules::sites_rules, rules::report_rules,
+                         rules::online_rules, rules::migration_rules}) {
     for (auto& rule : factory()) registry.add(std::move(rule));
   }
   return registry;

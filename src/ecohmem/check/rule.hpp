@@ -18,6 +18,9 @@
 ///             bandwidth classes, site provenance, matcher ambiguity)
 ///   online-*  online placement policy sanity (key spelling and value
 ///             ranges of the [online] INI, docs/online.md)
+///   migration-* migration-log audit (`ecohmem-run --migration-log`):
+///             conservation identities, sub-range well-formedness,
+///             time order, chunk alignment against the policy
 ///
 /// New rules: subclass `Rule`, then `registry.add(std::make_unique<...>())`
 /// — or start from `RuleRegistry::builtin()` and extend it.
@@ -101,6 +104,7 @@ namespace rules {
 [[nodiscard]] std::vector<std::unique_ptr<Rule>> sites_rules();
 [[nodiscard]] std::vector<std::unique_ptr<Rule>> report_rules();
 [[nodiscard]] std::vector<std::unique_ptr<Rule>> online_rules();
+[[nodiscard]] std::vector<std::unique_ptr<Rule>> migration_rules();
 }  // namespace rules
 
 }  // namespace ecohmem::check

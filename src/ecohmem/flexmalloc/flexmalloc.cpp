@@ -209,6 +209,68 @@ Expected<MigrationOutcome> FlexMalloc::migrate(std::uint64_t address, std::size_
   return out;
 }
 
+Expected<MigrationOutcome> FlexMalloc::migrate(std::uint64_t address, std::size_t target_tier,
+                                               Bytes offset, Bytes length) {
+  if (target_tier >= heaps_.size()) {
+    return unexpected("migrate: unknown target tier index " + std::to_string(target_tier));
+  }
+  std::size_t source = heaps_.size();
+  for (std::size_t i = 0; i < heaps_.size(); ++i) {
+    if (heaps_[i]->owns(address)) {
+      source = i;
+      break;
+    }
+  }
+  if (source == heaps_.size()) {
+    return unexpected("migrate: address not owned by any heap");
+  }
+  if (source == target_tier) {
+    return unexpected("migrate: block already lives in tier '" + heaps_[source]->name() + "'");
+  }
+  const auto size = heaps_[source]->block_size(address);
+  if (!size) return unexpected("migrate: " + size.error());
+  if (length == 0 || offset > *size || length > *size - offset) {
+    return unexpected("migrate: sub-range [" + std::to_string(offset) + ", " +
+                      std::to_string(offset + length) + ") outside block of " +
+                      std::to_string(*size) + " bytes");
+  }
+  // A tail remnant smaller than one alignment unit is exactly the
+  // block's padding (blocks are alignment-padded) and could never be
+  // released on its own; absorb it into the moved range so chunk-sized
+  // requests against the end of a padded block stay releasable.
+  if (*size - offset - length < heaps_[source]->alignment()) length = *size - offset;
+  // The whole block is a plain migration — no split needed.
+  if (offset == 0 && length == *size) return migrate(address, target_tier);
+
+  MigrationOutcome out;
+  out.from_tier = source;
+  out.bytes = length;
+
+  // Destination first (same contract as the whole-block form): a full
+  // target refuses and leaves the source block untouched.
+  const auto moved_to = heaps_[target_tier]->allocate(length);
+  if (!moved_to) {
+    migration_refusals_.fetch_add(1, std::memory_order_relaxed);
+    out.moved = false;
+    out.address = address;
+    return out;
+  }
+  const auto freed = heaps_[source]->release_range(address, offset, length);
+  if (!freed) {
+    // Misaligned or raced sub-range; roll the copy back so a failure
+    // never leaks destination capacity.
+    (void)heaps_[target_tier]->deallocate(*moved_to);
+    return unexpected("migrate: source sub-range release failed: " + freed.error());
+  }
+
+  out.moved = true;
+  out.address = *moved_to;
+  migrations_.fetch_add(1, std::memory_order_relaxed);
+  migrated_bytes_.fetch_add(length, std::memory_order_relaxed);
+  atomic_max(tier_stats_[target_tier]->high_water, heaps_[target_tier]->used());
+  return out;
+}
+
 bool FlexMalloc::can_absorb(Bytes total_requested, std::uint64_t allocations) const {
   for (const auto& heap : heaps_) {
     const Bytes capacity = heap->capacity();

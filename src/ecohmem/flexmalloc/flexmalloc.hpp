@@ -116,6 +116,21 @@ class FlexMalloc {
   [[nodiscard]] Expected<MigrationOutcome> migrate(std::uint64_t address,
                                                    std::size_t target_tier);
 
+  /// Sub-range form of `migrate` (page-granular migration): moves only
+  /// `[address + offset, address + offset + length)` of the live block,
+  /// leaving the rest of the block in place — how huge objects migrate
+  /// 2 MiB chunks at a time instead of as a whole (docs/online.md). The
+  /// moved range becomes its own block in the target heap (the returned
+  /// `address`); the source block is split around the released range
+  /// (`ArenaHeap::release_range`), so `offset` must be aligned to the
+  /// source heap's alignment and `length` must be aligned or reach the
+  /// block's end. Covering the whole block is exactly `migrate`. Same
+  /// refusal/locking contract as the whole-block form; `bytes` in the
+  /// outcome is `length`.
+  [[nodiscard]] Expected<MigrationOutcome> migrate(std::uint64_t address,
+                                                   std::size_t target_tier, Bytes offset,
+                                                   Bytes length);
+
   /// Completed (moved) migrations and the padded bytes they moved.
   [[nodiscard]] std::uint64_t migrations() const {
     return migrations_.load(std::memory_order_relaxed);

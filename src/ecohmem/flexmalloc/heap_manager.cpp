@@ -78,6 +78,52 @@ Expected<Bytes> ArenaHeap::deallocate(std::uint64_t address) {
   return size;
 }
 
+Expected<Bytes> ArenaHeap::release_range(std::uint64_t address, Bytes offset, Bytes length) {
+  common::ScopedLock lock(mu_);
+  const auto it = live_.find(address);
+  if (it == live_.end()) {
+    return unexpected("heap '" + name_ + "': release_range on unknown address");
+  }
+  const Bytes size = it->second;
+  if (length == 0 || offset > size || length > size - offset) {
+    return unexpected("heap '" + name_ + "': release_range [" + std::to_string(offset) + ", " +
+                      std::to_string(offset + length) + ") outside block of " +
+                      std::to_string(size) + " bytes");
+  }
+  if (offset % alignment_ != 0 ||
+      (offset + length != size && length % alignment_ != 0)) {
+    return unexpected("heap '" + name_ + "': release_range must be aligned to " +
+                      std::to_string(alignment_) + " bytes");
+  }
+
+  // Split the live block around the released middle (0, 1 or 2 remnants).
+  live_.erase(it);
+  if (offset > 0) live_.emplace(address, offset);
+  if (offset + length < size) {
+    live_.emplace(address + offset + length, size - offset - length);
+  }
+  live_count_.store(live_.size(), std::memory_order_relaxed);
+  used_.fetch_sub(length, std::memory_order_relaxed);
+
+  // Insert the freed middle into the free list, coalescing with
+  // neighbours (same dance as deallocate).
+  auto [pos, inserted] = free_.emplace(address + offset, length);
+  (void)inserted;
+  if (pos != free_.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->first + prev->second == pos->first) {
+      prev->second += pos->second;
+      free_.erase(pos);
+      pos = prev;
+    }
+  }
+  if (auto next = std::next(pos); next != free_.end() && pos->first + pos->second == next->first) {
+    pos->second += next->second;
+    free_.erase(next);
+  }
+  return length;
+}
+
 Expected<Bytes> ArenaHeap::block_size(std::uint64_t address) const {
   common::ScopedLock lock(mu_);
   const auto it = live_.find(address);

@@ -55,6 +55,14 @@ class HeapManager {
 
   /// Tier name this heap backs (matches the report's tier names).
   [[nodiscard]] virtual const std::string& name() const = 0;
+
+  /// Block alignment: every allocation is padded to a multiple of this.
+  [[nodiscard]] virtual Bytes alignment() const = 0;
+
+  /// Padded size of the live block at `address`; fails when no live
+  /// block starts there. Used by FlexMalloc's object migration to size
+  /// the destination allocation before touching the source block.
+  [[nodiscard]] virtual Expected<Bytes> block_size(std::uint64_t address) const = 0;
 };
 
 /// Simulated-address-space heap with first-fit reuse of freed blocks.
@@ -82,15 +90,25 @@ class ArenaHeap final : public HeapManager {
   /// Start of this heap's simulated VA range.
   [[nodiscard]] std::uint64_t base() const { return base_; }
 
-  /// Padded size of the live block at `address`; fails when no live
-  /// block starts there. Used by FlexMalloc's object migration to size
-  /// the destination allocation before touching the source block.
-  [[nodiscard]] Expected<Bytes> block_size(std::uint64_t address) const;
+  [[nodiscard]] Expected<Bytes> block_size(std::uint64_t address) const override;
 
-  /// Block alignment: every allocation is padded to a multiple of this,
-  /// so a request for `size` bytes consumes at most `size + alignment()`
+  /// Releases the sub-range `[address + offset, address + offset +
+  /// length)` of the live block at `address` back to the free list,
+  /// leaving up to two live remnant blocks (before/after the range).
+  /// The freed middle coalesces with free neighbours exactly like a
+  /// whole-block free. `offset` must be a multiple of `alignment()`, and
+  /// `length` must either be a multiple of `alignment()` or reach the
+  /// end of the block (so remnant starts stay aligned). Releasing the
+  /// whole block is equivalent to `deallocate`. Returns the bytes
+  /// released. This is the heap half of sub-range (page-granular)
+  /// object migration — FlexMalloc carves chunks out of huge blocks
+  /// instead of moving them whole.
+  [[nodiscard]] Expected<Bytes> release_range(std::uint64_t address, Bytes offset, Bytes length);
+
+  /// Every allocation is padded to a multiple of `alignment()`, so a
+  /// request for `size` bytes consumes at most `size + alignment()`
   /// bytes of capacity (zero-byte requests consume exactly one unit).
-  [[nodiscard]] Bytes alignment() const { return alignment_; }
+  [[nodiscard]] Bytes alignment() const override { return alignment_; }
 
   /// Number of currently live (allocated, unfreed) blocks.
   [[nodiscard]] std::uint64_t live_blocks() const {

@@ -15,7 +15,7 @@ void HotnessTracker::record(std::size_t object, double events, Bytes bytes) {
   const double density = mib > 0.0 ? events / mib : 0.0;
   auto [it, inserted] = entries_.try_emplace(object);
   Entry& e = it->second;
-  if (inserted) e.born = kernel_;
+  if (inserted) e.born = static_cast<std::int64_t>(kernel_);
   e.hotness = (1.0 - alpha_) * e.hotness + alpha_ * density;
   e.touched = true;
 }
@@ -55,9 +55,22 @@ double HotnessTracker::shield(std::size_t object) const {
 
 std::uint64_t HotnessTracker::age(std::size_t object) const {
   const auto it = entries_.find(object);
-  return it != entries_.end() ? kernel_ - it->second.born : 0;
+  if (it == entries_.end()) return 0;
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(kernel_) - it->second.born);
 }
 
 void HotnessTracker::forget(std::size_t object) { entries_.erase(object); }
+
+void HotnessTracker::seed(std::size_t object, double prior) {
+  auto [it, inserted] = entries_.try_emplace(object);
+  if (!inserted) return;
+  Entry& e = it->second;
+  e.born = static_cast<std::int64_t>(kernel_) - static_cast<std::int64_t>(window_);
+  e.hotness = prior;
+  // The prior enters the peak window at the current kernel, so the
+  // shield survives exactly `window` unseen kernels before the seeded
+  // object becomes a displacement victim like any cooled-off resident.
+  e.peaks.emplace_back(kernel_, prior);
+}
 
 }  // namespace ecohmem::online

@@ -64,14 +64,25 @@ class HotnessTracker {
   /// Drops an object's history (called when it is freed).
   void forget(std::size_t object);
 
+  /// Seeds an object with offline-guidance history: the entry is born
+  /// `window` kernels in the past (so the age gate treats it as mature
+  /// immediately) and its EWMA/shield start at `prior` instead of 0.
+  /// Used by the guidance-seeded mode (docs/online.md) so report-placed
+  /// objects are neither blocked from promotion nor instantly displaced
+  /// before the sampler has observed them. No-op when the object is
+  /// already tracked — live sampling beats a stale prior.
+  void seed(std::size_t object, double prior);
+
   /// Number of objects with tracked history.
   [[nodiscard]] std::size_t tracked() const { return entries_.size(); }
 
  private:
   struct Entry {
     double hotness = 0.0;
-    bool touched = false;       ///< recorded since the last end_kernel()
-    std::uint64_t born = 0;     ///< kernel_ when the entry was created
+    bool touched = false;    ///< recorded since the last end_kernel()
+    /// kernel_ when the entry was created. Signed: seed() backdates an
+    /// entry by a full window, which near startup lands before kernel 0.
+    std::int64_t born = 0;
     /// Monotonic max-deque over the last `window` per-kernel EWMA values:
     /// front() is the windowed maximum; values are (kernel index, ewma).
     std::deque<std::pair<std::uint64_t, double>> peaks;

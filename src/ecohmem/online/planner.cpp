@@ -31,19 +31,51 @@ std::vector<PlannedMove> MigrationPlanner::plan(const std::vector<ObjectView>& v
   const auto byte_budget_allows = [&](Bytes extra) {
     return config_.max_bytes_per_step == 0 || moved_bytes + extra <= config_.max_bytes_per_step;
   };
+  const auto byte_budget_room = [&]() -> Bytes {
+    if (config_.max_bytes_per_step == 0) return ~Bytes{0};
+    return config_.max_bytes_per_step > moved_bytes ? config_.max_bytes_per_step - moved_bytes
+                                                    : 0;
+  };
+  const auto is_huge = [&](const ObjectView* v) {
+    return config_.huge_object_bytes != 0 && v->bytes >= config_.huge_object_bytes;
+  };
+  const auto chunk_floor = [&](Bytes n) { return n - n % config_.chunk_bytes; };
+
+  // A promotion moves the not-yet-promoted remainder [fast_bytes, bytes)
+  // (the whole object in the ordinary fast_bytes == 0 case); partial
+  // promotions of huge objects move a chunk-aligned prefix of it.
+  const auto push_promote = [&](const ObjectView* h, Bytes length) {
+    moves.push_back(PlannedMove{h->object, h->tier, fast_tier, length, h->fast_bytes,
+                                length != h->bytes});
+    headroom -= length;
+    moved_bytes += length;
+  };
 
   for (const ObjectView* h : hot) {
     if (moves.size() >= config_.max_moves_per_step) break;
     if (h->hotness < config_.min_density) break;  // sorted: the rest are colder
     if (h->age < config_.window) continue;  // maturity gate: too young to trust
+    const Bytes remaining = h->bytes - std::min(h->fast_bytes, h->bytes);
+    if (remaining == 0) continue;  // fully promoted by earlier sub-range moves
 
-    if (h->bytes <= headroom) {
-      if (!byte_budget_allows(h->bytes)) continue;
-      moves.push_back(PlannedMove{h->object, h->tier, fast_tier, h->bytes});
-      headroom -= h->bytes;
-      moved_bytes += h->bytes;
+    if (remaining <= headroom && byte_budget_allows(remaining)) {
+      push_promote(h, remaining);
       continue;
     }
+
+    // The remainder does not fit the free headroom (or would blow the
+    // per-step byte budget). A huge object first tries a chunk-aligned
+    // partial promotion into whatever free space the budget still
+    // covers — no victim has to move for a sub-range.
+    if (is_huge(h)) {
+      const Bytes take =
+          std::min(remaining, chunk_floor(std::min(headroom, byte_budget_room())));
+      if (take > 0) {
+        push_promote(h, take);
+        continue;
+      }
+    }
+    if (remaining <= headroom) continue;  // whole fit blocked only by the budget
 
     // No free headroom: collect victims whose windowed shield the
     // candidate beats by the hysteresis margin, coldest shield first.
@@ -56,22 +88,35 @@ std::vector<PlannedMove> MigrationPlanner::plan(const std::vector<ObjectView>& v
       }
       victims.push_back(ci);
       freed += cold[ci]->bytes;
-      if (headroom + freed >= h->bytes) break;
+      if (headroom + freed >= remaining) break;
     }
-    if (headroom + freed < h->bytes) continue;  // a smaller candidate may still fit
+    Bytes grant = 0;
+    if (headroom + freed >= remaining) {
+      grant = remaining;
+    } else if (is_huge(h)) {
+      // Every displaceable victim freed still does not fit the whole
+      // remainder: promote the chunk-aligned part that does fit.
+      grant = std::min(remaining, chunk_floor(headroom + freed));
+    }
+    if (grant == 0) continue;  // a smaller candidate may still fit
+    // Drop victims the granted amount does not actually need (a partial
+    // grant can undershoot the collected set).
+    while (!victims.empty() && headroom + freed - cold[victims.back()]->bytes >= grant) {
+      freed -= cold[victims.back()]->bytes;
+      victims.pop_back();
+    }
     if (moves.size() + victims.size() + 1 > config_.max_moves_per_step) continue;
-    if (!byte_budget_allows(freed + h->bytes)) continue;
+    if (!byte_budget_allows(freed + grant)) continue;
 
     for (const std::size_t ci : victims) {
       // Victims demote to the tier the hot object vacates.
-      moves.push_back(PlannedMove{cold[ci]->object, fast_tier, h->tier, cold[ci]->bytes});
+      moves.push_back(
+          PlannedMove{cold[ci]->object, fast_tier, h->tier, cold[ci]->bytes, 0, false});
       claimed[ci] = true;
       headroom += cold[ci]->bytes;
       moved_bytes += cold[ci]->bytes;
     }
-    moves.push_back(PlannedMove{h->object, h->tier, fast_tier, h->bytes});
-    headroom -= h->bytes;
-    moved_bytes += h->bytes;
+    push_promote(h, grant);
   }
   return moves;
 }

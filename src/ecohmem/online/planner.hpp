@@ -49,14 +49,22 @@ struct ObjectView {
   double hotness = 0.0;    ///< EWMA miss density (events per MiB)
   double shield = 0.0;     ///< EWMA peak over the last `window` kernels
   std::uint64_t age = 0;   ///< kernels of tracked history since allocation
+  /// Bytes already resident in the fast tier from earlier sub-range
+  /// promotions (page-granular migration). 0 for ordinary objects; equal
+  /// to `bytes` for fast-tier residents.
+  Bytes fast_bytes = 0;
 };
 
-/// One proposed migration.
+/// One proposed migration. Ordinary moves cover the whole object
+/// (`offset` 0, `bytes` = object size, `partial` false); page-granular
+/// moves of huge objects cover one contiguous chunk-aligned sub-range.
 struct PlannedMove {
   std::size_t object = 0;
   std::size_t from_tier = 0;
   std::size_t to_tier = 0;
-  Bytes bytes = 0;
+  Bytes bytes = 0;         ///< length of the moved range
+  Bytes offset = 0;        ///< start of the range within the object
+  bool partial = false;    ///< true when the range is a strict sub-range
 };
 
 class MigrationPlanner {
@@ -66,6 +74,13 @@ class MigrationPlanner {
   /// Plans promote/demote moves toward `fast_tier` given its current
   /// free headroom. Demotes always precede the promote they make room
   /// for, so applying the list in order never overcommits the tier.
+  ///
+  /// Objects of at least `huge_object_bytes` promote page-granularly:
+  /// when the whole remainder does not fit, a chunk-aligned prefix of
+  /// the not-yet-promoted range moves instead (one contiguous sub-range
+  /// per evaluation, so `max_moves_per_step` caps evaluations, not
+  /// chunks). Later evaluations continue from `fast_bytes`, so a hot
+  /// huge object promotes incrementally until resident.
   [[nodiscard]] std::vector<PlannedMove> plan(const std::vector<ObjectView>& views,
                                               std::size_t fast_tier,
                                               Bytes fast_headroom) const;

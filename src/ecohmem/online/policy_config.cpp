@@ -10,6 +10,7 @@ constexpr const char* kKeys[] = {
     "sample_rate",       "ewma_alpha",        "window",
     "hysteresis",        "min_density",       "max_moves_per_step",
     "max_bytes_per_step", "bandwidth_fraction", "seed",
+    "chunk_bytes",       "huge_object_bytes",
     nullptr,
 };
 
@@ -49,6 +50,13 @@ Status OnlinePolicyConfig::validate() const {
   if (!in_unit(bandwidth_fraction)) {
     return unexpected("online policy: bandwidth_fraction must be in (0, 1], got " +
                       std::to_string(bandwidth_fraction));
+  }
+  if (chunk_bytes == 0 || (chunk_bytes & (chunk_bytes - 1)) != 0) {
+    return unexpected("online policy: chunk_bytes must be a power of two, got " +
+                      std::to_string(chunk_bytes));
+  }
+  if (huge_object_bytes != 0 && huge_object_bytes < chunk_bytes) {
+    return unexpected("online policy: huge_object_bytes must be 0 (disabled) or >= chunk_bytes");
   }
   return {};
 }
@@ -94,6 +102,12 @@ Expected<OnlinePolicyConfig> OnlinePolicyConfig::from_config(const Config& confi
   const auto seed = section->get_u64("seed", out.seed);
   if (!seed) return unexpected(seed.error());
   out.seed = *seed;
+  const auto chunk = section->get_bytes("chunk_bytes", out.chunk_bytes);
+  if (!chunk) return unexpected(chunk.error());
+  out.chunk_bytes = *chunk;
+  const auto huge = section->get_bytes("huge_object_bytes", out.huge_object_bytes);
+  if (!huge) return unexpected(huge.error());
+  out.huge_object_bytes = *huge;
 
   if (Status s = out.validate(); !s) return unexpected(s.error());
   return out;

@@ -74,6 +74,17 @@ struct OnlinePolicyConfig {
   /// policy + same workload => bit-identical migration sequence.
   std::uint64_t seed = 0x0ec0;
 
+  /// Granularity of sub-range (page-granular) migration (> 0, a power
+  /// of two). Partial moves of huge objects are aligned to and rounded
+  /// to multiples of this chunk — 2 MiB by default, the x86-64 huge-page
+  /// size real PMem migrators move (Marques et al.).
+  Bytes chunk_bytes = 2ull << 20;
+
+  /// Objects at least this large are migrated in chunk-aligned
+  /// sub-ranges instead of as a whole (docs/online.md). 0 disables
+  /// page-granular migration entirely.
+  Bytes huge_object_bytes = 1ull << 30;
+
   /// Range-checks every field; returns the first violation.
   [[nodiscard]] Status validate() const;
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "ecohmem/common/rng.hpp"
+#include "ecohmem/common/units.hpp"
 
 namespace ecohmem::online {
 
@@ -23,6 +24,7 @@ struct ObjectAccess {
   std::size_t object = 0;
   double load_misses = 0.0;
   double store_misses = 0.0;
+  Bytes bytes = 0;  ///< live size, for miss-density (events/MiB) tracking
 };
 
 /// Sampled (load + store) event counts for one object in one kernel.

@@ -8,10 +8,11 @@
 #include <string>
 #include <unordered_map>
 
-#include "ecohmem/online/hotness.hpp"
 #include "ecohmem/online/planner.hpp"
 #include "ecohmem/online/policy_config.hpp"
 #include "ecohmem/online/sampler.hpp"
+#include "ecohmem/online/sharded.hpp"
+#include "ecohmem/runtime/guidance.hpp"
 #include "ecohmem/runtime/worker_pool.hpp"
 
 namespace ecohmem::runtime {
@@ -163,7 +164,7 @@ struct FunctionTable {
 /// bandwidth meters: the serial path adds to one meter directly, the
 /// parallel path fans the entries out over per-worker shard meters.
 /// `online_feedback`, when non-null, receives this kernel's per-object
-/// miss counts for the online sampler (serial path only).
+/// miss counts (with live sizes) for the sharded online sampler.
 Expected<Ns> replay_kernel(
     const memsim::MemorySystem& system, const EngineOptions& options, const Workload& workload,
     const KernelOp& kop, ExecutionMode& mode, const std::vector<LiveState>& live, Ns now,
@@ -196,7 +197,8 @@ Expected<Ns> replay_kernel(
     for (std::size_t i = 0; i < objects.size(); ++i) {
       online_feedback->push_back(online::ObjectAccess{objects[i].object,
                                                       cache_outcome.per_object[i].load_misses,
-                                                      cache_outcome.per_object[i].store_misses});
+                                                      cache_outcome.per_object[i].store_misses,
+                                                      live[objects[i].object].bytes});
     }
   }
 
@@ -278,30 +280,69 @@ Expected<Ns> replay_kernel(
   return end;
 }
 
-/// Serial-replay state of the online placement subsystem: the sampler /
-/// tracker / planner trio plus the moves scheduled at the last policy
-/// evaluation, which are applied at the *next* kernel boundary — the
-/// window in which a free or realloc can invalidate a scheduled move
-/// (detected via the allocation uid and counted as cancelled).
+/// Engine tier migrations promote toward (the DRAM-class tier by the
+/// system-building convention used throughout tools/ and tests/).
+constexpr std::size_t kFastTier = 0;
+
+/// Per-site guided-to-fast-tier flags from an optional guidance seed
+/// (`--from-report`); empty when no guidance is attached.
+std::vector<unsigned char> guided_fast_sites(const GuidanceSeed* guidance,
+                                             const Workload& workload,
+                                             const memsim::MemorySystem& system) {
+  std::vector<unsigned char> flags;
+  if (guidance == nullptr) return flags;
+  const std::string& fast_name = system.tier(kFastTier).name();
+  flags.resize(workload.sites.size(), 0);
+  for (std::size_t s = 0; s < workload.sites.size(); ++s) {
+    flags[s] = guidance->site_maps_to(s, fast_name) ? 1 : 0;
+  }
+  return flags;
+}
+
+/// State of the online placement subsystem, shared by both replay paths:
+/// the sharded sampler/hotness state (online/sharded.hpp), the planner,
+/// the moves scheduled at the last policy evaluation — applied at the
+/// *next* kernel boundary, the window in which a free or realloc can
+/// invalidate a scheduled move (detected via the allocation uid and
+/// counted as cancelled) — and the guidance seeding state. Everything
+/// except `process_kernel_shard` fan-out runs on the engine thread.
 struct OnlineDriver {
-  explicit OnlineDriver(const online::OnlinePolicyConfig& cfg)
+  OnlineDriver(const online::OnlinePolicyConfig& cfg, std::vector<unsigned char> guided)
       : config(&cfg),
-        sampler(cfg.sample_rate, cfg.seed),
-        tracker(cfg.ewma_alpha, cfg.window),
-        planner(cfg) {}
+        state(cfg),
+        planner(cfg),
+        site_fast(std::move(guided)),
+        have_guidance(!site_fast.empty()) {}
 
   const online::OnlinePolicyConfig* config;
-  online::AccessSampler sampler;
-  online::HotnessTracker tracker;
+  online::ShardedOnlineState state;
   online::MigrationPlanner planner;
   std::vector<online::PlannedMove> pending;
   std::vector<std::uint64_t> pending_uid;      ///< uid at scheduling time
   std::vector<online::ObjectAccess> feedback;  ///< reused per kernel
 
+  /// Guidance seeding (--from-report): per-site flag, set when the
+  /// report maps the site to the fast tier.
+  std::vector<unsigned char> site_fast;
+  bool have_guidance = false;
+  bool seed_scan_done = false;         ///< one-time live-object scan ran
+  std::deque<std::size_t> seed_queue;  ///< guided objects awaiting promotion
+
   /// Monotonic min-deque of fast-tier headroom observed at the last
   /// `window` kernel boundaries: (kernel index, headroom bytes).
   std::deque<std::pair<std::uint64_t, Bytes>> headroom_window;
   std::uint64_t headroom_kernel = 0;
+
+  /// Seeds mature hotness history for an object born at a fast-guided
+  /// site, so the maturity gate does not keep report-designated objects
+  /// out of the first planning rounds. Engine thread only — the serial
+  /// path calls it at the AllocOp, the parallel path at batch flush in
+  /// program order, which is the same state by kernel time (seeding is
+  /// first-write-wins and forgets erase whole histories).
+  void maybe_seed(std::size_t object, std::size_t site) {
+    if (!have_guidance || site >= site_fast.size() || site_fast[site] == 0) return;
+    state.seed(object, config->min_density);
+  }
 
   /// Folds the headroom observed at this kernel boundary into the
   /// window and returns the windowed minimum. Kernel-boundary headroom
@@ -324,12 +365,185 @@ struct OnlineDriver {
   }
 };
 
+/// Policy evaluation at a kernel boundary (engine thread, both replay
+/// paths). Folds the headroom window, and — when no plan is pending —
+/// drains the guidance seed queue or asks the planner for promote/demote
+/// moves. The seed queue is built once, at the first evaluation, from
+/// live fast-guided objects stranded in slow tiers (objects allocated
+/// later at guided sites are covered by their seeded hotness instead);
+/// seeded promotions use free headroom only (fit-or-skip; huge objects
+/// may take a chunk-aligned partial grant) and never displace residents.
+void evaluate_online_policy(OnlineDriver& d, const Workload& workload, ExecutionMode& mode,
+                            const std::vector<LiveState>& live, RunMetrics& metrics) {
+  const Bytes usable_headroom = d.conservative_headroom(mode.migration_headroom(kFastTier));
+  if (!d.pending.empty()) return;
+
+  if (d.have_guidance && !d.seed_scan_done) {
+    d.seed_scan_done = true;
+    for (std::size_t obj = 0; obj < live.size(); ++obj) {
+      if (!live[obj].live) continue;
+      if (d.site_fast[workload.objects[obj].site] == 0) continue;
+      const auto tier = mode.object_tier(obj);
+      if (!tier || *tier == kFastTier) continue;
+      d.seed_queue.push_back(obj);
+    }
+  }
+
+  if (!d.seed_queue.empty()) {
+    const Bytes chunk = d.config->chunk_bytes;
+    const Bytes max_bytes = d.config->max_bytes_per_step;
+    Bytes headroom = usable_headroom;
+    Bytes bytes_planned = 0;
+    while (!d.seed_queue.empty() && d.pending.size() < d.config->max_moves_per_step) {
+      const std::size_t obj = d.seed_queue.front();
+      if (!live[obj].live) {
+        d.seed_queue.pop_front();
+        continue;
+      }
+      const auto tier = mode.object_tier(obj);
+      if (!tier || *tier == kFastTier) {
+        d.seed_queue.pop_front();
+        continue;
+      }
+      const Bytes total = live[obj].bytes;
+      const Bytes fast_bytes = std::min(mode.partial_resident_bytes(obj, kFastTier), total);
+      const Bytes remaining = total - fast_bytes;
+      if (remaining == 0) {
+        d.seed_queue.pop_front();
+        continue;
+      }
+      Bytes room = headroom;
+      if (max_bytes != 0) room = std::min(room, max_bytes - bytes_planned);
+      if (remaining <= room) {
+        d.pending.push_back(online::PlannedMove{obj, *tier, kFastTier, remaining, fast_bytes,
+                                                remaining != total});
+        headroom -= remaining;
+        bytes_planned += remaining;
+        d.seed_queue.pop_front();
+        continue;
+      }
+      const bool huge =
+          d.config->huge_object_bytes != 0 && total >= d.config->huge_object_bytes;
+      if (huge) {
+        const Bytes take = room - room % chunk;
+        if (take == 0) break;  // below one chunk of room; retry next evaluation
+        d.pending.push_back(online::PlannedMove{obj, *tier, kFastTier, take, fast_bytes, true});
+        bytes_planned += take;
+        break;  // the partial grant consumed the remaining room
+      }
+      // Does not fit the current headroom: drop it from the queue — the
+      // policy can still promote it later from observed hotness.
+      d.seed_queue.pop_front();
+    }
+  }
+
+  if (d.pending.empty()) {
+    std::vector<online::ObjectView> views;
+    views.reserve(live.size());
+    for (std::size_t obj = 0; obj < live.size(); ++obj) {
+      if (!live[obj].live) continue;
+      const auto tier = mode.object_tier(obj);
+      if (!tier) continue;
+      const Bytes fast_bytes =
+          *tier == kFastTier
+              ? live[obj].bytes
+              : std::min(mode.partial_resident_bytes(obj, kFastTier), live[obj].bytes);
+      views.push_back(online::ObjectView{obj, live[obj].bytes, *tier, d.state.hotness(obj),
+                                         d.state.shield(obj), d.state.age(obj), fast_bytes});
+    }
+    d.pending = d.planner.plan(views, kFastTier, usable_headroom);
+  }
+
+  d.pending_uid.clear();
+  d.pending_uid.reserve(d.pending.size());
+  for (const online::PlannedMove& mv : d.pending) {
+    d.pending_uid.push_back(live[mv.object].uid);
+  }
+  metrics.migrations_scheduled += d.pending.size();
+}
+
+/// Applies the moves scheduled at the previous policy evaluation (engine
+/// thread, both replay paths). Runs just before a kernel replays, so the
+/// object set is quiesced; moves whose object was freed or realloc'd
+/// since scheduling (the uid changed) and moves refused by a now-full
+/// target are cancelled, never errors — and a cancelled move charges
+/// nothing: no cost-model time, no tier traffic, no bandwidth, which is
+/// what keeps `migrations_scheduled == migrations + migrations_cancelled`
+/// an exact byte-accounting identity. Applied moves charge the cost
+/// model into the clock, the per-tier traffic totals and the bandwidth
+/// timeline — migrations are never free. Partial (sub-range) moves go
+/// through `migrate_object_range` and keep the object's home address.
+Status apply_pending_migrations(OnlineDriver& d, ExecutionMode& mode,
+                                std::vector<LiveState>& live,
+                                const memsim::MemorySystem& system, RunMetrics& metrics,
+                                Ns& now, memsim::BandwidthMeter& bw_meter) {
+  for (std::size_t i = 0; i < d.pending.size(); ++i) {
+    const online::PlannedMove& mv = d.pending[i];
+    auto& state = live[mv.object];
+    if (!state.live || state.uid != d.pending_uid[i]) {
+      ++metrics.migrations_cancelled;
+      continue;
+    }
+    const bool partial = mv.partial || mv.offset != 0;
+    auto moved = partial ? mode.migrate_object_range(mv.object, state.address, mv.to_tier,
+                                                     mv.offset, mv.bytes)
+                         : mode.migrate_object(mv.object, state.address, mv.to_tier);
+    if (!moved) return unexpected("online migration failed: " + moved.error());
+    if (!moved->moved) {
+      ++metrics.migrations_cancelled;
+      continue;
+    }
+    // Whole-object moves relocate the home block; sub-range moves leave
+    // it in place (the mode's fragment map tracks the moved pieces).
+    if (!moved->partial) state.address = moved->address;
+
+    const double cost_ns = online::migration_cost_ns(moved->bytes, system, moved->from_tier,
+                                                     mv.to_tier, d.config->bandwidth_fraction);
+    const Ns start = now;
+    const Ns end = now + static_cast<Ns>(std::llround(cost_ns));
+    const double bytes = static_cast<double>(moved->bytes);
+    metrics.tier_traffic[moved->from_tier].read_bytes += bytes;
+    metrics.tier_traffic[mv.to_tier].write_bytes += bytes;
+    bw_meter.add(moved->from_tier, start, end, bytes);
+    bw_meter.add(mv.to_tier, start, end, bytes);
+    now = end;
+
+    metrics.migration_ns += cost_ns;
+    metrics.migrated_bytes += moved->bytes;
+    ++metrics.migrations;
+    if (moved->partial) ++metrics.migrations_partial;
+    metrics.migration_events.push_back(MigrationRecord{start, mv.object, moved->from_tier,
+                                                       mv.to_tier, moved->bytes, moved->offset,
+                                                       moved->partial});
+  }
+  d.pending.clear();
+  d.pending_uid.clear();
+  return {};
+}
+
 }  // namespace
 
 Expected<RunMetrics> ExecutionEngine::run(const Workload& workload, ExecutionMode& mode) {
   if (options_.replay_threads < 1) {
     return unexpected("EngineOptions.replay_threads must be >= 1, got " +
                       std::to_string(options_.replay_threads));
+  }
+  // Online placement rules hold uniformly at any thread count: the
+  // policy must validate, the mode must support migration, and no
+  // observer may be attached (profiling runs and migrating runs are
+  // mutually exclusive — the observer would see addresses the policy is
+  // about to invalidate).
+  if (options_.online_policy != nullptr) {
+    if (Status s = options_.online_policy->validate(); !s) return unexpected(s.error());
+    if (options_.observer != nullptr) {
+      return unexpected(
+          "online placement does not support observers; detach the observer or drop the "
+          "online policy");
+    }
+    if (!mode.supports_object_migration()) {
+      return unexpected("online placement needs an execution mode with object migration; "
+                        "mode '" + mode.name() + "' has none (use app-direct)");
+    }
   }
   if (options_.replay_threads == 1) return run_serial(workload, mode);
   return run_parallel(workload, mode, static_cast<std::size_t>(options_.replay_threads));
@@ -357,12 +571,8 @@ Expected<RunMetrics> ExecutionEngine::run_serial(const Workload& workload, Execu
 
   std::optional<OnlineDriver> online_driver;
   if (options_.online_policy != nullptr) {
-    if (Status s = options_.online_policy->validate(); !s) return unexpected(s.error());
-    if (!mode.supports_object_migration()) {
-      return unexpected("online placement needs an execution mode with object migration; "
-                        "mode '" + mode.name() + "' has none (use app-direct)");
-    }
-    online_driver.emplace(*options_.online_policy);
+    online_driver.emplace(*options_.online_policy,
+                          guided_fast_sites(options_.guidance, workload, *system_));
   }
 
   const auto record_bw = [&](Ns start, Ns end, const std::vector<ObjectTraffic>& traffic) {
@@ -375,53 +585,6 @@ Expected<RunMetrics> ExecutionEngine::run_serial(const Workload& workload, Execu
 
   Ns now = 0;
   OverheadClock overhead_clock;
-
-  // Applies the moves scheduled at the previous policy evaluation. Runs
-  // just before a kernel replays, so the object set is quiesced; moves
-  // whose object was freed or realloc'd since scheduling (the uid
-  // changed) and moves refused by a now-full target are cancelled, never
-  // errors. Applied moves charge the cost model into the clock, the
-  // per-tier traffic totals and the bandwidth timeline — migrations are
-  // never free.
-  const auto apply_pending_migrations = [&]() -> Status {
-    OnlineDriver& d = *online_driver;
-    for (std::size_t i = 0; i < d.pending.size(); ++i) {
-      const online::PlannedMove& mv = d.pending[i];
-      auto& state = live[mv.object];
-      if (!state.live || state.uid != d.pending_uid[i]) {
-        ++metrics.migrations_cancelled;
-        continue;
-      }
-      auto moved = mode.migrate_object(mv.object, state.address, mv.to_tier);
-      if (!moved) return unexpected("online migration failed: " + moved.error());
-      if (!moved->moved) {
-        ++metrics.migrations_cancelled;
-        continue;
-      }
-      state.address = moved->address;
-
-      const double cost_ns =
-          online::migration_cost_ns(moved->bytes, *system_, moved->from_tier, mv.to_tier,
-                                    d.config->bandwidth_fraction);
-      const Ns start = now;
-      const Ns end = now + static_cast<Ns>(std::llround(cost_ns));
-      const double bytes = static_cast<double>(moved->bytes);
-      metrics.tier_traffic[moved->from_tier].read_bytes += bytes;
-      metrics.tier_traffic[mv.to_tier].write_bytes += bytes;
-      bw_meter.add(moved->from_tier, start, end, bytes);
-      bw_meter.add(mv.to_tier, start, end, bytes);
-      now = end;
-
-      metrics.migration_ns += cost_ns;
-      metrics.migrated_bytes += moved->bytes;
-      ++metrics.migrations;
-      metrics.migration_events.push_back(
-          MigrationRecord{start, mv.object, moved->from_tier, mv.to_tier, moved->bytes});
-    }
-    d.pending.clear();
-    d.pending_uid.clear();
-    return {};
-  };
 
   for (const auto& step : workload.steps) {
     if (const auto* a = std::get_if<AllocOp>(&step)) {
@@ -444,6 +607,8 @@ Expected<RunMetrics> ExecutionEngine::run_serial(const Workload& workload, Execu
       metrics.alloc_overhead_ns += overhead;
       now += overhead_clock.credit(overhead);
 
+      if (online_driver) online_driver->maybe_seed(a->object, spec.site);
+
       if (options_.observer != nullptr) {
         options_.observer->on_alloc(now, state.uid, state.address, spec.size, site.stack);
       }
@@ -456,7 +621,7 @@ Expected<RunMetrics> ExecutionEngine::run_serial(const Workload& workload, Execu
       if (options_.observer != nullptr) options_.observer->on_free(now, state.uid);
       state.live = false;
       ++metrics.frees;
-      if (online_driver) online_driver->tracker.forget(f->object);
+      if (online_driver) online_driver->state.forget(f->object);
     } else if (const auto* r = std::get_if<ReallocOp>(&step)) {
       // Interposed realloc: free + alloc through the mode (FlexMalloc
       // keeps the tier of the call stack), fresh uid like a fresh pointer.
@@ -482,7 +647,11 @@ Expected<RunMetrics> ExecutionEngine::run_serial(const Workload& workload, Execu
       }
     } else if (const auto* kop = std::get_if<KernelOp>(&step)) {
       if (online_driver) {
-        if (Status s = apply_pending_migrations(); !s) return unexpected(s.error());
+        if (Status s = apply_pending_migrations(*online_driver, mode, live, *system_, metrics,
+                                                now, bw_meter);
+            !s) {
+          return unexpected(s.error());
+        }
       }
       auto end = replay_kernel(*system_, options_, workload, *kop, mode, live, now, metrics,
                                functions, cache, record_bw,
@@ -492,41 +661,15 @@ Expected<RunMetrics> ExecutionEngine::run_serial(const Workload& workload, Execu
 
       if (online_driver) {
         OnlineDriver& d = *online_driver;
-        // Sample this kernel's misses and fold them into the hotness
-        // estimate; untouched objects decay inside end_kernel().
-        for (const online::ObjectAccess& acc : d.feedback) {
-          const online::SampledAccess s = d.sampler.sample(acc);
-          const double events = static_cast<double>(s.loads + s.stores);
-          if (events > 0.0) d.tracker.record(acc.object, events, live[acc.object].bytes);
+        // Sample this kernel's misses into the sharded hotness state —
+        // shards 0..N-1 inline, which is by construction the same
+        // per-shard stream order the parallel path's fan-out produces.
+        for (std::size_t shard = 0; shard < online::kOnlineShards; ++shard) {
+          d.state.process_kernel_shard(shard, d.feedback);
         }
-        d.tracker.end_kernel();
-
-        // Track fast-tier headroom at every kernel boundary (not just
-        // evaluation ones) so the window sees the allocation troughs.
-        constexpr std::size_t kFastTier = 0;
-        const Bytes usable_headroom = d.conservative_headroom(mode.migration_headroom(kFastTier));
-
         // Evaluate the policy; the plan applies at the next kernel
         // boundary (see apply_pending_migrations).
-        if (d.pending.empty()) {
-          std::vector<online::ObjectView> views;
-          views.reserve(live.size());
-          for (std::size_t obj = 0; obj < live.size(); ++obj) {
-            if (!live[obj].live) continue;
-            auto tier = mode.object_tier(obj);
-            if (!tier) continue;
-            views.push_back(online::ObjectView{obj, live[obj].bytes, *tier,
-                                               d.tracker.hotness(obj),
-                                               d.tracker.shield(obj),
-                                               d.tracker.age(obj)});
-          }
-          d.pending = d.planner.plan(views, kFastTier, usable_headroom);
-          d.pending_uid.reserve(d.pending.size());
-          for (const online::PlannedMove& mv : d.pending) {
-            d.pending_uid.push_back(live[mv.object].uid);
-          }
-          metrics.migrations_scheduled += d.pending.size();
-        }
+        evaluate_online_policy(d, workload, mode, live, metrics);
       }
     }
   }
@@ -555,11 +698,6 @@ Expected<RunMetrics> ExecutionEngine::run_parallel(const Workload& workload, Exe
     return unexpected("execution mode '" + mode.name() +
                       "' does not support concurrent allocation replay; use replay_threads=1");
   }
-  if (options_.online_policy != nullptr) {
-    return unexpected(
-        "online placement requires serial replay (replay_threads=1); migrations are placement "
-        "decisions and must not depend on worker interleaving");
-  }
 
   const std::size_t tiers = system_->tier_count();
 
@@ -584,6 +722,12 @@ Expected<RunMetrics> ExecutionEngine::run_parallel(const Workload& workload, Exe
   FunctionTable functions;
   WorkerPool pool(threads);
   std::vector<std::string> worker_errors(threads);
+
+  std::optional<OnlineDriver> online_driver;
+  if (options_.online_policy != nullptr) {
+    online_driver.emplace(*options_.online_policy,
+                          guided_fast_sites(options_.guidance, workload, *system_));
+  }
 
   Ns now = 0;
   OverheadClock overhead_clock;
@@ -679,6 +823,21 @@ Expected<RunMetrics> ExecutionEngine::run_parallel(const Workload& workload, Exe
         if (!replay_one(step, err)) break;
       }
     }
+    // Online bookkeeping that must not depend on worker interleaving
+    // runs here, on the engine thread, in program order: tracker forgets
+    // for freed objects and guidance seeding for objects born at
+    // fast-guided sites. Deferring them from the ops to the batch flush
+    // is invisible to the policy — it only reads the state at kernel
+    // boundaries, which flushes precede.
+    if (online_driver) {
+      for (const Step* step : batch) {
+        if (const auto* f = std::get_if<FreeOp>(step)) {
+          online_driver->state.forget(f->object);
+        } else if (const auto* a = std::get_if<AllocOp>(step)) {
+          online_driver->maybe_seed(a->object, workload.objects[a->object].site);
+        }
+      }
+    }
     batch.clear();
     batch_alloc_bytes = 0;
     batch_alloc_ops = 0;
@@ -711,10 +870,32 @@ Expected<RunMetrics> ExecutionEngine::run_parallel(const Workload& workload, Exe
       // Kernels are barriers: every batched allocation op must land
       // before the kernel reads the live set.
       if (Status s = flush_batch(); !s) return unexpected(s.error());
+      if (online_driver) {
+        if (Status s = apply_pending_migrations(*online_driver, mode, live, *system_, metrics,
+                                                now, bw_meter);
+            !s) {
+          return unexpected(s.error());
+        }
+      }
       auto end = replay_kernel(*system_, options_, workload, *kop, mode, live, now, metrics,
-                               functions, cache, record_bw);
+                               functions, cache, record_bw,
+                               online_driver ? &online_driver->feedback : nullptr);
       if (!end) return unexpected(end.error());
       now = *end;
+
+      if (online_driver) {
+        OnlineDriver& d = *online_driver;
+        // Fan the kernel's feedback over the fixed online shards: worker
+        // `w` processes shards `w, w + threads, ...`, and within a shard
+        // entries are consumed in stream order — the same per-shard
+        // sample streams the serial path produces inline.
+        pool.run([&](std::size_t wi) {
+          for (std::size_t shard = wi; shard < online::kOnlineShards; shard += threads) {
+            d.state.process_kernel_shard(shard, d.feedback);
+          }
+        });
+        evaluate_online_policy(d, workload, mode, live, metrics);
+      }
     } else {
       if (const auto* a = std::get_if<AllocOp>(&step)) {
         batch_alloc_bytes += workload.objects[a->object].size;
@@ -727,6 +908,11 @@ Expected<RunMetrics> ExecutionEngine::run_parallel(const Workload& workload, Exe
     }
   }
   if (Status s = flush_batch(); !s) return unexpected(s.error());
+
+  // Moves still pending when the run ends were never applied.
+  if (online_driver) {
+    metrics.migrations_cancelled += online_driver->pending.size();
+  }
 
   metrics.allocations = counters.allocations.load(std::memory_order_relaxed);
   metrics.frees = counters.frees.load(std::memory_order_relaxed);

@@ -32,6 +32,16 @@
 /// decision — interleaving-dependent); pressured batches are replayed in
 /// program order on the engine thread instead, so determinism holds even
 /// at capacity.
+///
+/// Online placement composes with parallel replay: the sampler/hotness
+/// state is sharded on `object % kOnlineShards` (online/sharded.hpp), a
+/// kernel's feedback is processed per shard in stream order whichever
+/// worker runs the shard, and every placement decision — policy
+/// evaluation, guidance seeding, tracker forgets, migration application —
+/// runs on the engine thread at batch or kernel boundaries in program
+/// order. Migration sequences are therefore bit-identical at any thread
+/// count (docs/threading.md has the full argument; tests/online/ asserts
+/// it for `--threads {1,2,4,8}`).
 
 #include "ecohmem/common/expected.hpp"
 #include "ecohmem/memsim/analytic_cache.hpp"
@@ -46,6 +56,8 @@ struct OnlinePolicyConfig;
 }  // namespace ecohmem::online
 
 namespace ecohmem::runtime {
+
+struct GuidanceSeed;
 
 struct EngineOptions {
   /// Total LLC capacity available to the job (two sockets on the paper's
@@ -77,10 +89,20 @@ struct EngineOptions {
   /// kernel's misses, tracks per-object hotness, and applies the
   /// policy's promote/demote migrations at kernel boundaries, charging
   /// their cost into the clock and the bandwidth meters. Requires a
-  /// mode with `supports_object_migration()` and serial replay
-  /// (`replay_threads == 1`); `run` fails with a clear error otherwise.
-  /// The pointed-to config must outlive the run.
+  /// mode with `supports_object_migration()` and no observer attached
+  /// (profiling runs and online placement are mutually exclusive; the
+  /// combination fails uniformly at any thread count). Works under both
+  /// serial and parallel replay with bit-identical results (see the
+  /// file comment). The pointed-to config must outlive the run.
   const online::OnlinePolicyConfig* online_policy = nullptr;
+
+  /// Optional guidance seeding for the online policy (`--from-report`,
+  /// docs/online.md): per-site tier guidance matched from an Advisor
+  /// report. Objects born at fast-guided sites start with mature
+  /// hotness history, and live fast-guided objects stranded in slow
+  /// tiers are queued for promotion at the first policy evaluation.
+  /// Ignored without `online_policy`; must outlive the run.
+  const GuidanceSeed* guidance = nullptr;
 };
 
 class ExecutionEngine {

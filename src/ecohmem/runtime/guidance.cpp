@@ -1,0 +1,25 @@
+#include "ecohmem/runtime/guidance.hpp"
+
+#include <utility>
+
+#include "ecohmem/flexmalloc/matcher.hpp"
+
+namespace ecohmem::runtime {
+
+Expected<GuidanceSeed> GuidanceSeed::build(const Workload& workload,
+                                           const flexmalloc::ParsedReport& report) {
+  auto matcher = flexmalloc::CallStackMatcher::create(report, workload.symbols.get());
+  if (!matcher) return unexpected("guidance report: " + matcher.error());
+
+  GuidanceSeed seed;
+  seed.site_tier.resize(workload.sites.size());
+  for (std::size_t s = 0; s < workload.sites.size(); ++s) {
+    const flexmalloc::MatchResult m = matcher->match(workload.sites[s].stack);
+    if (!m.matched()) continue;
+    seed.site_tier[s] = *m.tier;
+    ++seed.matched_sites;
+  }
+  return seed;
+}
+
+}  // namespace ecohmem::runtime

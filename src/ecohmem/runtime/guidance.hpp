@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file guidance.hpp
+/// Guidance seeding for the online placement policy (docs/online.md).
+///
+/// `ecohmem-run --online P --from-report R` bridges the offline and
+/// online worlds: an Advisor report R (possibly produced on an earlier,
+/// similar run) is matched against the workload's allocation sites once
+/// at startup, and the resulting per-site tier guidance initializes the
+/// online policy instead of letting it start cold. Objects born at
+/// sites the report maps to the fast tier are seeded as already-mature
+/// in the hotness tracker (so the warm-up shield does not keep them out
+/// of the first planning rounds), and live guided objects that the
+/// *placement* report left in a slow tier are queued for promotion at
+/// the first policy evaluation. The online policy then refines from
+/// that starting point exactly as it would from its own observations —
+/// guidance biases the start state, it never overrides later evidence.
+///
+/// The matching reuses FlexMalloc's `CallStackMatcher`, so BOM and
+/// human-readable reports, suffix fallback and ambiguity handling all
+/// behave exactly as they do at interposition time.
+
+#include <string>
+#include <vector>
+
+#include "ecohmem/common/expected.hpp"
+#include "ecohmem/flexmalloc/report_parser.hpp"
+#include "ecohmem/runtime/workload.hpp"
+
+namespace ecohmem::runtime {
+
+/// Per-site tier guidance extracted from an Advisor report. Plain data
+/// after `build`; read-only during a run (safe to share across threads).
+struct GuidanceSeed {
+  /// Tier name the report maps each workload site to; empty = the
+  /// report does not list the site (it follows the report's fallback
+  /// and gets no seeding). Indexed by `SiteSpec` position.
+  std::vector<std::string> site_tier;
+
+  /// Number of sites the report matched.
+  std::size_t matched_sites = 0;
+
+  /// Matches every workload site's call stack against `report`. For
+  /// human-readable reports the workload's own symbol table is used
+  /// (it describes the binary the stacks point into); fails when the
+  /// report needs symbols the workload cannot provide.
+  [[nodiscard]] static Expected<GuidanceSeed> build(const Workload& workload,
+                                                    const flexmalloc::ParsedReport& report);
+
+  /// True when the report maps `site` to the tier named `tier_name`.
+  [[nodiscard]] bool site_maps_to(std::size_t site, const std::string& tier_name) const {
+    return site < site_tier.size() && site_tier[site] == tier_name;
+  }
+};
+
+}  // namespace ecohmem::runtime

@@ -58,7 +58,9 @@ struct MigrationRecord {
   std::size_t object = 0;     ///< workload object id
   std::size_t from_tier = 0;  ///< engine tier indices
   std::size_t to_tier = 0;
-  Bytes bytes = 0;            ///< block bytes moved
+  Bytes bytes = 0;            ///< bytes moved (the range length for partial moves)
+  Bytes offset = 0;           ///< object-relative start of the moved range
+  bool partial = false;       ///< true for a sub-range (page-granular) move
 
   friend bool operator==(const MigrationRecord&, const MigrationRecord&) = default;
 };
@@ -103,6 +105,7 @@ struct RunMetrics {
   /// cancelled: `migrations_scheduled == migrations + migrations_cancelled`.
   std::uint64_t migrations_scheduled = 0;
   std::uint64_t migrations = 0;            ///< applied moves
+  std::uint64_t migrations_partial = 0;    ///< applied moves that were sub-range (page-granular)
   std::uint64_t migrations_cancelled = 0;  ///< object died/realloc'd/target full/run ended
   Bytes migrated_bytes = 0;                ///< padded bytes moved
   double migration_ns = 0.0;               ///< time charged into total_ns for moves

@@ -1,5 +1,7 @@
 #include "ecohmem/runtime/mode.hpp"
 
+#include <algorithm>
+
 namespace ecohmem::runtime {
 
 // Default migration surface: modes without object-migration support
@@ -13,6 +15,18 @@ Expected<ObjectMigration> ExecutionMode::migrate_object(std::size_t object,
   (void)address;
   (void)target_tier;
   return unexpected("execution mode '" + name() + "' does not support object migration");
+}
+
+Expected<ObjectMigration> ExecutionMode::migrate_object_range(std::size_t object,
+                                                              std::uint64_t address,
+                                                              std::size_t target_tier,
+                                                              Bytes offset, Bytes length) {
+  (void)object;
+  (void)address;
+  (void)target_tier;
+  (void)offset;
+  (void)length;
+  return unexpected("execution mode '" + name() + "' does not support sub-range migration");
 }
 
 Expected<std::size_t> ExecutionMode::object_tier(std::size_t object) const {
@@ -56,8 +70,34 @@ Expected<std::uint64_t> AppDirectMode::on_alloc(std::size_t object, const Object
 }
 
 Status AppDirectMode::on_free(std::size_t object, std::uint64_t address) {
-  (void)object;
-  return fm_->free(address);
+  // A sub-range-migrated object owns several blocks; extract its
+  // fragment list under the leaf lock and free the blocks outside it
+  // (free takes the per-tier heap locks).
+  std::vector<Fragment> parts;
+  if (any_fragments_.load(std::memory_order_relaxed)) {
+    common::ScopedLock lock(fragments_mu_);
+    if (const auto it = fragments_.find(object); it != fragments_.end()) {
+      parts = std::move(it->second);
+      fragments_.erase(it);
+      if (fragments_.empty()) any_fragments_.store(false, std::memory_order_relaxed);
+    }
+  }
+  if (parts.empty()) return fm_->free(address);
+  for (const Fragment& part : parts) {
+    if (Status s = fm_->free(part.address); !s) return s;
+  }
+  return {};
+}
+
+const std::vector<AppDirectMode::Fragment>* AppDirectMode::fragments_of(
+    std::size_t object) const {
+  // Fast path for the overwhelmingly common no-fragments case: resolve
+  // calls this per object per kernel, and runs without page-granular
+  // migration pay one relaxed load instead of a lock acquisition.
+  if (!any_fragments_.load(std::memory_order_relaxed)) return nullptr;
+  common::ScopedLock lock(fragments_mu_);
+  const auto it = fragments_.find(object);
+  return it != fragments_.end() ? &it->second : nullptr;
 }
 
 void AppDirectMode::resolve(const std::vector<LiveObjectRef>& objects,
@@ -65,6 +105,21 @@ void AppDirectMode::resolve(const std::vector<LiveObjectRef>& objects,
                             std::vector<ObjectTraffic>& out) {
   const double line = static_cast<double>(kCacheLine);
   for (std::size_t i = 0; i < objects.size(); ++i) {
+    if (const auto* parts = fragments_of(objects[i].object)) {
+      // Split a fragmented object's traffic across its resident tiers
+      // in proportion to bytes resident there — the model's view of an
+      // object whose hot chunks moved while the rest stayed behind.
+      Bytes total = 0;
+      for (const Fragment& part : *parts) total += part.length;
+      if (total == 0) continue;
+      for (const Fragment& part : *parts) {
+        const double frac = static_cast<double>(part.length) / static_cast<double>(total);
+        out[i].read_bytes[part.engine_tier] += misses[i].read_lines() * line * frac;
+        out[i].write_bytes[part.engine_tier] += misses[i].store_misses * line * frac;
+        out[i].latency_share[part.engine_tier] += frac;
+      }
+      continue;
+    }
     const std::size_t tier = object_tier_.at(objects[i].object);
     out[i].read_bytes[tier] += misses[i].read_lines() * line;
     out[i].write_bytes[tier] += misses[i].store_misses * line;
@@ -94,6 +149,59 @@ Expected<ObjectMigration> AppDirectMode::migrate_object(std::size_t object,
   const auto fm_tier = fm_tier_for(target_tier);
   if (!fm_tier) return unexpected(fm_tier.error());
 
+  // A fragmented object (earlier sub-range moves) migrates all of its
+  // blocks. Whole-object moves only target uniform residents (the
+  // planner's victims), so every part lives in the same source tier.
+  // The fragment list is copied out of the leaf-locked map and written
+  // back after the heap calls — migrations run at kernel boundaries, so
+  // nothing mutates the entry in between (docs/threading.md).
+  std::vector<Fragment> parts;
+  {
+    common::ScopedLock lock(fragments_mu_);
+    if (const auto it = fragments_.find(object); it != fragments_.end()) parts = it->second;
+  }
+  if (!parts.empty()) {
+    ObjectMigration m;
+    m.from_tier = object_tier_.at(object);
+    for (const Fragment& part : parts) {
+      if (part.engine_tier != m.from_tier) {
+        return unexpected("migrate_object: fragmented object " + std::to_string(object) +
+                          " is not tier-uniform; sub-range moves must complete first");
+      }
+      m.bytes += part.length;
+    }
+
+    // All-or-nothing capacity pre-check so a refusal never leaves the
+    // object half-moved; one alignment pad per part bounds the padding.
+    const auto& heap = fm_->heap(*fm_tier);
+    const Bytes used = heap.used();
+    const Bytes free_bytes = heap.capacity() > used ? heap.capacity() - used : 0;
+    Bytes needed = 0;
+    for (const Fragment& part : parts) needed += part.length + heap.alignment();
+    if (needed > free_bytes) {
+      m.moved = false;
+      m.address = address;
+      return m;
+    }
+    for (Fragment& part : parts) {
+      const auto outcome = fm_->migrate(part.address, *fm_tier);
+      if (!outcome) return unexpected(outcome.error());
+      if (!outcome->moved) {
+        return unexpected("migrate_object: fragment move refused after capacity check");
+      }
+      part.address = outcome->address;
+      part.engine_tier = target_tier;
+    }
+    object_tier_.at(object) = target_tier;
+    m.moved = true;
+    m.address = parts.front().address;
+    {
+      common::ScopedLock lock(fragments_mu_);
+      fragments_[object] = std::move(parts);
+    }
+    return m;
+  }
+
   const auto outcome = fm_->migrate(address, *fm_tier);
   if (!outcome) return unexpected(outcome.error());
 
@@ -104,6 +212,129 @@ Expected<ObjectMigration> AppDirectMode::migrate_object(std::size_t object,
   m.bytes = outcome->bytes;
   if (m.moved) object_tier_.at(object) = target_tier;
   return m;
+}
+
+Expected<ObjectMigration> AppDirectMode::migrate_object_range(std::size_t object,
+                                                              std::uint64_t address,
+                                                              std::size_t target_tier,
+                                                              Bytes offset, Bytes length) {
+  const auto fm_tier = fm_tier_for(target_tier);
+  if (!fm_tier) return unexpected(fm_tier.error());
+  if (length == 0) return unexpected("migrate_object_range: empty range");
+
+  // Copy the fragment list out of the leaf-locked map; the heap calls
+  // below must run with no ranked lock held. Safe because sub-range
+  // migrations happen at kernel boundaries, when no worker runs.
+  std::vector<Fragment> parts;
+  bool had_entry = false;
+  {
+    common::ScopedLock lock(fragments_mu_);
+    if (const auto it = fragments_.find(object); it != fragments_.end()) {
+      parts = it->second;
+      had_entry = true;
+    }
+  }
+
+  // Locate the part containing the range: the home block for an unsplit
+  // object, else the fragment covering `offset`.
+  Fragment source;
+  if (!had_entry) {
+    source.address = address;
+    source.offset = 0;
+    source.length = offset + length;  // lower bound; fixed up below from the block
+    source.engine_tier = object_tier_.at(object);
+    const auto fm_source = fm_tier_for(source.engine_tier);
+    if (!fm_source) return unexpected(fm_source.error());
+    const auto block = fm_->heap(*fm_source).block_size(address);
+    if (!block) return unexpected("migrate_object_range: " + block.error());
+    source.length = *block;
+  } else {
+    bool found = false;
+    for (const Fragment& part : parts) {
+      if (offset >= part.offset && offset < part.offset + part.length) {
+        source = part;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return unexpected("migrate_object_range: offset " + std::to_string(offset) +
+                        " is not inside any fragment of object " + std::to_string(object));
+    }
+  }
+  if (source.engine_tier == target_tier) {
+    return unexpected("migrate_object_range: range already resides in the target tier");
+  }
+  // The planner sizes ranges from byte totals, not fragment layout; a
+  // request reaching past the source fragment (an object split, fully
+  // promoted, displaced and now re-promoted) clamps to the fragment end —
+  // the next evaluation continues from the advanced resident count.
+  if (offset + length > source.offset + source.length) {
+    length = source.offset + source.length - offset;
+  }
+
+  const Bytes block_rel = offset - source.offset;
+  const bool whole_part = block_rel == 0 && length == source.length;
+  const auto outcome = whole_part
+                           ? fm_->migrate(source.address, *fm_tier)
+                           : fm_->migrate(source.address, *fm_tier, block_rel, length);
+  if (!outcome) return unexpected(outcome.error());
+
+  ObjectMigration m;
+  m.moved = outcome->moved;
+  m.address = outcome->address;
+  m.from_tier = source.engine_tier;
+  m.bytes = outcome->bytes;
+  m.offset = offset;
+  m.partial = true;
+  if (!m.moved) return m;
+
+  // Rewrite the fragment list: the moved range becomes its own part,
+  // remnants (if any) keep their home addresses.
+  if (!had_entry) parts = {source};
+  std::vector<Fragment> next;
+  next.reserve(parts.size() + 2);
+  bool uniform = true;
+  for (const Fragment& part : parts) {
+    if (part.offset != source.offset) {
+      next.push_back(part);
+      uniform = uniform && part.engine_tier == target_tier;
+      continue;
+    }
+    if (block_rel > 0) {
+      next.push_back(Fragment{part.address, part.offset, block_rel, part.engine_tier});
+      uniform = false;
+    }
+    next.push_back(Fragment{outcome->address, offset, length, target_tier});
+    if (block_rel + length < part.length) {
+      next.push_back(Fragment{part.address + block_rel + length, offset + length,
+                              part.length - block_rel - length, part.engine_tier});
+      uniform = false;
+    }
+  }
+  std::sort(next.begin(), next.end(),
+            [](const Fragment& a, const Fragment& b) { return a.offset < b.offset; });
+  {
+    common::ScopedLock lock(fragments_mu_);
+    fragments_[object] = std::move(next);
+    any_fragments_.store(true, std::memory_order_relaxed);
+  }
+
+  // Once every byte lives in the target tier the object is an ordinary
+  // resident again (e.g. eligible as a displacement victim).
+  if (uniform) object_tier_.at(object) = target_tier;
+  return m;
+}
+
+Bytes AppDirectMode::partial_resident_bytes(std::size_t object, std::size_t tier) const {
+  common::ScopedLock lock(fragments_mu_);
+  const auto it = fragments_.find(object);
+  if (it == fragments_.end()) return 0;
+  Bytes total = 0;
+  for (const Fragment& part : it->second) {
+    if (part.engine_tier == tier) total += part.length;
+  }
+  return total;
 }
 
 Expected<std::size_t> AppDirectMode::object_tier(std::size_t object) const {

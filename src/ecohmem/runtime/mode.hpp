@@ -19,9 +19,11 @@
 
 #include <atomic>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ecohmem/common/expected.hpp"
+#include "ecohmem/common/lockdep.hpp"
 #include "ecohmem/flexmalloc/flexmalloc.hpp"
 #include "ecohmem/memsim/analytic_cache.hpp"
 #include "ecohmem/memsim/dram_cache.hpp"
@@ -47,12 +49,15 @@ struct ObjectTraffic {
   double fixed_latency_ns = 0.0;
 };
 
-/// Result of one attempted object migration (`migrate_object`).
+/// Result of one attempted object migration (`migrate_object` /
+/// `migrate_object_range`).
 struct ObjectMigration {
   bool moved = false;          ///< false = target tier had no capacity
   std::uint64_t address = 0;   ///< new address when moved, else the original
   std::size_t from_tier = 0;   ///< engine tier the object came from
   Bytes bytes = 0;             ///< block bytes moved (padded size)
+  Bytes offset = 0;            ///< object-relative start of the moved range
+  bool partial = false;        ///< true for a sub-range (page-granular) move
 };
 
 class ExecutionMode {
@@ -155,8 +160,33 @@ class ExecutionMode {
                                                                  std::uint64_t address,
                                                                  std::size_t target_tier);
 
+  /// Sub-range (page-granular) form of `migrate_object`: moves only
+  /// `[offset, offset + length)` of the object — always the prefix of
+  /// its not-yet-migrated remainder, so `offset` must equal the bytes
+  /// already resident in `target_tier`. A `length` reaching the
+  /// object's end completes the migration and flips `object_tier` to
+  /// `target_tier`. Modes that keep `supports_object_migration` false,
+  /// or that cannot split blocks, return an error (the engine only
+  /// calls this for modes that support it). Engine-thread-only.
+  [[nodiscard]] virtual Expected<ObjectMigration> migrate_object_range(std::size_t object,
+                                                                       std::uint64_t address,
+                                                                       std::size_t target_tier,
+                                                                       Bytes offset,
+                                                                       Bytes length);
+
   /// Engine tier the live object currently occupies.
   [[nodiscard]] virtual Expected<std::size_t> object_tier(std::size_t object) const;
+
+  /// Bytes of `object` resident in engine tier `tier` through *partial*
+  /// (sub-range) migrations only — 0 for objects that have never been
+  /// split, whatever tier they live in. The planner adds this to its
+  /// whole-object view to find each huge object's promotion remainder.
+  [[nodiscard]] virtual Bytes partial_resident_bytes(std::size_t object,
+                                                     std::size_t tier) const {
+    (void)object;
+    (void)tier;
+    return 0;
+  }
 
   /// Free capacity migrations may grow engine tier `tier` by.
   [[nodiscard]] virtual Bytes migration_headroom(std::size_t tier) const {
@@ -199,20 +229,56 @@ class AppDirectMode final : public ExecutionMode {
   [[nodiscard]] Expected<ObjectMigration> migrate_object(std::size_t object,
                                                          std::uint64_t address,
                                                          std::size_t target_tier) override;
+  [[nodiscard]] Expected<ObjectMigration> migrate_object_range(std::size_t object,
+                                                               std::uint64_t address,
+                                                               std::size_t target_tier,
+                                                               Bytes offset,
+                                                               Bytes length) override;
   [[nodiscard]] Expected<std::size_t> object_tier(std::size_t object) const override;
+  [[nodiscard]] Bytes partial_resident_bytes(std::size_t object,
+                                             std::size_t tier) const override;
   [[nodiscard]] Bytes migration_headroom(std::size_t tier) const override;
 
   /// Tier the given workload object currently lives in.
   [[nodiscard]] Expected<std::size_t> tier_of(std::size_t object) const;
 
  private:
+  /// One contiguous piece of a partially migrated object, in
+  /// object-offset order. `length` is in object bytes; the last part
+  /// additionally owns the home block's alignment padding.
+  struct Fragment {
+    std::uint64_t address = 0;
+    Bytes offset = 0;             ///< object-relative start
+    Bytes length = 0;             ///< object bytes this part covers
+    std::size_t engine_tier = 0;  ///< engine tier the part resides in
+  };
+
   /// FlexMalloc tier index backing engine tier `tier`, if any.
   [[nodiscard]] Expected<std::size_t> fm_tier_for(std::size_t tier) const;
+
+  /// Fragment list of `object`, or nullptr when it was never split.
+  /// Engine-thread-only (migrations and resolve happen at kernel
+  /// boundaries); `fragments_mu_` covers the concurrent `on_free` path.
+  [[nodiscard]] const std::vector<Fragment>* fragments_of(std::size_t object) const;
 
   flexmalloc::FlexMalloc* fm_;
   std::vector<std::size_t> object_tier_;   // engine tier index per object
   std::vector<std::size_t> fm_to_engine_;  // FlexMalloc tier idx -> engine tier idx
   double overhead_taken_ns_ = 0.0;
+
+  /// Objects split by sub-range migration -> their fragments. Mutated by
+  /// the engine thread at kernel boundaries (migrations) and by replay
+  /// workers on free; the leaf mutex makes the worker-side lookup/erase
+  /// safe. Entries are extracted under the lock and the heap calls run
+  /// outside it, preserving the leaf contract (docs/threading.md).
+  mutable common::RankedMutex fragments_mu_{common::lockdep::LockRank::kModeFragments,
+                                            "mode_fragments"};
+  std::unordered_map<std::size_t, std::vector<Fragment>> fragments_
+      ECOHMEM_GUARDED_BY(fragments_mu_);
+  /// Relaxed mirror of `!fragments_.empty()`: lets the per-object
+  /// resolve lookup skip the lock entirely when no object was ever
+  /// split (every run without page-granular migration).
+  mutable std::atomic<bool> any_fragments_{false};
 };
 
 /// Memory mode: DRAM caches the PMem address space (§II).

@@ -547,5 +547,132 @@ TEST(TraceV3IndexRule, EmptyIndexMustMatchAnEmptyTrace) {
   expect_silent(run(ctx), "trace-v3-index");
 }
 
+// -------------------------------------------------------- migration log
+
+/// A well-formed two-row log (one whole move, one partial chunk) whose
+/// summary restates exactly what the rows add up to.
+constexpr std::string_view kCleanMigrationLog =
+    "at_ns,object,from_tier,to_tier,bytes,offset,partial\n"
+    "1000,7,1,0,4096,0,0\n"
+    "2000,9,1,0,2097152,2097152,1\n"
+    "# summary scheduled=3 applied=2 partial=1 cancelled=1 migrated_bytes=2101248\n";
+
+TEST(MigrationLogParser, ParsesRowsAndSummary) {
+  const auto log = parse_migration_log(kCleanMigrationLog);
+  ASSERT_TRUE(log.has_value()) << log.error();
+  ASSERT_EQ(log->rows.size(), 2u);
+  EXPECT_EQ(log->rows[0].at, 1000);
+  EXPECT_EQ(log->rows[0].object, 7u);
+  EXPECT_EQ(log->rows[0].offset, 0u);
+  EXPECT_FALSE(log->rows[0].partial);
+  EXPECT_EQ(log->rows[1].line, 3u);
+  EXPECT_EQ(log->rows[1].bytes, 2097152u);
+  EXPECT_TRUE(log->rows[1].partial);
+  EXPECT_TRUE(log->has_summary);
+  EXPECT_EQ(log->scheduled, 3u);
+  EXPECT_EQ(log->applied, 2u);
+  EXPECT_EQ(log->partial_moves, 1u);
+  EXPECT_EQ(log->cancelled, 1u);
+  EXPECT_EQ(log->migrated_bytes, 2101248u);
+}
+
+TEST(MigrationLogParser, RejectsBadHeaderRowShapeAndSummaryField) {
+  EXPECT_FALSE(parse_migration_log("").has_value());
+  EXPECT_FALSE(parse_migration_log("time,object\n").has_value());
+  // Six columns instead of seven.
+  EXPECT_FALSE(parse_migration_log("at_ns,object,from_tier,to_tier,bytes,offset,partial\n"
+                                   "1000,7,1,0,4096,0\n")
+                   .has_value());
+  // partial must be 0/1.
+  EXPECT_FALSE(parse_migration_log("at_ns,object,from_tier,to_tier,bytes,offset,partial\n"
+                                   "1000,7,1,0,4096,0,2\n")
+                   .has_value());
+  // Unknown summary field (a typo must not silently drop a counter).
+  EXPECT_FALSE(parse_migration_log("at_ns,object,from_tier,to_tier,bytes,offset,partial\n"
+                                   "# summary scheduled=0 applied=0 partail=0\n")
+                   .has_value());
+}
+
+TEST(MigrationLogParser, TruncatedLogParsesWithoutSummary) {
+  const auto log = parse_migration_log(
+      "at_ns,object,from_tier,to_tier,bytes,offset,partial\n"
+      "1000,7,1,0,4096,0,0\n");
+  ASSERT_TRUE(log.has_value()) << log.error();
+  EXPECT_EQ(log->rows.size(), 1u);
+  EXPECT_FALSE(log->has_summary);
+}
+
+TEST(MigrationRules, CleanLogIsSilent) {
+  const auto log = parse_migration_log(kCleanMigrationLog);
+  ASSERT_TRUE(log.has_value());
+  CheckContext ctx;
+  ctx.migration_log = &*log;
+  const auto result = run(ctx);
+  expect_silent(result, "migration-conservation");
+  expect_silent(result, "migration-ranges");
+  expect_silent(result, "migration-time-order");
+  // No policy INI in the context: the alignment rule must be skipped.
+  EXPECT_NE(std::find(result.rules_skipped.begin(), result.rules_skipped.end(),
+                      "migration-chunk-alignment"),
+            result.rules_skipped.end());
+}
+
+TEST(MigrationRules, ConservationCatchesEveryBrokenIdentity) {
+  auto log = *parse_migration_log(kCleanMigrationLog);
+  log.applied = 5;           // != 2 rows
+  log.partial_moves = 0;     // != 1 partial row
+  log.migrated_bytes = 1;    // != row byte sum
+  log.scheduled = 100;       // != applied + cancelled
+  CheckContext ctx;
+  ctx.migration_log = &log;
+  EXPECT_EQ(diags_with(run(ctx), "migration-conservation").size(), 4u);
+}
+
+TEST(MigrationRules, MissingSummaryIsAConservationError) {
+  auto log = *parse_migration_log(kCleanMigrationLog);
+  log.has_summary = false;
+  CheckContext ctx;
+  ctx.migration_log = &log;
+  expect_fires(run(ctx), "migration-conservation");
+}
+
+TEST(MigrationRules, RangesCatchZeroBytesSameTierAndUnflaggedOffset) {
+  auto log = *parse_migration_log(kCleanMigrationLog);
+  log.rows[0].bytes = 0;
+  log.rows[0].from_tier = log.rows[0].to_tier;
+  log.rows[1].partial = false;  // offset 2 MiB without the partial flag
+  CheckContext ctx;
+  ctx.migration_log = &log;
+  EXPECT_EQ(diags_with(run(ctx), "migration-ranges").size(), 3u);
+}
+
+TEST(MigrationRules, TimeOrderCatchesRegression) {
+  auto log = *parse_migration_log(kCleanMigrationLog);
+  log.rows[1].at = log.rows[0].at - 1;
+  CheckContext ctx;
+  ctx.migration_log = &log;
+  expect_fires(run(ctx), "migration-time-order");
+}
+
+TEST(MigrationRules, ChunkAlignmentChecksPartialOffsetsAgainstThePolicy) {
+  const auto log = parse_migration_log(kCleanMigrationLog);
+  ASSERT_TRUE(log.has_value());
+  const auto policy = Config::parse(
+      "[online]\nchunk_bytes = 2MB\nhuge_object_bytes = 1GB\n");
+  ASSERT_TRUE(policy.has_value()) << policy.error();
+  CheckContext ctx;
+  ctx.migration_log = &*log;
+  ctx.online = &*policy;
+  expect_silent(run(ctx), "migration-chunk-alignment");
+
+  // A 4 MiB chunk policy makes the 2 MiB offset misaligned: this log
+  // cannot have come from a run under that policy.
+  const auto bigger = Config::parse(
+      "[online]\nchunk_bytes = 4MB\nhuge_object_bytes = 1GB\n");
+  ASSERT_TRUE(bigger.has_value());
+  ctx.online = &*bigger;
+  expect_fires(run(ctx), "migration-chunk-alignment");
+}
+
 }  // namespace
 }  // namespace ecohmem::check

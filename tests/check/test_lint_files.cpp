@@ -396,5 +396,55 @@ TEST(LintFiles, StructurallyUnreadableV3IndexIsALoadDiagnostic) {
   EXPECT_TRUE(has_rule(*result, "trace-salvage-coverage", Severity::kWarning));
 }
 
+TEST(LintFiles, MigrationLogLintsCleanAloneAndWithPolicy) {
+  const std::string log_path = tmp_path("lint_migration.csv");
+  const std::string policy_path = tmp_path("lint_migration_policy.ini");
+  write_file(log_path,
+             "at_ns,object,from_tier,to_tier,bytes,offset,partial\n"
+             "1000,7,1,0,4096,0,0\n"
+             "2000,9,1,0,2097152,2097152,1\n"
+             "# summary scheduled=2 applied=2 partial=1 cancelled=0 "
+             "migrated_bytes=2101248\n");
+  write_file(policy_path, "[online]\nchunk_bytes = 2MB\nhuge_object_bytes = 1GB\n");
+
+  LintInputs inputs;
+  inputs.migration_log_path = log_path;
+  auto result = lint_files(inputs);
+  ASSERT_TRUE(result.has_value()) << result.error();
+  EXPECT_TRUE(result->ok());
+  EXPECT_NE(std::find(result->rules_run.begin(), result->rules_run.end(),
+                      "migration-conservation"),
+            result->rules_run.end());
+
+  // The alignment rule only joins once the policy INI is also given.
+  inputs.online_path = policy_path;
+  result = lint_files(inputs);
+  ASSERT_TRUE(result.has_value()) << result.error();
+  EXPECT_TRUE(result->ok());
+  EXPECT_NE(std::find(result->rules_run.begin(), result->rules_run.end(),
+                      "migration-chunk-alignment"),
+            result->rules_run.end());
+}
+
+TEST(LintFiles, MalformedMigrationLogIsALoadDiagnostic) {
+  const std::string path = tmp_path("lint_migration_bad.csv");
+  write_file(path, "at_ns,object\n1,2\n");
+  LintInputs inputs;
+  inputs.migration_log_path = path;
+  const auto result = lint_files(inputs);
+  ASSERT_TRUE(result.has_value()) << result.error();
+  EXPECT_FALSE(result->ok());
+  EXPECT_TRUE(has_rule(*result, "migration-log-load", Severity::kError));
+}
+
+TEST(LintFiles, MissingMigrationLogIsALoadDiagnostic) {
+  LintInputs inputs;
+  inputs.migration_log_path = tmp_path("no_such_migration.csv");
+  const auto result = lint_files(inputs);
+  ASSERT_TRUE(result.has_value()) << result.error();
+  EXPECT_FALSE(result->ok());
+  EXPECT_TRUE(has_rule(*result, "migration-log-load", Severity::kError));
+}
+
 }  // namespace
 }  // namespace ecohmem::check

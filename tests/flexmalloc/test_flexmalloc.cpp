@@ -300,5 +300,131 @@ TEST(FlexMallocMigrate, CountersAccumulateAcrossMoves) {
   EXPECT_EQ(fm.migrated_bytes(), there->bytes + back->bytes);
 }
 
+// -------------------------------------------- sub-range (page-granular)
+
+TEST(ArenaHeap, ReleaseRangeSplitsAroundTheFreedMiddle) {
+  ArenaHeap heap("dram", 1 << 20, 1 << 16);
+  const auto a = heap.allocate(4096);
+  ASSERT_TRUE(a.has_value());
+  const Bytes used_before = heap.used();
+
+  const auto released = heap.release_range(*a, 1024, 1024);
+  ASSERT_TRUE(released.has_value()) << released.error();
+  EXPECT_EQ(*released, 1024u);
+  EXPECT_EQ(heap.used(), used_before - 1024);
+
+  // Prefix keeps the original address; the suffix is its own live block.
+  EXPECT_EQ(*heap.block_size(*a), 1024u);
+  EXPECT_EQ(*heap.block_size(*a + 2048), 2048u);
+  EXPECT_TRUE(heap.deallocate(*a).has_value());
+  EXPECT_TRUE(heap.deallocate(*a + 2048).has_value());
+  EXPECT_EQ(heap.used(), used_before - 4096);
+}
+
+TEST(ArenaHeap, ReleaseRangeToBlockEndNeedsNoLengthAlignment) {
+  ArenaHeap heap("dram", 1 << 20, 1 << 16);
+  const auto a = heap.allocate(4096);
+  ASSERT_TRUE(a.has_value());
+  // 192..4096 is not an alignment multiple long, but it reaches the end.
+  ASSERT_TRUE(heap.release_range(*a, 192, 4096 - 192).has_value());
+  EXPECT_EQ(*heap.block_size(*a), 192u);
+}
+
+TEST(ArenaHeap, ReleaseRangeRejectsMisalignmentAndOverrun) {
+  ArenaHeap heap("dram", 1 << 20, 1 << 16);
+  const auto a = heap.allocate(4096);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(heap.release_range(*a, 100, 64).has_value());    // offset unaligned
+  EXPECT_FALSE(heap.release_range(*a, 0, 100).has_value());     // interior length unaligned
+  EXPECT_FALSE(heap.release_range(*a, 0, 8192).has_value());    // past the end
+  EXPECT_FALSE(heap.release_range(*a, 4096, 64).has_value());   // starts past the end
+  EXPECT_FALSE(heap.release_range(*a + 64, 0, 64).has_value()); // not a block address
+}
+
+TEST(FlexMallocMigrate, SubRangeMovesOnlyTheRequestedChunk) {
+  FlexMalloc fm = make_fm();
+  const auto a = fm.malloc(kHotStack, 8192);
+  ASSERT_TRUE(a.has_value());
+  const auto pmem = fm.tier_index("pmem");
+  ASSERT_TRUE(pmem.has_value());
+
+  const auto moved = fm.migrate(a->address, *pmem, 2048, 4096);
+  ASSERT_TRUE(moved.has_value()) << moved.error();
+  EXPECT_TRUE(moved->moved);
+  EXPECT_EQ(moved->bytes, 4096u);
+  EXPECT_EQ(moved->from_tier, a->tier_index);
+  EXPECT_NE(moved->address, a->address);
+  EXPECT_TRUE(fm.heap(*pmem).owns(moved->address));
+
+  // The untouched prefix and suffix stay live in the source tier, and
+  // the counters record only the range, not the whole block.
+  EXPECT_EQ(*fm.heap(a->tier_index).block_size(a->address), 2048u);
+  EXPECT_EQ(*fm.heap(a->tier_index).block_size(a->address + 6144), 2048u);
+  EXPECT_EQ(fm.migrations(), 1u);
+  EXPECT_EQ(fm.migrated_bytes(), 4096u);
+}
+
+TEST(FlexMallocMigrate, SubRangeCoveringWholeBlockIsAPlainMigration) {
+  FlexMalloc fm = make_fm();
+  const auto a = fm.malloc(kHotStack, 4096);
+  ASSERT_TRUE(a.has_value());
+  const auto pmem = fm.tier_index("pmem");
+  ASSERT_TRUE(pmem.has_value());
+  const auto moved = fm.migrate(a->address, *pmem, 0, 4096);
+  ASSERT_TRUE(moved.has_value()) << moved.error();
+  EXPECT_TRUE(moved->moved);
+  EXPECT_EQ(moved->bytes, 4096u);
+  EXPECT_FALSE(fm.heap(a->tier_index).owns(moved->address));
+  EXPECT_TRUE(fm.free(moved->address).ok());
+}
+
+TEST(FlexMallocMigrate, SubRangeAbsorbsSubAlignmentPaddingTail) {
+  // A 1000-byte request is padded to 1024; moving [0, 960) would leave a
+  // 64-byte-true but sub-range 40-byte *requested* tail. The mover must
+  // absorb a tail smaller than one alignment unit into the range so the
+  // remnant never becomes an unreleasable sliver.
+  FlexMalloc fm = make_fm();
+  const auto a = fm.malloc(kHotStack, 1000);
+  ASSERT_TRUE(a.has_value());
+  const auto pmem = fm.tier_index("pmem");
+  ASSERT_TRUE(pmem.has_value());
+  const auto size = fm.heap(a->tier_index).block_size(a->address);
+  ASSERT_TRUE(size.has_value());
+
+  const auto moved = fm.migrate(a->address, *pmem, 0, *size - 32);
+  ASSERT_TRUE(moved.has_value()) << moved.error();
+  EXPECT_TRUE(moved->moved);
+  EXPECT_EQ(moved->bytes, *size);  // tail absorbed, whole block moved
+  EXPECT_TRUE(fm.free(moved->address).ok());
+}
+
+TEST(FlexMallocMigrate, SubRangeWithFullTargetRefusesAndLeavesSourceIntact) {
+  auto fm = FlexMalloc::create({{"dram", 256}, {"pmem", 1 << 20}}, test_report(), nullptr);
+  ASSERT_TRUE(fm.has_value());
+  const auto resident = fm->malloc(kHotStack, 256);
+  ASSERT_TRUE(resident.has_value());
+  const auto visitor = fm->malloc(kColdStack, 8192);
+  ASSERT_TRUE(visitor.has_value());
+  const auto dram = fm->tier_index("dram");
+  ASSERT_TRUE(dram.has_value());
+
+  const auto refused = fm->migrate(visitor->address, *dram, 0, 4096);
+  ASSERT_TRUE(refused.has_value()) << refused.error();
+  EXPECT_FALSE(refused->moved);
+  EXPECT_EQ(fm->migration_refusals(), 1u);
+  EXPECT_EQ(*fm->heap(visitor->tier_index).block_size(visitor->address), 8192u);
+}
+
+TEST(FlexMallocMigrate, SubRangeOutsideBlockIsAnError) {
+  FlexMalloc fm = make_fm();
+  const auto a = fm.malloc(kHotStack, 4096);
+  ASSERT_TRUE(a.has_value());
+  const auto pmem = fm.tier_index("pmem");
+  ASSERT_TRUE(pmem.has_value());
+  EXPECT_FALSE(fm.migrate(a->address, *pmem, 0, 0).has_value());
+  EXPECT_FALSE(fm.migrate(a->address, *pmem, 8192, 64).has_value());
+  EXPECT_FALSE(fm.migrate(a->address, *pmem, 0, 65536).has_value());
+}
+
 }  // namespace
 }  // namespace ecohmem::flexmalloc

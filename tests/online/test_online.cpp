@@ -13,6 +13,7 @@
 #include "ecohmem/online/planner.hpp"
 #include "ecohmem/online/policy_config.hpp"
 #include "ecohmem/online/sampler.hpp"
+#include "ecohmem/online/sharded.hpp"
 
 namespace ecohmem::online {
 namespace {
@@ -71,7 +72,7 @@ TEST(PolicyConfig, KeyTableIsNullTerminatedAndComplete) {
   for (; keys[n] != nullptr; ++n) {
     if (std::string_view(keys[n]) == "sample_rate") saw_sample_rate = true;
   }
-  EXPECT_EQ(n, 9u);
+  EXPECT_EQ(n, 11u);
   EXPECT_TRUE(saw_sample_rate);
 }
 
@@ -336,6 +337,178 @@ TEST(Planner, DeterministicTieBreakByObjectId) {
   const auto moves = planner.plan(views, 0, 100);
   ASSERT_EQ(moves.size(), 1u);
   EXPECT_EQ(moves[0].object, 3u);
+}
+
+// -------------------------------------- planner: page-granular chunking
+
+/// Small chunks so the tests stay readable: chunk 64, huge cutoff 256.
+OnlinePolicyConfig chunked_config() {
+  auto config = planner_config();
+  config.chunk_bytes = 64;
+  config.huge_object_bytes = 256;
+  return config;
+}
+
+ObjectView partial_view(std::size_t object, Bytes bytes, std::size_t tier, double hotness,
+                        Bytes fast_bytes) {
+  ObjectView v = view(object, bytes, tier, hotness);
+  v.fast_bytes = fast_bytes;
+  return v;
+}
+
+TEST(Planner, HugeObjectTakesChunkAlignedPartialIntoFreeHeadroom) {
+  const MigrationPlanner planner(chunked_config());
+  const std::vector<ObjectView> views = {view(0, 1000, 1, 50.0)};
+  const auto moves = planner.plan(views, 0, 200);  // headroom < the object
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].object, 0u);
+  EXPECT_EQ(moves[0].bytes, 192u);  // chunk_floor(200)
+  EXPECT_EQ(moves[0].offset, 0u);
+  EXPECT_TRUE(moves[0].partial);
+}
+
+TEST(Planner, PartialPromotionContinuesFromThePromotedPrefix) {
+  const MigrationPlanner planner(chunked_config());
+  // 192 of 1000 bytes already fast: the next move starts at offset 192.
+  const std::vector<ObjectView> views = {partial_view(0, 1000, 1, 50.0, 192)};
+  const auto moves = planner.plan(views, 0, 10'000);
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].bytes, 1000u - 192u);
+  EXPECT_EQ(moves[0].offset, 192u);
+  EXPECT_TRUE(moves[0].partial);
+}
+
+TEST(Planner, FullyPromotedObjectIsNotMovedAgain) {
+  const MigrationPlanner planner(chunked_config());
+  const std::vector<ObjectView> views = {partial_view(0, 1000, 1, 50.0, 1000)};
+  EXPECT_TRUE(planner.plan(views, 0, 10'000).empty());
+}
+
+TEST(Planner, NonHugeObjectIsNeverSplit) {
+  auto config = chunked_config();
+  config.huge_object_bytes = 4096;  // nothing below this splits
+  const MigrationPlanner planner(config);
+  const std::vector<ObjectView> views = {view(0, 1000, 1, 50.0)};
+  EXPECT_TRUE(planner.plan(views, 0, 200).empty());
+}
+
+TEST(Planner, PartialDisabledWhenHugeThresholdIsZero) {
+  auto config = chunked_config();
+  config.huge_object_bytes = 0;
+  const MigrationPlanner planner(config);
+  const std::vector<ObjectView> views = {view(0, 1000, 1, 50.0)};
+  EXPECT_TRUE(planner.plan(views, 0, 200).empty());
+}
+
+TEST(Planner, SubChunkHeadroomYieldsNoPartialMove) {
+  const MigrationPlanner planner(chunked_config());
+  const std::vector<ObjectView> views = {view(0, 1000, 1, 50.0)};
+  EXPECT_TRUE(planner.plan(views, 0, 63).empty());  // chunk_floor(63) == 0
+}
+
+TEST(Planner, HugeObjectGetsPartialGrantAfterDisplacement) {
+  const MigrationPlanner planner(chunked_config());
+  // No free headroom; one cold displaceable victim of 128 bytes. The
+  // 1000-byte candidate cannot fully fit even after the displacement, so
+  // it takes the chunk-aligned part the victim's bytes allow.
+  const std::vector<ObjectView> views = {
+      view(0, 1000, 1, 50.0),
+      view(1, 128, 0, 1.0, /*shield=*/1.0),
+  };
+  const auto moves = planner.plan(views, 0, 0);
+  ASSERT_EQ(moves.size(), 2u);
+  EXPECT_EQ(moves[0].object, 1u);  // the demotion first
+  EXPECT_EQ(moves[0].to_tier, 1u);
+  EXPECT_FALSE(moves[0].partial);
+  EXPECT_EQ(moves[1].object, 0u);
+  EXPECT_EQ(moves[1].bytes, 128u);
+  EXPECT_TRUE(moves[1].partial);
+}
+
+TEST(Planner, PartialMovesRespectByteBudget) {
+  auto config = chunked_config();
+  config.max_bytes_per_step = 128;
+  const MigrationPlanner planner(config);
+  const std::vector<ObjectView> views = {view(0, 1000, 1, 50.0)};
+  const auto moves = planner.plan(views, 0, 10'000);
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].bytes, 128u);  // budget-floored, chunk-aligned
+  EXPECT_TRUE(moves[0].partial);
+}
+
+// ------------------------------------------------------- sharded state
+
+/// The shard decomposition is a pure function of the object id — the
+/// property that makes `--online` thread-count independent.
+TEST(Sharded, ShardOfDependsOnlyOnObjectId) {
+  for (std::size_t o = 0; o < 64; ++o) {
+    EXPECT_EQ(ShardedOnlineState::shard_of(o), o % kOnlineShards);
+  }
+}
+
+std::vector<ObjectAccess> mixed_feedback() {
+  std::vector<ObjectAccess> feedback;
+  for (std::size_t o = 0; o < 24; ++o) {
+    feedback.push_back(ObjectAccess{o, 1000.0 + static_cast<double>(o) * 10.0, 50.0,
+                                    Bytes{1} << 20});
+  }
+  return feedback;
+}
+
+TEST(Sharded, ShardProcessingOrderCommutes) {
+  OnlinePolicyConfig config;
+  config.sample_rate = 0.05;  // subsampled: RNG stream position matters
+  ShardedOnlineState forward(config);
+  ShardedOnlineState backward(config);
+  const auto feedback = mixed_feedback();
+
+  for (int kernel = 0; kernel < 3; ++kernel) {
+    for (std::size_t s = 0; s < kOnlineShards; ++s) forward.process_kernel_shard(s, feedback);
+    for (std::size_t s = kOnlineShards; s-- > 0;) backward.process_kernel_shard(s, feedback);
+  }
+  ASSERT_EQ(forward.tracked(), backward.tracked());
+  for (std::size_t o = 0; o < 24; ++o) {
+    EXPECT_EQ(forward.hotness(o), backward.hotness(o)) << "object " << o;
+    EXPECT_EQ(forward.shield(o), backward.shield(o)) << "object " << o;
+    EXPECT_EQ(forward.age(o), backward.age(o)) << "object " << o;
+  }
+}
+
+TEST(Sharded, MatchesSingleTrackerStreamPerShard) {
+  // A shard's sample stream must equal what a dedicated sampler seeded
+  // the same way would produce for that shard's objects in stream order
+  // — the definition of "serial order within a shard".
+  OnlinePolicyConfig config;
+  config.sample_rate = 1.0;  // exact: hotness is then pure arithmetic
+  ShardedOnlineState state(config);
+  const auto feedback = mixed_feedback();
+  for (std::size_t s = 0; s < kOnlineShards; ++s) state.process_kernel_shard(s, feedback);
+
+  HotnessTracker reference(config.ewma_alpha, config.window);
+  // Any seed works at rate 1.0: full-rate sampling is exact, so the
+  // shard's private RNG stream cannot influence the counts.
+  AccessSampler sampler(config.sample_rate, config.seed);
+  for (const auto& f : feedback) {
+    if (ShardedOnlineState::shard_of(f.object) != 0) continue;
+    const SampledAccess s = sampler.sample(f);
+    reference.record(f.object, static_cast<double>(s.loads + s.stores), f.bytes);
+  }
+  reference.end_kernel();
+  for (std::size_t o = 0; o < 24; o += kOnlineShards) {
+    EXPECT_EQ(state.hotness(o), reference.hotness(o)) << "object " << o;
+  }
+}
+
+TEST(Sharded, SeedMakesObjectMatureAtPrior) {
+  OnlinePolicyConfig config;
+  ShardedOnlineState state(config);
+  state.seed(5, 7.5);
+  EXPECT_EQ(state.hotness(5), 7.5);
+  EXPECT_EQ(state.shield(5), 7.5);
+  EXPECT_GE(state.age(5), config.window);
+  state.forget(5);
+  EXPECT_EQ(state.hotness(5), 0.0);
+  EXPECT_EQ(state.tracked(), 0u);
 }
 
 // ---------------------------------------------------------- cost model

@@ -9,7 +9,9 @@
 #include "ecohmem/apps/apps.hpp"
 #include "ecohmem/apps/synthetic.hpp"
 #include "ecohmem/core/ecohmem.hpp"
+#include "ecohmem/flexmalloc/report_parser.hpp"
 #include "ecohmem/online/policy_config.hpp"
+#include "ecohmem/runtime/guidance.hpp"
 
 namespace ecohmem {
 namespace {
@@ -58,14 +60,25 @@ TEST(OnlineEngine, BeatsStaticPlacementOnPhaseShift) {
   expect_migration_conservation(r.online_run);
 }
 
-TEST(OnlineEngine, SteadyStateAppIsUntouched) {
-  // minife's hot set never changes; the shield must keep the online
-  // policy completely idle, reproducing the static run bit-for-bit.
+TEST(OnlineEngine, SteadyStateAppNeverRegressesOrThrashes) {
+  // minife's hot set never changes. The shield must keep the policy from
+  // churning: any move has to be a one-time promotion that pays off —
+  // page granularity lets a hot huge object that never whole-fit DRAM
+  // headroom claim a prefix of it — never back-and-forth thrash.
   const online::OnlinePolicyConfig policy;
   const auto r = run_static_vs_online(apps::make_app("minife", {}), policy);
-  EXPECT_EQ(r.online_run.migrations, 0u);
-  EXPECT_EQ(r.online_run.total_ns, r.static_run.total_ns);
+  EXPECT_LE(r.online_run.migrations, 2u);
+  EXPECT_EQ(r.online_run.migrations_cancelled, 0u);
+  EXPECT_LE(r.online_run.total_ns, r.static_run.total_ns);
   expect_migration_conservation(r.online_run);
+
+  // With partial moves disabled the planner is back to the old
+  // whole-object calculus, where nothing fits and nothing moves.
+  online::OnlinePolicyConfig whole_only = policy;
+  whole_only.huge_object_bytes = 0;
+  const auto w = run_static_vs_online(apps::make_app("minife", {}), whole_only);
+  EXPECT_EQ(w.online_run.migrations, 0u);
+  EXPECT_EQ(w.online_run.total_ns, w.static_run.total_ns);
 }
 
 TEST(OnlineEngine, BandwidthVaryingAppStaysWithinHysteresisMargin) {
@@ -94,20 +107,95 @@ TEST(OnlineEngine, MigrationSequenceIsDeterministic) {
   EXPECT_EQ(a.online_run.migration_ns, b.online_run.migration_ns);
 }
 
-TEST(OnlineEngine, ParallelReplayIsRejected) {
+/// Full metric equality between a serial and a parallel online run —
+/// the determinism contract of docs/threading.md extended to online
+/// placement: shard-per-object sampling plus engine-thread decisions
+/// make the migration sequence independent of the worker count.
+void expect_identical_online(const runtime::RunMetrics& serial,
+                             const runtime::RunMetrics& parallel, int threads) {
+  EXPECT_EQ(serial.total_ns, parallel.total_ns) << "threads=" << threads;
+  EXPECT_EQ(serial.migration_events, parallel.migration_events) << "threads=" << threads;
+  EXPECT_EQ(serial.migrations_scheduled, parallel.migrations_scheduled) << "threads=" << threads;
+  EXPECT_EQ(serial.migrations, parallel.migrations) << "threads=" << threads;
+  EXPECT_EQ(serial.migrations_partial, parallel.migrations_partial) << "threads=" << threads;
+  EXPECT_EQ(serial.migrations_cancelled, parallel.migrations_cancelled)
+      << "threads=" << threads;
+  EXPECT_EQ(serial.migrated_bytes, parallel.migrated_bytes) << "threads=" << threads;
+  EXPECT_EQ(serial.migration_ns, parallel.migration_ns) << "threads=" << threads;
+  EXPECT_EQ(serial.load_stall_ns, parallel.load_stall_ns) << "threads=" << threads;
+  EXPECT_EQ(serial.store_stall_ns, parallel.store_stall_ns) << "threads=" << threads;
+  ASSERT_EQ(serial.tier_traffic.size(), parallel.tier_traffic.size()) << "threads=" << threads;
+  for (std::size_t k = 0; k < serial.tier_traffic.size(); ++k) {
+    // Bit-identical, not just close: migration bytes charge into the
+    // same meters at the same simulated times under both paths.
+    EXPECT_EQ(serial.tier_traffic[k].read_bytes, parallel.tier_traffic[k].read_bytes)
+        << "threads=" << threads << " tier " << serial.tier_traffic[k].tier;
+    EXPECT_EQ(serial.tier_traffic[k].write_bytes, parallel.tier_traffic[k].write_bytes)
+        << "threads=" << threads << " tier " << serial.tier_traffic[k].tier;
+  }
+}
+
+void expect_parallel_online_identical(const runtime::Workload& workload) {
+  const auto system = *memsim::paper_system(6);
+  const auto workflow = core::run_workflow(workload, system);
+  ASSERT_TRUE(workflow.has_value()) << workflow.error();
+
+  const online::OnlinePolicyConfig policy;
+  runtime::EngineOptions options;
+  options.online_policy = &policy;
+  const auto serial = core::run_with_placement(workload, system, workflow->placement,
+                                               kDramLimit, advisor::ReportFormat::kBom, options);
+  ASSERT_TRUE(serial.has_value()) << serial.error();
+  ASSERT_GT(serial->migrations, 0u);
+
+  for (const int threads : {2, 4, 8}) {
+    options.replay_threads = threads;
+    const auto parallel = core::run_with_placement(
+        workload, system, workflow->placement, kDramLimit, advisor::ReportFormat::kBom, options);
+    ASSERT_TRUE(parallel.has_value()) << parallel.error();
+    expect_identical_online(*serial, *parallel, threads);
+    expect_migration_conservation(*parallel);
+  }
+}
+
+TEST(OnlineEngineConcurrency, ParallelReplayIsBitIdenticalOnPhaseShift) {
+  expect_parallel_online_identical(apps::make_phase_shift());
+}
+
+TEST(OnlineEngineConcurrency, ParallelReplayIsBitIdenticalOnLargeHot) {
+  expect_parallel_online_identical(apps::make_large_hot({}));
+}
+
+/// Online placement and observers stay mutually exclusive, and the
+/// rejection is uniform: the same one-line reason at any thread count.
+TEST(OnlineEngine, ObserverIsRejectedUniformlyAtAnyThreadCount) {
+  class NullObserver final : public runtime::ExecutionObserver {
+   public:
+    void on_alloc(Ns, std::uint64_t, std::uint64_t, Bytes, const bom::CallStack&) override {}
+    void on_free(Ns, std::uint64_t) override {}
+    void on_kernel(const runtime::KernelObservation&) override {}
+  };
+
   const auto system = *memsim::paper_system(6);
   const auto workload = apps::make_synthetic({.seed = 9, .phases = 2});
   const auto workflow = core::run_workflow(workload, system);
   ASSERT_TRUE(workflow.has_value());
 
   const online::OnlinePolicyConfig policy;
-  runtime::EngineOptions options;
-  options.online_policy = &policy;
-  options.replay_threads = 2;
-  const auto run = core::run_with_placement(workload, system, workflow->placement, kDramLimit,
-                                            advisor::ReportFormat::kBom, options);
-  ASSERT_FALSE(run.has_value());
-  EXPECT_NE(run.error().find("serial"), std::string::npos);
+  NullObserver observer;
+  std::string first_error;
+  for (const int threads : {1, 2, 4}) {
+    runtime::EngineOptions options;
+    options.online_policy = &policy;
+    options.observer = &observer;
+    options.replay_threads = threads;
+    const auto run = core::run_with_placement(workload, system, workflow->placement, kDramLimit,
+                                              advisor::ReportFormat::kBom, options);
+    ASSERT_FALSE(run.has_value()) << "threads=" << threads;
+    EXPECT_NE(run.error().find("observer"), std::string::npos) << run.error();
+    if (first_error.empty()) first_error = run.error();
+    EXPECT_EQ(run.error(), first_error) << "rejection must be uniform across thread counts";
+  }
 }
 
 TEST(OnlineEngine, ModeWithoutMigrationIsRejected) {
@@ -193,6 +281,133 @@ TEST(OnlineEngine, ReallocAndFreeCancelScheduledMoves) {
   EXPECT_EQ(run->migrations, 0u);
   EXPECT_TRUE(run->migration_events.empty());
   expect_migration_conservation(*run);
+}
+
+TEST(OnlineEngine, PartialMovesConserveBytesOnPhaseShift) {
+  // phase-shift's grids are several GiB each — far beyond
+  // huge_object_bytes — so the planner must promote hot prefixes in
+  // chunk-aligned pieces instead of copying whole allocations.
+  const online::OnlinePolicyConfig policy;
+  const auto r = run_static_vs_online(apps::make_phase_shift(), policy);
+  EXPECT_GT(r.online_run.migrations_partial, 0u);
+  expect_migration_conservation(r.online_run);
+
+  // The event log is the auditable record: the sum of per-event range
+  // lengths (partial or whole) must equal the migrated byte total, every
+  // partial event must be chunk-aligned, and at least one partial event
+  // must move strictly less than its object's allocation (the point of
+  // page granularity).
+  Bytes event_bytes = 0;
+  std::uint64_t partial_events = 0;
+  bool saw_proper_subrange = false;
+  for (const auto& e : r.online_run.migration_events) {
+    event_bytes += e.bytes;
+    if (!e.partial) {
+      EXPECT_EQ(e.offset, 0u);
+      continue;
+    }
+    ++partial_events;
+    EXPECT_EQ(e.offset % policy.chunk_bytes, 0u);
+    EXPECT_GT(e.bytes, 0u);
+    if (e.offset > 0 || e.bytes >= policy.huge_object_bytes) saw_proper_subrange = true;
+  }
+  EXPECT_EQ(event_bytes, r.online_run.migrated_bytes);
+  EXPECT_EQ(partial_events, r.online_run.migrations_partial);
+  EXPECT_TRUE(saw_proper_subrange);
+}
+
+TEST(OnlineEngine, PartialMovesDisabledWhenHugeThresholdIsZero) {
+  online::OnlinePolicyConfig policy;
+  policy.huge_object_bytes = 0;  // 0 = whole-object moves only
+  const auto r = run_static_vs_online(apps::make_phase_shift(), policy);
+  EXPECT_EQ(r.online_run.migrations_partial, 0u);
+  for (const auto& e : r.online_run.migration_events) {
+    EXPECT_FALSE(e.partial);
+    EXPECT_EQ(e.offset, 0u);
+  }
+  expect_migration_conservation(r.online_run);
+}
+
+/// Builds the GuidanceSeed the `--from-report` flag would: render the
+/// workflow's own report, re-parse it, and match it against the workload.
+runtime::GuidanceSeed guidance_from(const runtime::Workload& workload,
+                                    const std::string& report_text) {
+  const auto report = flexmalloc::parse_report(report_text, *workload.modules);
+  EXPECT_TRUE(report.has_value()) << report.error();
+  auto seed = runtime::GuidanceSeed::build(workload, *report);
+  EXPECT_TRUE(seed.has_value()) << seed.error();
+  return std::move(*seed);
+}
+
+TEST(OnlineEngine, GuidanceSeedMatchesEverySiteOfItsOwnWorkload) {
+  const auto workload = apps::make_phase_shift();
+  const auto system = *memsim::paper_system(6);
+  const auto workflow = core::run_workflow(workload, system);
+  ASSERT_TRUE(workflow.has_value());
+  const auto seed = guidance_from(workload, workflow->report_text);
+  EXPECT_EQ(seed.matched_sites, workload.sites.size());
+  EXPECT_EQ(seed.site_tier.size(), workload.sites.size());
+  bool any_fast = false;
+  for (std::size_t s = 0; s < workload.sites.size(); ++s) {
+    any_fast = any_fast || seed.site_maps_to(s, system.tier(0).name());
+  }
+  EXPECT_TRUE(any_fast) << "the report places nothing in the fast tier?";
+}
+
+TEST(OnlineEngine, GuidanceSeededNeverRegressesOnSteadyApps) {
+  // Seeding the online policy with the advisor's own report on a steady
+  // app must reproduce the static run (the seeds are already placed; the
+  // shield keeps everything put) — the "never regresses" half of the
+  // --from-report contract.
+  for (const char* app : {"minife", "hpcg"}) {
+    const auto workload = apps::make_app(app, {});
+    const auto system = *memsim::paper_system(6);
+    const auto workflow = core::run_workflow(workload, system);
+    ASSERT_TRUE(workflow.has_value()) << app;
+    const auto seed = guidance_from(workload, workflow->report_text);
+
+    const online::OnlinePolicyConfig policy;
+    runtime::EngineOptions options;
+    options.online_policy = &policy;
+    options.guidance = &seed;
+    const auto seeded = core::run_with_placement(workload, system, workflow->placement,
+                                                 kDramLimit, advisor::ReportFormat::kBom,
+                                                 options);
+    ASSERT_TRUE(seeded.has_value()) << seeded.error();
+    EXPECT_LE(seeded->total_ns, workflow->production_metrics.total_ns) << app;
+    expect_migration_conservation(*seeded);
+  }
+}
+
+TEST(OnlineEngineConcurrency, GuidanceSeededRunsAreDeterministicAndThreadCountIndependent) {
+  const auto workload = apps::make_phase_shift();
+  const auto system = *memsim::paper_system(6);
+  const auto workflow = core::run_workflow(workload, system);
+  ASSERT_TRUE(workflow.has_value());
+  const auto seed = guidance_from(workload, workflow->report_text);
+
+  const online::OnlinePolicyConfig policy;
+  runtime::EngineOptions options;
+  options.online_policy = &policy;
+  options.guidance = &seed;
+  const auto serial = core::run_with_placement(workload, system, workflow->placement, kDramLimit,
+                                               advisor::ReportFormat::kBom, options);
+  ASSERT_TRUE(serial.has_value()) << serial.error();
+
+  // Same invocation twice: bit-identical (the round-trip CI cmp's).
+  const auto again = core::run_with_placement(workload, system, workflow->placement, kDramLimit,
+                                              advisor::ReportFormat::kBom, options);
+  ASSERT_TRUE(again.has_value());
+  expect_identical_online(*serial, *again, 1);
+
+  // And seeding composes with parallel replay.
+  for (const int threads : {2, 4, 8}) {
+    options.replay_threads = threads;
+    const auto parallel = core::run_with_placement(
+        workload, system, workflow->placement, kDramLimit, advisor::ReportFormat::kBom, options);
+    ASSERT_TRUE(parallel.has_value()) << parallel.error();
+    expect_identical_online(*serial, *parallel, threads);
+  }
 }
 
 TEST(OnlineEngine, StaticRunIsUnaffectedByPolicyBeingAbsent) {

@@ -1,6 +1,6 @@
 // ecohmem-lint — cross-artifact invariant checker for the pipeline's
 // offline artifacts (trace, analyzer site CSV, advisor placement report,
-// advisor config, online placement policy).
+// advisor config, online placement policy, migration log).
 //
 // The artifacts are produced by loosely-coupled stages; nothing in the
 // pipeline itself verifies they stayed mutually consistent. This tool
@@ -42,8 +42,8 @@ int list_rules() {
 /// command line to the same standard as the artifacts it checks.
 bool validate_usage(int argc, char** argv) {
   static constexpr std::string_view kValueFlags[] = {
-      "trace", "sites", "report", "config", "online-policy", "model", "disable",
-      "min-coverage"};
+      "trace", "sites", "report", "config", "online-policy", "model", "migration-log",
+      "disable", "min-coverage"};
   static constexpr std::string_view kBoolFlags[] = {"json", "list-rules", "quiet", "help"};
   const auto is_one_of = [](std::string_view name, const auto& set) {
     for (const auto& f : set) {
@@ -85,12 +85,15 @@ int main(int argc, char** argv) {
         "usage: ecohmem-lint [--trace <trace.trc>] [--sites <sites.csv>]\n"
         "                    [--report <report.txt>] [--config <advisor.ini>]\n"
         "                    [--online-policy <policy.ini>] [--model <model.ehm>]\n"
+        "                    [--migration-log <log.csv>]\n"
         "                    [--json] [--disable id1,id2] [--list-rules] [--quiet]\n"
         "                    [--min-coverage F]\n"
         "--min-coverage F: minimum fraction of declared events a salvaged\n"
         "trace must recover before trace-salvage-coverage errors (default 0.9).\n"
         "--model: ranking model to verify a learned-policy report's\n"
         "'# model = <hash>' stamp against (advisor-policy-model rule).\n"
+        "--migration-log: migration CSV from ecohmem-run --migration-log; the\n"
+        "migration-* rules audit its conservation identities and sub-ranges.\n"
         "exit: 0 clean, 1 error findings, 2 usage error\n");
     return 0;
   }
@@ -103,6 +106,7 @@ int main(int argc, char** argv) {
   inputs.config_path = args.get("config");
   inputs.online_path = args.get("online-policy");
   inputs.model_path = args.get("model");
+  inputs.migration_log_path = args.get("migration-log");
 
   check::CheckOptions options;
   if (args.has("disable")) {

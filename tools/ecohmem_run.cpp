@@ -5,7 +5,8 @@
 // Usage:
 //   ecohmem-run --app <name> --report <report.txt>
 //               [--iterations N] [--dram-capacity 12GB] [--pmem-dimms 6]
-//               [--threads N]
+//               [--threads N] [--online <policy.ini>]
+//               [--from-report <report.txt>] [--migration-log <out.csv>]
 //
 // The report's BOM call stacks are matched against the application's
 // module table (the "same optimized binary" requirement of §IV); the
@@ -14,10 +15,11 @@
 //
 // --threads N > 1 replays the allocation stream on N worker threads
 // (docs/threading.md); placement decisions, tier byte totals, OOM
-// redirects and the simulated clock are identical to --threads 1.
-// Batches that could exhaust a tier mid-flight (where OOM redirection
-// would become order-dependent) are detected by a capacity guard and
-// replayed in program order instead of fanning out.
+// redirects and the simulated clock are identical to --threads 1 — with
+// and without --online (the online state is sharded on object id, see
+// docs/online.md). Batches that could exhaust a tier mid-flight (where
+// OOM redirection would become order-dependent) are detected by a
+// capacity guard and replayed in program order instead of fanning out.
 
 #include <chrono>
 #include <cstdio>
@@ -29,8 +31,35 @@
 #include "ecohmem/core/ecohmem.hpp"
 #include "ecohmem/flexmalloc/flexmalloc.hpp"
 #include "ecohmem/online/policy_config.hpp"
+#include "ecohmem/runtime/guidance.hpp"
 
 using namespace ecohmem;
+
+namespace {
+
+/// Writes the run's migration events as CSV — one row per applied move,
+/// a trailing `# summary` comment with the counter identities — the
+/// artifact `ecohmem-lint --migration-log` validates (docs/linting.md).
+bool write_migration_log(const std::string& path, const runtime::RunMetrics& metrics) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  std::fprintf(out, "at_ns,object,from_tier,to_tier,bytes,offset,partial\n");
+  for (const auto& e : metrics.migration_events) {
+    std::fprintf(out, "%lld,%zu,%zu,%zu,%llu,%llu,%d\n", static_cast<long long>(e.at),
+                 e.object, e.from_tier, e.to_tier, static_cast<unsigned long long>(e.bytes),
+                 static_cast<unsigned long long>(e.offset), e.partial ? 1 : 0);
+  }
+  std::fprintf(out, "# summary scheduled=%llu applied=%llu partial=%llu cancelled=%llu "
+               "migrated_bytes=%llu\n",
+               static_cast<unsigned long long>(metrics.migrations_scheduled),
+               static_cast<unsigned long long>(metrics.migrations),
+               static_cast<unsigned long long>(metrics.migrations_partial),
+               static_cast<unsigned long long>(metrics.migrations_cancelled),
+               static_cast<unsigned long long>(metrics.migrated_bytes));
+  return std::fclose(out) == 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const cli::Args args(argc, argv, {"help"});
@@ -39,12 +68,19 @@ int main(int argc, char** argv) {
         "usage: ecohmem-run --app <name> --report <report.txt>\n"
         "                   [--iterations N] [--dram-capacity 12GB] [--pmem-dimms 6]\n"
         "                   [--threads N] [--online <policy.ini>]\n"
+        "                   [--from-report <report.txt>] [--migration-log <out.csv>]\n"
         "\n"
-        "  --threads N   replay the allocation stream on N worker threads\n"
-        "                (1..256, default 1; results are thread-count independent —\n"
-        "                batches that could exhaust a tier replay in program order)\n"
-        "  --online F    enable the online placement policy from INI file F\n"
-        "                (docs/online.md; serial replay only, so not with --threads > 1)\n");
+        "  --threads N        replay the allocation stream on N worker threads\n"
+        "                     (1..256, default 1; results are thread-count independent —\n"
+        "                     batches that could exhaust a tier replay in program order,\n"
+        "                     and the online policy's state is sharded on object id)\n"
+        "  --online F         enable the online placement policy from INI file F\n"
+        "                     (docs/online.md; works at any --threads count)\n"
+        "  --from-report R    seed the online policy from Advisor report R: objects at\n"
+        "                     fast-guided sites start with mature hotness, stranded ones\n"
+        "                     are promoted at the first evaluation (requires --online)\n"
+        "  --migration-log F  write applied migrations as CSV to F (one row per move,\n"
+        "                     trailing '# summary' line; lintable artifact)\n");
     return args.has("help") ? 0 : 1;
   }
 
@@ -54,6 +90,15 @@ int main(int argc, char** argv) {
   if (!pmem_dimms) return cli::fail(pmem_dimms.error());
   const auto threads = args.get_int_in_range("threads", 1, 1, 256);
   if (!threads) return cli::fail(threads.error());
+
+  // Flag-combination rules (docs/cli.md): bad combinations are usage
+  // errors (exit 2) with a one-line reason, uniformly.
+  if (args.has("from-report") && !args.has("online")) {
+    return cli::fail_usage("--from-report seeds the online policy and requires --online");
+  }
+  if (args.has("migration-log") && !args.has("online")) {
+    return cli::fail_usage("--migration-log records online migrations and requires --online");
+  }
 
   apps::AppOptions app_opt;
   app_opt.iterations = static_cast<int>(*iterations);
@@ -98,6 +143,16 @@ int main(int argc, char** argv) {
     engine_options.online_policy = &*online_policy;
   }
 
+  std::optional<runtime::GuidanceSeed> guidance;
+  if (args.has("from-report")) {
+    const auto seed_report = flexmalloc::load_report(args.get("from-report"), *workload.modules);
+    if (!seed_report) return cli::fail_load(args.get("from-report"), seed_report.error());
+    auto seed = runtime::GuidanceSeed::build(workload, *seed_report);
+    if (!seed) return cli::fail(seed.error());
+    guidance = std::move(*seed);
+    engine_options.guidance = &*guidance;
+  }
+
   runtime::ExecutionEngine engine(&*system, engine_options);
 
   // Real elapsed time of the simulator itself — reported to the user,
@@ -109,6 +164,11 @@ int main(int argc, char** argv) {
 
   const auto baseline = core::run_memory_mode(workload, *system);
   if (!baseline) return cli::fail(baseline.error());
+
+  if (args.has("migration-log") &&
+      !write_migration_log(args.get("migration-log"), *production)) {
+    return cli::fail("could not write migration log: " + args.get("migration-log"));
+  }
 
   const double wall_ms =
       std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
@@ -129,11 +189,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.high_water >> 20));
   }
   if (online_policy) {
-    std::printf("  online     : %llu migrations (%llu cancelled), %llu MB moved, %.1f ms migration time\n",
+    std::printf("  online     : %llu migrations (%llu partial, %llu cancelled), %llu MB moved, "
+                "%.1f ms migration time\n",
                 static_cast<unsigned long long>(production->migrations),
+                static_cast<unsigned long long>(production->migrations_partial),
                 static_cast<unsigned long long>(production->migrations_cancelled),
                 static_cast<unsigned long long>(production->migrated_bytes >> 20),
                 production->migration_ns * 1e-6);
+  }
+  if (guidance) {
+    std::printf("  guidance   : %zu of %zu sites matched from %s\n", guidance->matched_sites,
+                workload.sites.size(), args.get("from-report").c_str());
   }
   return 0;
 }
